@@ -1,0 +1,133 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! * **ABL-1 shared event graph** — k rules over the same sub-expression:
+//!   hash-consed shared graph (Sentinel's design, §3.1) vs a fresh copy of
+//!   the expression per rule (what per-rule graphs would cost).
+//! * **ABL-2 demand-driven propagation** — a wide graph where only a few
+//!   contexts/nodes are active: occurrences must not pay for inactive
+//!   sub-graphs ("does not propagate parameters to irrelevant nodes").
+//! * **ABL-3 thread pool vs spawn-per-rule** — the paper's rationale for
+//!   lightweight processes with a free-thread pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_bench::workload::{detector_with_leaves, fire_leaf};
+use sentinel_core::snoop::{parse_event_expr, ParamContext};
+use sentinel_core::txn::PriorityPool;
+
+fn abl1_shared_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_shared_graph");
+    group.sample_size(15);
+    for &k in &[4usize, 32, 128] {
+        // Shared: one AND node, k subscriptions.
+        let shared = detector_with_leaves(2);
+        let id = shared.define_named("x", &parse_event_expr("e0 ^ e1").unwrap()).unwrap();
+        for sub in 0..k {
+            shared.subscribe(id, ParamContext::Recent, sub as u64).unwrap();
+        }
+        // Per-rule: k distinct AND nodes (defeating hash-consing by varying
+        // the right operand association shape via extra ORs with unique
+        // leaves).
+        let per_rule = detector_with_leaves(2 + k);
+        for sub in 0..k {
+            let expr = format!("e0 ^ (e1 | e{})", 2 + sub);
+            let nid = per_rule
+                .define_named(&format!("x{sub}"), &parse_event_expr(&expr).unwrap())
+                .unwrap();
+            per_rule.subscribe(nid, ParamContext::Recent, sub as u64).unwrap();
+        }
+        let mut txn = 0u64;
+        group.bench_with_input(BenchmarkId::new("shared", k), &k, |b, _| {
+            b.iter(|| {
+                txn += 1;
+                fire_leaf(&shared, 0, txn) + fire_leaf(&shared, 1, txn)
+            })
+        });
+        let mut txn = 0u64;
+        group.bench_with_input(BenchmarkId::new("per_rule", k), &k, |b, _| {
+            b.iter(|| {
+                txn += 1;
+                fire_leaf(&per_rule, 0, txn) + fire_leaf(&per_rule, 1, txn)
+            })
+        });
+        // Report the structural sizes once per k (visible with --verbose).
+        assert!(shared.graph_size() < per_rule.graph_size());
+    }
+    group.finish();
+}
+
+fn abl2_demand_driven(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_demand_driven");
+    group.sample_size(15);
+    // A wide graph: 64 composite events all over leaf e0; only `active_n`
+    // of them have subscribers. Demand-driven propagation should make the
+    // cost proportional to the active count, not the graph width.
+    for &active_n in &[0usize, 8, 64] {
+        let d = detector_with_leaves(65);
+        let mut ids = Vec::new();
+        for i in 0..64 {
+            let expr = format!("e0 ^ e{}", i + 1);
+            ids.push(d.define_named(&format!("w{i}"), &parse_event_expr(&expr).unwrap()).unwrap());
+        }
+        for (i, id) in ids.iter().take(active_n).enumerate() {
+            d.subscribe(*id, ParamContext::Recent, i as u64).unwrap();
+        }
+        let mut txn = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("active_subscriptions", active_n),
+            &active_n,
+            |b, _| {
+                b.iter(|| {
+                    txn += 1;
+                    fire_leaf(&d, 0, txn)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn abl3_pool_vs_spawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_thread_pool");
+    group.sample_size(10);
+    for &burst in &[10usize, 100, 1000] {
+        let pool = PriorityPool::new(4);
+        group.bench_with_input(BenchmarkId::new("pool", burst), &burst, |b, &burst| {
+            b.iter(|| {
+                let counter = Arc::new(AtomicUsize::new(0));
+                for _ in 0..burst {
+                    let c = counter.clone();
+                    pool.submit(0, move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                pool.quiesce();
+                counter.load(Ordering::Relaxed)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spawn_per_rule", burst), &burst, |b, &burst| {
+            b.iter(|| {
+                let counter = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..burst)
+                    .map(|_| {
+                        let c = counter.clone();
+                        std::thread::spawn(move || {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                counter.load(Ordering::Relaxed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, abl1_shared_graph, abl2_demand_driven, abl3_pool_vs_spawn);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! BEAST-E2: composite event detection cost per Snoop operator and
+//! operator-chain depth.
+//!
+//! Drives left-deep chains `((e0 op e1) op e2) …` of depth 1–8 and measures
+//! the cost of pushing a full round of constituent occurrences through the
+//! event graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_bench::workload::{chain_detector, detector_with_leaves, fire_leaf};
+use sentinel_core::snoop::{parse_event_expr, ParamContext};
+
+fn bench_operator_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beast_e2_composite_chains");
+    group.sample_size(20);
+    for op in ["^", "|", ";"] {
+        for &depth in &[1usize, 4, 8] {
+            let d = chain_detector(op, depth, ParamContext::Chronicle);
+            let name = match op {
+                "^" => "AND",
+                "|" => "OR",
+                _ => "SEQ",
+            };
+            let mut txn = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(name, depth),
+                &depth,
+                |b, &depth| {
+                    b.iter(|| {
+                        txn += 1;
+                        let mut detected = 0;
+                        for i in 0..=depth {
+                            detected += fire_leaf(&d, i, txn);
+                        }
+                        detected
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_window_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beast_e2_window_operators");
+    group.sample_size(20);
+    // A(s, m, t), A*(s, m, t), NOT(m)[s, t]: one window round per iteration,
+    // with `mids` middle occurrences.
+    for (label, expr) in [
+        ("A", "A(e0, e1, e2)"),
+        ("A_star", "A*(e0, e1, e2)"),
+        ("NOT", "NOT(e1)[e0, e2]"),
+        ("ANY2of3", "ANY(2, e0, e1, e2)"),
+    ] {
+        for &mids in &[1usize, 16, 64] {
+            let d = detector_with_leaves(3);
+            let id = d.define_named("w", &parse_event_expr(expr).unwrap()).unwrap();
+            d.subscribe(id, ParamContext::Chronicle, 1).unwrap();
+            let mut txn = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(label, mids),
+                &mids,
+                |b, &mids| {
+                    b.iter(|| {
+                        txn += 1;
+                        let mut detected = fire_leaf(&d, 0, txn); // open
+                        for _ in 0..mids {
+                            detected += fire_leaf(&d, 1, txn); // mid
+                        }
+                        detected += fire_leaf(&d, 2, txn); // close
+                        detected
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operator_chains, bench_window_operators);
+criterion_main!(benches);

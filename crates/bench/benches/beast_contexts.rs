@@ -1,0 +1,47 @@
+//! BEAST-E3: parameter-context cost comparison.
+//!
+//! The same `e0 ^ e1` expression detected in each of the four contexts, at
+//! different initiator:terminator ratios (buffered backlog sizes). The
+//! paper's storage argument — recent is cheapest, continuous/cumulative
+//! have "significant storage requirements" — shows up as throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_bench::workload::{detector_with_leaves, fire_leaf};
+use sentinel_core::snoop::{parse_event_expr, ParamContext};
+
+fn bench_contexts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beast_e3_contexts");
+    group.sample_size(20);
+    for ctx in ParamContext::ALL {
+        for &backlog in &[1usize, 32, 256] {
+            let d = detector_with_leaves(2);
+            let id = d.define_named("x", &parse_event_expr("e0 ^ e1").unwrap()).unwrap();
+            d.subscribe(id, ctx, 1).unwrap();
+            let mut txn = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(ctx.keyword(), backlog),
+                &backlog,
+                |b, &backlog| {
+                    b.iter(|| {
+                        txn += 1;
+                        let mut detected = 0;
+                        // `backlog` initiators, then one terminator.
+                        for _ in 0..backlog {
+                            detected += fire_leaf(&d, 0, txn);
+                        }
+                        detected += fire_leaf(&d, 1, txn);
+                        // Drain leftovers so state does not grow across
+                        // iterations (chronicle keeps unconsumed initiators).
+                        d.flush_txn(txn);
+                        detected
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contexts);
+criterion_main!(benches);

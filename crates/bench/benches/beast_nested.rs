@@ -1,0 +1,41 @@
+//! BEAST-R2: nested rule cascades.
+//!
+//! Rule `i` raises the event of rule `i+1` from its action; the cascade
+//! depth sweeps 1–16. Measures the per-level cost of nested triggering:
+//! subtransaction begin/commit, derived-priority scheduling, and the
+//! re-entrant detector path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_bench::workload::{beast_system, nested_cascade};
+use sentinel_core::rules::ExecutionMode;
+
+fn bench_cascade_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beast_r2_nested_cascade");
+    group.sample_size(15);
+    for &depth in &[1usize, 4, 8, 16] {
+        for (mode, label) in [
+            (ExecutionMode::Inline, "inline"),
+            (ExecutionMode::Threaded { workers: 4 }, "threaded"),
+        ] {
+            let s = beast_system(mode);
+            let counter = nested_cascade(&s, depth);
+            group.bench_with_input(
+                BenchmarkId::new(label, depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        let t = s.begin().unwrap();
+                        s.raise(Some(t), "cascade0", Vec::new()).unwrap();
+                        s.commit(t).unwrap();
+                    })
+                },
+            );
+            assert!(counter.get() > 0);
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade_depth);
+criterion_main!(benches);

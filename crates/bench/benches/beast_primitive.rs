@@ -1,0 +1,59 @@
+//! BEAST-E1: primitive event detection overhead.
+//!
+//! Measures the cost a method invocation pays for being a (potential)
+//! primitive event: the same `poke` call on a passive object store versus
+//! the active system with (a) no subscriber, (b) one subscribed rule —
+//! across different numbers of reactive objects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_bench::workload::{beast_system, counting_rules, objects, poke};
+use sentinel_core::rules::ExecutionMode;
+
+fn bench_primitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beast_e1_primitive");
+    group.sample_size(20);
+
+    for &nobjs in &[1usize, 16, 256] {
+        // (a) event declared, nothing subscribed: demand-driven detection
+        // means the notify is filtered at the leaf.
+        let s = beast_system(ExecutionMode::Inline);
+        let t = s.begin().unwrap();
+        let objs = objects(&s, t, nobjs);
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("event_unsubscribed", nobjs),
+            &nobjs,
+            |b, _| {
+                b.iter(|| {
+                    poke(&s, t, objs[i % objs.len()], i as i64);
+                    i += 1;
+                })
+            },
+        );
+        s.commit(t).unwrap();
+
+        // (b) one immediate rule subscribed: full detect + fire path.
+        let s = beast_system(ExecutionMode::Inline);
+        let counter = counting_rules(&s, "poke", 1, 10);
+        let t = s.begin().unwrap();
+        let objs = objects(&s, t, nobjs);
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("event_with_rule", nobjs),
+            &nobjs,
+            |b, _| {
+                b.iter(|| {
+                    poke(&s, t, objs[i % objs.len()], i as i64);
+                    i += 1;
+                })
+            },
+        );
+        s.commit(t).unwrap();
+        assert!(counter.get() > 0);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitive);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! BEAST-R1: rule firing overhead.
+//!
+//! (a) 1–1000 immediate rules on one event (multiple-rule dispatch), and
+//! (b) immediate vs deferred coupling — the deferred rewrite adds an `A*`
+//! node and moves execution to pre-commit, so a transaction with `k`
+//! triggerings pays k× for immediate but 1× (plus accumulation) for
+//! deferred.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_bench::workload::{beast_system, counting_rules, objects, poke};
+use sentinel_core::rules::manager::RuleOptions;
+use sentinel_core::rules::ExecutionMode;
+use sentinel_core::snoop::CouplingMode;
+
+fn bench_many_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beast_r1_many_rules");
+    group.sample_size(15);
+    for &nrules in &[1usize, 10, 100, 1000] {
+        let s = beast_system(ExecutionMode::Inline);
+        let counter = counting_rules(&s, "poke", nrules, 10);
+        let t = s.begin().unwrap();
+        let objs = objects(&s, t, 1);
+        let mut i = 0i64;
+        group.bench_with_input(BenchmarkId::new("immediate_rules", nrules), &nrules, |b, _| {
+            b.iter(|| {
+                i += 1;
+                poke(&s, t, objs[0], i);
+            })
+        });
+        s.commit(t).unwrap();
+        assert!(counter.get() >= nrules);
+    }
+    group.finish();
+}
+
+fn bench_coupling_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beast_r1_coupling");
+    group.sample_size(15);
+    // Each iteration: one transaction with `k` triggerings.
+    for &k in &[1usize, 10, 50] {
+        for coupling in [CouplingMode::Immediate, CouplingMode::Deferred] {
+            let s = beast_system(ExecutionMode::Inline);
+            let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let f = fired.clone();
+            s.define_rule(
+                "r",
+                "poke",
+                Arc::new(|_| true),
+                Arc::new(move |_| {
+                    f.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }),
+                RuleOptions::default().coupling(coupling),
+            )
+            .unwrap();
+            let setup = s.begin().unwrap();
+            let objs = objects(&s, setup, 1);
+            s.commit(setup).unwrap();
+            let label = format!("{coupling}");
+            let mut i = 0i64;
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, &k| {
+                b.iter(|| {
+                    let t = s.begin().unwrap();
+                    for _ in 0..k {
+                        i += 1;
+                        poke(&s, t, objs[0], i);
+                    }
+                    s.commit(t).unwrap();
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_enable_disable(c: &mut Criterion) {
+    // Rule (de)activation at run time: counter propagation through the
+    // sub-graph is the measured cost.
+    let mut group = c.benchmark_group("beast_r1_enable_disable");
+    group.sample_size(20);
+    let s = beast_system(ExecutionMode::Inline);
+    s.define_event("wide", "poke ^ (poke ; poke)").unwrap();
+    let counter = counting_rules(&s, "wide", 1, 10);
+    let id = s.rules().lookup("count_wide_10_0").unwrap();
+    group.bench_function("disable_enable_cycle", |b| {
+        b.iter(|| {
+            s.rules().disable(id).unwrap();
+            s.rules().enable(id).unwrap();
+        })
+    });
+    group.finish();
+    let _ = counter;
+}
+
+criterion_group!(benches, bench_many_rules, bench_coupling_modes, bench_enable_disable);
+criterion_main!(benches);

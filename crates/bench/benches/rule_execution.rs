@@ -1,0 +1,73 @@
+//! FIG-3 benchmark: the rule execution model.
+//!
+//! Measures the throughput of the Figure 3 machinery: priority-class
+//! scheduling (serial across classes, concurrent within), inline vs
+//! threaded execution, and the subtransaction packaging cost per firing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_bench::workload::{beast_system, counting_rules, objects, poke};
+use sentinel_core::rules::ExecutionMode;
+
+fn bench_scheduler_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_rule_execution");
+    group.sample_size(12);
+    for (mode, label) in [
+        (ExecutionMode::Inline, "inline"),
+        (ExecutionMode::Threaded { workers: 2 }, "threaded2"),
+        (ExecutionMode::Threaded { workers: 8 }, "threaded8"),
+    ] {
+        for &nrules in &[1usize, 8, 64] {
+            let s = beast_system(mode);
+            let counter = counting_rules(&s, "poke", nrules, 10);
+            let t = s.begin().unwrap();
+            let objs = objects(&s, t, 1);
+            let mut i = 0i64;
+            group.bench_with_input(
+                BenchmarkId::new(label, nrules),
+                &nrules,
+                |b, _| {
+                    b.iter(|| {
+                        i += 1;
+                        poke(&s, t, objs[0], i);
+                    })
+                },
+            );
+            s.commit(t).unwrap();
+            assert!(counter.get() >= nrules);
+        }
+    }
+    group.finish();
+}
+
+fn bench_priority_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_priority_classes");
+    group.sample_size(12);
+    // Same total rule count split over 1, 4, or 16 priority classes: each
+    // class boundary adds a quiesce barrier in threaded mode.
+    for &classes in &[1usize, 4, 16] {
+        let s = beast_system(ExecutionMode::Threaded { workers: 4 });
+        let per_class = 16 / classes;
+        for cls in 0..classes {
+            counting_rules(&s, "poke", per_class, (cls as u32 + 1) * 10);
+        }
+        let t = s.begin().unwrap();
+        let objs = objects(&s, t, 1);
+        let mut i = 0i64;
+        group.bench_with_input(
+            BenchmarkId::new("classes", classes),
+            &classes,
+            |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    poke(&s, t, objs[0], i);
+                })
+            },
+        );
+        s.commit(t).unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_modes, bench_priority_classes);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Substrate microbenchmarks for the Exodus-analogue storage engine:
+//! transactional record operations, WAL append/force, restart recovery
+//! scaling, and lock-manager throughput. These back the DESIGN.md claim
+//! that the substitution preserves the relevant behaviour: Sentinel's
+//! event/rule costs (BEAST-E/R) sit on top of these baseline costs.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_core::storage::disk::{DiskManager, MemDisk};
+use sentinel_core::storage::lock::{LockManager, LockMode};
+use sentinel_core::storage::wal::{LogRecord, LogStore, MemLogStore, Wal};
+use sentinel_core::storage::{PageId, Rid, StorageEngine, TxnId};
+
+fn bench_engine_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_engine_ops");
+    group.sample_size(20);
+
+    let eng = StorageEngine::in_memory();
+    let t = eng.begin().unwrap();
+    let payload = vec![7u8; 128];
+    group.bench_function("insert_128B", |b| {
+        b.iter(|| eng.insert(t, &payload).unwrap())
+    });
+
+    let rid = eng.insert(t, &payload).unwrap();
+    group.bench_function("read_128B", |b| b.iter(|| eng.read(t, rid).unwrap()));
+    group.bench_function("update_128B", |b| {
+        b.iter(|| eng.update(t, rid, &payload).unwrap())
+    });
+    eng.commit(t).unwrap();
+
+    group.bench_function("begin_commit_empty_txn", |b| {
+        b.iter(|| {
+            let t = eng.begin().unwrap();
+            eng.commit(t).unwrap();
+        })
+    });
+
+    group.bench_function("txn_with_10_inserts", |b| {
+        b.iter(|| {
+            let t = eng.begin().unwrap();
+            for _ in 0..10 {
+                eng.insert(t, &payload).unwrap();
+            }
+            eng.commit(t).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_wal");
+    group.sample_size(20);
+    for &size in &[16usize, 256, 4000] {
+        let wal = Wal::new(Arc::new(MemLogStore::new()));
+        let rec = LogRecord::Insert {
+            txn: TxnId(1),
+            rid: Rid::new(PageId(1), 1),
+            data: bytes::Bytes::from(vec![1u8; size]),
+        };
+        group.bench_with_input(BenchmarkId::new("append", size), &size, |b, _| {
+            b.iter(|| wal.append(&rec).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_recovery");
+    group.sample_size(10);
+    for &committed in &[100usize, 1000, 5000] {
+        // Build a log with `committed` committed inserts plus one loser.
+        let disk = Arc::new(MemDisk::new());
+        let log = Arc::new(MemLogStore::new());
+        {
+            let eng = StorageEngine::open(
+                disk.clone() as Arc<dyn DiskManager>,
+                log.clone() as Arc<dyn LogStore>,
+            )
+            .unwrap();
+            let t = eng.begin().unwrap();
+            for i in 0..committed {
+                eng.insert(t, format!("record-{i}").as_bytes()).unwrap();
+            }
+            eng.commit(t).unwrap();
+            let loser = eng.begin().unwrap();
+            eng.insert(loser, b"uncommitted").unwrap();
+            // crash
+        }
+        let log_bytes = log.read_all().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("restart", committed),
+            &committed,
+            |b, _| {
+                b.iter(|| {
+                    // Fresh disk + the captured log: full redo from scratch.
+                    let disk = Arc::new(MemDisk::new());
+                    let log = Arc::new(MemLogStore::new());
+                    log.append(&log_bytes).unwrap();
+                    StorageEngine::open(
+                        disk as Arc<dyn DiskManager>,
+                        log as Arc<dyn LogStore>,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_locks");
+    group.sample_size(20);
+    let lm = LockManager::new();
+    let mut txn = 0u64;
+    group.bench_function("xlock_release_100", |b| {
+        b.iter(|| {
+            txn += 1;
+            for r in 0..100u64 {
+                lm.lock(TxnId(txn), r, LockMode::Exclusive).unwrap();
+            }
+            lm.release_all(TxnId(txn));
+        })
+    });
+    group.bench_function("shared_reacquire", |b| {
+        // Many txns sharing one hot resource.
+        b.iter(|| {
+            txn += 1;
+            lm.lock(TxnId(txn), 0, LockMode::Shared).unwrap();
+            lm.release_all(TxnId(txn));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_ops, bench_wal, bench_recovery, bench_lock_manager);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Benchmark support library: shared workload generators for the BEAST-style
+//! benches (see `benches/`) and the `beast` binary that prints the
+//! EXPERIMENTS.md tables.
+
+pub mod workload;

@@ -1,0 +1,314 @@
+//! Generated-code rendering: the §3.2 listings.
+//!
+//! The paper shows two artifacts of the pre-/post-processor pair: the
+//! rewritten *wrapper method* (parameter collection + `Notify` calls around
+//! the renamed `user_` method) and the *main-program* code that builds the
+//! event graph and rule objects at run time. This module renders both from
+//! a parsed specification so the reproduction can show exactly what the
+//! C++ pre-processor would have emitted — and so tests can compare the
+//! output against the paper's own listing.
+
+use std::fmt::Write as _;
+
+use sentinel_snoop::ast::{EventExpr, EventModifier, MethodSig};
+use sentinel_snoop::spec::{RuleSpec, SpecItem};
+use sentinel_snoop::{parse_spec, ParseError};
+
+/// Renders all generated code for a specification: wrapper methods first,
+/// then the main-program event-graph/rule construction.
+pub fn generate(src: &str) -> Result<String, ParseError> {
+    let items = parse_spec(src)?;
+    let mut out = String::new();
+    for item in &items {
+        if let SpecItem::Class(c) = item {
+            for me in &c.method_events {
+                let begin = me.bindings.iter().any(|(m, _)| m.matches(EventModifier::Begin));
+                let end = me.bindings.iter().any(|(m, _)| m.matches(EventModifier::End));
+                out.push_str(&wrapper_method(&c.name, &me.sig, begin, end));
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str(&main_program(&items));
+    Ok(out)
+}
+
+/// Renders one wrapper method after Sentinel post-processing — the §3.2.1
+/// listing (`void STOCK::set_price(float price) { … }`).
+pub fn wrapper_method(class: &str, sig: &MethodSig, begin: bool, end: bool) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = sig.params.iter().map(|(t, n)| format!("{t} {n}")).collect();
+    let _ = writeln!(out, "{} {}::{}({}) {{", sig.ret, class, sig.name, params.join(", "));
+    let list = format!("{}_list", sig.name);
+    let _ = writeln!(out, "    /* Parameters are collected in a linked list */");
+    let _ = writeln!(out, "    PARA_LIST *{list} = new PARA_LIST();");
+    for (ty, name) in &sig.params {
+        let tag = match ty.as_str() {
+            "int" | "long" | "short" => "INT",
+            "float" | "double" => "FLOAT",
+            "bool" => "BOOL",
+            _ => "OID",
+        };
+        let _ = writeln!(out, "    {list}->insert(\"{name}\", {tag}, {name});");
+    }
+    if begin {
+        let _ = writeln!(
+            out,
+            "    Notify(this, \"{class}\", \"{}\", \"begin\", {list});",
+            sig.canonical()
+        );
+    }
+    let _ = writeln!(out, "    /* The original {} method is invoked */", sig.name);
+    let call_args: Vec<&str> = sig.params.iter().map(|(_, n)| n.as_str()).collect();
+    if sig.ret == "void" {
+        let _ = writeln!(out, "    user_{}({});", sig.name, call_args.join(", "));
+    } else {
+        let _ = writeln!(out, "    {} result = user_{}({});", sig.ret, sig.name, call_args.join(", "));
+    }
+    if end {
+        let _ = writeln!(
+            out,
+            "    Notify(this, \"{class}\", \"{}\", \"end\", {list});",
+            sig.canonical()
+        );
+    }
+    if sig.ret != "void" {
+        let _ = writeln!(out, "    return result;");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the main-program construction code — the §3.2 listing
+/// (`Event_detector = new LOCAL_EVENT_DETECTOR(); …`).
+pub fn main_program(items: &[SpecItem]) -> String {
+    let mut out = String::new();
+    out.push_str("/* Main program (generated) */\n");
+    out.push_str("LOCAL_EVENT_DETECTOR *Event_detector;\n\nmain() {\n");
+    out.push_str("    /* Creating the local event detector */\n");
+    out.push_str("    Event_detector = new LOCAL_EVENT_DETECTOR();\n\n");
+    for item in items {
+        match item {
+            SpecItem::Class(c) => {
+                out.push_str("    /* Creating primitive events */\n");
+                for me in &c.method_events {
+                    for (modifier, ev) in &me.bindings {
+                        let var = format!("{}_{}", c.name, ev);
+                        let _ = writeln!(
+                            out,
+                            "    EVENT *{var} = new PRIMITIVE(\"{var}\", \"{}\", \"{modifier}\", \"{}\");",
+                            c.name,
+                            me.sig.canonical()
+                        );
+                    }
+                }
+                for (name, expr) in &c.named_events {
+                    let var = format!("{}_{}", c.name, name);
+                    let _ = writeln!(
+                        out,
+                        "    /* Composite event {} */\n    EVENT *{var} = {};",
+                        operator_name(expr),
+                        event_ctor(expr, &c.name)
+                    );
+                }
+                for rule in &c.rules {
+                    out.push_str(&rule_ctor(rule, Some(&c.name)));
+                }
+            }
+            SpecItem::AppEvent(decl) => {
+                let target = match &decl.target {
+                    sentinel_snoop::spec::EventTarget::Class(cl) => format!("\"{cl}\""),
+                    sentinel_snoop::spec::EventTarget::Instance(i) => i.clone(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    EVENT *{} = new PRIMITIVE(\"{}\", {target}, \"{}\", \"{}\");",
+                    decl.name,
+                    decl.event_name,
+                    decl.modifier,
+                    decl.sig.canonical()
+                );
+            }
+            SpecItem::NamedEvent { name, expr } => {
+                let _ = writeln!(out, "    EVENT *{name} = {};", event_ctor(expr, ""));
+            }
+            SpecItem::Rule(rule) => out.push_str(&rule_ctor(rule, None)),
+            SpecItem::ReactiveDecl(name) => {
+                let _ = writeln!(out, "    REACTIVE {name};");
+            }
+            SpecItem::InstanceDecl { class, name } => {
+                let _ = writeln!(out, "    {class} {name};");
+            }
+        }
+    }
+    out.push_str("    ...\n}\n");
+    out
+}
+
+fn operator_name(expr: &EventExpr) -> &'static str {
+    match expr {
+        EventExpr::Ref(_) => "REF",
+        EventExpr::And(..) => "AND",
+        EventExpr::Or(..) => "OR",
+        EventExpr::Seq(..) => "SEQ",
+        EventExpr::Any { .. } => "ANY",
+        EventExpr::Not { .. } => "NOT",
+        EventExpr::Aperiodic { .. } => "A",
+        EventExpr::AperiodicStar { .. } => "A_STAR",
+        EventExpr::Periodic { .. } => "P",
+        EventExpr::PeriodicStar { .. } => "P_STAR",
+        EventExpr::Plus { .. } => "PLUS",
+    }
+}
+
+/// `new AND(STOCK_e1, STOCK_e2)`-style constructor text.
+fn event_ctor(expr: &EventExpr, class: &str) -> String {
+    let var = |e: &EventExpr| -> String {
+        match e {
+            EventExpr::Ref(n) if !class.is_empty() && !n.contains('.') => {
+                format!("{class}_{n}")
+            }
+            EventExpr::Ref(n) => n.replace('.', "_"),
+            nested => format!("({})", event_ctor(nested, class)),
+        }
+    };
+    match expr {
+        EventExpr::Ref(n) => var(&EventExpr::Ref(n.clone())),
+        EventExpr::And(a, b) => format!("new AND({}, {})", var(a), var(b)),
+        EventExpr::Or(a, b) => format!("new OR({}, {})", var(a), var(b)),
+        EventExpr::Seq(a, b) => format!("new SEQ({}, {})", var(a), var(b)),
+        EventExpr::Any { m, events } => {
+            let list: Vec<String> = events.iter().map(var).collect();
+            format!("new ANY({m}, {})", list.join(", "))
+        }
+        EventExpr::Not { inner, start, end } => {
+            format!("new NOT({}, {}, {})", var(inner), var(start), var(end))
+        }
+        EventExpr::Aperiodic { start, inner, end } => {
+            format!("new A({}, {}, {})", var(start), var(inner), var(end))
+        }
+        EventExpr::AperiodicStar { start, inner, end } => {
+            format!("new A_STAR({}, {}, {})", var(start), var(inner), var(end))
+        }
+        EventExpr::Periodic { start, period, end } => {
+            format!("new P({}, {period}, {})", var(start), var(end))
+        }
+        EventExpr::PeriodicStar { start, period, end } => {
+            format!("new P_STAR({}, {period}, {})", var(start), var(end))
+        }
+        EventExpr::Plus { inner, delta } => format!("new PLUS({}, {delta})", var(inner)),
+    }
+}
+
+/// `RULE *R1 = new RULE("R1", STOCK_e4, cond1, action1, CUMULATIVE);` plus
+/// the setter calls of the §3.2 listing.
+fn rule_ctor(rule: &RuleSpec, class: Option<&str>) -> String {
+    let mut out = String::new();
+    let event_var = match class {
+        Some(c) => format!("{c}_{}", rule.event),
+        None => rule.event.clone(),
+    };
+    let _ = writeln!(
+        out,
+        "    /* Creating Rule {} */\n    RULE *{} = new RULE(\"{}\", {event_var}, {}, {}, {});",
+        rule.name,
+        rule.name,
+        rule.name,
+        rule.condition,
+        rule.action,
+        rule.context.unwrap_or_default()
+    );
+    if let Some(cm) = rule.coupling {
+        let _ = writeln!(out, "    {}->set_coupling_mode({cm});", rule.name);
+    }
+    if let Some(p) = rule.priority {
+        let _ = writeln!(out, "    {}->set_priority({p});", rule.name);
+    }
+    if let Some(tm) = rule.trigger {
+        let _ = writeln!(out, "    {}->set_trigger_mode({tm});", rule.name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STOCK: &str = r#"
+        class STOCK : public REACTIVE {
+        public:
+            event end(e1) int sell_stock(int qty);
+            event begin(e2) && end(e3) void set_price(float price);
+            event e4 = e1 ^ e2;
+            rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW);
+        };
+    "#;
+
+    #[test]
+    fn wrapper_matches_paper_listing_shape() {
+        let gen = generate(STOCK).unwrap();
+        // Key lines of the §3.2.1 wrapper listing.
+        assert!(gen.contains("void STOCK::set_price(float price) {"));
+        assert!(gen.contains("PARA_LIST *set_price_list = new PARA_LIST();"));
+        assert!(gen.contains("set_price_list->insert(\"price\", FLOAT, price);"));
+        assert!(gen.contains(
+            "Notify(this, \"STOCK\", \"void set_price(float price)\", \"begin\", set_price_list);"
+        ));
+        assert!(gen.contains("user_set_price(price);"));
+        assert!(gen.contains(
+            "Notify(this, \"STOCK\", \"void set_price(float price)\", \"end\", set_price_list);"
+        ));
+        // sell_stock only notifies at end.
+        assert!(gen
+            .contains("Notify(this, \"STOCK\", \"int sell_stock(int qty)\", \"end\", sell_stock_list);"));
+        assert!(!gen
+            .contains("Notify(this, \"STOCK\", \"int sell_stock(int qty)\", \"begin\""));
+    }
+
+    #[test]
+    fn main_program_matches_paper_listing_shape() {
+        let gen = generate(STOCK).unwrap();
+        assert!(gen.contains("Event_detector = new LOCAL_EVENT_DETECTOR();"));
+        assert!(gen.contains(
+            "EVENT *STOCK_e1 = new PRIMITIVE(\"STOCK_e1\", \"STOCK\", \"end\", \"int sell_stock(int qty)\");"
+        ));
+        assert!(gen.contains(
+            "EVENT *STOCK_e2 = new PRIMITIVE(\"STOCK_e2\", \"STOCK\", \"begin\", \"void set_price(float price)\");"
+        ));
+        assert!(gen.contains("EVENT *STOCK_e4 = new AND(STOCK_e1, STOCK_e2);"));
+        assert!(gen.contains(
+            "RULE *R1 = new RULE(\"R1\", STOCK_e4, cond1, action1, CUMULATIVE);"
+        ));
+        assert!(gen.contains("R1->set_coupling_mode(DEFERRED);"));
+        assert!(gen.contains("R1->set_priority(10);"));
+        assert!(gen.contains("R1->set_trigger_mode(NOW);"));
+    }
+
+    #[test]
+    fn app_level_items_render() {
+        let gen = generate(
+            r#"
+            REACTIVE Stock;
+            Stock IBM;
+            event set_IBM_price("set_IBM_price", IBM, "begin", "void set_price(float price)");
+            rule R2(set_IBM_price, c, a);
+            "#,
+        )
+        .unwrap();
+        assert!(gen.contains(
+            "EVENT *set_IBM_price = new PRIMITIVE(\"set_IBM_price\", IBM, \"begin\", \"void set_price(float price)\");"
+        ));
+        assert!(gen.contains("RULE *R2 = new RULE(\"R2\", set_IBM_price, c, a, RECENT);"));
+    }
+
+    #[test]
+    fn deferred_rewrite_listing_renders_a_star() {
+        let gen = generate(
+            "event def_rule_event = A*(begin-transaction, any_stk_price, pre-commit-transaction);",
+        )
+        .unwrap();
+        assert!(gen.contains(
+            "EVENT *def_rule_event = new A_STAR(begin-transaction, any_stk_price, pre-commit-transaction);"
+        ));
+    }
+}

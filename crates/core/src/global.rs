@@ -1,0 +1,299 @@
+//! The global event detector (Figure 2).
+//!
+//! "In addition to rules based on events from within an application, it is
+//! useful to allow composite events whose constituent events come from
+//! different applications" (§2.1). The global detector runs on its own
+//! thread; applications *forward* selected local events to it (step 5 of
+//! Figure 2), it detects inter-application composite events over leaves
+//! named `app<N>.<event>`, and executes global rules — each in a fresh
+//! top-level transaction of a designated application, which is how the
+//! paper's conclusion proposes realizing detached execution.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use sentinel_detector::{LocalEventDetector, Value};
+use sentinel_rules::manager::RuleOptions;
+use sentinel_rules::{ActionFn, CondFn, ExecutionMode, RuleId, RuleManager, RuleScheduler};
+use sentinel_snoop::parse_event_expr;
+
+use crate::sentinel::{Sentinel, SentinelError, SentinelResult};
+
+/// An event forwarded from an application to the global detector.
+#[derive(Debug)]
+pub struct GlobalSignal {
+    /// Originating application.
+    pub app: u32,
+    /// Global leaf name (`app1.price_drop`).
+    pub name: String,
+    /// Flattened parameters of the local occurrence.
+    pub params: Vec<(Arc<str>, Value)>,
+}
+
+/// Cloneable handle applications use to forward events.
+#[derive(Clone)]
+pub struct GlobalHandle {
+    tx: Sender<GlobalSignal>,
+}
+
+impl GlobalHandle {
+    /// Sends one signal (ignored if the global detector is gone).
+    pub fn send(&self, sig: GlobalSignal) {
+        let _ = self.tx.send(sig);
+    }
+}
+
+/// The global event detector + global rule executor.
+pub struct GlobalEventDetector {
+    detector: Arc<LocalEventDetector>,
+    manager: Arc<RuleManager>,
+    tx: Sender<GlobalSignal>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl GlobalEventDetector {
+    /// Spawns the global detector thread.
+    pub fn spawn() -> Arc<Self> {
+        let detector = Arc::new(LocalEventDetector::new(u32::MAX));
+        let manager = Arc::new(RuleManager::new(detector.clone()));
+        // Global rules run inline on the detector thread, each already
+        // decoupled from the triggering applications.
+        let scheduler = RuleScheduler::new(manager.clone(), ExecutionMode::Inline);
+        let (tx, rx): (Sender<GlobalSignal>, Receiver<GlobalSignal>) = unbounded();
+        let g = Arc::new(GlobalEventDetector {
+            detector: detector.clone(),
+            manager,
+            tx,
+            thread: Mutex::new(None),
+        });
+        let det = detector;
+        let sched = scheduler;
+        let handle = std::thread::Builder::new()
+            .name("sentinel-global-detector".into())
+            .spawn(move || {
+                while let Ok(sig) = rx.recv() {
+                    // Global events are outside any transaction: they span
+                    // transactions and applications by design.
+                    let dets = det.signal_explicit(&sig.name, sig.params, None);
+                    sched.dispatch(dets);
+                }
+            })
+            .expect("spawn global detector");
+        *g.thread.lock() = Some(handle);
+        g
+    }
+
+    /// Handle for applications.
+    pub fn handle(&self) -> GlobalHandle {
+        GlobalHandle { tx: self.tx.clone() }
+    }
+
+    /// The global detector's event graph.
+    pub fn detector(&self) -> &Arc<LocalEventDetector> {
+        &self.detector
+    }
+
+    /// Defines a named global composite event over forwarded leaves
+    /// (e.g. `"app1.deposit ^ app2.deposit"`).
+    pub fn define_event(&self, name: &str, expr_src: &str) -> SentinelResult<()> {
+        let expr = parse_event_expr(expr_src)?;
+        // Forwarded leaves are explicit events: auto-declare them.
+        let mut graph_names: Vec<String> = Vec::new();
+        for r in expr.refs() {
+            graph_names.push(r.to_string());
+        }
+        for n in graph_names {
+            self.detector.declare_explicit(&n);
+        }
+        self.detector.define_named(name, &expr)?;
+        Ok(())
+    }
+
+    /// Defines a global rule on a (global) named event. The condition and
+    /// action run on the global detector thread; actions typically open
+    /// their own transactions on some application (detached execution).
+    pub fn define_rule(
+        &self,
+        name: &str,
+        event: &str,
+        condition: CondFn,
+        action: ActionFn,
+    ) -> SentinelResult<RuleId> {
+        let ev = self
+            .detector
+            .lookup(event)
+            .ok_or_else(|| SentinelError::Unknown(event.to_string()))?;
+        Ok(self.manager.define_rule(name, ev, condition, action, RuleOptions::default())?)
+    }
+}
+
+/// The canonical global leaf name for a local event of an application.
+pub fn global_leaf_name(app: u32, event: &str) -> String {
+    format!("app{app}.{event}")
+}
+
+impl Sentinel {
+    /// Forwards every occurrence of local event `event` to the global
+    /// detector (Figure 2 step 5), under the leaf name
+    /// [`global_leaf_name`]`(self.app_id(), event)`.
+    ///
+    /// Implemented, like everything active in Sentinel, as a rule: a system
+    /// rule on the event whose action ships the occurrence's flattened
+    /// parameters over the channel.
+    pub fn forward_to_global(&self, event: &str, handle: &GlobalHandle) -> SentinelResult<()> {
+        let ev = self.event(event)?;
+        let app = self.app_id();
+        let name = global_leaf_name(app, event);
+        let h = handle.clone();
+        self.rules().define_rule(
+            &format!("__forward_{name}"),
+            ev,
+            Arc::new(|_| true),
+            Arc::new(move |inv| {
+                let mut params: Vec<(Arc<str>, Value)> = Vec::new();
+                for prim in inv.occurrence.param_list() {
+                    if let Some(oid) = prim.source {
+                        params.push((Arc::from("oid"), Value::Oid(oid)));
+                    }
+                    params.extend(prim.params.iter().cloned());
+                }
+                h.send(GlobalSignal { app, name: name.clone(), params });
+            }),
+            RuleOptions::default().priority(1),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_detector::graph::PrimTarget;
+    use sentinel_oodb::schema::{AttrType, ClassDef};
+    use sentinel_oodb::{AttrValue, ObjectState};
+    use sentinel_snoop::ast::EventModifier;
+    use crate::sentinel::SentinelConfig;
+    use std::time::Duration;
+
+    fn app(app_id: u32) -> Arc<Sentinel> {
+        let s = Sentinel::in_memory_with(SentinelConfig { app_id, ..SentinelConfig::default() });
+        s.db()
+            .register_class(
+                ClassDef::new("ACCT")
+                    .extends("REACTIVE")
+                    .attr("balance", AttrType::Float)
+                    .method("void deposit(float amt)"),
+            )
+            .unwrap();
+        s.db().register_method(
+            "ACCT",
+            "void deposit(float amt)",
+            Arc::new(|ctx| {
+                let amt = ctx.arg("amt").and_then(AttrValue::as_float).unwrap_or(0.0);
+                let bal = ctx.get_attr("balance")?.as_float().unwrap_or(0.0);
+                ctx.set_attr("balance", bal + amt)?;
+                Ok(AttrValue::Null)
+            }),
+        );
+        s.declare_event("dep", "ACCT", EventModifier::End, "void deposit(float amt)", PrimTarget::AnyInstance)
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn leaf_names_are_stable() {
+        assert_eq!(global_leaf_name(1, "dep"), "app1.dep");
+        assert_eq!(global_leaf_name(42, "order_placed"), "app42.order_placed");
+    }
+
+    #[test]
+    fn inter_application_composite_detected() {
+        let global = GlobalEventDetector::spawn();
+        let app1 = app(1);
+        let app2 = app(2);
+        app1.forward_to_global("dep", &global.handle()).unwrap();
+        app2.forward_to_global("dep", &global.handle()).unwrap();
+        global.define_event("both_deposit", "app1.dep ^ app2.dep").unwrap();
+
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        global
+            .define_rule(
+                "G1",
+                "both_deposit",
+                Arc::new(|_| true),
+                Arc::new(move |inv| {
+                    let _ = tx.send(inv.occurrence.param_list().len());
+                }),
+            )
+            .unwrap();
+
+        // App 1 deposits.
+        let t1 = app1.begin().unwrap();
+        let a1 = app1.create_object(t1, &ObjectState::new("ACCT").with("balance", 0.0)).unwrap();
+        app1.invoke(t1, a1, "void deposit(float amt)", vec![("amt".into(), 10.0.into())]).unwrap();
+        app1.commit(t1).unwrap();
+        assert!(
+            rx.recv_timeout(Duration::from_millis(300)).is_err(),
+            "only one constituent so far"
+        );
+
+        // App 2 deposits -> global AND completes.
+        let t2 = app2.begin().unwrap();
+        let a2 = app2.create_object(t2, &ObjectState::new("ACCT").with("balance", 0.0)).unwrap();
+        app2.invoke(t2, a2, "void deposit(float amt)", vec![("amt".into(), 20.0.into())]).unwrap();
+        app2.commit(t2).unwrap();
+        let prims = rx.recv_timeout(Duration::from_secs(3)).expect("global detection");
+        assert_eq!(prims, 2, "one leaf occurrence per application");
+    }
+
+    #[test]
+    fn global_rule_can_run_detached_transaction_on_an_app() {
+        let global = GlobalEventDetector::spawn();
+        let app1 = app(1);
+        app1.forward_to_global("dep", &global.handle()).unwrap();
+        global.define_event("any_dep", "app1.dep").unwrap();
+
+        let target = app1.clone();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        global
+            .define_rule(
+                "audit",
+                "any_dep",
+                Arc::new(|_| true),
+                Arc::new(move |inv| {
+                    // Detached execution: a fresh top-level transaction on app1.
+                    let t = target.begin().unwrap();
+                    let amt = inv
+                        .occurrence
+                        .param("amt")
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0);
+                    let log = target
+                        .create_object(
+                            t,
+                            &ObjectState::new("ACCT").with("balance", amt),
+                        )
+                        .unwrap();
+                    target.commit(t).unwrap();
+                    let _ = tx.send(log);
+                }),
+            )
+            .unwrap();
+
+        let t = app1.begin().unwrap();
+        let acct = app1.create_object(t, &ObjectState::new("ACCT").with("balance", 0.0)).unwrap();
+        app1.invoke(t, acct, "void deposit(float amt)", vec![("amt".into(), 42.0.into())]).unwrap();
+        app1.commit(t).unwrap();
+
+        let log = rx.recv_timeout(Duration::from_secs(3)).expect("detached audit ran");
+        let t2 = app1.begin().unwrap();
+        assert_eq!(
+            app1.get_object(t2, log).unwrap().get("balance").unwrap().as_float(),
+            Some(42.0)
+        );
+        app1.commit(t2).unwrap();
+    }
+}

@@ -1,0 +1,524 @@
+//! The Sentinel pre-processor.
+//!
+//! In the paper a C++ pre-processor/post-processor pair converts "the
+//! high-level user specification of ECA rules into appropriate code for
+//! event detection, parameter computation, and rule execution" before
+//! compilation. In this reproduction the same surface syntax (§3.1) is
+//! parsed by `sentinel-snoop` and *applied at run time*: classes are
+//! registered in the schema, event interfaces become primitive-event
+//! declarations, named events build the event graph, rules subscribe. The
+//! observable outcome — which events exist, which wrappers notify, which
+//! rules fire — is identical to the compile-time rewrite.
+//!
+//! Condition and action *functions* are C++ globals in the paper; here the
+//! host registers closures in a [`FunctionTable`] under the names the
+//! specification uses (`cond1`, `action1`, …).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sentinel_detector::graph::PrimTarget;
+use sentinel_detector::EventId;
+use sentinel_oodb::schema::{AttrType, ClassDef};
+use sentinel_oodb::{ObjectState, Oid};
+use sentinel_rules::manager::RuleOptions;
+use sentinel_rules::{ActionFn, CondFn, RuleId};
+use sentinel_snoop::ast::EventExpr;
+use sentinel_snoop::spec::{ClassSpec, EventTarget, RuleSpec, SpecItem};
+use sentinel_snoop::parse_spec;
+use sentinel_storage::TxnId;
+
+use crate::sentinel::{Sentinel, SentinelError, SentinelResult};
+
+/// Host-registered condition/action functions, looked up by the names used
+/// in rule specifications.
+#[derive(Default)]
+pub struct FunctionTable {
+    conds: HashMap<String, CondFn>,
+    actions: HashMap<String, ActionFn>,
+}
+
+impl FunctionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a condition function.
+    pub fn condition(
+        mut self,
+        name: &str,
+        f: impl Fn(&sentinel_rules::RuleInvocation) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.conds.insert(name.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Registers an action function.
+    pub fn action(
+        mut self,
+        name: &str,
+        f: impl Fn(&sentinel_rules::RuleInvocation) + Send + Sync + 'static,
+    ) -> Self {
+        self.actions.insert(name.to_string(), Arc::new(f));
+        self
+    }
+
+    fn cond(&self, name: &str) -> SentinelResult<CondFn> {
+        self.conds
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SentinelError::Unknown(format!("condition function `{name}`")))
+    }
+
+    fn act(&self, name: &str) -> SentinelResult<ActionFn> {
+        self.actions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SentinelError::Unknown(format!("action function `{name}`")))
+    }
+}
+
+/// What a specification registered (for tooling/tests).
+#[derive(Debug, Default)]
+pub struct AppliedSpec {
+    /// Classes registered.
+    pub classes: Vec<String>,
+    /// Events declared or defined, `(name, id)`.
+    pub events: Vec<(String, EventId)>,
+    /// Rules defined.
+    pub rules: Vec<RuleId>,
+    /// Named instances created, `(name, oid)`.
+    pub instances: Vec<(String, Oid)>,
+}
+
+/// The pre-processor.
+pub struct Preprocessor<'s> {
+    sentinel: &'s Sentinel,
+}
+
+impl<'s> Preprocessor<'s> {
+    /// A pre-processor bound to a running system.
+    pub fn new(sentinel: &'s Sentinel) -> Self {
+        Preprocessor { sentinel }
+    }
+
+    /// Parses and applies a specification. `txn` is used for instance
+    /// creation and name binding (`Stock IBM;`).
+    pub fn apply(
+        &self,
+        txn: TxnId,
+        src: &str,
+        table: &FunctionTable,
+    ) -> SentinelResult<AppliedSpec> {
+        let items = parse_spec(src)?;
+        let mut applied = AppliedSpec::default();
+        for item in items {
+            match item {
+                SpecItem::Class(spec) => self.apply_class(&spec, table, &mut applied)?,
+                SpecItem::ReactiveDecl(name) => {
+                    // `REACTIVE Stock;` — ensure the class exists and is
+                    // reactive; declare a bare reactive class if unknown.
+                    let known = self.sentinel.db().registry().get(&name).is_some();
+                    if !known {
+                        self.sentinel
+                            .db()
+                            .register_class(ClassDef::new(&name).extends("REACTIVE"))?;
+                        applied.classes.push(name);
+                    }
+                }
+                SpecItem::InstanceDecl { class, name } => {
+                    let oid = self
+                        .sentinel
+                        .create_object(txn, &ObjectState::new(&class))?;
+                    self.sentinel.db().names().bind(txn, &name, oid)?;
+                    applied.instances.push((name, oid));
+                }
+                SpecItem::AppEvent(decl) => {
+                    let target = match &decl.target {
+                        EventTarget::Class(_) => PrimTarget::AnyInstance,
+                        EventTarget::Instance(inst) => {
+                            let oid = self
+                                .sentinel
+                                .db()
+                                .names()
+                                .resolve(inst)
+                                .ok_or_else(|| SentinelError::Unknown(inst.clone()))?;
+                            PrimTarget::Instance(oid.0)
+                        }
+                    };
+                    let class = match &decl.target {
+                        EventTarget::Class(c) => c.clone(),
+                        EventTarget::Instance(inst) => {
+                            // The instance's class.
+                            let oid = self.sentinel.db().names().resolve(inst).expect("resolved");
+                            self.sentinel.get_object(txn, oid)?.class
+                        }
+                    };
+                    let id = self.sentinel.declare_event(
+                        &decl.event_name,
+                        &class,
+                        decl.modifier,
+                        &decl.sig.canonical(),
+                        target,
+                    )?;
+                    if decl.name != decl.event_name {
+                        self.sentinel.detector().alias(&decl.name, id)?;
+                    }
+                    applied.events.push((decl.name, id));
+                }
+                SpecItem::NamedEvent { name, expr } => {
+                    let id = self.sentinel.detector().define_named(&name, &expr)?;
+                    applied.events.push((name, id));
+                }
+                SpecItem::Rule(rule) => {
+                    let id = self.apply_rule(&rule, None, table)?;
+                    applied.rules.push(id);
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    fn apply_class(
+        &self,
+        spec: &ClassSpec,
+        table: &FunctionTable,
+        applied: &mut AppliedSpec,
+    ) -> SentinelResult<()> {
+        // 1. Schema.
+        let mut def = ClassDef::new(&spec.name);
+        if let Some(p) = &spec.parent {
+            def = def.extends(p);
+        }
+        for (ty, name) in &spec.attrs {
+            def = def.attr(name, cxx_type_to_attr(ty));
+        }
+        for m in &spec.methods {
+            def = def.method(&m.canonical());
+        }
+        for me in &spec.method_events {
+            def = def.method(&me.sig.canonical());
+        }
+        self.sentinel.db().register_class(def)?;
+        applied.classes.push(spec.name.clone());
+
+        // 2. Event interface: one primitive event per (modifier, name)
+        //    binding, registered as CLASS.name with a bare alias when free.
+        for me in &spec.method_events {
+            for (modifier, ev_name) in &me.bindings {
+                let qualified = format!("{}.{}", spec.name, ev_name);
+                let id = self.sentinel.declare_event(
+                    &qualified,
+                    &spec.name,
+                    *modifier,
+                    &me.sig.canonical(),
+                    PrimTarget::AnyInstance,
+                )?;
+                let _ = self.sentinel.detector().alias(ev_name, id); // best effort
+                applied.events.push((qualified, id));
+            }
+        }
+
+        // 3. Named composite events, with class-scoped reference
+        //    qualification (`e1` in STOCK resolves to `STOCK.e1`).
+        for (name, expr) in &spec.named_events {
+            let expr = qualify(expr, &spec.name, |n| {
+                self.sentinel.detector().lookup(n).is_some()
+            });
+            let qualified = format!("{}.{}", spec.name, name);
+            let id = self.sentinel.detector().define_named(&qualified, &expr)?;
+            let _ = self.sentinel.detector().alias(name, id);
+            applied.events.push((qualified, id));
+        }
+
+        // 4. Class-level rules.
+        for rule in &spec.rules {
+            let id = self.apply_rule(rule, Some(&spec.name), table)?;
+            applied.rules.push(id);
+        }
+        Ok(())
+    }
+
+    fn apply_rule(
+        &self,
+        rule: &RuleSpec,
+        class: Option<&str>,
+        table: &FunctionTable,
+    ) -> SentinelResult<RuleId> {
+        // Event resolution: class-qualified first (inside a class), then bare.
+        let event = class
+            .map(|c| format!("{c}.{}", rule.event))
+            .and_then(|q| self.sentinel.detector().lookup(&q))
+            .or_else(|| self.sentinel.detector().lookup(&rule.event))
+            .ok_or_else(|| SentinelError::Unknown(rule.event.clone()))?;
+        let opts = RuleOptions {
+            context: rule.context,
+            coupling: rule.coupling,
+            priority: rule.priority,
+            priority_class: rule.priority_class.clone(),
+            trigger: rule.trigger,
+        };
+        Ok(self.sentinel.rules().define_rule(
+            &rule.name,
+            event,
+            table.cond(&rule.condition)?,
+            table.act(&rule.action)?,
+            opts,
+        )?)
+    }
+}
+
+/// Maps a C++ attribute type to the schema type.
+fn cxx_type_to_attr(ty: &str) -> AttrType {
+    match ty {
+        "int" | "long" | "short" | "unsigned" => AttrType::Int,
+        "float" | "double" => AttrType::Float,
+        "bool" => AttrType::Bool,
+        "char*" | "string" | "String" => AttrType::Str,
+        _ => AttrType::Ref,
+    }
+}
+
+/// Rewrites unqualified refs `e` to `CLASS.e` when the qualified name
+/// exists — class-scoped event resolution.
+fn qualify(expr: &EventExpr, class: &str, exists: impl Fn(&str) -> bool + Copy) -> EventExpr {
+    match expr {
+        EventExpr::Ref(n) if !n.contains('.') => {
+            let q = format!("{class}.{n}");
+            if exists(&q) {
+                EventExpr::Ref(q)
+            } else {
+                expr.clone()
+            }
+        }
+        EventExpr::Ref(_) => expr.clone(),
+        EventExpr::And(a, b) => EventExpr::And(
+            Box::new(qualify(a, class, exists)),
+            Box::new(qualify(b, class, exists)),
+        ),
+        EventExpr::Or(a, b) => EventExpr::Or(
+            Box::new(qualify(a, class, exists)),
+            Box::new(qualify(b, class, exists)),
+        ),
+        EventExpr::Seq(a, b) => EventExpr::Seq(
+            Box::new(qualify(a, class, exists)),
+            Box::new(qualify(b, class, exists)),
+        ),
+        EventExpr::Any { m, events } => EventExpr::Any {
+            m: *m,
+            events: events.iter().map(|e| qualify(e, class, exists)).collect(),
+        },
+        EventExpr::Not { inner, start, end } => EventExpr::Not {
+            inner: Box::new(qualify(inner, class, exists)),
+            start: Box::new(qualify(start, class, exists)),
+            end: Box::new(qualify(end, class, exists)),
+        },
+        EventExpr::Aperiodic { start, inner, end } => EventExpr::Aperiodic {
+            start: Box::new(qualify(start, class, exists)),
+            inner: Box::new(qualify(inner, class, exists)),
+            end: Box::new(qualify(end, class, exists)),
+        },
+        EventExpr::AperiodicStar { start, inner, end } => EventExpr::AperiodicStar {
+            start: Box::new(qualify(start, class, exists)),
+            inner: Box::new(qualify(inner, class, exists)),
+            end: Box::new(qualify(end, class, exists)),
+        },
+        EventExpr::Periodic { start, period, end } => EventExpr::Periodic {
+            start: Box::new(qualify(start, class, exists)),
+            period: *period,
+            end: Box::new(qualify(end, class, exists)),
+        },
+        EventExpr::PeriodicStar { start, period, end } => EventExpr::PeriodicStar {
+            start: Box::new(qualify(start, class, exists)),
+            period: *period,
+            end: Box::new(qualify(end, class, exists)),
+        },
+        EventExpr::Plus { inner, delta } => EventExpr::Plus {
+            inner: Box::new(qualify(inner, class, exists)),
+            delta: *delta,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_oodb::AttrValue;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// The paper's §3.1 STOCK class, verbatim modulo `;`.
+    const STOCK_SPEC: &str = r#"
+        class STOCK : public REACTIVE {
+        public:
+            float price;
+            int holdings;
+            event end(e1) int sell_stock(int qty);
+            event begin(e2) && end(e3) void set_price(float price);
+            int get_price();
+            event e4 = e1 ^ e2; /* AND operator */
+            rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW);
+        };
+    "#;
+
+    fn register_bodies(s: &Sentinel) {
+        s.db().register_method(
+            "STOCK",
+            "void set_price(float price)",
+            Arc::new(|ctx| {
+                let p = ctx.arg("price").and_then(AttrValue::as_float).unwrap_or(0.0);
+                ctx.set_attr("price", p)?;
+                Ok(AttrValue::Null)
+            }),
+        );
+        s.db().register_method(
+            "STOCK",
+            "int sell_stock(int qty)",
+            Arc::new(|ctx| {
+                let q = ctx.arg("qty").and_then(|v| v.as_int()).unwrap_or(0);
+                let h = ctx.get_attr("holdings")?.as_int().unwrap_or(0);
+                ctx.set_attr("holdings", h - q)?;
+                Ok(AttrValue::Int(h - q))
+            }),
+        );
+        s.db().register_method("STOCK", "int get_price()", Arc::new(|ctx| ctx.get_attr("price").map(|v| AttrValue::Int(v.as_float().unwrap_or(0.0) as i64))));
+    }
+
+    #[test]
+    fn stock_spec_end_to_end() {
+        let s = Sentinel::in_memory();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        let table = FunctionTable::new()
+            .condition("cond1", |_| true)
+            .action("action1", move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            });
+        let t = s.begin().unwrap();
+        let applied = Preprocessor::new(&s).apply(t, STOCK_SPEC, &table).unwrap();
+        s.commit(t).unwrap();
+        assert_eq!(applied.classes, vec!["STOCK".to_string()]);
+        assert_eq!(applied.rules.len(), 1);
+        assert!(s.detector().lookup("STOCK.e1").is_some());
+        assert!(s.detector().lookup("e4").is_some());
+        register_bodies(&s);
+
+        // Exercise: e1 (sell) then e2 (begin set_price) completes e4; the
+        // rule is DEFERRED so it fires at commit, once.
+        let t = s.begin().unwrap();
+        let oid = s
+            .create_object(
+                t,
+                &ObjectState::new("STOCK").with("price", 10.0).with("holdings", 100),
+            )
+            .unwrap();
+        s.invoke(t, oid, "int sell_stock(int qty)", vec![("qty".into(), 5.into())]).unwrap();
+        s.invoke(t, oid, "void set_price(float price)", vec![("price".into(), 20.0.into())])
+            .unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "deferred until commit");
+        s.commit(t).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn application_level_items_from_the_paper() {
+        let s = Sentinel::in_memory();
+        // First the class, so Stock exists.
+        let t = s.begin().unwrap();
+        let table = FunctionTable::new()
+            .condition("checksalary", |_| true)
+            .action("resetsalary", |_| {});
+        Preprocessor::new(&s)
+            .apply(
+                t,
+                r#"
+                class Stock : public REACTIVE {
+                    float price;
+                    event end(anyset) void set_price(float price);
+                };
+                Stock IBM;
+                event any_stk_price("any_stk_price", "Stock", "begin", "void set_price(float price)");
+                event set_IBM_price("set_IBM_price", IBM, "begin", "void set_price(float price)");
+                rule R1(any_stk_price, checksalary, resetsalary, CHRONICLE, DEFERRED);
+                "#,
+                &table,
+            )
+            .unwrap();
+        s.commit(t).unwrap();
+        assert!(s.db().names().resolve("IBM").is_some());
+        assert!(s.detector().lookup("any_stk_price").is_some());
+        assert!(s.detector().lookup("set_IBM_price").is_some());
+        assert!(s.rules().lookup("R1").is_some());
+    }
+
+    #[test]
+    fn instance_level_event_fires_only_for_named_instance() {
+        let s = Sentinel::in_memory();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        let table = FunctionTable::new()
+            .condition("always", |_| true)
+            .action("count", move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            });
+        let t = s.begin().unwrap();
+        Preprocessor::new(&s)
+            .apply(
+                t,
+                r#"
+                class Stock : public REACTIVE {
+                    float price;
+                    event end(pset) void set_price(float price);
+                };
+                Stock IBM;
+                Stock DEC;
+                event ibm_only("ibm_only", IBM, "end", "void set_price(float price)");
+                rule RI(ibm_only, always, count);
+                "#,
+                &table,
+            )
+            .unwrap();
+        s.db().register_method(
+            "Stock",
+            "void set_price(float price)",
+            Arc::new(|ctx| {
+                let p = ctx.arg("price").and_then(AttrValue::as_float).unwrap_or(0.0);
+                ctx.set_attr("price", p)?;
+                Ok(AttrValue::Null)
+            }),
+        );
+        let ibm = s.db().names().resolve("IBM").unwrap();
+        let dec = s.db().names().resolve("DEC").unwrap();
+        s.invoke(t, dec, "void set_price(float price)", vec![("price".into(), 1.0.into())])
+            .unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "DEC must not fire IBM's event");
+        s.invoke(t, ibm, "void set_price(float price)", vec![("price".into(), 1.0.into())])
+            .unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn missing_function_is_reported() {
+        let s = Sentinel::in_memory();
+        let t = s.begin().unwrap();
+        let err = Preprocessor::new(&s).apply(
+            t,
+            r#"
+            class C : public REACTIVE { event end(e) void m(); };
+            rule R(e, nope, nada);
+            "#,
+            &FunctionTable::new(),
+        );
+        assert!(matches!(err, Err(SentinelError::Unknown(_))));
+        s.abort(t).unwrap();
+    }
+
+    #[test]
+    fn cxx_types_map_sensibly() {
+        assert_eq!(cxx_type_to_attr("int"), AttrType::Int);
+        assert_eq!(cxx_type_to_attr("double"), AttrType::Float);
+        assert_eq!(cxx_type_to_attr("char*"), AttrType::Str);
+        assert_eq!(cxx_type_to_attr("Account*"), AttrType::Ref);
+    }
+}

@@ -1,0 +1,63 @@
+//! Logical clock for event timestamps.
+//!
+//! Snoop semantics depend only on the total order of occurrences and on
+//! logical distances (for `P`/`P*`/`PLUS`), so the detector runs on a
+//! monotonic counter rather than wall time — making online and batch
+//! detection reproducible. The counter is shared with the storage layer's
+//! clock by `sentinel-core` (both tick the same instance semantics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone logical timestamp.
+pub type Timestamp = u64;
+
+/// Process-wide monotonic logical clock.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    now: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A clock starting at tick 0.
+    pub const fn new() -> Self {
+        LogicalClock { now: AtomicU64::new(0) }
+    }
+
+    /// Draws the next tick (strictly increasing across threads).
+    #[inline]
+    pub fn tick(&self) -> Timestamp {
+        self.now.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Reads the current tick without advancing.
+    #[inline]
+    pub fn peek(&self) -> Timestamp {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock to at least `to` (batch replay).
+    pub fn advance_to(&self, to: Timestamp) {
+        self.now.fetch_max(to, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_increase() {
+        let c = LogicalClock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.peek(), 2);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = LogicalClock::new();
+        c.advance_to(10);
+        c.advance_to(4);
+        assert_eq!(c.peek(), 10);
+    }
+}

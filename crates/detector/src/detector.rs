@@ -1,0 +1,914 @@
+//! The local composite event detector.
+//!
+//! One instance exists per application ("the event detector is implemented
+//! as a class and hence we have a single instance of this class per
+//! application", §3.2). Primitive events are signalled by the wrapper
+//! methods via [`LocalEventDetector::notify_method`] (the generated
+//! `Notify(this, "STOCK", "void set_price(float price)", "begin", list)`
+//! call of §3.2.1) or by [`LocalEventDetector::signal_explicit`] for
+//! transaction/abstract events. Detection propagates through the event
+//! graph demand-driven and returns [`Detection`]s for every `(event,
+//! context)` with rule subscribers; rule execution itself lives in
+//! `sentinel-rules`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sentinel_snoop::ast::{EventExpr, EventModifier};
+use sentinel_snoop::ParamContext;
+
+use crate::clock::{LogicalClock, Timestamp};
+use crate::graph::{EventGraph, EventId, GraphError, PrimTarget};
+use crate::log::LoggedEvent;
+use crate::nodes::Emission;
+use crate::occurrence::{Occurrence, Value};
+
+/// Opaque id of a rule (or other consumer) subscribed to an event; the
+/// detector never interprets it.
+pub type SubscriberId = u64;
+
+/// One detected `(event, context)` occurrence, with the subscribers to
+/// notify. The rule scheduler turns these into condition/action threads.
+#[derive(Debug)]
+pub struct Detection {
+    /// The detected event.
+    pub event: EventId,
+    /// Context it was detected in.
+    pub context: ParamContext,
+    /// The occurrence (with its linked parameter list).
+    pub occurrence: Arc<Occurrence>,
+    /// Rule subscribers registered for `(event, context)`.
+    pub subscribers: Vec<SubscriberId>,
+}
+
+/// The local composite event detector (one per application).
+pub struct LocalEventDetector {
+    graph: Mutex<EventGraph>,
+    clock: Arc<LogicalClock>,
+    app: u32,
+    /// When false, primitive-event signalling is suppressed — the paper's
+    /// global flag that prevents events raised *during condition
+    /// evaluation* from being detected (§3.2.1).
+    signaling: AtomicBool,
+    /// Min-heap of pending temporal alarms `(due, node)`.
+    alarms: Mutex<BinaryHeap<Reverse<(Timestamp, EventId)>>>,
+    /// Primitive-event log for batch (after-the-fact) detection.
+    log: Mutex<Option<Vec<LoggedEvent>>>,
+    /// Occurrence counters per event (primitive signals and composite
+    /// detections alike) — the detector-side statistics the rule debugger
+    /// reports.
+    occurrence_counts: Mutex<HashMap<EventId, u64>>,
+    /// Total primitive signals processed.
+    signals: AtomicU64,
+}
+
+/// Detector statistics snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Total primitive-event signals processed (method + explicit).
+    pub signals: u64,
+    /// Per-event occurrence counts, `(name, count)`, sorted by descending
+    /// count then name.
+    pub per_event: Vec<(Arc<str>, u64)>,
+}
+
+impl LocalEventDetector {
+    /// A detector for application `app` with its own clock.
+    pub fn new(app: u32) -> Self {
+        Self::with_clock(app, Arc::new(LogicalClock::new()))
+    }
+
+    /// A detector sharing an external logical clock (the engine clock).
+    ///
+    /// The four transaction events are pre-declared, mirroring Sentinel's
+    /// reactive system class whose event interface makes `beginTransaction`
+    /// / `commitTransaction` generate events (§3.2).
+    pub fn with_clock(app: u32, clock: Arc<LogicalClock>) -> Self {
+        let mut graph = EventGraph::new();
+        for name in [
+            "begin-transaction",
+            "pre-commit-transaction",
+            "commit-transaction",
+            "abort-transaction",
+        ] {
+            graph.declare_explicit(name);
+        }
+        LocalEventDetector {
+            graph: Mutex::new(graph),
+            clock,
+            app,
+            signaling: AtomicBool::new(true),
+            alarms: Mutex::new(BinaryHeap::new()),
+            log: Mutex::new(None),
+            occurrence_counts: Mutex::new(HashMap::new()),
+            signals: AtomicU64::new(0),
+        }
+    }
+
+    /// The application this detector serves.
+    pub fn app(&self) -> u32 {
+        self.app
+    }
+
+    /// The shared logical clock.
+    pub fn clock(&self) -> &Arc<LogicalClock> {
+        &self.clock
+    }
+
+    // --- event definition ---------------------------------------------
+
+    /// Declares a method-event primitive.
+    pub fn declare_primitive(
+        &self,
+        name: &str,
+        class: &str,
+        modifier: EventModifier,
+        sig: &str,
+        target: PrimTarget,
+    ) -> Result<EventId, GraphError> {
+        self.graph.lock().declare_primitive(name, class, modifier, sig, target)
+    }
+
+    /// Declares an explicit (name-matched) event.
+    pub fn declare_explicit(&self, name: &str) -> EventId {
+        self.graph.lock().declare_explicit(name)
+    }
+
+    /// Defines a named composite event from an expression.
+    pub fn define_named(&self, name: &str, expr: &EventExpr) -> Result<EventId, GraphError> {
+        self.graph.lock().define_named(name, expr, false)
+    }
+
+    /// Builds an anonymous composite event.
+    pub fn define_expr(&self, expr: &EventExpr) -> Result<EventId, GraphError> {
+        self.graph.lock().build_expr(expr, false)
+    }
+
+    /// The deferred-coupling rewrite of §3.1: wraps `event` into
+    /// `A*(begin-transaction, event, pre-commit-transaction)`, so a deferred
+    /// rule becomes an immediate rule that fires exactly once per
+    /// transaction at pre-commit, with the cumulative (net-effect)
+    /// parameters of all triggerings.
+    pub fn define_deferred(&self, event: EventId) -> EventId {
+        let mut graph = self.graph.lock();
+        let begin = graph.declare_explicit("begin-transaction");
+        let pre_commit = graph.declare_explicit("pre-commit-transaction");
+        let inner_name = graph.name_of(event);
+        let name = format!("A*(begin-transaction, {inner_name}, pre-commit-transaction)");
+        graph.compose(
+            &name,
+            crate::graph::NodeKind::AperiodicStar { start: begin, mid: event, end: pre_commit },
+        )
+    }
+
+    /// Looks up a named event.
+    pub fn lookup(&self, name: &str) -> Option<EventId> {
+        self.graph.lock().lookup(name)
+    }
+
+    /// Adds an alias name for an existing event.
+    pub fn alias(&self, name: &str, id: EventId) -> Result<(), GraphError> {
+        self.graph.lock().alias(name, id)
+    }
+
+    /// Name of an event.
+    pub fn name_of(&self, id: EventId) -> Arc<str> {
+        self.graph.lock().name_of(id)
+    }
+
+    /// Number of graph nodes (ablation metric).
+    pub fn graph_size(&self) -> usize {
+        self.graph.lock().len()
+    }
+
+    /// Renders the event graph as Graphviz DOT (see [`crate::viz`]).
+    pub fn to_dot(&self) -> String {
+        crate::viz::to_dot(&self.graph.lock())
+    }
+
+    /// Snapshot of detector statistics (signals processed, occurrences per
+    /// event).
+    pub fn stats(&self) -> DetectorStats {
+        let graph = self.graph.lock();
+        let counts = self.occurrence_counts.lock();
+        let mut per_event: Vec<(Arc<str>, u64)> =
+            counts.iter().map(|(id, n)| (graph.name_of(*id), *n)).collect();
+        per_event.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        DetectorStats { signals: self.signals.load(Ordering::Relaxed), per_event }
+    }
+
+    // --- subscriptions ---------------------------------------------------
+
+    /// Subscribes `sub` to `(event, ctx)`; detection in `ctx` starts on the
+    /// counter's 0→1 transition.
+    pub fn subscribe(
+        &self,
+        event: EventId,
+        ctx: ParamContext,
+        sub: SubscriberId,
+    ) -> Result<(), GraphError> {
+        self.graph.lock().subscribe(event, ctx, sub)
+    }
+
+    /// Removes a subscription; state for `ctx` is dropped when the counter
+    /// returns to zero.
+    pub fn unsubscribe(
+        &self,
+        event: EventId,
+        ctx: ParamContext,
+        sub: SubscriberId,
+    ) -> Result<(), GraphError> {
+        self.graph.lock().unsubscribe(event, ctx, sub)
+    }
+
+    // --- signalling -------------------------------------------------------
+
+    /// Enables/disables primitive-event signalling (disabled while a rule
+    /// condition runs, since conditions must be side-effect free, §3.2.1).
+    pub fn set_signaling(&self, on: bool) {
+        self.signaling.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether signalling is currently enabled.
+    pub fn signaling(&self) -> bool {
+        self.signaling.load(Ordering::SeqCst)
+    }
+
+    /// Wrapper-method notification: a method of `class` on object `oid` was
+    /// invoked; `edge` says whether this is the before- or after-call.
+    /// Returns all detections this signal completed.
+    pub fn notify_method(
+        &self,
+        class: &str,
+        sig: &str,
+        edge: EventModifier,
+        oid: u64,
+        params: Vec<(Arc<str>, Value)>,
+        txn: Option<u64>,
+    ) -> Vec<Detection> {
+        if !self.signaling() {
+            return Vec::new();
+        }
+        let ts = self.clock.tick();
+        self.record(LoggedEvent::Method {
+            class: class.to_string(),
+            sig: sig.to_string(),
+            edge,
+            oid,
+            params: params.clone(),
+            txn,
+            ts,
+        });
+        self.notify_method_at(class, sig, edge, oid, params, txn, ts)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn notify_method_at(
+        &self,
+        class: &str,
+        sig: &str,
+        edge: EventModifier,
+        oid: u64,
+        params: Vec<(Arc<str>, Value)>,
+        txn: Option<u64>,
+        ts: Timestamp,
+    ) -> Vec<Detection> {
+        self.signals.fetch_add(1, Ordering::Relaxed);
+        let mut graph = self.graph.lock();
+        let mut detections = self.fire_due_alarms(&mut graph, ts);
+        // "When the local event detector is notified of a method invocation
+        // for a class, the invocation is propagated only to the primitive
+        // events defined for that class" (§3.2).
+        let candidates: Vec<EventId> = graph.class_events(class).to_vec();
+        for leaf in candidates {
+            let node = graph.node(leaf);
+            let crate::graph::NodeKind::Primitive {
+                modifier, sig: node_sig, target, ..
+            } = &node.kind
+            else {
+                continue;
+            };
+            // Signature check, then begin/end variant, then instance filter.
+            if node_sig.as_deref() != Some(sig) {
+                continue;
+            }
+            if !modifier.matches(edge) {
+                continue;
+            }
+            if let PrimTarget::Instance(want) = target {
+                if *want != oid {
+                    continue;
+                }
+            }
+            let occ = Occurrence::primitive(
+                leaf,
+                node.name.clone(),
+                ts,
+                txn,
+                self.app,
+                Some(oid),
+                params.clone(),
+            );
+            detections.extend(self.propagate(&mut graph, leaf, occ, None));
+        }
+        detections
+    }
+
+    /// Signals an explicit/abstract event by name (transaction events,
+    /// user-raised events, forwarded global events). Unknown names are
+    /// declared on the fly.
+    pub fn signal_explicit(
+        &self,
+        name: &str,
+        params: Vec<(Arc<str>, Value)>,
+        txn: Option<u64>,
+    ) -> Vec<Detection> {
+        if !self.signaling() {
+            return Vec::new();
+        }
+        let ts = self.clock.tick();
+        self.record(LoggedEvent::Explicit {
+            name: name.to_string(),
+            params: params.clone(),
+            txn,
+            ts,
+        });
+        self.signal_explicit_at(name, params, txn, ts)
+    }
+
+    fn signal_explicit_at(
+        &self,
+        name: &str,
+        params: Vec<(Arc<str>, Value)>,
+        txn: Option<u64>,
+        ts: Timestamp,
+    ) -> Vec<Detection> {
+        self.signals.fetch_add(1, Ordering::Relaxed);
+        let mut graph = self.graph.lock();
+        let mut detections = self.fire_due_alarms(&mut graph, ts);
+        let leaf = graph.declare_explicit(name);
+        let occ =
+            Occurrence::primitive(leaf, graph.name_of(leaf), ts, txn, self.app, None, params);
+        detections.extend(self.propagate(&mut graph, leaf, occ, None));
+        detections
+    }
+
+    /// Advances logical time (firing due temporal alarms) without signalling
+    /// any event.
+    pub fn advance_time(&self, to: Timestamp) -> Vec<Detection> {
+        self.clock.advance_to(to);
+        let mut graph = self.graph.lock();
+        self.fire_due_alarms(&mut graph, to)
+    }
+
+    // --- propagation core ---------------------------------------------
+
+    /// Pushes an occurrence created at `origin` through the graph.
+    /// `ctx_filter` is None for leaf occurrences (which feed every active
+    /// context of each parent) and Some(c) for operator emissions (which
+    /// stay within their context).
+    fn propagate(
+        &self,
+        graph: &mut EventGraph,
+        origin: EventId,
+        occ: Arc<Occurrence>,
+        ctx_filter: Option<ParamContext>,
+    ) -> Vec<Detection> {
+        let mut detections = Vec::new();
+        let mut work: Vec<(EventId, Arc<Occurrence>, Option<ParamContext>)> =
+            vec![(origin, occ, ctx_filter)];
+        while let Some((node_id, occ, filter)) = work.pop() {
+            // Statistics: one occurrence of this node's event. Composite
+            // occurrences are tagged with their context; count once per
+            // (node, context-or-leaf) pop, which matches detection counts.
+            *self.occurrence_counts.lock().entry(node_id).or_default() += 1;
+            // Deliver to rule subscribers of this node.
+            {
+                let node = graph.node(node_id);
+                match filter {
+                    Some(ctx) => {
+                        if !node.rule_subs[ctx.index()].is_empty() {
+                            detections.push(Detection {
+                                event: node_id,
+                                context: ctx,
+                                occurrence: occ.clone(),
+                                subscribers: node.rule_subs[ctx.index()].clone(),
+                            });
+                        }
+                    }
+                    None => {
+                        // A primitive occurrence satisfies a direct rule
+                        // subscription in any context (contexts only matter
+                        // for composite grouping).
+                        for ctx in ParamContext::ALL {
+                            if !node.rule_subs[ctx.index()].is_empty() {
+                                detections.push(Detection {
+                                    event: node_id,
+                                    context: ctx,
+                                    occurrence: occ.clone(),
+                                    subscribers: node.rule_subs[ctx.index()].clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Feed parents. Edges to the same parent are grouped: a binary
+            // operator whose two children are the same node (`a ; a`)
+            // receives the occurrence once through the dual-role path;
+            // other multi-role deliveries go terminator-role first
+            // (descending), so an occurrence can close a window opened by
+            // an earlier occurrence before re-initiating.
+            let mut parents = graph.node(node_id).parents.clone();
+            parents.sort_by_key(|(p, r)| (p.0, std::cmp::Reverse(*r)));
+            let mut i = 0;
+            while i < parents.len() {
+                let (parent_id, first_role) = parents[i];
+                let mut roles = vec![first_role];
+                while i + 1 < parents.len() && parents[i + 1].0 == parent_id {
+                    i += 1;
+                    roles.push(parents[i].1);
+                }
+                i += 1;
+                let contexts: Vec<ParamContext> = match filter {
+                    Some(c) => {
+                        if graph.node(parent_id).active(c) {
+                            vec![c]
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                    None => ParamContext::ALL
+                        .into_iter()
+                        .filter(|c| graph.node(parent_id).active(*c))
+                        .collect(),
+                };
+                let is_binary = matches!(
+                    graph.node(parent_id).kind,
+                    crate::graph::NodeKind::And(..)
+                        | crate::graph::NodeKind::Or(..)
+                        | crate::graph::NodeKind::Seq(..)
+                );
+                for ctx in contexts {
+                    let emissions = if roles.len() == 2 && is_binary {
+                        graph.node_mut(parent_id).on_child_dual(&occ, ctx)
+                    } else {
+                        let mut ems = Vec::new();
+                        for &role in &roles {
+                            ems.extend(graph.node_mut(parent_id).on_child(role, &occ, ctx));
+                        }
+                        ems
+                    };
+                    let is_temporal = graph.node(parent_id).kind.is_temporal();
+                    for em in emissions {
+                        let comp = self.make_occurrence(graph, parent_id, em);
+                        work.push((parent_id, comp, Some(ctx)));
+                    }
+                    if is_temporal {
+                        self.reschedule(graph, parent_id);
+                    }
+                }
+            }
+        }
+        detections
+    }
+
+    fn make_occurrence(
+        &self,
+        graph: &EventGraph,
+        node: EventId,
+        em: Emission,
+    ) -> Arc<Occurrence> {
+        let name = graph.name_of(node);
+        if em.at.is_none() && em.params.is_empty() {
+            Occurrence::composite(node, name, em.constituents)
+        } else {
+            let mut constituents = em.constituents;
+            constituents.sort_by_key(|o| o.at);
+            let at = em.at.unwrap_or_else(|| constituents.last().map_or(0, |o| o.at));
+            let txn = constituents.last().and_then(|o| o.txn);
+            Arc::new(Occurrence {
+                event: node,
+                event_name: name,
+                at,
+                txn,
+                app: self.app,
+                source: None,
+                params: em.params,
+                constituents,
+            })
+        }
+    }
+
+    fn reschedule(&self, graph: &EventGraph, node: EventId) {
+        if let Some(due) = graph.node(node).earliest_due() {
+            self.alarms.lock().push(Reverse((due, node)));
+        }
+    }
+
+    fn fire_due_alarms(&self, graph: &mut EventGraph, now: Timestamp) -> Vec<Detection> {
+        let mut detections = Vec::new();
+        loop {
+            let next = {
+                let mut alarms = self.alarms.lock();
+                match alarms.peek() {
+                    Some(Reverse((due, _))) if *due <= now => alarms.pop(),
+                    _ => None,
+                }
+            };
+            let Some(Reverse((_, node_id))) = next else { break };
+            for ctx in ParamContext::ALL {
+                if !graph.node(node_id).active(ctx) {
+                    continue;
+                }
+                let emissions = graph.node_mut(node_id).fire_alarms(now, ctx);
+                for em in emissions {
+                    let occ = self.make_occurrence(graph, node_id, em);
+                    detections.extend(self.propagate(graph, node_id, occ, Some(ctx)));
+                }
+            }
+            self.reschedule(graph, node_id);
+        }
+        detections
+    }
+
+    // --- transaction hygiene -------------------------------------------
+
+    /// Flushes every buffered occurrence belonging to `txn` from the whole
+    /// graph (invoked on commit/abort so "events are not carried over across
+    /// transaction boundaries", §3.2 item 3).
+    pub fn flush_txn(&self, txn: u64) {
+        let mut graph = self.graph.lock();
+        let ids: Vec<EventId> = graph.node_ids().collect();
+        for id in ids {
+            graph.node_mut(id).flush_txn(txn);
+        }
+    }
+
+    /// Flushes the state of one event's sub-graph (the paper's selective
+    /// flush for an event expression).
+    pub fn flush_event(&self, event: EventId) {
+        let mut graph = self.graph.lock();
+        let mut stack = vec![event];
+        while let Some(id) = stack.pop() {
+            for (child, _) in graph.node(id).kind.children() {
+                stack.push(child);
+            }
+            graph.node_mut(id).flush_all_state();
+        }
+    }
+
+    /// Flushes the entire event graph.
+    pub fn flush_all(&self) {
+        let mut graph = self.graph.lock();
+        let ids: Vec<EventId> = graph.node_ids().collect();
+        for id in ids {
+            graph.node_mut(id).flush_all_state();
+        }
+        self.alarms.lock().clear();
+    }
+
+    // --- batch (event-log) detection -------------------------------------
+
+    /// Starts recording signalled primitive events.
+    pub fn start_recording(&self) {
+        *self.log.lock() = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the log.
+    pub fn take_log(&self) -> Vec<LoggedEvent> {
+        self.log.lock().take().unwrap_or_default()
+    }
+
+    fn record(&self, ev: LoggedEvent) {
+        if let Some(log) = self.log.lock().as_mut() {
+            log.push(ev);
+        }
+    }
+
+    /// Replays a primitive-event log through this detector's graph (batch /
+    /// after-the-fact detection, §2.1). Timestamps from the log are
+    /// preserved, so batch detection yields exactly the online detections.
+    pub fn replay(&self, log: &[LoggedEvent]) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for ev in log {
+            match ev {
+                LoggedEvent::Method { class, sig, edge, oid, params, txn, ts } => {
+                    self.clock.advance_to(*ts);
+                    out.extend(self.notify_method_at(
+                        class,
+                        sig,
+                        *edge,
+                        *oid,
+                        params.clone(),
+                        *txn,
+                        *ts,
+                    ));
+                }
+                LoggedEvent::Explicit { name, params, txn, ts } => {
+                    self.clock.advance_to(*ts);
+                    out.extend(self.signal_explicit_at(name, params.clone(), *txn, *ts));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_snoop::parse_event_expr;
+
+    const SIG_SELL: &str = "int sell_stock(int qty)";
+    const SIG_SET: &str = "void set_price(float price)";
+
+    fn detector() -> LocalEventDetector {
+        let d = LocalEventDetector::new(0);
+        d.declare_primitive("e1", "STOCK", EventModifier::End, SIG_SELL, PrimTarget::AnyInstance)
+            .unwrap();
+        d.declare_primitive("e2", "STOCK", EventModifier::Begin, SIG_SET, PrimTarget::AnyInstance)
+            .unwrap();
+        d.declare_primitive("e3", "STOCK", EventModifier::End, SIG_SET, PrimTarget::AnyInstance)
+            .unwrap();
+        d
+    }
+
+    fn sell(d: &LocalEventDetector, oid: u64, qty: i64, txn: u64) -> Vec<Detection> {
+        d.notify_method(
+            "STOCK",
+            SIG_SELL,
+            EventModifier::End,
+            oid,
+            vec![(Arc::from("qty"), Value::Int(qty))],
+            Some(txn),
+        )
+    }
+
+    fn set_price(d: &LocalEventDetector, oid: u64, price: f64, txn: u64) -> Vec<Detection> {
+        let mut out = d.notify_method(
+            "STOCK",
+            SIG_SET,
+            EventModifier::Begin,
+            oid,
+            vec![(Arc::from("price"), Value::Float(price))],
+            Some(txn),
+        );
+        out.extend(d.notify_method(
+            "STOCK",
+            SIG_SET,
+            EventModifier::End,
+            oid,
+            vec![(Arc::from("price"), Value::Float(price))],
+            Some(txn),
+        ));
+        out
+    }
+
+    #[test]
+    fn primitive_rule_subscription_fires() {
+        let d = detector();
+        let e1 = d.lookup("e1").unwrap();
+        d.subscribe(e1, ParamContext::Recent, 42).unwrap();
+        let dets = sell(&d, 7, 100, 1);
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].subscribers, vec![42]);
+        assert_eq!(dets[0].occurrence.param("qty"), Some(&Value::Int(100)));
+        assert_eq!(dets[0].occurrence.source, Some(7));
+    }
+
+    #[test]
+    fn begin_and_end_variants_are_distinct() {
+        let d = detector();
+        let e2 = d.lookup("e2").unwrap(); // begin(set_price)
+        let e3 = d.lookup("e3").unwrap(); // end(set_price)
+        d.subscribe(e2, ParamContext::Recent, 2).unwrap();
+        d.subscribe(e3, ParamContext::Recent, 3).unwrap();
+        let dets = set_price(&d, 1, 55.5, 1);
+        assert_eq!(dets.len(), 2);
+        assert_eq!(dets[0].event, e2);
+        assert_eq!(dets[1].event, e3);
+        assert!(dets[0].occurrence.at < dets[1].occurrence.at);
+    }
+
+    #[test]
+    fn composite_and_detects_the_paper_e4() {
+        let d = detector();
+        let expr = parse_event_expr("e1 ^ e2").unwrap();
+        let e4 = d.define_named("e4", &expr).unwrap();
+        d.subscribe(e4, ParamContext::Cumulative, 9).unwrap();
+        assert!(sell(&d, 1, 10, 1).is_empty());
+        let dets = set_price(&d, 1, 2.0, 1);
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].event, e4);
+        assert_eq!(dets[0].context, ParamContext::Cumulative);
+        let prims = dets[0].occurrence.param_list().len();
+        assert_eq!(prims, 2);
+    }
+
+    #[test]
+    fn same_event_detected_in_two_contexts_simultaneously() {
+        let d = detector();
+        let expr = parse_event_expr("e1 ^ e2").unwrap();
+        let e4 = d.define_named("e4", &expr).unwrap();
+        d.subscribe(e4, ParamContext::Recent, 1).unwrap();
+        d.subscribe(e4, ParamContext::Chronicle, 2).unwrap();
+        sell(&d, 1, 10, 1);
+        let dets = set_price(&d, 1, 2.0, 1);
+        let mut ctxs: Vec<_> = dets.iter().map(|d| d.context).collect();
+        ctxs.sort();
+        assert_eq!(ctxs, vec![ParamContext::Recent, ParamContext::Chronicle]);
+    }
+
+    #[test]
+    fn instance_level_event_filters_by_oid() {
+        let d = detector();
+        d.declare_primitive("ibm_sell", "STOCK", EventModifier::End, SIG_SELL, PrimTarget::Instance(77))
+            .unwrap();
+        let ev = d.lookup("ibm_sell").unwrap();
+        d.subscribe(ev, ParamContext::Recent, 5).unwrap();
+        assert!(sell(&d, 1, 10, 1).is_empty(), "other instance ignored");
+        let dets = sell(&d, 77, 10, 1);
+        assert_eq!(dets.len(), 1);
+    }
+
+    #[test]
+    fn class_and_instance_rules_fire_together() {
+        // The paper's any_stk_price (class) + set_IBM_price (instance).
+        let d = detector();
+        d.declare_primitive("any_sell", "STOCK", EventModifier::End, SIG_SELL, PrimTarget::AnyInstance)
+            .unwrap();
+        d.declare_primitive("ibm_sell", "STOCK", EventModifier::End, SIG_SELL, PrimTarget::Instance(77))
+            .unwrap();
+        d.subscribe(d.lookup("any_sell").unwrap(), ParamContext::Recent, 1).unwrap();
+        d.subscribe(d.lookup("ibm_sell").unwrap(), ParamContext::Recent, 2).unwrap();
+        // e1 also matches the same method but has no subscribers.
+        let dets = sell(&d, 77, 10, 1);
+        let mut subs: Vec<_> = dets.iter().flat_map(|d| d.subscribers.clone()).collect();
+        subs.sort();
+        assert_eq!(subs, vec![1, 2]);
+    }
+
+    #[test]
+    fn signaling_disabled_suppresses_events() {
+        let d = detector();
+        let e1 = d.lookup("e1").unwrap();
+        d.subscribe(e1, ParamContext::Recent, 1).unwrap();
+        d.set_signaling(false);
+        assert!(sell(&d, 1, 10, 1).is_empty());
+        d.set_signaling(true);
+        assert_eq!(sell(&d, 1, 10, 1).len(), 1);
+    }
+
+    #[test]
+    fn flush_txn_prevents_cross_transaction_composites() {
+        let d = detector();
+        let expr = parse_event_expr("e1 ; e3").unwrap();
+        let seq = d.define_named("seq13", &expr).unwrap();
+        d.subscribe(seq, ParamContext::Chronicle, 1).unwrap();
+        // T1 raises the initiator, then aborts -> flush.
+        sell(&d, 1, 10, 1);
+        d.flush_txn(1);
+        // T2's terminator must NOT pair with T1's initiator.
+        let dets = set_price(&d, 1, 2.0, 2);
+        assert!(dets.is_empty(), "event crossed a transaction boundary");
+        // Within T2 alone the sequence completes.
+        sell(&d, 1, 10, 2);
+        let dets = set_price(&d, 1, 2.0, 2);
+        assert_eq!(dets.len(), 1);
+    }
+
+    #[test]
+    fn deferred_rewrite_shape_a_star_over_txn_events() {
+        // A*(begin-transaction, e1, pre-commit-transaction): the deferred
+        // coupling rewrite of §3.1 — fires exactly once per transaction.
+        let d = detector();
+        let expr = parse_event_expr(
+            "A*(begin-transaction, e1, pre-commit-transaction)",
+        )
+        .unwrap();
+        let ev = d.define_named("def_rule_event", &expr).unwrap();
+        d.subscribe(ev, ParamContext::Recent, 1).unwrap();
+
+        d.signal_explicit("begin-transaction", Vec::new(), Some(1));
+        sell(&d, 1, 10, 1);
+        sell(&d, 1, 20, 1);
+        sell(&d, 1, 30, 1);
+        let dets = d.signal_explicit("pre-commit-transaction", Vec::new(), Some(1));
+        assert_eq!(dets.len(), 1, "deferred rule executes exactly once");
+        // All three triggerings are in the parameter list (net effect).
+        let prims = dets[0].occurrence.param_list();
+        let sells = prims.iter().filter(|p| &*p.event_name == "e1").count();
+        assert_eq!(sells, 3);
+
+        // Second transaction with no e1: no firing at pre-commit.
+        d.signal_explicit("begin-transaction", Vec::new(), Some(2));
+        let dets = d.signal_explicit("pre-commit-transaction", Vec::new(), Some(2));
+        assert!(dets.is_empty());
+    }
+
+    #[test]
+    fn temporal_plus_fires_via_clock_advance() {
+        let d = detector();
+        let expr = parse_event_expr("PLUS(e1, 100)").unwrap();
+        let ev = d.define_named("late", &expr).unwrap();
+        d.subscribe(ev, ParamContext::Recent, 1).unwrap();
+        sell(&d, 1, 10, 1); // ts = 1, due = 101
+        assert!(d.advance_time(100).is_empty());
+        let dets = d.advance_time(101);
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].occurrence.at, 101);
+    }
+
+    #[test]
+    fn periodic_fires_between_start_and_end_events() {
+        let d = detector();
+        let expr = parse_event_expr("P(e1, 10, e3)").unwrap();
+        let ev = d.define_named("tick", &expr).unwrap();
+        d.subscribe(ev, ParamContext::Recent, 1).unwrap();
+        sell(&d, 1, 10, 1); // ts=1 -> ticks at 11, 21, …
+        let dets = d.advance_time(25);
+        assert_eq!(dets.len(), 2);
+        assert_eq!(dets[0].occurrence.at, 11);
+        assert_eq!(dets[1].occurrence.at, 21);
+        set_price(&d, 1, 1.0, 1); // end closes the window
+        assert!(d.advance_time(100).is_empty());
+    }
+
+    #[test]
+    fn batch_replay_reproduces_online_detections() {
+        // Online run with recording.
+        let online = detector();
+        let expr = parse_event_expr("e1 ^ e2").unwrap();
+        let e4 = online.define_named("e4", &expr).unwrap();
+        online.subscribe(e4, ParamContext::Chronicle, 1).unwrap();
+        online.start_recording();
+        sell(&online, 1, 10, 1);
+        let online_dets = set_price(&online, 1, 2.0, 1);
+        let log = online.take_log();
+        assert_eq!(log.len(), 3);
+
+        // Batch run over the stored log with the same graph shape.
+        let batch = detector();
+        let e4b = batch.define_named("e4", &expr).unwrap();
+        batch.subscribe(e4b, ParamContext::Chronicle, 1).unwrap();
+        let batch_dets = batch.replay(&log);
+        assert_eq!(batch_dets.len(), online_dets.len());
+        assert_eq!(
+            batch_dets[0].occurrence.param_list().len(),
+            online_dets[0].occurrence.param_list().len()
+        );
+        assert_eq!(batch_dets[0].occurrence.at, online_dets[0].occurrence.at);
+    }
+
+    #[test]
+    fn unsubscribe_stops_detection_when_counter_zero() {
+        let d = detector();
+        let expr = parse_event_expr("e1 ^ e2").unwrap();
+        let e4 = d.define_named("e4", &expr).unwrap();
+        d.subscribe(e4, ParamContext::Recent, 1).unwrap();
+        sell(&d, 1, 10, 1);
+        d.unsubscribe(e4, ParamContext::Recent, 1).unwrap();
+        // Buffered state dropped; re-subscribing starts fresh (NOW-like).
+        d.subscribe(e4, ParamContext::Recent, 1).unwrap();
+        let dets = set_price(&d, 1, 2.0, 1);
+        assert!(dets.is_empty(), "old initiator must be gone");
+    }
+
+    #[test]
+    fn stats_count_signals_and_per_event_occurrences() {
+        let d = detector();
+        let expr = parse_event_expr("e1 ^ e2").unwrap();
+        let e4 = d.define_named("e4", &expr).unwrap();
+        d.subscribe(e4, ParamContext::Recent, 1).unwrap();
+        sell(&d, 1, 10, 1); // e1
+        sell(&d, 1, 20, 1); // e1
+        set_price(&d, 1, 2.0, 1); // e2 + e3 (two signals) -> e4 detected
+        let stats = d.stats();
+        assert_eq!(stats.signals, 4);
+        let count = |name: &str| {
+            stats.per_event.iter().find(|(n, _)| &**n == name).map(|(_, c)| *c).unwrap_or(0)
+        };
+        assert_eq!(count("e1"), 2);
+        assert_eq!(count("e2"), 1);
+        assert_eq!(count("e4"), 1, "composite detections counted too");
+    }
+
+    #[test]
+    fn nested_composites_flow_upward() {
+        let d = detector();
+        let expr = parse_event_expr("(e1 ^ e2) ; e3").unwrap();
+        let ev = d.define_named("nested", &expr).unwrap();
+        d.subscribe(ev, ParamContext::Chronicle, 1).unwrap();
+        sell(&d, 1, 10, 1); // e1
+        // set_price raises begin(e2) at t2 and end(e3) at t3:
+        // (e1 ^ e2) completes at t2, then e3 at t3 completes the SEQ.
+        let dets = set_price(&d, 1, 2.0, 1);
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].occurrence.param_list().len(), 3);
+    }
+}

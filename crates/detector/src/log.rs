@@ -1,0 +1,402 @@
+//! Primitive-event log for batch (after-the-fact) detection.
+//!
+//! The paper requires the composite event detector to "support detection of
+//! events as they happen (online) when it is coupled to an application or
+//! over a stored event-log (in batch mode)" (§2.1). The detector records
+//! each signalled primitive event as a [`LoggedEvent`]; replaying the log
+//! through a detector with the same event graph reproduces the online
+//! detections exactly (timestamps are preserved).
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sentinel_snoop::ast::EventModifier;
+
+use crate::clock::Timestamp;
+use crate::occurrence::Value;
+
+/// One recorded primitive event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoggedEvent {
+    /// A wrapper-method notification.
+    Method {
+        /// Class of the invoked method.
+        class: String,
+        /// Canonical method signature.
+        sig: String,
+        /// Which invocation edge.
+        edge: EventModifier,
+        /// Receiver object.
+        oid: u64,
+        /// Collected parameters.
+        params: Vec<(Arc<str>, Value)>,
+        /// Enclosing transaction.
+        txn: Option<u64>,
+        /// Logical occurrence time.
+        ts: Timestamp,
+    },
+    /// An explicit (name-matched) event.
+    Explicit {
+        /// Event name.
+        name: String,
+        /// Attached parameters.
+        params: Vec<(Arc<str>, Value)>,
+        /// Enclosing transaction.
+        txn: Option<u64>,
+        /// Logical occurrence time.
+        ts: Timestamp,
+    },
+}
+
+impl LoggedEvent {
+    /// Logical time of the logged event.
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            LoggedEvent::Method { ts, .. } | LoggedEvent::Explicit { ts, .. } => *ts,
+        }
+    }
+
+    /// Transaction of the logged event.
+    pub fn txn(&self) -> Option<u64> {
+        match self {
+            LoggedEvent::Method { txn, .. } | LoggedEvent::Explicit { txn, .. } => *txn,
+        }
+    }
+}
+
+// --- persistent event logs --------------------------------------------
+
+fn put_str(out: &mut BytesMut, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Option<String> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    String::from_utf8(buf.split_to(len).to_vec()).ok()
+}
+
+fn put_value(out: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.put_u8(0);
+            out.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            out.put_u8(1);
+            out.put_f64_le(*f);
+        }
+        Value::Bool(b) => {
+            out.put_u8(2);
+            out.put_u8(u8::from(*b));
+        }
+        Value::Str(s) => {
+            out.put_u8(3);
+            put_str(out, s);
+        }
+        Value::Oid(o) => {
+            out.put_u8(4);
+            out.put_u64_le(*o);
+        }
+        Value::Null => out.put_u8(5),
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Option<Value> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    Some(match buf.get_u8() {
+        0 => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            Value::Int(buf.get_i64_le())
+        }
+        1 => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            Value::Float(buf.get_f64_le())
+        }
+        2 => {
+            if buf.remaining() < 1 {
+                return None;
+            }
+            Value::Bool(buf.get_u8() != 0)
+        }
+        3 => Value::Str(Arc::from(get_str(buf)?)),
+        4 => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            Value::Oid(buf.get_u64_le())
+        }
+        5 => Value::Null,
+        _ => return None,
+    })
+}
+
+fn put_params(out: &mut BytesMut, params: &[(Arc<str>, Value)]) {
+    out.put_u32_le(params.len() as u32);
+    for (n, v) in params {
+        put_str(out, n);
+        put_value(out, v);
+    }
+}
+
+fn get_params(buf: &mut Bytes) -> Option<Vec<(Arc<str>, Value)>> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = Arc::from(get_str(buf)?);
+        let value = get_value(buf)?;
+        out.push((name, value));
+    }
+    Some(out)
+}
+
+fn put_opt_txn(out: &mut BytesMut, txn: Option<u64>) {
+    match txn {
+        Some(t) => {
+            out.put_u8(1);
+            out.put_u64_le(t);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn get_opt_txn(buf: &mut Bytes) -> Option<Option<u64>> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        0 => Some(None),
+        1 => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            Some(Some(buf.get_u64_le()))
+        }
+        _ => None,
+    }
+}
+
+fn modifier_tag(m: EventModifier) -> u8 {
+    match m {
+        EventModifier::Begin => 0,
+        EventModifier::End => 1,
+        EventModifier::Both => 2,
+    }
+}
+
+fn modifier_from(tag: u8) -> Option<EventModifier> {
+    Some(match tag {
+        0 => EventModifier::Begin,
+        1 => EventModifier::End,
+        2 => EventModifier::Both,
+        _ => return None,
+    })
+}
+
+/// Serializes an event log into a self-contained byte stream, so stored
+/// logs survive process restarts and can be audited elsewhere (the paper's
+/// "stored event-log" for batch detection).
+pub fn encode_log(log: &[LoggedEvent]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_slice(b"SLOG");
+    out.put_u32_le(1); // format version
+    out.put_u64_le(log.len() as u64);
+    for ev in log {
+        match ev {
+            LoggedEvent::Method { class, sig, edge, oid, params, txn, ts } => {
+                out.put_u8(0);
+                put_str(&mut out, class);
+                put_str(&mut out, sig);
+                out.put_u8(modifier_tag(*edge));
+                out.put_u64_le(*oid);
+                put_params(&mut out, params);
+                put_opt_txn(&mut out, *txn);
+                out.put_u64_le(*ts);
+            }
+            LoggedEvent::Explicit { name, params, txn, ts } => {
+                out.put_u8(1);
+                put_str(&mut out, name);
+                put_params(&mut out, params);
+                put_opt_txn(&mut out, *txn);
+                out.put_u64_le(*ts);
+            }
+        }
+    }
+    out.freeze()
+}
+
+/// Deserializes a stored event log; `None` on any corruption.
+pub fn decode_log(mut buf: Bytes) -> Option<Vec<LoggedEvent>> {
+    if buf.remaining() < 16 || &buf.split_to(4)[..] != b"SLOG" {
+        return None;
+    }
+    if buf.get_u32_le() != 1 {
+        return None;
+    }
+    let n = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let ev = match buf.get_u8() {
+            0 => {
+                let class = get_str(&mut buf)?;
+                let sig = get_str(&mut buf)?;
+                if buf.remaining() < 9 {
+                    return None;
+                }
+                let edge = modifier_from(buf.get_u8())?;
+                let oid = buf.get_u64_le();
+                let params = get_params(&mut buf)?;
+                let txn = get_opt_txn(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let ts = buf.get_u64_le();
+                LoggedEvent::Method { class, sig, edge, oid, params, txn, ts }
+            }
+            1 => {
+                let name = get_str(&mut buf)?;
+                let params = get_params(&mut buf)?;
+                let txn = get_opt_txn(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let ts = buf.get_u64_le();
+                LoggedEvent::Explicit { name, params, txn, ts }
+            }
+            _ => return None,
+        };
+        out.push(ev);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let ev = LoggedEvent::Explicit {
+            name: "begin-transaction".into(),
+            params: Vec::new(),
+            txn: Some(3),
+            ts: 17,
+        };
+        assert_eq!(ev.ts(), 17);
+        assert_eq!(ev.txn(), Some(3));
+    }
+
+    fn sample_log() -> Vec<LoggedEvent> {
+        vec![
+            LoggedEvent::Explicit {
+                name: "begin-transaction".into(),
+                params: Vec::new(),
+                txn: Some(3),
+                ts: 1,
+            },
+            LoggedEvent::Method {
+                class: "STOCK".into(),
+                sig: "void set_price(float price)".into(),
+                edge: EventModifier::Begin,
+                oid: 42,
+                params: vec![
+                    (Arc::from("price"), Value::Float(99.5)),
+                    (Arc::from("sym"), Value::str("IBM")),
+                    (Arc::from("active"), Value::Bool(true)),
+                    (Arc::from("ref"), Value::Oid(7)),
+                    (Arc::from("nothing"), Value::Null),
+                    (Arc::from("qty"), Value::Int(-3)),
+                ],
+                txn: None,
+                ts: 2,
+            },
+            LoggedEvent::Method {
+                class: "STOCK".into(),
+                sig: "int get_price()".into(),
+                edge: EventModifier::End,
+                oid: 0,
+                params: Vec::new(),
+                txn: Some(u64::MAX),
+                ts: u64::MAX,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let log = sample_log();
+        let bytes = encode_log(&log);
+        assert_eq!(decode_log(bytes).unwrap(), log);
+    }
+
+    #[test]
+    fn empty_log_roundtrip() {
+        assert_eq!(decode_log(encode_log(&[])).unwrap(), Vec::<LoggedEvent>::new());
+    }
+
+    #[test]
+    fn corruption_yields_none_not_panic() {
+        let bytes = encode_log(&sample_log());
+        // Truncations at every prefix length must fail cleanly or decode
+        // fully (only the full length decodes).
+        for cut in 0..bytes.len() - 1 {
+            assert!(decode_log(bytes.slice(0..cut)).is_none(), "cut at {cut}");
+        }
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(decode_log(Bytes::from(bad)).is_none());
+        // Bad version.
+        let mut bad = bytes.to_vec();
+        bad[4] = 9;
+        assert!(decode_log(Bytes::from(bad)).is_none());
+    }
+
+    #[test]
+    fn persisted_log_replays_identically() {
+        use crate::graph::PrimTarget;
+        use crate::LocalEventDetector;
+        use sentinel_snoop::{parse_event_expr, ParamContext};
+
+        let online = LocalEventDetector::new(0);
+        online
+            .declare_primitive("m", "C", EventModifier::End, "void f()", PrimTarget::AnyInstance)
+            .unwrap();
+        let seq = online.define_named("mm", &parse_event_expr("(m ; m)").unwrap()).unwrap();
+        online.subscribe(seq, ParamContext::Chronicle, 1).unwrap();
+        online.start_recording();
+        for _ in 0..4 {
+            online.notify_method("C", "void f()", EventModifier::End, 1, Vec::new(), Some(9));
+        }
+        let stored = encode_log(&online.take_log());
+
+        // "Later, elsewhere": decode and replay.
+        let restored = decode_log(stored).unwrap();
+        let batch = LocalEventDetector::new(1);
+        batch
+            .declare_primitive("m", "C", EventModifier::End, "void f()", PrimTarget::AnyInstance)
+            .unwrap();
+        let seq = batch.define_named("mm", &parse_event_expr("(m ; m)").unwrap()).unwrap();
+        batch.subscribe(seq, ParamContext::Chronicle, 1).unwrap();
+        let dets = batch.replay(&restored);
+        assert_eq!(dets.len(), 2, "4 m's -> 2 chronicle pairs");
+    }
+}

@@ -1,0 +1,1203 @@
+//! Snoop operator semantics in the four parameter contexts.
+//!
+//! Each graph node keeps one [`CtxState`] per context, populated lazily
+//! while the context's subscription counter is non-zero. An arriving child
+//! occurrence is fed to [`Node::on_child`], which applies the operator's
+//! pairing/consumption policy for the given context and returns zero or
+//! more *emissions* (constituent groups that become composite occurrences
+//! of this node).
+//!
+//! Consumption policies (VLDB '94 semantics, see crate docs and DESIGN.md):
+//!
+//! * **Recent** — buffers hold only the most recent occurrence per role and
+//!   are *not* consumed by detection.
+//! * **Chronicle** — FIFO pairing, participants consumed.
+//! * **Continuous** — every initiator opens a window; one terminator fires
+//!   all open windows and consumes them.
+//! * **Cumulative** — everything buffered participates in (and is consumed
+//!   by) the next detection.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use sentinel_snoop::ParamContext;
+
+use crate::clock::Timestamp;
+use crate::graph::{Node, NodeKind};
+use crate::occurrence::{Occurrence, Value};
+
+/// An open detection window (for `NOT`, `A`, `A*`, `P`, `P*`).
+#[derive(Debug, Clone, Default)]
+pub struct Window {
+    /// The initiating occurrence.
+    pub start: Option<Arc<Occurrence>>,
+    /// Accumulated middle occurrences (`A`/`A*`).
+    pub mids: Vec<Arc<Occurrence>>,
+    /// Next periodic alarm (for `P`/`P*`).
+    pub next_due: Option<Timestamp>,
+    /// Accumulated periodic ticks (for `P*`).
+    pub ticks: Vec<Timestamp>,
+}
+
+/// Per-context runtime state of a node.
+#[derive(Debug, Default)]
+pub struct CtxState {
+    /// Role-indexed occurrence buffers (binary operators, ANY).
+    pub bufs: Vec<VecDeque<Arc<Occurrence>>>,
+    /// Open windows (interval operators).
+    pub windows: VecDeque<Window>,
+    /// Timestamp of the last `inner` occurrence (recent-context NOT).
+    pub last_inner: Option<Timestamp>,
+    /// Pending `PLUS` alarms: `(due, anchor)`.
+    pub pending: Vec<(Timestamp, Arc<Occurrence>)>,
+}
+
+impl CtxState {
+    fn buf(&mut self, role: usize, n: usize) -> &mut VecDeque<Arc<Occurrence>> {
+        if self.bufs.len() < n {
+            self.bufs.resize_with(n, VecDeque::new);
+        }
+        &mut self.bufs[role]
+    }
+
+    /// Whether this state holds anything (diagnostics).
+    pub fn is_empty(&self) -> bool {
+        self.bufs.iter().all(VecDeque::is_empty)
+            && self.windows.is_empty()
+            && self.pending.is_empty()
+    }
+}
+
+/// One detection produced by a node: the constituents of the new composite
+/// occurrence, plus optional extra parameters and an explicit occurrence
+/// time (used by temporal operators whose time is the alarm tick, not a
+/// constituent's tick).
+#[derive(Debug)]
+pub struct Emission {
+    /// Constituent occurrences (will be sorted chronologically).
+    pub constituents: Vec<Arc<Occurrence>>,
+    /// Extra parameters attached to the composite (e.g. periodic ticks).
+    pub params: Vec<(Arc<str>, Value)>,
+    /// Occurrence time override (None ⇒ latest constituent).
+    pub at: Option<Timestamp>,
+}
+
+impl Emission {
+    fn of(constituents: Vec<Arc<Occurrence>>) -> Emission {
+        Emission { constituents, params: Vec::new(), at: None }
+    }
+}
+
+impl Node {
+    /// Feeds a child occurrence (arriving in `role`) for context `ctx`.
+    ///
+    /// The caller guarantees `self.active(ctx)`.
+    pub fn on_child(
+        &mut self,
+        role: u8,
+        occ: &Arc<Occurrence>,
+        ctx: ParamContext,
+    ) -> Vec<Emission> {
+        let state = &mut self.state[ctx.index()];
+        match &self.kind {
+            NodeKind::Primitive { .. } => Vec::new(), // leaves have no children
+            NodeKind::Or(_, _) => vec![Emission::of(vec![occ.clone()])],
+            NodeKind::And(_, _) => on_and(state, role, occ, ctx),
+            NodeKind::Seq(_, _) => on_seq(state, role, occ, ctx),
+            NodeKind::Any { m, children } => {
+                let (m, n) = (*m as usize, children.len());
+                on_any(state, role, occ, ctx, m, n)
+            }
+            NodeKind::Not { .. } => on_not(state, role, occ, ctx),
+            NodeKind::Aperiodic { .. } => on_aperiodic(state, role, occ, ctx),
+            NodeKind::AperiodicStar { .. } => on_aperiodic_star(state, role, occ, ctx),
+            NodeKind::Periodic { period, .. } => {
+                let period = *period;
+                on_periodic(state, role, occ, ctx, period, false)
+            }
+            NodeKind::PeriodicStar { period, .. } => {
+                let period = *period;
+                on_periodic(state, role, occ, ctx, period, true)
+            }
+            NodeKind::Plus { delta, .. } => {
+                let delta = *delta;
+                state.pending.push((occ.at + delta, occ.clone()));
+                Vec::new()
+            }
+        }
+    }
+
+    /// Feeds an occurrence that arrives in *both* roles of a binary
+    /// operator at once — self-composition like `a ; a` ("two consecutive
+    /// a's") or `a ^ a` ("a occurred twice"), where the left and right
+    /// children are the same node.
+    ///
+    /// Semantics: a single buffer of prior occurrences; the new occurrence
+    /// first tries to *terminate* (pair with buffered predecessors per the
+    /// context policy), then — in non-consuming recent context always, in
+    /// consuming contexts only when it did not terminate — becomes an
+    /// initiator itself. `OR` self-composition fires exactly once per
+    /// occurrence.
+    pub fn on_child_dual(&mut self, occ: &Arc<Occurrence>, ctx: ParamContext) -> Vec<Emission> {
+        let state = &mut self.state[ctx.index()];
+        match &self.kind {
+            NodeKind::Or(_, _) => vec![Emission::of(vec![occ.clone()])],
+            NodeKind::And(_, _) | NodeKind::Seq(_, _) => {
+                let buf = state.buf(0, 2);
+                match ctx {
+                    ParamContext::Recent => {
+                        let out = buf
+                            .back()
+                            .map(|prev| vec![Emission::of(vec![prev.clone(), occ.clone()])])
+                            .unwrap_or_default();
+                        buf.clear();
+                        buf.push_back(occ.clone());
+                        out
+                    }
+                    ParamContext::Chronicle => {
+                        if let Some(prev) = buf.pop_front() {
+                            vec![Emission::of(vec![prev, occ.clone()])]
+                        } else {
+                            buf.push_back(occ.clone());
+                            Vec::new()
+                        }
+                    }
+                    ParamContext::Continuous => {
+                        if buf.is_empty() {
+                            buf.push_back(occ.clone());
+                            Vec::new()
+                        } else {
+                            let out: Vec<Emission> = buf
+                                .drain(..)
+                                .map(|prev| Emission::of(vec![prev, occ.clone()]))
+                                .collect();
+                            buf.push_back(occ.clone());
+                            out
+                        }
+                    }
+                    ParamContext::Cumulative => {
+                        if buf.is_empty() {
+                            buf.push_back(occ.clone());
+                            Vec::new()
+                        } else {
+                            let mut cons: Vec<_> = buf.drain(..).collect();
+                            cons.push(occ.clone());
+                            vec![Emission::of(cons)]
+                        }
+                    }
+                }
+            }
+            // Other operators with duplicated children keep per-role
+            // delivery (handled by the caller in descending role order).
+            _ => Vec::new(),
+        }
+    }
+
+    /// Fires all temporal alarms due at or before `now` for context `ctx`.
+    pub fn fire_alarms(&mut self, now: Timestamp, ctx: ParamContext) -> Vec<Emission> {
+        let state = &mut self.state[ctx.index()];
+        match &self.kind {
+            NodeKind::Plus { .. } => {
+                let mut due: Vec<(Timestamp, Arc<Occurrence>)> = Vec::new();
+                state.pending.retain(|(d, o)| {
+                    if *d <= now {
+                        due.push((*d, o.clone()));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                due.sort_by_key(|(d, _)| *d);
+                due.into_iter()
+                    .map(|(d, o)| Emission {
+                        constituents: vec![o],
+                        params: vec![(Arc::from("fired_at"), Value::Int(d as i64))],
+                        at: Some(d),
+                    })
+                    .collect()
+            }
+            NodeKind::Periodic { period, .. } => {
+                let period = *period;
+                let mut out = Vec::new();
+                for w in state.windows.iter_mut() {
+                    while let Some(d) = w.next_due {
+                        if d > now {
+                            break;
+                        }
+                        let mut cons = Vec::new();
+                        if let Some(s) = &w.start {
+                            cons.push(s.clone());
+                        }
+                        out.push(Emission {
+                            constituents: cons,
+                            params: vec![(Arc::from("tick"), Value::Int(d as i64))],
+                            at: Some(d),
+                        });
+                        w.next_due = Some(d + period);
+                    }
+                }
+                out
+            }
+            NodeKind::PeriodicStar { period, .. } => {
+                let period = *period;
+                for w in state.windows.iter_mut() {
+                    while let Some(d) = w.next_due {
+                        if d > now {
+                            break;
+                        }
+                        w.ticks.push(d);
+                        w.next_due = Some(d + period);
+                    }
+                }
+                Vec::new() // P* only emits at `end`
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Earliest pending alarm across all contexts (None if none).
+    pub fn earliest_due(&self) -> Option<Timestamp> {
+        let mut best: Option<Timestamp> = None;
+        for state in &self.state {
+            for (d, _) in &state.pending {
+                best = Some(best.map_or(*d, |b| b.min(*d)));
+            }
+            for w in &state.windows {
+                if let Some(d) = w.next_due {
+                    best = Some(best.map_or(d, |b| b.min(d)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Removes every buffered occurrence that involves transaction `txn`
+    /// (events must not cross transaction boundaries, §3.2 item 3).
+    pub fn flush_txn(&mut self, txn: u64) {
+        for state in &mut self.state {
+            for buf in &mut state.bufs {
+                buf.retain(|o| !o.involves_txn(txn));
+            }
+            state
+                .windows
+                .retain(|w| !w.start.as_ref().is_some_and(|s| s.involves_txn(txn)));
+            for w in &mut state.windows {
+                w.mids.retain(|o| !o.involves_txn(txn));
+            }
+            state.pending.retain(|(_, o)| !o.involves_txn(txn));
+        }
+    }
+
+    /// Clears all buffered state in every context (full event-graph flush).
+    pub fn flush_all_state(&mut self) {
+        for state in &mut self.state {
+            *state = CtxState::default();
+        }
+    }
+}
+
+// --- AND ------------------------------------------------------------------
+
+fn on_and(
+    state: &mut CtxState,
+    role: u8,
+    occ: &Arc<Occurrence>,
+    ctx: ParamContext,
+) -> Vec<Emission> {
+    let other = 1 - role as usize;
+    let role = role as usize;
+    match ctx {
+        ParamContext::Recent => {
+            let buf = state.buf(role, 2);
+            buf.clear();
+            buf.push_back(occ.clone());
+            state.bufs[other]
+                .back()
+                .map(|o| vec![Emission::of(vec![o.clone(), occ.clone()])])
+                .unwrap_or_default()
+        }
+        ParamContext::Chronicle => {
+            state.buf(role, 2).push_back(occ.clone());
+            let mut out = Vec::new();
+            while !state.bufs[0].is_empty() && !state.bufs[1].is_empty() {
+                let l = state.bufs[0].pop_front().unwrap();
+                let r = state.bufs[1].pop_front().unwrap();
+                out.push(Emission::of(vec![l, r]));
+            }
+            out
+        }
+        ParamContext::Continuous => {
+            state.buf(role, 2);
+            if state.bufs[other].is_empty() {
+                state.bufs[role].push_back(occ.clone());
+                Vec::new()
+            } else {
+                let partners: Vec<_> = state.bufs[other].drain(..).collect();
+                partners
+                    .into_iter()
+                    .map(|p| Emission::of(vec![p, occ.clone()]))
+                    .collect()
+            }
+        }
+        ParamContext::Cumulative => {
+            state.buf(role, 2).push_back(occ.clone());
+            if !state.bufs[0].is_empty() && !state.bufs[1].is_empty() {
+                let mut cons: Vec<_> = state.bufs[0].drain(..).collect();
+                cons.extend(state.bufs[1].drain(..));
+                vec![Emission::of(cons)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+// --- SEQ ------------------------------------------------------------------
+
+fn on_seq(
+    state: &mut CtxState,
+    role: u8,
+    occ: &Arc<Occurrence>,
+    ctx: ParamContext,
+) -> Vec<Emission> {
+    match (role, ctx) {
+        (0, ParamContext::Recent) => {
+            let buf = state.buf(0, 2);
+            buf.clear();
+            buf.push_back(occ.clone());
+            Vec::new()
+        }
+        (0, _) => {
+            state.buf(0, 2).push_back(occ.clone());
+            Vec::new()
+        }
+        (1, ParamContext::Recent) => state
+            .buf(0, 2)
+            .back()
+            .filter(|l| l.at < occ.at)
+            .map(|l| vec![Emission::of(vec![l.clone(), occ.clone()])])
+            .unwrap_or_default(),
+        (1, ParamContext::Chronicle) => {
+            // Oldest initiator strictly before the terminator.
+            let buf = state.buf(0, 2);
+            if buf.front().is_some_and(|l| l.at < occ.at) {
+                let l = buf.pop_front().unwrap();
+                vec![Emission::of(vec![l, occ.clone()])]
+            } else {
+                Vec::new()
+            }
+        }
+        (1, ParamContext::Continuous) => {
+            let buf = state.buf(0, 2);
+            let lefts: Vec<_> = buf.iter().filter(|l| l.at < occ.at).cloned().collect();
+            buf.retain(|l| l.at >= occ.at);
+            lefts.into_iter().map(|l| Emission::of(vec![l, occ.clone()])).collect()
+        }
+        (1, ParamContext::Cumulative) => {
+            let buf = state.buf(0, 2);
+            if buf.iter().any(|l| l.at < occ.at) {
+                let mut cons: Vec<_> = buf.iter().filter(|l| l.at < occ.at).cloned().collect();
+                buf.retain(|l| l.at >= occ.at);
+                cons.push(occ.clone());
+                vec![Emission::of(cons)]
+            } else {
+                Vec::new()
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+// --- ANY ------------------------------------------------------------------
+
+fn on_any(
+    state: &mut CtxState,
+    role: u8,
+    occ: &Arc<Occurrence>,
+    ctx: ParamContext,
+    m: usize,
+    n: usize,
+) -> Vec<Emission> {
+    let role = role as usize;
+    match ctx {
+        ParamContext::Recent => {
+            let buf = state.buf(role, n);
+            buf.clear();
+            buf.push_back(occ.clone());
+            let distinct = state.bufs.iter().filter(|b| !b.is_empty()).count();
+            if distinct >= m {
+                // The arriving occurrence + the (m-1) most recent others.
+                let mut others: Vec<Arc<Occurrence>> = state
+                    .bufs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, b)| *i != role && !b.is_empty())
+                    .map(|(_, b)| b.back().unwrap().clone())
+                    .collect();
+                others.sort_by_key(|o| std::cmp::Reverse(o.at));
+                others.truncate(m - 1);
+                let mut cons = others;
+                cons.push(occ.clone());
+                vec![Emission::of(cons)]
+            } else {
+                Vec::new()
+            }
+        }
+        ParamContext::Chronicle | ParamContext::Continuous => {
+            state.buf(role, n).push_back(occ.clone());
+            let distinct = state.bufs.iter().filter(|b| !b.is_empty()).count();
+            if distinct >= m {
+                // Consume the m oldest heads among distinct types.
+                let mut heads: Vec<usize> = (0..n).filter(|i| !state.bufs[*i].is_empty()).collect();
+                heads.sort_by_key(|i| state.bufs[*i].front().unwrap().at);
+                heads.truncate(m);
+                let cons: Vec<_> =
+                    heads.into_iter().map(|i| state.bufs[i].pop_front().unwrap()).collect();
+                vec![Emission::of(cons)]
+            } else {
+                Vec::new()
+            }
+        }
+        ParamContext::Cumulative => {
+            state.buf(role, n).push_back(occ.clone());
+            let distinct = state.bufs.iter().filter(|b| !b.is_empty()).count();
+            if distinct >= m {
+                let mut cons = Vec::new();
+                for b in &mut state.bufs {
+                    cons.extend(b.drain(..));
+                }
+                vec![Emission::of(cons)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+// --- NOT ------------------------------------------------------------------
+
+fn on_not(
+    state: &mut CtxState,
+    role: u8,
+    occ: &Arc<Occurrence>,
+    ctx: ParamContext,
+) -> Vec<Emission> {
+    match role {
+        0 => {
+            // start: open a window.
+            if ctx == ParamContext::Recent {
+                state.windows.clear();
+            }
+            state.windows.push_back(Window { start: Some(occ.clone()), ..Window::default() });
+            Vec::new()
+        }
+        1 => {
+            // inner: poison — open windows can never complete.
+            state.last_inner = Some(occ.at);
+            state.windows.clear();
+            Vec::new()
+        }
+        2 => {
+            // end: fire unpoisoned windows whose start precedes it.
+            let fires: Vec<Window> = match ctx {
+                ParamContext::Recent => state
+                    .windows
+                    .back()
+                    .filter(|w| w.start.as_ref().is_some_and(|s| s.at < occ.at))
+                    .cloned()
+                    .into_iter()
+                    .collect(), // window retained: recent does not consume
+                ParamContext::Chronicle => state
+                    .windows
+                    .front()
+                    .filter(|w| w.start.as_ref().is_some_and(|s| s.at < occ.at))
+                    .cloned()
+                    .into_iter()
+                    .collect::<Vec<_>>()
+                    .tap(|fired| {
+                        if !fired.is_empty() {
+                            state.windows.pop_front();
+                        }
+                    }),
+                ParamContext::Continuous | ParamContext::Cumulative => {
+                    let all: Vec<Window> = state
+                        .windows
+                        .iter()
+                        .filter(|w| w.start.as_ref().is_some_and(|s| s.at < occ.at))
+                        .cloned()
+                        .collect();
+                    state.windows.retain(|w| !w.start.as_ref().is_some_and(|s| s.at < occ.at));
+                    all
+                }
+            };
+            if fires.is_empty() {
+                return Vec::new();
+            }
+            match ctx {
+                ParamContext::Cumulative => {
+                    let mut cons: Vec<Arc<Occurrence>> =
+                        fires.into_iter().filter_map(|w| w.start).collect();
+                    cons.push(occ.clone());
+                    vec![Emission::of(cons)]
+                }
+                _ => fires
+                    .into_iter()
+                    .filter_map(|w| w.start)
+                    .map(|s| Emission::of(vec![s, occ.clone()]))
+                    .collect(),
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Tiny tap helper (keeps the chronicle branch above readable).
+trait Tap: Sized {
+    fn tap(self, f: impl FnOnce(&Self)) -> Self {
+        f(&self);
+        self
+    }
+}
+impl<T> Tap for T {}
+
+// --- A --------------------------------------------------------------------
+
+fn on_aperiodic(
+    state: &mut CtxState,
+    role: u8,
+    occ: &Arc<Occurrence>,
+    ctx: ParamContext,
+) -> Vec<Emission> {
+    match role {
+        0 => {
+            if ctx == ParamContext::Recent || ctx == ParamContext::Cumulative {
+                // One (most recent / merged) window.
+                state.windows.clear();
+            }
+            state.windows.push_back(Window { start: Some(occ.clone()), ..Window::default() });
+            Vec::new()
+        }
+        1 => match ctx {
+            ParamContext::Recent | ParamContext::Chronicle => state
+                .windows
+                .front()
+                .and_then(|w| w.start.clone())
+                .map(|s| vec![Emission::of(vec![s, occ.clone()])])
+                .unwrap_or_default(),
+            ParamContext::Continuous => state
+                .windows
+                .iter()
+                .filter_map(|w| w.start.clone())
+                .map(|s| Emission::of(vec![s, occ.clone()]))
+                .collect(),
+            ParamContext::Cumulative => {
+                if let Some(w) = state.windows.front_mut() {
+                    w.mids.push(occ.clone());
+                    let mut cons = vec![w.start.clone().expect("A window has a start")];
+                    cons.extend(w.mids.iter().cloned());
+                    vec![Emission::of(cons)]
+                } else {
+                    Vec::new()
+                }
+            }
+        },
+        2 => {
+            // end closes windows; A emits nothing at close.
+            match ctx {
+                ParamContext::Chronicle => {
+                    state.windows.pop_front();
+                }
+                _ => state.windows.clear(),
+            }
+            Vec::new()
+        }
+        _ => Vec::new(),
+    }
+}
+
+// --- A* -------------------------------------------------------------------
+
+fn on_aperiodic_star(
+    state: &mut CtxState,
+    role: u8,
+    occ: &Arc<Occurrence>,
+    ctx: ParamContext,
+) -> Vec<Emission> {
+    match role {
+        0 => {
+            if ctx == ParamContext::Recent || ctx == ParamContext::Cumulative {
+                state.windows.clear();
+            }
+            state.windows.push_back(Window { start: Some(occ.clone()), ..Window::default() });
+            Vec::new()
+        }
+        1 => {
+            match ctx {
+                ParamContext::Continuous => {
+                    for w in state.windows.iter_mut() {
+                        w.mids.push(occ.clone());
+                    }
+                }
+                _ => {
+                    if let Some(w) = state.windows.front_mut() {
+                        w.mids.push(occ.clone());
+                    }
+                }
+            }
+            Vec::new()
+        }
+        2 => {
+            let closing: Vec<Window> = match ctx {
+                ParamContext::Chronicle => state.windows.pop_front().into_iter().collect(),
+                _ => state.windows.drain(..).collect(),
+            };
+            let mut out = Vec::new();
+            match ctx {
+                ParamContext::Cumulative => {
+                    let mut cons: Vec<Arc<Occurrence>> = Vec::new();
+                    for w in closing {
+                        if w.mids.is_empty() {
+                            continue;
+                        }
+                        if let Some(s) = w.start {
+                            cons.push(s);
+                        }
+                        cons.extend(w.mids);
+                    }
+                    if !cons.is_empty() {
+                        cons.push(occ.clone());
+                        out.push(Emission::of(cons));
+                    }
+                }
+                _ => {
+                    for w in closing {
+                        if w.mids.is_empty() {
+                            continue; // A* fires only if ≥1 mid accumulated
+                        }
+                        let mut cons = Vec::with_capacity(w.mids.len() + 2);
+                        if let Some(s) = w.start {
+                            cons.push(s);
+                        }
+                        cons.extend(w.mids);
+                        cons.push(occ.clone());
+                        out.push(Emission::of(cons));
+                    }
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+// --- P / P* ---------------------------------------------------------------
+
+fn on_periodic(
+    state: &mut CtxState,
+    role: u8,
+    occ: &Arc<Occurrence>,
+    ctx: ParamContext,
+    period: u64,
+    star: bool,
+) -> Vec<Emission> {
+    match role {
+        0 => {
+            if ctx == ParamContext::Recent || ctx == ParamContext::Cumulative {
+                state.windows.clear();
+            }
+            state.windows.push_back(Window {
+                start: Some(occ.clone()),
+                next_due: Some(occ.at + period),
+                ..Window::default()
+            });
+            Vec::new()
+        }
+        2 => {
+            let closing: Vec<Window> = match ctx {
+                ParamContext::Chronicle => state.windows.pop_front().into_iter().collect(),
+                _ => state.windows.drain(..).collect(),
+            };
+            if !star {
+                return Vec::new(); // P emits per tick, nothing at close.
+            }
+            let mut out = Vec::new();
+            for w in closing {
+                if w.ticks.is_empty() {
+                    continue;
+                }
+                let mut cons = Vec::new();
+                if let Some(s) = w.start {
+                    cons.push(s);
+                }
+                cons.push(occ.clone());
+                let params: Vec<(Arc<str>, Value)> =
+                    w.ticks.iter().map(|t| (Arc::from("tick"), Value::Int(*t as i64))).collect();
+                out.push(Emission { constituents: cons, params, at: None });
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Operator-level unit tests drive `on_child` directly through a tiny
+    //! harness; full-pipeline tests live in `detector.rs` and `/tests`.
+
+    use super::*;
+    use crate::graph::{EventGraph, PrimTarget};
+    use sentinel_snoop::ast::EventModifier;
+    use sentinel_snoop::parse_event_expr;
+
+    struct Harness {
+        g: EventGraph,
+        node: crate::graph::EventId,
+        seq: Timestamp,
+    }
+
+    impl Harness {
+        fn new(expr: &str, ctx: ParamContext) -> Harness {
+            let mut g = EventGraph::new();
+            for name in ["s", "m", "t", "a", "b", "c"] {
+                g.declare_primitive(name, "C", EventModifier::End, "void f()", PrimTarget::AnyInstance)
+                    .unwrap();
+            }
+            let e = parse_event_expr(expr).unwrap();
+            let node = g.build_expr(&e, false).unwrap();
+            g.subscribe(node, ctx, 1).unwrap();
+            Harness { g, node, seq: 0 }
+        }
+
+        fn occ(&mut self, name: &str) -> Arc<Occurrence> {
+            self.seq += 1;
+            let id = self.g.lookup(name).unwrap();
+            Occurrence::primitive(id, Arc::from(name), self.seq, Some(1), 0, None, Vec::new())
+        }
+
+        /// Sends `name` to the node under test in the role it occupies.
+        fn send(&mut self, name: &str, ctx: ParamContext) -> Vec<Vec<Timestamp>> {
+            let occ = self.occ(name);
+            let child = self.g.lookup(name).unwrap();
+            let roles: Vec<u8> = self
+                .g
+                .node(self.node)
+                .kind
+                .children()
+                .into_iter()
+                .filter(|(c, _)| *c == child)
+                .map(|(_, r)| r)
+                .collect();
+            let mut out = Vec::new();
+            for role in roles {
+                for em in self.g.node_mut(self.node).on_child(role, &occ, ctx) {
+                    let mut ts: Vec<_> = em.constituents.iter().map(|o| o.at).collect();
+                    ts.sort_unstable();
+                    out.push(ts);
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn and_recent_reuses_latest() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("a ^ b", ctx);
+        assert!(h.send("a", ctx).is_empty()); // a@1
+        assert_eq!(h.send("b", ctx), vec![vec![1, 2]]);
+        // Another b pairs with the same (most recent) a.
+        assert_eq!(h.send("b", ctx), vec![vec![1, 3]]);
+        // New a overwrites; next b pairs with it.
+        assert_eq!(h.send("a", ctx), vec![vec![3, 4]]); // pairs with latest b@3
+        assert_eq!(h.send("b", ctx), vec![vec![4, 5]]);
+    }
+
+    #[test]
+    fn and_chronicle_pairs_fifo_and_consumes() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("a ^ b", ctx);
+        h.send("a", ctx); // a@1
+        h.send("a", ctx); // a@2
+        assert_eq!(h.send("b", ctx), vec![vec![1, 3]]); // oldest a first
+        assert_eq!(h.send("b", ctx), vec![vec![2, 4]]);
+        assert!(h.send("b", ctx).is_empty(), "all initiators consumed");
+    }
+
+    #[test]
+    fn and_continuous_terminator_fires_all_open() {
+        let ctx = ParamContext::Continuous;
+        let mut h = Harness::new("a ^ b", ctx);
+        h.send("a", ctx); // a@1
+        h.send("a", ctx); // a@2
+        let fired = h.send("b", ctx); // b@3 pairs with both
+        assert_eq!(fired, vec![vec![1, 3], vec![2, 3]]);
+        assert!(h.send("b", ctx).is_empty(), "initiators consumed");
+    }
+
+    #[test]
+    fn and_cumulative_takes_everything_once() {
+        let ctx = ParamContext::Cumulative;
+        let mut h = Harness::new("a ^ b", ctx);
+        h.send("a", ctx);
+        h.send("a", ctx);
+        let fired = h.send("b", ctx);
+        assert_eq!(fired, vec![vec![1, 2, 3]]);
+        assert!(h.send("b", ctx).is_empty());
+    }
+
+    #[test]
+    fn seq_requires_strict_order() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("a ; b", ctx);
+        assert!(h.send("b", ctx).is_empty(), "terminator before initiator");
+        h.send("a", ctx);
+        assert_eq!(h.send("b", ctx), vec![vec![2, 3]]);
+    }
+
+    #[test]
+    fn seq_chronicle_consumes_oldest() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("a ; b", ctx);
+        h.send("a", ctx); // 1
+        h.send("a", ctx); // 2
+        assert_eq!(h.send("b", ctx), vec![vec![1, 3]]);
+        assert_eq!(h.send("b", ctx), vec![vec![2, 4]]);
+        assert!(h.send("b", ctx).is_empty());
+    }
+
+    #[test]
+    fn seq_continuous_and_cumulative() {
+        let ctx = ParamContext::Continuous;
+        let mut h = Harness::new("a ; b", ctx);
+        h.send("a", ctx);
+        h.send("a", ctx);
+        assert_eq!(h.send("b", ctx), vec![vec![1, 3], vec![2, 3]]);
+
+        let ctx = ParamContext::Cumulative;
+        let mut h = Harness::new("a ; b", ctx);
+        h.send("a", ctx);
+        h.send("a", ctx);
+        assert_eq!(h.send("b", ctx), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn or_fires_for_each_side_in_every_context() {
+        for ctx in ParamContext::ALL {
+            let mut h = Harness::new("a | b", ctx);
+            assert_eq!(h.send("a", ctx), vec![vec![1]]);
+            assert_eq!(h.send("b", ctx), vec![vec![2]]);
+        }
+    }
+
+    #[test]
+    fn any_two_of_three() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("ANY(2, a, b, c)", ctx);
+        assert!(h.send("a", ctx).is_empty());
+        assert!(h.send("a", ctx).is_empty(), "same type doesn't count twice");
+        assert_eq!(h.send("c", ctx), vec![vec![1, 3]]);
+        // a@2 still buffered; b completes the next pair.
+        assert_eq!(h.send("b", ctx), vec![vec![2, 4]]);
+    }
+
+    #[test]
+    fn any_recent_reemits_nonconsuming() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("ANY(2, a, b, c)", ctx);
+        h.send("a", ctx);
+        assert_eq!(h.send("b", ctx), vec![vec![1, 2]]);
+        assert_eq!(h.send("c", ctx), vec![vec![2, 3]], "pairs with most recent distinct");
+    }
+
+    #[test]
+    fn any_cumulative_drains_all() {
+        let ctx = ParamContext::Cumulative;
+        let mut h = Harness::new("ANY(2, a, b, c)", ctx);
+        h.send("a", ctx);
+        h.send("a", ctx);
+        assert_eq!(h.send("b", ctx), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn not_fires_without_inner() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("NOT(m)[s, t]", ctx);
+        h.send("s", ctx);
+        assert_eq!(h.send("t", ctx), vec![vec![1, 2]]);
+        // Recent keeps the window: another t fires again.
+        assert_eq!(h.send("t", ctx), vec![vec![1, 3]]);
+    }
+
+    #[test]
+    fn not_poisoned_by_inner() {
+        for ctx in ParamContext::ALL {
+            let mut h = Harness::new("NOT(m)[s, t]", ctx);
+            h.send("s", ctx);
+            h.send("m", ctx); // poison
+            assert!(h.send("t", ctx).is_empty(), "ctx {ctx}: inner occurred");
+        }
+    }
+
+    #[test]
+    fn not_continuous_fires_all_windows() {
+        let ctx = ParamContext::Continuous;
+        let mut h = Harness::new("NOT(m)[s, t]", ctx);
+        h.send("s", ctx);
+        h.send("s", ctx);
+        assert_eq!(h.send("t", ctx), vec![vec![1, 3], vec![2, 3]]);
+        assert!(h.send("t", ctx).is_empty(), "windows consumed");
+    }
+
+    #[test]
+    fn aperiodic_fires_per_mid_within_window() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("A(s, m, t)", ctx);
+        assert!(h.send("m", ctx).is_empty(), "no window yet");
+        h.send("s", ctx);
+        assert_eq!(h.send("m", ctx), vec![vec![2, 3]]);
+        assert_eq!(h.send("m", ctx), vec![vec![2, 4]]);
+        h.send("t", ctx); // closes
+        assert!(h.send("m", ctx).is_empty(), "window closed");
+    }
+
+    #[test]
+    fn aperiodic_star_accumulates_until_end() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("A*(s, m, t)", ctx);
+        h.send("s", ctx); // 1
+        assert!(h.send("m", ctx).is_empty()); // 2
+        assert!(h.send("m", ctx).is_empty()); // 3
+        assert_eq!(h.send("t", ctx), vec![vec![1, 2, 3, 4]]);
+        // Fires exactly once per window: a second t is silent.
+        assert!(h.send("t", ctx).is_empty());
+    }
+
+    #[test]
+    fn aperiodic_star_without_mids_is_silent() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("A*(s, m, t)", ctx);
+        h.send("s", ctx);
+        assert!(h.send("t", ctx).is_empty(), "zero mids: no detection");
+    }
+
+    #[test]
+    fn aperiodic_star_continuous_multiple_windows() {
+        let ctx = ParamContext::Continuous;
+        let mut h = Harness::new("A*(s, m, t)", ctx);
+        h.send("s", ctx); // 1
+        h.send("m", ctx); // 2 -> window 1
+        h.send("s", ctx); // 3
+        h.send("m", ctx); // 4 -> windows 1 and 2
+        let fired = h.send("t", ctx); // 5
+        assert_eq!(fired, vec![vec![1, 2, 4, 5], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn plus_alarm_fires_at_due_time() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("PLUS(a, 10)", ctx);
+        h.send("a", ctx); // at=1, due=11
+        let due = h.g.node(h.node).earliest_due();
+        assert_eq!(due, Some(11));
+        let ems = h.g.node_mut(h.node).fire_alarms(10, ctx);
+        assert!(ems.is_empty(), "not due yet");
+        let ems = h.g.node_mut(h.node).fire_alarms(11, ctx);
+        assert_eq!(ems.len(), 1);
+        assert_eq!(ems[0].at, Some(11));
+        assert_eq!(h.g.node(h.node).earliest_due(), None);
+    }
+
+    #[test]
+    fn periodic_ticks_between_start_and_end() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("P(s, 5, t)", ctx);
+        h.send("s", ctx); // at=1 -> due 6, 11, 16…
+        let ems = h.g.node_mut(h.node).fire_alarms(13, ctx);
+        let ticks: Vec<_> = ems.iter().map(|e| e.at.unwrap()).collect();
+        assert_eq!(ticks, vec![6, 11]);
+        h.send("t", ctx); // close
+        assert!(h.g.node_mut(h.node).fire_alarms(100, ctx).is_empty());
+    }
+
+    #[test]
+    fn periodic_star_reports_ticks_at_end() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("P*(s, 5, t)", ctx);
+        h.send("s", ctx);
+        assert!(h.g.node_mut(h.node).fire_alarms(13, ctx).is_empty());
+        let fired = h.send("t", ctx);
+        assert_eq!(fired.len(), 1, "one emission with accumulated ticks");
+    }
+
+    #[test]
+    fn not_chronicle_consumes_oldest_window() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("NOT(m)[s, t]", ctx);
+        h.send("s", ctx); // window 1
+        h.send("s", ctx); // window 2
+        assert_eq!(h.send("t", ctx), vec![vec![1, 3]], "oldest window fires");
+        assert_eq!(h.send("t", ctx), vec![vec![2, 4]], "then the next");
+        assert!(h.send("t", ctx).is_empty(), "all consumed");
+    }
+
+    #[test]
+    fn not_cumulative_merges_all_windows() {
+        let ctx = ParamContext::Cumulative;
+        let mut h = Harness::new("NOT(m)[s, t]", ctx);
+        h.send("s", ctx);
+        h.send("s", ctx);
+        assert_eq!(h.send("t", ctx), vec![vec![1, 2, 3]], "one emission, all starts");
+    }
+
+    #[test]
+    fn aperiodic_chronicle_pairs_with_oldest_window() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("A(s, m, t)", ctx);
+        h.send("s", ctx); // w1@1
+        h.send("s", ctx); // w2@2
+        assert_eq!(h.send("m", ctx), vec![vec![1, 3]], "oldest window's start");
+        h.send("t", ctx); // closes oldest (w1)
+        assert_eq!(h.send("m", ctx), vec![vec![2, 5]], "now w2 is oldest");
+        h.send("t", ctx); // closes w2
+        assert!(h.send("m", ctx).is_empty());
+    }
+
+    #[test]
+    fn aperiodic_continuous_fires_per_open_window() {
+        let ctx = ParamContext::Continuous;
+        let mut h = Harness::new("A(s, m, t)", ctx);
+        h.send("s", ctx); // 1
+        h.send("s", ctx); // 2
+        assert_eq!(h.send("m", ctx), vec![vec![1, 3], vec![2, 3]]);
+        h.send("t", ctx); // closes all
+        assert!(h.send("m", ctx).is_empty());
+    }
+
+    #[test]
+    fn aperiodic_recent_new_start_replaces_window() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("A(s, m, t)", ctx);
+        h.send("s", ctx); // 1
+        h.send("s", ctx); // 2 replaces
+        assert_eq!(h.send("m", ctx), vec![vec![2, 3]], "most recent start");
+    }
+
+    #[test]
+    fn aperiodic_star_chronicle_closes_oldest_only() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("A*(s, m, t)", ctx);
+        h.send("s", ctx); // w1@1
+        h.send("m", ctx); // 2 -> w1 (front window)
+        h.send("s", ctx); // w2@3
+        let fired = h.send("t", ctx); // 4: closes w1
+        assert_eq!(fired, vec![vec![1, 2, 4]]);
+        // w2 has no mids: its close is silent.
+        assert!(h.send("t", ctx).is_empty());
+    }
+
+    #[test]
+    fn any_continuous_consumes_like_chronicle() {
+        // Documented simplification: continuous ANY == chronicle ANY.
+        let ctx = ParamContext::Continuous;
+        let mut h = Harness::new("ANY(2, a, b, c)", ctx);
+        h.send("a", ctx);
+        assert_eq!(h.send("b", ctx), vec![vec![1, 2]]);
+        assert!(h.send("b", ctx).is_empty(), "a was consumed");
+    }
+
+    #[test]
+    fn periodic_chronicle_windows_close_fifo() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("P(s, 5, t)", ctx);
+        h.send("s", ctx); // w1@1: ticks 6, 11…
+        h.send("s", ctx); // w2@2: ticks 7, 12…
+        let ems = h.g.node_mut(h.node).fire_alarms(8, ctx);
+        let ticks: Vec<_> = ems.iter().map(|e| e.at.unwrap()).collect();
+        assert_eq!(ticks, vec![6, 7], "both windows tick");
+        h.send("t", ctx); // closes w1 only
+        let ems = h.g.node_mut(h.node).fire_alarms(13, ctx);
+        let ticks: Vec<_> = ems.iter().map(|e| e.at.unwrap()).collect();
+        assert_eq!(ticks, vec![12], "only w2 remains");
+    }
+
+    #[test]
+    fn plus_multiple_pending_fire_in_due_order() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("PLUS(a, 10)", ctx);
+        h.send("a", ctx); // @1 due 11
+        h.send("a", ctx); // @2 due 12
+        let ems = h.g.node_mut(h.node).fire_alarms(20, ctx);
+        let due: Vec<_> = ems.iter().map(|e| e.at.unwrap()).collect();
+        assert_eq!(due, vec![11, 12]);
+    }
+
+    #[test]
+    fn dual_role_seq_recent_is_overlapping() {
+        let ctx = ParamContext::Recent;
+        let mut h = Harness::new("a ; a", ctx);
+        let child = h.g.lookup("a").unwrap();
+        let _ = child;
+        // Dual-role goes through on_child_dual.
+        let send_dual = |h: &mut Harness| {
+            h.seq += 1;
+            let occ = Occurrence::primitive(
+                h.g.lookup("a").unwrap(),
+                Arc::from("a"),
+                h.seq,
+                Some(1),
+                0,
+                None,
+                Vec::new(),
+            );
+            h.g.node_mut(h.node)
+                .on_child_dual(&occ, ctx)
+                .into_iter()
+                .map(|em| {
+                    let mut ts: Vec<_> = em.constituents.iter().map(|o| o.at).collect();
+                    ts.sort_unstable();
+                    ts
+                })
+                .collect::<Vec<_>>()
+        };
+        assert!(send_dual(&mut h).is_empty());
+        assert_eq!(send_dual(&mut h), vec![vec![1, 2]]);
+        assert_eq!(send_dual(&mut h), vec![vec![2, 3]], "recent: overlapping pairs");
+    }
+
+    #[test]
+    fn dual_role_chronicle_is_non_overlapping() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("a ^ a", ctx);
+        let send_dual = |h: &mut Harness| {
+            h.seq += 1;
+            let occ = Occurrence::primitive(
+                h.g.lookup("a").unwrap(),
+                Arc::from("a"),
+                h.seq,
+                Some(1),
+                0,
+                None,
+                Vec::new(),
+            );
+            h.g.node_mut(h.node)
+                .on_child_dual(&occ, ctx)
+                .into_iter()
+                .map(|em| em.constituents.len())
+                .collect::<Vec<_>>()
+        };
+        assert!(send_dual(&mut h).is_empty()); // 1 buffered
+        assert_eq!(send_dual(&mut h), vec![2]); // (1,2)
+        assert!(send_dual(&mut h).is_empty()); // 3 buffered
+        assert_eq!(send_dual(&mut h), vec![2]); // (3,4)
+    }
+
+    #[test]
+    fn flush_txn_clears_buffers_and_windows() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("a ; b", ctx);
+        h.send("a", ctx); // txn 1 buffered
+        h.g.node_mut(h.node).flush_txn(1);
+        assert!(h.send("b", ctx).is_empty(), "initiator flushed with its txn");
+    }
+}

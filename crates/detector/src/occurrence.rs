@@ -1,0 +1,362 @@
+//! Event occurrences and their parameters.
+//!
+//! A primitive occurrence carries the parameters collected by the wrapper
+//! method (`PARA_LIST` in the paper's generated C++: name/type/value
+//! triples plus the object identity). A composite occurrence carries `Arc`
+//! references to its constituent occurrences — the paper's linked parameter
+//! lists with "no copying of data, only the pointers have to be adjusted".
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::clock::Timestamp;
+use crate::graph::EventId;
+
+/// An atomic parameter value.
+///
+/// The paper restricts composite-event parameters to the object identity
+/// plus atomic values ("we include the identification of the object (i.e.,
+/// oid) as one of the event parameters and other parameters which have
+/// atomic values"); complex types are not copied across the detector.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// IEEE-754 double.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Interned string.
+    Str(Arc<str>),
+    /// Object identity.
+    Oid(u64),
+    /// Absent / null.
+    Null,
+}
+
+impl Value {
+    /// String helper.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Numeric view (ints widen to float) for conditions that compare.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Oid view.
+    pub fn as_oid(&self) -> Option<u64> {
+        match self {
+            Value::Oid(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            // Bit equality so Value is usable in hash maps; NaN == NaN here.
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Oid(a), Value::Oid(b)) => a == b,
+            (Value::Null, Value::Null) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Oid(o) => write!(f, "oid#{o}"),
+            Value::Null => f.write_str("null"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v.into())
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v.into())
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+/// One event occurrence — primitive (leaf) or composite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Occurrence {
+    /// Event-graph node that produced this occurrence.
+    pub event: EventId,
+    /// The event's name (`"STOCK.e1"`, `"begin-transaction"`, …).
+    pub event_name: Arc<str>,
+    /// Occurrence time: the tick of the detecting (terminating) constituent.
+    pub at: Timestamp,
+    /// Top-level transaction the occurrence belongs to (None for events
+    /// outside any transaction, e.g. global/temporal events).
+    pub txn: Option<u64>,
+    /// Originating application (for inter-application/global events).
+    pub app: u32,
+    /// Identity of the object whose method raised the event, if any.
+    pub source: Option<u64>,
+    /// Primitive parameters (`(name, value)`), empty for composites.
+    pub params: Vec<(Arc<str>, Value)>,
+    /// Constituent occurrences (chronological), empty for primitives.
+    pub constituents: Vec<Arc<Occurrence>>,
+}
+
+impl Occurrence {
+    /// A primitive occurrence.
+    pub fn primitive(
+        event: EventId,
+        event_name: Arc<str>,
+        at: Timestamp,
+        txn: Option<u64>,
+        app: u32,
+        source: Option<u64>,
+        params: Vec<(Arc<str>, Value)>,
+    ) -> Arc<Occurrence> {
+        Arc::new(Occurrence { event, event_name, at, txn, app, source, params, constituents: Vec::new() })
+    }
+
+    /// A composite occurrence over `constituents` (sorted chronologically;
+    /// occurrence time = the latest constituent's time).
+    pub fn composite(
+        event: EventId,
+        event_name: Arc<str>,
+        mut constituents: Vec<Arc<Occurrence>>,
+    ) -> Arc<Occurrence> {
+        constituents.sort_by_key(|o| o.at);
+        let at = constituents.last().map_or(0, |o| o.at);
+        // A composite inherits the transaction of its terminator (the
+        // latest constituent); mixed-transaction composites keep None only
+        // if the terminator has none.
+        let txn = constituents.last().and_then(|o| o.txn);
+        let app = constituents.last().map_or(0, |o| o.app);
+        Arc::new(Occurrence {
+            event,
+            event_name,
+            at,
+            txn,
+            app,
+            source: None,
+            params: Vec::new(),
+            constituents,
+        })
+    }
+
+    /// True for leaf occurrences.
+    pub fn is_primitive(&self) -> bool {
+        self.constituents.is_empty()
+    }
+
+    /// Earliest constituent timestamp (== `at` for primitives). Used by the
+    /// `NOW` trigger mode: a NOW rule only accepts occurrences all of whose
+    /// constituents happened after the rule was defined.
+    pub fn earliest(&self) -> Timestamp {
+        if self.constituents.is_empty() {
+            self.at
+        } else {
+            self.constituents.iter().map(|c| c.earliest()).min().unwrap_or(self.at)
+        }
+    }
+
+    /// Flattens the occurrence into its primitive constituents in
+    /// chronological order — the parameter list handed to conditions and
+    /// actions ("a linked list that contains the parameters of each
+    /// primitive event that participates in the detection", §2.3).
+    pub fn param_list(&self) -> Vec<&Occurrence> {
+        let mut out = Vec::new();
+        self.collect_primitives(&mut out);
+        out.sort_by_key(|o| o.at);
+        out
+    }
+
+    fn collect_primitives<'a>(&'a self, out: &mut Vec<&'a Occurrence>) {
+        if self.is_primitive() {
+            out.push(self);
+        } else {
+            for c in &self.constituents {
+                c.collect_primitives(out);
+            }
+        }
+    }
+
+    /// Looks up a parameter by name across the flattened parameter list
+    /// (most recent occurrence wins).
+    pub fn param(&self, name: &str) -> Option<&Value> {
+        let prims = self.param_list();
+        prims
+            .iter()
+            .rev()
+            .find_map(|p| p.params.iter().find(|(n, _)| &**n == name).map(|(_, v)| v))
+    }
+
+    /// True if any primitive constituent belongs to `txn`.
+    pub fn involves_txn(&self, txn: u64) -> bool {
+        if self.txn == Some(txn) {
+            return true;
+        }
+        self.constituents.iter().any(|c| c.involves_txn(txn))
+    }
+}
+
+impl fmt::Display for Occurrence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.event_name, self.at)?;
+        if let Some(t) = self.txn {
+            write!(f, " [T{t}]")?;
+        }
+        if !self.params.is_empty() {
+            f.write_str(" {")?;
+            for (i, (n, v)) in self.params.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{n}={v}")?;
+            }
+            f.write_str("}")?;
+        }
+        if !self.constituents.is_empty() {
+            f.write_str(" <")?;
+            for (i, c) in self.constituents.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            f.write_str(">")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prim(event: u32, name: &str, at: Timestamp, txn: Option<u64>) -> Arc<Occurrence> {
+        Occurrence::primitive(
+            EventId(event),
+            Arc::from(name),
+            at,
+            txn,
+            0,
+            Some(7),
+            vec![(Arc::from("qty"), Value::Int(at as i64))],
+        )
+    }
+
+    #[test]
+    fn composite_sorts_and_takes_latest_time() {
+        let a = prim(1, "a", 5, Some(1));
+        let b = prim(2, "b", 3, Some(1));
+        let c = Occurrence::composite(EventId(3), Arc::from("c"), vec![a, b]);
+        assert_eq!(c.at, 5);
+        assert_eq!(c.constituents[0].at, 3);
+        assert_eq!(c.earliest(), 3);
+        assert_eq!(c.txn, Some(1));
+    }
+
+    #[test]
+    fn param_list_flattens_nested_composites() {
+        let a = prim(1, "a", 1, None);
+        let b = prim(2, "b", 2, None);
+        let inner = Occurrence::composite(EventId(4), Arc::from("ab"), vec![a, b]);
+        let c = prim(3, "c", 3, None);
+        let outer = Occurrence::composite(EventId(5), Arc::from("abc"), vec![inner, c]);
+        let prims: Vec<_> = outer.param_list().iter().map(|o| o.at).collect();
+        assert_eq!(prims, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn param_lookup_prefers_most_recent() {
+        let a = prim(1, "a", 1, None); // qty = 1
+        let b = prim(1, "a", 9, None); // qty = 9
+        let c = Occurrence::composite(EventId(2), Arc::from("aa"), vec![a, b]);
+        assert_eq!(c.param("qty"), Some(&Value::Int(9)));
+        assert_eq!(c.param("missing"), None);
+    }
+
+    #[test]
+    fn involves_txn_walks_constituents() {
+        let a = prim(1, "a", 1, Some(10));
+        let b = prim(2, "b", 2, Some(11));
+        let c = Occurrence::composite(EventId(3), Arc::from("ab"), vec![a, b]);
+        assert!(c.involves_txn(10));
+        assert!(c.involves_txn(11));
+        assert!(!c.involves_txn(12));
+    }
+
+    #[test]
+    fn value_conversions_and_equality() {
+        assert_eq!(Value::from(3), Value::Int(3));
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN), "bit equality");
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(Value::Oid(5).as_oid(), Some(5));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = prim(1, "set_price", 4, Some(2));
+        let s = a.to_string();
+        assert!(s.contains("set_price@4"));
+        assert!(s.contains("[T2]"));
+        assert!(s.contains("qty=4"));
+    }
+}

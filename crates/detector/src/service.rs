@@ -1,0 +1,240 @@
+//! Detector service: the thread-based separation of composite event
+//! detection from application execution (Figure 2).
+//!
+//! The paper separates the local composite event detector from the
+//! application using threads because "threads communicate via shared memory
+//! …, the overhead involved in creating threads and inter-task communication
+//! is low, and it is easy to control the scheduling" (§2.3). Here the
+//! detector runs on its own thread behind a crossbeam channel:
+//!
+//! * [`DetectorService::signal_sync`] mirrors the immediate-mode protocol —
+//!   "when a primitive event occurs it is sent to the local composite event
+//!   detector and the application waits for the signaling of a composite
+//!   event that is detected in the immediate mode";
+//! * [`DetectorService::signal_async`] queues the event and returns; the
+//!   detections are delivered on [`DetectorService::detections`] (used by
+//!   batch feeds and the global event detector).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use sentinel_snoop::ast::EventModifier;
+
+use crate::clock::Timestamp;
+use crate::detector::{Detection, LocalEventDetector};
+use crate::occurrence::Value;
+
+/// A primitive-event signal sent to the service.
+#[derive(Debug)]
+pub enum Signal {
+    /// Wrapper-method notification.
+    Method {
+        /// Class of the invoked method.
+        class: String,
+        /// Canonical method signature.
+        sig: String,
+        /// Invocation edge.
+        edge: EventModifier,
+        /// Receiver object.
+        oid: u64,
+        /// Collected parameters.
+        params: Vec<(Arc<str>, Value)>,
+        /// Enclosing transaction.
+        txn: Option<u64>,
+    },
+    /// Explicit event by name.
+    Explicit {
+        /// Event name.
+        name: String,
+        /// Attached parameters.
+        params: Vec<(Arc<str>, Value)>,
+        /// Enclosing transaction.
+        txn: Option<u64>,
+    },
+    /// Flush all events of a transaction (commit/abort).
+    FlushTxn(u64),
+    /// Advance logical time (fires temporal alarms).
+    AdvanceTime(Timestamp),
+}
+
+enum Request {
+    /// Process and reply with the detections (immediate-mode rendezvous).
+    Sync(Signal, Sender<Vec<Detection>>),
+    /// Process; detections go to the async detections channel.
+    Async(Signal),
+    /// Stop the service thread.
+    Shutdown,
+}
+
+/// Handle to a detector running on its own thread.
+pub struct DetectorService {
+    detector: Arc<LocalEventDetector>,
+    requests: Sender<Request>,
+    detections: Receiver<Detection>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl DetectorService {
+    /// Spawns the service thread around `detector`.
+    pub fn spawn(detector: Arc<LocalEventDetector>) -> Self {
+        let (req_tx, req_rx) = unbounded::<Request>();
+        let (det_tx, det_rx) = unbounded::<Detection>();
+        let det = detector.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("sentinel-detector-{}", detector.app()))
+            .spawn(move || {
+                while let Ok(req) = req_rx.recv() {
+                    match req {
+                        Request::Sync(sig, reply) => {
+                            let dets = Self::process(&det, sig);
+                            // Receiver may have given up; ignore send errors.
+                            let _ = reply.send(dets);
+                        }
+                        Request::Async(sig) => {
+                            for d in Self::process(&det, sig) {
+                                let _ = det_tx.send(d);
+                            }
+                        }
+                        Request::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn detector thread");
+        DetectorService { detector, requests: req_tx, detections: det_rx, thread: Some(thread) }
+    }
+
+    fn process(det: &LocalEventDetector, sig: Signal) -> Vec<Detection> {
+        match sig {
+            Signal::Method { class, sig, edge, oid, params, txn } => {
+                det.notify_method(&class, &sig, edge, oid, params, txn)
+            }
+            Signal::Explicit { name, params, txn } => det.signal_explicit(&name, params, txn),
+            Signal::FlushTxn(txn) => {
+                det.flush_txn(txn);
+                Vec::new()
+            }
+            Signal::AdvanceTime(ts) => det.advance_time(ts),
+        }
+    }
+
+    /// The shared detector (for definitions and subscriptions, which are
+    /// safe from any thread).
+    pub fn detector(&self) -> &Arc<LocalEventDetector> {
+        &self.detector
+    }
+
+    /// Sends a signal and waits for its detections (immediate mode).
+    pub fn signal_sync(&self, sig: Signal) -> Vec<Detection> {
+        let (tx, rx) = bounded(1);
+        if self.requests.send(Request::Sync(sig, tx)).is_err() {
+            return Vec::new();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Queues a signal; detections arrive on [`Self::detections`].
+    pub fn signal_async(&self, sig: Signal) {
+        let _ = self.requests.send(Request::Async(sig));
+    }
+
+    /// Stream of detections from async signals.
+    pub fn detections(&self) -> &Receiver<Detection> {
+        &self.detections
+    }
+}
+
+impl Drop for DetectorService {
+    fn drop(&mut self) {
+        let _ = self.requests.send(Request::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PrimTarget;
+    use sentinel_snoop::{parse_event_expr, ParamContext};
+
+    fn service() -> DetectorService {
+        let det = Arc::new(LocalEventDetector::new(1));
+        det.declare_primitive("ev", "C", EventModifier::End, "void f()", PrimTarget::AnyInstance)
+            .unwrap();
+        DetectorService::spawn(det)
+    }
+
+    fn method_signal(txn: u64) -> Signal {
+        Signal::Method {
+            class: "C".into(),
+            sig: "void f()".into(),
+            edge: EventModifier::End,
+            oid: 1,
+            params: Vec::new(),
+            txn: Some(txn),
+        }
+    }
+
+    #[test]
+    fn sync_signal_returns_detections_inline() {
+        let svc = service();
+        let ev = svc.detector().lookup("ev").unwrap();
+        svc.detector().subscribe(ev, ParamContext::Recent, 9).unwrap();
+        let dets = svc.signal_sync(method_signal(1));
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].subscribers, vec![9]);
+    }
+
+    #[test]
+    fn async_signals_stream_detections() {
+        let svc = service();
+        let det = svc.detector();
+        let expr = parse_event_expr("ev ; ev").unwrap();
+        let seq = det.define_named("evev", &expr).unwrap();
+        det.subscribe(seq, ParamContext::Chronicle, 4).unwrap();
+        svc.signal_async(method_signal(1));
+        svc.signal_async(method_signal(1));
+        let d = svc
+            .detections()
+            .recv_timeout(std::time::Duration::from_secs(2))
+            .expect("composite detection");
+        assert_eq!(d.event, seq);
+        assert_eq!(d.occurrence.param_list().len(), 2);
+    }
+
+    #[test]
+    fn flush_via_channel_applies_in_order() {
+        let svc = service();
+        let det = svc.detector();
+        let expr = parse_event_expr("ev ; ev").unwrap();
+        let seq = det.define_named("evev", &expr).unwrap();
+        det.subscribe(seq, ParamContext::Chronicle, 4).unwrap();
+        svc.signal_async(method_signal(7));
+        svc.signal_async(Signal::FlushTxn(7));
+        let dets = svc.signal_sync(method_signal(8));
+        assert!(dets.is_empty(), "initiator of T7 flushed before T8's event");
+    }
+
+    #[test]
+    fn shutdown_on_drop_is_clean() {
+        let svc = service();
+        drop(svc); // must not hang or panic
+    }
+
+    #[test]
+    fn advance_time_signal_fires_temporal_events() {
+        let svc = service();
+        let det = svc.detector();
+        let plus = det
+            .define_named("later", &parse_event_expr("PLUS(ev, 50)").unwrap())
+            .unwrap();
+        det.subscribe(plus, ParamContext::Recent, 3).unwrap();
+        svc.signal_async(method_signal(1)); // anchors the PLUS at ts=1
+        let dets = svc.signal_sync(Signal::AdvanceTime(100));
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].event, plus);
+        assert_eq!(dets[0].occurrence.at, 51);
+    }
+}

@@ -1,0 +1,471 @@
+//! Method invocation with wrapper hooks — the seam Sentinel's
+//! post-processor uses.
+//!
+//! In the Open OODB, the pre-processor renames the user method to
+//! `user_<name>` and generates a wrapper that collects parameters and calls
+//! `Notify(...)` before and/or after invoking the original (§3.2.1). Here
+//! [`Database::invoke`] *is* that wrapper: method bodies are registered
+//! closures (the `user_` methods), and installed [`InvocationHooks`]
+//! receive the begin/end notifications with the collected parameter list.
+//! The database stays passive — it calls whatever hooks are installed and
+//! `sentinel-core` installs the event bridge.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use sentinel_storage::{StorageEngine, StorageError, TxnId};
+
+use crate::names::NameManager;
+use crate::object::{AttrValue, ObjectState, Oid};
+use crate::schema::{ClassRegistry, SchemaError};
+use crate::store::ObjectStore;
+
+/// Errors from database operations.
+#[derive(Debug)]
+pub enum DbError {
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// Schema violation.
+    Schema(SchemaError),
+    /// Method not declared on the object's class chain.
+    NoSuchMethod {
+        /// The object's class.
+        class: String,
+        /// Requested signature.
+        sig: String,
+    },
+    /// Method declared but no body registered.
+    NoBody {
+        /// Declaring class.
+        class: String,
+        /// Signature.
+        sig: String,
+    },
+    /// Application-level failure raised by a method body.
+    App(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+            DbError::Schema(e) => write!(f, "schema error: {e}"),
+            DbError::NoSuchMethod { class, sig } => {
+                write!(f, "no method `{sig}` on class `{class}`")
+            }
+            DbError::NoBody { class, sig } => {
+                write!(f, "no body registered for `{class}::{sig}`")
+            }
+            DbError::App(msg) => write!(f, "application error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+impl From<SchemaError> for DbError {
+    fn from(e: SchemaError) -> Self {
+        DbError::Schema(e)
+    }
+}
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Everything a wrapper notification carries — the paper's
+/// `Notify(current_obj, class_name, method_name, event_modifier, para_list)`.
+#[derive(Debug, Clone)]
+pub struct MethodCall {
+    /// The receiver object.
+    pub oid: Oid,
+    /// The receiver's concrete class.
+    pub class: String,
+    /// The class chain (concrete class first, then ancestors) — class-level
+    /// events declared on an ancestor must fire for descendants.
+    pub chain: Vec<String>,
+    /// The class that declares the method.
+    pub declaring_class: String,
+    /// Canonical method signature.
+    pub sig: String,
+    /// Collected parameters (`PARA_LIST`).
+    pub args: Vec<(String, AttrValue)>,
+    /// Enclosing transaction.
+    pub txn: TxnId,
+}
+
+/// Before/after invocation hooks (the Sentinel post-processor's insertion
+/// point). `before` runs before the user method body, `after` runs after it
+/// returns successfully.
+pub trait InvocationHooks: Send + Sync {
+    /// Called before the method body.
+    fn before(&self, call: &MethodCall);
+    /// Called after the method body.
+    fn after(&self, call: &MethodCall);
+}
+
+/// Execution context handed to a method body (the `user_…` function).
+pub struct MethodCtx<'a> {
+    /// The database (bodies may read/write objects, invoke other methods…).
+    pub db: &'a Database,
+    /// Enclosing transaction.
+    pub txn: TxnId,
+    /// Receiver object.
+    pub oid: Oid,
+    /// Actual arguments.
+    pub args: Vec<(String, AttrValue)>,
+}
+
+impl MethodCtx<'_> {
+    /// Positional/named argument lookup.
+    pub fn arg(&self, name: &str) -> Option<&AttrValue> {
+        self.args.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Reads an attribute of the receiver.
+    pub fn get_attr(&self, name: &str) -> DbResult<AttrValue> {
+        let state = self.db.store().get(self.txn, self.oid)?;
+        Ok(state.get(name).cloned().unwrap_or(AttrValue::Null))
+    }
+
+    /// Writes an attribute of the receiver.
+    pub fn set_attr(&self, name: &str, value: impl Into<AttrValue>) -> DbResult<()> {
+        let mut state = self.db.store().get(self.txn, self.oid)?;
+        state.set(name, value);
+        self.db.registry().validate(&state)?;
+        self.db.store().update(self.txn, self.oid, &state)?;
+        Ok(())
+    }
+}
+
+/// A registered method body.
+pub type MethodBody = Arc<dyn for<'a> Fn(&MethodCtx<'a>) -> DbResult<AttrValue> + Send + Sync>;
+
+/// The passive object database: schema + store + names + method dispatch.
+pub struct Database {
+    engine: Arc<StorageEngine>,
+    store: Arc<ObjectStore>,
+    names: NameManager,
+    registry: RwLock<ClassRegistry>,
+    methods: RwLock<HashMap<(String, String), MethodBody>>,
+    hooks: RwLock<Vec<Arc<dyn InvocationHooks>>>,
+}
+
+impl Database {
+    /// Opens a database over `engine`.
+    pub fn open(engine: Arc<StorageEngine>) -> DbResult<Self> {
+        let store = Arc::new(ObjectStore::open(engine.clone())?);
+        Ok(Database {
+            engine,
+            names: NameManager::new(store.clone()),
+            store,
+            registry: RwLock::new(ClassRegistry::new()),
+            methods: RwLock::new(HashMap::new()),
+            hooks: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// An ephemeral in-memory database.
+    pub fn in_memory() -> Self {
+        Self::open(Arc::new(StorageEngine::in_memory())).expect("in-memory db")
+    }
+
+    /// The storage engine.
+    pub fn engine(&self) -> &Arc<StorageEngine> {
+        &self.engine
+    }
+
+    /// The object store.
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// The name manager.
+    pub fn names(&self) -> &NameManager {
+        &self.names
+    }
+
+    /// Read access to the class registry.
+    pub fn registry(&self) -> parking_lot::RwLockReadGuard<'_, ClassRegistry> {
+        self.registry.read()
+    }
+
+    /// Registers a class.
+    pub fn register_class(&self, def: crate::schema::ClassDef) -> DbResult<()> {
+        self.registry.write().register(def)?;
+        Ok(())
+    }
+
+    /// Registers a method body on `(class, sig)`.
+    pub fn register_method(&self, class: &str, sig: &str, body: MethodBody) {
+        self.methods.write().insert((class.to_string(), sig.to_string()), body);
+    }
+
+    /// Installs invocation hooks (the Sentinel event bridge).
+    pub fn add_hooks(&self, hooks: Arc<dyn InvocationHooks>) {
+        self.hooks.write().push(hooks);
+    }
+
+    // --- transactions (delegated; the active layer wraps these) ---------
+
+    /// Begins a top-level transaction.
+    pub fn begin(&self) -> DbResult<TxnId> {
+        Ok(self.engine.begin()?)
+    }
+
+    /// Commits a transaction.
+    pub fn commit(&self, txn: TxnId) -> DbResult<()> {
+        Ok(self.engine.commit(txn)?)
+    }
+
+    /// Aborts a transaction.
+    pub fn abort(&self, txn: TxnId) -> DbResult<()> {
+        Ok(self.engine.abort(txn)?)
+    }
+
+    // --- objects ---------------------------------------------------------
+
+    /// Creates an object (validated against the schema).
+    pub fn create_object(&self, txn: TxnId, state: &ObjectState) -> DbResult<Oid> {
+        self.registry.read().validate(state)?;
+        Ok(self.store.create(txn, state)?)
+    }
+
+    /// Reads an object.
+    pub fn get_object(&self, txn: TxnId, oid: Oid) -> DbResult<ObjectState> {
+        Ok(self.store.get(txn, oid)?)
+    }
+
+    /// Deletes an object.
+    pub fn delete_object(&self, txn: TxnId, oid: Oid) -> DbResult<()> {
+        Ok(self.store.delete(txn, oid)?)
+    }
+
+    /// Invokes `sig` on `oid` — the wrapper method. Fires `before` hooks,
+    /// runs the registered body (resolved up the inheritance chain), fires
+    /// `after` hooks, and returns the body's result.
+    pub fn invoke(
+        &self,
+        txn: TxnId,
+        oid: Oid,
+        sig: &str,
+        args: Vec<(String, AttrValue)>,
+    ) -> DbResult<AttrValue> {
+        let state = self.store.get(txn, oid)?;
+        let (declaring, chain) = {
+            let registry = self.registry.read();
+            let declaring = registry
+                .resolve_method(&state.class, sig)
+                .ok_or_else(|| DbError::NoSuchMethod {
+                    class: state.class.clone(),
+                    sig: sig.to_string(),
+                })?
+                .to_string();
+            let chain: Vec<String> =
+                registry.chain(&state.class).into_iter().map(str::to_string).collect();
+            (declaring, chain)
+        };
+        let body = self
+            .methods
+            .read()
+            .get(&(declaring.clone(), sig.to_string()))
+            .cloned()
+            .ok_or_else(|| DbError::NoBody { class: declaring.clone(), sig: sig.to_string() })?;
+        let call = MethodCall {
+            oid,
+            class: state.class.clone(),
+            chain,
+            declaring_class: declaring,
+            sig: sig.to_string(),
+            args: args.clone(),
+            txn,
+        };
+        for h in self.hooks.read().iter() {
+            h.before(&call);
+        }
+        let ctx = MethodCtx { db: self, txn, oid, args };
+        let result = body(&ctx)?;
+        for h in self.hooks.read().iter() {
+            h.after(&call);
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, ClassDef};
+    use parking_lot::Mutex;
+
+    fn stock_db() -> Database {
+        let db = Database::in_memory();
+        db.register_class(ClassDef::new("REACTIVE")).unwrap();
+        db.register_class(
+            ClassDef::new("STOCK")
+                .extends("REACTIVE")
+                .attr("symbol", AttrType::Str)
+                .attr("price", AttrType::Float)
+                .attr("holdings", AttrType::Int)
+                .method("void set_price(float price)")
+                .method("int sell_stock(int qty)"),
+        )
+        .unwrap();
+        db.register_method(
+            "STOCK",
+            "void set_price(float price)",
+            Arc::new(|ctx| {
+                let price = ctx.arg("price").and_then(AttrValue::as_float).unwrap_or(0.0);
+                ctx.set_attr("price", price)?;
+                Ok(AttrValue::Null)
+            }),
+        );
+        db.register_method(
+            "STOCK",
+            "int sell_stock(int qty)",
+            Arc::new(|ctx| {
+                let qty = ctx.arg("qty").and_then(|v| v.as_int()).unwrap_or(0);
+                let held = ctx.get_attr("holdings")?.as_int().unwrap_or(0);
+                if qty > held {
+                    return Err(DbError::App(format!("cannot sell {qty}, hold {held}")));
+                }
+                ctx.set_attr("holdings", held - qty)?;
+                Ok(AttrValue::Int(held - qty))
+            }),
+        );
+        db
+    }
+
+    fn ibm(db: &Database, txn: TxnId) -> Oid {
+        db.create_object(
+            txn,
+            &ObjectState::new("STOCK").with("symbol", "IBM").with("price", 100.0).with("holdings", 10),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invoke_runs_body_and_mutates_state() {
+        let db = stock_db();
+        let t = db.begin().unwrap();
+        let oid = ibm(&db, t);
+        db.invoke(t, oid, "void set_price(float price)", vec![("price".into(), 123.5.into())])
+            .unwrap();
+        assert_eq!(
+            db.get_object(t, oid).unwrap().get("price").unwrap().as_float(),
+            Some(123.5)
+        );
+        let left = db
+            .invoke(t, oid, "int sell_stock(int qty)", vec![("qty".into(), 4.into())])
+            .unwrap();
+        assert_eq!(left.as_int(), Some(6));
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn app_errors_propagate() {
+        let db = stock_db();
+        let t = db.begin().unwrap();
+        let oid = ibm(&db, t);
+        let err = db.invoke(t, oid, "int sell_stock(int qty)", vec![("qty".into(), 99.into())]);
+        assert!(matches!(err, Err(DbError::App(_))));
+        db.abort(t).unwrap();
+    }
+
+    #[test]
+    fn hooks_fire_before_and_after_with_parameters() {
+        struct Recorder(Mutex<Vec<String>>);
+        impl InvocationHooks for Recorder {
+            fn before(&self, call: &MethodCall) {
+                self.0.lock().push(format!("before {} args={}", call.sig, call.args.len()));
+            }
+            fn after(&self, call: &MethodCall) {
+                self.0.lock().push(format!("after {}", call.sig));
+            }
+        }
+        let db = stock_db();
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        db.add_hooks(rec.clone());
+        let t = db.begin().unwrap();
+        let oid = ibm(&db, t);
+        db.invoke(t, oid, "void set_price(float price)", vec![("price".into(), 1.0.into())])
+            .unwrap();
+        db.commit(t).unwrap();
+        let log = rec.0.lock();
+        assert_eq!(
+            *log,
+            vec![
+                "before void set_price(float price) args=1".to_string(),
+                "after void set_price(float price)".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn inherited_method_resolves_to_declaring_class() {
+        let db = stock_db();
+        db.register_class(ClassDef::new("TECH_STOCK").extends("STOCK").attr("sector", AttrType::Str))
+            .unwrap();
+        struct ChainCheck(Mutex<Vec<String>>);
+        impl InvocationHooks for ChainCheck {
+            fn before(&self, call: &MethodCall) {
+                assert_eq!(call.declaring_class, "STOCK");
+                assert_eq!(call.class, "TECH_STOCK");
+                self.0.lock().extend(call.chain.clone());
+            }
+            fn after(&self, _call: &MethodCall) {}
+        }
+        let check = Arc::new(ChainCheck(Mutex::new(Vec::new())));
+        db.add_hooks(check.clone());
+        let t = db.begin().unwrap();
+        let oid = db
+            .create_object(
+                t,
+                &ObjectState::new("TECH_STOCK")
+                    .with("symbol", "MSFT")
+                    .with("price", 50.0)
+                    .with("holdings", 1)
+                    .with("sector", "software"),
+            )
+            .unwrap();
+        db.invoke(t, oid, "void set_price(float price)", vec![("price".into(), 2.0.into())])
+            .unwrap();
+        db.commit(t).unwrap();
+        assert_eq!(*check.0.lock(), vec!["TECH_STOCK", "STOCK", "REACTIVE"]);
+    }
+
+    #[test]
+    fn unknown_method_and_missing_body_errors() {
+        let db = stock_db();
+        db.register_class(ClassDef::new("BARE").extends("REACTIVE").method("void declared_only()"))
+            .unwrap();
+        let t = db.begin().unwrap();
+        let oid = db.create_object(t, &ObjectState::new("BARE")).unwrap();
+        assert!(matches!(
+            db.invoke(t, oid, "void ghost()", vec![]),
+            Err(DbError::NoSuchMethod { .. })
+        ));
+        assert!(matches!(
+            db.invoke(t, oid, "void declared_only()", vec![]),
+            Err(DbError::NoBody { .. })
+        ));
+        db.abort(t).unwrap();
+    }
+
+    #[test]
+    fn schema_validation_on_create() {
+        let db = stock_db();
+        let t = db.begin().unwrap();
+        let bad = ObjectState::new("STOCK").with("price", "not a float");
+        assert!(matches!(db.create_object(t, &bad), Err(DbError::Schema(_))));
+        db.abort(t).unwrap();
+    }
+}

@@ -1,0 +1,36 @@
+//! # sentinel-oodb
+//!
+//! A passive object-oriented database — the reproduction's stand-in for the
+//! **Open OODB Toolkit** (Texas Instruments) that Sentinel extends.
+//!
+//! The paper relies on Open OODB for exactly the extension points Sentinel
+//! hooks into, and this crate provides each of them:
+//!
+//! * a **class model** with single inheritance, typed attributes and
+//!   methods ([`schema`]);
+//! * **objects** with identity (OIDs) persisted through the Exodus-analogue
+//!   storage engine ([`object`], [`store`] — the "object translation" and
+//!   "persistence manager" boxes of Figure 1);
+//! * a **name manager** binding names to objects ([`names`]);
+//! * **wrapper methods**: every method invocation runs through
+//!   [`invoke::Database::invoke`], which calls registered
+//!   [`invoke::InvocationHooks`] *before and after* the user method body —
+//!   the exact seam where the Sentinel post-processor inserts its
+//!   `Notify(...)` calls and parameter collection (§3.2.1).
+//!
+//! The crate is deliberately *passive*: it knows nothing about events or
+//! rules. `sentinel-core` makes it active by installing hooks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod invoke;
+pub mod names;
+pub mod object;
+pub mod schema;
+pub mod store;
+
+pub use invoke::{Database, InvocationHooks, MethodBody, MethodCtx};
+pub use object::{AttrValue, ObjectState, Oid};
+pub use schema::{AttrType, ClassDef, ClassRegistry, MethodDef};
+pub use store::ObjectStore;

@@ -1,0 +1,66 @@
+//! Name manager: the Figure 1 module that binds human-readable names to
+//! persistent objects (`Stock IBM` in the paper's application syntax names
+//! the instance the instance-level event is declared on).
+//!
+//! Thin transactional facade over the object store's persistent name table.
+
+use std::sync::Arc;
+
+use sentinel_storage::{StorageResult, TxnId};
+
+use crate::object::Oid;
+use crate::store::ObjectStore;
+
+/// The name manager.
+pub struct NameManager {
+    store: Arc<ObjectStore>,
+}
+
+impl NameManager {
+    /// A manager over `store`.
+    pub fn new(store: Arc<ObjectStore>) -> Self {
+        NameManager { store }
+    }
+
+    /// Binds `name` to `oid` (rebinding replaces).
+    pub fn bind(&self, txn: TxnId, name: &str, oid: Oid) -> StorageResult<()> {
+        self.store.bind_name(txn, name, oid)
+    }
+
+    /// Resolves `name` to an oid.
+    pub fn resolve(&self, name: &str) -> Option<Oid> {
+        self.store.resolve_name(name)
+    }
+
+    /// Drops a binding; returns whether it existed.
+    pub fn unbind(&self, txn: TxnId, name: &str) -> StorageResult<bool> {
+        self.store.unbind_name(txn, name)
+    }
+
+    /// All bound names, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.store.names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectState;
+    use sentinel_storage::StorageEngine;
+
+    #[test]
+    fn bind_resolve_unbind() {
+        let engine = Arc::new(StorageEngine::in_memory());
+        let store = Arc::new(ObjectStore::open(engine.clone()).unwrap());
+        let names = NameManager::new(store.clone());
+        let t = engine.begin().unwrap();
+        let oid = store.create(t, &ObjectState::new("STOCK")).unwrap();
+        names.bind(t, "IBM", oid).unwrap();
+        assert_eq!(names.resolve("IBM"), Some(oid));
+        assert_eq!(names.list(), vec!["IBM".to_string()]);
+        assert!(names.unbind(t, "IBM").unwrap());
+        assert_eq!(names.resolve("IBM"), None);
+        engine.commit(t).unwrap();
+    }
+}

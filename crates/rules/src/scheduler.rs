@@ -1,0 +1,773 @@
+//! Rule scheduler: packages triggered rules into nested subtransactions and
+//! executes them on prioritized threads (Figure 3).
+//!
+//! Execution model reproduced from the paper:
+//!
+//! * every fired rule's condition+action pair runs as a **subtransaction**
+//!   of the triggering transaction (`begin_subtransaction(current)` …
+//!   `end_subtransaction` in Figure 3);
+//! * rules in a *higher priority class* run strictly before rules in a
+//!   lower one ("prioritized serial execution"), while rules *within* one
+//!   class run concurrently on the thread pool;
+//! * the triggering application is **suspended** until all immediate rules
+//!   (including nested ones) have executed, then resumes;
+//! * **nested triggering**: events raised by an action trigger rules whose
+//!   threads get a priority derived from the nesting level and the
+//!   triggering rule's class, yielding depth-first execution;
+//! * primitive-event signalling is disabled while a condition runs
+//!   (conditions are side-effect free, §3.2.1);
+//! * **detached** rules are not executed in-line: they are queued for a
+//!   separate application (fed through the global event detector in
+//!   `sentinel-core`).
+//!
+//! Two execution modes: [`ExecutionMode::Threaded`] (the paper's model) and
+//! [`ExecutionMode::Inline`] (same semantics on the calling thread, fully
+//! deterministic — used by tests and batch replays).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use sentinel_detector::{Detection, Occurrence};
+use sentinel_snoop::CouplingMode;
+use sentinel_txn::{NestedTxnManager, PriorityPool, SubTxnId};
+
+use crate::debugger::{RuleDebugger, TraceEvent};
+use crate::manager::RuleManager;
+use crate::rule::{RuleId, RuleInvocation};
+
+/// Pseudo-transaction id used to anchor rules fired outside any
+/// transaction (e.g. pure temporal events).
+const NO_TXN: u64 = u64::MAX;
+
+/// How rule bodies are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// On the calling thread, strictly priority-ordered, depth-first.
+    Inline,
+    /// On a priority thread pool with this many workers (the paper's
+    /// light-weight-process model).
+    Threaded {
+        /// Worker thread count (≥ 1).
+        workers: usize,
+    },
+}
+
+/// A detached-rule execution request, to be run in a separate top-level
+/// transaction by a detached executor.
+#[derive(Debug)]
+pub struct DetachedRequest {
+    /// The rule to run.
+    pub rule: RuleId,
+    /// The triggering occurrence.
+    pub occurrence: Arc<Occurrence>,
+}
+
+struct Frame {
+    sub: SubTxnId,
+    depth: u32,
+}
+
+thread_local! {
+    /// The rule frame of the rule body currently executing on this thread
+    /// (None when application code is running).
+    static FRAME: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Savepoint hooks for subtransaction-level recovery: `mark(txn)` records
+/// a savepoint before a rule body runs; `rollback(txn, mark)` undoes the
+/// body's writes when it fails. Installed by `sentinel-core` over the
+/// storage engine (the scheduler itself stays storage-agnostic).
+pub struct SavepointHooks {
+    /// Takes a savepoint for the transaction.
+    pub mark: Box<dyn Fn(u64) -> Option<u64> + Send + Sync>,
+    /// Rolls the transaction back to the savepoint.
+    pub rollback: Box<dyn Fn(u64, u64) + Send + Sync>,
+}
+
+/// The rule scheduler.
+pub struct RuleScheduler {
+    manager: Arc<RuleManager>,
+    nested: Arc<NestedTxnManager>,
+    debugger: Arc<RuleDebugger>,
+    pool: Option<PriorityPool>,
+    /// Root subtransaction per top-level transaction.
+    roots: Mutex<HashMap<u64, SubTxnId>>,
+    detached_tx: Sender<DetachedRequest>,
+    detached_rx: Receiver<DetachedRequest>,
+    savepoints: Mutex<Option<Arc<SavepointHooks>>>,
+}
+
+impl RuleScheduler {
+    /// A scheduler over `manager` in the given execution mode.
+    pub fn new(manager: Arc<RuleManager>, mode: ExecutionMode) -> Arc<Self> {
+        let pool = match mode {
+            ExecutionMode::Inline => None,
+            ExecutionMode::Threaded { workers } => Some(PriorityPool::new(workers)),
+        };
+        let (detached_tx, detached_rx) = unbounded();
+        Arc::new(RuleScheduler {
+            manager,
+            nested: Arc::new(NestedTxnManager::new()),
+            debugger: Arc::new(RuleDebugger::new()),
+            pool,
+            roots: Mutex::new(HashMap::new()),
+            detached_tx,
+            detached_rx,
+            savepoints: Mutex::new(None),
+        })
+    }
+
+    /// Installs savepoint hooks (subtransaction-level recovery): a failing
+    /// rule body then rolls back its own database writes instead of leaving
+    /// them in the triggering transaction.
+    pub fn set_savepoint_hooks(&self, hooks: SavepointHooks) {
+        *self.savepoints.lock() = Some(Arc::new(hooks));
+    }
+
+    /// The rule manager.
+    pub fn manager(&self) -> &Arc<RuleManager> {
+        &self.manager
+    }
+
+    /// The nested transaction manager rule bodies run under.
+    pub fn nested(&self) -> &Arc<NestedTxnManager> {
+        &self.nested
+    }
+
+    /// The rule debugger.
+    pub fn debugger(&self) -> &Arc<RuleDebugger> {
+        &self.debugger
+    }
+
+    /// Receiver for detached-rule requests (consumed by the detached
+    /// executor in `sentinel-core`).
+    pub fn detached_requests(&self) -> Receiver<DetachedRequest> {
+        self.detached_rx.clone()
+    }
+
+    /// Dispatches a batch of detections.
+    ///
+    /// Called from application code (top level) or re-entrantly from inside
+    /// a rule action (nested triggering — "the nested triggering of rules by
+    /// the execution of action function is … readily accomplished"). Blocks
+    /// until every immediate rule triggered by this batch — including rules
+    /// they trigger in turn — has finished.
+    pub fn dispatch(self: &Arc<Self>, detections: Vec<Detection>) {
+        if detections.is_empty() {
+            return;
+        }
+        let frame = FRAME.with(|f| {
+            f.borrow().last().map(|fr| (fr.sub, fr.depth))
+        });
+        // Collect (rule, occurrence) pairs that survive the filters,
+        // grouped by priority class (descending).
+        let mut classes: BTreeMap<std::cmp::Reverse<u32>, Vec<(RuleId, Arc<Occurrence>)>> =
+            BTreeMap::new();
+        let depth = frame.map_or(0, |(_, d)| d + 1);
+        for det in detections {
+            for sub in det.subscribers {
+                let rule_id = RuleId(sub);
+                let info = self.manager.with_rule(rule_id, |r| {
+                    (
+                        r.enabled,
+                        r.accepts(&det.occurrence),
+                        r.coupling,
+                        r.priority,
+                        r.name.clone(),
+                    )
+                });
+                let Ok((enabled, accepts, coupling, priority, name)) = info else {
+                    continue; // rule deleted concurrently
+                };
+                if !enabled {
+                    self.debugger.record(TraceEvent::Skipped {
+                        rule: rule_id,
+                        reason: "disabled",
+                        depth,
+                    });
+                    continue;
+                }
+                if !accepts {
+                    self.debugger.record(TraceEvent::Skipped {
+                        rule: rule_id,
+                        reason: "trigger mode NOW: pre-definition constituents",
+                        depth,
+                    });
+                    continue;
+                }
+                if coupling == CouplingMode::Detached {
+                    // Queue for the detached executor; runs in its own
+                    // top-level transaction.
+                    let _ = self
+                        .detached_tx
+                        .send(DetachedRequest { rule: rule_id, occurrence: det.occurrence.clone() });
+                    continue;
+                }
+                self.debugger.record(TraceEvent::Triggered {
+                    rule: rule_id,
+                    rule_name: name,
+                    event: det.occurrence.event_name.clone(),
+                    context: det.context,
+                    at: det.occurrence.at,
+                    depth,
+                });
+                classes
+                    .entry(std::cmp::Reverse(priority))
+                    .or_default()
+                    .push((rule_id, det.occurrence.clone()));
+            }
+        }
+        if classes.is_empty() {
+            return;
+        }
+
+        // Anchor: the caller's subtransaction (nested triggering) or the
+        // root subtransaction of the occurrence's top-level transaction.
+        let parent = match frame {
+            Some((sub, _)) => sub,
+            None => {
+                let txn = classes
+                    .values()
+                    .flatten()
+                    .find_map(|(_, occ)| occ.txn)
+                    .unwrap_or(NO_TXN);
+                self.root_for(txn)
+            }
+        };
+
+        // Priority classes execute serially (highest first); rules within a
+        // class execute concurrently (threaded) or in order (inline).
+        //
+        // Nested triggering (frame present) always executes *inline on the
+        // current rule thread*: this is the paper's depth-first execution —
+        // the nested rule completes before its triggering action returns,
+        // under the still-active parent subtransaction. (A pool worker must
+        // also never quiesce the pool it runs on.)
+        let run_inline = frame.is_some() || self.pool.is_none();
+        for (std::cmp::Reverse(class), batch) in classes {
+            if run_inline {
+                for (rule_id, occ) in batch {
+                    self.execute_rule(rule_id, occ, parent, depth);
+                }
+            } else {
+                let pool = self.pool.as_ref().expect("threaded mode");
+                for (rule_id, occ) in batch {
+                    let sched = self.clone();
+                    pool.submit(i64::from(class), move || {
+                        sched.execute_rule(rule_id, occ, parent, depth);
+                    });
+                }
+                // Suspend the application until this class (and every rule
+                // it transitively triggered) is done, then start the next
+                // class (Figure 3's suspension point).
+                pool.quiesce();
+            }
+        }
+    }
+
+    /// Runs one rule body as a subtransaction of `parent`.
+    fn execute_rule(
+        self: &Arc<Self>,
+        rule_id: RuleId,
+        occurrence: Arc<Occurrence>,
+        parent: SubTxnId,
+        depth: u32,
+    ) {
+        let Ok(sub) = self.nested.begin_sub(parent) else {
+            // Parent already resolved (e.g. transaction ended while queued).
+            self.debugger.record(TraceEvent::Skipped {
+                rule: rule_id,
+                reason: "parent transaction finished",
+                depth,
+            });
+            return;
+        };
+        let Ok((name, cond, action)) = self.manager.with_rule(rule_id, |r| {
+            (r.name.clone(), r.condition.clone(), r.action.clone())
+        }) else {
+            let _ = self.nested.abort_sub(sub);
+            return;
+        };
+        let invocation = RuleInvocation {
+            rule: rule_id,
+            rule_name: name,
+            occurrence: occurrence.clone(),
+            depth,
+            txn: occurrence.txn,
+            subtxn: Some(sub),
+        };
+        FRAME.with(|f| f.borrow_mut().push(Frame { sub, depth }));
+        let detector = self.manager.detector().clone();
+        let hooks = self.savepoints.lock().clone();
+        let savepoint = hooks
+            .as_ref()
+            .zip(occurrence.txn)
+            .and_then(|(h, txn)| (h.mark)(txn).map(|m| (txn, m)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // Conditions are side-effect free: suppress event signalling
+            // while the condition runs (the paper's global flag).
+            detector.set_signaling(false);
+            let satisfied = (cond)(&invocation);
+            detector.set_signaling(true);
+            self.debugger.record(TraceEvent::Condition { rule: rule_id, satisfied, depth });
+            if satisfied {
+                (action)(&invocation);
+                self.debugger.record(TraceEvent::Action { rule: rule_id, depth });
+            }
+        }));
+        FRAME.with(|f| {
+            f.borrow_mut().pop();
+        });
+        match result {
+            Ok(()) => {
+                let _ = self.nested.commit_sub(sub);
+            }
+            Err(_) => {
+                detector.set_signaling(true);
+                let _ = self.nested.abort_sub(sub);
+                // Subtransaction-level recovery: undo the body's writes.
+                if let (Some(h), Some((txn, mark))) = (hooks.as_ref(), savepoint) {
+                    (h.rollback)(txn, mark);
+                }
+                self.debugger.record(TraceEvent::Skipped {
+                    rule: rule_id,
+                    reason: "rule body panicked; subtransaction aborted",
+                    depth,
+                });
+            }
+        }
+    }
+
+    fn root_for(&self, txn: u64) -> SubTxnId {
+        *self.roots.lock().entry(txn).or_insert_with(|| self.nested.begin_top(txn))
+    }
+
+    /// Finishes the rule-subtransaction tree of a top-level transaction
+    /// (called on commit with `committed = true`, on abort with `false`).
+    pub fn on_txn_end(&self, txn: u64, committed: bool) {
+        if let Some(root) = self.roots.lock().remove(&txn) {
+            if committed {
+                let _ = self.nested.commit_sub(root);
+            } else {
+                let _ = self.nested.abort_sub(root);
+            }
+            self.nested.forget_tree(root);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::RuleOptions;
+    use sentinel_detector::graph::PrimTarget;
+    use sentinel_detector::LocalEventDetector;
+    use sentinel_snoop::ast::EventModifier;
+    use sentinel_snoop::TriggerMode;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Fixture {
+        det: Arc<LocalEventDetector>,
+        sched: Arc<RuleScheduler>,
+    }
+
+    fn fixture(mode: ExecutionMode) -> Fixture {
+        let det = Arc::new(LocalEventDetector::new(0));
+        for (name, sig) in [("ev", "void f()"), ("ev2", "void g()"), ("ev3", "void h()")] {
+            det.declare_primitive(name, "C", EventModifier::End, sig, PrimTarget::AnyInstance)
+                .unwrap();
+        }
+        let mgr = Arc::new(RuleManager::new(det.clone()));
+        let sched = RuleScheduler::new(mgr, mode);
+        Fixture { det, sched }
+    }
+
+    impl Fixture {
+        fn signal(&self, sig: &str) {
+            let dets =
+                self.det
+                    .notify_method("C", sig, EventModifier::End, 1, Vec::new(), Some(1));
+            self.sched.dispatch(dets);
+        }
+    }
+
+    #[test]
+    fn rule_fires_condition_then_action() {
+        let fx = fixture(ExecutionMode::Inline);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        let ev = fx.det.lookup("ev").unwrap();
+        fx.sched
+            .manager()
+            .define_rule(
+                "R1",
+                ev,
+                Arc::new(move |_| {
+                    o1.lock().push("cond");
+                    true
+                }),
+                Arc::new(move |_| o2.lock().push("action")),
+                RuleOptions::default(),
+            )
+            .unwrap();
+        fx.signal("void f()");
+        assert_eq!(*order.lock(), vec!["cond", "action"]);
+    }
+
+    #[test]
+    fn false_condition_suppresses_action() {
+        let fx = fixture(ExecutionMode::Inline);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        let ev = fx.det.lookup("ev").unwrap();
+        fx.sched
+            .manager()
+            .define_rule(
+                "R1",
+                ev,
+                Arc::new(|_| false),
+                Arc::new(move |_| {
+                    r.fetch_add(1, Ordering::SeqCst);
+                }),
+                RuleOptions::default(),
+            )
+            .unwrap();
+        fx.signal("void f()");
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn priority_classes_execute_high_to_low() {
+        for mode in [ExecutionMode::Inline, ExecutionMode::Threaded { workers: 4 }] {
+            let fx = fixture(mode);
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let ev = fx.det.lookup("ev").unwrap();
+            for (name, prio) in [("low", 1u32), ("high", 9), ("mid", 5)] {
+                let o = order.clone();
+                fx.sched
+                    .manager()
+                    .define_rule(
+                        name,
+                        ev,
+                        Arc::new(|_| true),
+                        Arc::new(move |_| o.lock().push(name)),
+                        RuleOptions::default().priority(prio),
+                    )
+                    .unwrap();
+            }
+            fx.signal("void f()");
+            assert_eq!(*order.lock(), vec!["high", "mid", "low"], "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_rules_on_one_event_all_fire() {
+        let fx = fixture(ExecutionMode::Threaded { workers: 4 });
+        let count = Arc::new(AtomicUsize::new(0));
+        let ev = fx.det.lookup("ev").unwrap();
+        for i in 0..10 {
+            let c = count.clone();
+            fx.sched
+                .manager()
+                .define_rule(
+                    &format!("R{i}"),
+                    ev,
+                    Arc::new(|_| true),
+                    Arc::new(move |_| {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }),
+                    RuleOptions::default(),
+                )
+                .unwrap();
+        }
+        fx.signal("void f()");
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_triggering_depth_first() {
+        // R1 on ev raises ev2 in its action; R2 on ev2 records its depth.
+        let fx = fixture(ExecutionMode::Inline);
+        let det = fx.det.clone();
+        let sched = fx.sched.clone();
+        let depths = Arc::new(Mutex::new(Vec::new()));
+        let ev = fx.det.lookup("ev").unwrap();
+        let ev2 = fx.det.lookup("ev2").unwrap();
+        let (det2, sched2) = (det.clone(), sched.clone());
+        fx.sched
+            .manager()
+            .define_rule(
+                "R1",
+                ev,
+                Arc::new(|_| true),
+                Arc::new(move |_inv| {
+                    let dets = det2.notify_method(
+                        "C",
+                        "void g()",
+                        EventModifier::End,
+                        1,
+                        Vec::new(),
+                        Some(1),
+                    );
+                    sched2.dispatch(dets);
+                }),
+                RuleOptions::default(),
+            )
+            .unwrap();
+        let d2 = depths.clone();
+        fx.sched
+            .manager()
+            .define_rule(
+                "R2",
+                ev2,
+                Arc::new(|_| true),
+                Arc::new(move |inv| d2.lock().push(inv.depth)),
+                RuleOptions::default(),
+            )
+            .unwrap();
+        fx.signal("void f()");
+        assert_eq!(*depths.lock(), vec![1], "nested rule sees depth 1");
+        let (triggered, _, actions, _) = fx.sched.debugger().stats();
+        // Debugger off by default.
+        assert_eq!((triggered, actions), (0, 0));
+    }
+
+    #[test]
+    fn nested_rules_run_before_lower_priority_siblings_threaded() {
+        // high (prio 9) triggers nested; low (prio 1) must run after the
+        // nested rule despite being queued at dispatch time.
+        let fx = fixture(ExecutionMode::Threaded { workers: 1 });
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let ev = fx.det.lookup("ev").unwrap();
+        let ev2 = fx.det.lookup("ev2").unwrap();
+        let (det2, sched2) = (fx.det.clone(), fx.sched.clone());
+        let o1 = order.clone();
+        fx.sched
+            .manager()
+            .define_rule(
+                "high",
+                ev,
+                Arc::new(|_| true),
+                Arc::new(move |_| {
+                    o1.lock().push("high");
+                    let dets = det2.notify_method(
+                        "C",
+                        "void g()",
+                        EventModifier::End,
+                        1,
+                        Vec::new(),
+                        Some(1),
+                    );
+                    sched2.dispatch(dets);
+                }),
+                RuleOptions::default().priority(9),
+            )
+            .unwrap();
+        let o2 = order.clone();
+        fx.sched
+            .manager()
+            .define_rule(
+                "low",
+                ev,
+                Arc::new(|_| true),
+                Arc::new(move |_| o2.lock().push("low")),
+                RuleOptions::default().priority(1),
+            )
+            .unwrap();
+        let o3 = order.clone();
+        fx.sched
+            .manager()
+            .define_rule(
+                "nested",
+                ev2,
+                Arc::new(|_| true),
+                Arc::new(move |_| o3.lock().push("nested")),
+                RuleOptions::default().priority(0),
+            )
+            .unwrap();
+        fx.signal("void f()");
+        assert_eq!(*order.lock(), vec!["high", "nested", "low"], "depth-first");
+    }
+
+    #[test]
+    fn condition_cannot_raise_events() {
+        // The condition invokes a method that is an event generator; the
+        // signalling suppression must prevent R2 from firing.
+        let fx = fixture(ExecutionMode::Inline);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let ev = fx.det.lookup("ev").unwrap();
+        let ev2 = fx.det.lookup("ev2").unwrap();
+        let (det2, sched2) = (fx.det.clone(), fx.sched.clone());
+        fx.sched
+            .manager()
+            .define_rule(
+                "R1",
+                ev,
+                Arc::new(move |_| {
+                    // Side-effecting call from a condition (forbidden):
+                    let dets = det2.notify_method(
+                        "C",
+                        "void g()",
+                        EventModifier::End,
+                        1,
+                        Vec::new(),
+                        Some(1),
+                    );
+                    sched2.dispatch(dets);
+                    true
+                }),
+                Arc::new(|_| {}),
+                RuleOptions::default(),
+            )
+            .unwrap();
+        let f = fired.clone();
+        fx.sched
+            .manager()
+            .define_rule(
+                "R2",
+                ev2,
+                Arc::new(|_| true),
+                Arc::new(move |_| {
+                    f.fetch_add(1, Ordering::SeqCst);
+                }),
+                RuleOptions::default(),
+            )
+            .unwrap();
+        fx.signal("void f()");
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "condition-raised event detected");
+    }
+
+    #[test]
+    fn detached_rules_are_queued_not_executed() {
+        let fx = fixture(ExecutionMode::Inline);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        let ev = fx.det.lookup("ev").unwrap();
+        let id = fx
+            .sched
+            .manager()
+            .define_rule(
+                "RD",
+                ev,
+                Arc::new(|_| true),
+                Arc::new(move |_| {
+                    r.fetch_add(1, Ordering::SeqCst);
+                }),
+                RuleOptions::default().coupling(CouplingMode::Detached),
+            )
+            .unwrap();
+        let rx = fx.sched.detached_requests();
+        fx.signal("void f()");
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "not executed inline");
+        let req = rx.try_recv().expect("queued detached request");
+        assert_eq!(req.rule, id);
+    }
+
+    #[test]
+    fn panicking_rule_aborts_its_subtransaction_only() {
+        let fx = fixture(ExecutionMode::Inline);
+        let ev = fx.det.lookup("ev").unwrap();
+        fx.sched
+            .manager()
+            .define_rule(
+                "bad",
+                ev,
+                Arc::new(|_| true),
+                Arc::new(|_| panic!("rule exploded")),
+                RuleOptions::default().priority(5),
+            )
+            .unwrap();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        fx.sched
+            .manager()
+            .define_rule(
+                "good",
+                ev,
+                Arc::new(|_| true),
+                Arc::new(move |_| {
+                    r.fetch_add(1, Ordering::SeqCst);
+                }),
+                RuleOptions::default().priority(1),
+            )
+            .unwrap();
+        fx.signal("void f()");
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "other rules still run");
+        assert!(fx.det.signaling(), "signalling restored after panic");
+    }
+
+    #[test]
+    fn now_trigger_mode_skips_old_constituents() {
+        let fx = fixture(ExecutionMode::Inline);
+        // Build a sequence and let its initiator happen BEFORE the rule is
+        // defined (keeping the context alive via a pre-existing rule).
+        let expr = sentinel_snoop::parse_event_expr("ev ; ev2").unwrap();
+        let seq = fx.det.define_named("seq", &expr).unwrap();
+        let early = Arc::new(AtomicUsize::new(0));
+        let e = early.clone();
+        fx.sched
+            .manager()
+            .define_rule(
+                "keeper",
+                seq,
+                Arc::new(|_| true),
+                Arc::new(move |_| {
+                    e.fetch_add(1, Ordering::SeqCst);
+                }),
+                RuleOptions::default().trigger(TriggerMode::Previous),
+            )
+            .unwrap();
+        fx.signal("void f()"); // initiator (ev) buffered now
+        let now_fired = Arc::new(AtomicUsize::new(0));
+        let n = now_fired.clone();
+        fx.sched
+            .manager()
+            .define_rule(
+                "nowrule",
+                seq,
+                Arc::new(|_| true),
+                Arc::new(move |_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                }),
+                RuleOptions::default().trigger(TriggerMode::Now),
+            )
+            .unwrap();
+        fx.signal("void g()"); // terminator
+        assert_eq!(early.load(Ordering::SeqCst), 1, "PREVIOUS rule fires");
+        assert_eq!(now_fired.load(Ordering::SeqCst), 0, "NOW rule filtered");
+    }
+
+    #[test]
+    fn txn_end_cleans_up_subtransaction_tree() {
+        let fx = fixture(ExecutionMode::Inline);
+        let ev = fx.det.lookup("ev").unwrap();
+        fx.sched
+            .manager()
+            .define_rule("R1", ev, Arc::new(|_| true), Arc::new(|_| {}), RuleOptions::default())
+            .unwrap();
+        fx.signal("void f()");
+        assert!(fx.sched.nested().live_count() > 0);
+        fx.sched.on_txn_end(1, true);
+        assert_eq!(fx.sched.nested().live_count(), 0);
+    }
+
+    #[test]
+    fn debugger_traces_when_enabled() {
+        let fx = fixture(ExecutionMode::Inline);
+        fx.sched.debugger().set_enabled(true);
+        let ev = fx.det.lookup("ev").unwrap();
+        fx.sched
+            .manager()
+            .define_rule("R1", ev, Arc::new(|_| true), Arc::new(|_| {}), RuleOptions::default())
+            .unwrap();
+        fx.signal("void f()");
+        let (triggered, sat, actions, _) = fx.sched.debugger().stats();
+        assert_eq!((triggered, sat, actions), (1, 1, 1));
+        assert!(fx.sched.debugger().render().contains("R1"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Abstract syntax for Snoop event expressions and Sentinel method events.
+
+use std::fmt;
+
+/// Which edge(s) of a method invocation raise the event (paper §3.1:
+/// "we permit before- and after-variants of method invocation as events";
+/// `end` is the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum EventModifier {
+    /// Before the user method body runs.
+    Begin,
+    /// After the user method body returns (Sentinel's default).
+    End,
+    /// Both edges (`begin(e) && end(f)` declares two events; a single
+    /// primitive event with `Both` fires on either edge).
+    Both,
+}
+
+impl EventModifier {
+    /// Parses the grammar keyword.
+    pub fn from_keyword(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "begin" => Some(EventModifier::Begin),
+            "end" => Some(EventModifier::End),
+            "both" => Some(EventModifier::Both),
+            _ => None,
+        }
+    }
+
+    /// Whether this modifier matches an actual invocation edge.
+    pub fn matches(self, edge: EventModifier) -> bool {
+        self == EventModifier::Both || self == edge
+    }
+}
+
+impl fmt::Display for EventModifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventModifier::Begin => "begin",
+            EventModifier::End => "end",
+            EventModifier::Both => "both",
+        })
+    }
+}
+
+/// A parsed C++-style method signature, e.g. `void set_price(float price)`.
+///
+/// Sentinel identifies primitive events by the *full signature string*
+/// ("once a primitive event node is notified it checks the method signature
+/// with the one that has been sent", §3.2), so we keep both the parse and
+/// the canonical text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MethodSig {
+    /// Return type as written (`int`, `void`, …).
+    pub ret: String,
+    /// Method name.
+    pub name: String,
+    /// `(type, name)` pairs of formal parameters.
+    pub params: Vec<(String, String)>,
+}
+
+impl MethodSig {
+    /// Parses `ret name(type arg, type arg, …)`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        let open = s.find('(')?;
+        let close = s.rfind(')')?;
+        if close < open {
+            return None;
+        }
+        let head = s[..open].trim();
+        let (ret, name) = head.rsplit_once(char::is_whitespace)?;
+        let params_src = s[open + 1..close].trim();
+        let mut params = Vec::new();
+        if !params_src.is_empty() {
+            for p in params_src.split(',') {
+                let p = p.trim();
+                let (ty, pname) = p.rsplit_once(char::is_whitespace)?;
+                params.push((ty.trim().to_string(), pname.trim().to_string()));
+            }
+        }
+        Some(MethodSig { ret: ret.trim().to_string(), name: name.trim().to_string(), params })
+    }
+
+    /// Canonical signature text used as the detector's match key.
+    pub fn canonical(&self) -> String {
+        let params: Vec<String> =
+            self.params.iter().map(|(t, n)| format!("{t} {n}")).collect();
+        format!("{} {}({})", self.ret, self.name, params.join(", "))
+    }
+}
+
+impl fmt::Display for MethodSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// A Snoop event expression.
+///
+/// Leaves are *references to named events* (primitive events declared in an
+/// event interface, transaction events, explicit events, or previously
+/// defined composite events — §3.1 "named events can be reused later").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum EventExpr {
+    /// Reference to a named event (`e1`, `STOCK.e1`, `begin-transaction`).
+    Ref(String),
+    /// Disjunction `e1 | e2`.
+    Or(Box<EventExpr>, Box<EventExpr>),
+    /// Conjunction `e1 ^ e2` (any order).
+    And(Box<EventExpr>, Box<EventExpr>),
+    /// Sequence `e1 ; e2` (strictly ordered).
+    Seq(Box<EventExpr>, Box<EventExpr>),
+    /// `ANY(m, e1, …, en)` — m distinct out of n.
+    Any {
+        /// How many distinct constituent event types must occur.
+        m: u32,
+        /// The candidate constituents.
+        events: Vec<EventExpr>,
+    },
+    /// `NOT(e2)[e1, e3]` — e3 with no e2 since the initiating e1.
+    Not {
+        /// The event whose non-occurrence is monitored.
+        inner: Box<EventExpr>,
+        /// Interval opener.
+        start: Box<EventExpr>,
+        /// Interval closer (detection point).
+        end: Box<EventExpr>,
+    },
+    /// `A(e1, e2, e3)` — each `e2` in the half-open window `[e1, e3)`.
+    Aperiodic {
+        /// Window opener.
+        start: Box<EventExpr>,
+        /// The monitored event.
+        inner: Box<EventExpr>,
+        /// Window closer.
+        end: Box<EventExpr>,
+    },
+    /// `A*(e1, e2, e3)` — all `e2`s in the window, signalled once at `e3`.
+    AperiodicStar {
+        /// Window opener.
+        start: Box<EventExpr>,
+        /// The accumulated event.
+        inner: Box<EventExpr>,
+        /// Window closer / detection point.
+        end: Box<EventExpr>,
+    },
+    /// `P(e1, t, e3)` — every `t` logical ticks inside `[e1, e3)`.
+    Periodic {
+        /// Window opener.
+        start: Box<EventExpr>,
+        /// Period in logical ticks.
+        period: u64,
+        /// Window closer.
+        end: Box<EventExpr>,
+    },
+    /// `P*(e1, t, e3)` — accumulated periodic ticks, signalled at `e3`.
+    PeriodicStar {
+        /// Window opener.
+        start: Box<EventExpr>,
+        /// Period in logical ticks.
+        period: u64,
+        /// Window closer / detection point.
+        end: Box<EventExpr>,
+    },
+    /// `PLUS(e1, t)` — `t` logical ticks after each `e1`.
+    Plus {
+        /// The anchoring event.
+        inner: Box<EventExpr>,
+        /// Offset in logical ticks.
+        delta: u64,
+    },
+}
+
+impl EventExpr {
+    /// Reference leaf helper.
+    pub fn r(name: &str) -> EventExpr {
+        EventExpr::Ref(name.to_string())
+    }
+
+    /// All referenced event names, left-to-right, with duplicates.
+    pub fn refs(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            EventExpr::Ref(n) => out.push(n),
+            EventExpr::Or(a, b) | EventExpr::And(a, b) | EventExpr::Seq(a, b) => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+            EventExpr::Any { events, .. } => {
+                for e in events {
+                    e.collect_refs(out);
+                }
+            }
+            EventExpr::Not { inner, start, end } => {
+                inner.collect_refs(out);
+                start.collect_refs(out);
+                end.collect_refs(out);
+            }
+            EventExpr::Aperiodic { start, inner, end }
+            | EventExpr::AperiodicStar { start, inner, end } => {
+                start.collect_refs(out);
+                inner.collect_refs(out);
+                end.collect_refs(out);
+            }
+            EventExpr::Periodic { start, end, .. }
+            | EventExpr::PeriodicStar { start, end, .. } => {
+                start.collect_refs(out);
+                end.collect_refs(out);
+            }
+            EventExpr::Plus { inner, .. } => inner.collect_refs(out),
+        }
+    }
+
+    /// Number of operator nodes (leaves excluded); used by the event-graph
+    /// sharing ablation to report graph sizes.
+    pub fn operator_count(&self) -> usize {
+        match self {
+            EventExpr::Ref(_) => 0,
+            EventExpr::Or(a, b) | EventExpr::And(a, b) | EventExpr::Seq(a, b) => {
+                1 + a.operator_count() + b.operator_count()
+            }
+            EventExpr::Any { events, .. } => {
+                1 + events.iter().map(EventExpr::operator_count).sum::<usize>()
+            }
+            EventExpr::Not { inner, start, end } => {
+                1 + inner.operator_count() + start.operator_count() + end.operator_count()
+            }
+            EventExpr::Aperiodic { start, inner, end }
+            | EventExpr::AperiodicStar { start, inner, end } => {
+                1 + start.operator_count() + inner.operator_count() + end.operator_count()
+            }
+            EventExpr::Periodic { start, end, .. }
+            | EventExpr::PeriodicStar { start, end, .. } => {
+                1 + start.operator_count() + end.operator_count()
+            }
+            EventExpr::Plus { inner, .. } => 1 + inner.operator_count(),
+        }
+    }
+}
+
+impl fmt::Display for EventExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventExpr::Ref(n) => f.write_str(n),
+            EventExpr::Or(a, b) => write!(f, "({a} | {b})"),
+            EventExpr::And(a, b) => write!(f, "({a} ^ {b})"),
+            EventExpr::Seq(a, b) => write!(f, "({a} ; {b})"),
+            EventExpr::Any { m, events } => {
+                write!(f, "ANY({m}")?;
+                for e in events {
+                    write!(f, ", {e}")?;
+                }
+                f.write_str(")")
+            }
+            EventExpr::Not { inner, start, end } => write!(f, "NOT({inner})[{start}, {end}]"),
+            EventExpr::Aperiodic { start, inner, end } => write!(f, "A({start}, {inner}, {end})"),
+            EventExpr::AperiodicStar { start, inner, end } => {
+                write!(f, "A*({start}, {inner}, {end})")
+            }
+            EventExpr::Periodic { start, period, end } => write!(f, "P({start}, {period}, {end})"),
+            EventExpr::PeriodicStar { start, period, end } => {
+                write!(f, "P*({start}, {period}, {end})")
+            }
+            EventExpr::Plus { inner, delta } => write!(f, "PLUS({inner}, {delta})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_sig_parses_paper_examples() {
+        let sig = MethodSig::parse("void set_price(float price)").unwrap();
+        assert_eq!(sig.ret, "void");
+        assert_eq!(sig.name, "set_price");
+        assert_eq!(sig.params, vec![("float".to_string(), "price".to_string())]);
+        assert_eq!(sig.canonical(), "void set_price(float price)");
+
+        let sig = MethodSig::parse("int sell_stock(int qty)").unwrap();
+        assert_eq!(sig.name, "sell_stock");
+
+        let sig = MethodSig::parse("int get_price()").unwrap();
+        assert!(sig.params.is_empty());
+        assert_eq!(sig.canonical(), "int get_price()");
+    }
+
+    #[test]
+    fn method_sig_multi_param_and_pointers() {
+        let sig = MethodSig::parse("void transfer(int amount, Account* to)").unwrap();
+        assert_eq!(sig.params.len(), 2);
+        assert_eq!(sig.params[1], ("Account*".to_string(), "to".to_string()));
+    }
+
+    #[test]
+    fn method_sig_rejects_garbage() {
+        assert!(MethodSig::parse("not a signature").is_none());
+        assert!(MethodSig::parse("void broken(").is_none());
+    }
+
+    #[test]
+    fn refs_are_collected_in_order() {
+        let e = EventExpr::Seq(
+            Box::new(EventExpr::And(Box::new(EventExpr::r("a")), Box::new(EventExpr::r("b")))),
+            Box::new(EventExpr::r("a")),
+        );
+        assert_eq!(e.refs(), vec!["a", "b", "a"]);
+        assert_eq!(e.operator_count(), 2);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = EventExpr::AperiodicStar {
+            start: Box::new(EventExpr::r("begin-transaction")),
+            inner: Box::new(EventExpr::r("e")),
+            end: Box::new(EventExpr::r("pre-commit-transaction")),
+        };
+        assert_eq!(e.to_string(), "A*(begin-transaction, e, pre-commit-transaction)");
+    }
+
+    #[test]
+    fn modifier_matching() {
+        assert!(EventModifier::Both.matches(EventModifier::Begin));
+        assert!(EventModifier::Both.matches(EventModifier::End));
+        assert!(EventModifier::Begin.matches(EventModifier::Begin));
+        assert!(!EventModifier::Begin.matches(EventModifier::End));
+    }
+}

@@ -1,0 +1,119 @@
+//! Parameter contexts: the consumption policies for constituent events.
+//!
+//! When a composite event can be assembled from several candidate
+//! constituent occurrences, the *parameter context* decides which
+//! occurrences are paired and whether they remain available afterwards
+//! (paper §3.1; semantics from the VLDB '94 companion paper):
+//!
+//! * **Recent** — only the most recent occurrence of each constituent
+//!   participates; newer occurrences overwrite older ones; constituents may
+//!   initiate several composite occurrences. Default in Sentinel because of
+//!   its low storage requirements.
+//! * **Chronicle** — occurrences pair up oldest-first (FIFO) and are
+//!   *consumed* by the detection; each occurrence contributes to exactly one
+//!   composite occurrence.
+//! * **Continuous** — every initiator opens its own detection window; one
+//!   terminator may close (and fire) many open windows at once.
+//! * **Cumulative** — all occurrences of every constituent accumulate and
+//!   are flushed together into a single composite occurrence.
+
+use std::fmt;
+
+/// The four Snoop parameter contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum ParamContext {
+    /// Most-recent pairing, non-consuming initiators.
+    Recent,
+    /// Oldest-first pairing, consuming.
+    Chronicle,
+    /// Window per initiator, terminator fires all open windows.
+    Continuous,
+    /// Everything accumulates, flushed on detection.
+    Cumulative,
+}
+
+impl ParamContext {
+    /// All contexts, in canonical order (used by detectors that maintain
+    /// per-context state arrays).
+    pub const ALL: [ParamContext; 4] = [
+        ParamContext::Recent,
+        ParamContext::Chronicle,
+        ParamContext::Continuous,
+        ParamContext::Cumulative,
+    ];
+
+    /// Dense index (0..4) for per-context state arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ParamContext::Recent => 0,
+            ParamContext::Chronicle => 1,
+            ParamContext::Continuous => 2,
+            ParamContext::Cumulative => 3,
+        }
+    }
+
+    /// Parses the surface keyword of the rule grammar (`RECENT`, …).
+    pub fn from_keyword(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "RECENT" => Some(ParamContext::Recent),
+            "CHRONICLE" => Some(ParamContext::Chronicle),
+            "CONTINUOUS" => Some(ParamContext::Continuous),
+            "CUMULATIVE" => Some(ParamContext::Cumulative),
+            _ => None,
+        }
+    }
+
+    /// Surface keyword (inverse of [`Self::from_keyword`]).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ParamContext::Recent => "RECENT",
+            ParamContext::Chronicle => "CHRONICLE",
+            ParamContext::Continuous => "CONTINUOUS",
+            ParamContext::Cumulative => "CUMULATIVE",
+        }
+    }
+}
+
+impl Default for ParamContext {
+    /// Recent is Sentinel's default context ("due to its low storage
+    /// requirements", paper §3.1).
+    fn default() -> Self {
+        ParamContext::Recent
+    }
+}
+
+impl fmt::Display for ParamContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for ctx in ParamContext::ALL {
+            assert_eq!(ParamContext::from_keyword(ctx.keyword()), Some(ctx));
+        }
+        assert_eq!(ParamContext::from_keyword("recent"), Some(ParamContext::Recent));
+        assert_eq!(ParamContext::from_keyword("bogus"), None);
+    }
+
+    #[test]
+    fn indices_are_dense_and_distinct() {
+        let mut seen = [false; 4];
+        for ctx in ParamContext::ALL {
+            assert!(!seen[ctx.index()]);
+            seen[ctx.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn default_is_recent() {
+        assert_eq!(ParamContext::default(), ParamContext::Recent);
+    }
+}

@@ -1,0 +1,266 @@
+//! Tokenizer shared by the event-expression parser and the §3.1
+//! class/rule specification parser.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (`e1`, `STOCK`, `rule`, `A`).
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Double-quoted string literal (content unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `^`
+    Caret,
+    /// `|`
+    Pipe,
+    /// `=`
+    Eq,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `*` (as in `A*`, `P*` and pointer types)
+    Star,
+    /// `&&`
+    AndAnd,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::LBrace => f.write_str("{"),
+            Token::RBrace => f.write_str("}"),
+            Token::Comma => f.write_str(","),
+            Token::Semi => f.write_str(";"),
+            Token::Caret => f.write_str("^"),
+            Token::Pipe => f.write_str("|"),
+            Token::Eq => f.write_str("="),
+            Token::Colon => f.write_str(":"),
+            Token::Dot => f.write_str("."),
+            Token::Star => f.write_str("*"),
+            Token::AndAnd => f.write_str("&&"),
+        }
+    }
+}
+
+/// Lexing error: unexpected character at byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// The character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} at byte {}", self.ch, self.at)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`. Identifiers may contain `_` and `-` (Sentinel's
+/// transaction-event names use dashes). `//` comments run to end of line;
+/// `/* */` comments nest is not supported (matching C).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '^' => {
+                out.push(Token::Caret);
+                i += 1;
+            }
+            '|' => {
+                out.push(Token::Pipe);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '&' if bytes.get(i + 1) == Some(&'&') => {
+                out.push(Token::AndAnd);
+                i += 2;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < bytes.len() && bytes[i] != '"' {
+                    if bytes[i] == '\\' && i + 1 < bytes.len() {
+                        i += 1;
+                    }
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LexError { at: src.len(), ch: '"' });
+                }
+                i += 1; // closing quote
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut v: u64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    v = v * 10 + bytes[i].to_digit(10).unwrap() as u64;
+                    i += 1;
+                }
+                out.push(Token::Int(v));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '-')
+                {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(LexError { at: i, ch: other }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_event_expression() {
+        let toks = lex("e1 ^ e2 | (e3 ; e4)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("e1".into()),
+                Token::Caret,
+                Token::Ident("e2".into()),
+                Token::Pipe,
+                Token::LParen,
+                Token::Ident("e3".into()),
+                Token::Semi,
+                Token::Ident("e4".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_a_star_and_numbers() {
+        let toks = lex("A*(begin-transaction, e, 42)").unwrap();
+        assert_eq!(toks[0], Token::Ident("A".into()));
+        assert_eq!(toks[1], Token::Star);
+        assert!(toks.contains(&Token::Int(42)));
+        assert!(toks.contains(&Token::Ident("begin-transaction".into())));
+    }
+
+    #[test]
+    fn lexes_strings_and_comments() {
+        let toks = lex(r#"event x("any_stk_price", "Stock") // trailing
+            /* block */ rule"#)
+            .unwrap();
+        assert!(toks.contains(&Token::Str("any_stk_price".into())));
+        assert_eq!(toks.last(), Some(&Token::Ident("rule".into())));
+    }
+
+    #[test]
+    fn lexes_class_header() {
+        let toks = lex("class STOCK : public REACTIVE { }").unwrap();
+        assert_eq!(toks[0], Token::Ident("class".into()));
+        assert_eq!(toks[2], Token::Colon);
+    }
+
+    #[test]
+    fn andand_and_errors() {
+        assert!(lex("begin(e2) && end(e3)").unwrap().contains(&Token::AndAnd));
+        assert!(lex("@").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # sentinel-snoop
+//!
+//! The **Snoop** event specification language of the Sentinel active OODBMS
+//! (Chakravarthy & Mishra, DKE '94; the normative event language of the
+//! ICDE '95 paper this repository reproduces).
+//!
+//! Snoop composes *primitive events* (method invocations, transaction
+//! events, explicit/abstract events, temporal events) into *composite
+//! events* with the operators
+//!
+//! | operator | written | meaning |
+//! |---|---|---|
+//! | disjunction | `e1 \| e2` | either occurred |
+//! | conjunction | `e1 ^ e2` | both occurred, any order |
+//! | sequence | `e1 ; e2` | `e1` strictly before `e2` |
+//! | any | `ANY(m, e1, …, en)` | `m` distinct ones out of `n` occurred |
+//! | negation | `NOT(e2)[e1, e3]` | no `e2` in the interval `[e1, e3]` |
+//! | aperiodic | `A(e1, e2, e3)` | each `e2` inside the window `[e1, e3)` |
+//! | cumulative aperiodic | `A*(e1, e2, e3)` | all `e2`s in the window, signalled at `e3` |
+//! | periodic | `P(e1, t, e3)` | every `t` ticks inside `[e1, e3)` |
+//! | cumulative periodic | `P*(e1, t, e3)` | the tick set, signalled at `e3` |
+//! | plus | `PLUS(e1, t)` | `t` ticks after `e1` |
+//!
+//! Composite events are detected in one of four **parameter contexts**
+//! ([`context::ParamContext`]) — *recent*, *chronicle*, *continuous*,
+//! *cumulative* — which fix how constituent occurrences are paired and
+//! consumed (paper §3.1; VLDB '94 companion paper).
+//!
+//! This crate also implements the surface grammar of Sentinel's §3.1
+//! pre-processor input ([`spec`]): reactive class definitions with `event`
+//! interfaces on methods, named event expressions, and `rule` declarations
+//! with context / coupling mode / priority / trigger mode.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod context;
+pub mod lexer;
+pub mod parser;
+pub mod spec;
+
+pub use ast::{EventExpr, EventModifier, MethodSig};
+pub use context::ParamContext;
+pub use parser::{parse_event_expr, ParseError};
+pub use spec::{parse_spec, ClassSpec, CouplingMode, RuleSpec, SpecItem, TriggerMode};

@@ -1,0 +1,479 @@
+//! Recursive-descent parser for Snoop event expressions.
+//!
+//! Grammar (lowest precedence first, all binary operators left-associative):
+//!
+//! ```text
+//! expr    := or
+//! or      := and  ( '|' and )*
+//! and     := seq  ( '^' seq )*
+//! seq     := prim ( ';' prim )*
+//! prim    := 'ANY'  '(' INT  (',' expr)+ ')'
+//!          | 'NOT'  '(' expr ')' '[' expr ',' expr ']'
+//!          | 'A' ['*'] '(' expr ',' expr ',' expr ')'
+//!          | 'P' ['*'] '(' expr ',' INT  ',' expr ')'
+//!          | 'PLUS' '(' expr ',' INT ')'
+//!          | 'AND' '(' expr ',' expr ')'      -- function forms, usable
+//!          | 'OR'  '(' expr ',' expr ')'      -- where infix ';' would be
+//!          | 'SEQ' '(' expr ',' expr ')'      -- ambiguous (spec files)
+//!          | IDENT [ '.' IDENT ]              -- `STOCK.e1` qualified ref
+//!          | '(' expr ')'
+//! ```
+//!
+//! The operator keywords (`A`, `P`, `ANY`, `NOT`, `PLUS`, `AND`, `OR`,
+//! `SEQ`) are only treated as operators when immediately followed by `(`
+//! (or `*(` for the starred forms), so they remain usable as event names.
+
+use std::fmt;
+
+use crate::ast::EventExpr;
+use crate::lexer::{lex, LexError, Token};
+
+/// Parse error for event expressions and specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token (expected, found).
+    Unexpected {
+        /// What the parser was looking for.
+        expected: &'static str,
+        /// What it found (display form), or "end of input".
+        found: String,
+    },
+    /// Input ended too early.
+    Eof {
+        /// What the parser was looking for.
+        expected: &'static str,
+    },
+    /// Extra tokens after a complete expression.
+    Trailing(String),
+    /// Semantic error in a spec (e.g. ANY with m = 0).
+    Invalid(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "lex error: {e}"),
+            ParseError::Unexpected { expected, found } => {
+                write!(f, "expected {expected}, found `{found}`")
+            }
+            ParseError::Eof { expected } => write!(f, "expected {expected}, found end of input"),
+            ParseError::Trailing(t) => write!(f, "unexpected trailing token `{t}`"),
+            ParseError::Invalid(s) => write!(f, "invalid specification: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Token cursor shared with the spec parser.
+pub(crate) struct Cursor {
+    toks: Vec<Token>,
+    pos: usize,
+    /// Bracket-nesting depth while parsing an expression. An infix `;` is
+    /// only a sequence operator at depth > 0 (or when `allow_top_seq` is
+    /// set, as in standalone [`parse_event_expr`] input); at depth 0 inside
+    /// a specification it terminates the statement.
+    depth: usize,
+    allow_top_seq: bool,
+}
+
+impl Cursor {
+    pub(crate) fn new(toks: Vec<Token>) -> Self {
+        Cursor { toks, pos: 0, depth: 0, allow_top_seq: false }
+    }
+
+    pub(crate) fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    pub(crate) fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    pub(crate) fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.toks.get(self.pos + offset)
+    }
+
+    pub(crate) fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if let Some(tok) = &t {
+            self.pos += 1;
+            // Track delimiter nesting so `;` can be disambiguated between
+            // sequence operator (inside delimiters) and statement terminator.
+            match tok {
+                Token::LParen | Token::LBracket => self.depth += 1,
+                Token::RParen | Token::RBracket => self.depth = self.depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        t
+    }
+
+    pub(crate) fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, t: Token, what: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(found) if found == t => Ok(()),
+            Some(found) => Err(ParseError::Unexpected { expected: what, found: found.to_string() }),
+            None => Err(ParseError::Eof { expected: what }),
+        }
+    }
+
+    pub(crate) fn expect_ident(&mut self, what: &'static str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(found) => Err(ParseError::Unexpected { expected: what, found: found.to_string() }),
+            None => Err(ParseError::Eof { expected: what }),
+        }
+    }
+
+    pub(crate) fn expect_int(&mut self, what: &'static str) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(i),
+            Some(found) => Err(ParseError::Unexpected { expected: what, found: found.to_string() }),
+            None => Err(ParseError::Eof { expected: what }),
+        }
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+/// Parses a complete event expression from text.
+pub fn parse_event_expr(src: &str) -> Result<EventExpr, ParseError> {
+    let mut cur = Cursor::new(lex(src)?);
+    cur.allow_top_seq = true;
+    let e = parse_expr(&mut cur)?;
+    if let Some(t) = cur.peek() {
+        return Err(ParseError::Trailing(t.to_string()));
+    }
+    Ok(e)
+}
+
+/// Entry point shared with the spec parser (which stops at top-level `;`).
+pub(crate) fn parse_expr(cur: &mut Cursor) -> Result<EventExpr, ParseError> {
+    parse_or(cur)
+}
+
+fn parse_or(cur: &mut Cursor) -> Result<EventExpr, ParseError> {
+    let mut lhs = parse_and(cur)?;
+    while cur.eat(&Token::Pipe) {
+        let rhs = parse_and(cur)?;
+        lhs = EventExpr::Or(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_and(cur: &mut Cursor) -> Result<EventExpr, ParseError> {
+    let mut lhs = parse_seq(cur)?;
+    while cur.eat(&Token::Caret) {
+        let rhs = parse_seq(cur)?;
+        lhs = EventExpr::And(Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_seq(cur: &mut Cursor) -> Result<EventExpr, ParseError> {
+    let mut lhs = parse_primary(cur)?;
+    // In spec files a top-level `;` is a statement terminator; only inside
+    // delimiters (or in standalone expression input) is `;` the sequence
+    // operator.
+    while cur.peek() == Some(&Token::Semi) && (cur.depth > 0 || cur.allow_top_seq) {
+        // Sequence operator only if something parseable follows.
+        match cur.peek2() {
+            Some(Token::Ident(_)) | Some(Token::LParen) => {
+                cur.next();
+                let rhs = parse_primary(cur)?;
+                lhs = EventExpr::Seq(Box::new(lhs), Box::new(rhs));
+            }
+            _ => break,
+        }
+    }
+    Ok(lhs)
+}
+
+fn parse_primary(cur: &mut Cursor) -> Result<EventExpr, ParseError> {
+    match cur.peek() {
+        Some(Token::LParen) => {
+            cur.next();
+            let e = parse_expr(cur)?;
+            cur.expect(Token::RParen, "`)`")?;
+            Ok(e)
+        }
+        Some(Token::Ident(name)) => {
+            let name = name.clone();
+            // Operator forms require a following `(` (or `*(`).
+            let starred = cur.peek2() == Some(&Token::Star);
+            let called = cur.peek2() == Some(&Token::LParen);
+            match (name.as_str(), called, starred) {
+                ("ANY", true, _) => {
+                    cur.next();
+                    cur.next(); // '('
+                    let m = cur.expect_int("ANY count")?;
+                    let mut events = Vec::new();
+                    while cur.eat(&Token::Comma) {
+                        events.push(parse_expr(cur)?);
+                    }
+                    cur.expect(Token::RParen, "`)` closing ANY")?;
+                    if m == 0 || events.is_empty() || m as usize > events.len() {
+                        return Err(ParseError::Invalid(format!(
+                            "ANY({m}, …) needs 1 <= m <= number of events ({})",
+                            events.len()
+                        )));
+                    }
+                    Ok(EventExpr::Any { m: m as u32, events })
+                }
+                ("NOT", true, _) => {
+                    cur.next();
+                    cur.next(); // '('
+                    let inner = parse_expr(cur)?;
+                    cur.expect(Token::RParen, "`)` closing NOT")?;
+                    cur.expect(Token::LBracket, "`[` opening NOT interval")?;
+                    let start = parse_expr(cur)?;
+                    cur.expect(Token::Comma, "`,` in NOT interval")?;
+                    let end = parse_expr(cur)?;
+                    cur.expect(Token::RBracket, "`]` closing NOT interval")?;
+                    Ok(EventExpr::Not {
+                        inner: Box::new(inner),
+                        start: Box::new(start),
+                        end: Box::new(end),
+                    })
+                }
+                ("A", true, _) | ("A", _, true) => {
+                    cur.next();
+                    let star = cur.eat(&Token::Star);
+                    cur.expect(Token::LParen, "`(` after A")?;
+                    let start = parse_expr(cur)?;
+                    cur.expect(Token::Comma, "`,` in A")?;
+                    let inner = parse_expr(cur)?;
+                    cur.expect(Token::Comma, "`,` in A")?;
+                    let end = parse_expr(cur)?;
+                    cur.expect(Token::RParen, "`)` closing A")?;
+                    Ok(if star {
+                        EventExpr::AperiodicStar {
+                            start: Box::new(start),
+                            inner: Box::new(inner),
+                            end: Box::new(end),
+                        }
+                    } else {
+                        EventExpr::Aperiodic {
+                            start: Box::new(start),
+                            inner: Box::new(inner),
+                            end: Box::new(end),
+                        }
+                    })
+                }
+                ("P", true, _) | ("P", _, true) => {
+                    cur.next();
+                    let star = cur.eat(&Token::Star);
+                    cur.expect(Token::LParen, "`(` after P")?;
+                    let start = parse_expr(cur)?;
+                    cur.expect(Token::Comma, "`,` in P")?;
+                    let period = cur.expect_int("period")?;
+                    if period == 0 {
+                        return Err(ParseError::Invalid("P period must be positive".into()));
+                    }
+                    cur.expect(Token::Comma, "`,` in P")?;
+                    let end = parse_expr(cur)?;
+                    cur.expect(Token::RParen, "`)` closing P")?;
+                    Ok(if star {
+                        EventExpr::PeriodicStar {
+                            start: Box::new(start),
+                            period,
+                            end: Box::new(end),
+                        }
+                    } else {
+                        EventExpr::Periodic { start: Box::new(start), period, end: Box::new(end) }
+                    })
+                }
+                ("PLUS", true, _) => {
+                    cur.next();
+                    cur.next(); // '('
+                    let inner = parse_expr(cur)?;
+                    cur.expect(Token::Comma, "`,` in PLUS")?;
+                    let delta = cur.expect_int("PLUS offset")?;
+                    cur.expect(Token::RParen, "`)` closing PLUS")?;
+                    Ok(EventExpr::Plus { inner: Box::new(inner), delta })
+                }
+                ("AND", true, _) | ("OR", true, _) | ("SEQ", true, _) => {
+                    cur.next();
+                    cur.next(); // '('
+                    let a = parse_expr(cur)?;
+                    cur.expect(Token::Comma, "`,` in binary function form")?;
+                    let b = parse_expr(cur)?;
+                    cur.expect(Token::RParen, "`)` closing function form")?;
+                    Ok(match name.as_str() {
+                        "AND" => EventExpr::And(Box::new(a), Box::new(b)),
+                        "OR" => EventExpr::Or(Box::new(a), Box::new(b)),
+                        _ => EventExpr::Seq(Box::new(a), Box::new(b)),
+                    })
+                }
+                _ => {
+                    cur.next();
+                    // Qualified reference `CLASS.event`.
+                    if cur.eat(&Token::Dot) {
+                        let member = cur.expect_ident("event name after `.`")?;
+                        Ok(EventExpr::Ref(format!("{name}.{member}")))
+                    } else {
+                        Ok(EventExpr::Ref(name))
+                    }
+                }
+            }
+        }
+        Some(t) => {
+            Err(ParseError::Unexpected { expected: "event expression", found: t.to_string() })
+        }
+        None => Err(ParseError::Eof { expected: "event expression" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::EventExpr as E;
+
+    fn p(s: &str) -> EventExpr {
+        parse_event_expr(s).unwrap()
+    }
+
+    #[test]
+    fn parses_refs_and_binary_ops() {
+        assert_eq!(p("e1"), E::r("e1"));
+        assert_eq!(p("e1 ^ e2"), E::And(Box::new(E::r("e1")), Box::new(E::r("e2"))));
+        assert_eq!(p("e1 | e2"), E::Or(Box::new(E::r("e1")), Box::new(E::r("e2"))));
+        assert_eq!(p("e1 ; e2"), E::Seq(Box::new(E::r("e1")), Box::new(E::r("e2"))));
+    }
+
+    #[test]
+    fn precedence_or_lowest_seq_highest() {
+        // a | b ^ c ; d  ==  a | (b ^ (c ; d))
+        let e = p("a | b ^ c ; d");
+        assert_eq!(
+            e,
+            E::Or(
+                Box::new(E::r("a")),
+                Box::new(E::And(
+                    Box::new(E::r("b")),
+                    Box::new(E::Seq(Box::new(E::r("c")), Box::new(E::r("d")))),
+                )),
+            )
+        );
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = p("a ^ b ^ c");
+        assert_eq!(
+            e,
+            E::And(
+                Box::new(E::And(Box::new(E::r("a")), Box::new(E::r("b")))),
+                Box::new(E::r("c")),
+            )
+        );
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = p("(a | b) ^ c");
+        assert_eq!(
+            e,
+            E::And(
+                Box::new(E::Or(Box::new(E::r("a")), Box::new(E::r("b")))),
+                Box::new(E::r("c")),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_aperiodic_forms() {
+        let e = p("A(begin-transaction, insert, end-transaction)");
+        assert!(matches!(e, E::Aperiodic { .. }));
+        let e = p("A*(begin-transaction, e, pre-commit-transaction)");
+        match e {
+            E::AperiodicStar { start, inner, end } => {
+                assert_eq!(*start, E::r("begin-transaction"));
+                assert_eq!(*inner, E::r("e"));
+                assert_eq!(*end, E::r("pre-commit-transaction"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_periodic_and_plus() {
+        assert!(matches!(p("P(start, 10, stop)"), E::Periodic { period: 10, .. }));
+        assert!(matches!(p("P*(start, 3, stop)"), E::PeriodicStar { period: 3, .. }));
+        assert!(matches!(p("PLUS(e, 100)"), E::Plus { delta: 100, .. }));
+        assert!(parse_event_expr("P(a, 0, b)").is_err(), "zero period rejected");
+    }
+
+    #[test]
+    fn parses_any_and_not() {
+        let e = p("ANY(2, a, b, c)");
+        assert_eq!(e, E::Any { m: 2, events: vec![E::r("a"), E::r("b"), E::r("c")] });
+        assert!(parse_event_expr("ANY(5, a, b)").is_err(), "m > n rejected");
+
+        let e = p("NOT(mid)[first, last]");
+        assert!(matches!(e, E::Not { .. }));
+    }
+
+    #[test]
+    fn function_forms_match_infix() {
+        assert_eq!(p("SEQ(a, b)"), p("a ; b"));
+        assert_eq!(p("AND(a, b)"), p("a ^ b"));
+        assert_eq!(p("OR(a, b)"), p("a | b"));
+    }
+
+    #[test]
+    fn qualified_refs() {
+        assert_eq!(p("STOCK.e1"), E::Ref("STOCK.e1".into()));
+        assert_eq!(p("STOCK.e1 ^ BOND.e2").refs(), vec!["STOCK.e1", "BOND.e2"]);
+    }
+
+    #[test]
+    fn operator_names_usable_as_plain_events() {
+        // `A` not followed by `(`/`*(` is an ordinary reference.
+        assert_eq!(p("A ^ P"), E::And(Box::new(E::r("A")), Box::new(E::r("P"))));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(parse_event_expr("e1 ^"), Err(ParseError::Eof { .. })));
+        assert!(matches!(parse_event_expr("e1 e2"), Err(ParseError::Trailing(_))));
+        assert!(matches!(parse_event_expr(""), Err(ParseError::Eof { .. })));
+        assert!(matches!(parse_event_expr("(e1"), Err(ParseError::Eof { .. })));
+    }
+
+    #[test]
+    fn display_reparse_is_identity() {
+        for src in [
+            "a | b ^ c ; d",
+            "ANY(2, a, b, c)",
+            "NOT(m)[s, t]",
+            "A*(x, y, z)",
+            "P(s, 7, t)",
+            "PLUS(k, 9)",
+            "(a ; b) ; c",
+        ] {
+            let once = p(src);
+            let twice = p(&once.to_string());
+            assert_eq!(once, twice, "round-trip failed for {src}");
+        }
+    }
+}

@@ -1,0 +1,719 @@
+//! Parser for Sentinel's §3.1 specification surface — the input language of
+//! the Sentinel **pre-processor**.
+//!
+//! A specification is a sequence of items:
+//!
+//! ```text
+//! class STOCK : public REACTIVE {
+//! public:
+//!     event end(e1)               int  sell_stock(int qty);
+//!     event begin(e2) && end(e3)  void set_price(float price);
+//!     event e4 = e1 ^ e2;
+//!     rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW);
+//! };
+//!
+//! REACTIVE Stock;
+//! Stock IBM;
+//! event any_stk_price("any_stk_price", "Stock", "begin", "void set_price(float price)");
+//! event set_IBM_price("set_IBM_price", IBM,     "begin", "void set_price(float price)");
+//! rule R2(any_stk_price, checksalary, resetsalary, CHRONICLE, DEFERRED);
+//! ```
+//!
+//! Class-level declarations (`"Stock"`, a string) subscribe to the method on
+//! *every* instance; instance-level declarations (`IBM`, an identifier)
+//! subscribe on one object only — the paper's class-level vs instance-level
+//! primitive events.
+
+use std::fmt;
+
+use crate::ast::{EventExpr, EventModifier, MethodSig};
+use crate::context::ParamContext;
+use crate::lexer::{lex, Token};
+use crate::parser::{parse_expr, Cursor, ParseError};
+
+/// When the condition–action pair runs relative to the triggering event
+/// (HiPAC's coupling modes, paper §2.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CouplingMode {
+    /// At the event, inside the triggering transaction (default).
+    #[default]
+    Immediate,
+    /// At the end of the triggering transaction (rewritten by the
+    /// pre-processor to `A*(begin-txn, E, pre-commit)` in immediate mode).
+    Deferred,
+    /// In a separate top-level transaction (via the global event detector).
+    Detached,
+}
+
+impl CouplingMode {
+    /// Parses the grammar keyword.
+    pub fn from_keyword(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "IMMEDIATE" => Some(CouplingMode::Immediate),
+            "DEFERRED" => Some(CouplingMode::Deferred),
+            "DETACHED" => Some(CouplingMode::Detached),
+            _ => None,
+        }
+    }
+
+    /// Surface keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            CouplingMode::Immediate => "IMMEDIATE",
+            CouplingMode::Deferred => "DEFERRED",
+            CouplingMode::Detached => "DETACHED",
+        }
+    }
+}
+
+impl fmt::Display for CouplingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// From which instant constituent event occurrences count for a new rule
+/// (paper §3.1 "rule trigger mode").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum TriggerMode {
+    /// Only occurrences from rule-definition time forward (default).
+    #[default]
+    Now,
+    /// Already-buffered occurrences are acceptable too.
+    Previous,
+}
+
+impl TriggerMode {
+    /// Parses the grammar keyword.
+    pub fn from_keyword(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "NOW" => Some(TriggerMode::Now),
+            "PREVIOUS" => Some(TriggerMode::Previous),
+            _ => None,
+        }
+    }
+
+    /// Surface keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            TriggerMode::Now => "NOW",
+            TriggerMode::Previous => "PREVIOUS",
+        }
+    }
+}
+
+impl fmt::Display for TriggerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A method-event declaration inside a class: one method, one or more
+/// `(modifier, event name)` bindings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodEventDecl {
+    /// `(begin|end, event-name)` bindings (`begin(e2) && end(e3)` gives two).
+    pub bindings: Vec<(EventModifier, String)>,
+    /// The method that raises them.
+    pub sig: MethodSig,
+}
+
+/// A rule declaration (`rule R1(event, cond, action, …)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSpec {
+    /// Rule name.
+    pub name: String,
+    /// The (named) event it subscribes to.
+    pub event: String,
+    /// Condition function name (resolved in the host's function table).
+    pub condition: String,
+    /// Action function name.
+    pub action: String,
+    /// Parameter context (None ⇒ RECENT, the Sentinel default).
+    pub context: Option<ParamContext>,
+    /// Coupling mode (None ⇒ IMMEDIATE).
+    pub coupling: Option<CouplingMode>,
+    /// Priority class by number (None ⇒ default class).
+    pub priority: Option<u32>,
+    /// Priority class by *name* ("a rule is assigned to a priority class by
+    /// indicating its number or the name of the class", §3.1) — resolved by
+    /// the rule manager's class registry.
+    pub priority_class: Option<String>,
+    /// Trigger mode (None ⇒ NOW).
+    pub trigger: Option<TriggerMode>,
+}
+
+/// A reactive class definition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassSpec {
+    /// Class name.
+    pub name: String,
+    /// Base class (`REACTIVE` or a user class).
+    pub parent: Option<String>,
+    /// Method events declared in the event interface.
+    pub method_events: Vec<MethodEventDecl>,
+    /// Plain (non-event) methods, kept so the class schema is complete.
+    pub methods: Vec<MethodSig>,
+    /// Data members (`float price;`) as `(type, name)` pairs.
+    pub attrs: Vec<(String, String)>,
+    /// Named composite events (`event e4 = e1 ^ e2;`).
+    pub named_events: Vec<(String, EventExpr)>,
+    /// Class-level rules.
+    pub rules: Vec<RuleSpec>,
+}
+
+/// Whether an application-level primitive event is class- or instance-wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventTarget {
+    /// All instances of the class (string literal in the grammar).
+    Class(String),
+    /// One named instance (identifier in the grammar).
+    Instance(String),
+}
+
+/// Application-level primitive event declaration
+/// (`event n("n", "Class"|inst, "begin", "sig");`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppEventDecl {
+    /// The binding name used later in expressions/rules.
+    pub name: String,
+    /// The registered event-name string (usually equal to `name`).
+    pub event_name: String,
+    /// Class-level or instance-level subscription.
+    pub target: EventTarget,
+    /// `begin` / `end`.
+    pub modifier: EventModifier,
+    /// The monitored method.
+    pub sig: MethodSig,
+}
+
+/// One top-level item of a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecItem {
+    /// A reactive class definition.
+    Class(ClassSpec),
+    /// `REACTIVE Stock;` — asserts the class is reactive.
+    ReactiveDecl(String),
+    /// `Stock IBM;` — declares a named instance.
+    InstanceDecl {
+        /// Class of the instance.
+        class: String,
+        /// Instance name.
+        name: String,
+    },
+    /// Application-level primitive event.
+    AppEvent(AppEventDecl),
+    /// Application-level named composite event (`event x = …;`).
+    NamedEvent {
+        /// Event name.
+        name: String,
+        /// Its expression.
+        expr: EventExpr,
+    },
+    /// Application-level rule.
+    Rule(RuleSpec),
+}
+
+/// Parses a complete specification (class definitions + application items).
+pub fn parse_spec(src: &str) -> Result<Vec<SpecItem>, ParseError> {
+    let mut cur = Cursor::new(lex(src)?);
+    let mut items = Vec::new();
+    while !cur.at_end() {
+        if cur.eat(&Token::Semi) {
+            continue; // stray separators
+        }
+        match cur.peek() {
+            Some(Token::Ident(kw)) if kw == "class" => {
+                cur.next();
+                items.push(SpecItem::Class(parse_class(&mut cur)?));
+            }
+            Some(Token::Ident(kw)) if kw == "REACTIVE" => {
+                cur.next();
+                let name = cur.expect_ident("class name after REACTIVE")?;
+                items.push(SpecItem::ReactiveDecl(name));
+            }
+            Some(Token::Ident(kw)) if kw == "event" => {
+                cur.next();
+                items.push(parse_app_event(&mut cur)?);
+            }
+            Some(Token::Ident(kw)) if kw == "rule" => {
+                cur.next();
+                items.push(SpecItem::Rule(parse_rule(&mut cur)?));
+            }
+            Some(Token::Ident(_)) => {
+                // `Stock IBM;` instance declaration.
+                let class = cur.expect_ident("class name")?;
+                let name = cur.expect_ident("instance name")?;
+                items.push(SpecItem::InstanceDecl { class, name });
+            }
+            Some(t) => {
+                return Err(ParseError::Unexpected {
+                    expected: "class / REACTIVE / event / rule / instance declaration",
+                    found: t.to_string(),
+                })
+            }
+            None => break,
+        }
+    }
+    Ok(items)
+}
+
+fn parse_class(cur: &mut Cursor) -> Result<ClassSpec, ParseError> {
+    let name = cur.expect_ident("class name")?;
+    let mut parent = None;
+    if cur.eat(&Token::Colon) {
+        // optional `public`
+        if let Some(Token::Ident(k)) = cur.peek() {
+            if k == "public" {
+                cur.next();
+            }
+        }
+        parent = Some(cur.expect_ident("base class name")?);
+    }
+    cur.expect(Token::LBrace, "`{` opening class body")?;
+    let mut spec = ClassSpec { name, parent, ..ClassSpec::default() };
+    loop {
+        match cur.peek() {
+            Some(Token::RBrace) => {
+                cur.next();
+                break;
+            }
+            Some(Token::Ident(k)) if k == "public" || k == "private" || k == "protected" => {
+                cur.next();
+                cur.expect(Token::Colon, "`:` after access specifier")?;
+            }
+            Some(Token::Ident(k)) if k == "event" => {
+                cur.next();
+                parse_class_event(cur, &mut spec)?;
+            }
+            Some(Token::Ident(k)) if k == "rule" => {
+                cur.next();
+                let rule = parse_rule(cur)?;
+                spec.rules.push(rule);
+            }
+            Some(Token::Ident(_)) => {
+                // Plain member: a method declaration if a `(` appears before
+                // the terminating `;`, otherwise a data member (`float x;`).
+                if method_ahead(cur) {
+                    let sig = parse_signature_until_semi(cur)?;
+                    spec.methods.push(sig);
+                } else {
+                    let ty = cur.expect_ident("attribute type")?;
+                    let ty = if cur.eat(&Token::Star) { format!("{ty}*") } else { ty };
+                    let name = cur.expect_ident("attribute name")?;
+                    cur.expect(Token::Semi, "`;` after attribute")?;
+                    spec.attrs.push((ty, name));
+                }
+            }
+            Some(Token::Semi) => {
+                cur.next();
+            }
+            Some(t) => {
+                return Err(ParseError::Unexpected {
+                    expected: "class member",
+                    found: t.to_string(),
+                })
+            }
+            None => return Err(ParseError::Eof { expected: "`}` closing class body" }),
+        }
+    }
+    let _ = cur.eat(&Token::Semi); // optional trailing `;`
+    Ok(spec)
+}
+
+/// Parses the remainder of an `event …` line inside a class body:
+/// either `name = expr ;` or `mod(name) [&& mod(name)] signature ;`.
+fn parse_class_event(cur: &mut Cursor, spec: &mut ClassSpec) -> Result<(), ParseError> {
+    // Lookahead: `ident =` means a named composite event.
+    if let (Some(Token::Ident(_)), Some(Token::Eq)) = (cur.peek(), cur.peek2()) {
+        let name = cur.expect_ident("event name")?;
+        cur.next(); // '='
+        let expr = parse_expr(cur)?;
+        cur.expect(Token::Semi, "`;` after event definition")?;
+        spec.named_events.push((name, expr));
+        return Ok(());
+    }
+    // Method event: one or more modifiers.
+    let mut bindings = Vec::new();
+    loop {
+        let kw = cur.expect_ident("begin/end modifier")?;
+        let modifier = EventModifier::from_keyword(&kw).ok_or_else(|| ParseError::Unexpected {
+            expected: "begin or end",
+            found: kw.clone(),
+        })?;
+        cur.expect(Token::LParen, "`(` after modifier")?;
+        let ev_name = cur.expect_ident("event name")?;
+        cur.expect(Token::RParen, "`)` after event name")?;
+        bindings.push((modifier, ev_name));
+        if !cur.eat(&Token::AndAnd) {
+            break;
+        }
+    }
+    let sig = parse_signature_until_semi(cur)?;
+    spec.method_events.push(MethodEventDecl { bindings, sig });
+    Ok(())
+}
+
+/// Whether a `(` appears before the next top-level `;` (method vs attribute).
+fn method_ahead(cur: &Cursor) -> bool {
+    let mut i = 0;
+    loop {
+        match cur.peek_at(i) {
+            Some(Token::LParen) => return true,
+            Some(Token::Semi) | None => return false,
+            _ => i += 1,
+        }
+    }
+}
+
+/// Reassembles tokens up to `;` into a method signature.
+fn parse_signature_until_semi(cur: &mut Cursor) -> Result<MethodSig, ParseError> {
+    let mut text = String::new();
+    let mut depth = 0i32;
+    loop {
+        match cur.peek() {
+            Some(Token::Semi) if depth == 0 => {
+                cur.next();
+                break;
+            }
+            Some(t) => {
+                let t = t.clone();
+                cur.next();
+                match t {
+                    Token::LParen => {
+                        depth += 1;
+                        text.push('(');
+                    }
+                    Token::RParen => {
+                        depth -= 1;
+                        text.push(')');
+                    }
+                    Token::Comma => text.push_str(", "),
+                    Token::Star => text.push('*'),
+                    Token::Ident(s) => {
+                        if !text.is_empty()
+                            && !text.ends_with('(')
+                            && !text.ends_with(' ')
+                            && !text.ends_with('*')
+                        {
+                            text.push(' ');
+                        }
+                        if text.ends_with('*') {
+                            text.push(' ');
+                        }
+                        text.push_str(&s);
+                    }
+                    other => {
+                        return Err(ParseError::Unexpected {
+                            expected: "method signature",
+                            found: other.to_string(),
+                        })
+                    }
+                }
+            }
+            None => return Err(ParseError::Eof { expected: "`;` after method signature" }),
+        }
+    }
+    MethodSig::parse(&text)
+        .ok_or_else(|| ParseError::Invalid(format!("unparseable method signature `{text}`")))
+}
+
+fn parse_rule(cur: &mut Cursor) -> Result<RuleSpec, ParseError> {
+    let name = cur.expect_ident("rule name")?;
+    cur.expect(Token::LParen, "`(` after rule name")?;
+    let event = cur.expect_ident("event name")?;
+    cur.expect(Token::Comma, "`,` after event")?;
+    let condition = cur.expect_ident("condition function")?;
+    cur.expect(Token::Comma, "`,` after condition")?;
+    let action = cur.expect_ident("action function")?;
+    let mut rule = RuleSpec {
+        name,
+        event,
+        condition,
+        action,
+        context: None,
+        coupling: None,
+        priority: None,
+        priority_class: None,
+        trigger: None,
+    };
+    while cur.eat(&Token::Comma) {
+        match cur.next() {
+            Some(Token::Int(p)) => {
+                if rule.priority.replace(p as u32).is_some() {
+                    return Err(ParseError::Invalid("duplicate rule priority".into()));
+                }
+            }
+            Some(Token::Ident(kw)) => {
+                if let Some(ctx) = ParamContext::from_keyword(&kw) {
+                    if rule.context.replace(ctx).is_some() {
+                        return Err(ParseError::Invalid("duplicate parameter context".into()));
+                    }
+                } else if let Some(cm) = CouplingMode::from_keyword(&kw) {
+                    if rule.coupling.replace(cm).is_some() {
+                        return Err(ParseError::Invalid("duplicate coupling mode".into()));
+                    }
+                } else if let Some(tm) = TriggerMode::from_keyword(&kw) {
+                    if rule.trigger.replace(tm).is_some() {
+                        return Err(ParseError::Invalid("duplicate trigger mode".into()));
+                    }
+                } else if kw.chars().next().is_some_and(char::is_uppercase)
+                    && kw.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+                {
+                    // A named priority class (`HIGH`, `AUDIT_CLASS`, …).
+                    if rule.priority_class.replace(kw).is_some() {
+                        return Err(ParseError::Invalid("duplicate priority class".into()));
+                    }
+                } else {
+                    return Err(ParseError::Invalid(format!("unknown rule option `{kw}`")));
+                }
+            }
+            Some(t) => {
+                return Err(ParseError::Unexpected {
+                    expected: "rule option",
+                    found: t.to_string(),
+                })
+            }
+            None => return Err(ParseError::Eof { expected: "rule option" }),
+        }
+    }
+    cur.expect(Token::RParen, "`)` closing rule")?;
+    let _ = cur.eat(&Token::Semi);
+    Ok(rule)
+}
+
+fn parse_app_event(cur: &mut Cursor) -> Result<SpecItem, ParseError> {
+    let name = cur.expect_ident("event name")?;
+    // `event x = expr ;` — application-level named composite event.
+    if cur.eat(&Token::Eq) {
+        let expr = parse_expr(cur)?;
+        let _ = cur.eat(&Token::Semi);
+        return Ok(SpecItem::NamedEvent { name, expr });
+    }
+    // `event n("n", "Class"|inst, "begin", "sig");`
+    cur.expect(Token::LParen, "`(` after event name")?;
+    let event_name = match cur.next() {
+        Some(Token::Str(s)) => s,
+        Some(t) => {
+            return Err(ParseError::Unexpected {
+                expected: "quoted event name",
+                found: t.to_string(),
+            })
+        }
+        None => return Err(ParseError::Eof { expected: "quoted event name" }),
+    };
+    cur.expect(Token::Comma, "`,`")?;
+    let target = match cur.next() {
+        Some(Token::Str(class)) => EventTarget::Class(class),
+        Some(Token::Ident(inst)) => EventTarget::Instance(inst),
+        Some(t) => {
+            return Err(ParseError::Unexpected {
+                expected: "class string or instance identifier",
+                found: t.to_string(),
+            })
+        }
+        None => return Err(ParseError::Eof { expected: "class or instance" }),
+    };
+    cur.expect(Token::Comma, "`,`")?;
+    let modifier = match cur.next() {
+        Some(Token::Str(m)) => EventModifier::from_keyword(&m)
+            .ok_or_else(|| ParseError::Invalid(format!("unknown modifier `{m}`")))?,
+        Some(t) => {
+            return Err(ParseError::Unexpected {
+                expected: "quoted modifier",
+                found: t.to_string(),
+            })
+        }
+        None => return Err(ParseError::Eof { expected: "modifier" }),
+    };
+    cur.expect(Token::Comma, "`,`")?;
+    let sig_text = match cur.next() {
+        Some(Token::Str(s)) => s,
+        Some(t) => {
+            return Err(ParseError::Unexpected {
+                expected: "quoted method signature",
+                found: t.to_string(),
+            })
+        }
+        None => return Err(ParseError::Eof { expected: "method signature" }),
+    };
+    let sig = MethodSig::parse(&sig_text)
+        .ok_or_else(|| ParseError::Invalid(format!("unparseable method signature `{sig_text}`")))?;
+    cur.expect(Token::RParen, "`)` closing event declaration")?;
+    let _ = cur.eat(&Token::Semi);
+    Ok(SpecItem::AppEvent(AppEventDecl { name, event_name, target, modifier, sig }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The STOCK class exactly as printed in §3.1 of the paper
+    /// (modulo `;` statement terminators).
+    const STOCK: &str = r#"
+        class STOCK : public REACTIVE {
+        public:
+            event end(e1) int sell_stock(int qty);
+            event begin(e2) && end(e3) void set_price(float price);
+            int get_price();
+            event e4 = e1 ^ e2; /* AND operator */
+            rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW); /* class level rule */
+        };
+    "#;
+
+    #[test]
+    fn parses_paper_stock_class() {
+        let items = parse_spec(STOCK).unwrap();
+        assert_eq!(items.len(), 1);
+        let SpecItem::Class(c) = &items[0] else { panic!("expected class") };
+        assert_eq!(c.name, "STOCK");
+        assert_eq!(c.parent.as_deref(), Some("REACTIVE"));
+
+        assert_eq!(c.method_events.len(), 2);
+        assert_eq!(c.method_events[0].bindings, vec![(EventModifier::End, "e1".to_string())]);
+        assert_eq!(c.method_events[0].sig.canonical(), "int sell_stock(int qty)");
+        assert_eq!(
+            c.method_events[1].bindings,
+            vec![(EventModifier::Begin, "e2".to_string()), (EventModifier::End, "e3".to_string())]
+        );
+        assert_eq!(c.method_events[1].sig.canonical(), "void set_price(float price)");
+
+        assert_eq!(c.methods.len(), 1);
+        assert_eq!(c.methods[0].canonical(), "int get_price()");
+
+        assert_eq!(c.named_events.len(), 1);
+        assert_eq!(c.named_events[0].0, "e4");
+        assert_eq!(c.named_events[0].1.to_string(), "(e1 ^ e2)");
+
+        assert_eq!(c.rules.len(), 1);
+        let r = &c.rules[0];
+        assert_eq!(r.name, "R1");
+        assert_eq!(r.event, "e4");
+        assert_eq!(r.condition, "cond1");
+        assert_eq!(r.action, "action1");
+        assert_eq!(r.context, Some(ParamContext::Cumulative));
+        assert_eq!(r.coupling, Some(CouplingMode::Deferred));
+        assert_eq!(r.priority, Some(10));
+        assert_eq!(r.trigger, Some(TriggerMode::Now));
+    }
+
+    #[test]
+    fn parses_paper_application_items() {
+        let src = r#"
+            REACTIVE Stock;
+            Stock IBM;
+            event any_stk_price("any_stk_price", "Stock", "begin", "void set_price(float price)");
+            event set_IBM_price("set_IBM_price", IBM, "begin", "void set_price(float price)");
+            rule R1(any_stk_price, checksalary, resetsalary, CHRONICLE, DEFERRED);
+        "#;
+        let items = parse_spec(src).unwrap();
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[0], SpecItem::ReactiveDecl("Stock".into()));
+        assert_eq!(
+            items[1],
+            SpecItem::InstanceDecl { class: "Stock".into(), name: "IBM".into() }
+        );
+        let SpecItem::AppEvent(class_ev) = &items[2] else { panic!() };
+        assert_eq!(class_ev.target, EventTarget::Class("Stock".into()));
+        assert_eq!(class_ev.modifier, EventModifier::Begin);
+        let SpecItem::AppEvent(inst_ev) = &items[3] else { panic!() };
+        assert_eq!(inst_ev.target, EventTarget::Instance("IBM".into()));
+        let SpecItem::Rule(r) = &items[4] else { panic!() };
+        assert_eq!(r.context, Some(ParamContext::Chronicle));
+        assert_eq!(r.coupling, Some(CouplingMode::Deferred));
+        assert_eq!(r.priority, None);
+    }
+
+    #[test]
+    fn rule_options_in_any_order() {
+        let items =
+            parse_spec("rule R(e, c, a, NOW, 5, IMMEDIATE, RECENT);").unwrap();
+        let SpecItem::Rule(r) = &items[0] else { panic!() };
+        assert_eq!(r.trigger, Some(TriggerMode::Now));
+        assert_eq!(r.priority, Some(5));
+        assert_eq!(r.coupling, Some(CouplingMode::Immediate));
+        assert_eq!(r.context, Some(ParamContext::Recent));
+    }
+
+    #[test]
+    fn named_priority_class_in_rule_options() {
+        let items = parse_spec("rule R(e, c, a, URGENT, DEFERRED);").unwrap();
+        let SpecItem::Rule(r) = &items[0] else { panic!() };
+        assert_eq!(r.priority_class.as_deref(), Some("URGENT"));
+        assert_eq!(r.priority, None);
+        assert_eq!(r.coupling, Some(CouplingMode::Deferred));
+        // Duplicate named class rejected.
+        assert!(parse_spec("rule R(e, c, a, URGENT, AUDIT);").is_err());
+        // Lowercase unknown options still rejected.
+        assert!(parse_spec("rule R(e, c, a, urgent);").is_err());
+    }
+
+    #[test]
+    fn duplicate_rule_option_is_rejected() {
+        assert!(parse_spec("rule R(e, c, a, RECENT, CUMULATIVE);").is_err());
+        assert!(parse_spec("rule R(e, c, a, 1, 2);").is_err());
+    }
+
+    #[test]
+    fn named_event_at_application_level() {
+        let items = parse_spec(
+            "event def_rule_event = A*(begin-transaction, any_stk_price, pre-commit-transaction);",
+        )
+        .unwrap();
+        let SpecItem::NamedEvent { name, expr } = &items[0] else { panic!() };
+        assert_eq!(name, "def_rule_event");
+        assert!(matches!(expr, EventExpr::AperiodicStar { .. }));
+    }
+
+    #[test]
+    fn class_attributes_are_parsed() {
+        let items = parse_spec(
+            r#"class STOCK : public REACTIVE {
+                float price;
+                int holdings;
+                char* symbol;
+                event end(e1) int sell_stock(int qty);
+            };"#,
+        )
+        .unwrap();
+        let SpecItem::Class(c) = &items[0] else { panic!() };
+        assert_eq!(
+            c.attrs,
+            vec![
+                ("float".to_string(), "price".to_string()),
+                ("int".to_string(), "holdings".to_string()),
+                ("char*".to_string(), "symbol".to_string()),
+            ]
+        );
+        assert_eq!(c.method_events.len(), 1);
+    }
+
+    #[test]
+    fn class_with_pointer_params() {
+        let items = parse_spec(
+            "class ACCT : public REACTIVE { event end(dep) void deposit(float* amt); };",
+        )
+        .unwrap();
+        let SpecItem::Class(c) = &items[0] else { panic!() };
+        assert_eq!(c.method_events[0].sig.params[0].0, "float*");
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_spec("class { }").is_err());
+        assert!(parse_spec("rule R(e);").is_err());
+        assert!(parse_spec("event x(42);").is_err());
+    }
+
+    #[test]
+    fn multiple_classes_and_inherited_reactive() {
+        let src = r#"
+            class A : public REACTIVE { event end(ea) void m(); };
+            class B : public A { event end(eb) void n(); };
+        "#;
+        let items = parse_spec(src).unwrap();
+        assert_eq!(items.len(), 2);
+        let SpecItem::Class(b) = &items[1] else { panic!() };
+        assert_eq!(b.parent.as_deref(), Some("A"));
+    }
+}

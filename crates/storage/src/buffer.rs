@@ -1,0 +1,267 @@
+//! Pin-counted LRU buffer pool.
+//!
+//! The pool owns a fixed number of frames. Pages are fetched with
+//! [`BufferPool::fetch`], which returns a [`PageGuard`] holding the pin; the
+//! pin is released on drop. Dirty frames are written back on eviction and on
+//! [`BufferPool::flush_all`]. The WAL protocol (write log record before the
+//! dirty page can be evicted) is enforced by the engine layer, which flushes
+//! the log up to a page's LSN before calling [`BufferPool::flush_page`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::common::{PageId, StorageError, StorageResult};
+use crate::disk::DiskManager;
+use crate::page::PAGE_SIZE;
+
+struct Frame {
+    page_id: Option<PageId>,
+    data: RwLock<Box<[u8; PAGE_SIZE]>>,
+    dirty: bool,
+    pins: u32,
+    /// Tick of last unpin, for LRU.
+    last_used: u64,
+}
+
+struct PoolState {
+    frames: Vec<Frame>,
+    /// page -> frame index
+    table: HashMap<PageId, usize>,
+    tick: u64,
+}
+
+/// A fixed-capacity buffer pool over a [`DiskManager`].
+pub struct BufferPool {
+    disk: Arc<dyn DiskManager>,
+    state: Mutex<PoolState>,
+}
+
+/// RAII pin on a buffered page. Read access via [`PageGuard::read`], write
+/// access via [`PageGuard::write`] (which also marks the frame dirty).
+pub struct PageGuard<'p> {
+    pool: &'p BufferPool,
+    frame_idx: usize,
+    page_id: PageId,
+}
+
+impl BufferPool {
+    /// Creates a pool with `capacity` frames over `disk`.
+    pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page_id: None,
+                data: RwLock::new(Box::new([0u8; PAGE_SIZE])),
+                dirty: false,
+                pins: 0,
+                last_used: 0,
+            })
+            .collect();
+        BufferPool {
+            disk,
+            state: Mutex::new(PoolState { frames, table: HashMap::new(), tick: 0 }),
+        }
+    }
+
+    /// The backing disk manager.
+    pub fn disk(&self) -> &Arc<dyn DiskManager> {
+        &self.disk
+    }
+
+    /// Allocates a brand-new page on disk and pins it (zeroed).
+    pub fn allocate(&self) -> StorageResult<PageGuard<'_>> {
+        let id = self.disk.allocate_page()?;
+        self.fetch(id)
+    }
+
+    /// Fetches page `id`, reading from disk on a miss, and pins it.
+    pub fn fetch(&self, id: PageId) -> StorageResult<PageGuard<'_>> {
+        let mut st = self.state.lock();
+        if let Some(&idx) = st.table.get(&id) {
+            st.frames[idx].pins += 1;
+            return Ok(PageGuard { pool: self, frame_idx: idx, page_id: id });
+        }
+        let idx = self.find_victim(&mut st)?;
+        // Evict current occupant if dirty.
+        if let Some(old) = st.frames[idx].page_id {
+            if st.frames[idx].dirty {
+                let data = st.frames[idx].data.read();
+                self.disk.write_page(old, &data)?;
+                drop(data);
+                st.frames[idx].dirty = false;
+            }
+            st.table.remove(&old);
+        }
+        {
+            let mut data = st.frames[idx].data.write();
+            self.disk.read_page(id, &mut data)?;
+        }
+        st.frames[idx].page_id = Some(id);
+        st.frames[idx].pins = 1;
+        st.table.insert(id, idx);
+        Ok(PageGuard { pool: self, frame_idx: idx, page_id: id })
+    }
+
+    fn find_victim(&self, st: &mut PoolState) -> StorageResult<usize> {
+        // Prefer an empty frame, otherwise the least-recently-used unpinned.
+        if let Some(idx) = st.frames.iter().position(|f| f.page_id.is_none()) {
+            return Ok(idx);
+        }
+        st.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.pins == 0)
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(i, _)| i)
+            .ok_or(StorageError::BufferPoolFull)
+    }
+
+    /// Writes one page back to disk if it is resident and dirty.
+    pub fn flush_page(&self, id: PageId) -> StorageResult<()> {
+        let st = self.state.lock();
+        if let Some(&idx) = st.table.get(&id) {
+            if st.frames[idx].dirty {
+                let data = st.frames[idx].data.read();
+                self.disk.write_page(id, &data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty frame back and syncs the disk.
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let mut st = self.state.lock();
+        for f in st.frames.iter_mut() {
+            if let (Some(id), true) = (f.page_id, f.dirty) {
+                let data = f.data.read();
+                self.disk.write_page(id, &data)?;
+                drop(data);
+                f.dirty = false;
+            }
+        }
+        self.disk.sync()
+    }
+
+    /// Number of currently pinned frames (diagnostics / tests).
+    pub fn pinned_count(&self) -> usize {
+        self.state.lock().frames.iter().filter(|f| f.pins > 0).count()
+    }
+}
+
+impl<'p> PageGuard<'p> {
+    /// The page this guard pins.
+    pub fn page_id(&self) -> PageId {
+        self.page_id
+    }
+
+    /// Shared access to the page bytes.
+    pub fn read(&self) -> RwLockReadGuard<'_, Box<[u8; PAGE_SIZE]>> {
+        let st = self.pool.state.lock();
+        let lock: &RwLock<Box<[u8; PAGE_SIZE]>> = &st.frames[self.frame_idx].data;
+        // SAFETY of lifetime: the frame cannot be evicted or reused while
+        // pinned (pins > 0), and this guard holds a pin until drop, so the
+        // RwLock lives as long as the guard.
+        let lock: &'p RwLock<Box<[u8; PAGE_SIZE]>> = unsafe { std::mem::transmute(lock) };
+        drop(st);
+        lock.read()
+    }
+
+    /// Exclusive access to the page bytes; marks the frame dirty.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Box<[u8; PAGE_SIZE]>> {
+        let mut st = self.pool.state.lock();
+        st.frames[self.frame_idx].dirty = true;
+        let lock: &RwLock<Box<[u8; PAGE_SIZE]>> = &st.frames[self.frame_idx].data;
+        // SAFETY: see `read`.
+        let lock: &'p RwLock<Box<[u8; PAGE_SIZE]>> = unsafe { std::mem::transmute(lock) };
+        drop(st);
+        lock.write()
+    }
+}
+
+impl Drop for PageGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.pool.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let f = &mut st.frames[self.frame_idx];
+        debug_assert!(f.pins > 0);
+        f.pins -= 1;
+        f.last_used = tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(Arc::new(MemDisk::new()), frames)
+    }
+
+    #[test]
+    fn fetch_returns_written_data() {
+        let pool = pool(4);
+        let id = {
+            let g = pool.allocate().unwrap();
+            g.write()[0] = 42;
+            g.page_id()
+        };
+        let g = pool.fetch(id).unwrap();
+        assert_eq!(g.read()[0], 42);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_pages_back() {
+        let pool = pool(2);
+        let p0 = {
+            let g = pool.allocate().unwrap();
+            g.write()[0] = 1;
+            g.page_id()
+        };
+        // Fill the pool with other pages to force eviction of p0.
+        for _ in 0..4 {
+            let g = pool.allocate().unwrap();
+            g.write()[0] = 9;
+        }
+        // p0 must come back from disk with its data intact.
+        let g = pool.fetch(p0).unwrap();
+        assert_eq!(g.read()[0], 1);
+    }
+
+    #[test]
+    fn pool_full_of_pins_errors() {
+        let pool = pool(2);
+        let _g0 = pool.allocate().unwrap();
+        let _g1 = pool.allocate().unwrap();
+        assert!(matches!(pool.allocate(), Err(StorageError::BufferPoolFull)));
+    }
+
+    #[test]
+    fn repeated_fetch_shares_frame() {
+        let pool = pool(2);
+        let id = pool.allocate().unwrap().page_id();
+        let g1 = pool.fetch(id).unwrap();
+        let g2 = pool.fetch(id).unwrap();
+        g1.write()[7] = 7;
+        assert_eq!(g2.read()[7], 7);
+        assert_eq!(pool.pinned_count(), 1);
+    }
+
+    #[test]
+    fn flush_all_persists_and_clears_dirty() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 2);
+        let id = {
+            let g = pool.allocate().unwrap();
+            g.write()[100] = 55;
+            g.page_id()
+        };
+        pool.flush_all().unwrap();
+        let mut raw = [0u8; PAGE_SIZE];
+        disk.read_page(id, &mut raw).unwrap();
+        assert_eq!(raw[100], 55);
+    }
+}

@@ -1,0 +1,379 @@
+//! Slotted-page layout for variable-length records.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! +--------------------+----------------------+---------------------------+
+//! | header (8 bytes)   | slot array (4B each) | free space | record data  |
+//! +--------------------+----------------------+---------------------------+
+//!   num_slots: u16       offset: u16            grows ->      <- grows
+//!   free_end:  u16       len:    u16
+//!   lsn:       u32  (page LSN, low 32 bits — recovery idempotence)
+//! ```
+//!
+//! Records grow from the end of the page toward the slot array. Deleting a
+//! record tombstones its slot (`offset = 0, len = 0`); the slot can be reused
+//! by a later insert but rids of live records never change (no compaction
+//! moves a live record to a different slot, only to a different offset).
+
+use crate::common::{StorageError, StorageResult};
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+const HEADER_SIZE: usize = 8;
+const SLOT_SIZE: usize = 4;
+
+/// Largest record a single page can hold (one slot, empty page).
+pub const MAX_RECORD_SIZE: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
+
+/// A slotted page over a fixed 4 KiB buffer.
+///
+/// `SlottedPage` borrows the frame's bytes mutably; it performs no I/O
+/// itself. The buffer pool hands out frames, the heap file wraps them in
+/// this type to manipulate records.
+pub struct SlottedPage<'a> {
+    data: &'a mut [u8; PAGE_SIZE],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Interprets `data` as a slotted page (it must already be initialized
+    /// or zeroed; a zeroed page is a valid empty page after [`Self::init`]).
+    pub fn new(data: &'a mut [u8; PAGE_SIZE]) -> Self {
+        SlottedPage { data }
+    }
+
+    /// Formats the buffer as an empty page.
+    pub fn init(&mut self) {
+        self.data.fill(0);
+        self.set_num_slots(0);
+        self.set_free_end(PAGE_SIZE as u16);
+    }
+
+    fn num_slots(&self) -> u16 {
+        u16::from_le_bytes([self.data[0], self.data[1]])
+    }
+
+    fn set_num_slots(&mut self, n: u16) {
+        self.data[0..2].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn free_end(&self) -> u16 {
+        let v = u16::from_le_bytes([self.data[2], self.data[3]]);
+        if v == 0 {
+            PAGE_SIZE as u16 // zeroed page == empty page
+        } else {
+            v
+        }
+    }
+
+    fn set_free_end(&mut self, v: u16) {
+        self.data[2..4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Low 32 bits of the LSN of the last update applied to this page.
+    pub fn page_lsn(&self) -> u32 {
+        u32::from_le_bytes([self.data[4], self.data[5], self.data[6], self.data[7]])
+    }
+
+    /// Records the LSN of an applied update (see [`Self::page_lsn`]).
+    pub fn set_page_lsn(&mut self, lsn: u32) {
+        self.data[4..8].copy_from_slice(&lsn.to_le_bytes());
+    }
+
+    fn slot(&self, i: u16) -> (u16, u16) {
+        let base = HEADER_SIZE + usize::from(i) * SLOT_SIZE;
+        let off = u16::from_le_bytes([self.data[base], self.data[base + 1]]);
+        let len = u16::from_le_bytes([self.data[base + 2], self.data[base + 3]]);
+        (off, len)
+    }
+
+    fn set_slot(&mut self, i: u16, off: u16, len: u16) {
+        let base = HEADER_SIZE + usize::from(i) * SLOT_SIZE;
+        self.data[base..base + 2].copy_from_slice(&off.to_le_bytes());
+        self.data[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn slot_array_end(&self) -> usize {
+        HEADER_SIZE + usize::from(self.num_slots()) * SLOT_SIZE
+    }
+
+    /// Contiguous free bytes between the slot array and the record heap.
+    pub fn contiguous_free(&self) -> usize {
+        usize::from(self.free_end()).saturating_sub(self.slot_array_end())
+    }
+
+    /// Whether a record of `len` bytes fits (possibly after compaction),
+    /// accounting for a new slot unless a tombstoned slot can be reused.
+    pub fn fits(&self, len: usize) -> bool {
+        let slot_cost = if self.find_free_slot().is_some() { 0 } else { SLOT_SIZE };
+        self.total_free() >= len + slot_cost
+    }
+
+    /// Total free bytes counting holes left by deleted records.
+    fn total_free(&self) -> usize {
+        let mut used = 0usize;
+        for i in 0..self.num_slots() {
+            let (_, len) = self.slot(i);
+            used += usize::from(len);
+        }
+        PAGE_SIZE - self.slot_array_end() - used
+    }
+
+    fn find_free_slot(&self) -> Option<u16> {
+        (0..self.num_slots()).find(|&i| {
+            let (off, len) = self.slot(i);
+            off == 0 && len == 0
+        })
+    }
+
+    /// Inserts a record, returning its slot number.
+    pub fn insert(&mut self, record: &[u8]) -> StorageResult<u16> {
+        if record.len() > MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge { len: record.len(), max: MAX_RECORD_SIZE });
+        }
+        if !self.fits(record.len()) {
+            return Err(StorageError::RecordTooLarge { len: record.len(), max: self.total_free() });
+        }
+        let slot = match self.find_free_slot() {
+            Some(s) => s,
+            None => {
+                let s = self.num_slots();
+                self.set_num_slots(s + 1);
+                self.set_slot(s, 0, 0);
+                s
+            }
+        };
+        if self.contiguous_free() < record.len() {
+            self.compact();
+        }
+        let off = usize::from(self.free_end()) - record.len();
+        self.data[off..off + record.len()].copy_from_slice(record);
+        self.set_free_end(off as u16);
+        self.set_slot(slot, off as u16, record.len() as u16);
+        Ok(slot)
+    }
+
+    /// Inserts a record into slot `slot` specifically (used by recovery redo
+    /// so replayed inserts land at the exact rid the log recorded).
+    pub fn insert_at(&mut self, slot: u16, record: &[u8]) -> StorageResult<()> {
+        if record.len() > MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge { len: record.len(), max: MAX_RECORD_SIZE });
+        }
+        while self.num_slots() <= slot {
+            let s = self.num_slots();
+            self.set_num_slots(s + 1);
+            self.set_slot(s, 0, 0);
+        }
+        let (off, len) = self.slot(slot);
+        if off != 0 || len != 0 {
+            // Slot already occupied (idempotent redo): overwrite in place.
+            self.set_slot(slot, 0, 0);
+        }
+        if self.contiguous_free() < record.len() {
+            self.compact();
+        }
+        let off = usize::from(self.free_end()) - record.len();
+        self.data[off..off + record.len()].copy_from_slice(record);
+        self.set_free_end(off as u16);
+        self.set_slot(slot, off as u16, record.len() as u16);
+        Ok(())
+    }
+
+    /// Reads the record in `slot`.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        if slot >= self.num_slots() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 && len == 0 {
+            return None;
+        }
+        Some(&self.data[usize::from(off)..usize::from(off) + usize::from(len)])
+    }
+
+    /// Deletes the record in `slot` (tombstones the slot).
+    pub fn delete(&mut self, slot: u16) -> StorageResult<()> {
+        if slot >= self.num_slots() || self.get(slot).is_none() {
+            return Err(StorageError::Corrupt("delete of empty slot"));
+        }
+        self.set_slot(slot, 0, 0);
+        Ok(())
+    }
+
+    /// Replaces the record in `slot` with `record` (may move within the page).
+    pub fn update(&mut self, slot: u16, record: &[u8]) -> StorageResult<()> {
+        if slot >= self.num_slots() || self.get(slot).is_none() {
+            return Err(StorageError::Corrupt("update of empty slot"));
+        }
+        let (off, len) = self.slot(slot);
+        if record.len() <= usize::from(len) {
+            // Shrinking or equal: rewrite in place.
+            let off = usize::from(off);
+            self.data[off..off + record.len()].copy_from_slice(record);
+            self.set_slot(slot, off as u16, record.len() as u16);
+            return Ok(());
+        }
+        // Growing: free the old space and re-insert at this slot.
+        self.set_slot(slot, 0, 0);
+        if !self.fits(record.len()) {
+            // Roll the tombstone back so the caller can relocate the record.
+            self.set_slot(slot, off, len);
+            return Err(StorageError::RecordTooLarge { len: record.len(), max: self.total_free() });
+        }
+        self.insert_at(slot, record)
+    }
+
+    /// Iterates `(slot, record)` over live records.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.num_slots()).filter_map(move |i| self.get(i).map(|r| (i, r)))
+    }
+
+    /// Number of live records.
+    pub fn live_count(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Compacts record data toward the page end, preserving slot numbers.
+    fn compact(&mut self) {
+        let mut live: Vec<(u16, Vec<u8>)> = (0..self.num_slots())
+            .filter_map(|i| self.get(i).map(|r| (i, r.to_vec())))
+            .collect();
+        // Rewrite from the page end downward.
+        let mut free_end = PAGE_SIZE;
+        // Place larger slots first is unnecessary; order doesn't matter.
+        for (slot, rec) in live.drain(..) {
+            free_end -= rec.len();
+            self.data[free_end..free_end + rec.len()].copy_from_slice(&rec);
+            self.set_slot(slot, free_end as u16, rec.len() as u16);
+        }
+        self.set_free_end(free_end as u16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Box<[u8; PAGE_SIZE]> {
+        Box::new([0u8; PAGE_SIZE])
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf);
+        page.init();
+        let s0 = page.insert(b"hello").unwrap();
+        let s1 = page.insert(b"world!").unwrap();
+        assert_eq!(page.get(s0).unwrap(), b"hello");
+        assert_eq!(page.get(s1).unwrap(), b"world!");
+        assert_eq!(page.live_count(), 2);
+    }
+
+    #[test]
+    fn zeroed_buffer_is_a_valid_empty_page() {
+        let mut buf = fresh();
+        let page = SlottedPage::new(&mut buf);
+        assert_eq!(page.live_count(), 0);
+        assert_eq!(page.contiguous_free(), PAGE_SIZE - HEADER_SIZE);
+    }
+
+    #[test]
+    fn delete_tombstones_and_slot_is_reused() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf);
+        page.init();
+        let s0 = page.insert(b"aaa").unwrap();
+        let s1 = page.insert(b"bbb").unwrap();
+        page.delete(s0).unwrap();
+        assert!(page.get(s0).is_none());
+        assert_eq!(page.get(s1).unwrap(), b"bbb");
+        let s2 = page.insert(b"ccc").unwrap();
+        assert_eq!(s2, s0, "tombstoned slot must be reused");
+        assert_eq!(page.get(s2).unwrap(), b"ccc");
+    }
+
+    #[test]
+    fn update_in_place_and_growing() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf);
+        page.init();
+        let s = page.insert(b"abcdef").unwrap();
+        page.update(s, b"xy").unwrap();
+        assert_eq!(page.get(s).unwrap(), b"xy");
+        page.update(s, b"a-much-longer-record").unwrap();
+        assert_eq!(page.get(s).unwrap(), b"a-much-longer-record");
+    }
+
+    #[test]
+    fn fill_page_until_full_then_compaction_recovers_holes() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf);
+        page.init();
+        let rec = [7u8; 100];
+        let mut slots = Vec::new();
+        while page.fits(rec.len()) {
+            slots.push(page.insert(&rec).unwrap());
+        }
+        assert!(page.insert(&rec).is_err());
+        // Delete every other record -> holes, then a big record must still fit
+        // via compaction.
+        for s in slots.iter().step_by(2) {
+            page.delete(*s).unwrap();
+        }
+        let big = [9u8; 300];
+        let s = page.insert(&big).unwrap();
+        assert_eq!(page.get(s).unwrap(), &big[..]);
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf);
+        page.init();
+        let huge = vec![0u8; MAX_RECORD_SIZE + 1];
+        assert!(matches!(
+            page.insert(&huge),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_at_is_idempotent_for_redo() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf);
+        page.init();
+        page.insert_at(3, b"redo-me").unwrap();
+        page.insert_at(3, b"redo-me").unwrap();
+        assert_eq!(page.get(3).unwrap(), b"redo-me");
+        assert_eq!(page.live_count(), 1);
+        assert!(page.get(0).is_none());
+    }
+
+    #[test]
+    fn failed_grow_update_leaves_record_intact() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf);
+        page.init();
+        let filler = vec![1u8; MAX_RECORD_SIZE - 200];
+        page.insert(&filler).unwrap();
+        let s = page.insert(b"small").unwrap();
+        let too_big = vec![2u8; 4000];
+        assert!(page.update(s, &too_big).is_err());
+        assert_eq!(page.get(s).unwrap(), b"small");
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf);
+        page.init();
+        page.insert(b"a").unwrap();
+        let s = page.insert(b"b").unwrap();
+        page.insert(b"c").unwrap();
+        page.delete(s).unwrap();
+        let all: Vec<_> = page.iter().map(|(_, r)| r.to_vec()).collect();
+        assert_eq!(all, vec![b"a".to_vec(), b"c".to_vec()]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Top-level transaction bookkeeping.
+//!
+//! Tracks transaction states and per-transaction undo chains (in-memory;
+//! the WAL holds the durable copies of the same information). The manager
+//! also multicasts **transaction events** — `begin`, `pre-commit`, `commit`,
+//! `abort` — to registered observers. These are precisely the system-class
+//! events Sentinel's §3.2 makes reactive: "we specify an event interface to
+//! make the methods beginTransaction and commitTransaction of the system
+//! class generate events", with `pre-commit` being the anchor of the
+//! deferred-mode rewrite `A*(begin-txn, E, pre-commit)`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::common::{Rid, StorageError, StorageResult, TxnId};
+
+/// Lifecycle states of a top-level transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Running; may read and write.
+    Active,
+    /// `pre-commit` signalled, commit record not yet forced. Deferred rules
+    /// run here.
+    Preparing,
+    /// Durably committed.
+    Committed,
+    /// Rolled back.
+    Aborted,
+}
+
+/// Transaction lifecycle events observable by the active-database layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnEvent {
+    /// Transaction started.
+    Begin,
+    /// Transaction is about to commit (work done, commit record not forced).
+    PreCommit,
+    /// Transaction durably committed.
+    Commit,
+    /// Transaction rolled back.
+    Abort,
+}
+
+impl TxnEvent {
+    /// Canonical Sentinel event name (`"begin-transaction"` etc.), the names
+    /// the preprocessor's system-class event interface registers.
+    pub fn event_name(self) -> &'static str {
+        match self {
+            TxnEvent::Begin => "begin-transaction",
+            TxnEvent::PreCommit => "pre-commit-transaction",
+            TxnEvent::Commit => "commit-transaction",
+            TxnEvent::Abort => "abort-transaction",
+        }
+    }
+}
+
+/// Observer of transaction lifecycle events (Sentinel's primitive-event
+/// bridge registers itself here).
+pub trait TxnObserver: Send + Sync {
+    /// Called synchronously, in order, on the transaction's thread.
+    fn on_txn_event(&self, txn: TxnId, event: TxnEvent);
+}
+
+/// One logged, undoable operation.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// Undo of an insert: delete the record.
+    Insert(Rid),
+    /// Undo of an update: restore the before image.
+    Update(Rid, Vec<u8>),
+    /// Undo of a delete: re-insert the before image at the same rid.
+    Delete(Rid, Vec<u8>),
+}
+
+#[derive(Debug)]
+struct TxnInfo {
+    state: TxnState,
+    undo: Vec<UndoOp>,
+}
+
+/// Issues transaction ids and tracks live transactions.
+pub struct TxnManager {
+    next: AtomicU64,
+    live: Mutex<HashMap<TxnId, TxnInfo>>,
+    observers: RwLock<Vec<Arc<dyn TxnObserver>>>,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    /// A manager starting at transaction id 1.
+    pub fn new() -> Self {
+        TxnManager {
+            next: AtomicU64::new(1),
+            live: Mutex::new(HashMap::new()),
+            observers: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers a lifecycle observer.
+    pub fn add_observer(&self, obs: Arc<dyn TxnObserver>) {
+        self.observers.write().push(obs);
+    }
+
+    /// Fires `event` for `txn` to all observers.
+    pub fn notify(&self, txn: TxnId, event: TxnEvent) {
+        for obs in self.observers.read().iter() {
+            obs.on_txn_event(txn, event);
+        }
+    }
+
+    /// Starts a new transaction (does not log; the engine does).
+    pub fn begin(&self) -> TxnId {
+        let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.live.lock().insert(id, TxnInfo { state: TxnState::Active, undo: Vec::new() });
+        id
+    }
+
+    /// Ensures ids handed out after recovery don't collide with logged ones.
+    pub fn advance_past(&self, id: TxnId) {
+        self.next.fetch_max(id.0 + 1, Ordering::Relaxed);
+    }
+
+    /// Records an undoable operation for `txn`.
+    pub fn push_undo(&self, txn: TxnId, op: UndoOp) -> StorageResult<()> {
+        let mut live = self.live.lock();
+        let info = live
+            .get_mut(&txn)
+            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        if info.state != TxnState::Active {
+            return Err(StorageError::InvalidTxnState(txn, "not active"));
+        }
+        info.undo.push(op);
+        Ok(())
+    }
+
+    /// Current state, if the transaction is known.
+    pub fn state(&self, txn: TxnId) -> Option<TxnState> {
+        self.live.lock().get(&txn).map(|i| i.state)
+    }
+
+    /// Checks the transaction may perform work.
+    pub fn check_active(&self, txn: TxnId) -> StorageResult<()> {
+        match self.state(txn) {
+            Some(TxnState::Active) => Ok(()),
+            Some(_) => Err(StorageError::InvalidTxnState(txn, "not active")),
+            None => Err(StorageError::InvalidTxnState(txn, "unknown transaction")),
+        }
+    }
+
+    /// Moves `txn` to [`TxnState::Preparing`] and returns nothing else;
+    /// the engine fires the `pre-commit` event around this.
+    pub fn prepare(&self, txn: TxnId) -> StorageResult<()> {
+        let mut live = self.live.lock();
+        let info = live
+            .get_mut(&txn)
+            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        if info.state != TxnState::Active {
+            return Err(StorageError::InvalidTxnState(txn, "prepare of non-active"));
+        }
+        info.state = TxnState::Preparing;
+        Ok(())
+    }
+
+    /// Finalizes a commit; the undo chain is discarded.
+    pub fn finish_commit(&self, txn: TxnId) -> StorageResult<()> {
+        let mut live = self.live.lock();
+        let info = live
+            .get_mut(&txn)
+            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        if !matches!(info.state, TxnState::Preparing) {
+            return Err(StorageError::InvalidTxnState(txn, "commit without prepare"));
+        }
+        info.state = TxnState::Committed;
+        info.undo.clear();
+        Ok(())
+    }
+
+    /// Current length of the undo chain — a *savepoint mark* for
+    /// subtransaction-level recovery (rule bodies roll back to the mark
+    /// taken when they started, leaving earlier work intact).
+    pub fn undo_mark(&self, txn: TxnId) -> StorageResult<usize> {
+        let live = self.live.lock();
+        let info = live
+            .get(&txn)
+            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        Ok(info.undo.len())
+    }
+
+    /// Takes the undo-chain suffix past `mark` (newest first) without
+    /// finishing the transaction — partial rollback support.
+    pub fn take_undo_suffix(&self, txn: TxnId, mark: usize) -> StorageResult<Vec<UndoOp>> {
+        let mut live = self.live.lock();
+        let info = live
+            .get_mut(&txn)
+            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        if info.state != TxnState::Active {
+            return Err(StorageError::InvalidTxnState(txn, "not active"));
+        }
+        if mark > info.undo.len() {
+            return Err(StorageError::InvalidTxnState(txn, "savepoint mark beyond undo chain"));
+        }
+        let mut suffix = info.undo.split_off(mark);
+        suffix.reverse();
+        Ok(suffix)
+    }
+
+    /// Takes the undo chain (newest first) and marks the txn aborted.
+    pub fn take_undo_for_abort(&self, txn: TxnId) -> StorageResult<Vec<UndoOp>> {
+        let mut live = self.live.lock();
+        let info = live
+            .get_mut(&txn)
+            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        if matches!(info.state, TxnState::Committed | TxnState::Aborted) {
+            return Err(StorageError::InvalidTxnState(txn, "abort of finished txn"));
+        }
+        info.state = TxnState::Aborted;
+        let mut undo = std::mem::take(&mut info.undo);
+        undo.reverse();
+        Ok(undo)
+    }
+
+    /// Transactions currently in [`TxnState::Active`] or
+    /// [`TxnState::Preparing`] (for fuzzy checkpoints).
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        self.live
+            .lock()
+            .iter()
+            .filter(|(_, i)| matches!(i.state, TxnState::Active | TxnState::Preparing))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Drops bookkeeping for a finished transaction.
+    pub fn forget(&self, txn: TxnId) {
+        let mut live = self.live.lock();
+        if let Some(info) = live.get(&txn) {
+            if matches!(info.state, TxnState::Committed | TxnState::Aborted) {
+                live.remove(&txn);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::PageId;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let tm = TxnManager::new();
+        let t = tm.begin();
+        assert_eq!(tm.state(t), Some(TxnState::Active));
+        tm.push_undo(t, UndoOp::Insert(Rid::new(PageId(0), 0))).unwrap();
+        tm.prepare(t).unwrap();
+        assert_eq!(tm.state(t), Some(TxnState::Preparing));
+        tm.finish_commit(t).unwrap();
+        assert_eq!(tm.state(t), Some(TxnState::Committed));
+        tm.forget(t);
+        assert_eq!(tm.state(t), None);
+    }
+
+    #[test]
+    fn undo_chain_is_returned_reversed() {
+        let tm = TxnManager::new();
+        let t = tm.begin();
+        tm.push_undo(t, UndoOp::Insert(Rid::new(PageId(0), 1))).unwrap();
+        tm.push_undo(t, UndoOp::Insert(Rid::new(PageId(0), 2))).unwrap();
+        let undo = tm.take_undo_for_abort(t).unwrap();
+        match (&undo[0], &undo[1]) {
+            (UndoOp::Insert(a), UndoOp::Insert(b)) => {
+                assert_eq!(a.slot, 2);
+                assert_eq!(b.slot, 1);
+            }
+            other => panic!("unexpected undo chain {other:?}"),
+        }
+        assert_eq!(tm.state(t), Some(TxnState::Aborted));
+    }
+
+    #[test]
+    fn work_after_commit_is_rejected() {
+        let tm = TxnManager::new();
+        let t = tm.begin();
+        tm.prepare(t).unwrap();
+        tm.finish_commit(t).unwrap();
+        assert!(tm.push_undo(t, UndoOp::Insert(Rid::new(PageId(0), 0))).is_err());
+        assert!(tm.check_active(t).is_err());
+    }
+
+    #[test]
+    fn double_abort_is_rejected() {
+        let tm = TxnManager::new();
+        let t = tm.begin();
+        tm.take_undo_for_abort(t).unwrap();
+        assert!(tm.take_undo_for_abort(t).is_err());
+    }
+
+    #[test]
+    fn observers_see_events_in_order() {
+        struct Counter(AtomicUsize);
+        impl TxnObserver for Counter {
+            fn on_txn_event(&self, _txn: TxnId, _ev: TxnEvent) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let tm = TxnManager::new();
+        let c = Arc::new(Counter(AtomicUsize::new(0)));
+        tm.add_observer(c.clone());
+        let t = tm.begin();
+        tm.notify(t, TxnEvent::Begin);
+        tm.notify(t, TxnEvent::PreCommit);
+        tm.notify(t, TxnEvent::Commit);
+        assert_eq!(c.0.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn advance_past_prevents_id_reuse() {
+        let tm = TxnManager::new();
+        tm.advance_past(TxnId(100));
+        let t = tm.begin();
+        assert!(t.0 > 100);
+    }
+
+    #[test]
+    fn event_names_match_sentinel_interface() {
+        assert_eq!(TxnEvent::Begin.event_name(), "begin-transaction");
+        assert_eq!(TxnEvent::PreCommit.event_name(), "pre-commit-transaction");
+    }
+}

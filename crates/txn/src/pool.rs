@@ -1,0 +1,273 @@
+//! Priority thread pool for rule execution.
+//!
+//! Mirrors Figure 3's `Initiate_thread`: a pool of free worker threads, a
+//! priority queue of pending rule bodies, and a quiesce barrier so the
+//! triggering application can suspend "until all the rules are executed"
+//! and then resume. Jobs may submit further jobs (nested rule triggering);
+//! the barrier accounts for those too.
+//!
+//! Higher priority values run first; ties run in submission order (stable).
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PrioritizedJob {
+    priority: i64,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for PrioritizedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for PrioritizedJob {}
+impl PartialOrd for PrioritizedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioritizedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier submission.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Shared {
+    queue: Mutex<BinaryHeap<PrioritizedJob>>,
+    /// Signals workers that work arrived or shutdown started.
+    work_cv: Condvar,
+    /// Signals waiters that the pool may have gone idle.
+    idle_cv: Condvar,
+    /// Queued + currently-running jobs.
+    pending: AtomicU64,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+}
+
+/// Fixed-size priority thread pool.
+pub struct PriorityPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PriorityPool {
+    /// Spawns `workers` worker threads (≥ 1). One worker gives strictly
+    /// serial, priority-ordered execution; more workers add concurrency
+    /// within and across priority levels.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(BinaryHeap::new()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            pending: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let sh = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("sentinel-rule-worker-{i}"))
+                    .spawn(move || Self::worker(sh))
+                    .expect("spawn rule worker")
+            })
+            .collect();
+        PriorityPool { shared, workers: handles }
+    }
+
+    fn worker(sh: Arc<Shared>) {
+        loop {
+            let job = {
+                let mut q = sh.queue.lock();
+                loop {
+                    if let Some(j) = q.pop() {
+                        break j;
+                    }
+                    if sh.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    sh.work_cv.wait(&mut q);
+                }
+            };
+            (job.job)();
+            // Last decrement wakes quiesce waiters.
+            if sh.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _q = sh.queue.lock();
+                sh.idle_cv.notify_all();
+            }
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job with `priority` (higher runs first).
+    pub fn submit(&self, priority: i64, job: impl FnOnce() + Send + 'static) {
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut q = self.shared.queue.lock();
+            q.push(PrioritizedJob { priority, seq, job: Box::new(job) });
+        }
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Blocks until every submitted job (including jobs submitted *by*
+    /// jobs) has finished — the application-suspension point of Figure 3.
+    pub fn quiesce(&self) {
+        let mut q = self.shared.queue.lock();
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            self.shared.idle_cv.wait(&mut q);
+        }
+    }
+
+    /// Jobs queued or running right now.
+    pub fn pending(&self) -> u64 {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for PriorityPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _q = self.shared.queue.lock();
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = PriorityPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.submit(0, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.quiesce();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn single_worker_respects_priority_order() {
+        let pool = PriorityPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Block the worker so all submissions queue up first.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let g = gate.clone();
+            pool.submit(100, move || {
+                let (m, cv) = &*g;
+                let mut open = m.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+            });
+        }
+        for (prio, tag) in [(1, "low"), (10, "high"), (5, "mid")] {
+            let o = order.clone();
+            pool.submit(prio, move || o.lock().push(tag));
+        }
+        {
+            let (m, cv) = &*gate;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        pool.quiesce();
+        assert_eq!(*order.lock(), vec!["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn equal_priority_is_fifo_on_single_worker() {
+        let pool = PriorityPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let g = gate.clone();
+            pool.submit(1, move || {
+                let (m, cv) = &*g;
+                let mut open = m.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+            });
+        }
+        for i in 0..5 {
+            let o = order.clone();
+            pool.submit(0, move || o.lock().push(i));
+        }
+        {
+            let (m, cv) = &*gate;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        pool.quiesce();
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn quiesce_waits_for_nested_submissions() {
+        let pool = Arc::new(PriorityPool::new(2));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let p2 = pool.clone();
+        let c2 = counter.clone();
+        pool.submit(0, move || {
+            // A rule triggering another rule.
+            let c3 = c2.clone();
+            p2.submit(0, move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                c3.fetch_add(1, Ordering::SeqCst);
+            });
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.quiesce();
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "nested job included in quiesce");
+    }
+
+    #[test]
+    fn quiesce_on_idle_pool_returns_immediately() {
+        let pool = PriorityPool::new(2);
+        pool.quiesce();
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = PriorityPool::new(3);
+        let c = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = c.clone();
+            pool.submit(0, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.quiesce();
+        drop(pool);
+        assert_eq!(c.load(Ordering::SeqCst), 10);
+    }
+}

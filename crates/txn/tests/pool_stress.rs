@@ -1,0 +1,19 @@
+use sentinel_txn::PriorityPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn burst_quiesce_stress() {
+    let pool = PriorityPool::new(4);
+    for round in 0..200 {
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let c = counter.clone();
+            pool.submit(0, move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.quiesce();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000, "round {round}");
+    }
+}

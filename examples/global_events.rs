@@ -1,0 +1,161 @@
+//! Inter-application (global) events — Figure 2 of the paper.
+//!
+//! Two applications (clients) each run their own local composite event
+//! detector. Selected events are forwarded to the **global event
+//! detector**, which detects a composite event spanning both applications
+//! and runs a *detached* rule in its own top-level transaction — the
+//! cooperative-transaction / workflow use case of §2.1.
+//!
+//! Scenario: a purchasing workflow. App 1 is the ordering department, app 2
+//! is the warehouse. When app 1 places an order *and* app 2 reports stock
+//! (in either order), a global fulfilment rule runs detached on app 1 and
+//! records the fulfilment.
+//!
+//! Run with: `cargo run --example global_events`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sentinel_core::detector::graph::PrimTarget;
+use sentinel_core::global::GlobalEventDetector;
+use sentinel_core::oodb::schema::{AttrType, ClassDef};
+use sentinel_core::oodb::{AttrValue, ObjectState};
+use sentinel_core::sentinel::SentinelConfig;
+use sentinel_core::snoop::ast::EventModifier;
+use sentinel_core::Sentinel;
+
+const PLACE_SIG: &str = "void place_order(int qty)";
+const STOCK_SIG: &str = "void report_stock(int qty)";
+
+fn ordering_app() -> Arc<Sentinel> {
+    let s = Sentinel::in_memory_with(SentinelConfig { app_id: 1, ..SentinelConfig::default() });
+    s.db()
+        .register_class(
+            ClassDef::new("ORDER")
+                .extends("REACTIVE")
+                .attr("item", AttrType::Str)
+                .attr("qty", AttrType::Int)
+                .attr("fulfilled", AttrType::Bool)
+                .method(PLACE_SIG),
+        )
+        .unwrap();
+    s.db().register_method(
+        "ORDER",
+        PLACE_SIG,
+        Arc::new(|ctx| {
+            let qty = ctx.arg("qty").and_then(|v| v.as_int()).unwrap_or(0);
+            ctx.set_attr("qty", qty)?;
+            ctx.set_attr("fulfilled", false)?;
+            Ok(AttrValue::Null)
+        }),
+    );
+    s.declare_event("order_placed", "ORDER", EventModifier::End, PLACE_SIG, PrimTarget::AnyInstance)
+        .unwrap();
+    s
+}
+
+fn warehouse_app() -> Arc<Sentinel> {
+    let s = Sentinel::in_memory_with(SentinelConfig { app_id: 2, ..SentinelConfig::default() });
+    s.db()
+        .register_class(
+            ClassDef::new("SHELF")
+                .extends("REACTIVE")
+                .attr("item", AttrType::Str)
+                .attr("stock", AttrType::Int)
+                .method(STOCK_SIG),
+        )
+        .unwrap();
+    s.db().register_method(
+        "SHELF",
+        STOCK_SIG,
+        Arc::new(|ctx| {
+            let qty = ctx.arg("qty").and_then(|v| v.as_int()).unwrap_or(0);
+            ctx.set_attr("stock", qty)?;
+            Ok(AttrValue::Null)
+        }),
+    );
+    s.declare_event("stock_reported", "SHELF", EventModifier::End, STOCK_SIG, PrimTarget::AnyInstance)
+        .unwrap();
+    s
+}
+
+fn main() {
+    println!("=== Global (inter-application) events: Figure 2 ===\n");
+
+    let global = GlobalEventDetector::spawn();
+    let orders = ordering_app();
+    let warehouse = warehouse_app();
+
+    // Step 5 of Figure 2: local detectors forward to the global detector.
+    orders.forward_to_global("order_placed", &global.handle()).unwrap();
+    warehouse.forward_to_global("stock_reported", &global.handle()).unwrap();
+
+    // An inter-application composite: order AND stock report.
+    global.define_event("fulfillable", "app1.order_placed ^ app2.stock_reported").unwrap();
+
+    // Detached fulfilment rule: runs in its OWN top-level transaction on
+    // the ordering application.
+    let target = orders.clone();
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<(u64, i64)>(1);
+    global
+        .define_rule(
+            "fulfil",
+            "fulfillable",
+            Arc::new(|_| true),
+            Arc::new(move |inv| {
+                let order_oid = inv
+                    .occurrence
+                    .param_list()
+                    .iter()
+                    .find(|p| p.event_name.contains("order_placed"))
+                    .and_then(|p| p.param("oid"))
+                    .and_then(|v| v.as_oid())
+                    .expect("order oid forwarded");
+                let qty = inv.occurrence.param("qty").and_then(|v| v.as_i64()).unwrap_or(0);
+                // Fresh top-level transaction (detached coupling).
+                let t = target.begin().unwrap();
+                let mut order = target
+                    .get_object(t, sentinel_core::oodb::Oid(order_oid))
+                    .unwrap();
+                order.set("fulfilled", true);
+                target.db().store().update(t, sentinel_core::oodb::Oid(order_oid), &order).unwrap();
+                target.commit(t).unwrap();
+                let _ = done_tx.send((order_oid, qty));
+            }),
+        )
+        .unwrap();
+
+    // --- the workflow ----------------------------------------------------
+    println!("[app1] placing an order for 12 widgets…");
+    let t1 = orders.begin().unwrap();
+    let order = orders
+        .create_object(
+            t1,
+            &ObjectState::new("ORDER").with("item", "widget").with("qty", 0).with("fulfilled", false),
+        )
+        .unwrap();
+    orders.invoke(t1, order, PLACE_SIG, vec![("qty".into(), 12.into())]).unwrap();
+    orders.commit(t1).unwrap();
+
+    println!("[app2] reporting warehouse stock…");
+    let t2 = warehouse.begin().unwrap();
+    let shelf = warehouse
+        .create_object(t2, &ObjectState::new("SHELF").with("item", "widget").with("stock", 0))
+        .unwrap();
+    warehouse.invoke(t2, shelf, STOCK_SIG, vec![("qty".into(), 500.into())]).unwrap();
+    warehouse.commit(t2).unwrap();
+
+    let (oid, qty) = done_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("global rule must fire after both constituents");
+    println!("[global] fulfilment rule ran detached: order oid#{oid}, qty={qty}");
+
+    // Verify the detached transaction's write is visible.
+    let t = orders.begin().unwrap();
+    let state = orders.get_object(t, order).unwrap();
+    println!("[app1] order state: fulfilled = {}", state.get("fulfilled").unwrap());
+    assert_eq!(state.get("fulfilled"), Some(&AttrValue::Bool(true)));
+    orders.commit(t).unwrap();
+
+    println!("\nOK: inter-application composite detected; detached rule committed independently.");
+}

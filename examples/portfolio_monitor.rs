@@ -1,0 +1,197 @@
+//! Portfolio monitoring: the workload the paper's introduction motivates —
+//! stock-market rules over composite events in different parameter
+//! contexts.
+//!
+//! Scenario:
+//! * `price_drop` — explicit event raised when a price update lowers the
+//!   price (shows application-raised events);
+//! * `crash_watch = price_drop ; price_drop ; price_drop` in **chronicle**
+//!   context — three consecutive drops trigger a sell-off rule;
+//! * `quiet_session = NOT(trade)[session_open, session_close]` — fires when
+//!   a session closes without a single trade;
+//! * `volume_report = A*(session_open, trade, session_close)` in
+//!   **cumulative** context — one report per session with every trade's
+//!   parameters (the paper's "accumulate all insert events" example, with
+//!   sessions instead of transactions).
+//!
+//! Run with: `cargo run --example portfolio_monitor`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sentinel_core::detector::graph::PrimTarget;
+use sentinel_core::detector::Value;
+use sentinel_core::oodb::schema::{AttrType, ClassDef};
+use sentinel_core::oodb::{AttrValue, ObjectState};
+use sentinel_core::rules::manager::RuleOptions;
+use sentinel_core::snoop::ast::EventModifier;
+use sentinel_core::snoop::ParamContext;
+use sentinel_core::Sentinel;
+
+const TRADE_SIG: &str = "void trade(int qty, float price)";
+
+fn main() {
+    let s = Sentinel::in_memory();
+    s.debugger().set_enabled(true);
+
+    // --- schema ----------------------------------------------------------
+    s.db()
+        .register_class(
+            ClassDef::new("STOCK")
+                .extends("REACTIVE")
+                .attr("symbol", AttrType::Str)
+                .attr("price", AttrType::Float)
+                .attr("volume", AttrType::Int)
+                .method(TRADE_SIG),
+        )
+        .expect("register STOCK");
+    s.db().register_method(
+        "STOCK",
+        TRADE_SIG,
+        Arc::new(|ctx| {
+            let qty = ctx.arg("qty").and_then(|v| v.as_int()).unwrap_or(0);
+            let price = ctx.arg("price").and_then(AttrValue::as_float).unwrap_or(0.0);
+            let old_price = ctx.get_attr("price")?.as_float().unwrap_or(0.0);
+            let vol = ctx.get_attr("volume")?.as_int().unwrap_or(0);
+            ctx.set_attr("price", price)?;
+            ctx.set_attr("volume", vol + qty)?;
+            // Return whether this trade lowered the price.
+            Ok(AttrValue::Bool(price < old_price))
+        }),
+    );
+
+    // --- events ------------------------------------------------------
+    s.declare_event("trade", "STOCK", EventModifier::End, TRADE_SIG, PrimTarget::AnyInstance)
+        .expect("declare trade");
+    for explicit in ["price_drop", "session_open", "session_close"] {
+        s.detector().declare_explicit(explicit);
+    }
+    s.define_event("crash_watch", "(price_drop ; price_drop) ; price_drop")
+        .expect("crash_watch");
+    s.define_event("quiet_session", "NOT(trade)[session_open, session_close]")
+        .expect("quiet_session");
+    s.define_event("volume_report", "A*(session_open, trade, session_close)")
+        .expect("volume_report");
+
+    // --- rules -------------------------------------------------------
+    let crashes = Arc::new(AtomicUsize::new(0));
+    let c = crashes.clone();
+    s.define_rule(
+        "sell_off",
+        "crash_watch",
+        Arc::new(|inv| {
+            // All three drops must be for the same symbol.
+            let prims = inv.occurrence.param_list();
+            let first = prims.first().and_then(|p| p.param("symbol")).cloned();
+            prims.iter().all(|p| p.param("symbol").cloned() == first)
+        }),
+        Arc::new(move |inv| {
+            c.fetch_add(1, Ordering::SeqCst);
+            let sym = inv
+                .occurrence
+                .param("symbol")
+                .and_then(|v| v.as_str().map(str::to_string))
+                .unwrap_or_default();
+            println!("  !! SELL-OFF: three consecutive drops for {sym}");
+        }),
+        RuleOptions::default().context(ParamContext::Chronicle).priority(20),
+    )
+    .expect("sell_off");
+
+    let quiets = Arc::new(AtomicUsize::new(0));
+    let q = quiets.clone();
+    s.define_rule(
+        "quiet_alert",
+        "quiet_session",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            q.fetch_add(1, Ordering::SeqCst);
+            println!("  .. session closed with zero trades");
+        }),
+        RuleOptions::default(),
+    )
+    .expect("quiet_alert");
+
+    let reports = Arc::new(AtomicUsize::new(0));
+    let r = reports.clone();
+    s.define_rule(
+        "volume_reporter",
+        "volume_report",
+        Arc::new(|_| true),
+        Arc::new(move |inv| {
+            r.fetch_add(1, Ordering::SeqCst);
+            let trades: Vec<_> = inv
+                .occurrence
+                .param_list()
+                .iter()
+                .filter(|p| &*p.event_name == "trade")
+                .map(|p| {
+                    format!(
+                        "{}x@{}",
+                        p.params.iter().find(|(n, _)| &**n == "qty").map(|(_, v)| v.to_string()).unwrap_or_default(),
+                        p.params.iter().find(|(n, _)| &**n == "price").map(|(_, v)| v.to_string()).unwrap_or_default()
+                    )
+                })
+                .collect();
+            println!("  == session volume report: {} trades [{}]", trades.len(), trades.join(", "));
+        }),
+        RuleOptions::default().context(ParamContext::Cumulative),
+    )
+    .expect("volume_reporter");
+
+    // --- a trading day ----------------------------------------------
+    println!("=== Portfolio monitor ===");
+    let txn = s.begin().expect("begin");
+    let ibm = s
+        .create_object(
+            txn,
+            &ObjectState::new("STOCK").with("symbol", "IBM").with("price", 150.0).with("volume", 0),
+        )
+        .expect("IBM");
+
+    println!("-- session 1: active trading with a crash");
+    s.raise(Some(txn), "session_open", vec![]).unwrap();
+    let mut price = 150.0;
+    for (i, delta) in [(1, -2.0), (2, -3.0), (3, -1.5)] {
+        price += delta;
+        let dropped = s
+            .invoke(
+                txn,
+                ibm,
+                TRADE_SIG,
+                vec![("qty".into(), (10 * i).into()), ("price".into(), price.into())],
+            )
+            .expect("trade")
+            == AttrValue::Bool(true);
+        println!("  trade {i}: qty={} price={price} (drop: {dropped})", 10 * i);
+        if dropped {
+            s.raise(
+                Some(txn),
+                "price_drop",
+                vec![
+                    (Arc::from("symbol"), Value::str("IBM")),
+                    (Arc::from("price"), Value::Float(price)),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    s.raise(Some(txn), "session_close", vec![]).unwrap();
+
+    println!("-- session 2: no trades at all");
+    s.raise(Some(txn), "session_open", vec![]).unwrap();
+    s.raise(Some(txn), "session_close", vec![]).unwrap();
+
+    s.commit(txn).expect("commit");
+
+    println!("\n=== Summary ===");
+    println!("sell-off rules fired:   {}", crashes.load(Ordering::SeqCst));
+    println!("quiet sessions:         {}", quiets.load(Ordering::SeqCst));
+    println!("volume reports:         {}", reports.load(Ordering::SeqCst));
+    assert_eq!(crashes.load(Ordering::SeqCst), 1);
+    assert_eq!(quiets.load(Ordering::SeqCst), 1);
+    assert_eq!(reports.load(Ordering::SeqCst), 1);
+
+    println!("\n=== Rule debugger trace ===");
+    print!("{}", s.debugger().render());
+}

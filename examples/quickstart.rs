@@ -1,0 +1,142 @@
+//! Quickstart: the paper's §3.1 STOCK class, end to end.
+//!
+//! 1. Feed the exact class/rule specification from the paper through the
+//!    Sentinel pre-processor.
+//! 2. Show the generated code (the §3.2 listings).
+//! 3. Run a transaction that raises `e1` (sell) and `e2`/`e3` (set_price),
+//!    completing the composite `e4 = e1 ^ e2`, and watch the DEFERRED rule
+//!    `R1` fire exactly once at commit with cumulative parameters.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sentinel_core::codegen;
+use sentinel_core::oodb::{AttrValue, ObjectState};
+use sentinel_core::{FunctionTable, Preprocessor, Sentinel};
+
+const STOCK_SPEC: &str = r#"
+class STOCK : public REACTIVE {
+public:
+    char* symbol;
+    float price;
+    int holdings;
+    event end(e1) int sell_stock(int qty);
+    event begin(e2) && end(e3) void set_price(float price);
+    int get_price();
+    event e4 = e1 ^ e2; /* AND operator */
+    rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW); /* class level rule */
+};
+"#;
+
+fn main() {
+    println!("=== Sentinel quickstart: the ICDE '95 STOCK example ===\n");
+
+    // --- what the pre-processor would emit (paper §3.2 listings) ---------
+    println!("--- Generated code (Sentinel pre-/post-processor output) ---");
+    println!("{}", codegen::generate(STOCK_SPEC).expect("codegen"));
+
+    // --- bring up the active DBMS ---------------------------------------
+    let sentinel = Sentinel::in_memory();
+    sentinel.debugger().set_enabled(true);
+
+    let fired = Arc::new(AtomicUsize::new(0));
+    let f = fired.clone();
+    let table = FunctionTable::new()
+        .condition("cond1", |inv| {
+            // Condition: total quantity sold in this window exceeds 3.
+            let qty: i64 = inv
+                .occurrence
+                .param_list()
+                .iter()
+                .filter_map(|o| o.params.iter().find(|(n, _)| &**n == "qty"))
+                .filter_map(|(_, v)| v.as_i64())
+                .sum();
+            println!("  [cond1] cumulative qty sold = {qty}");
+            qty > 3
+        })
+        .action("action1", move |inv| {
+            f.fetch_add(1, Ordering::SeqCst);
+            println!(
+                "  [action1] R1 fired at t={} with {} constituent events:",
+                inv.occurrence.at,
+                inv.occurrence.param_list().len()
+            );
+            for prim in inv.occurrence.param_list() {
+                println!("      {prim}");
+            }
+        });
+
+    let txn = sentinel.begin().expect("begin");
+    Preprocessor::new(&sentinel).apply(txn, STOCK_SPEC, &table).expect("preprocess");
+    sentinel.commit(txn).expect("commit spec txn");
+
+    // Method bodies — the `user_` methods of the wrapper listing.
+    sentinel.db().register_method(
+        "STOCK",
+        "void set_price(float price)",
+        Arc::new(|ctx| {
+            let p = ctx.arg("price").and_then(AttrValue::as_float).unwrap_or(0.0);
+            ctx.set_attr("price", p)?;
+            Ok(AttrValue::Null)
+        }),
+    );
+    sentinel.db().register_method(
+        "STOCK",
+        "int sell_stock(int qty)",
+        Arc::new(|ctx| {
+            let q = ctx.arg("qty").and_then(|v| v.as_int()).unwrap_or(0);
+            let h = ctx.get_attr("holdings")?.as_int().unwrap_or(0);
+            ctx.set_attr("holdings", h - q)?;
+            Ok(AttrValue::Int(h - q))
+        }),
+    );
+    sentinel.db().register_method(
+        "STOCK",
+        "int get_price()",
+        Arc::new(|ctx| {
+            Ok(AttrValue::Int(ctx.get_attr("price")?.as_float().unwrap_or(0.0) as i64))
+        }),
+    );
+
+    // --- a transaction that triggers the rule ---------------------------
+    println!("--- Transaction: sell IBM, then set its price ---");
+    let txn = sentinel.begin().expect("begin");
+    let ibm = sentinel
+        .create_object(
+            txn,
+            &ObjectState::new("STOCK")
+                .with("symbol", "IBM")
+                .with("price", 142.0)
+                .with("holdings", 100),
+        )
+        .expect("create IBM");
+    sentinel.db().names().bind(txn, "IBM", ibm).expect("bind name");
+
+    sentinel
+        .invoke(txn, ibm, "int sell_stock(int qty)", vec![("qty".into(), 5.into())])
+        .expect("sell");
+    println!("  sold 5 shares (raises e1 at method end)");
+    sentinel
+        .invoke(txn, ibm, "void set_price(float price)", vec![("price".into(), 140.5.into())])
+        .expect("set_price");
+    println!("  set price to 140.5 (raises e2 at begin, e3 at end; e4 = e1 ^ e2 detected)");
+    println!("  R1 fired so far: {} (DEFERRED: waits for pre-commit)", fired.load(Ordering::SeqCst));
+
+    println!("--- Committing (pre-commit fires the deferred rule) ---");
+    sentinel.commit(txn).expect("commit");
+    println!("  R1 fired: {}\n", fired.load(Ordering::SeqCst));
+
+    println!("--- Rule debugger trace ---");
+    print!("{}", sentinel.debugger().render());
+
+    let t = sentinel.begin().expect("begin");
+    let state = sentinel.get_object(t, ibm).expect("read IBM");
+    println!("\nFinal IBM state: price={}, holdings={}",
+        state.get("price").unwrap(),
+        state.get("holdings").unwrap());
+    sentinel.commit(t).expect("commit");
+    assert_eq!(fired.load(Ordering::SeqCst), 1, "deferred rule must fire exactly once");
+    println!("\nOK: deferred rule fired exactly once with net-effect parameters.");
+}

@@ -1,0 +1,208 @@
+//! SEC-3.2.2: multiple contexts in a single event graph, counter-based
+//! enable/disable, and event flushing at transaction boundaries.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sentinel_core::detector::graph::PrimTarget;
+use sentinel_core::detector::LocalEventDetector;
+use sentinel_core::snoop::ast::EventModifier;
+use sentinel_core::snoop::{parse_event_expr, ParamContext};
+
+const SIG: &str = "void m()";
+
+fn det() -> LocalEventDetector {
+    let d = LocalEventDetector::new(0);
+    for name in ["a", "b"] {
+        d.declare_primitive(name, "C", EventModifier::End, SIG, PrimTarget::AnyInstance).unwrap();
+    }
+    d
+}
+
+fn fire(d: &LocalEventDetector, _name: &str, txn: u64) -> Vec<sentinel_core::detector::Detection> {
+    d.notify_method("C", SIG, EventModifier::End, 1, Vec::new(), Some(txn))
+}
+
+/// One shared AND node detects simultaneously in all four contexts, each
+/// pairing occurrences differently.
+#[test]
+fn four_contexts_one_graph() {
+    // `a` and `b` must be independent here, so declare them on separate
+    // classes (elsewhere in this file they intentionally share one class).
+    let d = {
+        let d = LocalEventDetector::new(0);
+        d.declare_primitive("a", "CA", EventModifier::End, SIG, PrimTarget::AnyInstance).unwrap();
+        d.declare_primitive("b", "CB", EventModifier::End, SIG, PrimTarget::AnyInstance).unwrap();
+        d
+    };
+    let and = d.define_named("ab", &parse_event_expr("a ^ b").unwrap()).unwrap();
+    let size_before = d.graph_size();
+    for (i, ctx) in ParamContext::ALL.into_iter().enumerate() {
+        d.subscribe(and, ctx, i as u64 + 1).unwrap();
+    }
+    assert_eq!(d.graph_size(), size_before, "one graph, no duplicated nodes");
+
+    // a a b: recent pairs (a2,b), chronicle (a1,b), continuous both,
+    // cumulative everything.
+    d.notify_method("CA", SIG, EventModifier::End, 1, Vec::new(), Some(1));
+    d.notify_method("CA", SIG, EventModifier::End, 1, Vec::new(), Some(1));
+    let dets = d.notify_method("CB", SIG, EventModifier::End, 1, Vec::new(), Some(1));
+
+    let by_ctx = |c: ParamContext| {
+        dets.iter()
+            .filter(|x| x.context == c)
+            .map(|x| x.occurrence.param_list().len())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(by_ctx(ParamContext::Recent), vec![2], "recent: latest a + b");
+    assert_eq!(by_ctx(ParamContext::Chronicle), vec![2], "chronicle: oldest a + b");
+    assert_eq!(by_ctx(ParamContext::Continuous), vec![2, 2], "continuous: one per open a");
+    assert_eq!(by_ctx(ParamContext::Cumulative), vec![3], "cumulative: both a's + b");
+}
+
+/// "Once a rule is disabled or deleted … the respective counter is
+/// decremented. If the counter is reset to 0, events are no longer detected
+/// in that context" — while other contexts keep detecting.
+#[test]
+fn counter_zero_stops_one_context_only() {
+    let d = det();
+    let seq = d.define_named("aa", &parse_event_expr("(a ; a)").unwrap()).unwrap();
+    d.subscribe(seq, ParamContext::Chronicle, 1).unwrap();
+    d.subscribe(seq, ParamContext::Recent, 2).unwrap();
+    d.subscribe(seq, ParamContext::Chronicle, 3).unwrap();
+
+    // Unsubscribe one chronicle rule: counter 2→1, still detecting.
+    d.unsubscribe(seq, ParamContext::Chronicle, 1).unwrap();
+    fire(&d, "a", 1);
+    let dets = fire(&d, "a", 1);
+    assert!(dets.iter().any(|x| x.context == ParamContext::Chronicle));
+    assert!(dets.iter().any(|x| x.context == ParamContext::Recent));
+
+    // Unsubscribe the last chronicle rule: counter 0, chronicle state gone.
+    d.unsubscribe(seq, ParamContext::Chronicle, 3).unwrap();
+    let dets = fire(&d, "a", 1);
+    assert!(dets.iter().all(|x| x.context == ParamContext::Recent));
+}
+
+/// The paper's aborted-transaction scenario: without flushing, T2 would
+/// fire a rule whose parameters "in the database sense do not exist at all".
+#[test]
+fn abort_flush_prevents_phantom_parameters() {
+    let d = det();
+    let seq = d.define_named("ab2", &parse_event_expr("(a ; b)").unwrap()).unwrap();
+    d.subscribe(seq, ParamContext::Chronicle, 1).unwrap();
+
+    // Transaction 1 raises `a` (via class CA == C here), then aborts.
+    d.notify_method("C", SIG, EventModifier::End, 1, Vec::new(), Some(1));
+    d.flush_txn(1); // what the abort rule does
+    // Transaction 2 raises `b`.
+    let dets = d.notify_method("C", SIG, EventModifier::End, 1, Vec::new(), Some(2));
+    assert!(
+        dets.iter().all(|x| x.event != seq),
+        "no composite with constituents from the aborted transaction"
+    );
+}
+
+/// Selective flush of one event expression vs. the entire graph.
+#[test]
+fn selective_and_full_flush() {
+    let d = det();
+    let seq_a = d.define_named("xa", &parse_event_expr("(a ; a)").unwrap()).unwrap();
+    let seq_b = d.define_named("xb", &parse_event_expr("(b ; b)").unwrap()).unwrap();
+    d.subscribe(seq_a, ParamContext::Chronicle, 1).unwrap();
+    d.subscribe(seq_b, ParamContext::Chronicle, 2).unwrap();
+    // Buffer initiators for both. (a and b share class C + sig here, so one
+    // call feeds both leaves.)
+    fire(&d, "a", 1);
+    // Selective: flush only seq_a's subtree — seq_b keeps its initiator…
+    d.flush_event(seq_a);
+    let dets = fire(&d, "a", 1);
+    assert!(dets.iter().any(|x| x.event == seq_b), "xb unaffected by selective flush");
+    assert!(dets.iter().all(|x| x.event != seq_a), "xa state was flushed");
+    // …full flush clears everything.
+    d.flush_all();
+    let dets = fire(&d, "a", 1);
+    assert!(dets.is_empty());
+}
+
+/// PREVIOUS rules accept constituents buffered before their definition;
+/// NOW rules do not (paper §3.1 rule trigger modes).
+#[test]
+fn trigger_modes_through_the_full_stack() {
+    use sentinel_core::rules::manager::RuleOptions;
+    use sentinel_core::sentinel::SentinelConfig;
+    use sentinel_core::snoop::TriggerMode;
+    use sentinel_core::Sentinel;
+
+    let s = Sentinel::in_memory_with(SentinelConfig::default());
+    s.detector().declare_explicit("p");
+    s.detector().declare_explicit("q");
+    s.define_event("pq", "(p ; q)").unwrap();
+
+    // Keep the chronicle context alive from the start.
+    let keeper_fired = Arc::new(AtomicUsize::new(0));
+    let kf = keeper_fired.clone();
+    s.define_rule(
+        "keeper",
+        "pq",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            kf.fetch_add(1, Ordering::SeqCst);
+        }),
+        RuleOptions::default().trigger(TriggerMode::Previous),
+    )
+    .unwrap();
+
+    let t = s.begin().unwrap();
+    s.raise(Some(t), "p", Vec::new()).unwrap(); // initiator before late rules
+
+    let now_fired = Arc::new(AtomicUsize::new(0));
+    let prev_fired = Arc::new(AtomicUsize::new(0));
+    let (n, p) = (now_fired.clone(), prev_fired.clone());
+    s.define_rule(
+        "late_now",
+        "pq",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            n.fetch_add(1, Ordering::SeqCst);
+        }),
+        RuleOptions::default().trigger(TriggerMode::Now),
+    )
+    .unwrap();
+    s.define_rule(
+        "late_prev",
+        "pq",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            p.fetch_add(1, Ordering::SeqCst);
+        }),
+        RuleOptions::default().trigger(TriggerMode::Previous),
+    )
+    .unwrap();
+
+    s.raise(Some(t), "q", Vec::new()).unwrap(); // terminator
+    assert_eq!(keeper_fired.load(Ordering::SeqCst), 1);
+    assert_eq!(prev_fired.load(Ordering::SeqCst), 1, "PREVIOUS accepts old initiator");
+    assert_eq!(now_fired.load(Ordering::SeqCst), 0, "NOW rejects pre-definition initiator");
+    s.commit(t).unwrap();
+}
+
+/// Reusing a named event under several rules with different contexts
+/// reuses the same sub-graph (the §3.1 late-binding argument).
+#[test]
+fn event_reuse_late_context_binding() {
+    let d = det();
+    let and = d.define_named("shared", &parse_event_expr("a ^ b").unwrap()).unwrap();
+    let n0 = d.graph_size();
+    d.subscribe(and, ParamContext::Recent, 1).unwrap();
+    d.subscribe(and, ParamContext::Chronicle, 2).unwrap();
+    d.subscribe(and, ParamContext::Cumulative, 3).unwrap();
+    assert_eq!(d.graph_size(), n0, "contexts bound late, no new nodes");
+    let counts = Arc::new(Mutex::new(Vec::new()));
+    let dets = fire(&d, "ab", 9);
+    counts.lock().push(dets.len());
+    // a AND b both fired by the same call (same class/sig) -> all three
+    // contexts detect.
+    assert_eq!(dets.len(), 3);
+}

@@ -1,0 +1,210 @@
+//! FIG-2: the local/global event detector control flow.
+//!
+//! Figure 2's numbered steps:
+//!   1 - primitive event signalled
+//!   2 - composite event detection for immediate rules
+//!   3 - pre-commit and abort signalled
+//!   4 - causally dependent commit signalled
+//!   5 - inter-application events detected
+//!   6 - rules executed as subtransactions
+//!
+//! Each step is asserted on the integrated system.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sentinel_core::detector::graph::PrimTarget;
+use sentinel_core::global::GlobalEventDetector;
+use sentinel_core::oodb::schema::{AttrType, ClassDef};
+use sentinel_core::oodb::{AttrValue, ObjectState};
+use sentinel_core::rules::manager::RuleOptions;
+use sentinel_core::sentinel::SentinelConfig;
+use sentinel_core::snoop::ast::EventModifier;
+use sentinel_core::Sentinel;
+
+const TICK_SIG: &str = "void tick(int n)";
+
+fn app(app_id: u32) -> Arc<Sentinel> {
+    let s = Sentinel::in_memory_with(SentinelConfig { app_id, ..SentinelConfig::default() });
+    s.db()
+        .register_class(
+            ClassDef::new("CLOCKED")
+                .extends("REACTIVE")
+                .attr("n", AttrType::Int)
+                .method(TICK_SIG),
+        )
+        .unwrap();
+    s.db().register_method(
+        "CLOCKED",
+        TICK_SIG,
+        Arc::new(|ctx| {
+            let n = ctx.arg("n").and_then(|v| v.as_int()).unwrap_or(0);
+            ctx.set_attr("n", n)?;
+            Ok(AttrValue::Null)
+        }),
+    );
+    s.declare_event("tick", "CLOCKED", EventModifier::End, TICK_SIG, PrimTarget::AnyInstance)
+        .unwrap();
+    s
+}
+
+#[test]
+fn steps_1_2_6_primitive_composite_and_subtransactions() {
+    let s = app(1);
+    s.define_event("double_tick", "(tick ; tick)").unwrap();
+    let subtxn_seen = Arc::new(Mutex::new(Vec::new()));
+    let seen = subtxn_seen.clone();
+    s.define_rule(
+        "on_double",
+        "double_tick",
+        Arc::new(|_| true),
+        Arc::new(move |inv| {
+            // Step 6: the rule body runs inside a subtransaction.
+            seen.lock().push((inv.subtxn, inv.depth));
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
+    let t = s.begin().unwrap();
+    let obj = s.create_object(t, &ObjectState::new("CLOCKED").with("n", 0)).unwrap();
+    s.invoke(t, obj, TICK_SIG, vec![("n".into(), 1.into())]).unwrap(); // step 1
+    s.invoke(t, obj, TICK_SIG, vec![("n".into(), 2.into())]).unwrap(); // step 2: composite detected
+    s.commit(t).unwrap();
+    let seen = subtxn_seen.lock();
+    assert_eq!(seen.len(), 1);
+    assert!(seen[0].0.is_some(), "rule executed as a subtransaction");
+    assert_eq!(seen[0].1, 0, "top-level triggering depth");
+}
+
+#[test]
+fn step_3_pre_commit_and_abort_signalled() {
+    let s = app(1);
+    let log = Arc::new(Mutex::new(Vec::<String>::new()));
+    for ev in ["pre-commit-transaction", "abort-transaction", "begin-transaction"] {
+        let l = log.clone();
+        let name = ev.to_string();
+        s.define_rule(
+            &format!("obs_{ev}"),
+            ev,
+            Arc::new(|_| true),
+            Arc::new(move |_| l.lock().push(name.clone())),
+            RuleOptions::default(),
+        )
+        .unwrap();
+    }
+    let t = s.begin().unwrap();
+    s.commit(t).unwrap();
+    let t = s.begin().unwrap();
+    s.abort(t).unwrap();
+    let log = log.lock().clone();
+    assert_eq!(
+        log,
+        vec![
+            "begin-transaction".to_string(),
+            "pre-commit-transaction".to_string(),
+            "begin-transaction".to_string(),
+            "abort-transaction".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn step_4_commit_event_signalled_after_durability() {
+    let s = app(1);
+    let committed = Arc::new(AtomicUsize::new(0));
+    let c = committed.clone();
+    s.define_rule(
+        "obs_commit",
+        "commit-transaction",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
+    let t = s.begin().unwrap();
+    s.commit(t).unwrap();
+    assert_eq!(committed.load(Ordering::SeqCst), 1);
+    // An aborted transaction must NOT fire the commit event.
+    let t = s.begin().unwrap();
+    s.abort(t).unwrap();
+    assert_eq!(committed.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn step_5_inter_application_events() {
+    let global = GlobalEventDetector::spawn();
+    let app1 = app(1);
+    let app2 = app(2);
+    app1.forward_to_global("tick", &global.handle()).unwrap();
+    app2.forward_to_global("tick", &global.handle()).unwrap();
+    // Sequence across applications: app1 ticks, THEN app2 ticks.
+    global.define_event("relay", "(app1.tick ; app2.tick)").unwrap();
+    let (tx, rx) = crossbeam::channel::bounded(2);
+    global
+        .define_rule(
+            "relay_rule",
+            "relay",
+            Arc::new(|_| true),
+            Arc::new(move |inv| {
+                let _ = tx.send(inv.occurrence.param_list().len());
+            }),
+        )
+        .unwrap();
+
+    // app2 first: must NOT complete the sequence.
+    let t2 = app2.begin().unwrap();
+    let o2 = app2.create_object(t2, &ObjectState::new("CLOCKED").with("n", 0)).unwrap();
+    app2.invoke(t2, o2, TICK_SIG, vec![("n".into(), 1.into())]).unwrap();
+    app2.commit(t2).unwrap();
+    assert!(rx.recv_timeout(std::time::Duration::from_millis(200)).is_err());
+
+    // app1 then app2: completes.
+    let t1 = app1.begin().unwrap();
+    let o1 = app1.create_object(t1, &ObjectState::new("CLOCKED").with("n", 0)).unwrap();
+    app1.invoke(t1, o1, TICK_SIG, vec![("n".into(), 2.into())]).unwrap();
+    app1.commit(t1).unwrap();
+    let t2 = app2.begin().unwrap();
+    app2.invoke(t2, o2, TICK_SIG, vec![("n".into(), 3.into())]).unwrap();
+    app2.commit(t2).unwrap();
+    let prims = rx.recv_timeout(std::time::Duration::from_secs(3)).expect("global sequence");
+    assert_eq!(prims, 2);
+}
+
+#[test]
+fn nested_rule_events_reach_the_detector_like_top_level_ones() {
+    // "Support for multiple rule execution and nested rule execution
+    // entails that the event detector be able to receive events detected
+    // within a rule's execution in the same manner it receives events
+    // detected in a top level transaction."
+    let s = app(1);
+    let depths = Arc::new(Mutex::new(Vec::new()));
+    let s2 = s.clone();
+    s.detector().declare_explicit("chain");
+    let d = depths.clone();
+    s.define_rule(
+        "chain_rule",
+        "chain",
+        Arc::new(|_| true),
+        Arc::new(move |inv| {
+            d.lock().push(inv.depth);
+            if inv.depth < 3 {
+                // Raise the same event from within the action.
+                s2.raise(
+                    inv.txn.map(sentinel_core::storage::TxnId),
+                    "chain",
+                    Vec::new(),
+                )
+                .unwrap();
+            }
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
+    let t = s.begin().unwrap();
+    s.raise(Some(t), "chain", Vec::new()).unwrap();
+    s.commit(t).unwrap();
+    assert_eq!(*depths.lock(), vec![0, 1, 2, 3], "arbitrary nesting levels");
+}

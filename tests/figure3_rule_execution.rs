@@ -1,0 +1,201 @@
+//! FIG-3: rule execution using threads (the `Initiate_thread` /
+//! `Cond_action` pseudocode).
+//!
+//! Asserts the pseudocode's observable properties on the threaded
+//! scheduler: thread-pool reuse, priority assignment, the
+//! condition→action packaging inside a subtransaction, and
+//! application suspension.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sentinel_core::detector::graph::PrimTarget;
+use sentinel_core::oodb::schema::{AttrType, ClassDef};
+use sentinel_core::oodb::{AttrValue, ObjectState};
+use sentinel_core::rules::manager::RuleOptions;
+use sentinel_core::rules::ExecutionMode;
+use sentinel_core::sentinel::SentinelConfig;
+use sentinel_core::snoop::ast::EventModifier;
+use sentinel_core::Sentinel;
+
+const GO: &str = "void go()";
+
+fn system(workers: usize) -> Arc<Sentinel> {
+    let s = Sentinel::in_memory_with(SentinelConfig {
+        mode: ExecutionMode::Threaded { workers },
+        ..SentinelConfig::default()
+    });
+    s.db()
+        .register_class(ClassDef::new("JOB").extends("REACTIVE").attr("x", AttrType::Int).method(GO))
+        .unwrap();
+    s.db().register_method("JOB", GO, Arc::new(|_| Ok(AttrValue::Null)));
+    s.declare_event("go", "JOB", EventModifier::End, GO, PrimTarget::AnyInstance).unwrap();
+    s
+}
+
+#[test]
+fn rules_run_on_pool_threads_not_the_application_thread() {
+    let s = system(2);
+    let app_thread = std::thread::current().id();
+    let rule_threads = Arc::new(Mutex::new(HashSet::new()));
+    let rt = rule_threads.clone();
+    s.define_rule(
+        "where_am_i",
+        "go",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            rt.lock().insert(std::thread::current().id());
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
+    let t = s.begin().unwrap();
+    let o = s.create_object(t, &ObjectState::new("JOB").with("x", 0)).unwrap();
+    for _ in 0..8 {
+        s.invoke(t, o, GO, vec![]).unwrap();
+    }
+    s.commit(t).unwrap();
+    let threads = rule_threads.lock();
+    assert!(!threads.contains(&app_thread), "rule bodies run on worker threads");
+    assert!(threads.len() <= 2, "thread pool reuse: at most `workers` distinct threads");
+}
+
+#[test]
+fn condition_and_action_are_packaged_together() {
+    // Figure 3's Cond_action: the condition and action of one triggering
+    // run in the same subtransaction (and on the same thread).
+    let s = system(3);
+    let pairs = Arc::new(Mutex::new(Vec::new()));
+    let (p1, p2) = (pairs.clone(), pairs.clone());
+    s.define_rule(
+        "paired",
+        "go",
+        Arc::new(move |inv| {
+            p1.lock().push(("cond", std::thread::current().id(), inv.subtxn));
+            true
+        }),
+        Arc::new(move |inv| {
+            p2.lock().push(("action", std::thread::current().id(), inv.subtxn));
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
+    let t = s.begin().unwrap();
+    let o = s.create_object(t, &ObjectState::new("JOB").with("x", 0)).unwrap();
+    s.invoke(t, o, GO, vec![]).unwrap();
+    s.commit(t).unwrap();
+    let pairs = pairs.lock();
+    assert_eq!(pairs.len(), 2);
+    assert_eq!(pairs[0].0, "cond");
+    assert_eq!(pairs[1].0, "action");
+    assert_eq!(pairs[0].1, pairs[1].1, "same thread");
+    assert_eq!(pairs[0].2, pairs[1].2, "same subtransaction");
+    assert!(pairs[0].2.is_some());
+}
+
+#[test]
+fn application_suspends_until_all_rules_complete() {
+    let s = system(4);
+    let done = Arc::new(AtomicUsize::new(0));
+    for i in 0..6 {
+        let d = done.clone();
+        s.define_rule(
+            &format!("slow{i}"),
+            "go",
+            Arc::new(|_| true),
+            Arc::new(move |_| {
+                std::thread::sleep(Duration::from_millis(40));
+                d.fetch_add(1, Ordering::SeqCst);
+            }),
+            RuleOptions::default(),
+        )
+        .unwrap();
+    }
+    let t = s.begin().unwrap();
+    let o = s.create_object(t, &ObjectState::new("JOB").with("x", 0)).unwrap();
+    let start = Instant::now();
+    s.invoke(t, o, GO, vec![]).unwrap();
+    // The invoke returns only after all six rules finished.
+    assert_eq!(done.load(Ordering::SeqCst), 6, "resumed only after all rules");
+    assert!(start.elapsed() >= Duration::from_millis(40));
+    s.commit(t).unwrap();
+}
+
+#[test]
+fn nested_priority_is_derived_from_level_and_class() {
+    // "The nested rule triggering is handled by assigning priorities to
+    // threads based on their level and the priority of the rule that
+    // triggered them. We currently support depth first execution."
+    let s = system(1); // single worker: execution order == pop order
+    let order = Arc::new(Mutex::new(Vec::<String>::new()));
+    s.detector().declare_explicit("inner_ev");
+
+    let s2 = s.clone();
+    let o1 = order.clone();
+    s.define_rule(
+        "outer_high",
+        "go",
+        Arc::new(|_| true),
+        Arc::new(move |inv| {
+            o1.lock().push("outer_high".into());
+            s2.raise(inv.txn.map(sentinel_core::storage::TxnId), "inner_ev", Vec::new()).unwrap();
+        }),
+        RuleOptions::default().priority(50),
+    )
+    .unwrap();
+    let o2 = order.clone();
+    s.define_rule(
+        "outer_low",
+        "go",
+        Arc::new(|_| true),
+        Arc::new(move |_| o2.lock().push("outer_low".into())),
+        RuleOptions::default().priority(10),
+    )
+    .unwrap();
+    let o3 = order.clone();
+    s.define_rule(
+        "inner",
+        "inner_ev",
+        Arc::new(|_| true),
+        Arc::new(move |inv| o3.lock().push(format!("inner@{}", inv.depth))),
+        RuleOptions::default().priority(1), // low class, but deeper level wins
+    )
+    .unwrap();
+
+    let t = s.begin().unwrap();
+    let o = s.create_object(t, &ObjectState::new("JOB").with("x", 0)).unwrap();
+    s.invoke(t, o, GO, vec![]).unwrap();
+    s.commit(t).unwrap();
+    assert_eq!(
+        *order.lock(),
+        vec!["outer_high".to_string(), "inner@1".to_string(), "outer_low".to_string()],
+        "depth-first: the nested rule preempts the lower class"
+    );
+}
+
+#[test]
+fn free_thread_reuse_across_many_bursts() {
+    let s = system(2);
+    let threads = Arc::new(Mutex::new(HashSet::new()));
+    let tset = threads.clone();
+    s.define_rule(
+        "burst",
+        "go",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            tset.lock().insert(std::thread::current().id());
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
+    let t = s.begin().unwrap();
+    let o = s.create_object(t, &ObjectState::new("JOB").with("x", 0)).unwrap();
+    for _ in 0..50 {
+        s.invoke(t, o, GO, vec![]).unwrap();
+    }
+    s.commit(t).unwrap();
+    assert!(threads.lock().len() <= 2, "50 firings, at most 2 pool threads");
+}

@@ -1,0 +1,188 @@
+//! Class-level rule inheritance ("a class level rule satisfies the
+//! inheritance property", §3.1) and full-stack persistence over real files
+//! (the FileDisk/FileLogStore path a deployment would use).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sentinel_core::detector::graph::PrimTarget;
+use sentinel_core::oodb::schema::{AttrType, ClassDef};
+use sentinel_core::oodb::{AttrValue, ObjectState};
+use sentinel_core::rules::manager::RuleOptions;
+use sentinel_core::sentinel::SentinelConfig;
+use sentinel_core::snoop::ast::EventModifier;
+use sentinel_core::storage::disk::FileDisk;
+use sentinel_core::storage::wal::FileLogStore;
+use sentinel_core::storage::StorageEngine;
+use sentinel_core::Sentinel;
+
+const SET_PRICE: &str = "void set_price(float price)";
+
+fn stock_classes(s: &Sentinel) {
+    s.db()
+        .register_class(
+            ClassDef::new("STOCK")
+                .extends("REACTIVE")
+                .attr("price", AttrType::Float)
+                .method(SET_PRICE),
+        )
+        .unwrap();
+    s.db()
+        .register_class(ClassDef::new("TECH_STOCK").extends("STOCK").attr("sector", AttrType::Str))
+        .unwrap();
+    s.db().register_method(
+        "STOCK",
+        SET_PRICE,
+        Arc::new(|ctx| {
+            let p = ctx.arg("price").and_then(AttrValue::as_float).unwrap_or(0.0);
+            ctx.set_attr("price", p)?;
+            Ok(AttrValue::Null)
+        }),
+    );
+    s.declare_event("any_set", "STOCK", EventModifier::End, SET_PRICE, PrimTarget::AnyInstance)
+        .unwrap();
+}
+
+/// A class-level rule on STOCK's event fires when the method is invoked on
+/// a TECH_STOCK instance (declared classes up the chain are notified).
+#[test]
+fn class_level_rule_inherits_to_subclasses() {
+    let s = Sentinel::in_memory();
+    stock_classes(&s);
+    let fired = Arc::new(AtomicUsize::new(0));
+    let classes_seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let (f, cs) = (fired.clone(), classes_seen.clone());
+    s.define_rule(
+        "on_any_set",
+        "any_set",
+        Arc::new(|_| true),
+        Arc::new(move |inv| {
+            f.fetch_add(1, Ordering::SeqCst);
+            if let Some(oid) = inv.occurrence.param_list()[0].source {
+                cs.lock().push(oid);
+            }
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
+
+    let t = s.begin().unwrap();
+    let plain = s.create_object(t, &ObjectState::new("STOCK").with("price", 1.0)).unwrap();
+    let tech = s
+        .create_object(
+            t,
+            &ObjectState::new("TECH_STOCK").with("price", 1.0).with("sector", "chips"),
+        )
+        .unwrap();
+    s.invoke(t, plain, SET_PRICE, vec![("price".into(), 2.0.into())]).unwrap();
+    s.invoke(t, tech, SET_PRICE, vec![("price".into(), 3.0.into())]).unwrap();
+    s.commit(t).unwrap();
+
+    assert_eq!(fired.load(Ordering::SeqCst), 2, "subclass instance fires the class rule");
+    assert_eq!(*classes_seen.lock(), vec![plain.0, tech.0]);
+}
+
+/// An instance-level event on a subclass object still filters correctly.
+#[test]
+fn instance_level_event_on_subclass_instance() {
+    let s = Sentinel::in_memory();
+    stock_classes(&s);
+    let t = s.begin().unwrap();
+    let tech = s
+        .create_object(
+            t,
+            &ObjectState::new("TECH_STOCK").with("price", 1.0).with("sector", "ai"),
+        )
+        .unwrap();
+    let other = s
+        .create_object(
+            t,
+            &ObjectState::new("TECH_STOCK").with("price", 1.0).with("sector", "web"),
+        )
+        .unwrap();
+    s.declare_event("tech_only", "STOCK", EventModifier::End, SET_PRICE, PrimTarget::Instance(tech.0))
+        .unwrap();
+    let fired = Arc::new(AtomicUsize::new(0));
+    let f = fired.clone();
+    s.define_rule(
+        "tech_rule",
+        "tech_only",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
+    s.invoke(t, other, SET_PRICE, vec![("price".into(), 2.0.into())]).unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 0);
+    s.invoke(t, tech, SET_PRICE, vec![("price".into(), 2.0.into())]).unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+    s.commit(t).unwrap();
+}
+
+/// Full stack over real files: write through Sentinel, crash (drop without
+/// shutdown), reopen from the same files, state recovered; then run rules
+/// against the recovered database.
+#[test]
+fn file_backed_persistence_and_recovery() {
+    let dir = std::env::temp_dir().join(format!("sentinel-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db_path = dir.join("data.db");
+    let log_path = dir.join("wal.log");
+    let _ = std::fs::remove_file(&db_path);
+    let _ = std::fs::remove_file(&log_path);
+
+    let oid;
+    {
+        let engine = Arc::new(
+            StorageEngine::open(
+                Arc::new(FileDisk::open(&db_path).unwrap()),
+                Arc::new(FileLogStore::open(&log_path).unwrap()),
+            )
+            .unwrap(),
+        );
+        let s = Sentinel::open(engine, SentinelConfig::default()).unwrap();
+        stock_classes(&s);
+        let t = s.begin().unwrap();
+        oid = s.create_object(t, &ObjectState::new("STOCK").with("price", 10.0)).unwrap();
+        s.db().names().bind(t, "ACME", oid).unwrap();
+        s.invoke(t, oid, SET_PRICE, vec![("price".into(), 99.5.into())]).unwrap();
+        s.commit(t).unwrap();
+        // Uncommitted garbage that must roll back on recovery.
+        let t2 = s.begin().unwrap();
+        s.invoke(t2, oid, SET_PRICE, vec![("price".into(), 0.0.into())]).unwrap();
+        // crash: no commit, no shutdown
+    }
+    {
+        let engine = Arc::new(
+            StorageEngine::open(
+                Arc::new(FileDisk::open(&db_path).unwrap()),
+                Arc::new(FileLogStore::open(&log_path).unwrap()),
+            )
+            .unwrap(),
+        );
+        let s = Sentinel::open(engine, SentinelConfig::default()).unwrap();
+        stock_classes(&s);
+        assert_eq!(s.db().names().resolve("ACME"), Some(oid));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        s.define_rule(
+            "post_recovery",
+            "any_set",
+            Arc::new(|_| true),
+            Arc::new(move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            }),
+            RuleOptions::default(),
+        )
+        .unwrap();
+        let t = s.begin().unwrap();
+        let state = s.get_object(t, oid).unwrap();
+        assert_eq!(state.get("price").unwrap().as_float(), Some(99.5), "uncommitted write rolled back");
+        s.invoke(t, oid, SET_PRICE, vec![("price".into(), 100.0.into())]).unwrap();
+        s.commit(t).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "rules work on the recovered database");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,173 @@
+//! SEC-3.1: the rule/event grammar and the generated-code listings.
+//!
+//! Verifies that the pre-processor accepts exactly the §3.1 surface syntax
+//! (the STOCK class and the application-level items are quoted from the
+//! paper) and that the code generator reproduces the §3.2 listings —
+//! wrapper method and main-program event-graph construction — line for
+//! line where the paper prints them.
+
+use sentinel_core::codegen;
+use sentinel_core::snoop::ast::EventModifier;
+use sentinel_core::snoop::spec::{EventTarget, SpecItem};
+use sentinel_core::snoop::{parse_spec, CouplingMode, ParamContext, TriggerMode};
+
+/// §3.1, quoted (with `;` statement terminators).
+const PAPER_CLASS: &str = r#"
+class STOCK : public REACTIVE {
+public:
+    event end(e1) int sell_stock(int qty);
+    event begin(e2) && end(e3) void set_price(float price);
+    int get_price();
+    event e4 = e1 ^ e2; /* AND operator */
+    rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW); /* class level rule */
+};
+"#;
+
+/// §3.1 application-level items, quoted.
+const PAPER_APP: &str = r#"
+REACTIVE Stock;
+Stock IBM;
+event any_stk_price("any_stk_price", "Stock", "begin", "void set_price(float price)");
+event set_IBM_price("set_IBM_price", IBM, "begin", "void set_price(float price)");
+rule R1(any_stk_price, checksalary, resetsalary, CHRONICLE, DEFERRED);
+"#;
+
+#[test]
+fn paper_class_parses_to_the_expected_structure() {
+    let items = parse_spec(PAPER_CLASS).unwrap();
+    let SpecItem::Class(c) = &items[0] else { panic!("class expected") };
+    assert_eq!(c.name, "STOCK");
+    assert_eq!(c.parent.as_deref(), Some("REACTIVE"));
+    assert_eq!(c.method_events.len(), 2);
+    assert_eq!(c.method_events[1].bindings.len(), 2, "begin(e2) && end(e3)");
+    assert_eq!(c.named_events[0].0, "e4");
+    let r = &c.rules[0];
+    assert_eq!(
+        (r.context, r.coupling, r.priority, r.trigger),
+        (
+            Some(ParamContext::Cumulative),
+            Some(CouplingMode::Deferred),
+            Some(10),
+            Some(TriggerMode::Now)
+        )
+    );
+}
+
+#[test]
+fn paper_app_items_parse_with_class_vs_instance_distinction() {
+    let items = parse_spec(PAPER_APP).unwrap();
+    let SpecItem::AppEvent(cls) = &items[2] else { panic!() };
+    let SpecItem::AppEvent(inst) = &items[3] else { panic!() };
+    // "the character string \"Stock\" … denotes a class and IBM denotes the
+    // instance of that class".
+    assert_eq!(cls.target, EventTarget::Class("Stock".into()));
+    assert_eq!(inst.target, EventTarget::Instance("IBM".into()));
+    assert_eq!(cls.modifier, EventModifier::Begin);
+    assert_eq!(cls.sig.canonical(), "void set_price(float price)");
+}
+
+/// The §3.2.1 wrapper listing, line for line (modulo whitespace).
+#[test]
+fn wrapper_method_listing_matches_paper() {
+    let generated = codegen::generate(PAPER_CLASS).unwrap();
+    let expected_lines = [
+        "void STOCK::set_price(float price) {",
+        "PARA_LIST *set_price_list = new PARA_LIST();",
+        "set_price_list->insert(\"price\", FLOAT, price);",
+        "Notify(this, \"STOCK\", \"void set_price(float price)\", \"begin\", set_price_list);",
+        "user_set_price(price);",
+        "Notify(this, \"STOCK\", \"void set_price(float price)\", \"end\", set_price_list);",
+    ];
+    let mut cursor = 0;
+    for line in &expected_lines {
+        let found = generated[cursor..].find(line).unwrap_or_else(|| {
+            panic!("expected line `{line}` (in order) in generated code:\n{generated}")
+        });
+        cursor += found + line.len();
+    }
+}
+
+/// The §3.2 main-program listing.
+#[test]
+fn main_program_listing_matches_paper() {
+    let generated = codegen::generate(PAPER_CLASS).unwrap();
+    for line in [
+        "Event_detector = new LOCAL_EVENT_DETECTOR();",
+        "EVENT *STOCK_e1 = new PRIMITIVE(\"STOCK_e1\", \"STOCK\", \"end\", \"int sell_stock(int qty)\");",
+        "EVENT *STOCK_e2 = new PRIMITIVE(\"STOCK_e2\", \"STOCK\", \"begin\", \"void set_price(float price)\");",
+        "EVENT *STOCK_e3 = new PRIMITIVE(\"STOCK_e3\", \"STOCK\", \"end\", \"void set_price(float price)\");",
+        "EVENT *STOCK_e4 = new AND(STOCK_e1, STOCK_e2);",
+        "RULE *R1 = new RULE(\"R1\", STOCK_e4, cond1, action1, CUMULATIVE);",
+        "R1->set_coupling_mode(DEFERRED);",
+        "R1->set_priority(10);",
+        "R1->set_trigger_mode(NOW);",
+    ] {
+        assert!(generated.contains(line), "missing `{line}` in:\n{generated}");
+    }
+}
+
+/// The internal deferred-rule translation of §3.2.3:
+/// `event def_rule_event = A*(beg_trans, any_stk_price, pre_commit)`.
+#[test]
+fn deferred_translation_listing() {
+    let generated = codegen::generate(
+        r#"
+        event def_rule_event = A*(begin-transaction, any_stk_price, pre-commit-transaction);
+        rule R1(def_rule_event, checksalary, resetsalary, CHRONICLE);
+        "#,
+    )
+    .unwrap();
+    assert!(generated.contains(
+        "EVENT *def_rule_event = new A_STAR(begin-transaction, any_stk_price, pre-commit-transaction);"
+    ));
+    assert!(generated
+        .contains("RULE *R1 = new RULE(\"R1\", def_rule_event, checksalary, resetsalary, CHRONICLE);"));
+}
+
+/// Round-trip: grammar → structure → codegen → the constructors reflect
+/// every Snoop operator.
+#[test]
+fn all_operators_render_constructors() {
+    let generated = codegen::generate(
+        r#"
+        event c1 = a ^ b;
+        event c2 = a | b;
+        event c3 = (a ; b);
+        event c4 = ANY(2, a, b, c);
+        event c5 = NOT(m)[s, t];
+        event c6 = A(s, m, t);
+        event c7 = A*(s, m, t);
+        event c8 = P(s, 10, t);
+        event c9 = P*(s, 10, t);
+        event c10 = PLUS(a, 5);
+        "#,
+    )
+    .unwrap();
+    for ctor in [
+        "new AND(a, b)",
+        "new OR(a, b)",
+        "new SEQ(a, b)",
+        "new ANY(2, a, b, c)",
+        "new NOT(m, s, t)",
+        "new A(s, m, t)",
+        "new A_STAR(s, m, t)",
+        "new P(s, 10, t)",
+        "new P_STAR(s, 10, t)",
+        "new PLUS(a, 5)",
+    ] {
+        assert!(generated.contains(ctor), "missing `{ctor}` in:\n{generated}");
+    }
+}
+
+#[test]
+fn grammar_errors_are_reported_not_panicked() {
+    for bad in [
+        "class {",
+        "rule R(e);",
+        "event x = ;",
+        "event e4 = e1 ^^ e2;",
+        "rule R(e, c, a, bogusOption);",
+    ] {
+        assert!(parse_spec(bad).is_err(), "`{bad}` should be rejected");
+    }
+}

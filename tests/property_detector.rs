@@ -1,0 +1,220 @@
+//! Property-based tests on the composite event detector: context
+//! consumption invariants, online/batch equivalence, and flush soundness,
+//! under arbitrary interleavings of primitive events.
+
+use proptest::prelude::*;
+use sentinel_core::detector::graph::PrimTarget;
+use sentinel_core::detector::{Detection, LocalEventDetector};
+use sentinel_core::snoop::ast::EventModifier;
+use sentinel_core::snoop::{parse_event_expr, ParamContext};
+
+const SIG_A: &str = "void a()";
+const SIG_B: &str = "void b()";
+
+/// A detector with independent leaves `a` (class CA) and `b` (class CB).
+fn detector(expr: &str, ctx: ParamContext) -> LocalEventDetector {
+    let d = LocalEventDetector::new(0);
+    d.declare_primitive("a", "CA", EventModifier::End, SIG_A, PrimTarget::AnyInstance).unwrap();
+    d.declare_primitive("b", "CB", EventModifier::End, SIG_B, PrimTarget::AnyInstance).unwrap();
+    let id = d.define_named("x", &parse_event_expr(expr).unwrap()).unwrap();
+    d.subscribe(id, ctx, 1).unwrap();
+    d
+}
+
+/// One step of a workload: which leaf fires, in which transaction.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    A(u8),
+    B(u8),
+    FlushTxn(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..3).prop_map(Step::A),
+        (0u8..3).prop_map(Step::B),
+        (0u8..3).prop_map(Step::FlushTxn),
+    ]
+}
+
+fn run(d: &LocalEventDetector, steps: &[Step], record: bool) -> Vec<Detection> {
+    if record {
+        d.start_recording();
+    }
+    let mut out = Vec::new();
+    for s in steps {
+        match s {
+            Step::A(t) => out.extend(d.notify_method(
+                "CA",
+                SIG_A,
+                EventModifier::End,
+                1,
+                Vec::new(),
+                Some(u64::from(*t)),
+            )),
+            Step::B(t) => out.extend(d.notify_method(
+                "CB",
+                SIG_B,
+                EventModifier::End,
+                1,
+                Vec::new(),
+                Some(u64::from(*t)),
+            )),
+            Step::FlushTxn(t) => d.flush_txn(u64::from(*t)),
+        }
+    }
+    out
+}
+
+fn count(steps: &[Step], f: impl Fn(&Step) -> bool) -> usize {
+    steps.iter().filter(|s| f(s)).count()
+}
+
+proptest! {
+    /// Chronicle AND pairs a's and b's 1:1 (without flushes the number of
+    /// detections is exactly min(#a, #b)), and every occurrence is consumed
+    /// exactly once.
+    #[test]
+    fn chronicle_and_pairs_min(steps in prop::collection::vec(step_strategy(), 0..40)) {
+        let steps: Vec<Step> =
+            steps.into_iter().filter(|s| !matches!(s, Step::FlushTxn(_))).collect();
+        let d = detector("a ^ b", ParamContext::Chronicle);
+        let dets = run(&d, &steps, false);
+        let na = count(&steps, |s| matches!(s, Step::A(_)));
+        let nb = count(&steps, |s| matches!(s, Step::B(_)));
+        prop_assert_eq!(dets.len(), na.min(nb));
+        // Consumption: all constituent timestamps distinct across detections.
+        let mut seen = std::collections::HashSet::new();
+        for det in &dets {
+            for c in det.occurrence.param_list() {
+                prop_assert!(seen.insert(c.at), "occurrence reused in chronicle context");
+            }
+        }
+    }
+
+    /// Cumulative AND consumes everything buffered: across all detections
+    /// plus the residual buffers, each occurrence appears exactly once, and
+    /// each detection contains at least one a and exactly one b... at least
+    /// one of each.
+    #[test]
+    fn cumulative_and_drains(steps in prop::collection::vec(step_strategy(), 0..40)) {
+        let steps: Vec<Step> =
+            steps.into_iter().filter(|s| !matches!(s, Step::FlushTxn(_))).collect();
+        let d = detector("a ^ b", ParamContext::Cumulative);
+        let dets = run(&d, &steps, false);
+        let mut seen = std::collections::HashSet::new();
+        for det in &dets {
+            let prims = det.occurrence.param_list();
+            let a_count = prims.iter().filter(|p| &*p.event_name == "a").count();
+            let b_count = prims.iter().filter(|p| &*p.event_name == "b").count();
+            prop_assert!(a_count >= 1 && b_count >= 1);
+            for c in prims {
+                prop_assert!(seen.insert(c.at), "occurrence reused in cumulative context");
+            }
+        }
+    }
+
+    /// OR fires exactly once per constituent occurrence in every context.
+    #[test]
+    fn or_counts_every_occurrence(
+        steps in prop::collection::vec(step_strategy(), 0..40),
+        ctx in prop::sample::select(&ParamContext::ALL[..]),
+    ) {
+        let steps: Vec<Step> =
+            steps.into_iter().filter(|s| !matches!(s, Step::FlushTxn(_))).collect();
+        let d = detector("a | b", ctx);
+        let dets = run(&d, &steps, false);
+        prop_assert_eq!(dets.len(), steps.len());
+    }
+
+    /// SEQ never emits an occurrence whose parts are out of order, in any
+    /// context, even with transaction flushes interleaved.
+    #[test]
+    fn seq_is_always_ordered(
+        steps in prop::collection::vec(step_strategy(), 0..50),
+        ctx in prop::sample::select(&ParamContext::ALL[..]),
+    ) {
+        let d = detector("(a ; b)", ctx);
+        let dets = run(&d, &steps, false);
+        for det in dets {
+            let prims = det.occurrence.param_list();
+            for w in prims.windows(2) {
+                prop_assert!(w[0].at <= w[1].at);
+            }
+            // terminator is a `b`, initiators are `a`s
+            prop_assert_eq!(&*prims.last().unwrap().event_name, "b");
+            prop_assert!(prims[..prims.len() - 1].iter().all(|p| &*p.event_name == "a"));
+        }
+    }
+
+    /// Flushing a transaction removes its occurrences: no detection after
+    /// the flush may involve that transaction's earlier events.
+    #[test]
+    fn flush_is_sound(steps in prop::collection::vec(step_strategy(), 0..50)) {
+        let d = detector("a ^ b", ParamContext::Chronicle);
+        let mut flushed_t: Vec<(u64, u64)> = Vec::new(); // (txn, flush time)
+        for s in &steps {
+            match s {
+                Step::FlushTxn(t) => {
+                    d.flush_txn(u64::from(*t));
+                    flushed_t.push((u64::from(*t), d.clock().peek()));
+                }
+                Step::A(t) => {
+                    for det in d.notify_method("CA", SIG_A, EventModifier::End, 1, Vec::new(), Some(u64::from(*t))) {
+                        check_no_flushed(&det, &flushed_t)?;
+                    }
+                }
+                Step::B(t) => {
+                    for det in d.notify_method("CB", SIG_B, EventModifier::End, 1, Vec::new(), Some(u64::from(*t))) {
+                        check_no_flushed(&det, &flushed_t)?;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Online and batch detection agree exactly (same composites, same
+    /// occurrence times) for arbitrary workloads and contexts.
+    #[test]
+    fn online_equals_batch(
+        steps in prop::collection::vec(step_strategy(), 0..40),
+        ctx in prop::sample::select(&ParamContext::ALL[..]),
+    ) {
+        let steps: Vec<Step> =
+            steps.into_iter().filter(|s| !matches!(s, Step::FlushTxn(_))).collect();
+        let online = detector("a ^ b", ctx);
+        let online_dets = run(&online, &steps, true);
+        let log = online.take_log();
+
+        let batch = detector("a ^ b", ctx);
+        let batch_dets = batch.replay(&log);
+        prop_assert_eq!(online_dets.len(), batch_dets.len());
+        for (o, b) in online_dets.iter().zip(&batch_dets) {
+            prop_assert_eq!(o.occurrence.at, b.occurrence.at);
+            prop_assert_eq!(o.context, b.context);
+            let ots: Vec<_> = o.occurrence.param_list().iter().map(|p| p.at).collect();
+            let bts: Vec<_> = b.occurrence.param_list().iter().map(|p| p.at).collect();
+            prop_assert_eq!(ots, bts);
+        }
+    }
+}
+
+fn check_no_flushed(
+    det: &Detection,
+    flushed: &[(u64, u64)],
+) -> Result<(), TestCaseError> {
+    for prim in det.occurrence.param_list() {
+        if let Some(txn) = prim.txn {
+            for (ft, at) in flushed {
+                prop_assert!(
+                    !(txn == *ft && prim.at <= *at),
+                    "constituent from txn {} at t={} survived a flush at t={}",
+                    txn,
+                    prim.at,
+                    at
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Property-based tests on the Snoop language layer: the parser round-trips
+//! every expressible event expression, and structural invariants hold.
+
+use proptest::prelude::*;
+
+use sentinel_core::snoop::ast::EventExpr;
+use sentinel_core::snoop::parse_event_expr;
+
+/// Strategy for arbitrary event expressions (bounded depth).
+fn expr_strategy() -> impl Strategy<Value = EventExpr> {
+    let leaf = prop_oneof![
+        "[a-z][a-z0-9_]{0,6}".prop_map(EventExpr::Ref),
+        ("[A-Z][A-Z]{0,3}", "[a-z][a-z0-9]{0,4}")
+            .prop_map(|(c, e)| EventExpr::Ref(format!("{c}.{e}"))),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| EventExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| EventExpr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| EventExpr::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| EventExpr::Not {
+                inner: Box::new(a),
+                start: Box::new(b),
+                end: Box::new(c),
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| {
+                EventExpr::Aperiodic { start: Box::new(a), inner: Box::new(b), end: Box::new(c) }
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| {
+                EventExpr::AperiodicStar {
+                    start: Box::new(a),
+                    inner: Box::new(b),
+                    end: Box::new(c),
+                }
+            }),
+            (inner.clone(), 1u64..1000, inner.clone()).prop_map(|(a, p, c)| {
+                EventExpr::Periodic { start: Box::new(a), period: p, end: Box::new(c) }
+            }),
+            (inner.clone(), 1u64..1000, inner.clone()).prop_map(|(a, p, c)| {
+                EventExpr::PeriodicStar { start: Box::new(a), period: p, end: Box::new(c) }
+            }),
+            (inner.clone(), 1u64..1000)
+                .prop_map(|(a, d)| EventExpr::Plus { inner: Box::new(a), delta: d }),
+            (prop::collection::vec(inner.clone(), 2..5)).prop_map(|events| {
+                let m = 1 + (events.len() as u32 - 1) / 2;
+                EventExpr::Any { m, events }
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Display → parse is the identity on the AST.
+    #[test]
+    fn display_parse_roundtrip(expr in expr_strategy()) {
+        let rendered = expr.to_string();
+        let reparsed = parse_event_expr(&rendered)
+            .unwrap_or_else(|e| panic!("`{rendered}` failed to parse: {e}"));
+        prop_assert_eq!(expr, reparsed);
+    }
+
+    /// Parsing is deterministic and idempotent through a second round-trip.
+    #[test]
+    fn double_roundtrip_stable(expr in expr_strategy()) {
+        let once = parse_event_expr(&expr.to_string()).unwrap();
+        let twice = parse_event_expr(&once.to_string()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// `refs()` is non-empty and consistent with the rendered text.
+    #[test]
+    fn refs_appear_in_rendering(expr in expr_strategy()) {
+        let rendered = expr.to_string();
+        let refs = expr.refs();
+        prop_assert!(!refs.is_empty());
+        for r in refs {
+            prop_assert!(rendered.contains(r), "ref `{}` missing from `{}`", r, rendered);
+        }
+    }
+
+    /// Operator count grows strictly when wrapping.
+    #[test]
+    fn operator_count_monotone(expr in expr_strategy()) {
+        let wrapped = EventExpr::And(Box::new(expr.clone()), Box::new(EventExpr::r("zz")));
+        prop_assert_eq!(wrapped.operator_count(), expr.operator_count() + 1);
+    }
+
+    /// Garbage containing unbalanced parens never parses.
+    #[test]
+    fn unbalanced_never_parses(name in "[a-z]{1,5}") {
+        // NB: computed first because prop_assert! stringifies its condition
+        // into a format string, so `{}` literals cannot appear inside it.
+        let unopened = parse_event_expr(&format!("({}", name));
+        let unclosed = parse_event_expr(&format!("{})", name));
+        let dangling = parse_event_expr(&format!("{} ^", name));
+        prop_assert!(unopened.is_err());
+        prop_assert!(unclosed.is_err());
+        prop_assert!(dangling.is_err());
+    }
+}
