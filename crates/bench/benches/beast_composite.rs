@@ -22,20 +22,16 @@ fn bench_operator_chains(c: &mut Criterion) {
                 _ => "SEQ",
             };
             let mut txn = 0u64;
-            group.bench_with_input(
-                BenchmarkId::new(name, depth),
-                &depth,
-                |b, &depth| {
-                    b.iter(|| {
-                        txn += 1;
-                        let mut detected = 0;
-                        for i in 0..=depth {
-                            detected += fire_leaf(&d, i, txn);
-                        }
-                        detected
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, depth), &depth, |b, &depth| {
+                b.iter(|| {
+                    txn += 1;
+                    let mut detected = 0;
+                    for i in 0..=depth {
+                        detected += fire_leaf(&d, i, txn);
+                    }
+                    detected
+                })
+            });
         }
     }
     group.finish();
@@ -57,21 +53,17 @@ fn bench_window_operators(c: &mut Criterion) {
             let id = d.define_named("w", &parse_event_expr(expr).unwrap()).unwrap();
             d.subscribe(id, ParamContext::Chronicle, 1).unwrap();
             let mut txn = 0u64;
-            group.bench_with_input(
-                BenchmarkId::new(label, mids),
-                &mids,
-                |b, &mids| {
-                    b.iter(|| {
-                        txn += 1;
-                        let mut detected = fire_leaf(&d, 0, txn); // open
-                        for _ in 0..mids {
-                            detected += fire_leaf(&d, 1, txn); // mid
-                        }
-                        detected += fire_leaf(&d, 2, txn); // close
-                        detected
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, mids), &mids, |b, &mids| {
+                b.iter(|| {
+                    txn += 1;
+                    let mut detected = fire_leaf(&d, 0, txn); // open
+                    for _ in 0..mids {
+                        detected += fire_leaf(&d, 1, txn); // mid
+                    }
+                    detected += fire_leaf(&d, 2, txn); // close
+                    detected
+                })
+            });
         }
     }
     group.finish();

@@ -20,17 +20,13 @@ fn bench_cascade_depth(c: &mut Criterion) {
         ] {
             let s = beast_system(mode);
             let counter = nested_cascade(&s, depth);
-            group.bench_with_input(
-                BenchmarkId::new(label, depth),
-                &depth,
-                |b, _| {
-                    b.iter(|| {
-                        let t = s.begin().unwrap();
-                        s.raise(Some(t), "cascade0", Vec::new()).unwrap();
-                        s.commit(t).unwrap();
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, _| {
+                b.iter(|| {
+                    let t = s.begin().unwrap();
+                    s.raise(Some(t), "cascade0", Vec::new()).unwrap();
+                    s.commit(t).unwrap();
+                })
+            });
             assert!(counter.get() > 0);
         }
     }

@@ -21,16 +21,12 @@ fn bench_primitive(c: &mut Criterion) {
         let t = s.begin().unwrap();
         let objs = objects(&s, t, nobjs);
         let mut i = 0usize;
-        group.bench_with_input(
-            BenchmarkId::new("event_unsubscribed", nobjs),
-            &nobjs,
-            |b, _| {
-                b.iter(|| {
-                    poke(&s, t, objs[i % objs.len()], i as i64);
-                    i += 1;
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("event_unsubscribed", nobjs), &nobjs, |b, _| {
+            b.iter(|| {
+                poke(&s, t, objs[i % objs.len()], i as i64);
+                i += 1;
+            })
+        });
         s.commit(t).unwrap();
 
         // (b) one immediate rule subscribed: full detect + fire path.
@@ -39,16 +35,12 @@ fn bench_primitive(c: &mut Criterion) {
         let t = s.begin().unwrap();
         let objs = objects(&s, t, nobjs);
         let mut i = 0usize;
-        group.bench_with_input(
-            BenchmarkId::new("event_with_rule", nobjs),
-            &nobjs,
-            |b, _| {
-                b.iter(|| {
-                    poke(&s, t, objs[i % objs.len()], i as i64);
-                    i += 1;
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("event_with_rule", nobjs), &nobjs, |b, _| {
+            b.iter(|| {
+                poke(&s, t, objs[i % objs.len()], i as i64);
+                i += 1;
+            })
+        });
         s.commit(t).unwrap();
         assert!(counter.get() > 0);
     }

@@ -23,16 +23,12 @@ fn bench_scheduler_modes(c: &mut Criterion) {
             let t = s.begin().unwrap();
             let objs = objects(&s, t, 1);
             let mut i = 0i64;
-            group.bench_with_input(
-                BenchmarkId::new(label, nrules),
-                &nrules,
-                |b, _| {
-                    b.iter(|| {
-                        i += 1;
-                        poke(&s, t, objs[0], i);
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, nrules), &nrules, |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    poke(&s, t, objs[0], i);
+                })
+            });
             s.commit(t).unwrap();
             assert!(counter.get() >= nrules);
         }
@@ -54,16 +50,12 @@ fn bench_priority_classes(c: &mut Criterion) {
         let t = s.begin().unwrap();
         let objs = objects(&s, t, 1);
         let mut i = 0i64;
-        group.bench_with_input(
-            BenchmarkId::new("classes", classes),
-            &classes,
-            |b, _| {
-                b.iter(|| {
-                    i += 1;
-                    poke(&s, t, objs[0], i);
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("classes", classes), &classes, |b, _| {
+            b.iter(|| {
+                i += 1;
+                poke(&s, t, objs[0], i);
+            })
+        });
         s.commit(t).unwrap();
     }
     group.finish();

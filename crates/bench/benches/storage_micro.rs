@@ -20,15 +20,11 @@ fn bench_engine_ops(c: &mut Criterion) {
     let eng = StorageEngine::in_memory();
     let t = eng.begin().unwrap();
     let payload = vec![7u8; 128];
-    group.bench_function("insert_128B", |b| {
-        b.iter(|| eng.insert(t, &payload).unwrap())
-    });
+    group.bench_function("insert_128B", |b| b.iter(|| eng.insert(t, &payload).unwrap()));
 
     let rid = eng.insert(t, &payload).unwrap();
     group.bench_function("read_128B", |b| b.iter(|| eng.read(t, rid).unwrap()));
-    group.bench_function("update_128B", |b| {
-        b.iter(|| eng.update(t, rid, &payload).unwrap())
-    });
+    group.bench_function("update_128B", |b| b.iter(|| eng.update(t, rid, &payload).unwrap()));
     eng.commit(t).unwrap();
 
     group.bench_function("begin_commit_empty_txn", |b| {
@@ -90,23 +86,15 @@ fn bench_recovery(c: &mut Criterion) {
             // crash
         }
         let log_bytes = log.read_all().unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("restart", committed),
-            &committed,
-            |b, _| {
-                b.iter(|| {
-                    // Fresh disk + the captured log: full redo from scratch.
-                    let disk = Arc::new(MemDisk::new());
-                    let log = Arc::new(MemLogStore::new());
-                    log.append(&log_bytes).unwrap();
-                    StorageEngine::open(
-                        disk as Arc<dyn DiskManager>,
-                        log as Arc<dyn LogStore>,
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("restart", committed), &committed, |b, _| {
+            b.iter(|| {
+                // Fresh disk + the captured log: full redo from scratch.
+                let disk = Arc::new(MemDisk::new());
+                let log = Arc::new(MemLogStore::new());
+                log.append(&log_bytes).unwrap();
+                StorageEngine::open(disk as Arc<dyn DiskManager>, log as Arc<dyn LogStore>).unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -14,8 +14,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sentinel_bench::workload::{
-    beast_system, chain_detector, counting_rules, detector_with_leaves, fire_leaf,
-    nested_cascade, objects, poke,
+    beast_system, chain_detector, counting_rules, detector_with_leaves, fire_leaf, nested_cascade,
+    objects, poke,
 };
 use sentinel_core::rules::manager::RuleOptions;
 use sentinel_core::rules::ExecutionMode;
@@ -49,10 +49,16 @@ fn header(title: &str) {
     println!("\n## {title}\n");
 }
 
+/// Prints the section's observability snapshot (compact JSON, one line).
+fn stats_line(label: &str, json: sentinel_core::obs::json::Value) {
+    println!("\nstats[{label}]: {json}");
+}
+
 fn beast_e1() {
     header("BEAST-E1: primitive event detection overhead (per poke())");
     println!("| objects | passive-ish (unsubscribed event) | active (1 rule) | overhead |");
     println!("|---|---|---|---|");
+    let mut last = None;
     for nobjs in [1usize, 16, 256] {
         let s = beast_system(ExecutionMode::Inline);
         let t = s.begin().unwrap();
@@ -74,12 +80,11 @@ fn beast_e1() {
             poke(&s, t, objs[(i as usize) % objs.len()], i);
         });
         s.commit(t).unwrap();
-        println!(
-            "| {nobjs} | {} | {} | {:.2}x |",
-            fmt_ns(base),
-            fmt_ns(active),
-            active / base
-        );
+        println!("| {nobjs} | {} | {} | {:.2}x |", fmt_ns(base), fmt_ns(active), active / base);
+        last = Some(s.stats());
+    }
+    if let Some(stats) = last {
+        stats_line("e1", stats.to_json());
     }
 }
 
@@ -87,6 +92,7 @@ fn beast_e2() {
     header("BEAST-E2: composite detection per operator chain (per full round)");
     println!("| operator | depth 1 | depth 4 | depth 8 |");
     println!("|---|---|---|---|");
+    let mut last = None;
     for (label, op) in [("AND", "^"), ("OR", "|"), ("SEQ", ";")] {
         let mut cells = Vec::new();
         for depth in [1usize, 4, 8] {
@@ -99,8 +105,12 @@ fn beast_e2() {
                 }
             });
             cells.push(fmt_ns(ns));
+            last = Some(d.stats());
         }
         println!("| {label} | {} | {} | {} |", cells[0], cells[1], cells[2]);
+    }
+    if let Some(stats) = last {
+        stats_line("e2", stats.to_json());
     }
 }
 
@@ -108,6 +118,7 @@ fn beast_e3() {
     header("BEAST-E3: context cost (backlog initiators + 1 terminator)");
     println!("| context | backlog 1 | backlog 32 | backlog 256 |");
     println!("|---|---|---|---|");
+    let mut last = None;
     for ctx in ParamContext::ALL {
         let mut cells = Vec::new();
         for backlog in [1usize, 32, 256] {
@@ -124,8 +135,12 @@ fn beast_e3() {
                 d.flush_txn(txn);
             });
             cells.push(fmt_ns(ns));
+            last = Some(d.stats());
         }
         println!("| {} | {} | {} | {} |", ctx.keyword(), cells[0], cells[1], cells[2]);
+    }
+    if let Some(stats) = last {
+        stats_line("e3", stats.to_json());
     }
 }
 
@@ -149,6 +164,7 @@ fn beast_r1() {
 
     println!("\n| coupling | triggerings/txn | per-transaction cost | rule executions |");
     println!("|---|---|---|---|");
+    let mut last = None;
     for coupling in [CouplingMode::Immediate, CouplingMode::Deferred] {
         for k in [1usize, 10, 50] {
             let s = beast_system(ExecutionMode::Inline);
@@ -178,9 +194,14 @@ fn beast_r1() {
                 }
                 s.commit(t).unwrap();
             });
-            let execs = fired.load(Ordering::Relaxed) as f64 / (iters as f64 + iters.min(100) as f64);
+            let execs =
+                fired.load(Ordering::Relaxed) as f64 / (iters as f64 + iters.min(100) as f64);
             println!("| {coupling} | {k} | {} | {execs:.1} per txn |", fmt_ns(ns));
+            last = Some(s.stats());
         }
+    }
+    if let Some(stats) = last {
+        stats_line("r1", stats.to_json());
     }
 }
 
@@ -188,6 +209,7 @@ fn beast_r2() {
     header("BEAST-R2: nested rule cascade (per transaction)");
     println!("| depth | inline | threaded(4) |");
     println!("|---|---|---|");
+    let mut last = None;
     for depth in [1usize, 4, 8, 16] {
         let mut cells = Vec::new();
         for mode in [ExecutionMode::Inline, ExecutionMode::Threaded { workers: 4 }] {
@@ -199,15 +221,31 @@ fn beast_r2() {
                 s.commit(t).unwrap();
             });
             cells.push(fmt_ns(ns));
+            last = Some(s.stats());
         }
         println!("| {depth} | {} | {} |", cells[0], cells[1]);
     }
+    if let Some(stats) = last {
+        stats_line("r2", stats.to_json());
+    }
+
+    // Trace-stream consumption: the debugger subscribes to the shared bus
+    // and drains structured records for one traced transaction.
+    let s = beast_system(ExecutionMode::Inline);
+    let _c = nested_cascade(&s, 4);
+    s.debugger().attach_stream(s.trace().subscribe());
+    let t = s.begin().unwrap();
+    s.raise(Some(t), "cascade0", Vec::new()).unwrap();
+    s.commit(t).unwrap();
+    let records = s.debugger().drain_stream();
+    println!("\ntrace[r2]: {} records consumed for one depth-4 cascade txn", records.len());
 }
 
 fn abl1() {
     header("ABL-1: shared event graph vs per-rule graphs");
     println!("| rules | shared graph (nodes / round) | per-rule graphs (nodes / round) |");
     println!("|---|---|---|");
+    let mut last = None;
     for k in [4usize, 32, 128] {
         let shared = detector_with_leaves(2);
         let id = shared.define_named("x", &parse_event_expr("e0 ^ e1").unwrap()).unwrap();
@@ -243,6 +281,10 @@ fn abl1() {
             fmt_ns(per_ns),
             per_rule.graph_size()
         );
+        last = Some(shared.stats());
+    }
+    if let Some(stats) = last {
+        stats_line("abl1", stats.to_json());
     }
 }
 
@@ -250,6 +292,7 @@ fn abl2() {
     header("ABL-2: demand-driven propagation (64-wide graph)");
     println!("| active subscriptions | ns per leaf occurrence |");
     println!("|---|---|");
+    let mut last = None;
     for active_n in [0usize, 8, 64] {
         let d = detector_with_leaves(65);
         let mut ids = Vec::new();
@@ -266,6 +309,10 @@ fn abl2() {
             fire_leaf(&d, 0, txn);
         });
         println!("| {active_n} | {} |", fmt_ns(ns));
+        last = Some(d.stats());
+    }
+    if let Some(stats) = last {
+        stats_line("abl2", stats.to_json());
     }
 }
 
@@ -273,6 +320,8 @@ fn abl3() {
     header("ABL-3: thread pool vs spawn-per-rule (burst of no-op rule bodies)");
     println!("| burst | pool(4) | spawn per rule |");
     println!("|---|---|---|");
+    let submitted = sentinel_core::obs::Counter::new();
+    let bursts = sentinel_core::obs::Counter::new();
     for burst in [10usize, 100, 1000] {
         let pool = PriorityPool::new(4);
         let pool_ns = measure(50, || {
@@ -284,6 +333,8 @@ fn abl3() {
                 });
             }
             pool.quiesce();
+            submitted.add(burst as u64);
+            bursts.inc();
         });
         let spawn_ns = measure(10, || {
             let counter = Arc::new(AtomicUsize::new(0));
@@ -301,6 +352,13 @@ fn abl3() {
         });
         println!("| {burst} | {} | {} |", fmt_ns(pool_ns), fmt_ns(spawn_ns));
     }
+    stats_line(
+        "abl3",
+        sentinel_core::obs::json::Value::obj([
+            ("pool_bursts", bursts.get().into()),
+            ("pool_bodies_submitted", submitted.get().into()),
+        ]),
+    );
 }
 
 fn main() {

@@ -52,8 +52,7 @@ pub fn beast_system(mode: ExecutionMode) -> Arc<Sentinel> {
 pub fn objects(s: &Sentinel, txn: TxnId, n: usize) -> Vec<Oid> {
     (0..n)
         .map(|i| {
-            s.create_object(txn, &ObjectState::new("BEAST").with("v", i as i64))
-                .expect("object")
+            s.create_object(txn, &ObjectState::new("BEAST").with("v", i as i64)).expect("object")
         })
         .collect()
 }

@@ -61,11 +61,8 @@ impl EventBridge {
     fn notify(&self, call: &MethodCall, edge: EventModifier) {
         // Parameter collection (the wrapper's PARA_LIST): method arguments
         // plus the receiver's identity.
-        let params: Vec<(Arc<str>, Value)> = call
-            .args
-            .iter()
-            .map(|(n, v)| (Arc::from(n.as_str()), attr_to_value(v)))
-            .collect();
+        let params: Vec<(Arc<str>, Value)> =
+            call.args.iter().map(|(n, v)| (Arc::from(n.as_str()), attr_to_value(v))).collect();
         // Class-level events declared on an ancestor fire for descendants:
         // notify once per class in the inheritance chain. Each class's
         // primitive-event list filters by signature/edge/instance.
@@ -110,8 +107,7 @@ impl TxnBridge {
 
 impl TxnObserver for TxnBridge {
     fn on_txn_event(&self, txn: TxnId, event: TxnEvent) {
-        let detections =
-            self.detector.signal_explicit(event.event_name(), Vec::new(), Some(txn.0));
+        let detections = self.detector.signal_explicit(event.event_name(), Vec::new(), Some(txn.0));
         self.scheduler.dispatch(detections);
         match event {
             TxnEvent::Commit => self.scheduler.on_txn_end(txn.0, true),

@@ -63,7 +63,8 @@ pub fn wrapper_method(class: &str, sig: &MethodSig, begin: bool, end: bool) -> S
     if sig.ret == "void" {
         let _ = writeln!(out, "    user_{}({});", sig.name, call_args.join(", "));
     } else {
-        let _ = writeln!(out, "    {} result = user_{}({});", sig.ret, sig.name, call_args.join(", "));
+        let _ =
+            writeln!(out, "    {} result = user_{}({});", sig.ret, sig.name, call_args.join(", "));
     }
     if end {
         let _ = writeln!(
@@ -259,10 +260,10 @@ mod tests {
             "Notify(this, \"STOCK\", \"void set_price(float price)\", \"end\", set_price_list);"
         ));
         // sell_stock only notifies at end.
-        assert!(gen
-            .contains("Notify(this, \"STOCK\", \"int sell_stock(int qty)\", \"end\", sell_stock_list);"));
-        assert!(!gen
-            .contains("Notify(this, \"STOCK\", \"int sell_stock(int qty)\", \"begin\""));
+        assert!(gen.contains(
+            "Notify(this, \"STOCK\", \"int sell_stock(int qty)\", \"end\", sell_stock_list);"
+        ));
+        assert!(!gen.contains("Notify(this, \"STOCK\", \"int sell_stock(int qty)\", \"begin\""));
     }
 
     #[test]
@@ -276,9 +277,7 @@ mod tests {
             "EVENT *STOCK_e2 = new PRIMITIVE(\"STOCK_e2\", \"STOCK\", \"begin\", \"void set_price(float price)\");"
         ));
         assert!(gen.contains("EVENT *STOCK_e4 = new AND(STOCK_e1, STOCK_e2);"));
-        assert!(gen.contains(
-            "RULE *R1 = new RULE(\"R1\", STOCK_e4, cond1, action1, CUMULATIVE);"
-        ));
+        assert!(gen.contains("RULE *R1 = new RULE(\"R1\", STOCK_e4, cond1, action1, CUMULATIVE);"));
         assert!(gen.contains("R1->set_coupling_mode(DEFERRED);"));
         assert!(gen.contains("R1->set_priority(10);"));
         assert!(gen.contains("R1->set_trigger_mode(NOW);"));

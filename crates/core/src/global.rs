@@ -122,10 +122,8 @@ impl GlobalEventDetector {
         condition: CondFn,
         action: ActionFn,
     ) -> SentinelResult<RuleId> {
-        let ev = self
-            .detector
-            .lookup(event)
-            .ok_or_else(|| SentinelError::Unknown(event.to_string()))?;
+        let ev =
+            self.detector.lookup(event).ok_or_else(|| SentinelError::Unknown(event.to_string()))?;
         Ok(self.manager.define_rule(name, ev, condition, action, RuleOptions::default())?)
     }
 }
@@ -171,11 +169,11 @@ impl Sentinel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sentinel::SentinelConfig;
     use sentinel_detector::graph::PrimTarget;
     use sentinel_oodb::schema::{AttrType, ClassDef};
     use sentinel_oodb::{AttrValue, ObjectState};
     use sentinel_snoop::ast::EventModifier;
-    use crate::sentinel::SentinelConfig;
     use std::time::Duration;
 
     fn app(app_id: u32) -> Arc<Sentinel> {
@@ -198,8 +196,14 @@ mod tests {
                 Ok(AttrValue::Null)
             }),
         );
-        s.declare_event("dep", "ACCT", EventModifier::End, "void deposit(float amt)", PrimTarget::AnyInstance)
-            .unwrap();
+        s.declare_event(
+            "dep",
+            "ACCT",
+            EventModifier::End,
+            "void deposit(float amt)",
+            PrimTarget::AnyInstance,
+        )
+        .unwrap();
         s
     }
 
@@ -266,16 +270,9 @@ mod tests {
                 Arc::new(move |inv| {
                     // Detached execution: a fresh top-level transaction on app1.
                     let t = target.begin().unwrap();
-                    let amt = inv
-                        .occurrence
-                        .param("amt")
-                        .and_then(|v| v.as_f64())
-                        .unwrap_or(0.0);
+                    let amt = inv.occurrence.param("amt").and_then(|v| v.as_f64()).unwrap_or(0.0);
                     let log = target
-                        .create_object(
-                            t,
-                            &ObjectState::new("ACCT").with("balance", amt),
-                        )
+                        .create_object(t, &ObjectState::new("ACCT").with("balance", amt))
                         .unwrap();
                     target.commit(t).unwrap();
                     let _ = tx.send(log);

@@ -40,10 +40,11 @@ pub mod preprocessor;
 pub mod sentinel;
 
 pub use preprocessor::{FunctionTable, Preprocessor};
-pub use sentinel::{Sentinel, SentinelConfig, SentinelError};
+pub use sentinel::{Sentinel, SentinelConfig, SentinelError, SentinelStats};
 
 // Re-export the subsystem crates so applications depend on one crate.
 pub use sentinel_detector as detector;
+pub use sentinel_obs as obs;
 pub use sentinel_oodb as oodb;
 pub use sentinel_rules as rules;
 pub use sentinel_snoop as snoop;

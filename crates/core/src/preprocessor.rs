@@ -24,8 +24,8 @@ use sentinel_oodb::{ObjectState, Oid};
 use sentinel_rules::manager::RuleOptions;
 use sentinel_rules::{ActionFn, CondFn, RuleId};
 use sentinel_snoop::ast::EventExpr;
-use sentinel_snoop::spec::{ClassSpec, EventTarget, RuleSpec, SpecItem};
 use sentinel_snoop::parse_spec;
+use sentinel_snoop::spec::{ClassSpec, EventTarget, RuleSpec, SpecItem};
 use sentinel_storage::TxnId;
 
 use crate::sentinel::{Sentinel, SentinelError, SentinelResult};
@@ -128,9 +128,7 @@ impl<'s> Preprocessor<'s> {
                     }
                 }
                 SpecItem::InstanceDecl { class, name } => {
-                    let oid = self
-                        .sentinel
-                        .create_object(txn, &ObjectState::new(&class))?;
+                    let oid = self.sentinel.create_object(txn, &ObjectState::new(&class))?;
                     self.sentinel.db().names().bind(txn, &name, oid)?;
                     applied.instances.push((name, oid));
                 }
@@ -223,9 +221,7 @@ impl<'s> Preprocessor<'s> {
         // 3. Named composite events, with class-scoped reference
         //    qualification (`e1` in STOCK resolves to `STOCK.e1`).
         for (name, expr) in &spec.named_events {
-            let expr = qualify(expr, &spec.name, |n| {
-                self.sentinel.detector().lookup(n).is_some()
-            });
+            let expr = qualify(expr, &spec.name, |n| self.sentinel.detector().lookup(n).is_some());
             let qualified = format!("{}.{}", spec.name, name);
             let id = self.sentinel.detector().define_named(&qualified, &expr)?;
             let _ = self.sentinel.detector().alias(name, id);
@@ -293,18 +289,15 @@ fn qualify(expr: &EventExpr, class: &str, exists: impl Fn(&str) -> bool + Copy) 
             }
         }
         EventExpr::Ref(_) => expr.clone(),
-        EventExpr::And(a, b) => EventExpr::And(
-            Box::new(qualify(a, class, exists)),
-            Box::new(qualify(b, class, exists)),
-        ),
-        EventExpr::Or(a, b) => EventExpr::Or(
-            Box::new(qualify(a, class, exists)),
-            Box::new(qualify(b, class, exists)),
-        ),
-        EventExpr::Seq(a, b) => EventExpr::Seq(
-            Box::new(qualify(a, class, exists)),
-            Box::new(qualify(b, class, exists)),
-        ),
+        EventExpr::And(a, b) => {
+            EventExpr::And(Box::new(qualify(a, class, exists)), Box::new(qualify(b, class, exists)))
+        }
+        EventExpr::Or(a, b) => {
+            EventExpr::Or(Box::new(qualify(a, class, exists)), Box::new(qualify(b, class, exists)))
+        }
+        EventExpr::Seq(a, b) => {
+            EventExpr::Seq(Box::new(qualify(a, class, exists)), Box::new(qualify(b, class, exists)))
+        }
         EventExpr::Any { m, events } => EventExpr::Any {
             m: *m,
             events: events.iter().map(|e| qualify(e, class, exists)).collect(),
@@ -334,10 +327,9 @@ fn qualify(expr: &EventExpr, class: &str, exists: impl Fn(&str) -> bool + Copy) 
             period: *period,
             end: Box::new(qualify(end, class, exists)),
         },
-        EventExpr::Plus { inner, delta } => EventExpr::Plus {
-            inner: Box::new(qualify(inner, class, exists)),
-            delta: *delta,
-        },
+        EventExpr::Plus { inner, delta } => {
+            EventExpr::Plus { inner: Box::new(qualify(inner, class, exists)), delta: *delta }
+        }
     }
 }
 
@@ -381,7 +373,13 @@ mod tests {
                 Ok(AttrValue::Int(h - q))
             }),
         );
-        s.db().register_method("STOCK", "int get_price()", Arc::new(|ctx| ctx.get_attr("price").map(|v| AttrValue::Int(v.as_float().unwrap_or(0.0) as i64))));
+        s.db().register_method(
+            "STOCK",
+            "int get_price()",
+            Arc::new(|ctx| {
+                ctx.get_attr("price").map(|v| AttrValue::Int(v.as_float().unwrap_or(0.0) as i64))
+            }),
+        );
     }
 
     #[test]
@@ -389,9 +387,8 @@ mod tests {
         let s = Sentinel::in_memory();
         let fired = Arc::new(AtomicUsize::new(0));
         let f = fired.clone();
-        let table = FunctionTable::new()
-            .condition("cond1", |_| true)
-            .action("action1", move |_| {
+        let table =
+            FunctionTable::new().condition("cond1", |_| true).action("action1", move |_| {
                 f.fetch_add(1, Ordering::SeqCst);
             });
         let t = s.begin().unwrap();
@@ -407,10 +404,7 @@ mod tests {
         // rule is DEFERRED so it fires at commit, once.
         let t = s.begin().unwrap();
         let oid = s
-            .create_object(
-                t,
-                &ObjectState::new("STOCK").with("price", 10.0).with("holdings", 100),
-            )
+            .create_object(t, &ObjectState::new("STOCK").with("price", 10.0).with("holdings", 100))
             .unwrap();
         s.invoke(t, oid, "int sell_stock(int qty)", vec![("qty".into(), 5.into())]).unwrap();
         s.invoke(t, oid, "void set_price(float price)", vec![("price".into(), 20.0.into())])
@@ -425,9 +419,8 @@ mod tests {
         let s = Sentinel::in_memory();
         // First the class, so Stock exists.
         let t = s.begin().unwrap();
-        let table = FunctionTable::new()
-            .condition("checksalary", |_| true)
-            .action("resetsalary", |_| {});
+        let table =
+            FunctionTable::new().condition("checksalary", |_| true).action("resetsalary", |_| {});
         Preprocessor::new(&s)
             .apply(
                 t,
@@ -456,11 +449,9 @@ mod tests {
         let s = Sentinel::in_memory();
         let fired = Arc::new(AtomicUsize::new(0));
         let f = fired.clone();
-        let table = FunctionTable::new()
-            .condition("always", |_| true)
-            .action("count", move |_| {
-                f.fetch_add(1, Ordering::SeqCst);
-            });
+        let table = FunctionTable::new().condition("always", |_| true).action("count", move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
         let t = s.begin().unwrap();
         Preprocessor::new(&s)
             .apply(

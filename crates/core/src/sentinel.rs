@@ -15,16 +15,20 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use sentinel_detector::graph::{GraphError, PrimTarget};
-use sentinel_detector::{EventId, LocalEventDetector, Value};
-use sentinel_oodb::invoke::{DbError, Database};
+use sentinel_detector::{DetectorStats, EventId, LocalEventDetector, Value};
+use sentinel_obs::{json, TraceBus};
+use sentinel_oodb::invoke::{Database, DbError};
 use sentinel_oodb::{AttrValue, ObjectState, Oid};
 use sentinel_rules::debugger::RuleDebugger;
 use sentinel_rules::manager::RuleOptions;
 use sentinel_rules::scheduler::DetachedRequest;
-use sentinel_rules::{ActionFn, CondFn, ExecutionMode, RuleError, RuleId, RuleInvocation, RuleManager, RuleScheduler};
+use sentinel_rules::{
+    ActionFn, CondFn, ExecutionMode, RuleError, RuleId, RuleInvocation, RuleManager, RuleScheduler,
+    SchedulerStats,
+};
 use sentinel_snoop::ast::EventModifier;
 use sentinel_snoop::{parse_event_expr, ParseError, TriggerMode};
-use sentinel_storage::{StorageEngine, StorageError, TxnId};
+use sentinel_storage::{StorageEngine, StorageError, StorageStats, TxnId};
 
 use crate::bridge::{EventBridge, TxnBridge};
 
@@ -112,11 +116,45 @@ impl Default for SentinelConfig {
     }
 }
 
+/// Combined observability snapshot across every Sentinel subsystem: the
+/// event detector, the rule scheduler and the storage engine. Obtained from
+/// [`Sentinel::stats`]; serialize with [`SentinelStats::to_json`] or
+/// `Display` (which prints the same compact JSON).
+#[derive(Debug, Clone, Default)]
+pub struct SentinelStats {
+    /// Event-detector counters (signals, per-node emission/consumption,
+    /// flush activity).
+    pub detector: DetectorStats,
+    /// Rule-scheduler counters (fired per coupling mode, priority classes,
+    /// condition/action wall-time, panics).
+    pub scheduler: SchedulerStats,
+    /// Storage counters (WAL appends/forces, buffer hit ratio, page I/O).
+    pub storage: StorageStats,
+}
+
+impl SentinelStats {
+    /// Serializes the snapshot as a JSON value.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::obj([
+            ("detector", self.detector.to_json()),
+            ("scheduler", self.scheduler.to_json()),
+            ("storage", self.storage.to_json()),
+        ])
+    }
+}
+
+impl fmt::Display for SentinelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_json())
+    }
+}
+
 /// An active object-oriented database (one application/client).
 pub struct Sentinel {
     db: Arc<Database>,
     detector: Arc<LocalEventDetector>,
     scheduler: Arc<RuleScheduler>,
+    trace: Arc<TraceBus>,
     config: SentinelConfig,
     detached_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -143,6 +181,12 @@ impl Sentinel {
         let manager = Arc::new(RuleManager::new(detector.clone()));
         let scheduler = RuleScheduler::new(manager.clone(), config.mode);
 
+        // One trace bus spans detector + scheduler; it stays silent (a
+        // single atomic load per emission site) until someone subscribes.
+        let trace = Arc::new(TraceBus::new());
+        detector.set_trace_bus(trace.clone());
+        scheduler.set_trace_bus(trace.clone());
+
         // Post-processor seam: wrapper methods notify the detector.
         db.add_hooks(Arc::new(EventBridge::new(detector.clone(), scheduler.clone())));
         // Reactive system class: transaction events.
@@ -164,7 +208,8 @@ impl Sentinel {
         // Deactivatable flush rules (priority class 0 = after user rules).
         let commit_ev = detector.lookup("commit-transaction").expect("predeclared");
         let abort_ev = detector.lookup("abort-transaction").expect("predeclared");
-        for (rule_name, event) in [(FLUSH_ON_COMMIT_RULE, commit_ev), (FLUSH_ON_ABORT_RULE, abort_ev)]
+        for (rule_name, event) in
+            [(FLUSH_ON_COMMIT_RULE, commit_ev), (FLUSH_ON_ABORT_RULE, abort_ev)]
         {
             let det = detector.clone();
             manager.define_rule(
@@ -184,6 +229,7 @@ impl Sentinel {
             db,
             detector,
             scheduler,
+            trace,
             config: config.clone(),
             detached_thread: Mutex::new(None),
         });
@@ -266,6 +312,23 @@ impl Sentinel {
     /// This application's id.
     pub fn app_id(&self) -> u32 {
         self.config.app_id
+    }
+
+    /// The shared trace bus. Subscribe (e.g. via
+    /// [`RuleDebugger::attach_stream`]) to receive structured trace records
+    /// from the detector and the scheduler; with no subscribers the bus
+    /// costs one atomic load per would-be emission.
+    pub fn trace(&self) -> &Arc<TraceBus> {
+        &self.trace
+    }
+
+    /// Snapshot of the observability counters across all subsystems.
+    pub fn stats(&self) -> SentinelStats {
+        SentinelStats {
+            detector: self.detector.stats(),
+            scheduler: self.scheduler.stats(),
+            storage: self.db.engine().stats(),
+        }
     }
 
     // --- transactions ------------------------------------------------
@@ -379,20 +442,16 @@ impl Sentinel {
 
     /// Enables a rule by name.
     pub fn enable_rule(&self, name: &str) -> SentinelResult<()> {
-        let id = self
-            .rules()
-            .lookup(name)
-            .ok_or_else(|| SentinelError::Unknown(name.to_string()))?;
+        let id =
+            self.rules().lookup(name).ok_or_else(|| SentinelError::Unknown(name.to_string()))?;
         Ok(self.rules().enable(id)?)
     }
 
     /// Disables a rule by name (e.g. the flush rules, to let events cross
     /// transaction boundaries).
     pub fn disable_rule(&self, name: &str) -> SentinelResult<()> {
-        let id = self
-            .rules()
-            .lookup(name)
-            .ok_or_else(|| SentinelError::Unknown(name.to_string()))?;
+        let id =
+            self.rules().lookup(name).ok_or_else(|| SentinelError::Unknown(name.to_string()))?;
         Ok(self.rules().disable(id)?)
     }
 }
@@ -513,10 +572,7 @@ mod tests {
         let t = s.begin().unwrap();
         let oid = ibm(&s, t);
         s.invoke(t, oid, SET_PRICE, vec![("price".into(), 1.0.into())]).unwrap();
-        assert_eq!(
-            s.get_object(t, oid).unwrap().get("holdings").unwrap().as_int(),
-            Some(7)
-        );
+        assert_eq!(s.get_object(t, oid).unwrap().get("holdings").unwrap().as_int(), Some(7));
         s.commit(t).unwrap();
     }
 
@@ -555,12 +611,8 @@ mod tests {
             Arc::new(|_| true),
             Arc::new(move |inv| {
                 r.fetch_add(1, Ordering::SeqCst);
-                let n = inv
-                    .occurrence
-                    .param_list()
-                    .iter()
-                    .filter(|o| &*o.event_name == "e3")
-                    .count();
+                let n =
+                    inv.occurrence.param_list().iter().filter(|o| &*o.event_name == "e3").count();
                 p.store(n, Ordering::SeqCst);
             }),
             RuleOptions::default().coupling(CouplingMode::Deferred),
@@ -663,12 +715,7 @@ mod tests {
             Arc::new(move |inv| {
                 // Runs on the detached executor in a fresh transaction.
                 let txn = TxnId(inv.txn.expect("detached txn"));
-                let log = s2
-                    .create_object(
-                        txn,
-                        &ObjectState::new("REACTIVE"),
-                    )
-                    .unwrap();
+                let log = s2.create_object(txn, &ObjectState::new("REACTIVE")).unwrap();
                 let _ = tx.send((inv.txn, log));
             }),
             RuleOptions::default().coupling(CouplingMode::Detached),

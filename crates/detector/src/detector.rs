@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use sentinel_obs::{json, Counter, Field, TraceBus};
 use sentinel_snoop::ast::{EventExpr, EventModifier};
 use sentinel_snoop::ParamContext;
 
@@ -30,6 +31,16 @@ use crate::occurrence::{Occurrence, Value};
 /// Opaque id of a rule (or other consumer) subscribed to an event; the
 /// detector never interprets it.
 pub type SubscriberId = u64;
+
+/// Short static name of a parameter context for trace fields.
+fn ctx_name(ctx: ParamContext) -> &'static str {
+    match ctx {
+        ParamContext::Recent => "recent",
+        ParamContext::Chronicle => "chronicle",
+        ParamContext::Continuous => "continuous",
+        ParamContext::Cumulative => "cumulative",
+    }
+}
 
 /// One detected `(event, context)` occurrence, with the subscribers to
 /// notify. The rule scheduler turns these into condition/action threads.
@@ -64,6 +75,38 @@ pub struct LocalEventDetector {
     occurrence_counts: Mutex<HashMap<EventId, u64>>,
     /// Total primitive signals processed.
     signals: AtomicU64,
+    /// Transaction flushes performed ([`Self::flush_txn`] calls).
+    flush_calls: Counter,
+    /// Buffered occurrences dropped by transaction flushes.
+    flushed: Counter,
+    /// Optional structured trace bus (detections and flushes are emitted
+    /// when a bus is attached and has subscribers).
+    trace: Mutex<Option<Arc<TraceBus>>>,
+}
+
+/// Per-node emission/consumption counters, one entry per parameter
+/// context in `ParamContext::ALL` order (Recent, Chronicle, Continuous,
+/// Cumulative).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Node display name.
+    pub name: Arc<str>,
+    /// Occurrences emitted by this node, per context.
+    pub emitted: [u64; 4],
+    /// Child occurrences consumed by this node, per context.
+    pub consumed: [u64; 4],
+}
+
+impl NodeStats {
+    /// Total emissions across contexts.
+    pub fn total_emitted(&self) -> u64 {
+        self.emitted.iter().sum()
+    }
+
+    /// Total consumptions across contexts.
+    pub fn total_consumed(&self) -> u64 {
+        self.consumed.iter().sum()
+    }
 }
 
 /// Detector statistics snapshot.
@@ -74,6 +117,57 @@ pub struct DetectorStats {
     /// Per-event occurrence counts, `(name, count)`, sorted by descending
     /// count then name.
     pub per_event: Vec<(Arc<str>, u64)>,
+    /// Per-node emission/consumption counters for operator nodes that saw
+    /// any traffic, sorted by name.
+    pub nodes: Vec<NodeStats>,
+    /// Transaction flushes performed.
+    pub flush_calls: u64,
+    /// Buffered occurrences dropped by transaction flushes.
+    pub flushed_occurrences: u64,
+}
+
+impl DetectorStats {
+    /// Renders as a JSON object (see [`sentinel_obs::json`]).
+    pub fn to_json(&self) -> json::Value {
+        json::Value::obj([
+            ("signals", json::Value::UInt(self.signals)),
+            (
+                "per_event",
+                json::Value::obj(
+                    self.per_event
+                        .iter()
+                        .map(|(name, count)| (name.to_string(), json::Value::UInt(*count))),
+                ),
+            ),
+            (
+                "nodes",
+                json::Value::Arr(
+                    self.nodes
+                        .iter()
+                        .map(|n| {
+                            json::Value::obj([
+                                ("name", json::Value::str(n.name.as_ref())),
+                                (
+                                    "emitted",
+                                    json::Value::Arr(
+                                        n.emitted.iter().map(|&v| json::Value::UInt(v)).collect(),
+                                    ),
+                                ),
+                                (
+                                    "consumed",
+                                    json::Value::Arr(
+                                        n.consumed.iter().map(|&v| json::Value::UInt(v)).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("flush_calls", json::Value::UInt(self.flush_calls)),
+            ("flushed_occurrences", json::Value::UInt(self.flushed_occurrences)),
+        ])
+    }
 }
 
 impl LocalEventDetector {
@@ -106,7 +200,16 @@ impl LocalEventDetector {
             log: Mutex::new(None),
             occurrence_counts: Mutex::new(HashMap::new()),
             signals: AtomicU64::new(0),
+            flush_calls: Counter::new(),
+            flushed: Counter::new(),
+            trace: Mutex::new(None),
         }
+    }
+
+    /// Attaches a structured trace bus; detections and transaction flushes
+    /// are emitted onto it while it has subscribers.
+    pub fn set_trace_bus(&self, bus: Arc<TraceBus>) {
+        *self.trace.lock() = Some(bus);
     }
 
     /// The application this detector serves.
@@ -198,7 +301,20 @@ impl LocalEventDetector {
         let mut per_event: Vec<(Arc<str>, u64)> =
             counts.iter().map(|(id, n)| (graph.name_of(*id), *n)).collect();
         per_event.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        DetectorStats { signals: self.signals.load(Ordering::Relaxed), per_event }
+        let mut nodes: Vec<NodeStats> = graph
+            .node_ids()
+            .map(|id| graph.node(id))
+            .filter(|n| n.total_emitted() + n.total_consumed() > 0)
+            .map(|n| NodeStats { name: n.name.clone(), emitted: n.emitted, consumed: n.consumed })
+            .collect();
+        nodes.sort_by(|a, b| a.name.cmp(&b.name));
+        DetectorStats {
+            signals: self.signals.load(Ordering::Relaxed),
+            per_event,
+            nodes,
+            flush_calls: self.flush_calls.get(),
+            flushed_occurrences: self.flushed.get(),
+        }
     }
 
     // --- subscriptions ---------------------------------------------------
@@ -286,9 +402,8 @@ impl LocalEventDetector {
         let candidates: Vec<EventId> = graph.class_events(class).to_vec();
         for leaf in candidates {
             let node = graph.node(leaf);
-            let crate::graph::NodeKind::Primitive {
-                modifier, sig: node_sig, target, ..
-            } = &node.kind
+            let crate::graph::NodeKind::Primitive { modifier, sig: node_sig, target, .. } =
+                &node.kind
             else {
                 continue;
             };
@@ -351,8 +466,7 @@ impl LocalEventDetector {
         let mut graph = self.graph.lock();
         let mut detections = self.fire_due_alarms(&mut graph, ts);
         let leaf = graph.declare_explicit(name);
-        let occ =
-            Occurrence::primitive(leaf, graph.name_of(leaf), ts, txn, self.app, None, params);
+        let occ = Occurrence::primitive(leaf, graph.name_of(leaf), ts, txn, self.app, None, params);
         detections.extend(self.propagate(&mut graph, leaf, occ, None));
         detections
     }
@@ -379,6 +493,7 @@ impl LocalEventDetector {
         ctx_filter: Option<ParamContext>,
     ) -> Vec<Detection> {
         let mut detections = Vec::new();
+        let bus = self.trace.lock().clone();
         let mut work: Vec<(EventId, Arc<Occurrence>, Option<ParamContext>)> =
             vec![(origin, occ, ctx_filter)];
         while let Some((node_id, occ, filter)) = work.pop() {
@@ -389,32 +504,38 @@ impl LocalEventDetector {
             // Deliver to rule subscribers of this node.
             {
                 let node = graph.node(node_id);
-                match filter {
-                    Some(ctx) => {
-                        if !node.rule_subs[ctx.index()].is_empty() {
-                            detections.push(Detection {
-                                event: node_id,
-                                context: ctx,
-                                occurrence: occ.clone(),
-                                subscribers: node.rule_subs[ctx.index()].clone(),
-                            });
-                        }
+                let contexts: &[ParamContext] = match filter {
+                    Some(ref ctx) => std::slice::from_ref(ctx),
+                    // A primitive occurrence satisfies a direct rule
+                    // subscription in any context (contexts only matter
+                    // for composite grouping).
+                    None => &ParamContext::ALL,
+                };
+                for &ctx in contexts {
+                    if node.rule_subs[ctx.index()].is_empty() {
+                        continue;
                     }
-                    None => {
-                        // A primitive occurrence satisfies a direct rule
-                        // subscription in any context (contexts only matter
-                        // for composite grouping).
-                        for ctx in ParamContext::ALL {
-                            if !node.rule_subs[ctx.index()].is_empty() {
-                                detections.push(Detection {
-                                    event: node_id,
-                                    context: ctx,
-                                    occurrence: occ.clone(),
-                                    subscribers: node.rule_subs[ctx.index()].clone(),
-                                });
-                            }
-                        }
+                    if let Some(bus) = bus.as_deref().filter(|b| b.is_active()) {
+                        bus.emit(
+                            "detector",
+                            "detection",
+                            vec![
+                                ("event", Field::Str(node.name.clone())),
+                                ("context", Field::Str(Arc::from(ctx_name(ctx)))),
+                                ("at", Field::U64(occ.at)),
+                                (
+                                    "subscribers",
+                                    Field::U64(node.rule_subs[ctx.index()].len() as u64),
+                                ),
+                            ],
+                        );
                     }
+                    detections.push(Detection {
+                        event: node_id,
+                        context: ctx,
+                        occurrence: occ.clone(),
+                        subscribers: node.rule_subs[ctx.index()].clone(),
+                    });
                 }
             }
             // Feed parents. Edges to the same parent are grouped: a binary
@@ -454,6 +575,7 @@ impl LocalEventDetector {
                         | crate::graph::NodeKind::Seq(..)
                 );
                 for ctx in contexts {
+                    graph.node_mut(parent_id).consumed[ctx.index()] += 1;
                     let emissions = if roles.len() == 2 && is_binary {
                         graph.node_mut(parent_id).on_child_dual(&occ, ctx)
                     } else {
@@ -463,6 +585,7 @@ impl LocalEventDetector {
                         }
                         ems
                     };
+                    graph.node_mut(parent_id).emitted[ctx.index()] += emissions.len() as u64;
                     let is_temporal = graph.node(parent_id).kind.is_temporal();
                     for em in emissions {
                         let comp = self.make_occurrence(graph, parent_id, em);
@@ -477,12 +600,7 @@ impl LocalEventDetector {
         detections
     }
 
-    fn make_occurrence(
-        &self,
-        graph: &EventGraph,
-        node: EventId,
-        em: Emission,
-    ) -> Arc<Occurrence> {
+    fn make_occurrence(&self, graph: &EventGraph, node: EventId, em: Emission) -> Arc<Occurrence> {
         let name = graph.name_of(node);
         if em.at.is_none() && em.params.is_empty() {
             Occurrence::composite(node, name, em.constituents)
@@ -526,6 +644,7 @@ impl LocalEventDetector {
                     continue;
                 }
                 let emissions = graph.node_mut(node_id).fire_alarms(now, ctx);
+                graph.node_mut(node_id).emitted[ctx.index()] += emissions.len() as u64;
                 for em in emissions {
                     let occ = self.make_occurrence(graph, node_id, em);
                     detections.extend(self.propagate(graph, node_id, occ, Some(ctx)));
@@ -544,15 +663,27 @@ impl LocalEventDetector {
     pub fn flush_txn(&self, txn: u64) {
         let mut graph = self.graph.lock();
         let ids: Vec<EventId> = graph.node_ids().collect();
+        let mut removed = 0u64;
         for id in ids {
-            graph.node_mut(id).flush_txn(txn);
+            removed += graph.node_mut(id).flush_txn(txn) as u64;
+        }
+        self.flush_calls.inc();
+        self.flushed.add(removed);
+        if let Some(bus) = self.trace.lock().as_deref().filter(|b| b.is_active()) {
+            bus.emit(
+                "detector",
+                "flush_txn",
+                vec![("txn", Field::U64(txn)), ("removed", Field::U64(removed))],
+            );
         }
     }
 
     /// Flushes the state of one event's sub-graph (the paper's selective
-    /// flush for an event expression).
-    pub fn flush_event(&self, event: EventId) {
+    /// flush for an event expression). Errors on an id that names no node
+    /// of this detector's graph.
+    pub fn flush_event(&self, event: EventId) -> Result<(), GraphError> {
         let mut graph = self.graph.lock();
+        graph.check(event)?;
         let mut stack = vec![event];
         while let Some(id) = stack.pop() {
             for (child, _) in graph.node(id).kind.children() {
@@ -560,6 +691,7 @@ impl LocalEventDetector {
             }
             graph.node_mut(id).flush_all_state();
         }
+        Ok(())
     }
 
     /// Flushes the entire event graph.
@@ -727,8 +859,14 @@ mod tests {
     #[test]
     fn instance_level_event_filters_by_oid() {
         let d = detector();
-        d.declare_primitive("ibm_sell", "STOCK", EventModifier::End, SIG_SELL, PrimTarget::Instance(77))
-            .unwrap();
+        d.declare_primitive(
+            "ibm_sell",
+            "STOCK",
+            EventModifier::End,
+            SIG_SELL,
+            PrimTarget::Instance(77),
+        )
+        .unwrap();
         let ev = d.lookup("ibm_sell").unwrap();
         d.subscribe(ev, ParamContext::Recent, 5).unwrap();
         assert!(sell(&d, 1, 10, 1).is_empty(), "other instance ignored");
@@ -740,10 +878,22 @@ mod tests {
     fn class_and_instance_rules_fire_together() {
         // The paper's any_stk_price (class) + set_IBM_price (instance).
         let d = detector();
-        d.declare_primitive("any_sell", "STOCK", EventModifier::End, SIG_SELL, PrimTarget::AnyInstance)
-            .unwrap();
-        d.declare_primitive("ibm_sell", "STOCK", EventModifier::End, SIG_SELL, PrimTarget::Instance(77))
-            .unwrap();
+        d.declare_primitive(
+            "any_sell",
+            "STOCK",
+            EventModifier::End,
+            SIG_SELL,
+            PrimTarget::AnyInstance,
+        )
+        .unwrap();
+        d.declare_primitive(
+            "ibm_sell",
+            "STOCK",
+            EventModifier::End,
+            SIG_SELL,
+            PrimTarget::Instance(77),
+        )
+        .unwrap();
         d.subscribe(d.lookup("any_sell").unwrap(), ParamContext::Recent, 1).unwrap();
         d.subscribe(d.lookup("ibm_sell").unwrap(), ParamContext::Recent, 2).unwrap();
         // e1 also matches the same method but has no subscribers.
@@ -787,10 +937,7 @@ mod tests {
         // A*(begin-transaction, e1, pre-commit-transaction): the deferred
         // coupling rewrite of §3.1 — fires exactly once per transaction.
         let d = detector();
-        let expr = parse_event_expr(
-            "A*(begin-transaction, e1, pre-commit-transaction)",
-        )
-        .unwrap();
+        let expr = parse_event_expr("A*(begin-transaction, e1, pre-commit-transaction)").unwrap();
         let ev = d.define_named("def_rule_event", &expr).unwrap();
         d.subscribe(ev, ParamContext::Recent, 1).unwrap();
 
@@ -905,8 +1052,8 @@ mod tests {
         let ev = d.define_named("nested", &expr).unwrap();
         d.subscribe(ev, ParamContext::Chronicle, 1).unwrap();
         sell(&d, 1, 10, 1); // e1
-        // set_price raises begin(e2) at t2 and end(e3) at t3:
-        // (e1 ^ e2) completes at t2, then e3 at t3 completes the SEQ.
+                            // set_price raises begin(e2) at t2 and end(e3) at t3:
+                            // (e1 ^ e2) completes at t2, then e3 at t3 completes the SEQ.
         let dets = set_price(&d, 1, 2.0, 1);
         assert_eq!(dets.len(), 1);
         assert_eq!(dets[0].occurrence.param_list().len(), 3);

@@ -25,7 +25,9 @@ use crate::nodes::CtxState;
 
 /// Identifies a node of the event graph — and doubles as the identifier of
 /// the event that node detects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct EventId(pub u32);
 
 /// Whether a method-event leaf fires for all instances of its class or for
@@ -132,7 +134,8 @@ impl NodeKind {
                 children.iter().enumerate().map(|(i, c)| (*c, i as u8)).collect()
             }
             NodeKind::Not { start, inner, end } => vec![(*start, 0), (*inner, 1), (*end, 2)],
-            NodeKind::Aperiodic { start, mid, end } | NodeKind::AperiodicStar { start, mid, end } => {
+            NodeKind::Aperiodic { start, mid, end }
+            | NodeKind::AperiodicStar { start, mid, end } => {
                 vec![(*start, 0), (*mid, 1), (*end, 2)]
             }
             NodeKind::Periodic { start, end, .. } | NodeKind::PeriodicStar { start, end, .. } => {
@@ -169,6 +172,12 @@ pub struct Node {
     pub state: [CtxState; 4],
     /// Rule subscribers per context.
     pub rule_subs: [Vec<SubscriberId>; 4],
+    /// Occurrences this node emitted, per context (composite detections
+    /// and temporal firings). Plain integers: all node access happens
+    /// under the graph lock.
+    pub emitted: [u64; 4],
+    /// Child occurrences delivered to this node, per context.
+    pub consumed: [u64; 4],
 }
 
 impl Node {
@@ -181,7 +190,19 @@ impl Node {
             ctx_count: [0; 4],
             state: Default::default(),
             rule_subs: Default::default(),
+            emitted: [0; 4],
+            consumed: [0; 4],
         }
+    }
+
+    /// Total occurrences emitted across all contexts.
+    pub fn total_emitted(&self) -> u64 {
+        self.emitted.iter().sum()
+    }
+
+    /// Total child occurrences consumed across all contexts.
+    pub fn total_consumed(&self) -> u64 {
+        self.consumed.iter().sum()
     }
 
     /// Whether any context is active on this node.
@@ -241,6 +262,18 @@ impl EventGraph {
     /// An empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Validates that `id` names a node of this graph. The unchecked
+    /// accessors below index directly (internal ids are valid by
+    /// construction); public detector entry points taking caller-supplied
+    /// ids go through this first.
+    pub fn check(&self, id: EventId) -> Result<(), GraphError> {
+        if (id.0 as usize) < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownId(id))
+        }
     }
 
     /// Borrow a node.
@@ -433,9 +466,7 @@ impl EventGraph {
     /// registers class events under `CLASS.event` and aliases the bare
     /// `event` name when it is still free). Fails on conflict.
     pub fn alias(&mut self, name: &str, id: EventId) -> Result<(), GraphError> {
-        if id.0 as usize >= self.nodes.len() {
-            return Err(GraphError::UnknownId(id));
-        }
+        self.check(id)?;
         match self.names.get(name) {
             Some(&existing) if existing == id => Ok(()),
             Some(_) => Err(GraphError::Redefinition(name.to_string())),
@@ -466,9 +497,7 @@ impl EventGraph {
         // Upgrade the node's display name from the anonymous expression
         // string to its first user-given name (for traces/DOT/stats).
         let node = &mut self.nodes[id.0 as usize];
-        if !matches!(node.kind, NodeKind::Primitive { .. })
-            && node.name.contains(['(', ' '])
-        {
+        if !matches!(node.kind, NodeKind::Primitive { .. }) && node.name.contains(['(', ' ']) {
             node.name = name;
         }
         Ok(id)
@@ -483,9 +512,7 @@ impl EventGraph {
         ctx: ParamContext,
         sub: SubscriberId,
     ) -> Result<(), GraphError> {
-        if event.0 as usize >= self.nodes.len() {
-            return Err(GraphError::UnknownId(event));
-        }
+        self.check(event)?;
         self.bump_ctx(event, ctx, 1);
         self.nodes[event.0 as usize].rule_subs[ctx.index()].push(sub);
         Ok(())
@@ -500,9 +527,7 @@ impl EventGraph {
         ctx: ParamContext,
         sub: SubscriberId,
     ) -> Result<(), GraphError> {
-        if event.0 as usize >= self.nodes.len() {
-            return Err(GraphError::UnknownId(event));
-        }
+        self.check(event)?;
         let subs = &mut self.nodes[event.0 as usize].rule_subs[ctx.index()];
         let Some(pos) = subs.iter().position(|s| *s == sub) else {
             return Err(GraphError::NotSubscribed);
@@ -534,11 +559,7 @@ impl EventGraph {
     /// Ids of all temporal nodes with at least one active context (the
     /// detector's alarm scan set).
     pub fn temporal_nodes(&self) -> Vec<EventId> {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind.is_temporal() && n.any_active())
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| n.kind.is_temporal() && n.any_active()).map(|n| n.id).collect()
     }
 
     /// All node ids (diagnostics).
@@ -554,10 +575,22 @@ mod tests {
 
     fn graph_with_prims() -> EventGraph {
         let mut g = EventGraph::new();
-        g.declare_primitive("e1", "STOCK", EventModifier::End, "int sell_stock(int qty)", PrimTarget::AnyInstance)
-            .unwrap();
-        g.declare_primitive("e2", "STOCK", EventModifier::Begin, "void set_price(float price)", PrimTarget::AnyInstance)
-            .unwrap();
+        g.declare_primitive(
+            "e1",
+            "STOCK",
+            EventModifier::End,
+            "int sell_stock(int qty)",
+            PrimTarget::AnyInstance,
+        )
+        .unwrap();
+        g.declare_primitive(
+            "e2",
+            "STOCK",
+            EventModifier::Begin,
+            "void set_price(float price)",
+            PrimTarget::AnyInstance,
+        )
+        .unwrap();
         g
     }
 
@@ -565,10 +598,22 @@ mod tests {
     fn primitive_declaration_is_idempotent_and_conflicts_detected() {
         let mut g = graph_with_prims();
         let id = g
-            .declare_primitive("e1", "STOCK", EventModifier::End, "int sell_stock(int qty)", PrimTarget::AnyInstance)
+            .declare_primitive(
+                "e1",
+                "STOCK",
+                EventModifier::End,
+                "int sell_stock(int qty)",
+                PrimTarget::AnyInstance,
+            )
             .unwrap();
         assert_eq!(Some(id), g.lookup("e1"));
-        let err = g.declare_primitive("e1", "STOCK", EventModifier::Begin, "int sell_stock(int qty)", PrimTarget::AnyInstance);
+        let err = g.declare_primitive(
+            "e1",
+            "STOCK",
+            EventModifier::Begin,
+            "int sell_stock(int qty)",
+            PrimTarget::AnyInstance,
+        );
         assert!(matches!(err, Err(GraphError::Redefinition(_))));
     }
 

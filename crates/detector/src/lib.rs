@@ -43,6 +43,7 @@ pub mod service;
 pub mod viz;
 
 pub use clock::LogicalClock;
-pub use detector::{Detection, DetectorStats, LocalEventDetector, SubscriberId};
-pub use graph::EventId;
+pub use detector::{Detection, DetectorStats, LocalEventDetector, NodeStats, SubscriberId};
+pub use graph::{EventId, GraphError};
 pub use occurrence::{Occurrence, Value};
+pub use service::ServiceMetrics;

@@ -273,19 +273,37 @@ impl Node {
 
     /// Removes every buffered occurrence that involves transaction `txn`
     /// (events must not cross transaction boundaries, §3.2 item 3).
-    pub fn flush_txn(&mut self, txn: u64) {
+    ///
+    /// A window whose *initiator* belongs to `txn` is dropped whole — its
+    /// mids are invalid without the occurrence that opened the window —
+    /// while a window with a surviving initiator only loses the mids that
+    /// involve `txn`. Returns the number of occurrences removed (flush
+    /// statistics).
+    pub fn flush_txn(&mut self, txn: u64) -> usize {
+        let mut removed = 0;
         for state in &mut self.state {
             for buf in &mut state.bufs {
+                let before = buf.len();
                 buf.retain(|o| !o.involves_txn(txn));
+                removed += before - buf.len();
             }
-            state
-                .windows
-                .retain(|w| !w.start.as_ref().is_some_and(|s| s.involves_txn(txn)));
+            state.windows.retain(|w| {
+                let drop_whole = w.start.as_ref().is_some_and(|s| s.involves_txn(txn));
+                if drop_whole {
+                    removed += 1 + w.mids.len();
+                }
+                !drop_whole
+            });
             for w in &mut state.windows {
+                let before = w.mids.len();
                 w.mids.retain(|o| !o.involves_txn(txn));
+                removed += before - w.mids.len();
             }
+            let before = state.pending.len();
             state.pending.retain(|(_, o)| !o.involves_txn(txn));
+            removed += before - state.pending.len();
         }
+        removed
     }
 
     /// Clears all buffered state in every context (full event-graph flush).
@@ -320,9 +338,9 @@ fn on_and(
             state.buf(role, 2).push_back(occ.clone());
             let mut out = Vec::new();
             while !state.bufs[0].is_empty() && !state.bufs[1].is_empty() {
-                let l = state.bufs[0].pop_front().unwrap();
-                let r = state.bufs[1].pop_front().unwrap();
-                out.push(Emission::of(vec![l, r]));
+                if let (Some(l), Some(r)) = (state.bufs[0].pop_front(), state.bufs[1].pop_front()) {
+                    out.push(Emission::of(vec![l, r]));
+                }
             }
             out
         }
@@ -333,10 +351,7 @@ fn on_and(
                 Vec::new()
             } else {
                 let partners: Vec<_> = state.bufs[other].drain(..).collect();
-                partners
-                    .into_iter()
-                    .map(|p| Emission::of(vec![p, occ.clone()]))
-                    .collect()
+                partners.into_iter().map(|p| Emission::of(vec![p, occ.clone()])).collect()
             }
         }
         ParamContext::Cumulative => {
@@ -380,11 +395,12 @@ fn on_seq(
         (1, ParamContext::Chronicle) => {
             // Oldest initiator strictly before the terminator.
             let buf = state.buf(0, 2);
-            if buf.front().is_some_and(|l| l.at < occ.at) {
-                let l = buf.pop_front().unwrap();
-                vec![Emission::of(vec![l, occ.clone()])]
-            } else {
-                Vec::new()
+            match buf.front() {
+                Some(l) if l.at < occ.at => {
+                    let l = buf.pop_front().expect("front() was Some");
+                    vec![Emission::of(vec![l, occ.clone()])]
+                }
+                _ => Vec::new(),
             }
         }
         (1, ParamContext::Continuous) => {
@@ -431,8 +447,8 @@ fn on_any(
                     .bufs
                     .iter()
                     .enumerate()
-                    .filter(|(i, b)| *i != role && !b.is_empty())
-                    .map(|(_, b)| b.back().unwrap().clone())
+                    .filter(|(i, _)| *i != role)
+                    .filter_map(|(_, b)| b.back().cloned())
                     .collect();
                 others.sort_by_key(|o| std::cmp::Reverse(o.at));
                 others.truncate(m - 1);
@@ -449,10 +465,10 @@ fn on_any(
             if distinct >= m {
                 // Consume the m oldest heads among distinct types.
                 let mut heads: Vec<usize> = (0..n).filter(|i| !state.bufs[*i].is_empty()).collect();
-                heads.sort_by_key(|i| state.bufs[*i].front().unwrap().at);
+                heads.sort_by_key(|i| state.bufs[*i].front().map(|o| o.at));
                 heads.truncate(m);
                 let cons: Vec<_> =
-                    heads.into_iter().map(|i| state.bufs[i].pop_front().unwrap()).collect();
+                    heads.into_iter().filter_map(|i| state.bufs[i].pop_front()).collect();
                 vec![Emission::of(cons)]
             } else {
                 Vec::new()
@@ -760,8 +776,14 @@ mod tests {
         fn new(expr: &str, ctx: ParamContext) -> Harness {
             let mut g = EventGraph::new();
             for name in ["s", "m", "t", "a", "b", "c"] {
-                g.declare_primitive(name, "C", EventModifier::End, "void f()", PrimTarget::AnyInstance)
-                    .unwrap();
+                g.declare_primitive(
+                    name,
+                    "C",
+                    EventModifier::End,
+                    "void f()",
+                    PrimTarget::AnyInstance,
+                )
+                .unwrap();
             }
             let e = parse_event_expr(expr).unwrap();
             let node = g.build_expr(&e, false).unwrap();
@@ -769,15 +791,20 @@ mod tests {
             Harness { g, node, seq: 0 }
         }
 
-        fn occ(&mut self, name: &str) -> Arc<Occurrence> {
+        fn occ_in(&mut self, name: &str, txn: u64) -> Arc<Occurrence> {
             self.seq += 1;
             let id = self.g.lookup(name).unwrap();
-            Occurrence::primitive(id, Arc::from(name), self.seq, Some(1), 0, None, Vec::new())
+            Occurrence::primitive(id, Arc::from(name), self.seq, Some(txn), 0, None, Vec::new())
         }
 
         /// Sends `name` to the node under test in the role it occupies.
         fn send(&mut self, name: &str, ctx: ParamContext) -> Vec<Vec<Timestamp>> {
-            let occ = self.occ(name);
+            self.send_txn(name, ctx, 1)
+        }
+
+        /// [`Self::send`] with an explicit transaction id.
+        fn send_txn(&mut self, name: &str, ctx: ParamContext, txn: u64) -> Vec<Vec<Timestamp>> {
+            let occ = self.occ_in(name, txn);
             let child = self.g.lookup(name).unwrap();
             let roles: Vec<u8> = self
                 .g
@@ -1199,5 +1226,38 @@ mod tests {
         h.send("a", ctx); // txn 1 buffered
         h.g.node_mut(h.node).flush_txn(1);
         assert!(h.send("b", ctx).is_empty(), "initiator flushed with its txn");
+    }
+
+    /// A half-open A* window whose *initiator* belongs to the flushed
+    /// transaction is dropped whole, even when its mids belong to other
+    /// (still live) transactions — mids are meaningless without the
+    /// occurrence that opened the window.
+    #[test]
+    fn flush_txn_drops_window_when_initiator_aborts() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("A*(s, m, t)", ctx);
+        h.send_txn("s", ctx, 1); // window opened by txn 1
+        h.send_txn("m", ctx, 2); // mid from txn 2
+        let removed = h.g.node_mut(h.node).flush_txn(1);
+        assert_eq!(removed, 2, "initiator + the mid stranded with it");
+        assert!(
+            h.send_txn("t", ctx, 2).is_empty(),
+            "no window may close after its initiator's transaction aborted"
+        );
+    }
+
+    /// The converse: a window whose initiator survives the flush keeps
+    /// detecting, losing only the mids of the flushed transaction.
+    #[test]
+    fn flush_txn_keeps_window_but_strips_aborted_mids() {
+        let ctx = ParamContext::Chronicle;
+        let mut h = Harness::new("A*(s, m, t)", ctx);
+        h.send_txn("s", ctx, 2); // window owned by txn 2        (at=1)
+        h.send_txn("m", ctx, 1); // mid from txn 1, to be flushed (at=2)
+        h.send_txn("m", ctx, 2); // mid from txn 2               (at=3)
+        let removed = h.g.node_mut(h.node).flush_txn(1);
+        assert_eq!(removed, 1, "only the aborted mid");
+        let fired = h.send_txn("t", ctx, 2); // terminator        (at=4)
+        assert_eq!(fired, vec![vec![1, 3, 4]], "window closes without the flushed mid");
     }
 }

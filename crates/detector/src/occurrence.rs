@@ -168,7 +168,16 @@ impl Occurrence {
         source: Option<u64>,
         params: Vec<(Arc<str>, Value)>,
     ) -> Arc<Occurrence> {
-        Arc::new(Occurrence { event, event_name, at, txn, app, source, params, constituents: Vec::new() })
+        Arc::new(Occurrence {
+            event,
+            event_name,
+            at,
+            txn,
+            app,
+            source,
+            params,
+            constituents: Vec::new(),
+        })
     }
 
     /// A composite occurrence over `constituents` (sorted chronologically;
@@ -238,10 +247,7 @@ impl Occurrence {
     /// (most recent occurrence wins).
     pub fn param(&self, name: &str) -> Option<&Value> {
         let prims = self.param_list();
-        prims
-            .iter()
-            .rev()
-            .find_map(|p| p.params.iter().find(|(n, _)| &**n == name).map(|(_, v)| v))
+        prims.iter().rev().find_map(|p| p.params.iter().find(|(n, _)| &**n == name).map(|(_, v)| v))
     }
 
     /// True if any primitive constituent belongs to `txn`.

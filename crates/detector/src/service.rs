@@ -17,13 +17,28 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use sentinel_obs::{Counter, Gauge, Histogram};
 use sentinel_snoop::ast::EventModifier;
 
 use crate::clock::Timestamp;
 use crate::detector::{Detection, LocalEventDetector};
 use crate::occurrence::Value;
+
+/// Counters for the service's signal queue: depth (with high-watermark),
+/// signals processed, and the latency from enqueue to the end of
+/// processing on the detector thread.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Request-queue depth, sampled on every enqueue/dequeue.
+    pub queue_depth: Gauge,
+    /// Requests fully processed by the service thread.
+    pub processed: Counter,
+    /// Enqueue-to-processed latency per request, ns.
+    pub drain_latency_ns: Histogram,
+}
 
 /// A primitive-event signal sent to the service.
 #[derive(Debug)]
@@ -60,9 +75,10 @@ pub enum Signal {
 
 enum Request {
     /// Process and reply with the detections (immediate-mode rendezvous).
-    Sync(Signal, Sender<Vec<Detection>>),
+    /// Carries the enqueue instant for drain-latency accounting.
+    Sync(Signal, Sender<Vec<Detection>>, Instant),
     /// Process; detections go to the async detections channel.
-    Async(Signal),
+    Async(Signal, Instant),
     /// Stop the service thread.
     Shutdown,
 }
@@ -72,6 +88,7 @@ pub struct DetectorService {
     detector: Arc<LocalEventDetector>,
     requests: Sender<Request>,
     detections: Receiver<Detection>,
+    metrics: Arc<ServiceMetrics>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -81,27 +98,40 @@ impl DetectorService {
         let (req_tx, req_rx) = unbounded::<Request>();
         let (det_tx, det_rx) = unbounded::<Detection>();
         let det = detector.clone();
+        let metrics = Arc::new(ServiceMetrics::default());
+        let m = metrics.clone();
         let thread = std::thread::Builder::new()
             .name(format!("sentinel-detector-{}", detector.app()))
             .spawn(move || {
                 while let Ok(req) = req_rx.recv() {
-                    match req {
-                        Request::Sync(sig, reply) => {
+                    m.queue_depth.set(req_rx.len() as u64);
+                    let enqueued = match req {
+                        Request::Sync(sig, reply, enqueued) => {
                             let dets = Self::process(&det, sig);
                             // Receiver may have given up; ignore send errors.
                             let _ = reply.send(dets);
+                            enqueued
                         }
-                        Request::Async(sig) => {
+                        Request::Async(sig, enqueued) => {
                             for d in Self::process(&det, sig) {
                                 let _ = det_tx.send(d);
                             }
+                            enqueued
                         }
                         Request::Shutdown => break,
-                    }
+                    };
+                    m.processed.inc();
+                    m.drain_latency_ns.record_duration(enqueued.elapsed());
                 }
             })
             .expect("spawn detector thread");
-        DetectorService { detector, requests: req_tx, detections: det_rx, thread: Some(thread) }
+        DetectorService {
+            detector,
+            requests: req_tx,
+            detections: det_rx,
+            metrics,
+            thread: Some(thread),
+        }
     }
 
     fn process(det: &LocalEventDetector, sig: Signal) -> Vec<Detection> {
@@ -127,20 +157,28 @@ impl DetectorService {
     /// Sends a signal and waits for its detections (immediate mode).
     pub fn signal_sync(&self, sig: Signal) -> Vec<Detection> {
         let (tx, rx) = bounded(1);
-        if self.requests.send(Request::Sync(sig, tx)).is_err() {
+        if self.requests.send(Request::Sync(sig, tx, Instant::now())).is_err() {
             return Vec::new();
         }
+        self.metrics.queue_depth.set(self.requests.len() as u64);
         rx.recv().unwrap_or_default()
     }
 
     /// Queues a signal; detections arrive on [`Self::detections`].
     pub fn signal_async(&self, sig: Signal) {
-        let _ = self.requests.send(Request::Async(sig));
+        if self.requests.send(Request::Async(sig, Instant::now())).is_ok() {
+            self.metrics.queue_depth.set(self.requests.len() as u64);
+        }
     }
 
     /// Stream of detections from async signals.
     pub fn detections(&self) -> &Receiver<Detection> {
         &self.detections
+    }
+
+    /// Queue/latency counters for this service.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
     }
 }
 
@@ -227,9 +265,7 @@ mod tests {
     fn advance_time_signal_fires_temporal_events() {
         let svc = service();
         let det = svc.detector();
-        let plus = det
-            .define_named("later", &parse_event_expr("PLUS(ev, 50)").unwrap())
-            .unwrap();
+        let plus = det.define_named("later", &parse_event_expr("PLUS(ev, 50)").unwrap()).unwrap();
         det.subscribe(plus, ParamContext::Recent, 3).unwrap();
         svc.signal_async(method_signal(1)); // anchors the PLUS at ts=1
         let dets = svc.signal_sync(Signal::AdvanceTime(100));

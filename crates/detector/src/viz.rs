@@ -58,11 +58,17 @@ pub fn to_dot(graph: &EventGraph) -> String {
         if node.any_active() {
             let c = &node.ctx_count;
             let subs: usize = node.rule_subs.iter().map(Vec::len).sum();
-            let _ = write!(
-                attrs,
-                "\\nctx R{}/C{}/O{}/U{} rules={subs}",
-                c[0], c[1], c[2], c[3]
-            );
+            let _ = write!(attrs, "\\nctx R{}/C{}/O{}/U{} rules={subs}", c[0], c[1], c[2], c[3]);
+            // Live traffic counters (see `Node::emitted`/`consumed`), shown
+            // once the node has seen any occurrence.
+            if node.total_emitted() + node.total_consumed() > 0 {
+                let _ = write!(
+                    attrs,
+                    "\\nemit={} cons={}",
+                    node.total_emitted(),
+                    node.total_consumed()
+                );
+            }
             attrs.push_str("\", style=bold");
         } else {
             attrs.push('"');
@@ -74,7 +80,12 @@ pub fn to_dot(graph: &EventGraph) -> String {
         let node = graph.node(id);
         for (child, role) in node.kind.children() {
             let label = match (&node.kind, role) {
-                (NodeKind::Not { .. } | NodeKind::Aperiodic { .. } | NodeKind::AperiodicStar { .. }, 0) => "start",
+                (
+                    NodeKind::Not { .. }
+                    | NodeKind::Aperiodic { .. }
+                    | NodeKind::AperiodicStar { .. },
+                    0,
+                ) => "start",
                 (NodeKind::Not { .. }, 1) => "not",
                 (NodeKind::Aperiodic { .. } | NodeKind::AperiodicStar { .. }, 1) => "mid",
                 (
@@ -93,7 +104,8 @@ pub fn to_dot(graph: &EventGraph) -> String {
             if label.is_empty() {
                 let _ = writeln!(out, "  n{} -> n{};", child.0, id.0);
             } else {
-                let _ = writeln!(out, "  n{} -> n{} [label=\"{label}\", fontsize=8];", child.0, id.0);
+                let _ =
+                    writeln!(out, "  n{} -> n{} [label=\"{label}\", fontsize=8];", child.0, id.0);
             }
         }
     }
@@ -109,12 +121,30 @@ mod tests {
 
     fn sample_graph() -> EventGraph {
         let mut g = EventGraph::new();
-        g.declare_primitive("e1", "STOCK", EventModifier::End, "int sell_stock(int qty)", PrimTarget::AnyInstance)
-            .unwrap();
-        g.declare_primitive("e2", "STOCK", EventModifier::Begin, "void set_price(float price)", PrimTarget::AnyInstance)
-            .unwrap();
-        g.declare_primitive("ibm_only", "STOCK", EventModifier::End, "int sell_stock(int qty)", PrimTarget::Instance(7))
-            .unwrap();
+        g.declare_primitive(
+            "e1",
+            "STOCK",
+            EventModifier::End,
+            "int sell_stock(int qty)",
+            PrimTarget::AnyInstance,
+        )
+        .unwrap();
+        g.declare_primitive(
+            "e2",
+            "STOCK",
+            EventModifier::Begin,
+            "void set_price(float price)",
+            PrimTarget::AnyInstance,
+        )
+        .unwrap();
+        g.declare_primitive(
+            "ibm_only",
+            "STOCK",
+            EventModifier::End,
+            "int sell_stock(int qty)",
+            PrimTarget::Instance(7),
+        )
+        .unwrap();
         let and = g.define_named("e4", &parse_event_expr("e1 ^ e2").unwrap(), false).unwrap();
         g.define_named("win", &parse_event_expr("A*(e2, e1, e2)").unwrap(), false).unwrap();
         g.subscribe(and, ParamContext::Cumulative, 42).unwrap();
@@ -144,8 +174,7 @@ mod tests {
     fn dot_edge_count_matches_graph() {
         let g = sample_graph();
         let dot = to_dot(&g);
-        let expected_edges: usize =
-            g.node_ids().map(|id| g.node(id).kind.children().len()).sum();
+        let expected_edges: usize = g.node_ids().map(|id| g.node(id).kind.children().len()).sum();
         let arrow_count = dot.matches(" -> ").count();
         assert_eq!(arrow_count, expected_edges);
     }

@@ -1,0 +1,175 @@
+//! A minimal JSON value with a compact `Display`.
+//!
+//! The vendored `serde` shim is a no-op derive (no real serialization),
+//! so stats snapshots render themselves through this value type instead.
+//! Output is deterministic: object keys appear in insertion order.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Looks a key up in an object (None for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if it is a non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::UInt(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::UInt(n) => write!(f, "{n}"),
+            Value::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Value::Float(_) => f.write_str("null"),
+            Value::Str(s) => escape(s, f),
+            Value::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_json() {
+        let v = Value::obj([
+            ("name", Value::str("R1 \"stock\"\n")),
+            ("fired", Value::UInt(3)),
+            ("delta", Value::Int(-2)),
+            ("ratio", Value::Float(0.5)),
+            ("tags", Value::Arr(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"R1 \"stock\"\n","fired":3,"delta":-2,"ratio":0.5,"tags":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::obj([("a", Value::UInt(1)), ("b", Value::Int(2))]);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_u64), Some(2));
+        assert!(v.get("c").is_none());
+        assert!(Value::Null.get("a").is_none());
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(Value::Float(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        assert_eq!(Value::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,279 @@
+//! Observability primitives for Sentinel.
+//!
+//! The paper's architecture (§4) threads event detection, rule scheduling
+//! and storage through several cooperating subsystems; this crate gives
+//! each of them a uniform, allocation-light way to count, time, and
+//! narrate what it is doing:
+//!
+//! * [`Counter`] — monotone relaxed atomic counter.
+//! * [`Gauge`] — instantaneous level with a high-watermark (queue depths).
+//! * [`Histogram`] — log₄-bucketed latency histogram (nanoseconds).
+//! * [`json`] — a tiny hand-rolled JSON value for serializable snapshots
+//!   (the vendored `serde` shim has no real serialization, so snapshots
+//!   render themselves).
+//! * [`trace`] — a broadcast bus of structured [`trace::TraceRecord`]s
+//!   that the rule debugger and the `beast` bench binary both consume.
+//!
+//! Everything here is wait-free or a short critical section; when no one
+//! is listening the trace bus is a single relaxed atomic load.
+
+pub mod json;
+pub mod trace;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+pub use trace::{Field, TraceBus, TraceRecord};
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotone event counter. All operations are relaxed: counters are
+/// statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// An instantaneous level (e.g. queue depth) that remembers the highest
+/// value it was ever set to.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    hwm: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge { value: AtomicU64::new(0), hwm: AtomicU64::new(0) }
+    }
+
+    /// Sets the current level and folds it into the high-watermark.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.hwm.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn high_watermark(&self) -> u64 {
+        self.hwm.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Number of log₄ buckets. Bucket `i` holds samples in
+/// `[4^i, 4^(i+1))` ns (bucket 0 also takes 0); bucket 15 is open-ended,
+/// starting at 4^15 ns ≈ 18 minutes — plenty for rule wall-times.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A fixed-size log₄ histogram of nanosecond samples. Recording is three
+/// relaxed atomic RMWs; snapshots are approximate under concurrency,
+/// which is fine for statistics.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Bucket index for a nanosecond sample: ⌊log₄ ns⌋, clamped.
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            return 0;
+        }
+        let log2 = 63 - ns.leading_zeros() as usize;
+        (log2 / 2).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one sample, in nanoseconds.
+    pub fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed [`Duration`].
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, ns.
+    pub sum: u64,
+    /// Largest sample, ns.
+    pub max: u64,
+    /// Per-bucket sample counts (bucket `i` covers `[4^i, 4^(i+1))` ns).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Renders as a JSON object (`count`/`sum_ns`/`mean_ns`/`max_ns` plus
+    /// the non-empty tail of `buckets`).
+    pub fn to_json(&self) -> json::Value {
+        let used = self.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+        json::Value::obj([
+            ("count", json::Value::UInt(self.count)),
+            ("sum_ns", json::Value::UInt(self.sum)),
+            ("mean_ns", json::Value::UInt(self.mean_ns())),
+            ("max_ns", json::Value::UInt(self.max)),
+            (
+                "buckets",
+                json::Value::Arr(
+                    self.buckets[..used].iter().map(|&b| json::Value::UInt(b)).collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_high_watermark() {
+        let g = Gauge::new();
+        g.set(3);
+        g.set(9);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_watermark(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log4() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(3), 0);
+        assert_eq!(Histogram::bucket_of(4), 1);
+        assert_eq!(Histogram::bucket_of(15), 1);
+        assert_eq!(Histogram::bucket_of(16), 2);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_statistics() {
+        let h = Histogram::new();
+        for ns in [1, 5, 17, 17, 1000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1040);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.mean_ns(), 208);
+        assert_eq!(s.buckets[0], 1); // 1
+        assert_eq!(s.buckets[1], 1); // 5
+        assert_eq!(s.buckets[2], 2); // 17, 17
+        assert_eq!(s.buckets[4], 1); // 1000 in [256, 1024)
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn histogram_json_trims_empty_tail() {
+        let h = Histogram::new();
+        h.record(2);
+        h.record(20);
+        let rendered = h.snapshot().to_json().to_string();
+        assert_eq!(
+            rendered,
+            r#"{"count":2,"sum_ns":22,"mean_ns":11,"max_ns":20,"buckets":[1,0,1]}"#
+        );
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+}

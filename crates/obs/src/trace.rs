@@ -1,0 +1,233 @@
+//! Structured trace-event stream.
+//!
+//! Subsystems emit [`TraceRecord`]s onto a shared [`TraceBus`]; any number
+//! of consumers (the rule debugger, the `beast` bench binary, tests)
+//! subscribe and receive every record emitted after their subscription.
+//! When nobody is subscribed, `emit` is a single relaxed atomic load —
+//! tracing costs nothing unless someone is watching.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::json::Value;
+
+/// A typed field value on a trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    U64(u64),
+    I64(i64),
+    Str(Arc<str>),
+    Bool(bool),
+}
+
+impl Field {
+    fn to_json(&self) -> Value {
+        match self {
+            Field::U64(n) => Value::UInt(*n),
+            Field::I64(n) => Value::Int(*n),
+            Field::Str(s) => Value::str(s.as_ref()),
+            Field::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+impl From<u64> for Field {
+    fn from(n: u64) -> Self {
+        Field::U64(n)
+    }
+}
+
+impl From<i64> for Field {
+    fn from(n: i64) -> Self {
+        Field::I64(n)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(b: bool) -> Self {
+        Field::Bool(b)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(s: &str) -> Self {
+        Field::Str(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for Field {
+    fn from(s: Arc<str>) -> Self {
+        Field::Str(s)
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::U64(n) => write!(f, "{n}"),
+            Field::I64(n) => write!(f, "{n}"),
+            Field::Str(s) => write!(f, "{s}"),
+            Field::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One structured trace event: where it came from, what happened, and a
+/// small bag of typed fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Bus-global sequence number (1-based, total order of emission).
+    pub seq: u64,
+    /// Emitting subsystem, e.g. `"detector"`, `"scheduler"`.
+    pub subsystem: &'static str,
+    /// Event kind within the subsystem, e.g. `"detection"`, `"action"`.
+    pub event: &'static str,
+    /// Typed payload fields, in emission order.
+    pub fields: Vec<(&'static str, Field)>,
+}
+
+impl TraceRecord {
+    /// The value of a named field, if present.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
+    }
+
+    /// Renders as a JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![
+            ("seq".to_string(), Value::UInt(self.seq)),
+            ("subsystem".to_string(), Value::str(self.subsystem)),
+            ("event".to_string(), Value::str(self.event)),
+        ];
+        for (k, v) in &self.fields {
+            pairs.push((k.to_string(), v.to_json()));
+        }
+        Value::Obj(pairs)
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>6}] {}/{}", self.seq, self.subsystem, self.event)?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Broadcast bus for [`TraceRecord`]s.
+///
+/// Emitters call [`TraceBus::emit`]; each subscriber gets its own
+/// unbounded channel and receives every record emitted while subscribed.
+/// Dropped receivers are pruned lazily on the next emit.
+#[derive(Debug, Default)]
+pub struct TraceBus {
+    seq: AtomicU64,
+    subs: Mutex<Vec<Sender<Arc<TraceRecord>>>>,
+    /// Subscriber count mirrored outside the lock so `emit` can bail
+    /// without taking it when nobody listens.
+    active: AtomicUsize,
+}
+
+impl TraceBus {
+    pub fn new() -> Self {
+        TraceBus::default()
+    }
+
+    /// True when at least one subscriber is (or recently was) attached.
+    /// Emitters may use this to skip building expensive field values.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed) > 0
+    }
+
+    /// Attaches a new consumer. The receiver sees every record emitted
+    /// from this call on.
+    pub fn subscribe(&self) -> Receiver<Arc<TraceRecord>> {
+        let (tx, rx) = unbounded();
+        let mut subs = self.subs.lock();
+        subs.push(tx);
+        self.active.store(subs.len(), Ordering::Relaxed);
+        rx
+    }
+
+    /// Emits a record to all live subscribers. A no-op (one atomic load)
+    /// when nobody is subscribed. Returns the record's sequence number,
+    /// or 0 if it was dropped for lack of subscribers.
+    pub fn emit(
+        &self,
+        subsystem: &'static str,
+        event: &'static str,
+        fields: Vec<(&'static str, Field)>,
+    ) -> u64 {
+        if !self.is_active() {
+            return 0;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let record = Arc::new(TraceRecord { seq, subsystem, event, fields });
+        let mut subs = self.subs.lock();
+        subs.retain(|tx| tx.send(record.clone()).is_ok());
+        self.active.store(subs.len(), Ordering::Relaxed);
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_subscribers_is_a_noop() {
+        let bus = TraceBus::new();
+        assert!(!bus.is_active());
+        assert_eq!(bus.emit("t", "e", vec![]), 0);
+    }
+
+    #[test]
+    fn subscribers_see_records_in_order() {
+        let bus = TraceBus::new();
+        let rx = bus.subscribe();
+        bus.emit("detector", "detection", vec![("event", Field::from("E1"))]);
+        bus.emit("scheduler", "action", vec![("rule", Field::from("R1")), ("ok", true.into())]);
+        let a = rx.try_recv().unwrap();
+        let b = rx.try_recv().unwrap();
+        assert_eq!((a.seq, a.subsystem, a.event), (1, "detector", "detection"));
+        assert_eq!(b.seq, 2);
+        assert_eq!(b.field("rule"), Some(&Field::from("R1")));
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let bus = TraceBus::new();
+        let rx1 = bus.subscribe();
+        let rx2 = bus.subscribe();
+        drop(rx1);
+        bus.emit("t", "e", vec![]);
+        assert_eq!(rx2.try_recv().unwrap().seq, 1);
+        // rx1's sender was pruned on the emit above.
+        assert!(bus.is_active());
+        drop(rx2);
+        bus.emit("t", "e", vec![]);
+        assert!(!bus.is_active());
+    }
+
+    #[test]
+    fn record_renders_as_text_and_json() {
+        let r = TraceRecord {
+            seq: 7,
+            subsystem: "scheduler",
+            event: "panic",
+            fields: vec![("rule", Field::from("R9")), ("depth", Field::U64(2))],
+        };
+        assert_eq!(r.to_string(), "[     7] scheduler/panic rule=R9 depth=2");
+        assert_eq!(
+            r.to_json().to_string(),
+            r#"{"seq":7,"subsystem":"scheduler","event":"panic","rule":"R9","depth":2}"#
+        );
+    }
+}

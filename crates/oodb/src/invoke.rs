@@ -273,12 +273,10 @@ impl Database {
                 registry.chain(&state.class).into_iter().map(str::to_string).collect();
             (declaring, chain)
         };
-        let body = self
-            .methods
-            .read()
-            .get(&(declaring.clone(), sig.to_string()))
-            .cloned()
-            .ok_or_else(|| DbError::NoBody { class: declaring.clone(), sig: sig.to_string() })?;
+        let body =
+            self.methods.read().get(&(declaring.clone(), sig.to_string())).cloned().ok_or_else(
+                || DbError::NoBody { class: declaring.clone(), sig: sig.to_string() },
+            )?;
         let call = MethodCall {
             oid,
             class: state.class.clone(),
@@ -347,7 +345,10 @@ mod tests {
     fn ibm(db: &Database, txn: TxnId) -> Oid {
         db.create_object(
             txn,
-            &ObjectState::new("STOCK").with("symbol", "IBM").with("price", 100.0).with("holdings", 10),
+            &ObjectState::new("STOCK")
+                .with("symbol", "IBM")
+                .with("price", 100.0)
+                .with("holdings", 10),
         )
         .unwrap()
     }
@@ -359,13 +360,9 @@ mod tests {
         let oid = ibm(&db, t);
         db.invoke(t, oid, "void set_price(float price)", vec![("price".into(), 123.5.into())])
             .unwrap();
-        assert_eq!(
-            db.get_object(t, oid).unwrap().get("price").unwrap().as_float(),
-            Some(123.5)
-        );
-        let left = db
-            .invoke(t, oid, "int sell_stock(int qty)", vec![("qty".into(), 4.into())])
-            .unwrap();
+        assert_eq!(db.get_object(t, oid).unwrap().get("price").unwrap().as_float(), Some(123.5));
+        let left =
+            db.invoke(t, oid, "int sell_stock(int qty)", vec![("qty".into(), 4.into())]).unwrap();
         assert_eq!(left.as_int(), Some(6));
         db.commit(t).unwrap();
     }
@@ -412,8 +409,10 @@ mod tests {
     #[test]
     fn inherited_method_resolves_to_declaring_class() {
         let db = stock_db();
-        db.register_class(ClassDef::new("TECH_STOCK").extends("STOCK").attr("sector", AttrType::Str))
-            .unwrap();
+        db.register_class(
+            ClassDef::new("TECH_STOCK").extends("STOCK").attr("sector", AttrType::Str),
+        )
+        .unwrap();
         struct ChainCheck(Mutex<Vec<String>>);
         impl InvocationHooks for ChainCheck {
             fn before(&self, call: &MethodCall) {

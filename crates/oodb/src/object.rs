@@ -12,7 +12,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Object identity. Allocated monotonically by the object store; stable
 /// across restarts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Oid(pub u64);
 
 impl fmt::Display for Oid {

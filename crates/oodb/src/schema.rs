@@ -194,13 +194,9 @@ impl ClassRegistry {
     /// Resolves a method: returns the *declaring class* (walking up the
     /// chain), or None.
     pub fn resolve_method(&self, class: &str, sig: &str) -> Option<&str> {
-        self.chain(class)
-            .into_iter()
-            .find(|c| {
-                self.classes
-                    .get(*c)
-                    .is_some_and(|def| def.methods.iter().any(|m| m.sig == sig))
-            })
+        self.chain(class).into_iter().find(|c| {
+            self.classes.get(*c).is_some_and(|def| def.methods.iter().any(|m| m.sig == sig))
+        })
     }
 
     /// Validates an object's attributes against the schema.
@@ -256,10 +252,8 @@ mod tests {
                 .method("int sell_stock(int qty)"),
         )
         .unwrap();
-        reg.register(
-            ClassDef::new("TECH_STOCK").extends("STOCK").attr("sector", AttrType::Str),
-        )
-        .unwrap();
+        reg.register(ClassDef::new("TECH_STOCK").extends("STOCK").attr("sector", AttrType::Str))
+            .unwrap();
         reg
     }
 
@@ -274,10 +268,7 @@ mod tests {
     #[test]
     fn method_resolution_up_the_chain() {
         let reg = registry();
-        assert_eq!(
-            reg.resolve_method("TECH_STOCK", "void set_price(float price)"),
-            Some("STOCK")
-        );
+        assert_eq!(reg.resolve_method("TECH_STOCK", "void set_price(float price)"), Some("STOCK"));
         assert_eq!(reg.resolve_method("TECH_STOCK", "void nope()"), None);
     }
 
@@ -307,10 +298,7 @@ mod tests {
     #[test]
     fn duplicate_and_missing_parent_rejected() {
         let mut reg = registry();
-        assert!(matches!(
-            reg.register(ClassDef::new("STOCK")),
-            Err(SchemaError::Duplicate(_))
-        ));
+        assert!(matches!(reg.register(ClassDef::new("STOCK")), Err(SchemaError::Duplicate(_))));
         assert!(matches!(
             reg.register(ClassDef::new("X").extends("GHOST")),
             Err(SchemaError::UnknownParent(_))

@@ -117,11 +117,7 @@ impl ObjectStore {
     }
 
     fn rid_of(&self, oid: Oid) -> StorageResult<Rid> {
-        self.index
-            .read()
-            .get(&oid)
-            .copied()
-            .ok_or(StorageError::Corrupt("unknown oid"))
+        self.index.read().get(&oid).copied().ok_or(StorageError::Corrupt("unknown oid"))
     }
 
     /// Whether the store currently knows `oid`.
@@ -271,10 +267,7 @@ mod tests {
         let store2 = ObjectStore::open(engine).unwrap();
         assert_eq!(store2.resolve_name("ibm"), Some(oid));
         let t = store2.engine().begin().unwrap();
-        assert_eq!(
-            store2.get(t, oid).unwrap().get("symbol").unwrap().as_str(),
-            Some("IBM")
-        );
+        assert_eq!(store2.get(t, oid).unwrap().get("symbol").unwrap().as_str(), Some("IBM"));
         let fresh = store2.create(t, &stock("NEW", 1.0)).unwrap();
         assert!(fresh.0 > oid.0, "oid counter must advance past recovered oids");
         store2.engine().commit(t).unwrap();

@@ -10,9 +10,11 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
 use sentinel_detector::clock::Timestamp;
+use sentinel_obs::TraceRecord;
 use sentinel_snoop::ParamContext;
 
 use crate::rule::RuleId;
@@ -78,6 +80,9 @@ impl TraceEvent {
 pub struct RuleDebugger {
     trace: Mutex<Vec<TraceEvent>>,
     enabled: Mutex<bool>,
+    /// Structured trace stream attached via [`Self::attach_stream`]
+    /// (subscription to a `sentinel_obs::TraceBus`).
+    stream: Mutex<Option<Receiver<Arc<TraceRecord>>>>,
 }
 
 impl RuleDebugger {
@@ -127,7 +132,8 @@ impl RuleDebugger {
             let indent = "  ".repeat(ev.depth() as usize);
             match ev {
                 TraceEvent::Triggered { rule, rule_name, event, context, at, .. } => {
-                    let _ = writeln!(out, "{indent}▶ {rule} {rule_name} «{event}» [{context}] @{at}");
+                    let _ =
+                        writeln!(out, "{indent}▶ {rule} {rule_name} «{event}» [{context}] @{at}");
                 }
                 TraceEvent::Condition { rule, satisfied, .. } => {
                     let _ = writeln!(out, "{indent}  ? {rule} condition = {satisfied}");
@@ -197,12 +203,44 @@ impl RuleDebugger {
         let mut edges: Vec<_> = nest_edges.into_iter().collect();
         edges.sort();
         for ((p, r), n) in edges {
-            let _ = writeln!(
-                out,
-                "  \"rule:{p}\" -> \"rule:{r}\" [style=dashed, label=\"{n}\"];"
-            );
+            let _ = writeln!(out, "  \"rule:{p}\" -> \"rule:{r}\" [style=dashed, label=\"{n}\"];");
         }
         out.push_str("}\n");
+        out
+    }
+
+    /// Attaches a structured trace stream (a subscription obtained from
+    /// `sentinel_obs::TraceBus::subscribe`). The debugger then consumes
+    /// records from every instrumented subsystem — detector detections and
+    /// flushes as well as scheduler firings — not just its own scheduler
+    /// callbacks.
+    pub fn attach_stream(&self, rx: Receiver<Arc<TraceRecord>>) {
+        *self.stream.lock() = Some(rx);
+    }
+
+    /// Drains all records currently buffered on the attached stream
+    /// (empty when no stream is attached).
+    pub fn drain_stream(&self) -> Vec<Arc<TraceRecord>> {
+        match self.stream.lock().as_ref() {
+            Some(rx) => rx.try_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains the attached stream and renders one line per record,
+    /// indented by the record's `depth` field where present.
+    pub fn render_stream(&self) -> String {
+        let mut out = String::new();
+        for rec in self.drain_stream() {
+            let depth = rec
+                .field("depth")
+                .and_then(|f| match f {
+                    sentinel_obs::Field::U64(d) => Some(*d as usize),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            let _ = writeln!(out, "{}{rec}", "  ".repeat(depth));
+        }
         out
     }
 
@@ -295,6 +333,26 @@ mod tests {
         assert!(dot.contains("\"ev:e4\" -> \"rule:R1\" [label=\"2\"]"));
         assert!(dot.contains("\"ev:e5\" -> \"rule:R2\" [label=\"1\"]"));
         assert!(dot.contains("\"rule:R1\" -> \"rule:R2\" [style=dashed, label=\"1\"]"));
+    }
+
+    #[test]
+    fn stream_attach_drain_and_render() {
+        use sentinel_obs::{Field, TraceBus};
+        let bus = TraceBus::new();
+        let d = RuleDebugger::new();
+        assert!(d.drain_stream().is_empty(), "no stream attached");
+        d.attach_stream(bus.subscribe());
+        bus.emit(
+            "scheduler",
+            "triggered",
+            vec![("rule", Field::from("R1")), ("depth", Field::U64(1))],
+        );
+        bus.emit("detector", "flush_txn", vec![("txn", Field::U64(7))]);
+        let rendered = d.render_stream();
+        assert!(rendered.contains("scheduler/triggered rule=R1 depth=1"));
+        assert!(rendered.contains("detector/flush_txn txn=7"));
+        assert!(rendered.starts_with("  ["), "depth=1 record is indented");
+        assert!(d.drain_stream().is_empty(), "render drained the stream");
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod scheduler;
 pub use debugger::{RuleDebugger, TraceEvent};
 pub use manager::RuleManager;
 pub use rule::{ActionFn, CondFn, Rule, RuleError, RuleId, RuleInvocation};
-pub use scheduler::{ExecutionMode, RuleScheduler, SavepointHooks};
+pub use scheduler::{ExecutionMode, RuleScheduler, SavepointHooks, SchedulerStats};

@@ -241,12 +241,8 @@ impl RuleManager {
 
     /// Snapshot of `(id, name, enabled)` for tooling.
     pub fn list(&self) -> Vec<(RuleId, Arc<str>, bool)> {
-        let mut out: Vec<_> = self
-            .rules
-            .read()
-            .values()
-            .map(|r| (r.id, r.name.clone(), r.enabled))
-            .collect();
+        let mut out: Vec<_> =
+            self.rules.read().values().map(|r| (r.id, r.name.clone(), r.enabled)).collect();
         out.sort_by_key(|(id, _, _)| *id);
         out
     }
@@ -359,12 +355,7 @@ mod tests {
         assert_eq!(dets.len(), 1);
         assert_eq!(dets[0].subscribers, vec![id.0]);
         assert_eq!(
-            dets[0]
-                .occurrence
-                .param_list()
-                .iter()
-                .filter(|p| &*p.event_name == "ev")
-                .count(),
+            dets[0].occurrence.param_list().iter().filter(|p| &*p.event_name == "ev").count(),
             2,
             "net-effect parameters of both triggerings"
         );
@@ -377,7 +368,8 @@ mod tests {
             .unwrap();
         let expr = parse_event_expr("ev ^ ev2").unwrap();
         let and = det.define_named("both", &expr).unwrap();
-        let id = noop_rule(&mgr, "R1", and, RuleOptions::default().context(ParamContext::Cumulative));
+        let id =
+            noop_rule(&mgr, "R1", and, RuleOptions::default().context(ParamContext::Cumulative));
         det.notify_method("C", "void f()", EventModifier::End, 1, Vec::new(), Some(1));
         let dets = det.notify_method("C", "void g()", EventModifier::End, 1, Vec::new(), Some(1));
         assert_eq!(dets.len(), 1);

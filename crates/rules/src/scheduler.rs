@@ -28,11 +28,13 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use sentinel_detector::{Detection, Occurrence};
+use sentinel_obs::{json, Counter, Field, Histogram, HistogramSnapshot, TraceBus};
 use sentinel_snoop::CouplingMode;
 use sentinel_txn::{NestedTxnManager, PriorityPool, SubTxnId};
 
@@ -89,6 +91,78 @@ pub struct SavepointHooks {
     pub rollback: Box<dyn Fn(u64, u64) + Send + Sync>,
 }
 
+/// Live counters for rule execution (see [`SchedulerStats`] for the
+/// snapshot form).
+#[derive(Debug, Default)]
+pub struct SchedulerMetrics {
+    /// Immediate-coupling rules dispatched for execution.
+    fired_immediate: Counter,
+    /// Deferred-coupling rules dispatched (they execute at pre-commit via
+    /// the A* rewrite, but keep their own count).
+    fired_deferred: Counter,
+    /// Detached-coupling rules queued for the detached executor.
+    queued_detached: Counter,
+    /// Rules dispatched per priority class.
+    per_priority: Mutex<BTreeMap<u32, u64>>,
+    /// Condition wall-time, ns.
+    condition_ns: Histogram,
+    /// Action wall-time, ns.
+    action_ns: Histogram,
+    /// Rule bodies that panicked (subtransaction aborted, execution
+    /// recovered).
+    panics: Counter,
+    /// Detections skipped (rule disabled, NOW-filtered, or its parent
+    /// transaction already finished).
+    skipped: Counter,
+}
+
+/// Plain-data snapshot of [`SchedulerMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Immediate-coupling rules dispatched.
+    pub fired_immediate: u64,
+    /// Deferred-coupling rules dispatched.
+    pub fired_deferred: u64,
+    /// Detached-coupling rules queued.
+    pub queued_detached: u64,
+    /// `(priority class, rules dispatched)`, ascending by class.
+    pub per_priority: Vec<(u32, u64)>,
+    /// Condition wall-time histogram.
+    pub condition: HistogramSnapshot,
+    /// Action wall-time histogram.
+    pub action: HistogramSnapshot,
+    /// Rule bodies that panicked.
+    pub panics: u64,
+    /// Detections skipped.
+    pub skipped: u64,
+}
+
+impl SchedulerStats {
+    /// Renders as a JSON object.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::obj([
+            (
+                "fired",
+                json::Value::obj([
+                    ("immediate", json::Value::UInt(self.fired_immediate)),
+                    ("deferred", json::Value::UInt(self.fired_deferred)),
+                    ("detached_queued", json::Value::UInt(self.queued_detached)),
+                ]),
+            ),
+            (
+                "per_priority",
+                json::Value::obj(
+                    self.per_priority.iter().map(|(p, n)| (p.to_string(), json::Value::UInt(*n))),
+                ),
+            ),
+            ("condition", self.condition.to_json()),
+            ("action", self.action.to_json()),
+            ("panics", json::Value::UInt(self.panics)),
+            ("skipped", json::Value::UInt(self.skipped)),
+        ])
+    }
+}
+
 /// The rule scheduler.
 pub struct RuleScheduler {
     manager: Arc<RuleManager>,
@@ -100,6 +174,9 @@ pub struct RuleScheduler {
     detached_tx: Sender<DetachedRequest>,
     detached_rx: Receiver<DetachedRequest>,
     savepoints: Mutex<Option<Arc<SavepointHooks>>>,
+    metrics: SchedulerMetrics,
+    /// Optional structured trace bus.
+    trace: Mutex<Option<Arc<TraceBus>>>,
 }
 
 impl RuleScheduler {
@@ -119,7 +196,37 @@ impl RuleScheduler {
             detached_tx,
             detached_rx,
             savepoints: Mutex::new(None),
+            metrics: SchedulerMetrics::default(),
+            trace: Mutex::new(None),
         })
+    }
+
+    /// Attaches a structured trace bus; rule triggering, condition/action
+    /// execution and panics are emitted while it has subscribers.
+    pub fn set_trace_bus(&self, bus: Arc<TraceBus>) {
+        *self.trace.lock() = Some(bus);
+    }
+
+    /// Emits a trace record; `fields` is only built when a bus with
+    /// subscribers is attached.
+    fn trace(&self, event: &'static str, fields: impl FnOnce() -> Vec<(&'static str, Field)>) {
+        if let Some(bus) = self.trace.lock().as_deref().filter(|b| b.is_active()) {
+            bus.emit("scheduler", event, fields());
+        }
+    }
+
+    /// Snapshot of scheduler statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            fired_immediate: self.metrics.fired_immediate.get(),
+            fired_deferred: self.metrics.fired_deferred.get(),
+            queued_detached: self.metrics.queued_detached.get(),
+            per_priority: self.metrics.per_priority.lock().iter().map(|(p, n)| (*p, *n)).collect(),
+            condition: self.metrics.condition_ns.snapshot(),
+            action: self.metrics.action_ns.snapshot(),
+            panics: self.metrics.panics.get(),
+            skipped: self.metrics.skipped.get(),
+        }
     }
 
     /// Installs savepoint hooks (subtransaction-level recovery): a failing
@@ -161,9 +268,7 @@ impl RuleScheduler {
         if detections.is_empty() {
             return;
         }
-        let frame = FRAME.with(|f| {
-            f.borrow().last().map(|fr| (fr.sub, fr.depth))
-        });
+        let frame = FRAME.with(|f| f.borrow().last().map(|fr| (fr.sub, fr.depth)));
         // Collect (rule, occurrence) pairs that survive the filters,
         // grouped by priority class (descending).
         let mut classes: BTreeMap<std::cmp::Reverse<u32>, Vec<(RuleId, Arc<Occurrence>)>> =
@@ -173,18 +278,13 @@ impl RuleScheduler {
             for sub in det.subscribers {
                 let rule_id = RuleId(sub);
                 let info = self.manager.with_rule(rule_id, |r| {
-                    (
-                        r.enabled,
-                        r.accepts(&det.occurrence),
-                        r.coupling,
-                        r.priority,
-                        r.name.clone(),
-                    )
+                    (r.enabled, r.accepts(&det.occurrence), r.coupling, r.priority, r.name.clone())
                 });
                 let Ok((enabled, accepts, coupling, priority, name)) = info else {
                     continue; // rule deleted concurrently
                 };
                 if !enabled {
+                    self.metrics.skipped.inc();
                     self.debugger.record(TraceEvent::Skipped {
                         rule: rule_id,
                         reason: "disabled",
@@ -193,6 +293,7 @@ impl RuleScheduler {
                     continue;
                 }
                 if !accepts {
+                    self.metrics.skipped.inc();
                     self.debugger.record(TraceEvent::Skipped {
                         rule: rule_id,
                         reason: "trigger mode NOW: pre-definition constituents",
@@ -203,11 +304,32 @@ impl RuleScheduler {
                 if coupling == CouplingMode::Detached {
                     // Queue for the detached executor; runs in its own
                     // top-level transaction.
-                    let _ = self
-                        .detached_tx
-                        .send(DetachedRequest { rule: rule_id, occurrence: det.occurrence.clone() });
+                    self.metrics.queued_detached.inc();
+                    self.trace("detached_queued", || {
+                        vec![
+                            ("rule", Field::Str(name.clone())),
+                            ("depth", Field::U64(u64::from(depth))),
+                        ]
+                    });
+                    let _ = self.detached_tx.send(DetachedRequest {
+                        rule: rule_id,
+                        occurrence: det.occurrence.clone(),
+                    });
                     continue;
                 }
+                match coupling {
+                    CouplingMode::Deferred => self.metrics.fired_deferred.inc(),
+                    _ => self.metrics.fired_immediate.inc(),
+                }
+                *self.metrics.per_priority.lock().entry(priority).or_default() += 1;
+                self.trace("triggered", || {
+                    vec![
+                        ("rule", Field::Str(name.clone())),
+                        ("event", Field::Str(det.occurrence.event_name.clone())),
+                        ("priority", Field::U64(u64::from(priority))),
+                        ("depth", Field::U64(u64::from(depth))),
+                    ]
+                });
                 self.debugger.record(TraceEvent::Triggered {
                     rule: rule_id,
                     rule_name: name,
@@ -231,11 +353,7 @@ impl RuleScheduler {
         let parent = match frame {
             Some((sub, _)) => sub,
             None => {
-                let txn = classes
-                    .values()
-                    .flatten()
-                    .find_map(|(_, occ)| occ.txn)
-                    .unwrap_or(NO_TXN);
+                let txn = classes.values().flatten().find_map(|(_, occ)| occ.txn).unwrap_or(NO_TXN);
                 self.root_for(txn)
             }
         };
@@ -280,6 +398,7 @@ impl RuleScheduler {
     ) {
         let Ok(sub) = self.nested.begin_sub(parent) else {
             // Parent already resolved (e.g. transaction ended while queued).
+            self.metrics.skipped.inc();
             self.debugger.record(TraceEvent::Skipped {
                 rule: rule_id,
                 reason: "parent transaction finished",
@@ -287,9 +406,10 @@ impl RuleScheduler {
             });
             return;
         };
-        let Ok((name, cond, action)) = self.manager.with_rule(rule_id, |r| {
-            (r.name.clone(), r.condition.clone(), r.action.clone())
-        }) else {
+        let Ok((name, cond, action)) = self
+            .manager
+            .with_rule(rule_id, |r| (r.name.clone(), r.condition.clone(), r.action.clone()))
+        else {
             let _ = self.nested.abort_sub(sub);
             return;
         };
@@ -304,20 +424,36 @@ impl RuleScheduler {
         FRAME.with(|f| f.borrow_mut().push(Frame { sub, depth }));
         let detector = self.manager.detector().clone();
         let hooks = self.savepoints.lock().clone();
-        let savepoint = hooks
-            .as_ref()
-            .zip(occurrence.txn)
-            .and_then(|(h, txn)| (h.mark)(txn).map(|m| (txn, m)));
+        let savepoint =
+            hooks.as_ref().zip(occurrence.txn).and_then(|(h, txn)| (h.mark)(txn).map(|m| (txn, m)));
+        let rule_name = invocation.rule_name.clone();
         let result = catch_unwind(AssertUnwindSafe(|| {
             // Conditions are side-effect free: suppress event signalling
             // while the condition runs (the paper's global flag).
             detector.set_signaling(false);
+            let started = Instant::now();
             let satisfied = (cond)(&invocation);
+            self.metrics.condition_ns.record_duration(started.elapsed());
             detector.set_signaling(true);
             self.debugger.record(TraceEvent::Condition { rule: rule_id, satisfied, depth });
+            self.trace("condition", || {
+                vec![
+                    ("rule", Field::Str(rule_name.clone())),
+                    ("satisfied", Field::Bool(satisfied)),
+                    ("depth", Field::U64(u64::from(depth))),
+                ]
+            });
             if satisfied {
+                let started = Instant::now();
                 (action)(&invocation);
+                self.metrics.action_ns.record_duration(started.elapsed());
                 self.debugger.record(TraceEvent::Action { rule: rule_id, depth });
+                self.trace("action", || {
+                    vec![
+                        ("rule", Field::Str(rule_name.clone())),
+                        ("depth", Field::U64(u64::from(depth))),
+                    ]
+                });
             }
         }));
         FRAME.with(|f| {
@@ -328,12 +464,19 @@ impl RuleScheduler {
                 let _ = self.nested.commit_sub(sub);
             }
             Err(_) => {
+                self.metrics.panics.inc();
                 detector.set_signaling(true);
                 let _ = self.nested.abort_sub(sub);
                 // Subtransaction-level recovery: undo the body's writes.
                 if let (Some(h), Some((txn, mark))) = (hooks.as_ref(), savepoint) {
                     (h.rollback)(txn, mark);
                 }
+                self.trace("panic", || {
+                    vec![
+                        ("rule", Field::Str(rule_name.clone())),
+                        ("depth", Field::U64(u64::from(depth))),
+                    ]
+                });
                 self.debugger.record(TraceEvent::Skipped {
                     rule: rule_id,
                     reason: "rule body panicked; subtransaction aborted",
@@ -389,9 +532,7 @@ mod tests {
 
     impl Fixture {
         fn signal(&self, sig: &str) {
-            let dets =
-                self.det
-                    .notify_method("C", sig, EventModifier::End, 1, Vec::new(), Some(1));
+            let dets = self.det.notify_method("C", sig, EventModifier::End, 1, Vec::new(), Some(1));
             self.sched.dispatch(dets);
         }
     }

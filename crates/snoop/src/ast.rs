@@ -84,8 +84,7 @@ impl MethodSig {
 
     /// Canonical signature text used as the detector's match key.
     pub fn canonical(&self) -> String {
-        let params: Vec<String> =
-            self.params.iter().map(|(t, n)| format!("{t} {n}")).collect();
+        let params: Vec<String> = self.params.iter().map(|(t, n)| format!("{t} {n}")).collect();
         format!("{} {}({})", self.ret, self.name, params.join(", "))
     }
 }
@@ -208,8 +207,7 @@ impl EventExpr {
                 inner.collect_refs(out);
                 end.collect_refs(out);
             }
-            EventExpr::Periodic { start, end, .. }
-            | EventExpr::PeriodicStar { start, end, .. } => {
+            EventExpr::Periodic { start, end, .. } | EventExpr::PeriodicStar { start, end, .. } => {
                 start.collect_refs(out);
                 end.collect_refs(out);
             }
@@ -235,8 +233,7 @@ impl EventExpr {
             | EventExpr::AperiodicStar { start, inner, end } => {
                 1 + start.operator_count() + inner.operator_count() + end.operator_count()
             }
-            EventExpr::Periodic { start, end, .. }
-            | EventExpr::PeriodicStar { start, end, .. } => {
+            EventExpr::Periodic { start, end, .. } | EventExpr::PeriodicStar { start, end, .. } => {
                 1 + start.operator_count() + end.operator_count()
             }
             EventExpr::Plus { inner, .. } => 1 + inner.operator_count(),

@@ -20,7 +20,9 @@
 use std::fmt;
 
 /// The four Snoop parameter contexts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum ParamContext {
     /// Most-recent pairing, non-consuming initiators.
     Recent,

@@ -245,7 +245,7 @@ mod tests {
     fn lexes_strings_and_comments() {
         let toks = lex(r#"event x("any_stk_price", "Stock") // trailing
             /* block */ rule"#)
-            .unwrap();
+        .unwrap();
         assert!(toks.contains(&Token::Str("any_stk_price".into())));
         assert_eq!(toks.last(), Some(&Token::Ident("rule".into())));
     }

@@ -381,10 +381,7 @@ mod tests {
         let e = p("a ^ b ^ c");
         assert_eq!(
             e,
-            E::And(
-                Box::new(E::And(Box::new(E::r("a")), Box::new(E::r("b")))),
-                Box::new(E::r("c")),
-            )
+            E::And(Box::new(E::And(Box::new(E::r("a")), Box::new(E::r("b")))), Box::new(E::r("c")),)
         );
     }
 
@@ -393,10 +390,7 @@ mod tests {
         let e = p("(a | b) ^ c");
         assert_eq!(
             e,
-            E::And(
-                Box::new(E::Or(Box::new(E::r("a")), Box::new(E::r("b")))),
-                Box::new(E::r("c")),
-            )
+            E::And(Box::new(E::Or(Box::new(E::r("a")), Box::new(E::r("b")))), Box::new(E::r("c")),)
         );
     }
 

@@ -33,7 +33,9 @@ use crate::parser::{parse_expr, Cursor, ParseError};
 
 /// When the condition–action pair runs relative to the triggering event
 /// (HiPAC's coupling modes, paper §2.2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum CouplingMode {
     /// At the event, inside the triggering transaction (default).
     #[default]
@@ -74,7 +76,9 @@ impl fmt::Display for CouplingMode {
 
 /// From which instant constituent event occurrences count for a new rule
 /// (paper §3.1 "rule trigger mode").
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum TriggerMode {
     /// Only occurrences from rule-definition time forward (default).
     #[default]
@@ -609,10 +613,7 @@ mod tests {
         let items = parse_spec(src).unwrap();
         assert_eq!(items.len(), 5);
         assert_eq!(items[0], SpecItem::ReactiveDecl("Stock".into()));
-        assert_eq!(
-            items[1],
-            SpecItem::InstanceDecl { class: "Stock".into(), name: "IBM".into() }
-        );
+        assert_eq!(items[1], SpecItem::InstanceDecl { class: "Stock".into(), name: "IBM".into() });
         let SpecItem::AppEvent(class_ev) = &items[2] else { panic!() };
         assert_eq!(class_ev.target, EventTarget::Class("Stock".into()));
         assert_eq!(class_ev.modifier, EventModifier::Begin);
@@ -626,8 +627,7 @@ mod tests {
 
     #[test]
     fn rule_options_in_any_order() {
-        let items =
-            parse_spec("rule R(e, c, a, NOW, 5, IMMEDIATE, RECENT);").unwrap();
+        let items = parse_spec("rule R(e, c, a, NOW, 5, IMMEDIATE, RECENT);").unwrap();
         let SpecItem::Rule(r) = &items[0] else { panic!() };
         assert_eq!(r.trigger, Some(TriggerMode::Now));
         assert_eq!(r.priority, Some(5));

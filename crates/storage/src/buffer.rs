@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use sentinel_obs::Counter;
 
 use crate::common::{PageId, StorageError, StorageResult};
 use crate::disk::DiskManager;
@@ -32,10 +33,50 @@ struct PoolState {
     tick: u64,
 }
 
+/// Live counters for one [`BufferPool`] (all relaxed atomics; reading them
+/// never blocks pool traffic).
+#[derive(Default)]
+pub struct BufferMetrics {
+    /// Fetches satisfied from a resident frame.
+    pub hits: Counter,
+    /// Fetches that had to go to disk.
+    pub misses: Counter,
+    /// Pages read from the disk manager.
+    pub page_reads: Counter,
+    /// Pages written back (eviction + flush paths).
+    pub page_writes: Counter,
+}
+
+/// Point-in-time snapshot of [`BufferMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Fetches satisfied from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to go to disk.
+    pub misses: u64,
+    /// Pages read from the disk manager.
+    pub page_reads: u64,
+    /// Pages written back (eviction + flush paths).
+    pub page_writes: u64,
+}
+
+impl BufferPoolStats {
+    /// Fraction of fetches served without touching disk (0.0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A fixed-capacity buffer pool over a [`DiskManager`].
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     state: Mutex<PoolState>,
+    metrics: BufferMetrics,
 }
 
 /// RAII pin on a buffered page. Read access via [`PageGuard::read`], write
@@ -62,12 +103,28 @@ impl BufferPool {
         BufferPool {
             disk,
             state: Mutex::new(PoolState { frames, table: HashMap::new(), tick: 0 }),
+            metrics: BufferMetrics::default(),
         }
     }
 
     /// The backing disk manager.
     pub fn disk(&self) -> &Arc<dyn DiskManager> {
         &self.disk
+    }
+
+    /// Live counters (hits, misses, page I/O).
+    pub fn metrics(&self) -> &BufferMetrics {
+        &self.metrics
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> BufferPoolStats {
+        BufferPoolStats {
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            page_reads: self.metrics.page_reads.get(),
+            page_writes: self.metrics.page_writes.get(),
+        }
     }
 
     /// Allocates a brand-new page on disk and pins it (zeroed).
@@ -81,8 +138,10 @@ impl BufferPool {
         let mut st = self.state.lock();
         if let Some(&idx) = st.table.get(&id) {
             st.frames[idx].pins += 1;
+            self.metrics.hits.inc();
             return Ok(PageGuard { pool: self, frame_idx: idx, page_id: id });
         }
+        self.metrics.misses.inc();
         let idx = self.find_victim(&mut st)?;
         // Evict current occupant if dirty.
         if let Some(old) = st.frames[idx].page_id {
@@ -91,12 +150,14 @@ impl BufferPool {
                 self.disk.write_page(old, &data)?;
                 drop(data);
                 st.frames[idx].dirty = false;
+                self.metrics.page_writes.inc();
             }
             st.table.remove(&old);
         }
         {
             let mut data = st.frames[idx].data.write();
             self.disk.read_page(id, &mut data)?;
+            self.metrics.page_reads.inc();
         }
         st.frames[idx].page_id = Some(id);
         st.frames[idx].pins = 1;
@@ -125,6 +186,7 @@ impl BufferPool {
             if st.frames[idx].dirty {
                 let data = st.frames[idx].data.read();
                 self.disk.write_page(id, &data)?;
+                self.metrics.page_writes.inc();
             }
         }
         Ok(())
@@ -139,6 +201,7 @@ impl BufferPool {
                 self.disk.write_page(id, &data)?;
                 drop(data);
                 f.dirty = false;
+                self.metrics.page_writes.inc();
             }
         }
         self.disk.sync()
@@ -248,6 +311,24 @@ mod tests {
         g1.write()[7] = 7;
         assert_eq!(g2.read()[7], 7);
         assert_eq!(pool.pinned_count(), 1);
+    }
+
+    #[test]
+    fn counters_track_hits_misses_and_writeback() {
+        let pool = pool(2);
+        let id = {
+            let g = pool.allocate().unwrap(); // miss + page_read
+            g.write()[0] = 1;
+            g.page_id()
+        };
+        drop(pool.fetch(id).unwrap()); // hit
+        pool.flush_all().unwrap(); // dirty page written back
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.page_reads, 1);
+        assert_eq!(s.page_writes, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(BufferPoolStats::default().hit_ratio(), 0.0);
     }
 
     #[test]

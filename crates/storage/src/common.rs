@@ -10,7 +10,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A page number inside a database file. Pages are [`crate::page::PAGE_SIZE`]
 /// bytes and are the unit of buffering and disk I/O.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct PageId(pub u32);
 
 impl PageId {
@@ -34,7 +36,9 @@ impl fmt::Display for PageId {
 ///
 /// This is what the OODB layer stores in its OID → location index (the
 /// "object translation" module of the Open OODB architecture in Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Rid {
     /// Page the record lives on.
     pub page: PageId,
@@ -69,7 +73,9 @@ impl fmt::Display for Rid {
 /// occurrences are stamped with so the detector can flush per-transaction
 /// state at commit/abort (paper §3.2.2, "events crossing transaction
 /// boundaries").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct TxnId(pub u64);
 
 impl fmt::Display for TxnId {
@@ -79,7 +85,9 @@ impl fmt::Display for TxnId {
 }
 
 /// Log sequence number: byte offset of a record in the write-ahead log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Lsn(pub u64);
 
 impl Lsn {

@@ -46,12 +46,8 @@ struct FileDiskInner {
 impl FileDisk {
     /// Opens (creating if necessary) the database file at `path`.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(StorageError::Corrupt("database file is not page-aligned"));
@@ -118,18 +114,14 @@ impl MemDisk {
 impl DiskManager for MemDisk {
     fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
         let pages = self.pages.lock();
-        let page = pages
-            .get(id.0 as usize)
-            .ok_or(StorageError::PageOutOfBounds(id))?;
+        let page = pages.get(id.0 as usize).ok_or(StorageError::PageOutOfBounds(id))?;
         buf.copy_from_slice(&page[..]);
         Ok(())
     }
 
     fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
         let mut pages = self.pages.lock();
-        let page = pages
-            .get_mut(id.0 as usize)
-            .ok_or(StorageError::PageOutOfBounds(id))?;
+        let page = pages.get_mut(id.0 as usize).ok_or(StorageError::PageOutOfBounds(id))?;
         page.copy_from_slice(buf);
         Ok(())
     }

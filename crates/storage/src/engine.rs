@@ -10,15 +10,51 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use sentinel_obs::json;
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, BufferPoolStats};
 use crate::common::{PageId, Rid, StorageResult, TxnId};
 use crate::disk::DiskManager;
 use crate::heap::HeapFile;
 use crate::lock::{LockManager, LockMode};
 use crate::recovery;
 use crate::txn::{TxnEvent, TxnManager, TxnObserver, UndoOp};
-use crate::wal::{LogRecord, LogStore, MemLogStore, Wal};
+use crate::wal::{LogRecord, LogStore, MemLogStore, Wal, WalStats};
+
+/// Combined storage-layer counters: WAL traffic + buffer-pool behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StorageStats {
+    /// WAL append/force counters.
+    pub wal: WalStats,
+    /// Buffer-pool hit/miss and page I/O counters.
+    pub buffer: BufferPoolStats,
+}
+
+impl StorageStats {
+    /// Serializes the snapshot as a JSON value.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::obj([
+            (
+                "wal",
+                json::Value::obj([
+                    ("appends", self.wal.appends.into()),
+                    ("forces", self.wal.forces.into()),
+                    ("bytes", self.wal.bytes.into()),
+                ]),
+            ),
+            (
+                "buffer",
+                json::Value::obj([
+                    ("hits", self.buffer.hits.into()),
+                    ("misses", self.buffer.misses.into()),
+                    ("page_reads", self.buffer.page_reads.into()),
+                    ("page_writes", self.buffer.page_writes.into()),
+                    ("hit_ratio", self.buffer.hit_ratio().into()),
+                ]),
+            ),
+        ])
+    }
+}
 
 /// Transactional storage engine (Exodus analogue).
 pub struct StorageEngine {
@@ -53,11 +89,8 @@ impl StorageEngine {
 
     /// An ephemeral in-memory engine (tests, benchmarks, examples).
     pub fn in_memory() -> Self {
-        Self::open(
-            Arc::new(crate::disk::MemDisk::new()),
-            Arc::new(MemLogStore::new()),
-        )
-        .expect("in-memory engine cannot fail to open")
+        Self::open(Arc::new(crate::disk::MemDisk::new()), Arc::new(MemLogStore::new()))
+            .expect("in-memory engine cannot fail to open")
     }
 
     /// Registers a transaction-event observer (the Sentinel event bridge).
@@ -144,11 +177,7 @@ impl StorageEngine {
             match op {
                 UndoOp::Insert(rid) => {
                     let before = self.heap.delete(rid)?;
-                    self.wal.append(&LogRecord::Delete {
-                        txn,
-                        rid,
-                        data: Bytes::from(before),
-                    })?;
+                    self.wal.append(&LogRecord::Delete { txn, rid, data: Bytes::from(before) })?;
                 }
                 UndoOp::Update(rid, before) => {
                     let current = self.heap.update(rid, &before)?;
@@ -161,11 +190,7 @@ impl StorageEngine {
                 }
                 UndoOp::Delete(rid, data) => {
                     self.heap.insert_at(rid, &data)?;
-                    self.wal.append(&LogRecord::Insert {
-                        txn,
-                        rid,
-                        data: Bytes::from(data),
-                    })?;
+                    self.wal.append(&LogRecord::Insert { txn, rid, data: Bytes::from(data) })?;
                 }
             }
         }
@@ -228,6 +253,16 @@ impl StorageEngine {
     pub fn wal(&self) -> &Wal {
         &self.wal
     }
+
+    /// The buffer pool (exposed for diagnostics and tests).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Snapshot of the storage-layer counters (WAL + buffer pool).
+    pub fn stats(&self) -> StorageStats {
+        StorageStats { wal: self.wal.stats(), buffer: self.pool.stats() }
+    }
 }
 
 #[cfg(test)]
@@ -239,7 +274,11 @@ mod tests {
     fn engine_with_handles() -> (Arc<MemDisk>, Arc<MemLogStore>, StorageEngine) {
         let disk = Arc::new(MemDisk::new());
         let log = Arc::new(MemLogStore::new());
-        let eng = StorageEngine::open(disk.clone() as Arc<dyn DiskManager>, log.clone() as Arc<dyn LogStore>).unwrap();
+        let eng = StorageEngine::open(
+            disk.clone() as Arc<dyn DiskManager>,
+            log.clone() as Arc<dyn LogStore>,
+        )
+        .unwrap();
         (disk, log, eng)
     }
 
@@ -301,6 +340,27 @@ mod tests {
     }
 
     #[test]
+    fn stats_reflect_wal_and_buffer_traffic() {
+        let eng = StorageEngine::in_memory();
+        let t = eng.begin().unwrap();
+        let rid = eng.insert(t, b"counted").unwrap();
+        eng.commit(t).unwrap();
+        let t2 = eng.begin().unwrap();
+        eng.read(t2, rid).unwrap();
+        eng.commit(t2).unwrap();
+
+        let s = eng.stats();
+        // begin + insert + commit + begin + commit = 5 records, 2 forced.
+        assert_eq!(s.wal.appends, 5);
+        assert_eq!(s.wal.forces, 2);
+        assert!(s.wal.bytes > 0);
+        assert!(s.buffer.hits + s.buffer.misses > 0);
+        let j = s.to_json();
+        assert_eq!(j.get("wal").and_then(|w| w.get("appends")).and_then(|v| v.as_u64()), Some(5));
+        assert!(j.to_string().contains("\"hit_ratio\":"));
+    }
+
+    #[test]
     fn work_on_committed_txn_is_rejected() {
         let eng = StorageEngine::in_memory();
         let t = eng.begin().unwrap();
@@ -343,10 +403,7 @@ mod tests {
         eng.add_txn_observer(rec.clone());
         let t = eng.begin().unwrap();
         eng.commit(t).unwrap();
-        assert_eq!(
-            *rec.0.lock(),
-            vec![TxnEvent::Begin, TxnEvent::PreCommit, TxnEvent::Commit]
-        );
+        assert_eq!(*rec.0.lock(), vec![TxnEvent::Begin, TxnEvent::PreCommit, TxnEvent::Commit]);
     }
 
     #[test]

@@ -31,11 +31,7 @@ impl HeapFile {
     /// Re-attaches a heap file whose pages are already on disk (after
     /// restart). `pages` must list the heap's pages in allocation order.
     pub fn attach(pool: Arc<BufferPool>, pages: Vec<PageId>) -> Self {
-        HeapFile {
-            pool,
-            candidates: Mutex::new(pages.clone()),
-            pages: Mutex::new(pages),
-        }
+        HeapFile { pool, candidates: Mutex::new(pages.clone()), pages: Mutex::new(pages) }
     }
 
     /// The pages belonging to this heap (persisted in the engine catalog).
@@ -105,9 +101,7 @@ impl HeapFile {
         // To avoid the copy we use a small unsafe-free trick: SlottedPage
         // only needs &mut for its mutating API, so provide a read path here.
         let page = ReadPage(&data[..]);
-        page.get(rid.slot)
-            .map(<[u8]>::to_vec)
-            .ok_or(StorageError::RecordNotFound(rid))
+        page.get(rid.slot).map(<[u8]>::to_vec).ok_or(StorageError::RecordNotFound(rid))
     }
 
     /// Rewrites the record at `rid`; returns the before image.
@@ -120,10 +114,8 @@ impl HeapFile {
         let guard = self.pool.fetch(rid.page)?;
         let mut data = guard.write();
         let mut page = SlottedPage::new(&mut data);
-        let before = page
-            .get(rid.slot)
-            .map(<[u8]>::to_vec)
-            .ok_or(StorageError::RecordNotFound(rid))?;
+        let before =
+            page.get(rid.slot).map(<[u8]>::to_vec).ok_or(StorageError::RecordNotFound(rid))?;
         page.update(rid.slot, record)?;
         Ok(before)
     }
@@ -133,10 +125,8 @@ impl HeapFile {
         let guard = self.pool.fetch(rid.page)?;
         let mut data = guard.write();
         let mut page = SlottedPage::new(&mut data);
-        let before = page
-            .get(rid.slot)
-            .map(<[u8]>::to_vec)
-            .ok_or(StorageError::RecordNotFound(rid))?;
+        let before =
+            page.get(rid.slot).map(<[u8]>::to_vec).ok_or(StorageError::RecordNotFound(rid))?;
         page.delete(rid.slot)?;
         let mut cands = self.candidates.lock();
         if !cands.contains(&rid.page) {
@@ -224,8 +214,7 @@ mod tests {
         let h = heap();
         let rec = vec![1u8; 512];
         let rids: Vec<_> = (0..64).map(|_| h.insert(&rec).unwrap()).collect();
-        let distinct_pages: std::collections::HashSet<_> =
-            rids.iter().map(|r| r.page).collect();
+        let distinct_pages: std::collections::HashSet<_> = rids.iter().map(|r| r.page).collect();
         assert!(distinct_pages.len() > 1, "should have used several pages");
         for rid in &rids {
             assert_eq!(h.get(*rid).unwrap().len(), 512);

@@ -38,4 +38,4 @@ pub mod txn;
 pub mod wal;
 
 pub use common::{Lsn, PageId, Rid, StorageError, StorageResult, TxnId};
-pub use engine::StorageEngine;
+pub use engine::{StorageEngine, StorageStats};

@@ -384,7 +384,8 @@ mod tests {
                 let txn = TxnId(i + 1);
                 // Lock resources in a fixed order to stay deadlock-free.
                 for r in 0..4u64 {
-                    let mode = if (i + r) % 3 == 0 { LockMode::Exclusive } else { LockMode::Shared };
+                    let mode =
+                        if (i + r) % 3 == 0 { LockMode::Exclusive } else { LockMode::Shared };
                     lm.lock(txn, r, mode).unwrap();
                 }
                 lm.release_all(txn);

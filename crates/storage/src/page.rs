@@ -236,9 +236,8 @@ impl<'a> SlottedPage<'a> {
 
     /// Compacts record data toward the page end, preserving slot numbers.
     fn compact(&mut self) {
-        let mut live: Vec<(u16, Vec<u8>)> = (0..self.num_slots())
-            .filter_map(|i| self.get(i).map(|r| (i, r.to_vec())))
-            .collect();
+        let mut live: Vec<(u16, Vec<u8>)> =
+            (0..self.num_slots()).filter_map(|i| self.get(i).map(|r| (i, r.to_vec()))).collect();
         // Rewrite from the page end downward.
         let mut free_end = PAGE_SIZE;
         // Place larger slots first is unnecessary; order doesn't matter.
@@ -333,10 +332,7 @@ mod tests {
         let mut page = SlottedPage::new(&mut buf);
         page.init();
         let huge = vec![0u8; MAX_RECORD_SIZE + 1];
-        assert!(matches!(
-            page.insert(&huge),
-            Err(StorageError::RecordTooLarge { .. })
-        ));
+        assert!(matches!(page.insert(&huge), Err(StorageError::RecordTooLarge { .. })));
     }
 
     #[test]

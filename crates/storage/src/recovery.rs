@@ -123,7 +123,9 @@ pub fn recover(wal: &Wal, heap: &HeapFile, txns: &TxnManager) -> StorageResult<R
             match rec {
                 LogRecord::Insert { rid, data, .. } => {
                     match heap.delete(*rid) {
-                        Ok(_) | Err(StorageError::RecordNotFound(_)) | Err(StorageError::Corrupt(_)) => {}
+                        Ok(_)
+                        | Err(StorageError::RecordNotFound(_))
+                        | Err(StorageError::Corrupt(_)) => {}
                         Err(e) => return Err(e),
                     }
                     wal.append(&LogRecord::Delete { txn: t, rid: *rid, data: data.clone() })?;
@@ -243,12 +245,20 @@ mod tests {
         let rid_a = Rid::new(PageId(0), 0);
         let rid_b = Rid::new(PageId(0), 1);
         wal.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
-        wal.append(&LogRecord::Insert { txn: TxnId(1), rid: rid_a, data: Bytes::from_static(b"a") })
-            .unwrap();
+        wal.append(&LogRecord::Insert {
+            txn: TxnId(1),
+            rid: rid_a,
+            data: Bytes::from_static(b"a"),
+        })
+        .unwrap();
         wal.append(&LogRecord::Commit { txn: TxnId(1) }).unwrap();
         wal.append(&LogRecord::Begin { txn: TxnId(2) }).unwrap();
-        wal.append(&LogRecord::Insert { txn: TxnId(2), rid: rid_b, data: Bytes::from_static(b"b") })
-            .unwrap();
+        wal.append(&LogRecord::Insert {
+            txn: TxnId(2),
+            rid: rid_b,
+            data: Bytes::from_static(b"b"),
+        })
+        .unwrap();
 
         let heap = fx.heap();
         recover(&wal, &heap, &TxnManager::new()).unwrap();
@@ -298,10 +308,18 @@ mod tests {
         let rid_b = Rid::new(PageId(0), 1);
         // Committed baseline.
         wal.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
-        wal.append(&LogRecord::Insert { txn: TxnId(1), rid: rid_a, data: Bytes::from_static(b"base") })
-            .unwrap();
-        wal.append(&LogRecord::Insert { txn: TxnId(1), rid: rid_b, data: Bytes::from_static(b"gone?") })
-            .unwrap();
+        wal.append(&LogRecord::Insert {
+            txn: TxnId(1),
+            rid: rid_a,
+            data: Bytes::from_static(b"base"),
+        })
+        .unwrap();
+        wal.append(&LogRecord::Insert {
+            txn: TxnId(1),
+            rid: rid_b,
+            data: Bytes::from_static(b"gone?"),
+        })
+        .unwrap();
         wal.append(&LogRecord::Commit { txn: TxnId(1) }).unwrap();
         // Loser mutates both.
         wal.append(&LogRecord::Begin { txn: TxnId(2) }).unwrap();
@@ -312,8 +330,12 @@ mod tests {
             after: Bytes::from_static(b"dirty"),
         })
         .unwrap();
-        wal.append(&LogRecord::Delete { txn: TxnId(2), rid: rid_b, data: Bytes::from_static(b"gone?") })
-            .unwrap();
+        wal.append(&LogRecord::Delete {
+            txn: TxnId(2),
+            rid: rid_b,
+            data: Bytes::from_static(b"gone?"),
+        })
+        .unwrap();
         let heap = fx.heap();
         recover(&wal, &heap, &TxnManager::new()).unwrap();
         assert_eq!(heap.get(rid_a).unwrap(), b"base");

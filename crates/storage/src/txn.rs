@@ -131,9 +131,8 @@ impl TxnManager {
     /// Records an undoable operation for `txn`.
     pub fn push_undo(&self, txn: TxnId, op: UndoOp) -> StorageResult<()> {
         let mut live = self.live.lock();
-        let info = live
-            .get_mut(&txn)
-            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        let info =
+            live.get_mut(&txn).ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
         if info.state != TxnState::Active {
             return Err(StorageError::InvalidTxnState(txn, "not active"));
         }
@@ -159,9 +158,8 @@ impl TxnManager {
     /// the engine fires the `pre-commit` event around this.
     pub fn prepare(&self, txn: TxnId) -> StorageResult<()> {
         let mut live = self.live.lock();
-        let info = live
-            .get_mut(&txn)
-            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        let info =
+            live.get_mut(&txn).ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
         if info.state != TxnState::Active {
             return Err(StorageError::InvalidTxnState(txn, "prepare of non-active"));
         }
@@ -172,9 +170,8 @@ impl TxnManager {
     /// Finalizes a commit; the undo chain is discarded.
     pub fn finish_commit(&self, txn: TxnId) -> StorageResult<()> {
         let mut live = self.live.lock();
-        let info = live
-            .get_mut(&txn)
-            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        let info =
+            live.get_mut(&txn).ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
         if !matches!(info.state, TxnState::Preparing) {
             return Err(StorageError::InvalidTxnState(txn, "commit without prepare"));
         }
@@ -188,9 +185,8 @@ impl TxnManager {
     /// taken when they started, leaving earlier work intact).
     pub fn undo_mark(&self, txn: TxnId) -> StorageResult<usize> {
         let live = self.live.lock();
-        let info = live
-            .get(&txn)
-            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        let info =
+            live.get(&txn).ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
         Ok(info.undo.len())
     }
 
@@ -198,9 +194,8 @@ impl TxnManager {
     /// finishing the transaction — partial rollback support.
     pub fn take_undo_suffix(&self, txn: TxnId, mark: usize) -> StorageResult<Vec<UndoOp>> {
         let mut live = self.live.lock();
-        let info = live
-            .get_mut(&txn)
-            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        let info =
+            live.get_mut(&txn).ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
         if info.state != TxnState::Active {
             return Err(StorageError::InvalidTxnState(txn, "not active"));
         }
@@ -215,9 +210,8 @@ impl TxnManager {
     /// Takes the undo chain (newest first) and marks the txn aborted.
     pub fn take_undo_for_abort(&self, txn: TxnId) -> StorageResult<Vec<UndoOp>> {
         let mut live = self.live.lock();
-        let info = live
-            .get_mut(&txn)
-            .ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
+        let info =
+            live.get_mut(&txn).ok_or(StorageError::InvalidTxnState(txn, "unknown transaction"))?;
         if matches!(info.state, TxnState::Committed | TxnState::Aborted) {
             return Err(StorageError::InvalidTxnState(txn, "abort of finished txn"));
         }

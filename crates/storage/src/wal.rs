@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
+use sentinel_obs::Counter;
 
 use crate::common::{crc32, Lsn, PageId, Rid, StorageError, StorageResult, TxnId};
 
@@ -340,17 +341,37 @@ impl LogStore for MemLogStore {
     }
 }
 
+/// Point-in-time snapshot of WAL traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (forced or not).
+    pub appends: u64,
+    /// Forces of the log to stable storage.
+    pub forces: u64,
+    /// Total framed bytes appended.
+    pub bytes: u64,
+}
+
 /// The write-ahead log: append + scan over a [`LogStore`].
 pub struct Wal {
     store: Arc<dyn LogStore>,
     /// Highest LSN whose bytes have been `sync`ed.
     flushed: Mutex<Lsn>,
+    appends: Counter,
+    forces: Counter,
+    bytes: Counter,
 }
 
 impl Wal {
     /// Wraps a log store.
     pub fn new(store: Arc<dyn LogStore>) -> Self {
-        Wal { store, flushed: Mutex::new(Lsn(0)) }
+        Wal {
+            store,
+            flushed: Mutex::new(Lsn(0)),
+            appends: Counter::new(),
+            forces: Counter::new(),
+            bytes: Counter::new(),
+        }
     }
 
     /// Appends a record, returning its LSN. Does **not** force.
@@ -362,6 +383,8 @@ impl Wal {
         framed.put_u32_le(crc32(&payload));
         framed.put_slice(&payload);
         let off = self.store.append(&framed)?;
+        self.appends.inc();
+        self.bytes.add(framed.len() as u64);
         Ok(Lsn(off))
     }
 
@@ -376,7 +399,13 @@ impl Wal {
     pub fn flush(&self) -> StorageResult<()> {
         self.store.sync()?;
         *self.flushed.lock() = Lsn(self.store.len()?);
+        self.forces.inc();
         Ok(())
+    }
+
+    /// Snapshot of the append/force counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats { appends: self.appends.get(), forces: self.forces.get(), bytes: self.bytes.get() }
     }
 
     /// Scans all intact records from the start; stops at the first torn or
@@ -386,14 +415,9 @@ impl Wal {
         let mut out = Vec::new();
         let mut pos = 0usize;
         while pos + 8 <= raw.len() {
-            let len = u32::from_le_bytes([raw[pos], raw[pos + 1], raw[pos + 2], raw[pos + 3]])
-                as usize;
-            let crc = u32::from_le_bytes([
-                raw[pos + 4],
-                raw[pos + 5],
-                raw[pos + 6],
-                raw[pos + 7],
-            ]);
+            let len =
+                u32::from_le_bytes([raw[pos], raw[pos + 1], raw[pos + 2], raw[pos + 3]]) as usize;
+            let crc = u32::from_le_bytes([raw[pos + 4], raw[pos + 5], raw[pos + 6], raw[pos + 7]]);
             if pos + 8 + len > raw.len() {
                 break; // torn tail
             }
@@ -442,11 +466,7 @@ mod tests {
                 data: Bytes::from_static(b"obj-b"),
             },
             LogRecord::Checkpoint { active: vec![TxnId(1), TxnId(2)] },
-            LogRecord::Clr {
-                txn: TxnId(2),
-                rid: Rid::new(PageId(9), 1),
-                undo_next: Lsn(17),
-            },
+            LogRecord::Clr { txn: TxnId(2), rid: Rid::new(PageId(9), 1), undo_next: Lsn(17) },
             LogRecord::Commit { txn: TxnId(1) },
             LogRecord::Abort { txn: TxnId(2) },
         ]
@@ -505,6 +525,17 @@ mod tests {
     #[test]
     fn empty_log_scans_empty() {
         assert!(wal().scan().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_count_appends_forces_and_bytes() {
+        let w = wal();
+        w.append(&LogRecord::Begin { txn: TxnId(1) }).unwrap();
+        w.append_forced(&LogRecord::Commit { txn: TxnId(1) }).unwrap();
+        let s = w.stats();
+        assert_eq!(s.appends, 2);
+        assert_eq!(s.forces, 1);
+        assert_eq!(s.bytes, w.store().len().unwrap());
     }
 
     #[test]

@@ -64,7 +64,12 @@ impl NestedLockManager {
         NestedLockManager { state: Mutex::new(State::default()), wakeup: Condvar::new(), timeout }
     }
 
-    fn grantable(res: &Res, holder: SubTxnId, ancestors: &HashSet<SubTxnId>, mode: LockMode) -> bool {
+    fn grantable(
+        res: &Res,
+        holder: SubTxnId,
+        ancestors: &HashSet<SubTxnId>,
+        mode: LockMode,
+    ) -> bool {
         res.holders.iter().all(|(h, m)| {
             if *h == holder || ancestors.contains(h) {
                 return true;

@@ -116,7 +116,13 @@ impl NestedTxnManager {
         let id = SubTxnId(self.next.fetch_add(1, Ordering::Relaxed));
         self.nodes.lock().insert(
             id,
-            SubInfo { parent: None, top, state: SubTxnState::Active, children: Vec::new(), depth: 0 },
+            SubInfo {
+                parent: None,
+                top,
+                state: SubTxnState::Active,
+                children: Vec::new(),
+                depth: 0,
+            },
         );
         id
     }

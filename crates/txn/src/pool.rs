@@ -37,9 +37,7 @@ impl PartialOrd for PrioritizedJob {
 impl Ord for PrioritizedJob {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap: higher priority first, then earlier submission.
-        self.priority
-            .cmp(&other.priority)
-            .then_with(|| other.seq.cmp(&self.seq))
+        self.priority.cmp(&other.priority).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -14,9 +14,9 @@ use std::sync::Arc;
 
 use sentinel_core::detector::graph::PrimTarget;
 use sentinel_core::detector::LocalEventDetector;
+use sentinel_core::detector::Value;
 use sentinel_core::snoop::ast::EventModifier;
 use sentinel_core::snoop::{parse_event_expr, ParamContext};
-use sentinel_core::detector::Value;
 
 const WITHDRAW: &str = "void withdraw(float amt)";
 const LOGIN: &str = "void login()";
@@ -24,8 +24,14 @@ const LOGIN: &str = "void login()";
 fn declare(det: &LocalEventDetector) {
     det.declare_primitive("login", "ACCT", EventModifier::End, LOGIN, PrimTarget::AnyInstance)
         .unwrap();
-    det.declare_primitive("withdraw", "ACCT", EventModifier::End, WITHDRAW, PrimTarget::AnyInstance)
-        .unwrap();
+    det.declare_primitive(
+        "withdraw",
+        "ACCT",
+        EventModifier::End,
+        WITHDRAW,
+        PrimTarget::AnyInstance,
+    )
+    .unwrap();
 }
 
 fn main() {
@@ -35,11 +41,8 @@ fn main() {
     let online = LocalEventDetector::new(1);
     declare(&online);
     // Live monitoring: large single withdrawal.
-    let big = online.define_named(
-        "big_withdrawal",
-        &parse_event_expr("withdraw").unwrap(),
-    )
-    .unwrap();
+    let big =
+        online.define_named("big_withdrawal", &parse_event_expr("withdraw").unwrap()).unwrap();
     online.subscribe(big, ParamContext::Recent, 1).unwrap();
     online.start_recording();
 
@@ -54,11 +57,8 @@ fn main() {
         (9, WITHDRAW, 5000.0),
     ];
     for (acct, sig, amt) in day {
-        let params = if sig == WITHDRAW {
-            vec![(Arc::from("amt"), Value::Float(amt))]
-        } else {
-            Vec::new()
-        };
+        let params =
+            if sig == WITHDRAW { vec![(Arc::from("amt"), Value::Float(amt))] } else { Vec::new() };
         let dets = online.notify_method("ACCT", sig, EventModifier::End, acct, params, Some(1));
         for d in dets {
             if d.occurrence.param("amt").and_then(|v| v.as_f64()).unwrap_or(0.0) > 1000.0 {
@@ -76,7 +76,11 @@ fn main() {
     std::fs::write(&log_path, sentinel_core::detector::log::encode_log(&log)).expect("write log");
     let stored = std::fs::read(&log_path).expect("read log");
     let log = sentinel_core::detector::log::decode_log(stored.into()).expect("decode log");
-    println!("[online] event log persisted to {} ({} bytes)\n", log_path.display(), std::fs::metadata(&log_path).map(|m| m.len()).unwrap_or(0));
+    println!(
+        "[online] event log persisted to {} ({} bytes)\n",
+        log_path.display(),
+        std::fs::metadata(&log_path).map(|m| m.len()).unwrap_or(0)
+    );
     let _ = std::fs::remove_file(&log_path);
 
     // --- batch phase ------------------------------------------------
@@ -111,11 +115,7 @@ fn main() {
         );
     }
     assert_eq!(matches.len(), 1, "exactly one salami pattern in the log");
-    assert_eq!(
-        matches[0].occurrence.param_list().len(),
-        4,
-        "login + three withdrawals"
-    );
+    assert_eq!(matches[0].occurrence.param_list().len(), 4, "login + three withdrawals");
 
     // --- determinism check: replay == replay ----------------------------
     let audit2 = LocalEventDetector::new(3);

@@ -49,8 +49,14 @@ fn ordering_app() -> Arc<Sentinel> {
             Ok(AttrValue::Null)
         }),
     );
-    s.declare_event("order_placed", "ORDER", EventModifier::End, PLACE_SIG, PrimTarget::AnyInstance)
-        .unwrap();
+    s.declare_event(
+        "order_placed",
+        "ORDER",
+        EventModifier::End,
+        PLACE_SIG,
+        PrimTarget::AnyInstance,
+    )
+    .unwrap();
     s
 }
 
@@ -74,8 +80,14 @@ fn warehouse_app() -> Arc<Sentinel> {
             Ok(AttrValue::Null)
         }),
     );
-    s.declare_event("stock_reported", "SHELF", EventModifier::End, STOCK_SIG, PrimTarget::AnyInstance)
-        .unwrap();
+    s.declare_event(
+        "stock_reported",
+        "SHELF",
+        EventModifier::End,
+        STOCK_SIG,
+        PrimTarget::AnyInstance,
+    )
+    .unwrap();
     s
 }
 
@@ -114,9 +126,7 @@ fn main() {
                 let qty = inv.occurrence.param("qty").and_then(|v| v.as_i64()).unwrap_or(0);
                 // Fresh top-level transaction (detached coupling).
                 let t = target.begin().unwrap();
-                let mut order = target
-                    .get_object(t, sentinel_core::oodb::Oid(order_oid))
-                    .unwrap();
+                let mut order = target.get_object(t, sentinel_core::oodb::Oid(order_oid)).unwrap();
                 order.set("fulfilled", true);
                 target.db().store().update(t, sentinel_core::oodb::Oid(order_oid), &order).unwrap();
                 target.commit(t).unwrap();
@@ -131,7 +141,10 @@ fn main() {
     let order = orders
         .create_object(
             t1,
-            &ObjectState::new("ORDER").with("item", "widget").with("qty", 0).with("fulfilled", false),
+            &ObjectState::new("ORDER")
+                .with("item", "widget")
+                .with("qty", 0)
+                .with("fulfilled", false),
         )
         .unwrap();
     orders.invoke(t1, order, PLACE_SIG, vec![("qty".into(), 12.into())]).unwrap();

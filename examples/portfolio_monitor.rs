@@ -66,8 +66,7 @@ fn main() {
     for explicit in ["price_drop", "session_open", "session_close"] {
         s.detector().declare_explicit(explicit);
     }
-    s.define_event("crash_watch", "(price_drop ; price_drop) ; price_drop")
-        .expect("crash_watch");
+    s.define_event("crash_watch", "(price_drop ; price_drop) ; price_drop").expect("crash_watch");
     s.define_event("quiet_session", "NOT(trade)[session_open, session_close]")
         .expect("quiet_session");
     s.define_event("volume_report", "A*(session_open, trade, session_close)")
@@ -128,8 +127,16 @@ fn main() {
                 .map(|p| {
                     format!(
                         "{}x@{}",
-                        p.params.iter().find(|(n, _)| &**n == "qty").map(|(_, v)| v.to_string()).unwrap_or_default(),
-                        p.params.iter().find(|(n, _)| &**n == "price").map(|(_, v)| v.to_string()).unwrap_or_default()
+                        p.params
+                            .iter()
+                            .find(|(n, _)| &**n == "qty")
+                            .map(|(_, v)| v.to_string())
+                            .unwrap_or_default(),
+                        p.params
+                            .iter()
+                            .find(|(n, _)| &**n == "price")
+                            .map(|(_, v)| v.to_string())
+                            .unwrap_or_default()
                     )
                 })
                 .collect();

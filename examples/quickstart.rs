@@ -95,9 +95,7 @@ fn main() {
     sentinel.db().register_method(
         "STOCK",
         "int get_price()",
-        Arc::new(|ctx| {
-            Ok(AttrValue::Int(ctx.get_attr("price")?.as_float().unwrap_or(0.0) as i64))
-        }),
+        Arc::new(|ctx| Ok(AttrValue::Int(ctx.get_attr("price")?.as_float().unwrap_or(0.0) as i64))),
     );
 
     // --- a transaction that triggers the rule ---------------------------
@@ -122,7 +120,10 @@ fn main() {
         .invoke(txn, ibm, "void set_price(float price)", vec![("price".into(), 140.5.into())])
         .expect("set_price");
     println!("  set price to 140.5 (raises e2 at begin, e3 at end; e4 = e1 ^ e2 detected)");
-    println!("  R1 fired so far: {} (DEFERRED: waits for pre-commit)", fired.load(Ordering::SeqCst));
+    println!(
+        "  R1 fired so far: {} (DEFERRED: waits for pre-commit)",
+        fired.load(Ordering::SeqCst)
+    );
 
     println!("--- Committing (pre-commit fires the deferred rule) ---");
     sentinel.commit(txn).expect("commit");
@@ -133,10 +134,22 @@ fn main() {
 
     let t = sentinel.begin().expect("begin");
     let state = sentinel.get_object(t, ibm).expect("read IBM");
-    println!("\nFinal IBM state: price={}, holdings={}",
+    println!(
+        "\nFinal IBM state: price={}, holdings={}",
         state.get("price").unwrap(),
-        state.get("holdings").unwrap());
+        state.get("holdings").unwrap()
+    );
     sentinel.commit(t).expect("commit");
     assert_eq!(fired.load(Ordering::SeqCst), 1, "deferred rule must fire exactly once");
     println!("\nOK: deferred rule fired exactly once with net-effect parameters.");
+
+    let stats = sentinel.stats();
+    println!("\n--- Observability snapshot (Sentinel::stats) ---");
+    println!("{stats}");
+    assert!(stats.detector.signals > 0, "detector saw primitive signals");
+    assert!(
+        stats.scheduler.fired_immediate + stats.scheduler.fired_deferred > 0,
+        "scheduler fired rules"
+    );
+    assert!(stats.storage.wal.appends > 0, "storage logged WAL records");
 }

@@ -81,10 +81,8 @@ fn main() {
                 let params: Vec<(Arc<str>, Value)> = parts
                     .filter_map(|kv| kv.split_once('='))
                     .map(|(k, v)| {
-                        let val = v
-                            .parse::<f64>()
-                            .map(Value::Float)
-                            .unwrap_or_else(|_| Value::str(v));
+                        let val =
+                            v.parse::<f64>().map(Value::Float).unwrap_or_else(|_| Value::str(v));
                         (Arc::from(k), val)
                     })
                     .collect();
@@ -105,7 +103,10 @@ fn main() {
             }
             "rules" => {
                 for (id, name, enabled) in s.rules().list() {
-                    println!("      {id} {name} [{}]", if enabled { "enabled" } else { "disabled" });
+                    println!(
+                        "      {id} {name} [{}]",
+                        if enabled { "enabled" } else { "disabled" }
+                    );
                 }
             }
             "trace" => {
@@ -113,7 +114,10 @@ fn main() {
             }
             "graph" => {
                 let dot = s.detector().to_dot();
-                println!("      (event graph: {} DOT lines, try piping to `dot -Tsvg`)", dot.lines().count());
+                println!(
+                    "      (event graph: {} DOT lines, try piping to `dot -Tsvg`)",
+                    dot.lines().count()
+                );
             }
             other => println!("      unknown command `{other}`"),
         }

@@ -84,9 +84,7 @@ fn main() {
         Arc::new(move |inv| {
             o.lock().push("normal_nester".into());
             let txn = sentinel_core::storage::TxnId(inv.txn.unwrap());
-            let oid = sentinel_core::oodb::Oid(
-                inv.occurrence.param_list()[0].source.unwrap(),
-            );
+            let oid = sentinel_core::oodb::Oid(inv.occurrence.param_list()[0].source.unwrap());
             // Raising an event from inside an action: nested triggering.
             s2.invoke(txn, oid, PONG, vec![]).unwrap();
         }),
@@ -117,8 +115,10 @@ fn main() {
 
     let order = order.lock().clone();
     println!("execution order: {order:?}");
-    println!("peak concurrency inside one priority class: {}",
-        concurrent_peak.load(Ordering::SeqCst));
+    println!(
+        "peak concurrency inside one priority class: {}",
+        concurrent_peak.load(Ordering::SeqCst)
+    );
 
     // Assertions: urgents strictly first, low strictly last, nested before low.
     let pos = |n: &str| order.iter().position(|x| x.starts_with(n)).unwrap();

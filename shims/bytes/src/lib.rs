@@ -1,0 +1,496 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! `Bytes` is a cheaply-cloneable immutable byte buffer (`Arc<[u8]>` plus a
+//! view range); `BytesMut` is a growable builder that freezes into `Bytes`.
+//! The `Buf`/`BufMut` traits carry the big-endian and little-endian integer
+//! accessors Sentinel's WAL and event-log codecs use.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+/// Immutable, cheaply-cloneable view into a reference-counted byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
+    }
+
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(slice)
+    }
+
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes { data: Arc::from(slice), start: 0, end: slice.len() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes { data: self.data.clone(), start: self.start, end: self.start + at };
+        self.start += at;
+        head
+    }
+
+    /// Splits off and returns everything from `at` on; `self` keeps the head.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes { data: self.data.clone(), start: self.start + at, end: self.end };
+        self.end = self.start + at;
+        tail
+    }
+
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes { data: self.data.clone(), start: self.start + lo, end: self.start + hi }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes { data: Arc::from(v.into_boxed_slice()), start: 0, end: len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BytesMut
+// ---------------------------------------------------------------------------
+
+/// Growable byte buffer; freeze it into an immutable `Bytes`.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.buf.extend_from_slice(slice);
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let tail = self.buf.split_off(at);
+        BytesMut { buf: std::mem::replace(&mut self.buf, tail) }
+    }
+
+    /// Splits off and returns everything from `at` on; `self` keeps the head.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_off out of bounds");
+        BytesMut { buf: self.buf.split_off(at) }
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { buf: v }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(&self.buf), f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Buf / BufMut
+// ---------------------------------------------------------------------------
+
+macro_rules! buf_get_impl {
+    ($name:ident, $name_le:ident, $ty:ty) => {
+        fn $name(&mut self) -> $ty {
+            let mut raw = [0u8; std::mem::size_of::<$ty>()];
+            self.copy_to_slice(&mut raw);
+            <$ty>::from_be_bytes(raw)
+        }
+        fn $name_le(&mut self) -> $ty {
+            let mut raw = [0u8; std::mem::size_of::<$ty>()];
+            self.copy_to_slice(&mut raw);
+            <$ty>::from_le_bytes(raw)
+        }
+    };
+}
+
+/// Read side: a cursor over a contiguous byte region.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    buf_get_impl!(get_u16, get_u16_le, u16);
+    buf_get_impl!(get_u32, get_u32_le, u32);
+    buf_get_impl!(get_u64, get_u64_le, u64);
+    buf_get_impl!(get_u128, get_u128_le, u128);
+    buf_get_impl!(get_i16, get_i16_le, i16);
+    buf_get_impl!(get_i32, get_i32_le, i32);
+    buf_get_impl!(get_i64, get_i64_le, i64);
+    buf_get_impl!(get_f32, get_f32_le, f32);
+    buf_get_impl!(get_f64, get_f64_le, f64);
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+macro_rules! buf_put_impl {
+    ($name:ident, $name_le:ident, $ty:ty) => {
+        fn $name(&mut self, v: $ty) {
+            self.put_slice(&v.to_be_bytes());
+        }
+        fn $name_le(&mut self, v: $ty) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+/// Write side: append-only byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    buf_put_impl!(put_u16, put_u16_le, u16);
+    buf_put_impl!(put_u32, put_u32_le, u32);
+    buf_put_impl!(put_u64, put_u64_le, u64);
+    buf_put_impl!(put_u128, put_u128_le, u128);
+    buf_put_impl!(put_i16, put_i16_le, i16);
+    buf_put_impl!(put_i32, put_i32_le, i32);
+    buf_put_impl!(put_i64, put_i64_le, i64);
+    buf_put_impl!(put_f32, put_f32_le, f32);
+    buf_put_impl!(put_f64, put_f64_le, f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ints() {
+        let mut out = BytesMut::new();
+        out.put_u8(7);
+        out.put_u32_le(0xdead_beef);
+        out.put_u64_le(42);
+        out.put_i64_le(-5);
+        out.put_f64_le(1.5);
+        out.put_u16(0x0102);
+        let mut b = out.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(b.get_i64_le(), -5);
+        assert_eq!(b.get_f64_le(), 1.5);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn split_views_share_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        let tail = b.split_off(1);
+        assert_eq!(&b[..], &[3]);
+        assert_eq!(&tail[..], &[4, 5]);
+    }
+
+    #[test]
+    fn bytes_mut_split() {
+        let mut m = BytesMut::from(&b"hello world"[..]);
+        let head = m.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&m[..], b" world");
+    }
+
+    #[test]
+    fn equality_and_static() {
+        let b = Bytes::from_static(b"abc");
+        assert_eq!(b, Bytes::from(vec![b'a', b'b', b'c']));
+        assert_eq!(b, *b"abc");
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 3);
+    }
+}

@@ -1,0 +1,627 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the strategy combinators and macros Sentinel's property tests
+//! use: `proptest!`, `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`,
+//! `Strategy::{prop_map, prop_recursive}`, regex-literal string strategies,
+//! integer-range and tuple strategies, `prop::collection::vec`,
+//! `prop::sample::{select, Index}`, `any::<T>()`, and `Just`.
+//!
+//! Differences from real proptest: no shrinking (failures report the raw
+//! generated inputs), and generation is seeded deterministically per test
+//! name so failures reproduce across runs.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator used to drive strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Seed derived from a test's name, so each test has a stable stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seeded(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of one type.
+    pub trait Strategy: Sized {
+        type Value: Debug + 'static;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Send + Sync + 'static,
+        {
+            BoxedStrategy { gen: Arc::new(move |rng| self.gen_value(rng)) }
+        }
+
+        fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Send + Sync + 'static,
+            O: Debug + 'static,
+            F: Fn(Self::Value) -> O + Send + Sync + 'static,
+        {
+            BoxedStrategy { gen: Arc::new(move |rng| f(self.gen_value(rng))) }
+        }
+
+        /// Bounded-depth recursive strategy: each of `depth` layers either
+        /// recurses (via `recurse`) or falls back to the base strategy.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Send + Sync + 'static,
+            R: Strategy<Value = Self::Value> + Send + Sync + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                let base = leaf.clone();
+                strat = BoxedStrategy {
+                    gen: Arc::new(move |rng: &mut TestRng| {
+                        if rng.chance(2, 3) {
+                            deeper.gen_value(rng)
+                        } else {
+                            base.gen_value(rng)
+                        }
+                    }),
+                };
+            }
+            strat
+        }
+    }
+
+    /// Type-erased, cheaply-cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Arc<dyn Fn(&mut TestRng) -> T + Send + Sync>,
+    }
+
+    impl<T: Debug + 'static> BoxedStrategy<T> {
+        pub(crate) fn from_fn(
+            f: impl Fn(&mut TestRng) -> T + Send + Sync + 'static,
+        ) -> BoxedStrategy<T> {
+            BoxedStrategy { gen: Arc::new(f) }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { gen: self.gen.clone() }
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T: Debug + 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (`prop_oneof!` backend).
+    pub fn one_of<T: Debug + 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy {
+            gen: Arc::new(move |rng: &mut TestRng| {
+                let i = rng.below(arms.len() as u64) as usize;
+                arms[i].gen_value(rng)
+            }),
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // Integer range strategies.
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Tuple strategies.
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// String strategies from regex literals (subset: char classes,
+    /// literals, `{n}` / `{m,n}` quantifiers).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            gen_from_regex(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            gen_from_regex(self, rng)
+        }
+    }
+
+    fn gen_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Atom: char class or literal.
+            let class: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed char class in `{pattern}`"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).expect("valid char range"));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 2;
+                vec![chars[i - 1]]
+            } else {
+                i += 1;
+                vec![chars[i - 1]]
+            };
+            // Quantifier: {n} or {m,n}; default exactly once.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed quantifier in `{pattern}`"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("quantifier lower bound"),
+                        n.trim().parse::<usize>().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(class[rng.below(class.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+pub mod arbitrary {
+    use super::strategy::BoxedStrategy;
+    use super::*;
+
+    pub trait Arbitrary: Debug + Sized + 'static {
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary_with(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            super::sample::Index(rng.next_u64() as usize)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        BoxedStrategy::from_fn(T::arbitrary_with)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop::collection / prop::sample
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::strategy::{BoxedStrategy, Strategy};
+    use super::*;
+
+    /// `Vec` strategy with length drawn from `len`.
+    pub fn vec<S>(element: S, len: std::ops::Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + Send + Sync + 'static,
+    {
+        assert!(len.start < len.end, "empty length range");
+        let (lo, hi) = (len.start, len.end);
+        let element = Arc::new(element);
+        BoxedStrategy::from_fn(move |rng| {
+            let n = lo + rng.below((hi - lo) as u64) as usize;
+            (0..n).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+}
+
+pub mod sample {
+    use super::strategy::BoxedStrategy;
+    use super::*;
+
+    /// Opaque index resolvable against any collection length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    /// Uniform choice from a fixed slice of values.
+    pub fn select<T: Clone + Debug + Send + Sync + 'static>(options: &[T]) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select from empty slice");
+        let options: Vec<T> = options.to_vec();
+        BoxedStrategy::from_fn(move |rng| options[rng.below(options.len() as u64) as usize].clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+pub mod test_runner {
+    /// Error raised by `prop_assert!` family; aborts the current case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+        // Reject is accepted for API compatibility; the shim treats it as failure.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration; only `cases` is meaningful in the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::gen_value(&$strat, &mut rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let inputs = (|| -> ::std::string::String {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));
+                        )+
+                        s
+                    })();
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(let $arg = $arg;)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}:\n{}\ninputs:\n{}",
+                            stringify!($name), case + 1, cfg.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Prelude
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// `prop::` namespace as re-exported by the real prelude.
+    pub mod prop {
+        pub use crate::{collection, sample, strategy};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u8..9, y in 10u64..1000) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..1000).contains(&y));
+        }
+
+        #[test]
+        fn regex_strings_match_shape(s in "[a-z][a-z0-9_]{0,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 7);
+            let first = s.chars().next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_select(x in prop_oneof![0u8..1, 5u8..6], c in prop::sample::select(&[10u8, 20, 30][..])) {
+            prop_assert!(x == 0 || x == 5);
+            prop_assert!(c == 10 || c == 20 || c == 30);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+        #[test]
+        fn config_cases_respected(_x in 0u8..2) {
+            // Runs exactly 3 cases; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        use crate::strategy::Strategy;
+        let leaf = (0u32..10).prop_map(|n| n.to_string());
+        let strat = leaf.prop_recursive(4, 32, 4, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = crate::TestRng::seeded(1);
+        for _ in 0..50 {
+            let s = strat.gen_value(&mut rng);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn index_resolves() {
+        use crate::arbitrary::Arbitrary;
+        let mut rng = crate::TestRng::seeded(2);
+        for _ in 0..100 {
+            let idx = crate::sample::Index::arbitrary_with(&mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Provides a small, fast xorshift64* generator behind a rand-0.8-shaped
+//! API (`thread_rng`, `Rng::gen_range`, `SeedableRng`). Not cryptographic;
+//! fine for workload generation and tests.
+
+use std::cell::RefCell;
+use std::ops::Range;
+
+/// Subset of rand's `Rng` trait.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+/// Types uniformly sampleable from a half-open range.
+pub trait SampleUniform: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add((rng.next_u64() % span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($ty:ty => $uty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as $uty).wrapping_sub(range.start as $uty) as u64;
+                range.start.wrapping_add((rng.next_u64() % span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Types generable by `Rng::gen()`.
+pub trait Standard: Sized {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty),*) => {$(
+        impl Standard for $ty {
+            fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// xorshift64* PRNG.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    pub fn new(seed: u64) -> Self {
+        StdRng { state: seed | 1 }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Subset of rand's `SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng::new(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+pub mod rngs {
+    pub use super::StdRng;
+
+    /// Handle to the thread-local generator.
+    pub struct ThreadRng;
+
+    impl super::Rng for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            super::THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_RNG: RefCell<StdRng> = RefCell::new(StdRng::new({
+        // Derive a per-thread seed without any external entropy source.
+        let addr = &THREAD_RNG as *const _ as u64;
+        addr ^ 0xA076_1D64_78BD_642F
+    }));
+}
+
+/// Thread-local generator, rand-compatible entry point.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{thread_rng, Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn thread_rng_works() {
+        let mut r = thread_rng();
+        let x = r.gen_range(0usize..10);
+        assert!(x < 10);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Sentinel only uses serde for `#[derive(serde::Serialize, serde::Deserialize)]`
+//! annotations; nothing in the tree serializes through serde at runtime (the
+//! WAL and event log use hand-rolled codecs, and the observability layer has
+//! its own JSON writer). This proc-macro crate accepts the derive positions
+//! and expands to nothing, so the annotations stay source-compatible with the
+//! real crate while building fully offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

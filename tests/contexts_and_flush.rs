@@ -96,7 +96,7 @@ fn abort_flush_prevents_phantom_parameters() {
     // Transaction 1 raises `a` (via class CA == C here), then aborts.
     d.notify_method("C", SIG, EventModifier::End, 1, Vec::new(), Some(1));
     d.flush_txn(1); // what the abort rule does
-    // Transaction 2 raises `b`.
+                    // Transaction 2 raises `b`.
     let dets = d.notify_method("C", SIG, EventModifier::End, 1, Vec::new(), Some(2));
     assert!(
         dets.iter().all(|x| x.event != seq),
@@ -116,7 +116,8 @@ fn selective_and_full_flush() {
     // call feeds both leaves.)
     fire(&d, "a", 1);
     // Selective: flush only seq_a's subtree — seq_b keeps its initiator…
-    d.flush_event(seq_a);
+    d.flush_event(seq_a).unwrap();
+    assert!(d.flush_event(sentinel_core::detector::EventId(u32::MAX)).is_err());
     let dets = fire(&d, "a", 1);
     assert!(dets.iter().any(|x| x.event == seq_b), "xb unaffected by selective flush");
     assert!(dets.iter().all(|x| x.event != seq_a), "xa state was flushed");

@@ -63,18 +63,23 @@ fn full_stack_with_durability() {
     let ibm_oid;
     {
         let engine = Arc::new(
-            StorageEngine::open(disk.clone() as Arc<dyn DiskManager>, log.clone() as Arc<dyn LogStore>)
-                .unwrap(),
+            StorageEngine::open(
+                disk.clone() as Arc<dyn DiskManager>,
+                log.clone() as Arc<dyn LogStore>,
+            )
+            .unwrap(),
         );
         let s = Sentinel::open(engine, SentinelConfig::default()).unwrap();
         s.debugger().set_enabled(true);
 
         // Pre-processor (minus the bogus instance line).
-        let spec = STOCK_SPEC.lines().filter(|l| !l.contains("ignored")).collect::<Vec<_>>().join("\n");
+        let spec =
+            STOCK_SPEC.lines().filter(|l| !l.contains("ignored")).collect::<Vec<_>>().join("\n");
         let f = fired.clone();
-        let table = FunctionTable::new().condition("cond1", |_| true).action("action1", move |_| {
-            f.fetch_add(1, Ordering::SeqCst);
-        });
+        let table =
+            FunctionTable::new().condition("cond1", |_| true).action("action1", move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            });
         let t = s.begin().unwrap();
         Preprocessor::new(&s).apply(t, &spec, &table).unwrap();
         s.commit(t).unwrap();
@@ -83,12 +88,7 @@ fn full_stack_with_durability() {
         // Name manager: bind IBM.
         let t = s.begin().unwrap();
         ibm_oid = s
-            .create_object(
-                t,
-                &ObjectState::new("STOCK")
-                    .with("price", 150.0)
-                    .with("holdings", 10),
-            )
+            .create_object(t, &ObjectState::new("STOCK").with("price", 150.0).with("holdings", 10))
             .unwrap();
         s.db().names().bind(t, "IBM", ibm_oid).unwrap();
 

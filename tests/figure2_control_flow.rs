@@ -29,10 +29,7 @@ fn app(app_id: u32) -> Arc<Sentinel> {
     let s = Sentinel::in_memory_with(SentinelConfig { app_id, ..SentinelConfig::default() });
     s.db()
         .register_class(
-            ClassDef::new("CLOCKED")
-                .extends("REACTIVE")
-                .attr("n", AttrType::Int)
-                .method(TICK_SIG),
+            ClassDef::new("CLOCKED").extends("REACTIVE").attr("n", AttrType::Int).method(TICK_SIG),
         )
         .unwrap();
     s.db().register_method(
@@ -192,12 +189,7 @@ fn nested_rule_events_reach_the_detector_like_top_level_ones() {
             d.lock().push(inv.depth);
             if inv.depth < 3 {
                 // Raise the same event from within the action.
-                s2.raise(
-                    inv.txn.map(sentinel_core::storage::TxnId),
-                    "chain",
-                    Vec::new(),
-                )
-                .unwrap();
+                s2.raise(inv.txn.map(sentinel_core::storage::TxnId), "chain", Vec::new()).unwrap();
             }
         }),
         RuleOptions::default(),

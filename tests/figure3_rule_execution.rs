@@ -29,7 +29,9 @@ fn system(workers: usize) -> Arc<Sentinel> {
         ..SentinelConfig::default()
     });
     s.db()
-        .register_class(ClassDef::new("JOB").extends("REACTIVE").attr("x", AttrType::Int).method(GO))
+        .register_class(
+            ClassDef::new("JOB").extends("REACTIVE").attr("x", AttrType::Int).method(GO),
+        )
         .unwrap();
     s.db().register_method("JOB", GO, Arc::new(|_| Ok(AttrValue::Null)));
     s.declare_event("go", "JOB", EventModifier::End, GO, PrimTarget::AnyInstance).unwrap();

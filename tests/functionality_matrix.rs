@@ -65,15 +65,17 @@ fn stock_system(mode: ExecutionMode) -> Arc<Sentinel> {
     s.declare_event("e1", "STOCK", EventModifier::End, SELL, PrimTarget::AnyInstance).unwrap();
     s.declare_event("e2", "STOCK", EventModifier::Begin, SET_PRICE, PrimTarget::AnyInstance)
         .unwrap();
-    s.declare_event("e3", "STOCK", EventModifier::End, SET_PRICE, PrimTarget::AnyInstance)
-        .unwrap();
+    s.declare_event("e3", "STOCK", EventModifier::End, SET_PRICE, PrimTarget::AnyInstance).unwrap();
     s
 }
 
 fn new_stock(s: &Sentinel, txn: TxnId, symbol: &str) -> Oid {
     s.create_object(
         txn,
-        &ObjectState::new("STOCK").with("symbol", symbol).with("price", 100.0).with("holdings", 100),
+        &ObjectState::new("STOCK")
+            .with("symbol", symbol)
+            .with("price", 100.0)
+            .with("holdings", 100),
     )
     .unwrap()
 }
@@ -86,10 +88,26 @@ fn i_primitive_event_detection() {
     let begin_count = Arc::new(AtomicUsize::new(0));
     let end_count = Arc::new(AtomicUsize::new(0));
     let (b, e) = (begin_count.clone(), end_count.clone());
-    s.define_rule("on_begin", "e2", Arc::new(|_| true), Arc::new(move |_| { b.fetch_add(1, Ordering::SeqCst); }), RuleOptions::default())
-        .unwrap();
-    s.define_rule("on_end", "e3", Arc::new(|_| true), Arc::new(move |_| { e.fetch_add(1, Ordering::SeqCst); }), RuleOptions::default())
-        .unwrap();
+    s.define_rule(
+        "on_begin",
+        "e2",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            b.fetch_add(1, Ordering::SeqCst);
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
+    s.define_rule(
+        "on_end",
+        "e3",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            e.fetch_add(1, Ordering::SeqCst);
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
     let t = s.begin().unwrap();
     let ibm = new_stock(&s, t, "IBM");
     s.invoke(t, ibm, SET_PRICE, vec![("price".into(), 1.0.into())]).unwrap();
@@ -102,10 +120,24 @@ fn i_primitive_event_detection() {
     let dec = new_stock(&s, t, "DEC");
     let inst = Arc::new(AtomicUsize::new(0));
     let i2 = inst.clone();
-    s.declare_event("dec_only", "STOCK", EventModifier::End, SET_PRICE, PrimTarget::Instance(dec.0))
-        .unwrap();
-    s.define_rule("dec_rule", "dec_only", Arc::new(|_| true), Arc::new(move |_| { i2.fetch_add(1, Ordering::SeqCst); }), RuleOptions::default())
-        .unwrap();
+    s.declare_event(
+        "dec_only",
+        "STOCK",
+        EventModifier::End,
+        SET_PRICE,
+        PrimTarget::Instance(dec.0),
+    )
+    .unwrap();
+    s.define_rule(
+        "dec_rule",
+        "dec_only",
+        Arc::new(|_| true),
+        Arc::new(move |_| {
+            i2.fetch_add(1, Ordering::SeqCst);
+        }),
+        RuleOptions::default(),
+    )
+    .unwrap();
     s.invoke(t, ibm, SET_PRICE, vec![("price".into(), 2.0.into())]).unwrap();
     assert_eq!(inst.load(Ordering::SeqCst), 0, "IBM must not fire DEC's instance event");
     s.invoke(t, dec, SET_PRICE, vec![("price".into(), 2.0.into())]).unwrap();
@@ -128,8 +160,14 @@ fn ii_composite_event_detection() {
     ] {
         s.define_event(event_name, expr).unwrap();
         let f = fired.clone();
-        s.define_rule(rule, event_name, Arc::new(|_| true), Arc::new(move |_| f.lock().push(rule)), RuleOptions::default())
-            .unwrap();
+        s.define_rule(
+            rule,
+            event_name,
+            Arc::new(|_| true),
+            Arc::new(move |_| f.lock().push(rule)),
+            RuleOptions::default(),
+        )
+        .unwrap();
     }
     let t = s.begin().unwrap();
     let ibm = new_stock(&s, t, "IBM");
@@ -159,11 +197,7 @@ fn iii_parameter_computation() {
         Arc::new(|_| true),
         Arc::new(move |inv| {
             for prim in inv.occurrence.param_list() {
-                c.lock().push((
-                    prim.event_name.to_string(),
-                    prim.source,
-                    prim.params.clone(),
-                ));
+                c.lock().push((prim.event_name.to_string(), prim.source, prim.params.clone()));
             }
         }),
         RuleOptions::default().context(ParamContext::Chronicle),
@@ -218,8 +252,14 @@ fn v_immediate_and_deferred_coupling() {
     let s = stock_system(ExecutionMode::Inline);
     let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
     let (l1, l2) = (log.clone(), log.clone());
-    s.define_rule("imm", "e3", Arc::new(|_| true), Arc::new(move |_| l1.lock().push("immediate")), RuleOptions::default())
-        .unwrap();
+    s.define_rule(
+        "imm",
+        "e3",
+        Arc::new(|_| true),
+        Arc::new(move |_| l1.lock().push("immediate")),
+        RuleOptions::default(),
+    )
+    .unwrap();
     s.define_rule(
         "def",
         "e3",
@@ -276,8 +316,5 @@ fn vi_prioritized_and_concurrent_execution() {
     let mut sorted = order.clone();
     sorted.sort_by(|a, b| b.cmp(a));
     assert_eq!(order, sorted, "classes executed high→low: {order:?}");
-    assert!(
-        peak.load(Ordering::SeqCst) >= 2,
-        "the two class-30 rules should have overlapped"
-    );
+    assert!(peak.load(Ordering::SeqCst) >= 2, "the two class-30 rules should have overlapped");
 }

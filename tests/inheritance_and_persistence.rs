@@ -89,19 +89,19 @@ fn instance_level_event_on_subclass_instance() {
     stock_classes(&s);
     let t = s.begin().unwrap();
     let tech = s
-        .create_object(
-            t,
-            &ObjectState::new("TECH_STOCK").with("price", 1.0).with("sector", "ai"),
-        )
+        .create_object(t, &ObjectState::new("TECH_STOCK").with("price", 1.0).with("sector", "ai"))
         .unwrap();
     let other = s
-        .create_object(
-            t,
-            &ObjectState::new("TECH_STOCK").with("price", 1.0).with("sector", "web"),
-        )
+        .create_object(t, &ObjectState::new("TECH_STOCK").with("price", 1.0).with("sector", "web"))
         .unwrap();
-    s.declare_event("tech_only", "STOCK", EventModifier::End, SET_PRICE, PrimTarget::Instance(tech.0))
-        .unwrap();
+    s.declare_event(
+        "tech_only",
+        "STOCK",
+        EventModifier::End,
+        SET_PRICE,
+        PrimTarget::Instance(tech.0),
+    )
+    .unwrap();
     let fired = Arc::new(AtomicUsize::new(0));
     let f = fired.clone();
     s.define_rule(
@@ -179,7 +179,11 @@ fn file_backed_persistence_and_recovery() {
         .unwrap();
         let t = s.begin().unwrap();
         let state = s.get_object(t, oid).unwrap();
-        assert_eq!(state.get("price").unwrap().as_float(), Some(99.5), "uncommitted write rolled back");
+        assert_eq!(
+            state.get("price").unwrap().as_float(),
+            Some(99.5),
+            "uncommitted write rolled back"
+        );
         s.invoke(t, oid, SET_PRICE, vec![("price".into(), 100.0.into())]).unwrap();
         s.commit(t).unwrap();
         assert_eq!(fired.load(Ordering::SeqCst), 1, "rules work on the recovered database");

@@ -120,8 +120,9 @@ fn deferred_translation_listing() {
     assert!(generated.contains(
         "EVENT *def_rule_event = new A_STAR(begin-transaction, any_stk_price, pre-commit-transaction);"
     ));
-    assert!(generated
-        .contains("RULE *R1 = new RULE(\"R1\", def_rule_event, checksalary, resetsalary, CHRONICLE);"));
+    assert!(generated.contains(
+        "RULE *R1 = new RULE(\"R1\", def_rule_event, checksalary, resetsalary, CHRONICLE);"
+    ));
 }
 
 /// Round-trip: grammar → structure → codegen → the constructors reflect

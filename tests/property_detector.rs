@@ -199,10 +199,7 @@ proptest! {
     }
 }
 
-fn check_no_flushed(
-    det: &Detection,
-    flushed: &[(u64, u64)],
-) -> Result<(), TestCaseError> {
+fn check_no_flushed(det: &Detection, flushed: &[(u64, u64)]) -> Result<(), TestCaseError> {
     for prim in det.occurrence.param_list() {
         if let Some(txn) = prim.txn {
             for (ft, at) in flushed {

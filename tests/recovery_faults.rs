@@ -47,8 +47,11 @@ fn crash_with_torn_tail_recovers_committed_state_only() {
     let torn_at;
     {
         let engine = Arc::new(
-            StorageEngine::open(disk.clone() as Arc<dyn DiskManager>, log.clone() as Arc<dyn LogStore>)
-                .unwrap(),
+            StorageEngine::open(
+                disk.clone() as Arc<dyn DiskManager>,
+                log.clone() as Arc<dyn LogStore>,
+            )
+            .unwrap(),
         );
         let s = counter_system(engine);
         let t = s.begin().unwrap();
@@ -83,8 +86,11 @@ fn repeated_crashes_converge() {
     let mut oid = None;
     for round in 0..5 {
         let engine = Arc::new(
-            StorageEngine::open(disk.clone() as Arc<dyn DiskManager>, log.clone() as Arc<dyn LogStore>)
-                .unwrap(),
+            StorageEngine::open(
+                disk.clone() as Arc<dyn DiskManager>,
+                log.clone() as Arc<dyn LogStore>,
+            )
+            .unwrap(),
         );
         let s = counter_system(engine);
         let t = s.begin().unwrap();
@@ -103,8 +109,11 @@ fn repeated_crashes_converge() {
         let _ = s.invoke(t2, o, BUMP, vec![]);
         drop(s);
         let check_engine = Arc::new(
-            StorageEngine::open(disk.clone() as Arc<dyn DiskManager>, log.clone() as Arc<dyn LogStore>)
-                .unwrap(),
+            StorageEngine::open(
+                disk.clone() as Arc<dyn DiskManager>,
+                log.clone() as Arc<dyn LogStore>,
+            )
+            .unwrap(),
         );
         let s = counter_system(check_engine);
         let t = s.begin().unwrap();
@@ -131,9 +140,8 @@ fn deadlock_victim_can_abort_and_retry() {
     let r2 = lm.lock(TxnId(2), 100, LockMode::Exclusive);
     let other = h.join().unwrap();
     // Exactly one side is the victim; the other eventually proceeds.
-    let victims =
-        usize::from(matches!(r2, Err(StorageError::Deadlock(_))))
-            + usize::from(matches!(other, Err(StorageError::Deadlock(_))));
+    let victims = usize::from(matches!(r2, Err(StorageError::Deadlock(_))))
+        + usize::from(matches!(other, Err(StorageError::Deadlock(_))));
     assert_eq!(victims, 1, "exactly one deadlock victim");
     // Victim retry after release must succeed.
     if victims == 1 {
