@@ -16,7 +16,8 @@ use parking_lot::Mutex;
 
 use sentinel_detector::graph::{GraphError, PrimTarget};
 use sentinel_detector::{DetectorStats, EventId, LocalEventDetector, Value};
-use sentinel_obs::{json, TraceBus};
+use sentinel_obs::span::TraceStore;
+use sentinel_obs::{export, json, TraceBus, TraceBusStats};
 use sentinel_oodb::invoke::{Database, DbError};
 use sentinel_oodb::{AttrValue, ObjectState, Oid};
 use sentinel_rules::debugger::RuleDebugger;
@@ -130,6 +131,9 @@ pub struct SentinelStats {
     pub scheduler: SchedulerStats,
     /// Storage counters (WAL appends/forces, buffer hit ratio, page I/O).
     pub storage: StorageStats,
+    /// Trace-bus counters (records emitted, deliveries dropped to slow
+    /// subscribers, live subscribers).
+    pub trace_bus: TraceBusStats,
 }
 
 impl SentinelStats {
@@ -139,6 +143,7 @@ impl SentinelStats {
             ("detector", self.detector.to_json()),
             ("scheduler", self.scheduler.to_json()),
             ("storage", self.storage.to_json()),
+            ("trace_bus", self.trace_bus.to_json()),
         ])
     }
 }
@@ -155,6 +160,7 @@ pub struct Sentinel {
     detector: Arc<LocalEventDetector>,
     scheduler: Arc<RuleScheduler>,
     trace: Arc<TraceBus>,
+    spans: Arc<TraceStore>,
     config: SentinelConfig,
     detached_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -186,6 +192,14 @@ impl Sentinel {
         let trace = Arc::new(TraceBus::new());
         detector.set_trace_bus(trace.clone());
         scheduler.set_trace_bus(trace.clone());
+
+        // One span store spans the whole causal chain — primitive signal,
+        // composite detection, condition/action, WAL force, page I/O. It is
+        // disabled until [`Sentinel::set_tracing`] turns it on.
+        let spans = Arc::new(TraceStore::new());
+        detector.set_trace_store(spans.clone());
+        scheduler.set_trace_store(spans.clone());
+        engine.set_trace_store(spans.clone());
 
         // Post-processor seam: wrapper methods notify the detector.
         db.add_hooks(Arc::new(EventBridge::new(detector.clone(), scheduler.clone())));
@@ -230,6 +244,7 @@ impl Sentinel {
             detector,
             scheduler,
             trace,
+            spans,
             config: config.clone(),
             detached_thread: Mutex::new(None),
         });
@@ -322,12 +337,31 @@ impl Sentinel {
         &self.trace
     }
 
+    /// The provenance span store. Query it (by trace, by rule, by event,
+    /// slowest-N) after enabling tracing with [`Sentinel::set_tracing`].
+    pub fn trace_store(&self) -> &Arc<TraceStore> {
+        &self.spans
+    }
+
+    /// Turns causal provenance tracing on or off. Off (the default) every
+    /// instrumentation site short-circuits on one relaxed atomic load.
+    pub fn set_tracing(&self, on: bool) {
+        self.spans.set_enabled(on);
+    }
+
+    /// Renders every recorded span as Chrome trace-event JSON — load the
+    /// string into Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+    pub fn export_chrome_trace(&self) -> String {
+        export::to_chrome_trace_json(&self.spans.snapshot())
+    }
+
     /// Snapshot of the observability counters across all subsystems.
     pub fn stats(&self) -> SentinelStats {
         SentinelStats {
             detector: self.detector.stats(),
             scheduler: self.scheduler.stats(),
             storage: self.db.engine().stats(),
+            trace_bus: self.trace.stats(),
         }
     }
 

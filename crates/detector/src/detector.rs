@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use sentinel_obs::span::{self, SpanContext, SpanHandle, TraceStore};
 use sentinel_obs::{json, Counter, Field, TraceBus};
 use sentinel_snoop::ast::{EventExpr, EventModifier};
 use sentinel_snoop::ParamContext;
@@ -82,6 +83,9 @@ pub struct LocalEventDetector {
     /// Optional structured trace bus (detections and flushes are emitted
     /// when a bus is attached and has subscribers).
     trace: Mutex<Option<Arc<TraceBus>>>,
+    /// Optional provenance span store (spans are recorded while the store
+    /// is attached and enabled).
+    span_store: Mutex<Option<Arc<TraceStore>>>,
 }
 
 /// Per-node emission/consumption counters, one entry per parameter
@@ -203,6 +207,7 @@ impl LocalEventDetector {
             flush_calls: Counter::new(),
             flushed: Counter::new(),
             trace: Mutex::new(None),
+            span_store: Mutex::new(None),
         }
     }
 
@@ -210,6 +215,30 @@ impl LocalEventDetector {
     /// are emitted onto it while it has subscribers.
     pub fn set_trace_bus(&self, bus: Arc<TraceBus>) {
         *self.trace.lock() = Some(bus);
+    }
+
+    /// Attaches a provenance span store; signals, primitive occurrences
+    /// and composite detections record spans while it is enabled.
+    pub fn set_trace_store(&self, store: Arc<TraceStore>) {
+        *self.span_store.lock() = Some(store);
+    }
+
+    /// The attached span store, when it is enabled (the tracing hot-path
+    /// check: one lock + one relaxed load).
+    fn tracer(&self) -> Option<Arc<TraceStore>> {
+        self.span_store.lock().clone().filter(|s| s.is_enabled())
+    }
+
+    /// Opens the root "signal" span for one primitive signal. A signal
+    /// raised while a span is current on this thread (a rule action
+    /// re-signalling, a queued service request) joins that trace —
+    /// the cascade link; otherwise it starts a fresh trace.
+    fn open_signal_span(store: &TraceStore, name: Arc<str>) -> SpanHandle {
+        let (trace, parent) = match span::current() {
+            Some(cur) => (cur.trace, Some(cur.span)),
+            None => (store.new_trace(), None),
+        };
+        store.start(trace, parent, "signal", name)
     }
 
     /// The application this detector serves.
@@ -394,6 +423,11 @@ impl LocalEventDetector {
         ts: Timestamp,
     ) -> Vec<Detection> {
         self.signals.fetch_add(1, Ordering::Relaxed);
+        let tracer = self.tracer();
+        let signal_span = tracer
+            .as_deref()
+            .map(|s| Self::open_signal_span(s, Arc::from(format!("{class}::{sig}"))));
+        let signal_ctx = signal_span.as_ref().map(|h| h.ctx);
         let mut graph = self.graph.lock();
         let mut detections = self.fire_due_alarms(&mut graph, ts);
         // "When the local event detector is notified of a method invocation
@@ -419,7 +453,18 @@ impl LocalEventDetector {
                     continue;
                 }
             }
-            let occ = Occurrence::primitive(
+            let prim_ctx = match (tracer.as_deref(), signal_ctx) {
+                (Some(s), Some(sig_ctx)) => Some(Self::record_primitive_span(
+                    s,
+                    sig_ctx,
+                    node.name.clone(),
+                    ts,
+                    txn,
+                    Some(oid),
+                )),
+                _ => None,
+            };
+            let occ = Occurrence::primitive_spanned(
                 leaf,
                 node.name.clone(),
                 ts,
@@ -427,10 +472,38 @@ impl LocalEventDetector {
                 self.app,
                 Some(oid),
                 params.clone(),
+                prim_ctx,
             );
             detections.extend(self.propagate(&mut graph, leaf, occ, None));
         }
+        drop(graph);
+        if let (Some(s), Some(h)) = (tracer.as_deref(), signal_span) {
+            s.finish(h, 0, vec![("detections", Field::U64(detections.len() as u64))]);
+        }
         detections
+    }
+
+    /// Records the (point) span of one primitive occurrence, parented on
+    /// the signal span, and returns its context for the occurrence.
+    fn record_primitive_span(
+        store: &TraceStore,
+        signal: SpanContext,
+        name: Arc<str>,
+        ts: Timestamp,
+        txn: Option<u64>,
+        oid: Option<u64>,
+    ) -> SpanContext {
+        let h = store.start(signal.trace, Some(signal.span), "primitive", name);
+        let ctx = h.ctx;
+        let mut fields = vec![("at", Field::U64(ts))];
+        if let Some(t) = txn {
+            fields.push(("txn", Field::U64(t)));
+        }
+        if let Some(o) = oid {
+            fields.push(("oid", Field::U64(o)));
+        }
+        store.finish(h, 0, fields);
+        ctx
     }
 
     /// Signals an explicit/abstract event by name (transaction events,
@@ -463,11 +536,26 @@ impl LocalEventDetector {
         ts: Timestamp,
     ) -> Vec<Detection> {
         self.signals.fetch_add(1, Ordering::Relaxed);
+        let tracer = self.tracer();
         let mut graph = self.graph.lock();
         let mut detections = self.fire_due_alarms(&mut graph, ts);
         let leaf = graph.declare_explicit(name);
-        let occ = Occurrence::primitive(leaf, graph.name_of(leaf), ts, txn, self.app, None, params);
+        let leaf_name = graph.name_of(leaf);
+        let signal_span = tracer.as_deref().map(|s| Self::open_signal_span(s, leaf_name.clone()));
+        let prim_ctx = match (tracer.as_deref(), signal_span.as_ref()) {
+            (Some(s), Some(h)) => {
+                Some(Self::record_primitive_span(s, h.ctx, leaf_name.clone(), ts, txn, None))
+            }
+            _ => None,
+        };
+        let occ = Occurrence::primitive_spanned(
+            leaf, leaf_name, ts, txn, self.app, None, params, prim_ctx,
+        );
         detections.extend(self.propagate(&mut graph, leaf, occ, None));
+        drop(graph);
+        if let (Some(s), Some(h)) = (tracer.as_deref(), signal_span) {
+            s.finish(h, 0, vec![("detections", Field::U64(detections.len() as u64))]);
+        }
         detections
     }
 
@@ -494,6 +582,7 @@ impl LocalEventDetector {
     ) -> Vec<Detection> {
         let mut detections = Vec::new();
         let bus = self.trace.lock().clone();
+        let tracer = self.tracer();
         let mut work: Vec<(EventId, Arc<Occurrence>, Option<ParamContext>)> =
             vec![(origin, occ, ctx_filter)];
         while let Some((node_id, occ, filter)) = work.pop() {
@@ -588,7 +677,8 @@ impl LocalEventDetector {
                     graph.node_mut(parent_id).emitted[ctx.index()] += emissions.len() as u64;
                     let is_temporal = graph.node(parent_id).kind.is_temporal();
                     for em in emissions {
-                        let comp = self.make_occurrence(graph, parent_id, em);
+                        let comp =
+                            self.make_occurrence(graph, parent_id, em, ctx, tracer.as_deref());
                         work.push((parent_id, comp, Some(ctx)));
                     }
                     if is_temporal {
@@ -600,10 +690,39 @@ impl LocalEventDetector {
         detections
     }
 
-    fn make_occurrence(&self, graph: &EventGraph, node: EventId, em: Emission) -> Arc<Occurrence> {
+    /// Builds the composite occurrence for one operator emission. When a
+    /// span store is enabled, records a per-context "detect" span: its
+    /// trace/parent come from the terminating constituent (the one whose
+    /// signal completed the detection) and it links every constituent's
+    /// span — the linked parameter list, lifted into the trace model.
+    fn make_occurrence(
+        &self,
+        graph: &EventGraph,
+        node: EventId,
+        em: Emission,
+        ctx: ParamContext,
+        tracer: Option<&TraceStore>,
+    ) -> Arc<Occurrence> {
         let name = graph.name_of(node);
+        let span = tracer.map(|s| {
+            let terminator = em.constituents.iter().max_by_key(|o| o.at);
+            let anchor = terminator
+                .and_then(|o| o.span)
+                .or_else(|| em.constituents.iter().rev().find_map(|o| o.span));
+            let (trace, parent) = match anchor {
+                Some(a) => (a.trace, Some(a.span)),
+                // No traced constituent (e.g. a periodic alarm tick, or
+                // tracing enabled mid-composition): start a fresh trace.
+                None => (s.new_trace(), None),
+            };
+            let links: Vec<SpanContext> = em.constituents.iter().filter_map(|o| o.span).collect();
+            let h = s.start(trace, parent, "detect", name.clone());
+            let ctx_out = h.ctx;
+            s.finish_linked(h, 0, links, vec![("context", Field::from(ctx_name(ctx)))]);
+            ctx_out
+        });
         if em.at.is_none() && em.params.is_empty() {
-            Occurrence::composite(node, name, em.constituents)
+            Occurrence::composite_spanned(node, name, em.constituents, span)
         } else {
             let mut constituents = em.constituents;
             constituents.sort_by_key(|o| o.at);
@@ -618,6 +737,7 @@ impl LocalEventDetector {
                 source: None,
                 params: em.params,
                 constituents,
+                span,
             })
         }
     }
@@ -630,6 +750,7 @@ impl LocalEventDetector {
 
     fn fire_due_alarms(&self, graph: &mut EventGraph, now: Timestamp) -> Vec<Detection> {
         let mut detections = Vec::new();
+        let tracer = self.tracer();
         loop {
             let next = {
                 let mut alarms = self.alarms.lock();
@@ -646,7 +767,7 @@ impl LocalEventDetector {
                 let emissions = graph.node_mut(node_id).fire_alarms(now, ctx);
                 graph.node_mut(node_id).emitted[ctx.index()] += emissions.len() as u64;
                 for em in emissions {
-                    let occ = self.make_occurrence(graph, node_id, em);
+                    let occ = self.make_occurrence(graph, node_id, em, ctx, tracer.as_deref());
                     detections.extend(self.propagate(graph, node_id, occ, Some(ctx)));
                 }
             }
@@ -675,6 +796,12 @@ impl LocalEventDetector {
                 "flush_txn",
                 vec![("txn", Field::U64(txn)), ("removed", Field::U64(removed))],
             );
+        }
+        // A flush performed inside a traced span (commit/abort processing
+        // within a rule action) shows up as a child of that span.
+        if let (Some(s), Some(cur)) = (self.tracer(), span::current()) {
+            let h = s.start(cur.trace, Some(cur.span), "flush", Arc::from("flush_txn"));
+            s.finish(h, 0, vec![("txn", Field::U64(txn)), ("removed", Field::U64(removed))]);
         }
     }
 

@@ -9,6 +9,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use sentinel_obs::span::SpanContext;
+
 use crate::clock::Timestamp;
 use crate::graph::EventId;
 
@@ -155,6 +157,8 @@ pub struct Occurrence {
     pub params: Vec<(Arc<str>, Value)>,
     /// Constituent occurrences (chronological), empty for primitives.
     pub constituents: Vec<Arc<Occurrence>>,
+    /// Provenance span, when tracing is enabled (None otherwise).
+    pub span: Option<SpanContext>,
 }
 
 impl Occurrence {
@@ -168,6 +172,21 @@ impl Occurrence {
         source: Option<u64>,
         params: Vec<(Arc<str>, Value)>,
     ) -> Arc<Occurrence> {
+        Self::primitive_spanned(event, event_name, at, txn, app, source, params, None)
+    }
+
+    /// A primitive occurrence carrying a provenance span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn primitive_spanned(
+        event: EventId,
+        event_name: Arc<str>,
+        at: Timestamp,
+        txn: Option<u64>,
+        app: u32,
+        source: Option<u64>,
+        params: Vec<(Arc<str>, Value)>,
+        span: Option<SpanContext>,
+    ) -> Arc<Occurrence> {
         Arc::new(Occurrence {
             event,
             event_name,
@@ -177,6 +196,7 @@ impl Occurrence {
             source,
             params,
             constituents: Vec::new(),
+            span,
         })
     }
 
@@ -185,7 +205,17 @@ impl Occurrence {
     pub fn composite(
         event: EventId,
         event_name: Arc<str>,
+        constituents: Vec<Arc<Occurrence>>,
+    ) -> Arc<Occurrence> {
+        Self::composite_spanned(event, event_name, constituents, None)
+    }
+
+    /// A composite occurrence carrying a provenance span.
+    pub fn composite_spanned(
+        event: EventId,
+        event_name: Arc<str>,
         mut constituents: Vec<Arc<Occurrence>>,
+        span: Option<SpanContext>,
     ) -> Arc<Occurrence> {
         constituents.sort_by_key(|o| o.at);
         let at = constituents.last().map_or(0, |o| o.at);
@@ -203,6 +233,7 @@ impl Occurrence {
             source: None,
             params: Vec::new(),
             constituents,
+            span,
         })
     }
 

@@ -20,6 +20,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use sentinel_obs::span::{self, SpanContext};
 use sentinel_obs::{Counter, Gauge, Histogram};
 use sentinel_snoop::ast::EventModifier;
 
@@ -75,10 +76,11 @@ pub enum Signal {
 
 enum Request {
     /// Process and reply with the detections (immediate-mode rendezvous).
-    /// Carries the enqueue instant for drain-latency accounting.
-    Sync(Signal, Sender<Vec<Detection>>, Instant),
+    /// Carries the enqueue instant for drain-latency accounting and the
+    /// caller's span context, so provenance survives the thread hop.
+    Sync(Signal, Sender<Vec<Detection>>, Instant, Option<SpanContext>),
     /// Process; detections go to the async detections channel.
-    Async(Signal, Instant),
+    Async(Signal, Instant, Option<SpanContext>),
     /// Stop the service thread.
     Shutdown,
 }
@@ -106,14 +108,14 @@ impl DetectorService {
                 while let Ok(req) = req_rx.recv() {
                     m.queue_depth.set(req_rx.len() as u64);
                     let enqueued = match req {
-                        Request::Sync(sig, reply, enqueued) => {
-                            let dets = Self::process(&det, sig);
+                        Request::Sync(sig, reply, enqueued, span) => {
+                            let dets = Self::process(&det, sig, span);
                             // Receiver may have given up; ignore send errors.
                             let _ = reply.send(dets);
                             enqueued
                         }
-                        Request::Async(sig, enqueued) => {
-                            for d in Self::process(&det, sig) {
+                        Request::Async(sig, enqueued, span) => {
+                            for d in Self::process(&det, sig, span) {
                                 let _ = det_tx.send(d);
                             }
                             enqueued
@@ -134,7 +136,10 @@ impl DetectorService {
         }
     }
 
-    fn process(det: &LocalEventDetector, sig: Signal) -> Vec<Detection> {
+    fn process(det: &LocalEventDetector, sig: Signal, span: Option<SpanContext>) -> Vec<Detection> {
+        // Re-install the enqueuing thread's span so a traced signal keeps
+        // its trace id across the queue hop.
+        let _guard = span.map(span::push_current);
         match sig {
             Signal::Method { class, sig, edge, oid, params, txn } => {
                 det.notify_method(&class, &sig, edge, oid, params, txn)
@@ -157,7 +162,8 @@ impl DetectorService {
     /// Sends a signal and waits for its detections (immediate mode).
     pub fn signal_sync(&self, sig: Signal) -> Vec<Detection> {
         let (tx, rx) = bounded(1);
-        if self.requests.send(Request::Sync(sig, tx, Instant::now())).is_err() {
+        let req = Request::Sync(sig, tx, Instant::now(), span::current());
+        if self.requests.send(req).is_err() {
             return Vec::new();
         }
         self.metrics.queue_depth.set(self.requests.len() as u64);
@@ -166,7 +172,7 @@ impl DetectorService {
 
     /// Queues a signal; detections arrive on [`Self::detections`].
     pub fn signal_async(&self, sig: Signal) {
-        if self.requests.send(Request::Async(sig, Instant::now())).is_ok() {
+        if self.requests.send(Request::Async(sig, Instant::now(), span::current())).is_ok() {
             self.metrics.queue_depth.set(self.requests.len() as u64);
         }
     }

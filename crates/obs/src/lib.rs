@@ -13,17 +13,25 @@
 //!   render themselves).
 //! * [`trace`] — a broadcast bus of structured [`trace::TraceRecord`]s
 //!   that the rule debugger and the `beast` bench binary both consume.
+//! * [`span`] — causal provenance: trace/span ids carried from primitive
+//!   `Notify` through composite detection to rule condition/action, with
+//!   a ring-buffer [`span::TraceStore`] and query API.
+//! * [`export`] — Chrome trace-event JSON rendering of recorded spans,
+//!   loadable in Perfetto.
 //!
 //! Everything here is wait-free or a short critical section; when no one
 //! is listening the trace bus is a single relaxed atomic load.
 
+pub mod export;
 pub mod json;
+pub mod span;
 pub mod trace;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-pub use trace::{Field, TraceBus, TraceRecord};
+pub use span::{SpanContext, SpanId, SpanRecord, TraceId, TraceStore};
+pub use trace::{Field, TraceBus, TraceBusStats, TraceRecord};
 
 // ---------------------------------------------------------------------------
 // Counter
@@ -175,8 +183,47 @@ impl HistogramSnapshot {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
-    /// Renders as a JSON object (`count`/`sum_ns`/`mean_ns`/`max_ns` plus
-    /// the non-empty tail of `buckets`).
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the upper
+    /// bound of the bucket holding the q-th sample, clamped to the largest
+    /// sample seen. Resolution is the 4× bucket width; 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target sample, 1-based, clamped into [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                // Upper bound of bucket i is 4^(i+1) - 1; the last bucket
+                // is open-ended, so the max sample stands in for it.
+                let upper =
+                    if i + 1 >= HISTOGRAM_BUCKETS { self.max } else { (1u64 << (2 * (i + 1))) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Approximate median, ns.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// Approximate 95th percentile, ns.
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// Approximate 99th percentile, ns.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Renders as a JSON object (`count`/`sum_ns`/`mean_ns`/`max_ns`,
+    /// approximate `p50/p95/p99_ns`, plus the non-empty tail of
+    /// `buckets`).
     pub fn to_json(&self) -> json::Value {
         let used = self.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
         json::Value::obj([
@@ -184,6 +231,9 @@ impl HistogramSnapshot {
             ("sum_ns", json::Value::UInt(self.sum)),
             ("mean_ns", json::Value::UInt(self.mean_ns())),
             ("max_ns", json::Value::UInt(self.max)),
+            ("p50_ns", json::Value::UInt(self.p50_ns())),
+            ("p95_ns", json::Value::UInt(self.p95_ns())),
+            ("p99_ns", json::Value::UInt(self.p99_ns())),
             (
                 "buckets",
                 json::Value::Arr(
@@ -253,8 +303,35 @@ mod tests {
         let rendered = h.snapshot().to_json().to_string();
         assert_eq!(
             rendered,
-            r#"{"count":2,"sum_ns":22,"mean_ns":11,"max_ns":20,"buckets":[1,0,1]}"#
+            concat!(
+                r#"{"count":2,"sum_ns":22,"mean_ns":11,"max_ns":20,"#,
+                r#""p50_ns":3,"p95_ns":20,"p99_ns":20,"buckets":[1,0,1]}"#
+            )
         );
+    }
+
+    #[test]
+    fn histogram_quantiles_approximate_by_bucket_upper_bound() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.p50_ns(), 0);
+
+        let h = Histogram::new();
+        // 98 fast samples in bucket 0, one in bucket 2, one slow outlier.
+        for _ in 0..98 {
+            h.record(2);
+        }
+        h.record(20);
+        h.record(5_000);
+        let s = h.snapshot();
+        assert_eq!(s.p50_ns(), 3); // bucket 0 upper bound
+        assert_eq!(s.p95_ns(), 3);
+        assert_eq!(s.quantile_ns(0.99), 63); // 99th sample is the 20ns one
+        assert_eq!(s.quantile_ns(1.0), 5_000); // clamped to max, not 4^7-1
+
+        // Everything in the open-ended last bucket reports the max.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().p50_ns(), u64::MAX);
     }
 
     #[test]

@@ -10,10 +10,11 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 
 use crate::json::Value;
+use crate::Counter;
 
 /// A typed field value on a trace record.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,7 +26,8 @@ pub enum Field {
 }
 
 impl Field {
-    fn to_json(&self) -> Value {
+    /// Renders as a JSON value.
+    pub fn to_json(&self) -> Value {
         match self {
             Field::U64(n) => Value::UInt(*n),
             Field::I64(n) => Value::Int(*n),
@@ -120,10 +122,39 @@ impl fmt::Display for TraceRecord {
     }
 }
 
+/// Default per-subscriber channel capacity. A subscriber that falls more
+/// than this many records behind starts losing records (counted in
+/// [`TraceBus::stats`]) instead of growing memory without bound.
+pub const SUBSCRIBER_CAPACITY: usize = 4096;
+
+/// Point-in-time counters for a [`TraceBus`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceBusStats {
+    /// Records emitted while at least one subscriber was attached.
+    pub emitted: u64,
+    /// Record deliveries dropped because a subscriber's channel was full.
+    pub dropped: u64,
+    /// Live subscribers.
+    pub subscribers: usize,
+}
+
+impl TraceBusStats {
+    /// Renders as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("emitted", Value::UInt(self.emitted)),
+            ("dropped", Value::UInt(self.dropped)),
+            ("subscribers", Value::UInt(self.subscribers as u64)),
+        ])
+    }
+}
+
 /// Broadcast bus for [`TraceRecord`]s.
 ///
-/// Emitters call [`TraceBus::emit`]; each subscriber gets its own
-/// unbounded channel and receives every record emitted while subscribed.
+/// Emitters call [`TraceBus::emit`]; each subscriber gets its own bounded
+/// channel and receives every record emitted while subscribed — unless it
+/// falls [`SUBSCRIBER_CAPACITY`] records behind, in which case deliveries
+/// to it are dropped (and counted) rather than buffered without bound.
 /// Dropped receivers are pruned lazily on the next emit.
 #[derive(Debug, Default)]
 pub struct TraceBus {
@@ -132,6 +163,8 @@ pub struct TraceBus {
     /// Subscriber count mirrored outside the lock so `emit` can bail
     /// without taking it when nobody listens.
     active: AtomicUsize,
+    /// Deliveries dropped because a subscriber's channel was full.
+    dropped: Counter,
 }
 
 impl TraceBus {
@@ -145,10 +178,18 @@ impl TraceBus {
         self.active.load(Ordering::Relaxed) > 0
     }
 
-    /// Attaches a new consumer. The receiver sees every record emitted
-    /// from this call on.
+    /// Attaches a new consumer with the default channel capacity. The
+    /// receiver sees every record emitted from this call on, up to
+    /// [`SUBSCRIBER_CAPACITY`] records of lag.
     pub fn subscribe(&self) -> Receiver<Arc<TraceRecord>> {
-        let (tx, rx) = unbounded();
+        self.subscribe_with_capacity(SUBSCRIBER_CAPACITY)
+    }
+
+    /// Attaches a new consumer whose channel buffers at most `capacity`
+    /// records; further deliveries are dropped (and counted) until it
+    /// catches up.
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> Receiver<Arc<TraceRecord>> {
+        let (tx, rx) = bounded(capacity.max(1));
         let mut subs = self.subs.lock();
         subs.push(tx);
         self.active.store(subs.len(), Ordering::Relaxed);
@@ -170,9 +211,26 @@ impl TraceBus {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let record = Arc::new(TraceRecord { seq, subsystem, event, fields });
         let mut subs = self.subs.lock();
-        subs.retain(|tx| tx.send(record.clone()).is_ok());
+        subs.retain(|tx| match tx.try_send(record.clone()) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                // Slow subscriber: drop this delivery, keep the channel.
+                self.dropped.inc();
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
         self.active.store(subs.len(), Ordering::Relaxed);
         seq
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> TraceBusStats {
+        TraceBusStats {
+            emitted: self.seq.load(Ordering::Relaxed),
+            dropped: self.dropped.get(),
+            subscribers: self.active.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -214,6 +272,30 @@ mod tests {
         drop(rx2);
         bus.emit("t", "e", vec![]);
         assert!(!bus.is_active());
+    }
+
+    #[test]
+    fn slow_subscriber_drops_instead_of_buffering() {
+        let bus = TraceBus::new();
+        let rx = bus.subscribe_with_capacity(2);
+        for _ in 0..5 {
+            bus.emit("t", "e", vec![]);
+        }
+        let stats = bus.stats();
+        assert_eq!(stats.emitted, 5);
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.subscribers, 1);
+        // The two oldest undropped records are still deliverable.
+        assert_eq!(rx.try_recv().unwrap().seq, 1);
+        assert_eq!(rx.try_recv().unwrap().seq, 2);
+        assert!(rx.try_recv().is_err());
+        // Catching up resumes delivery.
+        bus.emit("t", "e", vec![]);
+        assert_eq!(rx.try_recv().unwrap().seq, 6);
+        assert_eq!(
+            bus.stats().to_json().to_string(),
+            r#"{"emitted":6,"dropped":3,"subscribers":1}"#
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use sentinel_detector::{Detection, Occurrence};
+use sentinel_obs::span::{self, SpanContext, SpanId, TraceId, TraceStore};
 use sentinel_obs::{json, Counter, Field, Histogram, HistogramSnapshot, TraceBus};
 use sentinel_snoop::CouplingMode;
 use sentinel_txn::{NestedTxnManager, PriorityPool, SubTxnId};
@@ -45,6 +46,16 @@ use crate::rule::{RuleId, RuleInvocation};
 /// Pseudo-transaction id used to anchor rules fired outside any
 /// transaction (e.g. pure temporal events).
 const NO_TXN: u64 = u64::MAX;
+
+/// Trace/parent for a rule-body span: the triggering occurrence's
+/// detection span when it has one, else a fresh trace (tracing was
+/// enabled after the occurrence was composed).
+fn span_anchor(store: &TraceStore, occ: Option<SpanContext>) -> (TraceId, Option<SpanId>) {
+    match occ {
+        Some(c) => (c.trace, Some(c.span)),
+        None => (store.new_trace(), None),
+    }
+}
 
 /// How rule bodies are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +188,8 @@ pub struct RuleScheduler {
     metrics: SchedulerMetrics,
     /// Optional structured trace bus.
     trace: Mutex<Option<Arc<TraceBus>>>,
+    /// Optional provenance span store (condition/action spans).
+    span_store: Mutex<Option<Arc<TraceStore>>>,
 }
 
 impl RuleScheduler {
@@ -198,6 +211,7 @@ impl RuleScheduler {
             savepoints: Mutex::new(None),
             metrics: SchedulerMetrics::default(),
             trace: Mutex::new(None),
+            span_store: Mutex::new(None),
         })
     }
 
@@ -205,6 +219,17 @@ impl RuleScheduler {
     /// execution and panics are emitted while it has subscribers.
     pub fn set_trace_bus(&self, bus: Arc<TraceBus>) {
         *self.trace.lock() = Some(bus);
+    }
+
+    /// Attaches a provenance span store; condition/action spans (parented
+    /// on the triggering occurrence's detection span) are recorded while
+    /// it is enabled.
+    pub fn set_trace_store(&self, store: Arc<TraceStore>) {
+        *self.span_store.lock() = Some(store);
+    }
+
+    fn tracer(&self) -> Option<Arc<TraceStore>> {
+        self.span_store.lock().clone().filter(|s| s.is_enabled())
     }
 
     /// Emits a trace record; `fields` is only built when a bus with
@@ -328,6 +353,7 @@ impl RuleScheduler {
                         ("event", Field::Str(det.occurrence.event_name.clone())),
                         ("priority", Field::U64(u64::from(priority))),
                         ("depth", Field::U64(u64::from(depth))),
+                        ("trace", Field::U64(det.occurrence.span.map_or(0, |c| c.trace.0))),
                     ]
                 });
                 self.debugger.record(TraceEvent::Triggered {
@@ -427,31 +453,59 @@ impl RuleScheduler {
         let savepoint =
             hooks.as_ref().zip(occurrence.txn).and_then(|(h, txn)| (h.mark)(txn).map(|m| (txn, m)));
         let rule_name = invocation.rule_name.clone();
+        let tracer = self.tracer();
+        let occ_span = occurrence.span;
+        let trace_id = occ_span.map_or(0, |c| c.trace.0);
         let result = catch_unwind(AssertUnwindSafe(|| {
             // Conditions are side-effect free: suppress event signalling
             // while the condition runs (the paper's global flag).
             detector.set_signaling(false);
+            let cond_handle = tracer.as_deref().map(|s| {
+                let (trace, parent) = span_anchor(s, occ_span);
+                s.start(trace, parent, "condition", rule_name.clone())
+            });
             let started = Instant::now();
-            let satisfied = (cond)(&invocation);
+            let satisfied = {
+                // Storage I/O the condition performs tags this span.
+                let _guard = cond_handle.as_ref().map(|h| span::push_current(h.ctx));
+                (cond)(&invocation)
+            };
             self.metrics.condition_ns.record_duration(started.elapsed());
             detector.set_signaling(true);
+            if let (Some(s), Some(h)) = (tracer.as_deref(), cond_handle) {
+                s.finish(h, depth, vec![("satisfied", Field::Bool(satisfied))]);
+            }
             self.debugger.record(TraceEvent::Condition { rule: rule_id, satisfied, depth });
             self.trace("condition", || {
                 vec![
                     ("rule", Field::Str(rule_name.clone())),
                     ("satisfied", Field::Bool(satisfied)),
                     ("depth", Field::U64(u64::from(depth))),
+                    ("trace", Field::U64(trace_id)),
                 ]
             });
             if satisfied {
+                let action_handle = tracer.as_deref().map(|s| {
+                    let (trace, parent) = span_anchor(s, occ_span);
+                    s.start(trace, parent, "action", rule_name.clone())
+                });
                 let started = Instant::now();
-                (action)(&invocation);
+                {
+                    // Events the action raises (cascades) and I/O it
+                    // performs attach to this span via the ambient stack.
+                    let _guard = action_handle.as_ref().map(|h| span::push_current(h.ctx));
+                    (action)(&invocation);
+                }
                 self.metrics.action_ns.record_duration(started.elapsed());
+                if let (Some(s), Some(h)) = (tracer.as_deref(), action_handle) {
+                    s.finish(h, depth, Vec::new());
+                }
                 self.debugger.record(TraceEvent::Action { rule: rule_id, depth });
                 self.trace("action", || {
                     vec![
                         ("rule", Field::Str(rule_name.clone())),
                         ("depth", Field::U64(u64::from(depth))),
+                        ("trace", Field::U64(trace_id)),
                     ]
                 });
             }
@@ -475,6 +529,7 @@ impl RuleScheduler {
                     vec![
                         ("rule", Field::Str(rule_name.clone())),
                         ("depth", Field::U64(u64::from(depth))),
+                        ("trace", Field::U64(trace_id)),
                     ]
                 });
                 self.debugger.record(TraceEvent::Skipped {

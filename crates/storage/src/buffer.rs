@@ -11,10 +11,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use sentinel_obs::Counter;
+use sentinel_obs::span::TraceStore;
+use sentinel_obs::{Counter, Field};
 
 use crate::common::{PageId, StorageError, StorageResult};
 use crate::disk::DiskManager;
+use crate::iospan::IoTracer;
 use crate::page::PAGE_SIZE;
 
 struct Frame {
@@ -77,6 +79,7 @@ pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     state: Mutex<PoolState>,
     metrics: BufferMetrics,
+    io: IoTracer,
 }
 
 /// RAII pin on a buffered page. Read access via [`PageGuard::read`], write
@@ -104,7 +107,14 @@ impl BufferPool {
             disk,
             state: Mutex::new(PoolState { frames, table: HashMap::new(), tick: 0 }),
             metrics: BufferMetrics::default(),
+            io: IoTracer::default(),
         }
+    }
+
+    /// Installs the trace store used to tag page I/O with provenance
+    /// spans (see [`crate::iospan`]).
+    pub fn set_trace_store(&self, store: Arc<TraceStore>) {
+        self.io.set_store(store);
     }
 
     /// The backing disk manager.
@@ -147,7 +157,12 @@ impl BufferPool {
         if let Some(old) = st.frames[idx].page_id {
             if st.frames[idx].dirty {
                 let data = st.frames[idx].data.read();
-                self.disk.write_page(old, &data)?;
+                self.io.tagged(
+                    "page_write",
+                    "evict",
+                    || vec![("page", Field::U64(old.0 as u64))],
+                    || self.disk.write_page(old, &data),
+                )?;
                 drop(data);
                 st.frames[idx].dirty = false;
                 self.metrics.page_writes.inc();
@@ -156,7 +171,12 @@ impl BufferPool {
         }
         {
             let mut data = st.frames[idx].data.write();
-            self.disk.read_page(id, &mut data)?;
+            self.io.tagged(
+                "page_read",
+                "fetch",
+                || vec![("page", Field::U64(id.0 as u64))],
+                || self.disk.read_page(id, &mut data),
+            )?;
             self.metrics.page_reads.inc();
         }
         st.frames[idx].page_id = Some(id);
@@ -185,7 +205,12 @@ impl BufferPool {
         if let Some(&idx) = st.table.get(&id) {
             if st.frames[idx].dirty {
                 let data = st.frames[idx].data.read();
-                self.disk.write_page(id, &data)?;
+                self.io.tagged(
+                    "page_write",
+                    "flush_page",
+                    || vec![("page", Field::U64(id.0 as u64))],
+                    || self.disk.write_page(id, &data),
+                )?;
                 self.metrics.page_writes.inc();
             }
         }
@@ -198,7 +223,12 @@ impl BufferPool {
         for f in st.frames.iter_mut() {
             if let (Some(id), true) = (f.page_id, f.dirty) {
                 let data = f.data.read();
-                self.disk.write_page(id, &data)?;
+                self.io.tagged(
+                    "page_write",
+                    "flush_all",
+                    || vec![("page", Field::U64(id.0 as u64))],
+                    || self.disk.write_page(id, &data),
+                )?;
                 drop(data);
                 f.dirty = false;
                 self.metrics.page_writes.inc();

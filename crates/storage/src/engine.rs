@@ -249,6 +249,13 @@ impl StorageEngine {
         self.pool.flush_all()
     }
 
+    /// Installs the trace store on the WAL and buffer pool so log forces
+    /// and page I/O performed inside a span are tagged with provenance.
+    pub fn set_trace_store(&self, store: Arc<sentinel_obs::span::TraceStore>) {
+        self.wal.set_trace_store(store.clone());
+        self.pool.set_trace_store(store);
+    }
+
     /// The WAL (exposed for diagnostics and tests).
     pub fn wal(&self) -> &Wal {
         &self.wal

@@ -1,0 +1,92 @@
+//! Provenance tagging of storage I/O.
+//!
+//! When a [`TraceStore`] is installed and tracing is enabled, storage hot
+//! paths that run inside an ambient span (a rule action, a commit force)
+//! record child spans for the physical work they perform: `wal_force` for
+//! log forces, `page_read` / `page_write` for buffer-pool disk traffic.
+//! With tracing off — the default — the only cost on a traced-candidate
+//! path is a thread-local lookup; untraced paths never touch the mutex.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sentinel_obs::span::{self, TraceStore};
+use sentinel_obs::Field;
+
+/// Shared helper owned by the WAL and the buffer pool: holds the installed
+/// trace store and wraps I/O closures in spans parented on the caller's
+/// current span.
+#[derive(Default)]
+pub struct IoTracer {
+    store: Mutex<Option<Arc<TraceStore>>>,
+}
+
+impl IoTracer {
+    /// Installs the trace store (normally forwarded from the engine facade).
+    pub fn set_store(&self, store: Arc<TraceStore>) {
+        *self.store.lock() = Some(store);
+    }
+
+    /// Runs `op`; when tracing is on and an ambient span is current, the
+    /// call is recorded as a `kind` span parented on that span. `fields`
+    /// is evaluated only in the traced case.
+    pub fn tagged<T>(
+        &self,
+        kind: &'static str,
+        name: &'static str,
+        fields: impl FnOnce() -> Vec<(&'static str, Field)>,
+        op: impl FnOnce() -> T,
+    ) -> T {
+        // Cheap thread-local check first: code running outside any span
+        // (recovery, tests, untraced workloads) skips the store mutex.
+        let Some(cur) = span::current() else {
+            return op();
+        };
+        let Some(store) = self.store.lock().clone().filter(|s| s.is_enabled()) else {
+            return op();
+        };
+        let handle = store.start(cur.trace, Some(cur.span), kind, Arc::from(name));
+        let out = op();
+        store.finish(handle, 0, fields());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untagged_without_store_or_span() {
+        let io = IoTracer::default();
+        assert_eq!(io.tagged("page_read", "buffer", Vec::new, || 7), 7);
+
+        // A store alone is not enough: no ambient span, nothing recorded.
+        let store = Arc::new(TraceStore::new());
+        store.set_enabled(true);
+        io.set_store(store.clone());
+        assert_eq!(io.tagged("page_read", "buffer", Vec::new, || 8), 8);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn tagged_records_child_span_of_current() {
+        let store = Arc::new(TraceStore::new());
+        store.set_enabled(true);
+        let io = IoTracer::default();
+        io.set_store(store.clone());
+
+        let trace = store.new_trace();
+        let root = store.start(trace, None, "action", Arc::from("r"));
+        let root_ctx = root.ctx;
+        let _guard = span::push_current(root_ctx);
+        io.tagged("wal_force", "wal", || vec![("bytes", Field::U64(3))], || ());
+        store.finish(root, 0, Vec::new());
+
+        let spans = store.trace(trace);
+        assert_eq!(spans.len(), 2);
+        let force = spans.iter().find(|s| s.kind == "wal_force").unwrap();
+        assert_eq!(force.parent, Some(root_ctx.span));
+        assert_eq!(force.field("bytes"), Some(&Field::U64(3)));
+    }
+}

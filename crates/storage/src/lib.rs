@@ -31,6 +31,7 @@ pub mod common;
 pub mod disk;
 pub mod engine;
 pub mod heap;
+pub mod iospan;
 pub mod lock;
 pub mod page;
 pub mod recovery;

@@ -20,9 +20,11 @@ use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
-use sentinel_obs::Counter;
+use sentinel_obs::span::TraceStore;
+use sentinel_obs::{Counter, Field};
 
 use crate::common::{crc32, Lsn, PageId, Rid, StorageError, StorageResult, TxnId};
+use crate::iospan::IoTracer;
 
 /// One logical WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -360,6 +362,7 @@ pub struct Wal {
     appends: Counter,
     forces: Counter,
     bytes: Counter,
+    io: IoTracer,
 }
 
 impl Wal {
@@ -371,7 +374,14 @@ impl Wal {
             appends: Counter::new(),
             forces: Counter::new(),
             bytes: Counter::new(),
+            io: IoTracer::default(),
         }
+    }
+
+    /// Installs the trace store used to tag log forces with provenance
+    /// spans (see [`crate::iospan`]).
+    pub fn set_trace_store(&self, store: Arc<TraceStore>) {
+        self.io.set_store(store);
     }
 
     /// Appends a record, returning its LSN. Does **not** force.
@@ -397,10 +407,17 @@ impl Wal {
 
     /// Forces everything appended so far.
     pub fn flush(&self) -> StorageResult<()> {
-        self.store.sync()?;
-        *self.flushed.lock() = Lsn(self.store.len()?);
-        self.forces.inc();
-        Ok(())
+        self.io.tagged(
+            "wal_force",
+            "wal",
+            || vec![("bytes", Field::U64(self.bytes.get()))],
+            || {
+                self.store.sync()?;
+                *self.flushed.lock() = Lsn(self.store.len()?);
+                self.forces.inc();
+                Ok(())
+            },
+        )
     }
 
     /// Snapshot of the append/force counters.

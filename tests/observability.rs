@@ -132,7 +132,8 @@ fn stats_snapshot_shape_is_stable() {
     let det_pos = text.find(r#""detector""#).unwrap();
     let sched_pos = text.find(r#""scheduler""#).unwrap();
     let storage_pos = text.find(r#""storage""#).unwrap();
-    assert!(det_pos < sched_pos && sched_pos < storage_pos);
+    let bus_pos = text.find(r#""trace_bus""#).unwrap();
+    assert!(det_pos < sched_pos && sched_pos < storage_pos && storage_pos < bus_pos);
     for key in [
         r#""per_event""#,
         r#""nodes""#,
@@ -142,10 +143,16 @@ fn stats_snapshot_shape_is_stable() {
         r#""condition""#,
         r#""action""#,
         r#""panics""#,
+        r#""p50_ns""#,
+        r#""p95_ns""#,
+        r#""p99_ns""#,
         r#""wal""#,
         r#""appends""#,
         r#""buffer""#,
         r#""hit_ratio""#,
+        r#""emitted""#,
+        r#""dropped""#,
+        r#""subscribers""#,
     ] {
         assert!(text.contains(key), "snapshot lost key {key}: {text}");
     }
