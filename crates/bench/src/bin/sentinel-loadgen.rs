@@ -1,0 +1,278 @@
+//! Load generator for `sentinel-server`: N concurrent clients drive a
+//! SEQ + cascade rule workload over the wire and report throughput and
+//! latency percentiles as one `bench{...}` JSON line.
+//!
+//! ```text
+//! cargo run --release -p sentinel-bench --bin sentinel-loadgen -- [FLAGS]
+//!
+//!   --addr <host:port>  server address (default 127.0.0.1:7878)
+//!   --clients <N>       concurrent client connections (default 8)
+//!   --iters <N>         event pairs per client (default 200)
+//!   --traced            stamp signals with per-client trace ids (pair
+//!                       with `sentinel-server --tracing`)
+//!   --shutdown          send a Shutdown frame when done (for CI)
+//! ```
+//!
+//! The workload: explicit events `seq_a`, `seq_b`, `cascade`; composite
+//! `pair = seq_a ; seq_b` (Chronicle context); rule `pair_watch` raises
+//! `cascade` on every pair; rule `cascade_count` counts the cascades
+//! server-side. Each client alternates `seq_a`, `seq_b` synchronously, so
+//! in every interleaving each `seq_b` closes exactly one pair:
+//! `pairs = clients × iters`, and with both rules immediate the server's
+//! fired-rule count must advance by exactly `2 × pairs` — the zero-lost
+//! check. The process exits non-zero on any lost signal, decode error, or
+//! failed client.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sentinel_net::{ClientError, RuleSpec, SentinelClient};
+use sentinel_obs::{json, Histogram};
+
+struct Args {
+    addr: String,
+    clients: usize,
+    iters: usize,
+    traced: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        clients: 8,
+        iters: 200,
+        traced: false,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--clients" => args.clients = value("--clients").parse().expect("--clients <N>"),
+            "--iters" => args.iters = value("--iters").parse().expect("--iters <N>"),
+            "--traced" => args.traced = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "sentinel-loadgen [--addr HOST:PORT] [--clients N] [--iters N] \
+                     [--traced] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Stats-JSON helpers (absent paths read as 0 — e.g. `rule_hits` before
+/// the first firing).
+fn stat_u64(stats: &json::Value, path: &[&str]) -> u64 {
+    let mut v = stats;
+    for key in path {
+        match v.get(key) {
+            Some(next) => v = next,
+            None => return 0,
+        }
+    }
+    v.as_u64().unwrap_or(0)
+}
+
+/// Signals one event, retrying while the server reports backpressure.
+fn signal_retry(
+    client: &SentinelClient,
+    event: &str,
+    trace: Option<u64>,
+    busy: &AtomicU64,
+) -> Result<u64, ClientError> {
+    loop {
+        let res = match trace {
+            Some(t) => client.signal_sync_traced(event, &[], None, t),
+            None => client.signal_sync(event, &[], None),
+        };
+        match res {
+            Err(ClientError::Busy { .. }) => {
+                busy.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            other => return other,
+        }
+    }
+}
+
+struct ClientOutcome {
+    requests: u64,
+    pairs_observed: u64,
+    failed: bool,
+}
+
+fn run_client(
+    addr: &str,
+    index: usize,
+    iters: usize,
+    traced: bool,
+    hist: &Histogram,
+    busy: &AtomicU64,
+) -> ClientOutcome {
+    let name = format!("loadgen-{index}");
+    let client =
+        match SentinelClient::connect_with_backoff(addr, &name, 10, Duration::from_millis(50)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{name}: connect failed: {e}");
+                return ClientOutcome { requests: 0, pairs_observed: 0, failed: true };
+            }
+        };
+    let trace = traced.then_some(index as u64 + 1);
+    let mut out = ClientOutcome { requests: 0, pairs_observed: 0, failed: false };
+    for _ in 0..iters {
+        for event in ["seq_a", "seq_b"] {
+            let t0 = Instant::now();
+            match signal_retry(&client, event, trace, busy) {
+                Ok(detections) => {
+                    hist.record_duration(t0.elapsed());
+                    out.requests += 1;
+                    if event == "seq_b" {
+                        out.pairs_observed += detections;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{name}: {event} failed: {e}");
+                    out.failed = true;
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+
+    let admin = match SentinelClient::connect_with_backoff(
+        &args.addr,
+        "loadgen-admin",
+        20,
+        Duration::from_millis(50),
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot reach server at {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+
+    // Define the workload; tolerate "already defined" so repeated runs
+    // against a long-lived server work (counts below are deltas).
+    let defs: [Result<u64, ClientError>; 6] = [
+        admin.define_event("seq_a", None),
+        admin.define_event("seq_b", None),
+        admin.define_event("cascade", None),
+        admin.define_event("pair", Some("seq_a ; seq_b")),
+        admin.define_rule(&RuleSpec::raise("pair_watch", "pair", "cascade").context("chronicle")),
+        admin.define_rule(&RuleSpec::count("cascade_count", "cascade")),
+    ];
+    for def in defs {
+        match def {
+            Ok(_) | Err(ClientError::Server { .. }) => {}
+            Err(e) => {
+                eprintln!("workload definition failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let before = admin.stats().unwrap_or_else(|e| {
+        eprintln!("stats failed: {e}");
+        std::process::exit(1);
+    });
+    let fired0 = stat_u64(&before, &["scheduler", "fired", "immediate"]);
+    let hits0 = stat_u64(&before, &["rule_hits", "cascade_count"]);
+    let decode0 = stat_u64(&before, &["net", "decode_errors"]);
+
+    let hist = Arc::new(Histogram::new());
+    let busy = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let (addr, hist, busy) = (args.addr.clone(), hist.clone(), busy.clone());
+            let (iters, traced) = (args.iters, args.traced);
+            std::thread::spawn(move || run_client(&addr, i, iters, traced, &hist, &busy))
+        })
+        .collect();
+    let outcomes: Vec<ClientOutcome> =
+        threads.into_iter().map(|t| t.join().expect("client thread")).collect();
+    let elapsed = t0.elapsed();
+
+    let after = admin.stats().unwrap_or_else(|e| {
+        eprintln!("stats failed: {e}");
+        std::process::exit(1);
+    });
+    let fired = stat_u64(&after, &["scheduler", "fired", "immediate"]) - fired0;
+    let hits = stat_u64(&after, &["rule_hits", "cascade_count"]) - hits0;
+    let decode_errors = stat_u64(&after, &["net", "decode_errors"]) - decode0;
+
+    let failed = outcomes.iter().filter(|o| o.failed).count() as u64;
+    let requests: u64 = outcomes.iter().map(|o| o.requests).sum();
+    let pairs_observed: u64 = outcomes.iter().map(|o| o.pairs_observed).sum();
+    let pairs_expected = (args.clients * args.iters) as u64;
+    // Every pair fires pair_watch + cascade_count, both immediate.
+    let lost = (2 * pairs_expected) as i64 - fired as i64;
+
+    let snap = hist.snapshot();
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    let throughput = requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    let line = json::Value::obj([
+        ("bench", json::Value::str("net_loadgen")),
+        ("clients", json::Value::UInt(args.clients as u64)),
+        ("iters", json::Value::UInt(args.iters as u64)),
+        ("requests", json::Value::UInt(requests)),
+        ("pairs_expected", json::Value::UInt(pairs_expected)),
+        ("pairs_observed", json::Value::UInt(pairs_observed)),
+        ("rule_hits", json::Value::UInt(hits)),
+        ("fired_immediate", json::Value::UInt(fired)),
+        ("lost", json::Value::Int(lost)),
+        ("elapsed_ms", json::Value::Float(elapsed_ms)),
+        ("throughput_rps", json::Value::Float(throughput)),
+        ("p50_us", json::Value::Float(snap.p50_ns() as f64 / 1e3)),
+        ("p95_us", json::Value::Float(snap.p95_ns() as f64 / 1e3)),
+        ("p99_us", json::Value::Float(snap.p99_ns() as f64 / 1e3)),
+        ("mean_us", json::Value::Float(snap.mean_ns() as f64 / 1e3)),
+        ("busy_retries", json::Value::UInt(busy.load(Ordering::Relaxed))),
+        ("decode_errors", json::Value::UInt(decode_errors)),
+        ("failed_clients", json::Value::UInt(failed)),
+    ]);
+    println!("bench{line}");
+
+    if args.shutdown {
+        if let Err(e) = admin.shutdown_server() {
+            eprintln!("shutdown request failed: {e}");
+        }
+    }
+
+    let ok = failed == 0
+        && decode_errors == 0
+        && lost == 0
+        && pairs_observed == pairs_expected
+        && hits == pairs_expected;
+    if !ok {
+        eprintln!(
+            "FAILED: expected {pairs_expected} pairs \
+             (observed {pairs_observed}, rule hits {hits}, lost {lost}, \
+             decode errors {decode_errors}, failed clients {failed})"
+        );
+        std::process::exit(1);
+    }
+}

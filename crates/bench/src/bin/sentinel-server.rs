@@ -1,0 +1,84 @@
+//! Standalone Sentinel server: one shared active DBMS behind a TCP port.
+//!
+//! ```text
+//! cargo run --release -p sentinel-bench --bin sentinel-server -- [FLAGS]
+//!
+//!   --addr <host:port>      bind address (default 127.0.0.1:7878; port 0
+//!                           lets the OS pick — the chosen port is printed)
+//!   --max-connections <N>   concurrent connection cap (default 64)
+//!   --global-inflight <N>   global in-flight signal cap (default 1024)
+//!   --session-inflight <N>  per-session queued-async cap (default 128)
+//!   --tracing               enable provenance tracing (lets clients
+//!                           stitch server spans into their trace ids)
+//! ```
+//!
+//! The process serves until a client sends a `Shutdown` frame (e.g.
+//! `sentinel-loadgen --shutdown`), then drains the detector service and
+//! exits. The line `listening on <addr>` on stdout marks readiness.
+
+use sentinel_core::Sentinel;
+use sentinel_net::{NetServer, ServerConfig};
+
+struct Args {
+    cfg: ServerConfig,
+    tracing: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { cfg: ServerConfig::default(), tracing: false };
+    args.cfg.addr = "127.0.0.1:7878".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.cfg.addr = value("--addr"),
+            "--max-connections" => {
+                args.cfg.max_connections =
+                    value("--max-connections").parse().expect("--max-connections <N>");
+            }
+            "--global-inflight" => {
+                args.cfg.max_inflight_global =
+                    value("--global-inflight").parse().expect("--global-inflight <N>");
+            }
+            "--session-inflight" => {
+                args.cfg.max_inflight_per_session =
+                    value("--session-inflight").parse().expect("--session-inflight <N>");
+            }
+            "--tracing" => args.tracing = true,
+            "--help" | "-h" => {
+                println!(
+                    "sentinel-server [--addr HOST:PORT] [--max-connections N] \
+                     [--global-inflight N] [--session-inflight N] [--tracing]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let sentinel = Sentinel::in_memory();
+    sentinel.set_tracing(args.tracing);
+    let server = match NetServer::start(sentinel.serve_handle(), args.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    server.wait_for_shutdown();
+    let net = server.metrics().snapshot();
+    println!("server stopped: {}", net.to_json());
+}

@@ -40,7 +40,7 @@ pub mod preprocessor;
 pub mod sentinel;
 
 pub use preprocessor::{FunctionTable, Preprocessor};
-pub use sentinel::{Sentinel, SentinelConfig, SentinelError, SentinelStats};
+pub use sentinel::{Sentinel, SentinelConfig, SentinelError, SentinelStats, ServeHandle};
 
 // Re-export the subsystem crates so applications depend on one crate.
 pub use sentinel_detector as detector;

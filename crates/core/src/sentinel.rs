@@ -15,8 +15,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use sentinel_detector::graph::{GraphError, PrimTarget};
-use sentinel_detector::{DetectorStats, EventId, LocalEventDetector, Value};
-use sentinel_obs::span::TraceStore;
+use sentinel_detector::{Detection, DetectorStats, EventId, LocalEventDetector, Value};
+use sentinel_obs::span::{self, TraceStore};
+use sentinel_obs::trace::Field;
 use sentinel_obs::{export, json, TraceBus, TraceBusStats};
 use sentinel_oodb::invoke::{Database, DbError};
 use sentinel_oodb::{AttrValue, ObjectState, Oid};
@@ -487,6 +488,112 @@ impl Sentinel {
         let id =
             self.rules().lookup(name).ok_or_else(|| SentinelError::Unknown(name.to_string()))?;
         Ok(self.rules().disable(id)?)
+    }
+
+    // --- serving ------------------------------------------------------
+
+    /// A cheaply clonable handle for exposing this system over a network
+    /// boundary (the `sentinel-net` server). Connection threads clone it
+    /// freely; every method is safe to call concurrently.
+    pub fn serve_handle(self: &Arc<Self>) -> ServeHandle {
+        ServeHandle { inner: self.clone() }
+    }
+}
+
+/// Serving facade over a shared [`Sentinel`]: the slice of the API a
+/// network server needs, in server-shaped signatures (detection counts
+/// instead of `()`, JSON snapshots instead of structs, remote trace-id
+/// adoption). Obtained from [`Sentinel::serve_handle`]; `Clone` is one
+/// `Arc` bump.
+#[derive(Clone)]
+pub struct ServeHandle {
+    inner: Arc<Sentinel>,
+}
+
+impl ServeHandle {
+    /// The wrapped system, for definition-time calls (classes, events,
+    /// rules) that have no server-specific shape.
+    pub fn sentinel(&self) -> &Arc<Sentinel> {
+        &self.inner
+    }
+
+    /// Raises the explicit event `name` and runs immediate rules before
+    /// returning (like [`Sentinel::raise`]), reporting how many event
+    /// detections the signal produced — the number a client needs to
+    /// account for fired rules.
+    pub fn signal(&self, name: &str, params: Vec<(Arc<str>, Value)>, txn: Option<u64>) -> usize {
+        let dets = self.inner.detector.signal_explicit(name, params, txn);
+        let n = dets.len();
+        self.inner.scheduler.dispatch(dets);
+        n
+    }
+
+    /// Like [`ServeHandle::signal`], but stitches server-side spans into a
+    /// trace the *client* initiated: with `remote_trace` set and tracing
+    /// enabled, the raw id is adopted via
+    /// [`TraceStore::adopt_remote`] and a `net_signal` span under it is
+    /// installed as the thread's ambient span, so the detector's signal
+    /// span (and everything below it) joins the client's trace.
+    pub fn signal_traced(
+        &self,
+        name: &str,
+        params: Vec<(Arc<str>, Value)>,
+        txn: Option<u64>,
+        remote_trace: Option<u64>,
+    ) -> usize {
+        let spans = &self.inner.spans;
+        let Some(raw) = remote_trace.filter(|_| spans.is_enabled()) else {
+            return self.signal(name, params, txn);
+        };
+        let trace = spans.adopt_remote(raw);
+        let handle = spans.start(trace, None, "net_signal", Arc::from(name));
+        let n = {
+            let _guard = span::push_current(handle.ctx);
+            self.signal(name, params, txn)
+        };
+        let mut fields = vec![("remote_trace", Field::U64(raw))];
+        if let Some(t) = txn {
+            fields.push(("txn", Field::U64(t)));
+        }
+        spans.finish(handle, 0, fields);
+        n
+    }
+
+    /// Dispatches externally produced detections (e.g. drained from a
+    /// [`sentinel_detector::DetectorService`]) to the rule scheduler.
+    pub fn dispatch(&self, detections: Vec<Detection>) {
+        self.inner.scheduler.dispatch(detections);
+    }
+
+    /// [`Sentinel::stats`] rendered as JSON, ready to frame.
+    pub fn stats_json(&self) -> json::Value {
+        self.inner.stats().to_json()
+    }
+
+    /// Per-trace roll-ups ([`TraceStore::trace_summaries`]) as a JSON
+    /// array of `{trace, spans, root, wall_ns}` objects.
+    pub fn trace_summaries_json(&self) -> json::Value {
+        json::Value::Arr(
+            self.inner
+                .spans
+                .trace_summaries()
+                .into_iter()
+                .map(|s| {
+                    json::Value::obj([
+                        ("trace", json::Value::UInt(s.trace.0)),
+                        ("spans", json::Value::UInt(s.spans as u64)),
+                        ("root", json::Value::str(s.root.as_ref())),
+                        ("wall_ns", json::Value::UInt(s.wall_ns)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Chrome trace-event JSON of every recorded span
+    /// ([`Sentinel::export_chrome_trace`]).
+    pub fn export_chrome_trace(&self) -> String {
+        self.inner.export_chrome_trace()
     }
 }
 

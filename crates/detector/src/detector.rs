@@ -61,6 +61,11 @@ pub struct Detection {
 pub struct LocalEventDetector {
     graph: Mutex<EventGraph>,
     clock: Arc<LogicalClock>,
+    /// Serializes timestamp draws with graph propagation on the live
+    /// signal paths. Without it, two concurrent signals can tick `t1 < t2`
+    /// but propagate in the opposite order, and order-sensitive operators
+    /// (SEQ's strict `initiator.at < terminator.at`) silently drop pairs.
+    signal_order: Mutex<()>,
     app: u32,
     /// When false, primitive-event signalling is suppressed — the paper's
     /// global flag that prevents events raised *during condition
@@ -198,6 +203,7 @@ impl LocalEventDetector {
         LocalEventDetector {
             graph: Mutex::new(graph),
             clock,
+            signal_order: Mutex::new(()),
             app,
             signaling: AtomicBool::new(true),
             alarms: Mutex::new(BinaryHeap::new()),
@@ -398,6 +404,7 @@ impl LocalEventDetector {
         if !self.signaling() {
             return Vec::new();
         }
+        let _order = self.signal_order.lock();
         let ts = self.clock.tick();
         self.record(LoggedEvent::Method {
             class: class.to_string(),
@@ -518,6 +525,7 @@ impl LocalEventDetector {
         if !self.signaling() {
             return Vec::new();
         }
+        let _order = self.signal_order.lock();
         let ts = self.clock.tick();
         self.record(LoggedEvent::Explicit {
             name: name.to_string(),

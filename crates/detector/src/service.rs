@@ -186,14 +186,27 @@ impl DetectorService {
     pub fn metrics(&self) -> &Arc<ServiceMetrics> {
         &self.metrics
     }
-}
 
-impl Drop for DetectorService {
-    fn drop(&mut self) {
+    /// Stops the service thread after draining every queued signal.
+    ///
+    /// The request channel is FIFO, so the `Shutdown` request enqueued here
+    /// sorts behind everything already queued: the thread processes all
+    /// pending signals (their detections still reach
+    /// [`Self::detections`]) and only then exits. Idempotent; `Drop`
+    /// delegates here, but callers that need a deterministic drain point —
+    /// e.g. a network server's graceful shutdown — should call it
+    /// explicitly rather than rely on drop order.
+    pub fn shutdown(&mut self) {
         let _ = self.requests.send(Request::Shutdown);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+    }
+}
+
+impl Drop for DetectorService {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -265,6 +278,24 @@ mod tests {
     fn shutdown_on_drop_is_clean() {
         let svc = service();
         drop(svc); // must not hang or panic
+    }
+
+    #[test]
+    fn shutdown_drains_queued_signals_before_join() {
+        let mut svc = service();
+        let det = svc.detector().clone();
+        let ev = det.lookup("ev").unwrap();
+        det.subscribe(ev, ParamContext::Recent, 9).unwrap();
+        const K: u64 = 64;
+        for _ in 0..K {
+            svc.signal_async(method_signal(1));
+        }
+        svc.shutdown();
+        assert_eq!(svc.metrics().processed.get(), K, "every queued signal processed");
+        assert_eq!(svc.detections().try_iter().count(), K as usize, "no detection lost");
+        // Idempotent: a second shutdown (and the eventual drop) is a no-op.
+        svc.shutdown();
+        assert_eq!(svc.metrics().processed.get(), K);
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! # sentinel-net
+//!
+//! Client/server subsystem for Sentinel: the network boundary that lets
+//! many applications signal events, manage rules, and query one shared
+//! detector/rulebase over TCP — the paper's library-linked Sentinel
+//! (§2.3) recast as a served system, as production reactive-rule engines
+//! deploy (rule engines as networked CEP services).
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — a versioned, length-prefixed binary framing with JSON
+//!   payloads; strict size limits, total (never-panicking) decoding;
+//! * [`server`] — thread-per-connection [`server::NetServer`] wrapping a
+//!   [`sentinel_core::ServeHandle`]: named sessions, the full command
+//!   set, per-session/global backpressure, graceful drain-on-shutdown;
+//! * [`client`] — blocking [`client::SentinelClient`] with request
+//!   pipelining by request id, reconnect-with-backoff, and typed errors
+//!   separating transport failures from server-reported ones.
+//!
+//! Only `std::net` is used: the workspace builds offline, so there is no
+//! async runtime — concurrency is OS threads and bounded queues.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, Pending, RuleSpec, SentinelClient};
+pub use protocol::{DecodeError, EncodeError, Frame, Opcode, WireError};
+pub use server::{NetServer, ServerConfig};

@@ -1,0 +1,452 @@
+//! The Sentinel wire protocol: versioned, length-prefixed binary frames
+//! carrying JSON payloads.
+//!
+//! Every frame is a fixed 16-byte header followed by an optional UTF-8
+//! JSON payload (rendered/parsed with [`sentinel_obs::json`], the same
+//! serializer the stats snapshots use):
+//!
+//! | offset | size | field       | value                                  |
+//! |-------:|-----:|-------------|----------------------------------------|
+//! |      0 |    2 | magic       | `b"SN"`                                |
+//! |      2 |    1 | version     | [`VERSION`] (`1`)                      |
+//! |      3 |    1 | opcode      | [`Opcode`] discriminant                |
+//! |      4 |    8 | request id  | `u64` little-endian, chosen by sender  |
+//! |     12 |    4 | payload len | `u32` little-endian, ≤ [`MAX_PAYLOAD`] |
+//! |     16 |    n | payload     | UTF-8 JSON (absent when len = 0)       |
+//!
+//! Responses echo the request id, which is what lets a client pipeline
+//! many requests on one connection and match replies as they return.
+//! Decoding is strict and total: malformed input yields a typed
+//! [`DecodeError`], never a panic, and an incomplete buffer is simply
+//! `Ok(None)` (read more bytes and retry).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use sentinel_detector::Value as EventValue;
+use sentinel_obs::json;
+
+/// First two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"SN";
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Hard ceiling on a frame's payload (1 MiB). Oversized frames are
+/// rejected at decode time before any allocation of the stated size.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Frame opcodes. Requests occupy `0x01..=0x0E`; responses have the high
+/// bit set (`0x80..`), so [`Opcode::is_response`] is one mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Open a session: `{"client": name}` → `Ok {"session": id}`.
+    Hello = 0x01,
+    /// Register a reactive class: `{"name", "attrs": [[name, type]...]}`.
+    DefineClass = 0x02,
+    /// Define an event: `{"name", "expr"?}` (no `expr` = explicit event).
+    DefineEvent = 0x03,
+    /// Define a rule from the server-side action catalog:
+    /// `{"name", "event", "action", "context"?, "coupling"?, "priority"?}`.
+    DefineRule = 0x04,
+    /// Enable a rule by name: `{"name"}`.
+    EnableRule = 0x05,
+    /// Disable a rule by name: `{"name"}`.
+    DisableRule = 0x06,
+    /// Delete a rule by name: `{"name"}`.
+    DropRule = 0x07,
+    /// Signal a primitive event and wait for immediate rules:
+    /// `{"event", "params"?, "txn"?, "trace"?}` → `Ok {"detections": n}`.
+    SignalSync = 0x08,
+    /// Queue a signal and return immediately: same payload as
+    /// [`Opcode::SignalSync`] → `Ok {"queued": true}`.
+    SignalAsync = 0x09,
+    /// Fetch the combined stats snapshot (with `net` and `rule_hits`).
+    Stats = 0x0A,
+    /// Fetch per-trace roll-ups → `Ok {"traces": [...]}`.
+    TraceSummaries = 0x0B,
+    /// Fetch the Chrome trace-event export → `Ok {"chrome": "..."}`.
+    ExportTrace = 0x0C,
+    /// Liveness probe; the payload is echoed back.
+    Ping = 0x0D,
+    /// Ask the server to shut down gracefully (drains the detector).
+    Shutdown = 0x0E,
+    /// Success response; payload shape depends on the request.
+    Ok = 0x80,
+    /// Server-reported failure: `{"code", "message"}`.
+    Err = 0x81,
+    /// Backpressure rejection: `{"scope", "inflight", "limit"}`.
+    Busy = 0x82,
+}
+
+impl Opcode {
+    /// Every opcode, requests then responses (used by the round-trip
+    /// property tests).
+    pub const ALL: [Opcode; 17] = [
+        Opcode::Hello,
+        Opcode::DefineClass,
+        Opcode::DefineEvent,
+        Opcode::DefineRule,
+        Opcode::EnableRule,
+        Opcode::DisableRule,
+        Opcode::DropRule,
+        Opcode::SignalSync,
+        Opcode::SignalAsync,
+        Opcode::Stats,
+        Opcode::TraceSummaries,
+        Opcode::ExportTrace,
+        Opcode::Ping,
+        Opcode::Shutdown,
+        Opcode::Ok,
+        Opcode::Err,
+        Opcode::Busy,
+    ];
+
+    /// Decodes a wire byte; `None` for unassigned values.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Opcode::ALL.iter().copied().find(|op| *op as u8 == b)
+    }
+
+    /// True for the response opcodes (`Ok`/`Err`/`Busy`).
+    pub fn is_response(self) -> bool {
+        self as u8 & 0x80 != 0
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What the frame asks for or answers.
+    pub opcode: Opcode,
+    /// Correlates a response with its request (client-chosen).
+    pub request_id: u64,
+    /// JSON payload; [`json::Value::Null`] encodes as an empty payload.
+    pub payload: json::Value,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(opcode: Opcode, request_id: u64, payload: json::Value) -> Frame {
+        Frame { opcode, request_id, payload }
+    }
+}
+
+/// Why a byte buffer failed to decode as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// First two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// Version byte this build does not speak.
+    BadVersion(u8),
+    /// Unassigned opcode byte.
+    UnknownOpcode(u8),
+    /// Stated payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Payload present but not valid UTF-8 JSON.
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            DecodeError::Oversized(n) => write!(f, "payload length {n} exceeds {MAX_PAYLOAD}"),
+            DecodeError::BadPayload(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Why a frame could not be encoded (only size can fail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Rendered payload exceeds [`MAX_PAYLOAD`] bytes.
+    Oversized(usize),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Oversized(n) => write!(f, "payload of {n} bytes exceeds {MAX_PAYLOAD}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encodes a frame to wire bytes.
+pub fn encode(frame: &Frame) -> Result<Vec<u8>, EncodeError> {
+    let body = match &frame.payload {
+        json::Value::Null => String::new(),
+        p => p.to_string(),
+    };
+    if body.len() > MAX_PAYLOAD {
+        return Err(EncodeError::Oversized(body.len()));
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.opcode as u8);
+    out.extend_from_slice(&frame.request_id.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body.as_bytes());
+    Ok(out)
+}
+
+/// Validates a 16-byte header, returning `(opcode, request_id, payload_len)`.
+fn decode_header(h: &[u8; HEADER_LEN]) -> Result<(Opcode, u64, usize), DecodeError> {
+    if h[0..2] != MAGIC {
+        return Err(DecodeError::BadMagic([h[0], h[1]]));
+    }
+    if h[2] != VERSION {
+        return Err(DecodeError::BadVersion(h[2]));
+    }
+    let opcode = Opcode::from_u8(h[3]).ok_or(DecodeError::UnknownOpcode(h[3]))?;
+    let request_id = u64::from_le_bytes(h[4..12].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(h[12..16].try_into().expect("4 bytes"));
+    if len as usize > MAX_PAYLOAD {
+        return Err(DecodeError::Oversized(len));
+    }
+    Ok((opcode, request_id, len as usize))
+}
+
+fn parse_payload(bytes: &[u8]) -> Result<json::Value, DecodeError> {
+    if bytes.is_empty() {
+        return Ok(json::Value::Null);
+    }
+    let text = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadPayload("invalid utf-8"))?;
+    json::Value::parse(text).map_err(|e| DecodeError::BadPayload(e.message))
+}
+
+/// Tries to decode one frame from the front of `buf`.
+///
+/// * `Ok(Some((frame, consumed)))` — a complete frame; drop `consumed`
+///   bytes from the buffer before decoding again.
+/// * `Ok(None)` — the buffer holds a valid prefix of a frame; read more.
+/// * `Err(_)` — the stream is corrupt at the buffer's front; the only
+///   safe recovery is closing the connection.
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        // Reject garbage early: a wrong magic or version is detectable
+        // from the first bytes alone, before a full header arrives.
+        if !MAGIC.starts_with(&buf[..buf.len().min(2)]) {
+            return Err(DecodeError::BadMagic([
+                buf.first().copied().unwrap_or_default(),
+                buf.get(1).copied().unwrap_or_default(),
+            ]));
+        }
+        return Ok(None);
+    }
+    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("checked length");
+    let (opcode, request_id, len) = decode_header(header)?;
+    let total = HEADER_LEN + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = parse_payload(&buf[HEADER_LEN..total])?;
+    Ok(Some((Frame { opcode, request_id, payload }, total)))
+}
+
+/// Transport-or-framing error for the stream helpers.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer sent bytes that do not decode.
+    Decode(DecodeError),
+    /// The frame to send does not encode (oversized payload).
+    Encode(EncodeError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::Decode(e) => write!(f, "decode: {e}"),
+            WireError::Encode(e) => write!(f, "encode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+impl From<EncodeError> for WireError {
+    fn from(e: EncodeError) -> Self {
+        WireError::Encode(e)
+    }
+}
+
+/// Writes one frame, returning the bytes put on the wire.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<usize, WireError> {
+    let bytes = encode(frame)?;
+    w.write_all(&bytes)?;
+    Ok(bytes.len())
+}
+
+/// Reads exactly one frame, blocking until it is complete.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(Frame, usize), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (opcode, request_id, len) = decode_header(&header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let payload = parse_payload(&payload)?;
+    Ok((Frame { opcode, request_id, payload }, HEADER_LEN + len))
+}
+
+// ---------------------------------------------------------------------------
+// Event-parameter (de)serialization
+// ---------------------------------------------------------------------------
+
+/// Renders one occurrence [`EventValue`] as tagged JSON
+/// (`{"int": 5}`, `{"str": "x"}`, … `null` for `Null`).
+pub fn value_to_json(v: &EventValue) -> json::Value {
+    match v {
+        EventValue::Int(i) => json::Value::obj([("int", json::Value::Int(*i))]),
+        EventValue::Float(x) => json::Value::obj([("float", json::Value::Float(*x))]),
+        EventValue::Bool(b) => json::Value::obj([("bool", json::Value::Bool(*b))]),
+        EventValue::Str(s) => json::Value::obj([("str", json::Value::str(s.as_ref()))]),
+        EventValue::Oid(o) => json::Value::obj([("oid", json::Value::UInt(*o))]),
+        EventValue::Null => json::Value::Null,
+    }
+}
+
+/// Inverse of [`value_to_json`]; `None` for shapes it never produces.
+pub fn value_from_json(v: &json::Value) -> Option<EventValue> {
+    let json::Value::Obj(pairs) = v else {
+        return matches!(v, json::Value::Null).then_some(EventValue::Null);
+    };
+    let [(tag, inner)] = pairs.as_slice() else { return None };
+    match (tag.as_str(), inner) {
+        ("int", json::Value::Int(i)) => Some(EventValue::Int(*i)),
+        ("int", json::Value::UInt(u)) => i64::try_from(*u).ok().map(EventValue::Int),
+        ("float", json::Value::Float(x)) => Some(EventValue::Float(*x)),
+        ("float", json::Value::Int(i)) => Some(EventValue::Float(*i as f64)),
+        ("float", json::Value::UInt(u)) => Some(EventValue::Float(*u as f64)),
+        ("bool", json::Value::Bool(b)) => Some(EventValue::Bool(*b)),
+        ("str", json::Value::Str(s)) => Some(EventValue::Str(Arc::from(s.as_str()))),
+        ("oid", json::Value::UInt(o)) => Some(EventValue::Oid(*o)),
+        ("oid", json::Value::Int(i)) => u64::try_from(*i).ok().map(EventValue::Oid),
+        _ => None,
+    }
+}
+
+/// Renders an event parameter list as a JSON object (order preserved).
+pub fn params_to_json(params: &[(Arc<str>, EventValue)]) -> json::Value {
+    json::Value::Obj(params.iter().map(|(k, v)| (k.to_string(), value_to_json(v))).collect())
+}
+
+/// Inverse of [`params_to_json`]. `Null` (an absent `params` field) is an
+/// empty list; anything but an object of tagged values is `None`.
+pub fn params_from_json(v: &json::Value) -> Option<Vec<(Arc<str>, EventValue)>> {
+    match v {
+        json::Value::Null => Some(Vec::new()),
+        json::Value::Obj(pairs) => pairs
+            .iter()
+            .map(|(k, v)| value_from_json(v).map(|val| (Arc::from(k.as_str()), val)))
+            .collect(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(op: Opcode) -> Frame {
+        Frame::new(op, 42, json::Value::obj([("k", json::Value::UInt(7))]))
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for op in Opcode::ALL {
+            let f = frame(op);
+            let bytes = encode(&f).unwrap();
+            let (back, used) = decode(&bytes).unwrap().expect("complete");
+            assert_eq!(back, f);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_null() {
+        let f = Frame::new(Opcode::Stats, 1, json::Value::Null);
+        let bytes = encode(&f).unwrap();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let (back, _) = decode(&bytes).unwrap().unwrap();
+        assert_eq!(back.payload, json::Value::Null);
+    }
+
+    #[test]
+    fn incomplete_buffers_ask_for_more() {
+        let bytes = encode(&frame(Opcode::Ping)).unwrap();
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            assert_eq!(decode(&bytes[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_typed_errors() {
+        let good = encode(&frame(Opcode::Ping)).unwrap();
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode(&bad), Err(DecodeError::BadMagic(_))));
+        let mut bad = good.clone();
+        bad[2] = 9;
+        assert!(matches!(decode(&bad), Err(DecodeError::BadVersion(9))));
+        let mut bad = good.clone();
+        bad[3] = 0x7F;
+        assert!(matches!(decode(&bad), Err(DecodeError::UnknownOpcode(0x7F))));
+        let mut bad = good;
+        bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(DecodeError::Oversized(_))));
+    }
+
+    #[test]
+    fn oversized_payload_refuses_to_encode() {
+        let f = Frame::new(Opcode::Ping, 0, json::Value::str("x".repeat(MAX_PAYLOAD)));
+        assert!(matches!(encode(&f), Err(EncodeError::Oversized(_))));
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let params: Vec<(Arc<str>, EventValue)> = vec![
+            (Arc::from("i"), EventValue::Int(-3)),
+            (Arc::from("f"), EventValue::Float(2.5)),
+            (Arc::from("b"), EventValue::Bool(true)),
+            (Arc::from("s"), EventValue::Str(Arc::from("hi"))),
+            (Arc::from("o"), EventValue::Oid(9)),
+            (Arc::from("n"), EventValue::Null),
+        ];
+        let j = params_to_json(&params);
+        let text = j.to_string();
+        let parsed = json::Value::parse(&text).unwrap();
+        assert_eq!(params_from_json(&parsed).unwrap(), params);
+    }
+
+    #[test]
+    fn opcode_bytes_are_stable() {
+        assert_eq!(Opcode::Hello as u8, 0x01);
+        assert_eq!(Opcode::Shutdown as u8, 0x0E);
+        assert_eq!(Opcode::Ok as u8, 0x80);
+        assert!(Opcode::Busy.is_response());
+        assert!(!Opcode::SignalSync.is_response());
+        assert_eq!(Opcode::from_u8(0x00), None);
+        assert_eq!(Opcode::from_u8(0xFF), None);
+    }
+}

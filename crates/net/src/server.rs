@@ -1,0 +1,672 @@
+//! The Sentinel network server: many clients, one shared active DBMS.
+//!
+//! Thread model (`std::net` only — the workspace is offline, so no async
+//! runtime): one acceptor thread, one OS thread per connection (bounded by
+//! [`ServerConfig::max_connections`]), one *async pump* thread that feeds
+//! queued signals through a dedicated [`DetectorService`] — the paper's
+//! Figure 2 separation of detection from application execution, applied at
+//! the network boundary.
+//!
+//! Request handling per connection is serial, but clients pipeline: every
+//! frame carries a request id and responses echo it, so a client may have
+//! many requests outstanding on one socket.
+//!
+//! Backpressure is explicit, never unbounded queueing:
+//!
+//! * **sync signals** run inline on the connection thread and are capped
+//!   globally ([`ServerConfig::max_inflight_global`]) — past the cap the
+//!   server answers `Busy {"scope": "global"}`;
+//! * **async signals** enter a bounded queue drained by the pump; a full
+//!   queue is a global `Busy`, and each session is further capped at
+//!   [`ServerConfig::max_inflight_per_session`] queued signals
+//!   (`Busy {"scope": "session"}`).
+//!
+//! Graceful shutdown (client `Shutdown` frame or [`NetServer::shutdown`])
+//! stops accepting, joins every connection thread, closes the async queue
+//! so the pump drains it, and finally calls
+//! [`DetectorService::shutdown`], which processes everything still queued
+//! inside the detector service before joining its thread.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use sentinel_core::ServeHandle;
+use sentinel_detector::service::{DetectorService, Signal};
+use sentinel_obs::span;
+use sentinel_obs::trace::Field;
+use sentinel_obs::{json, NetMetrics};
+use sentinel_oodb::schema::{AttrType, ClassDef};
+use sentinel_rules::manager::RuleOptions;
+use sentinel_rules::RuleScheduler;
+use sentinel_snoop::{CouplingMode, ParamContext};
+
+use crate::protocol::{self, Frame, Opcode, WireError};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Maximum concurrently open connections; further connects receive an
+    /// error frame and are closed.
+    pub max_connections: usize,
+    /// Per-session cap on queued async signals.
+    pub max_inflight_per_session: usize,
+    /// Global cap on in-flight signals (inline sync + queued async).
+    pub max_inflight_global: usize,
+    /// Socket read timeout — the granularity at which connection threads
+    /// notice a shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            max_inflight_per_session: 128,
+            max_inflight_global: 1024,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A signal accepted from a `SignalAsync` frame, waiting for the pump.
+struct AsyncJob {
+    event: String,
+    params: Vec<(Arc<str>, sentinel_detector::Value)>,
+    txn: Option<u64>,
+    trace: Option<u64>,
+    /// The owning session's in-flight counter, decremented when processed.
+    session_inflight: Arc<AtomicU64>,
+}
+
+/// An authenticated connection (one `Hello` accepted).
+struct Session {
+    inflight: Arc<AtomicU64>,
+}
+
+/// State shared by every server thread.
+struct State {
+    handle: ServeHandle,
+    cfg: ServerConfig,
+    metrics: Arc<NetMetrics>,
+    shutdown: AtomicBool,
+    active_conns: AtomicU64,
+    inflight_sync: AtomicU64,
+    next_session: AtomicU64,
+    async_tx: Mutex<Option<Sender<AsyncJob>>>,
+    /// Fire counts of `{"action": "count"}` catalog rules, by rule name.
+    rule_hits: Arc<Mutex<BTreeMap<String, u64>>>,
+    /// Signals a client-requested shutdown to [`NetServer::wait_for_shutdown`].
+    shutdown_tx: Sender<()>,
+}
+
+/// A running server; dropping it shuts it down.
+pub struct NetServer {
+    state: Arc<State>,
+    local_addr: SocketAddr,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    pump: Mutex<Option<JoinHandle<()>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown_rx: Receiver<()>,
+}
+
+impl NetServer {
+    /// Binds `cfg.addr` and starts serving `handle`.
+    pub fn start(handle: ServeHandle, cfg: ServerConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(NetMetrics::default());
+        let (async_tx, async_rx) = bounded::<AsyncJob>(cfg.max_inflight_global.max(1));
+        let (shutdown_tx, shutdown_rx) = unbounded::<()>();
+        let state = Arc::new(State {
+            handle: handle.clone(),
+            cfg,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            active_conns: AtomicU64::new(0),
+            inflight_sync: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+            async_tx: Mutex::new(Some(async_tx)),
+            rule_hits: Arc::new(Mutex::new(BTreeMap::new())),
+            shutdown_tx,
+        });
+
+        let service = DetectorService::spawn(handle.sentinel().detector().clone());
+        let pump_state = state.clone();
+        let pump = std::thread::Builder::new()
+            .name("sentinel-net-pump".into())
+            .spawn(move || pump_loop(service, async_rx, pump_state))
+            .expect("spawn pump thread");
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_state = state.clone();
+        let accept_conns = conn_threads.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("sentinel-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_state, accept_conns))
+            .expect("spawn acceptor thread");
+
+        Ok(NetServer {
+            state,
+            local_addr,
+            acceptor: Mutex::new(Some(acceptor)),
+            pump: Mutex::new(Some(pump)),
+            conn_threads,
+            shutdown_rx,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's network counters.
+    pub fn metrics(&self) -> &Arc<NetMetrics> {
+        &self.state.metrics
+    }
+
+    /// Blocks until a client sends a `Shutdown` frame, then shuts down.
+    pub fn wait_for_shutdown(&self) {
+        let _ = self.shutdown_rx.recv();
+        self.shutdown();
+    }
+
+    /// Graceful shutdown: stop accepting, join connection threads, drain
+    /// the async queue and the detector service. Idempotent.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's `incoming()` with a throwaway connect.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.acceptor.lock().take() {
+            let _ = t.join();
+        }
+        let threads: Vec<_> = self.conn_threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+        // Closing the queue lets the pump drain what is left, shut the
+        // detector service down (which drains *its* queue), and exit.
+        *self.state.async_tx.lock() = None;
+        if let Some(t) = self.pump.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Feeds accepted async signals through the detector service in FIFO
+/// order, dispatching the resulting detections to the rule scheduler.
+fn pump_loop(mut service: DetectorService, rx: Receiver<AsyncJob>, state: Arc<State>) {
+    while let Ok(job) = rx.recv() {
+        let spans = state.handle.sentinel().trace_store().clone();
+        let sig = Signal::Explicit { name: job.event.clone(), params: job.params, txn: job.txn };
+        let dets = match job.trace.filter(|_| spans.is_enabled()) {
+            Some(raw) => {
+                let trace = spans.adopt_remote(raw);
+                let h = spans.start(trace, None, "net_signal", Arc::from(job.event.as_str()));
+                let dets = {
+                    // signal_sync captures the ambient span at enqueue, so
+                    // the detector's spans join the client's trace.
+                    let _g = span::push_current(h.ctx);
+                    service.signal_sync(sig)
+                };
+                spans.finish(h, 0, vec![("remote_trace", Field::U64(raw))]);
+                dets
+            }
+            None => service.signal_sync(sig),
+        };
+        state.handle.dispatch(dets);
+        job.session_inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+    // Queue closed: graceful shutdown. Drain whatever the detector
+    // service still holds before joining its thread.
+    service.shutdown();
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let active = state.active_conns.load(Ordering::SeqCst);
+        if active >= state.cfg.max_connections as u64 {
+            state.metrics.connections_refused.inc();
+            let _ = protocol::write_frame(
+                &mut &stream,
+                &err_frame(0, "connection-limit", "server connection limit reached"),
+            );
+            continue; // dropping the stream closes it
+        }
+        state.metrics.connections_opened.inc();
+        let n = state.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+        state.metrics.connections_active.set(n);
+        let conn_state = state.clone();
+        let t = std::thread::Builder::new()
+            .name("sentinel-net-conn".into())
+            .spawn(move || {
+                handle_conn(&stream, &conn_state);
+                let n = conn_state.active_conns.fetch_sub(1, Ordering::SeqCst) - 1;
+                conn_state.metrics.connections_active.set(n);
+            })
+            .expect("spawn connection thread");
+        conns.lock().push(t);
+    }
+}
+
+/// Serves one connection until EOF, a protocol error, or server shutdown.
+fn handle_conn(stream: &TcpStream, state: &Arc<State>) {
+    let _ = stream.set_read_timeout(Some(state.cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut session: Option<Session> = None;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    'conn: loop {
+        // Handle every complete frame already buffered.
+        loop {
+            match protocol::decode(&buf) {
+                Ok(Some((frame, used))) => {
+                    buf.drain(..used);
+                    state.metrics.frames_in.inc();
+                    if !handle_frame(stream, state, &mut session, frame) {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Corrupt stream: report once, then hang up — resync
+                    // inside a length-prefixed stream is impossible.
+                    state.metrics.decode_errors.inc();
+                    send(stream, state, &err_frame(0, "decode", &e.to_string()));
+                    break 'conn;
+                }
+            }
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match (&mut &*stream).read(&mut chunk) {
+            Ok(0) => break, // client hung up
+            Ok(n) => {
+                state.metrics.bytes_in.add(n as u64);
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // timeout tick: re-check the shutdown flag
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one request; returns `false` to close the connection.
+fn handle_frame(
+    stream: &TcpStream,
+    state: &Arc<State>,
+    session: &mut Option<Session>,
+    frame: Frame,
+) -> bool {
+    let id = frame.request_id;
+    match frame.opcode {
+        Opcode::Ping => send(stream, state, &Frame::new(Opcode::Ok, id, frame.payload)),
+        Opcode::Hello => {
+            let Some(client) = frame.payload.get("client").and_then(json::Value::as_str) else {
+                return send(stream, state, &err_frame(id, "bad-request", "hello needs client"));
+            };
+            let sid = state.next_session.fetch_add(1, Ordering::SeqCst) + 1;
+            *session = Some(Session { inflight: Arc::new(AtomicU64::new(0)) });
+            state.metrics.sessions.inc();
+            let reply = json::Value::obj([
+                ("session", json::Value::UInt(sid)),
+                ("client", json::Value::str(client)),
+                ("server", json::Value::str("sentinel")),
+                ("version", json::Value::UInt(u64::from(protocol::VERSION))),
+            ]);
+            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
+        }
+        Opcode::Ok | Opcode::Err | Opcode::Busy => {
+            state.metrics.decode_errors.inc();
+            send(stream, state, &err_frame(id, "bad-request", "response opcode from client"));
+            false
+        }
+        _ if session.is_none() => {
+            send(stream, state, &err_frame(id, "unauthenticated", "send Hello first"))
+        }
+        Opcode::SignalSync => handle_signal_sync(stream, state, id, &frame.payload),
+        Opcode::SignalAsync => {
+            let sess = session.as_ref().expect("checked above");
+            handle_signal_async(stream, state, sess, id, &frame.payload)
+        }
+        Opcode::Stats => {
+            let mut stats = state.handle.stats_json();
+            if let json::Value::Obj(pairs) = &mut stats {
+                pairs.push(("net".to_string(), state.metrics.snapshot().to_json()));
+                let hits = state.rule_hits.lock();
+                let hits_json = json::Value::Obj(
+                    hits.iter().map(|(k, v)| (k.clone(), json::Value::UInt(*v))).collect(),
+                );
+                pairs.push(("rule_hits".to_string(), hits_json));
+            }
+            send(stream, state, &Frame::new(Opcode::Ok, id, stats))
+        }
+        Opcode::TraceSummaries => {
+            let traces = state.handle.trace_summaries_json();
+            let reply = json::Value::obj([("traces", traces)]);
+            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
+        }
+        Opcode::ExportTrace => {
+            let chrome = state.handle.export_chrome_trace();
+            let reply = json::Value::obj([("chrome", json::Value::Str(chrome))]);
+            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
+        }
+        Opcode::DefineClass => reply_result(stream, state, id, define_class(state, &frame.payload)),
+        Opcode::DefineEvent => reply_result(stream, state, id, define_event(state, &frame.payload)),
+        Opcode::DefineRule => reply_result(stream, state, id, define_rule(state, &frame.payload)),
+        Opcode::EnableRule => {
+            reply_result(stream, state, id, rule_admin(state, &frame.payload, RuleAdmin::Enable))
+        }
+        Opcode::DisableRule => {
+            reply_result(stream, state, id, rule_admin(state, &frame.payload, RuleAdmin::Disable))
+        }
+        Opcode::DropRule => {
+            reply_result(stream, state, id, rule_admin(state, &frame.payload, RuleAdmin::Drop))
+        }
+        Opcode::Shutdown => {
+            let ok = send(stream, state, &Frame::new(Opcode::Ok, id, json::Value::Null));
+            let _ = state.shutdown_tx.send(());
+            ok
+        }
+    }
+}
+
+fn handle_signal_sync(
+    stream: &TcpStream,
+    state: &Arc<State>,
+    id: u64,
+    payload: &json::Value,
+) -> bool {
+    let Some((event, params, txn, trace)) = parse_signal(payload) else {
+        return send(stream, state, &err_frame(id, "bad-request", "malformed signal"));
+    };
+    let limit = state.cfg.max_inflight_global as u64;
+    let cur = state.inflight_sync.fetch_add(1, Ordering::SeqCst) + 1;
+    if cur > limit {
+        state.inflight_sync.fetch_sub(1, Ordering::SeqCst);
+        state.metrics.busy_rejections.inc();
+        return send(stream, state, &busy_frame(id, "global", cur, limit));
+    }
+    let n = state.handle.signal_traced(&event, params, txn, trace);
+    state.inflight_sync.fetch_sub(1, Ordering::SeqCst);
+    let reply = json::Value::obj([("detections", json::Value::UInt(n as u64))]);
+    send(stream, state, &Frame::new(Opcode::Ok, id, reply))
+}
+
+fn handle_signal_async(
+    stream: &TcpStream,
+    state: &Arc<State>,
+    sess: &Session,
+    id: u64,
+    payload: &json::Value,
+) -> bool {
+    let Some((event, params, txn, trace)) = parse_signal(payload) else {
+        return send(stream, state, &err_frame(id, "bad-request", "malformed signal"));
+    };
+    let limit = state.cfg.max_inflight_per_session as u64;
+    let cur = sess.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    if cur > limit {
+        sess.inflight.fetch_sub(1, Ordering::SeqCst);
+        state.metrics.busy_rejections.inc();
+        return send(stream, state, &busy_frame(id, "session", cur, limit));
+    }
+    let job = AsyncJob { event, params, txn, trace, session_inflight: sess.inflight.clone() };
+    let verdict = match state.async_tx.lock().as_ref() {
+        Some(tx) => tx.try_send(job).map_err(|e| matches!(e, TrySendError::Full(_))),
+        None => Err(false), // shutting down
+    };
+    match verdict {
+        Ok(()) => {
+            let reply = json::Value::obj([("queued", json::Value::Bool(true))]);
+            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
+        }
+        Err(full) => {
+            sess.inflight.fetch_sub(1, Ordering::SeqCst);
+            if full {
+                state.metrics.busy_rejections.inc();
+                let cap = state.cfg.max_inflight_global as u64;
+                send(stream, state, &busy_frame(id, "global", cap, cap))
+            } else {
+                send(stream, state, &err_frame(id, "shutting-down", "server is draining"))
+            }
+        }
+    }
+}
+
+/// Pulls `(event, params, txn, trace)` out of a signal payload.
+#[allow(clippy::type_complexity)]
+fn parse_signal(
+    payload: &json::Value,
+) -> Option<(String, Vec<(Arc<str>, sentinel_detector::Value)>, Option<u64>, Option<u64>)> {
+    let event = payload.get("event")?.as_str()?.to_string();
+    let params = match payload.get("params") {
+        Some(p) => protocol::params_from_json(p)?,
+        None => Vec::new(),
+    };
+    let txn = payload.get("txn").and_then(json::Value::as_u64);
+    let trace = payload.get("trace").and_then(json::Value::as_u64);
+    Some((event, params, txn, trace))
+}
+
+fn define_class(state: &Arc<State>, payload: &json::Value) -> Result<json::Value, String> {
+    let name = require_str(payload, "name")?;
+    let mut def = ClassDef::new(name).extends("REACTIVE");
+    if let Some(attrs) = payload.get("attrs").and_then(json::Value::as_arr) {
+        for attr in attrs {
+            let pair = attr.as_arr().filter(|p| p.len() == 2).ok_or("attrs: want [name, type]")?;
+            let (an, at) = (pair[0].as_str(), pair[1].as_str());
+            let (an, at) = an.zip(at).ok_or("attrs: want string pairs")?;
+            def = def.attr(an, attr_type(at)?);
+        }
+    }
+    state.handle.sentinel().db().register_class(def).map_err(|e| e.to_string())?;
+    Ok(json::Value::obj([("class", json::Value::str(name))]))
+}
+
+fn attr_type(name: &str) -> Result<AttrType, String> {
+    match name {
+        "int" => Ok(AttrType::Int),
+        "float" => Ok(AttrType::Float),
+        "bool" => Ok(AttrType::Bool),
+        "str" => Ok(AttrType::Str),
+        "ref" => Ok(AttrType::Ref),
+        other => Err(format!("unknown attribute type `{other}`")),
+    }
+}
+
+fn define_event(state: &Arc<State>, payload: &json::Value) -> Result<json::Value, String> {
+    let name = require_str(payload, "name")?;
+    let sentinel = state.handle.sentinel();
+    let id = match payload.get("expr").and_then(json::Value::as_str) {
+        Some(expr) => sentinel.define_event(name, expr).map_err(|e| e.to_string())?,
+        None => sentinel.detector().declare_explicit(name),
+    };
+    Ok(json::Value::obj([("event", json::Value::UInt(u64::from(id.0)))]))
+}
+
+fn define_rule(state: &Arc<State>, payload: &json::Value) -> Result<json::Value, String> {
+    let name = require_str(payload, "name")?.to_string();
+    let event = require_str(payload, "event")?;
+    let action_spec = payload.get("action").ok_or("missing action")?;
+    let action = build_action(state, &name, action_spec)?;
+
+    let mut opts = RuleOptions::default();
+    if let Some(ctx) = payload.get("context").and_then(json::Value::as_str) {
+        opts = opts.context(match ctx {
+            "recent" => ParamContext::Recent,
+            "chronicle" => ParamContext::Chronicle,
+            "continuous" => ParamContext::Continuous,
+            "cumulative" => ParamContext::Cumulative,
+            other => return Err(format!("unknown context `{other}`")),
+        });
+    }
+    if let Some(c) = payload.get("coupling").and_then(json::Value::as_str) {
+        opts = opts.coupling(match c {
+            "immediate" => CouplingMode::Immediate,
+            "deferred" => CouplingMode::Deferred,
+            "detached" => CouplingMode::Detached,
+            other => return Err(format!("unknown coupling `{other}`")),
+        });
+    }
+    if let Some(p) = payload.get("priority").and_then(json::Value::as_u64) {
+        opts = opts.priority(u32::try_from(p).map_err(|_| "priority out of range")?);
+    }
+
+    let rule = state
+        .handle
+        .sentinel()
+        .define_rule(&name, event, Arc::new(|_| true), action, opts)
+        .map_err(|e| e.to_string())?;
+    Ok(json::Value::obj([("rule", json::Value::UInt(rule.0))]))
+}
+
+/// Builds an action from the server-side catalog. Conditions and actions
+/// are code, not data — a remote client cannot ship a closure — so the
+/// protocol names one of a fixed set of behaviours:
+///
+/// * `{"action": "count"}` — bump this rule's `rule_hits` counter
+///   (visible in the `Stats` response);
+/// * `{"action": "raise", "event": E, "params"?: {...}}` — raise the
+///   explicit event `E`, cascading inside the same transaction.
+fn build_action(
+    state: &Arc<State>,
+    rule_name: &str,
+    spec: &json::Value,
+) -> Result<sentinel_rules::ActionFn, String> {
+    match spec.get("action").and_then(json::Value::as_str) {
+        Some("count") => {
+            let hits = state.rule_hits.clone();
+            let key = rule_name.to_string();
+            Ok(Arc::new(move |_inv| {
+                *hits.lock().entry(key.clone()).or_insert(0) += 1;
+            }))
+        }
+        Some("raise") => {
+            let event = require_str(spec, "event")?.to_string();
+            let params = match spec.get("params") {
+                Some(p) => protocol::params_from_json(p).ok_or("malformed raise params")?,
+                None => Vec::new(),
+            };
+            // Capture the detector plus a weak scheduler: the action is
+            // stored inside the rule manager, which the scheduler owns, so
+            // a strong reference would leak the whole system.
+            let detector = state.handle.sentinel().detector().clone();
+            let scheduler = Arc::downgrade(state.handle.sentinel().scheduler());
+            Ok(Arc::new(move |inv| {
+                if let Some(sched) = scheduler.upgrade() {
+                    let dets = detector.signal_explicit(&event, params.clone(), inv.txn);
+                    RuleScheduler::dispatch(&sched, dets);
+                }
+            }))
+        }
+        _ => Err("action must be one of: count, raise".to_string()),
+    }
+}
+
+enum RuleAdmin {
+    Enable,
+    Disable,
+    Drop,
+}
+
+fn rule_admin(
+    state: &Arc<State>,
+    payload: &json::Value,
+    op: RuleAdmin,
+) -> Result<json::Value, String> {
+    let name = require_str(payload, "name")?;
+    let sentinel = state.handle.sentinel();
+    match op {
+        RuleAdmin::Enable => sentinel.enable_rule(name).map_err(|e| e.to_string())?,
+        RuleAdmin::Disable => sentinel.disable_rule(name).map_err(|e| e.to_string())?,
+        RuleAdmin::Drop => {
+            let id = sentinel.rules().lookup(name).ok_or_else(|| format!("unknown rule {name}"))?;
+            sentinel.rules().delete(id).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(json::Value::obj([("rule", json::Value::str(name))]))
+}
+
+fn require_str<'a>(payload: &'a json::Value, key: &str) -> Result<&'a str, String> {
+    payload.get(key).and_then(json::Value::as_str).ok_or_else(|| format!("missing `{key}`"))
+}
+
+fn reply_result(
+    stream: &TcpStream,
+    state: &Arc<State>,
+    id: u64,
+    result: Result<json::Value, String>,
+) -> bool {
+    match result {
+        Ok(body) => send(stream, state, &Frame::new(Opcode::Ok, id, body)),
+        Err(message) => send(stream, state, &err_frame(id, "rejected", &message)),
+    }
+}
+
+fn err_frame(id: u64, code: &str, message: &str) -> Frame {
+    let payload = json::Value::obj([
+        ("code", json::Value::str(code)),
+        ("message", json::Value::str(message)),
+    ]);
+    Frame::new(Opcode::Err, id, payload)
+}
+
+fn busy_frame(id: u64, scope: &str, inflight: u64, limit: u64) -> Frame {
+    let payload = json::Value::obj([
+        ("scope", json::Value::str(scope)),
+        ("inflight", json::Value::UInt(inflight)),
+        ("limit", json::Value::UInt(limit)),
+    ]);
+    Frame::new(Opcode::Busy, id, payload)
+}
+
+/// Writes a response, counting frames/bytes. An oversized body degrades to
+/// an error frame; a transport failure closes the connection.
+fn send(stream: &TcpStream, state: &Arc<State>, frame: &Frame) -> bool {
+    match protocol::write_frame(&mut &*stream, frame) {
+        Ok(n) => {
+            state.metrics.frames_out.inc();
+            state.metrics.bytes_out.add(n as u64);
+            true
+        }
+        Err(WireError::Encode(_)) => {
+            let fallback = err_frame(frame.request_id, "oversized", "response exceeds frame limit");
+            match protocol::write_frame(&mut &*stream, &fallback) {
+                Ok(n) => {
+                    state.metrics.frames_out.inc();
+                    state.metrics.bytes_out.add(n as u64);
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+        Err(_) => false,
+    }
+}

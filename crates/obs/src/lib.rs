@@ -18,18 +18,22 @@
 //!   a ring-buffer [`span::TraceStore`] and query API.
 //! * [`export`] — Chrome trace-event JSON rendering of recorded spans,
 //!   loadable in Perfetto.
+//! * [`net`] — counters for the `sentinel-net` client/server subsystem
+//!   (connections, frames, decode errors, busy rejections).
 //!
 //! Everything here is wait-free or a short critical section; when no one
 //! is listening the trace bus is a single relaxed atomic load.
 
 pub mod export;
 pub mod json;
+pub mod net;
 pub mod span;
 pub mod trace;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+pub use net::{NetMetrics, NetStats};
 pub use span::{SpanContext, SpanId, SpanRecord, TraceId, TraceStore};
 pub use trace::{Field, TraceBus, TraceBusStats, TraceRecord};
 

@@ -82,7 +82,8 @@ pub struct SpanRecord {
     /// linked parameter list, lifted into the trace model).
     pub links: Vec<SpanContext>,
     /// Span kind: `"signal"`, `"primitive"`, `"detect"`, `"condition"`,
-    /// `"action"`, `"flush"`, `"wal_force"`, `"page_read"`, `"page_write"`.
+    /// `"action"`, `"flush"`, `"wal_force"`, `"page_read"`, `"page_write"`,
+    /// `"net_signal"` (server-side root of a client-initiated trace).
     pub kind: &'static str,
     /// Display name (event name, rule name, …).
     pub name: Arc<str>,
@@ -206,6 +207,11 @@ pub struct TraceStore {
 /// Default ring capacity (spans retained).
 pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
 
+/// High bit marking trace ids adopted from a remote client
+/// ([`TraceStore::adopt_remote`]); locally allocated ids count up from 1
+/// and never reach it.
+pub const REMOTE_TRACE_BIT: u64 = 1 << 63;
+
 impl Default for TraceStore {
     fn default() -> Self {
         Self::with_capacity(DEFAULT_SPAN_CAPACITY)
@@ -249,6 +255,16 @@ impl TraceStore {
     /// Allocates a fresh trace id.
     pub fn new_trace(&self) -> TraceId {
         TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Adopts a trace id propagated from a remote client (the optional
+    /// trace field of a `sentinel-net` signal frame). The returned id has
+    /// [`REMOTE_TRACE_BIT`] set so it can never collide with the locally
+    /// allocated sequence, letting server-side spans stitch into a trace
+    /// the client initiated. A zero raw id (clients never send one) is
+    /// clamped to 1.
+    pub fn adopt_remote(&self, raw: u64) -> TraceId {
+        TraceId(raw.max(1) | REMOTE_TRACE_BIT)
     }
 
     /// Opens a span. `parent` is its causal parent within `trace`.
@@ -519,6 +535,22 @@ mod tests {
         assert_eq!(current(), Some(ctx(1, 1)));
         drop(g1);
         assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn remote_traces_never_collide_with_local_ones() {
+        let store = TraceStore::new();
+        let remote = store.adopt_remote(7);
+        assert_eq!(remote, TraceId(7 | REMOTE_TRACE_BIT));
+        assert_eq!(store.adopt_remote(7), remote, "adoption is deterministic");
+        assert_eq!(store.adopt_remote(0), TraceId(1 | REMOTE_TRACE_BIT), "zero clamped");
+        let local = store.new_trace();
+        assert_ne!(local, remote);
+        assert_eq!(local.0 & REMOTE_TRACE_BIT, 0);
+        // Spans recorded under the adopted trace are queryable by it.
+        let h = store.start(remote, None, "net_signal", Arc::from("load_a"));
+        store.finish(h, 0, vec![]);
+        assert_eq!(store.trace(remote).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Property-based tests on the sentinel-net wire protocol: encode∘decode
+//! is the identity for every frame, decoding is total (arbitrary bytes
+//! yield `Ok`/`Err`, never a panic), truncated frames ask for more input,
+//! and event-parameter serialization round-trips through JSON text.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use sentinel_detector::Value as EventValue;
+use sentinel_net::protocol::{self, DecodeError, Frame, Opcode, HEADER_LEN, MAGIC, MAX_PAYLOAD};
+use sentinel_obs::json;
+
+// Scalars in the parser's canonical form (what a text round-trip yields):
+// negatives are `Int`, non-negatives `UInt`, and only non-integral
+// numbers stay `Float`.
+fn scalar_strategy() -> impl Strategy<Value = json::Value> {
+    prop_oneof![
+        Just(json::Value::Null),
+        (1i64..i64::MAX).prop_map(|n| json::Value::Int(-n)),
+        any::<u64>().prop_map(json::Value::UInt),
+        any::<bool>().prop_map(json::Value::Bool),
+        any::<i32>().prop_map(|n| json::Value::Float(f64::from(n) + 0.5)),
+        any::<u64>().prop_map(|n| json::Value::str(format!("s{n}"))),
+    ]
+}
+
+/// A JSON object payload with distinct keys (the parser preserves order,
+/// so distinct keys make equality meaningful).
+fn payload_strategy() -> impl Strategy<Value = json::Value> {
+    prop_oneof![
+        Just(json::Value::Null),
+        prop::collection::vec(scalar_strategy(), 1..6).prop_map(|vals| {
+            json::Value::Obj(
+                vals.into_iter().enumerate().map(|(i, v)| (format!("k{i}"), v)).collect(),
+            )
+        }),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (prop::sample::select(&Opcode::ALL[..]), any::<u64>(), payload_strategy())
+        .prop_map(|(opcode, request_id, payload)| Frame { opcode, request_id, payload })
+}
+
+fn event_value_strategy() -> impl Strategy<Value = EventValue> {
+    prop_oneof![
+        Just(EventValue::Null),
+        any::<i64>().prop_map(EventValue::Int),
+        any::<i32>().prop_map(|n| EventValue::Float(f64::from(n) / 8.0)),
+        any::<bool>().prop_map(EventValue::Bool),
+        any::<u64>().prop_map(|n| EventValue::Str(Arc::from(format!("v{n}").as_str()))),
+        any::<u64>().prop_map(EventValue::Oid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// encode∘decode is the identity, consumes exactly the encoded bytes,
+    /// and re-encoding is canonical (byte-identical).
+    #[test]
+    fn encode_decode_identity(frame in frame_strategy()) {
+        let bytes = protocol::encode(&frame).unwrap();
+        let (back, used) = protocol::decode(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(protocol::encode(&back).unwrap(), bytes);
+    }
+
+    /// Frames decode one after another from a concatenated stream buffer,
+    /// in order, leaving nothing behind.
+    #[test]
+    fn concatenated_frames_stream_decode(frames in prop::collection::vec(frame_strategy(), 1..8)) {
+        let mut buf = Vec::new();
+        for f in &frames {
+            buf.extend_from_slice(&protocol::encode(f).unwrap());
+        }
+        let mut decoded = Vec::new();
+        let mut off = 0;
+        while let Some((f, used)) = protocol::decode(&buf[off..]).unwrap() {
+            decoded.push(f);
+            off += used;
+        }
+        prop_assert_eq!(off, buf.len());
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Any strict prefix of a valid frame is "incomplete", never an error
+    /// — the frame survives arriving byte by byte.
+    #[test]
+    fn truncated_frames_ask_for_more(frame in frame_strategy(), cut in any::<prop::sample::Index>()) {
+        let bytes = protocol::encode(&frame).unwrap();
+        let cut = cut.index(bytes.len());
+        prop_assert_eq!(protocol::decode(&bytes[..cut]).unwrap(), None);
+    }
+
+    /// Decoding is total: arbitrary bytes produce `Ok` or a typed
+    /// `DecodeError`, never a panic, and never claim to consume more
+    /// bytes than were given.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        if let Ok(Some((_, used))) = protocol::decode(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// Flipping any single byte of a valid frame still decodes totally
+    /// (no panic), and corruption in the first two bytes is always caught
+    /// as `BadMagic`.
+    #[test]
+    fn single_byte_corruption_is_total(
+        frame in frame_strategy(),
+        pos in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = protocol::encode(&frame).unwrap();
+        let pos = pos.index(bytes.len());
+        bytes[pos] ^= xor;
+        let res = protocol::decode(&bytes);
+        if pos < 2 && bytes[..2] != MAGIC {
+            prop_assert!(matches!(res, Err(DecodeError::BadMagic(_))));
+        }
+        if let Ok(Some((_, used))) = res {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// A header advertising a payload beyond `MAX_PAYLOAD` is rejected
+    /// before any allocation of the stated size.
+    #[test]
+    fn oversized_length_is_rejected(len in (MAX_PAYLOAD as u32 + 1)..u32::MAX, id in any::<u64>()) {
+        let mut bytes = Vec::with_capacity(HEADER_LEN);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(protocol::VERSION);
+        bytes.push(Opcode::Ping as u8);
+        bytes.extend_from_slice(&id.to_le_bytes());
+        bytes.extend_from_slice(&len.to_le_bytes());
+        prop_assert_eq!(protocol::decode(&bytes), Err(DecodeError::Oversized(len)));
+    }
+
+    /// Event parameters survive the full trip: typed values → tagged JSON
+    /// → rendered text → re-parsed JSON → typed values.
+    #[test]
+    fn params_round_trip_through_text(
+        values in prop::collection::vec(event_value_strategy(), 0..8),
+    ) {
+        let params: Vec<(Arc<str>, EventValue)> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (Arc::from(format!("p{i}").as_str()), v))
+            .collect();
+        let text = protocol::params_to_json(&params).to_string();
+        let parsed = json::Value::parse(&text).unwrap();
+        prop_assert_eq!(protocol::params_from_json(&parsed).unwrap(), params);
+    }
+
+    /// `value_from_json` is total over arbitrary JSON shapes — unknown
+    /// shapes are `None`, not panics — and faithful on shapes
+    /// `value_to_json` actually produces.
+    #[test]
+    fn value_from_json_is_total(v in payload_strategy()) {
+        let _ = protocol::value_from_json(&v);
+        let _ = protocol::params_from_json(&v);
+    }
+}
