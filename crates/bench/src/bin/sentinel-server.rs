@@ -10,22 +10,60 @@
 //!   --session-inflight <N>  per-session queued-async cap (default 128)
 //!   --tracing               enable provenance tracing (lets clients
 //!                           stitch server spans into their trace ids)
+//!   --data-dir <DIR>        run durably: recover the catalog, event
+//!                           journal, and event-graph state from DIR, and
+//!                           journal everything from here on
+//!   --fsync <POLICY>        journal fsync policy: `always` (default),
+//!                           `every=N` (batch N appends per fsync), or
+//!                           `never` (OS page cache only)
+//!   --checkpoint-every <N>  checkpoint the event graph every N journal
+//!                           records (default 1024; 0 disables automatic
+//!                           checkpoints — shutdown still cuts one)
 //! ```
 //!
 //! The process serves until a client sends a `Shutdown` frame (e.g.
 //! `sentinel-loadgen --shutdown`), then drains the detector service and
-//! exits. The line `listening on <addr>` on stdout marks readiness.
+//! exits — with `--data-dir`, shutdown also flushes the journal and cuts
+//! a final checkpoint. The line `listening on <addr>` on stdout marks
+//! readiness; a durable start first prints one `recovered ...` line
+//! summarizing what came back from disk (the same numbers land in
+//! `recovery-report.json` inside the data directory).
 
-use sentinel_core::Sentinel;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sentinel_core::durable_store::{DurableOptions, FsyncPolicy};
+use sentinel_core::{Sentinel, SentinelConfig};
 use sentinel_net::{NetServer, ServerConfig};
 
 struct Args {
     cfg: ServerConfig,
     tracing: bool,
+    data_dir: Option<PathBuf>,
+    durable: DurableOptions,
+}
+
+fn parse_fsync(spec: &str) -> FsyncPolicy {
+    match spec {
+        "always" => FsyncPolicy::Always,
+        "never" => FsyncPolicy::Never,
+        other => match other.strip_prefix("every=").and_then(|n| n.parse().ok()) {
+            Some(n) => FsyncPolicy::EveryN(n),
+            None => {
+                eprintln!("--fsync wants `always`, `never`, or `every=N`");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { cfg: ServerConfig::default(), tracing: false };
+    let mut args = Args {
+        cfg: ServerConfig::default(),
+        tracing: false,
+        data_dir: None,
+        durable: DurableOptions::default(),
+    };
     args.cfg.addr = "127.0.0.1:7878".to_string();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,10 +88,18 @@ fn parse_args() -> Args {
                     value("--session-inflight").parse().expect("--session-inflight <N>");
             }
             "--tracing" => args.tracing = true,
+            "--data-dir" => args.data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--fsync" => args.durable.fsync = parse_fsync(&value("--fsync")),
+            "--checkpoint-every" => {
+                args.durable.checkpoint_every =
+                    value("--checkpoint-every").parse().expect("--checkpoint-every <N>");
+            }
             "--help" | "-h" => {
                 println!(
                     "sentinel-server [--addr HOST:PORT] [--max-connections N] \
-                     [--global-inflight N] [--session-inflight N] [--tracing]"
+                     [--global-inflight N] [--session-inflight N] [--tracing] \
+                     [--data-dir DIR] [--fsync always|never|every=N] \
+                     [--checkpoint-every N]"
                 );
                 std::process::exit(0);
             }
@@ -66,9 +112,31 @@ fn parse_args() -> Args {
     args
 }
 
+fn open_sentinel(args: &Args) -> Arc<Sentinel> {
+    let Some(dir) = &args.data_dir else { return Sentinel::in_memory() };
+    match Sentinel::open_durable(dir, SentinelConfig::default(), args.durable) {
+        Ok((sentinel, report)) => {
+            println!(
+                "recovered {} catalog ops, checkpoint {}, {} replayed of {} journal records \
+                 ({} bytes truncated)",
+                report.catalog_ops,
+                report.checkpoint_tag.map_or_else(|| "none".to_string(), |t| t.to_string()),
+                report.replayed_records,
+                report.journal_records,
+                report.truncated_bytes,
+            );
+            sentinel
+        }
+        Err(e) => {
+            eprintln!("recovery failed for {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let sentinel = Sentinel::in_memory();
+    let sentinel = open_sentinel(&args);
     sentinel.set_tracing(args.tracing);
     let server = match NetServer::start(sentinel.serve_handle(), args.cfg) {
         Ok(s) => s,

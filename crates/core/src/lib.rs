@@ -35,15 +35,18 @@
 
 pub mod bridge;
 pub mod codegen;
+pub mod durable;
 pub mod global;
 pub mod preprocessor;
 pub mod sentinel;
 
+pub use durable::{params_from_json, params_to_json, value_from_json, value_to_json};
 pub use preprocessor::{FunctionTable, Preprocessor};
 pub use sentinel::{Sentinel, SentinelConfig, SentinelError, SentinelStats, ServeHandle};
 
 // Re-export the subsystem crates so applications depend on one crate.
 pub use sentinel_detector as detector;
+pub use sentinel_durable as durable_store;
 pub use sentinel_obs as obs;
 pub use sentinel_oodb as oodb;
 pub use sentinel_rules as rules;

@@ -254,6 +254,7 @@ impl<'s> Preprocessor<'s> {
             priority: rule.priority,
             priority_class: rule.priority_class.clone(),
             trigger: rule.trigger,
+            defined_at: None,
         };
         Ok(self.sentinel.rules().define_rule(
             &rule.name,

@@ -9,6 +9,7 @@
 //! by deactivating these rules if events across transaction boundaries need
 //! to be detected", §3.2.2 item 3).
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -16,8 +17,10 @@ use parking_lot::Mutex;
 
 use sentinel_detector::graph::{GraphError, PrimTarget};
 use sentinel_detector::{Detection, DetectorStats, EventId, LocalEventDetector, Value};
+use sentinel_durable::{CatalogOp, DurableEngine, DurableError};
 use sentinel_obs::span::{self, TraceStore};
 use sentinel_obs::trace::Field;
+use sentinel_obs::DurabilityStats;
 use sentinel_obs::{export, json, TraceBus, TraceBusStats};
 use sentinel_oodb::invoke::{Database, DbError};
 use sentinel_oodb::{AttrValue, ObjectState, Oid};
@@ -54,6 +57,10 @@ pub enum SentinelError {
     Parse(ParseError),
     /// Name resolution failure.
     Unknown(String),
+    /// Malformed declarative spec (wire-protocol class/rule JSON).
+    Spec(String),
+    /// Durability-layer failure (journal, catalog, or checkpoint I/O).
+    Durable(DurableError),
 }
 
 impl fmt::Display for SentinelError {
@@ -65,11 +72,19 @@ impl fmt::Display for SentinelError {
             SentinelError::Rule(e) => write!(f, "{e}"),
             SentinelError::Parse(e) => write!(f, "{e}"),
             SentinelError::Unknown(n) => write!(f, "unknown name `{n}`"),
+            SentinelError::Spec(msg) => write!(f, "{msg}"),
+            SentinelError::Durable(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for SentinelError {}
+
+impl From<DurableError> for SentinelError {
+    fn from(e: DurableError) -> Self {
+        SentinelError::Durable(e)
+    }
+}
 
 impl From<DbError> for SentinelError {
     fn from(e: DbError) -> Self {
@@ -135,17 +150,43 @@ pub struct SentinelStats {
     /// Trace-bus counters (records emitted, deliveries dropped to slow
     /// subscribers, live subscribers).
     pub trace_bus: TraceBusStats,
+    /// Durability counters (journal/catalog/checkpoint activity); `None`
+    /// when the system was not opened durably.
+    pub durability: Option<DurabilityStats>,
+    /// Fire counts of catalog (`{"action": "count"}`) rules, by rule name.
+    pub rule_hits: BTreeMap<String, u64>,
+    /// Rendered parameters of each catalog rule's most recent firing.
+    pub rule_last: BTreeMap<String, String>,
 }
 
 impl SentinelStats {
     /// Serializes the snapshot as a JSON value.
     pub fn to_json(&self) -> json::Value {
-        json::Value::obj([
-            ("detector", self.detector.to_json()),
-            ("scheduler", self.scheduler.to_json()),
-            ("storage", self.storage.to_json()),
-            ("trace_bus", self.trace_bus.to_json()),
-        ])
+        let mut pairs = vec![
+            ("detector".to_string(), self.detector.to_json()),
+            ("scheduler".to_string(), self.scheduler.to_json()),
+            ("storage".to_string(), self.storage.to_json()),
+            ("trace_bus".to_string(), self.trace_bus.to_json()),
+            (
+                "rule_hits".to_string(),
+                json::Value::Obj(
+                    self.rule_hits
+                        .iter()
+                        .map(|(k, v)| (k.clone(), json::Value::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "rule_last".to_string(),
+                json::Value::Obj(
+                    self.rule_last.iter().map(|(k, v)| (k.clone(), json::Value::str(v))).collect(),
+                ),
+            ),
+        ];
+        if let Some(d) = &self.durability {
+            pairs.push(("durability".to_string(), d.to_json()));
+        }
+        json::Value::Obj(pairs)
     }
 }
 
@@ -164,6 +205,14 @@ pub struct Sentinel {
     spans: Arc<TraceStore>,
     config: SentinelConfig,
     detached_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// The durability engine, present only for systems opened with
+    /// [`Sentinel::open_durable`]. Installed *after* recovery replay so
+    /// replayed DDL and events are never re-journaled.
+    pub(crate) durable: Mutex<Option<Arc<DurableEngine>>>,
+    /// Fire counts of catalog (`{"action": "count"}`) rules.
+    pub(crate) rule_hits: Arc<Mutex<BTreeMap<String, u64>>>,
+    /// Rendered parameters of each catalog rule's most recent firing.
+    pub(crate) rule_last: Arc<Mutex<BTreeMap<String, String>>>,
 }
 
 impl Sentinel {
@@ -248,6 +297,9 @@ impl Sentinel {
             spans,
             config: config.clone(),
             detached_thread: Mutex::new(None),
+            durable: Mutex::new(None),
+            rule_hits: Arc::new(Mutex::new(BTreeMap::new())),
+            rule_last: Arc::new(Mutex::new(BTreeMap::new())),
         });
         if config.detached_executor {
             sentinel.spawn_detached_executor();
@@ -363,6 +415,9 @@ impl Sentinel {
             scheduler: self.scheduler.stats(),
             storage: self.db.engine().stats(),
             trace_bus: self.trace.stats(),
+            durability: self.durable.lock().as_ref().map(|e| e.stats()),
+            rule_hits: self.rule_hits.lock().clone(),
+            rule_last: self.rule_last.lock().clone(),
         }
     }
 
@@ -420,14 +475,37 @@ impl Sentinel {
         sig: &str,
         target: PrimTarget,
     ) -> SentinelResult<EventId> {
-        Ok(self.detector.declare_primitive(name, class, modifier, sig, target)?)
+        let id = self.detector.declare_primitive(name, class, modifier, sig, target)?;
+        self.journal_op(&CatalogOp::DeclarePrimitive {
+            name: name.to_string(),
+            class: class.to_string(),
+            edge: crate::durable::edge_name(modifier).to_string(),
+            sig: sig.to_string(),
+            oid: match target {
+                PrimTarget::AnyInstance => None,
+                PrimTarget::Instance(o) => Some(o),
+            },
+        })?;
+        Ok(id)
+    }
+
+    /// Declares a name-matched explicit (abstract) event.
+    pub fn declare_explicit(&self, name: &str) -> SentinelResult<EventId> {
+        let id = self.detector.declare_explicit(name);
+        self.journal_op(&CatalogOp::DeclareExplicit { name: name.to_string() })?;
+        Ok(id)
     }
 
     /// Defines a named composite event from Snoop source text
     /// (`"e1 ^ e2"`, `"A*(begin-transaction, e, pre-commit-transaction)"`…).
     pub fn define_event(&self, name: &str, expr_src: &str) -> SentinelResult<EventId> {
         let expr = parse_event_expr(expr_src)?;
-        Ok(self.detector.define_named(name, &expr)?)
+        let id = self.detector.define_named(name, &expr)?;
+        self.journal_op(&CatalogOp::DefineEvent {
+            name: name.to_string(),
+            expr: expr_src.to_string(),
+        })?;
+        Ok(id)
     }
 
     /// Looks up a named event.
@@ -479,7 +557,10 @@ impl Sentinel {
     pub fn enable_rule(&self, name: &str) -> SentinelResult<()> {
         let id =
             self.rules().lookup(name).ok_or_else(|| SentinelError::Unknown(name.to_string()))?;
-        Ok(self.rules().enable(id)?)
+        self.rules().enable(id)?;
+        let defined_at = self.rules().with_rule(id, |r| r.defined_at)?;
+        self.journal_op(&CatalogOp::EnableRule { name: name.to_string(), defined_at })?;
+        Ok(())
     }
 
     /// Disables a rule by name (e.g. the flush rules, to let events cross
@@ -487,7 +568,18 @@ impl Sentinel {
     pub fn disable_rule(&self, name: &str) -> SentinelResult<()> {
         let id =
             self.rules().lookup(name).ok_or_else(|| SentinelError::Unknown(name.to_string()))?;
-        Ok(self.rules().disable(id)?)
+        self.rules().disable(id)?;
+        self.journal_op(&CatalogOp::DisableRule { name: name.to_string() })?;
+        Ok(())
+    }
+
+    /// Drops (deletes) a rule by name.
+    pub fn drop_rule(&self, name: &str) -> SentinelResult<()> {
+        let id =
+            self.rules().lookup(name).ok_or_else(|| SentinelError::Unknown(name.to_string()))?;
+        self.rules().delete(id)?;
+        self.journal_op(&CatalogOp::DropRule { name: name.to_string() })?;
+        Ok(())
     }
 
     // --- serving ------------------------------------------------------

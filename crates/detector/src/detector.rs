@@ -28,10 +28,22 @@ use crate::graph::{EventGraph, EventId, GraphError, PrimTarget};
 use crate::log::LoggedEvent;
 use crate::nodes::Emission;
 use crate::occurrence::{Occurrence, Value};
+use crate::snapshot::{GraphSnapshot, NodeSnapshot, RestoreError};
 
 /// Opaque id of a rule (or other consumer) subscribed to an event; the
 /// detector never interprets it.
 pub type SubscriberId = u64;
+
+/// Observer of every primitive event the detector accepts, invoked
+/// synchronously on the signalling thread right after the event is
+/// timestamped and before it propagates through the graph. The durable
+/// event journal hooks in here; the sink may call back into the detector
+/// (e.g. [`LocalEventDetector::snapshot_state`]) — no detector locks are
+/// held across the call.
+pub trait EventSink: Send + Sync {
+    /// One primitive event was signalled.
+    fn record(&self, detector: &LocalEventDetector, ev: &LoggedEvent);
+}
 
 /// Short static name of a parameter context for trace fields.
 fn ctx_name(ctx: ParamContext) -> &'static str {
@@ -75,6 +87,9 @@ pub struct LocalEventDetector {
     alarms: Mutex<BinaryHeap<Reverse<(Timestamp, EventId)>>>,
     /// Primitive-event log for batch (after-the-fact) detection.
     log: Mutex<Option<Vec<LoggedEvent>>>,
+    /// Optional synchronous observer of accepted primitive events (the
+    /// durable event journal).
+    sink: Mutex<Option<Arc<dyn EventSink>>>,
     /// Occurrence counters per event (primitive signals and composite
     /// detections alike) — the detector-side statistics the rule debugger
     /// reports.
@@ -208,6 +223,7 @@ impl LocalEventDetector {
             signaling: AtomicBool::new(true),
             alarms: Mutex::new(BinaryHeap::new()),
             log: Mutex::new(None),
+            sink: Mutex::new(None),
             occurrence_counts: Mutex::new(HashMap::new()),
             signals: AtomicU64::new(0),
             flush_calls: Counter::new(),
@@ -851,18 +867,110 @@ impl LocalEventDetector {
         self.log.lock().take().unwrap_or_default()
     }
 
+    /// Attaches an event sink; every subsequently accepted primitive event
+    /// is forwarded to it synchronously (see [`EventSink`]).
+    pub fn set_event_sink(&self, sink: Arc<dyn EventSink>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    /// Detaches the event sink, if any.
+    pub fn clear_event_sink(&self) {
+        *self.sink.lock() = None;
+    }
+
     fn record(&self, ev: LoggedEvent) {
         if let Some(log) = self.log.lock().as_mut() {
-            log.push(ev);
+            log.push(ev.clone());
         }
+        // Clone the Arc out so the sink mutex is not held across the call
+        // (the sink may checkpoint, which takes the graph lock).
+        let sink = self.sink.lock().clone();
+        if let Some(sink) = sink {
+            sink.record(self, &ev);
+        }
+    }
+
+    /// Runs `f` with signalling quiesced: the signal-order lock is held, so
+    /// no primitive event can be timestamped or propagated concurrently.
+    /// Used for externally-triggered checkpoints.
+    pub fn with_signals_paused<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _order = self.signal_order.lock();
+        f()
+    }
+
+    // --- checkpointable state ------------------------------------------
+
+    /// Captures all detection state (buffered occurrences, open windows,
+    /// pending temporal alarms, the clock) as a [`GraphSnapshot`]. Takes
+    /// only the graph lock, so an [`EventSink`] may call it from within
+    /// [`EventSink::record`] (the signal's own propagation has not started
+    /// yet, making the snapshot consistent with "every event up to and
+    /// including the previous one").
+    pub fn snapshot_state(&self) -> GraphSnapshot {
+        let graph = self.graph.lock();
+        let nodes = graph
+            .node_ids()
+            .map(|id| graph.node(id))
+            .filter(|n| n.state.iter().any(|s| !s.is_empty()))
+            .map(|n| NodeSnapshot { id: n.id, name: n.name.clone(), state: n.state.clone() })
+            .collect();
+        GraphSnapshot { clock: self.clock.peek(), nodes }
+    }
+
+    /// Restores a previously captured [`GraphSnapshot`] into this
+    /// detector's graph. The graph must have been rebuilt with the same
+    /// definitions (every snapshot node id must exist and carry the same
+    /// name); the snapshot is validated in full before any state is
+    /// applied, so a failed restore leaves the detector untouched. On
+    /// success the clock is advanced to the snapshot's clock and temporal
+    /// alarms are rebuilt from the restored windows.
+    pub fn restore_snapshot(&self, snap: &GraphSnapshot) -> Result<(), RestoreError> {
+        let mut graph = self.graph.lock();
+        for ns in &snap.nodes {
+            if graph.check(ns.id).is_err() {
+                return Err(RestoreError::UnknownNode(ns.id));
+            }
+            let found = graph.node(ns.id).name.clone();
+            if found != ns.name {
+                return Err(RestoreError::NameMismatch {
+                    id: ns.id,
+                    expected: ns.name.clone(),
+                    found,
+                });
+            }
+        }
+        let ids: Vec<EventId> = graph.node_ids().collect();
+        for id in ids {
+            graph.node_mut(id).state = Default::default();
+        }
+        for ns in &snap.nodes {
+            graph.node_mut(ns.id).state = ns.state.clone();
+        }
+        self.clock.advance_to(snap.clock);
+        let mut alarms = self.alarms.lock();
+        alarms.clear();
+        for id in graph.temporal_nodes() {
+            if let Some(due) = graph.node(id).earliest_due() {
+                alarms.push(Reverse((due, id)));
+            }
+        }
+        Ok(())
     }
 
     /// Replays a primitive-event log through this detector's graph (batch /
     /// after-the-fact detection, §2.1). Timestamps from the log are
     /// preserved, so batch detection yields exactly the online detections.
+    ///
+    /// After the replay the clock is resynchronized past the highest
+    /// replayed timestamp (not merely the last record's: a journal
+    /// recovered from a crash can carry an unsorted tail), so fresh
+    /// signals can never tick behind recovered history — order-sensitive
+    /// operators like chronicle `SEQ` would silently misorder otherwise.
     pub fn replay(&self, log: &[LoggedEvent]) -> Vec<Detection> {
         let mut out = Vec::new();
+        let mut max_ts = 0;
         for ev in log {
+            max_ts = max_ts.max(ev.ts());
             match ev {
                 LoggedEvent::Method { class, sig, edge, oid, params, txn, ts } => {
                     self.clock.advance_to(*ts);
@@ -882,6 +990,7 @@ impl LocalEventDetector {
                 }
             }
         }
+        self.clock.advance_to(max_ts);
         out
     }
 }

@@ -40,10 +40,14 @@ pub mod log;
 pub mod nodes;
 pub mod occurrence;
 pub mod service;
+pub mod snapshot;
 pub mod viz;
 
 pub use clock::LogicalClock;
-pub use detector::{Detection, DetectorStats, LocalEventDetector, NodeStats, SubscriberId};
+pub use detector::{
+    Detection, DetectorStats, EventSink, LocalEventDetector, NodeStats, SubscriberId,
+};
 pub use graph::{EventId, GraphError};
 pub use occurrence::{Occurrence, Value};
 pub use service::ServiceMetrics;
+pub use snapshot::{GraphSnapshot, NodeSnapshot, RestoreError};

@@ -66,12 +66,12 @@ impl LoggedEvent {
 
 // --- persistent event logs --------------------------------------------
 
-fn put_str(out: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(out: &mut BytesMut, s: &str) {
     out.put_u32_le(s.len() as u32);
     out.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Option<String> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Option<String> {
     if buf.remaining() < 4 {
         return None;
     }
@@ -82,7 +82,7 @@ fn get_str(buf: &mut Bytes) -> Option<String> {
     String::from_utf8(buf.split_to(len).to_vec()).ok()
 }
 
-fn put_value(out: &mut BytesMut, v: &Value) {
+pub(crate) fn put_value(out: &mut BytesMut, v: &Value) {
     match v {
         Value::Int(i) => {
             out.put_u8(0);
@@ -108,7 +108,7 @@ fn put_value(out: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut Bytes) -> Option<Value> {
+pub(crate) fn get_value(buf: &mut Bytes) -> Option<Value> {
     if buf.remaining() < 1 {
         return None;
     }
@@ -143,7 +143,7 @@ fn get_value(buf: &mut Bytes) -> Option<Value> {
     })
 }
 
-fn put_params(out: &mut BytesMut, params: &[(Arc<str>, Value)]) {
+pub(crate) fn put_params(out: &mut BytesMut, params: &[(Arc<str>, Value)]) {
     out.put_u32_le(params.len() as u32);
     for (n, v) in params {
         put_str(out, n);
@@ -151,7 +151,7 @@ fn put_params(out: &mut BytesMut, params: &[(Arc<str>, Value)]) {
     }
 }
 
-fn get_params(buf: &mut Bytes) -> Option<Vec<(Arc<str>, Value)>> {
+pub(crate) fn get_params(buf: &mut Bytes) -> Option<Vec<(Arc<str>, Value)>> {
     if buf.remaining() < 4 {
         return None;
     }
@@ -165,7 +165,7 @@ fn get_params(buf: &mut Bytes) -> Option<Vec<(Arc<str>, Value)>> {
     Some(out)
 }
 
-fn put_opt_txn(out: &mut BytesMut, txn: Option<u64>) {
+pub(crate) fn put_opt_txn(out: &mut BytesMut, txn: Option<u64>) {
     match txn {
         Some(t) => {
             out.put_u8(1);
@@ -175,7 +175,7 @@ fn put_opt_txn(out: &mut BytesMut, txn: Option<u64>) {
     }
 }
 
-fn get_opt_txn(buf: &mut Bytes) -> Option<Option<u64>> {
+pub(crate) fn get_opt_txn(buf: &mut Bytes) -> Option<Option<u64>> {
     if buf.remaining() < 1 {
         return None;
     }
@@ -208,6 +208,67 @@ fn modifier_from(tag: u8) -> Option<EventModifier> {
     })
 }
 
+/// Appends the wire encoding of one logged event to `out` (the per-event
+/// layout shared by [`encode_log`] and the durable event journal).
+pub fn encode_event(out: &mut BytesMut, ev: &LoggedEvent) {
+    match ev {
+        LoggedEvent::Method { class, sig, edge, oid, params, txn, ts } => {
+            out.put_u8(0);
+            put_str(out, class);
+            put_str(out, sig);
+            out.put_u8(modifier_tag(*edge));
+            out.put_u64_le(*oid);
+            put_params(out, params);
+            put_opt_txn(out, *txn);
+            out.put_u64_le(*ts);
+        }
+        LoggedEvent::Explicit { name, params, txn, ts } => {
+            out.put_u8(1);
+            put_str(out, name);
+            put_params(out, params);
+            put_opt_txn(out, *txn);
+            out.put_u64_le(*ts);
+        }
+    }
+}
+
+/// Decodes one logged event from `buf` (the inverse of [`encode_event`]);
+/// `None` on any corruption.
+pub fn decode_event(buf: &mut Bytes) -> Option<LoggedEvent> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    Some(match buf.get_u8() {
+        0 => {
+            let class = get_str(buf)?;
+            let sig = get_str(buf)?;
+            if buf.remaining() < 9 {
+                return None;
+            }
+            let edge = modifier_from(buf.get_u8())?;
+            let oid = buf.get_u64_le();
+            let params = get_params(buf)?;
+            let txn = get_opt_txn(buf)?;
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let ts = buf.get_u64_le();
+            LoggedEvent::Method { class, sig, edge, oid, params, txn, ts }
+        }
+        1 => {
+            let name = get_str(buf)?;
+            let params = get_params(buf)?;
+            let txn = get_opt_txn(buf)?;
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let ts = buf.get_u64_le();
+            LoggedEvent::Explicit { name, params, txn, ts }
+        }
+        _ => return None,
+    })
+}
+
 /// Serializes an event log into a self-contained byte stream, so stored
 /// logs survive process restarts and can be audited elsewhere (the paper's
 /// "stored event-log" for batch detection).
@@ -217,25 +278,7 @@ pub fn encode_log(log: &[LoggedEvent]) -> Bytes {
     out.put_u32_le(1); // format version
     out.put_u64_le(log.len() as u64);
     for ev in log {
-        match ev {
-            LoggedEvent::Method { class, sig, edge, oid, params, txn, ts } => {
-                out.put_u8(0);
-                put_str(&mut out, class);
-                put_str(&mut out, sig);
-                out.put_u8(modifier_tag(*edge));
-                out.put_u64_le(*oid);
-                put_params(&mut out, params);
-                put_opt_txn(&mut out, *txn);
-                out.put_u64_le(*ts);
-            }
-            LoggedEvent::Explicit { name, params, txn, ts } => {
-                out.put_u8(1);
-                put_str(&mut out, name);
-                put_params(&mut out, params);
-                put_opt_txn(&mut out, *txn);
-                out.put_u64_le(*ts);
-            }
-        }
+        encode_event(&mut out, ev);
     }
     out.freeze()
 }
@@ -251,39 +294,7 @@ pub fn decode_log(mut buf: Bytes) -> Option<Vec<LoggedEvent>> {
     let n = buf.get_u64_le() as usize;
     let mut out = Vec::with_capacity(n.min(65536));
     for _ in 0..n {
-        if buf.remaining() < 1 {
-            return None;
-        }
-        let ev = match buf.get_u8() {
-            0 => {
-                let class = get_str(&mut buf)?;
-                let sig = get_str(&mut buf)?;
-                if buf.remaining() < 9 {
-                    return None;
-                }
-                let edge = modifier_from(buf.get_u8())?;
-                let oid = buf.get_u64_le();
-                let params = get_params(&mut buf)?;
-                let txn = get_opt_txn(&mut buf)?;
-                if buf.remaining() < 8 {
-                    return None;
-                }
-                let ts = buf.get_u64_le();
-                LoggedEvent::Method { class, sig, edge, oid, params, txn, ts }
-            }
-            1 => {
-                let name = get_str(&mut buf)?;
-                let params = get_params(&mut buf)?;
-                let txn = get_opt_txn(&mut buf)?;
-                if buf.remaining() < 8 {
-                    return None;
-                }
-                let ts = buf.get_u64_le();
-                LoggedEvent::Explicit { name, params, txn, ts }
-            }
-            _ => return None,
-        };
-        out.push(ev);
+        out.push(decode_event(&mut buf)?);
     }
     Some(out)
 }

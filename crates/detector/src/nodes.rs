@@ -40,7 +40,7 @@ pub struct Window {
 }
 
 /// Per-context runtime state of a node.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CtxState {
     /// Role-indexed occurrence buffers (binary operators, ANY).
     pub bufs: Vec<VecDeque<Arc<Occurrence>>>,

@@ -1,0 +1,347 @@
+//! The durable primitive-event journal: segment-rotated, checksummed,
+//! fsync-policy-configurable persistence of every [`LoggedEvent`] the
+//! detector signals.
+//!
+//! Layout on disk: segments named `events-{seg:06}.seg`, each starting
+//! with a 12-byte header (`"SJN1"` magic + `base_index: u64 LE`, the
+//! global index of the segment's first record) followed by frames of
+//! [`sentinel_detector::log::encode_event`] bytes. A segment rotates
+//! once it passes [`crate::DurableOptions::segment_bytes`]; the old
+//! segment is fsynced on rotation regardless of policy so only the
+//! active tail is ever at risk.
+//!
+//! Recovery scans segments in index order and stops at the first
+//! corruption (bad header, torn frame, undecodable event): that segment
+//! is truncated to its valid prefix and every later segment is deleted,
+//! since records after a hole cannot be trusted to be ordered.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, Bytes, BytesMut};
+use sentinel_detector::log::{decode_event, encode_event, LoggedEvent};
+
+use crate::frame::{put_frame, scan_frames, HEADER};
+use crate::FsyncPolicy;
+
+const SEG_MAGIC: &[u8; 4] = b"SJN1";
+const SEG_HEADER: usize = 12;
+
+fn segment_path(dir: &Path, seg: u64) -> PathBuf {
+    dir.join(format!("events-{seg:06}.seg"))
+}
+
+/// Lists `(segment-number, path)` pairs in `dir`, ascending.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(num) = name.strip_prefix("events-").and_then(|r| r.strip_suffix(".seg")) {
+            if let Ok(num) = num.parse::<u64>() {
+                segs.push((num, entry.path()));
+            }
+        }
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+/// What a journal scan recovered.
+#[derive(Debug, Default)]
+pub struct JournalRecovery {
+    /// Every decodable event in global order.
+    pub events: Vec<LoggedEvent>,
+    /// Number of segment files that survive recovery.
+    pub segments: u64,
+    /// Bytes discarded — torn tails plus deleted later segments.
+    pub truncated_bytes: u64,
+}
+
+/// The open event journal, positioned at its active tail segment.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    file: File,
+    seg: u64,
+    seg_len: u64,
+    segment_bytes: u64,
+    next_index: u64,
+    fsync: FsyncPolicy,
+    appends_since_sync: u64,
+}
+
+fn new_segment(dir: &Path, seg: u64, base_index: u64) -> io::Result<(File, u64)> {
+    let mut file =
+        OpenOptions::new().create(true).truncate(true).write(true).open(segment_path(dir, seg))?;
+    let mut header = Vec::with_capacity(SEG_HEADER);
+    header.extend_from_slice(SEG_MAGIC);
+    header.extend_from_slice(&base_index.to_le_bytes());
+    file.write_all(&header)?;
+    file.sync_data()?;
+    Ok((file, SEG_HEADER as u64))
+}
+
+impl Journal {
+    /// Opens the journal in `dir`, scanning and repairing existing
+    /// segments, and positions the writer after the last valid record.
+    pub fn open(
+        dir: &Path,
+        segment_bytes: u64,
+        fsync: FsyncPolicy,
+    ) -> io::Result<(Journal, JournalRecovery)> {
+        let mut recovery = JournalRecovery::default();
+        let segs = list_segments(dir)?;
+        let mut next_index = 0u64;
+        let mut tail: Option<(u64, u64)> = None; // (seg number, valid length)
+        let mut corrupt_at: Option<usize> = None;
+        for (i, (seg, path)) in segs.iter().enumerate() {
+            let mut data = Vec::new();
+            File::open(path)?.read_to_end(&mut data)?;
+            let total = data.len() as u64;
+            // A segment must carry a full header with the right magic and a
+            // base index matching the running record count.
+            let header_ok = data.len() >= SEG_HEADER
+                && &data[..4] == SEG_MAGIC
+                && u64::from_le_bytes(data[4..12].try_into().unwrap()) == next_index;
+            if !header_ok {
+                recovery.truncated_bytes += total;
+                corrupt_at = Some(i);
+                break;
+            }
+            let scan = scan_frames(&data[SEG_HEADER..]);
+            let mut valid_len = SEG_HEADER as u64;
+            let mut clean = true;
+            for payload in &scan.frames {
+                let mut buf = Bytes::copy_from_slice(payload);
+                match decode_event(&mut buf) {
+                    Some(ev) if !buf.has_remaining() => {
+                        recovery.events.push(ev);
+                        next_index += 1;
+                        valid_len += (HEADER + payload.len()) as u64;
+                    }
+                    _ => {
+                        clean = false;
+                        break;
+                    }
+                }
+            }
+            clean = clean && scan.truncated(total - SEG_HEADER as u64) == 0;
+            recovery.truncated_bytes += total - valid_len;
+            tail = Some((*seg, valid_len));
+            if !clean {
+                if valid_len > SEG_HEADER as u64 {
+                    // Keep the repaired prefix and resume appending here.
+                    fs::OpenOptions::new().write(true).open(path)?.set_len(valid_len)?;
+                } else {
+                    // Nothing salvageable: drop the whole segment.
+                    recovery.truncated_bytes += SEG_HEADER as u64;
+                    fs::remove_file(path)?;
+                    tail = if *seg == 0 { None } else { Some((*seg - 1, u64::MAX)) };
+                }
+                corrupt_at = Some(i + 1);
+                break;
+            }
+        }
+        // Records after a hole are untrusted: delete every later segment.
+        if let Some(from) = corrupt_at {
+            for (_, path) in &segs[from..] {
+                recovery.truncated_bytes += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                fs::remove_file(path)?;
+            }
+        }
+        let (file, seg, seg_len) = match tail {
+            None => {
+                let (file, len) = new_segment(dir, 0, 0)?;
+                (file, 0, len)
+            }
+            Some((seg, valid_len)) => {
+                let path = segment_path(dir, seg);
+                let file = OpenOptions::new().append(true).open(&path)?;
+                let len = if valid_len == u64::MAX { file.metadata()?.len() } else { valid_len };
+                (file, seg, len)
+            }
+        };
+        recovery.segments = list_segments(dir)?.len() as u64;
+        let journal = Journal {
+            dir: dir.to_path_buf(),
+            file,
+            seg,
+            seg_len,
+            segment_bytes: segment_bytes.max(SEG_HEADER as u64 + 1),
+            next_index,
+            fsync,
+            appends_since_sync: 0,
+        };
+        Ok((journal, recovery))
+    }
+
+    /// Index the next appended record will get.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Appends one event. Returns `(record index, bytes written, fsynced,
+    /// rotated)`.
+    pub fn append(&mut self, ev: &LoggedEvent) -> io::Result<(u64, u64, bool, bool)> {
+        let mut payload = BytesMut::new();
+        encode_event(&mut payload, ev);
+        let mut buf = Vec::with_capacity(payload.len() + HEADER);
+        put_frame(&mut buf, &payload);
+        self.file.write_all(&buf)?;
+        let index = self.next_index;
+        self.next_index += 1;
+        self.seg_len += buf.len() as u64;
+        self.appends_since_sync += 1;
+        let mut synced = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        let rotated = self.seg_len >= self.segment_bytes;
+        if rotated {
+            // Rotation always seals the old segment durably.
+            synced = true;
+        }
+        if synced {
+            self.file.sync_data()?;
+            self.appends_since_sync = 0;
+        }
+        if rotated {
+            self.seg += 1;
+            let (file, len) = new_segment(&self.dir, self.seg, self.next_index)?;
+            self.file = file;
+            self.seg_len = len;
+        }
+        Ok((index, buf.len() as u64, synced, rotated))
+    }
+
+    /// Forces the active tail segment to disk.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_detector::Value;
+
+    fn ev(i: u64) -> LoggedEvent {
+        LoggedEvent::Explicit {
+            name: format!("e{i}"),
+            params: vec![("i".into(), Value::Int(i as i64))],
+            txn: if i % 2 == 0 { Some(i) } else { None },
+            ts: i + 1,
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sentinel-jnl-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_across_rotation() {
+        let dir = tmp("rot");
+        {
+            let (mut j, rec) = Journal::open(&dir, 256, FsyncPolicy::Never).unwrap();
+            assert!(rec.events.is_empty());
+            for i in 0..40 {
+                let (idx, ..) = j.append(&ev(i)).unwrap();
+                assert_eq!(idx, i);
+            }
+            j.flush().unwrap();
+        }
+        let (j, rec) = Journal::open(&dir, 256, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.events.len(), 40);
+        assert!(rec.segments > 1, "tiny segment cap must rotate");
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(j.next_index(), 40);
+        for (i, e) in rec.events.iter().enumerate() {
+            assert_eq!(e.ts(), i as u64 + 1);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_append_resumes() {
+        let dir = tmp("torn");
+        {
+            let (mut j, _) = Journal::open(&dir, 1 << 20, FsyncPolicy::Always).unwrap();
+            for i in 0..5 {
+                j.append(&ev(i)).unwrap();
+            }
+        }
+        let path = segment_path(&dir, 0);
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 3]).unwrap();
+
+        let (mut j, rec) = Journal::open(&dir, 1 << 20, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.events.len(), 4);
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(j.next_index(), 4);
+        j.append(&ev(4)).unwrap();
+
+        let (_, rec) = Journal::open(&dir, 1 << 20, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.events.len(), 5);
+        assert_eq!(rec.truncated_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_segment_drops_later_segments() {
+        let dir = tmp("mid");
+        {
+            let (mut j, _) = Journal::open(&dir, 128, FsyncPolicy::Never).unwrap();
+            for i in 0..40 {
+                j.append(&ev(i)).unwrap();
+            }
+            j.flush().unwrap();
+        }
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 3);
+        // Flip a payload bit in the middle segment.
+        let victim = &segs[1].1;
+        let mut data = fs::read(victim).unwrap();
+        let idx = SEG_HEADER + HEADER + 2;
+        data[idx] ^= 0x01;
+        fs::write(victim, &data).unwrap();
+
+        let (j, rec) = Journal::open(&dir, 128, FsyncPolicy::Never).unwrap();
+        let survivors = list_segments(&dir).unwrap();
+        assert!(rec.events.len() < 40, "events after corruption must be dropped");
+        assert!(rec.truncated_bytes > 0);
+        assert!(survivors.len() <= 2, "later segments deleted, got {survivors:?}");
+        assert_eq!(j.next_index(), rec.events.len() as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_header_segment_is_removed() {
+        let dir = tmp("hdr");
+        {
+            let (mut j, _) = Journal::open(&dir, 1 << 20, FsyncPolicy::Always).unwrap();
+            for i in 0..3 {
+                j.append(&ev(i)).unwrap();
+            }
+        }
+        // A later segment with a garbage header (e.g. preallocated then
+        // crashed before the header write hit disk).
+        fs::write(segment_path(&dir, 1), [0u8; 7]).unwrap();
+        let (mut j, rec) = Journal::open(&dir, 1 << 20, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.events.len(), 3);
+        assert!(rec.truncated_bytes >= 7);
+        assert!(!segment_path(&dir, 1).exists());
+        j.append(&ev(3)).unwrap();
+        let (_, rec) = Journal::open(&dir, 1 << 20, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.events.len(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,364 @@
+//! # sentinel-durable
+//!
+//! The durability subsystem of the Sentinel reproduction: everything the
+//! paper's Exodus-backed Open OODB got "for free" from its storage
+//! manager but the *rule subsystem* itself never had — persistence for
+//! the DDL catalog, the primitive event stream, and the half-detected
+//! state of the composite event graph.
+//!
+//! Three cooperating stores live in one data directory:
+//!
+//! * [`catalog`] — an append-only, checksummed DDL journal
+//!   (`catalog.log`). Class registrations, event declarations and rule
+//!   define/enable/disable/drop are framed as JSON and replayed on open
+//!   to rebuild the schema, the Snoop event graph, and the rule set.
+//! * [`journal`] — the durable primitive-event journal: segment-rotated
+//!   files of [`sentinel_detector::log::LoggedEvent`] encodings, with a
+//!   configurable [`FsyncPolicy`].
+//! * [`checkpoint`] — periodic [`sentinel_detector::GraphSnapshot`]
+//!   checkpoints tagged with a journal offset, so recovery loads the
+//!   newest valid checkpoint and replays only the journal suffix —
+//!   half-detected composites resume exactly where the crash left them.
+//!
+//! All three share the truncate-at-first-bad-record discipline of
+//! [`frame`]: a torn or bit-flipped tail shortens history, it never
+//! panics and never corrupts what came before it.
+//!
+//! This crate is policy-free: it moves bytes and reports what it found.
+//! `sentinel-core` owns the semantics — interleaving catalog ops with
+//! journal records by `at_index`, validating checkpoints against the
+//! rebuilt graph, and replaying the suffix through the detector.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod checkpoint;
+pub mod frame;
+pub mod journal;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use sentinel_detector::log::LoggedEvent;
+use sentinel_detector::GraphSnapshot;
+use sentinel_obs::{DurabilityMetrics, DurabilityStats, RecoveryReport};
+
+pub use catalog::{CatalogFile, CatalogOp};
+pub use journal::Journal;
+
+/// File name of the JSON recovery report written after each open.
+pub const RECOVERY_REPORT_FILE: &str = "recovery-report.json";
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+/// When the event journal forces its writes to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended event (no events lost on crash).
+    Always,
+    /// `fsync` after every N appended events.
+    EveryN(u64),
+    /// Never `fsync` from the append path; only on rotation, explicit
+    /// flush, and graceful shutdown.
+    Never,
+}
+
+/// Tuning knobs for a durable engine.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// Journal fsync policy (default: [`FsyncPolicy::Always`]).
+    pub fsync: FsyncPolicy,
+    /// Rotate journal segments once they pass this size (default 4 MiB).
+    pub segment_bytes: u64,
+    /// Take a checkpoint every N journal records; `0` disables automatic
+    /// checkpoints (default 1024).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 4 * 1024 * 1024,
+            checkpoint_every: 1024,
+        }
+    }
+}
+
+/// Everything a [`DurableEngine::open`] recovered from the data
+/// directory, for `sentinel-core` to replay.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Catalog operations as `(at_index, op)` in append order; `at_index`
+    /// is the journal record index current when the op executed.
+    pub catalog_ops: Vec<(u64, CatalogOp)>,
+    /// Decodable checkpoints, newest first, as `(tag, snapshot)`. The
+    /// caller restores the first one that validates against the rebuilt
+    /// graph and replays `events[tag..]`.
+    pub checkpoints: Vec<(u64, GraphSnapshot)>,
+    /// Every valid journal record in global order.
+    pub events: Vec<LoggedEvent>,
+    /// Partially filled report: counts of what the scan found. The caller
+    /// completes `checkpoint_tag`, `replayed_records`, and any extra
+    /// `checkpoints_rejected` from live-graph validation.
+    pub report: RecoveryReport,
+}
+
+/// The durable engine: one open data directory holding the catalog, the
+/// event journal, and checkpoints.
+///
+/// Lock ordering: `journal` before `catalog`, never the reverse.
+#[derive(Debug)]
+pub struct DurableEngine {
+    dir: PathBuf,
+    opts: DurableOptions,
+    metrics: DurabilityMetrics,
+    journal: Mutex<Journal>,
+    catalog: Mutex<CatalogFile>,
+}
+
+impl DurableEngine {
+    /// Opens (creating if needed) the data directory, scans and repairs
+    /// all three stores, and returns the engine plus what it recovered.
+    pub fn open(
+        dir: &Path,
+        opts: DurableOptions,
+    ) -> Result<(Arc<DurableEngine>, Recovery), DurableError> {
+        fs::create_dir_all(dir)?;
+        let (journal, jrec) = Journal::open(dir, opts.segment_bytes, opts.fsync)?;
+        let (catalog, crec) = CatalogFile::open(dir)?;
+        let ckpts = checkpoint::scan_checkpoints(dir)?;
+
+        let report = RecoveryReport {
+            catalog_ops: crec.ops.len() as u64,
+            checkpoint_tag: None,
+            checkpoints_scanned: ckpts.scanned,
+            checkpoints_rejected: ckpts.rejected,
+            journal_segments: jrec.segments,
+            journal_records: jrec.events.len() as u64,
+            replayed_records: 0,
+            truncated_bytes: jrec.truncated_bytes + crec.truncated_bytes,
+        };
+        let recovery = Recovery {
+            catalog_ops: crec.ops,
+            checkpoints: ckpts.checkpoints,
+            events: jrec.events,
+            report,
+        };
+        let engine = DurableEngine {
+            dir: dir.to_path_buf(),
+            opts,
+            metrics: DurabilityMetrics::default(),
+            journal: Mutex::new(journal),
+            catalog: Mutex::new(catalog),
+        };
+        if let Some((tag, _)) = recovery.checkpoints.first() {
+            engine.metrics.last_checkpoint_tag.set(*tag);
+        }
+        Ok((Arc::new(engine), recovery))
+    }
+
+    /// The data directory this engine persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The options the engine was opened with.
+    pub fn options(&self) -> &DurableOptions {
+        &self.opts
+    }
+
+    /// Appends one DDL operation to the catalog (always fsynced),
+    /// stamping it with the current journal position.
+    pub fn append_catalog(&self, op: &CatalogOp) -> Result<(), DurableError> {
+        let at_index = self.journal.lock().next_index();
+        self.catalog.lock().append(op, at_index)?;
+        self.metrics.catalog_appends.inc();
+        Ok(())
+    }
+
+    /// Appends one event to the journal per the fsync policy. Returns the
+    /// record's global index.
+    pub fn append_event(&self, ev: &LoggedEvent) -> Result<u64, DurableError> {
+        let (index, bytes, synced, rotated) = self.journal.lock().append(ev)?;
+        self.metrics.journal_appends.inc();
+        self.metrics.journal_bytes.add(bytes);
+        if synced {
+            self.metrics.journal_fsyncs.inc();
+        }
+        if rotated {
+            self.metrics.journal_rotations.inc();
+        }
+        Ok(index)
+    }
+
+    /// Index the next journal append will get (= records logged so far).
+    pub fn next_index(&self) -> u64 {
+        self.journal.lock().next_index()
+    }
+
+    /// Whether appending record `idx` should trigger an automatic
+    /// checkpoint (`checkpoint_every` records apart, never at zero).
+    pub fn checkpoint_due(&self, idx: u64) -> bool {
+        self.opts.checkpoint_every > 0 && idx > 0 && idx % self.opts.checkpoint_every == 0
+    }
+
+    /// Writes a checkpoint covering journal records `< tag`. The journal
+    /// tail is flushed first so the checkpoint never claims coverage of
+    /// records that could be lost behind it.
+    pub fn write_checkpoint(&self, tag: u64, snap: &GraphSnapshot) -> Result<(), DurableError> {
+        let started = Instant::now();
+        let result = (|| -> io::Result<u64> {
+            self.journal.lock().flush()?;
+            checkpoint::write_checkpoint(&self.dir, tag, snap)
+        })();
+        match result {
+            Ok(bytes) => {
+                self.metrics.checkpoints.inc();
+                self.metrics.checkpoint_bytes.add(bytes);
+                self.metrics.journal_fsyncs.inc();
+                self.metrics.last_checkpoint_tag.set(tag);
+                self.metrics.checkpoint_duration.record_duration(started.elapsed());
+                Ok(())
+            }
+            Err(e) => {
+                self.metrics.checkpoint_failures.inc();
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Forces the journal tail to disk (the catalog is always synced).
+    pub fn flush(&self) -> Result<(), DurableError> {
+        self.journal.lock().flush()?;
+        self.metrics.journal_fsyncs.inc();
+        Ok(())
+    }
+
+    /// The engine's live metrics.
+    pub fn metrics(&self) -> &DurabilityMetrics {
+        &self.metrics
+    }
+
+    /// Point-in-time snapshot of the metrics (the `durability` stats
+    /// section).
+    pub fn stats(&self) -> DurabilityStats {
+        self.metrics.snapshot()
+    }
+
+    /// Writes `report` as `recovery-report.json` in the data directory.
+    pub fn write_report(&self, report: &RecoveryReport) -> Result<(), DurableError> {
+        fs::write(self.dir.join(RECOVERY_REPORT_FILE), format!("{}\n", report.to_json()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_detector::{LocalEventDetector, Value};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sentinel-eng-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ev(i: u64) -> LoggedEvent {
+        LoggedEvent::Explicit {
+            name: "bump".into(),
+            params: vec![("i".into(), Value::Int(i as i64))],
+            txn: None,
+            ts: i + 1,
+        }
+    }
+
+    #[test]
+    fn open_append_reopen_recovers_everything() {
+        let dir = tmp("rt");
+        {
+            let (eng, rec) = DurableEngine::open(&dir, DurableOptions::default()).unwrap();
+            assert!(rec.events.is_empty() && rec.catalog_ops.is_empty());
+            eng.append_catalog(&CatalogOp::DeclareExplicit { name: "bump".into() }).unwrap();
+            for i in 0..5 {
+                assert_eq!(eng.append_event(&ev(i)).unwrap(), i);
+            }
+            eng.append_catalog(&CatalogOp::DropRule { name: "r".into() }).unwrap();
+            let snap = LocalEventDetector::new(1).snapshot_state();
+            eng.write_checkpoint(3, &snap).unwrap();
+            let stats = eng.stats();
+            assert_eq!(stats.journal_appends, 5);
+            assert_eq!(stats.catalog_appends, 2);
+            assert_eq!(stats.checkpoints, 1);
+            assert_eq!(stats.last_checkpoint_tag, 3);
+        }
+        let (eng, rec) = DurableEngine::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(rec.events.len(), 5);
+        assert_eq!(rec.catalog_ops.len(), 2);
+        assert_eq!(rec.catalog_ops[0].0, 0, "first op before any events");
+        assert_eq!(rec.catalog_ops[1].0, 5, "second op after five events");
+        assert_eq!(rec.checkpoints.len(), 1);
+        assert_eq!(rec.checkpoints[0].0, 3);
+        assert_eq!(rec.report.journal_records, 5);
+        assert_eq!(rec.report.truncated_bytes, 0);
+        assert_eq!(eng.next_index(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_cadence() {
+        let dir = tmp("cadence");
+        let opts = DurableOptions { checkpoint_every: 4, ..DurableOptions::default() };
+        let (eng, _) = DurableEngine::open(&dir, opts).unwrap();
+        let due: Vec<u64> = (0..13).filter(|&i| eng.checkpoint_due(i)).collect();
+        assert_eq!(due, vec![4, 8, 12]);
+        let off = DurableOptions { checkpoint_every: 0, ..DurableOptions::default() };
+        drop(eng);
+        fs::remove_dir_all(&dir).unwrap();
+        let dir = tmp("cadence-off");
+        let (eng, _) = DurableEngine::open(&dir, off).unwrap();
+        assert!((0..100).all(|i| !eng.checkpoint_due(i)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_report_is_written() {
+        let dir = tmp("report");
+        let (eng, rec) = DurableEngine::open(&dir, DurableOptions::default()).unwrap();
+        eng.write_report(&rec.report).unwrap();
+        let text = fs::read_to_string(dir.join(RECOVERY_REPORT_FILE)).unwrap();
+        let parsed = sentinel_obs::json::Value::parse(text.trim()).unwrap();
+        assert_eq!(
+            parsed.get("journal_records").and_then(sentinel_obs::json::Value::as_u64),
+            Some(0)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -22,9 +22,7 @@
 
 use std::fmt;
 use std::io::{self, Read, Write};
-use std::sync::Arc;
 
-use sentinel_detector::Value as EventValue;
 use sentinel_obs::json;
 
 /// First two bytes of every frame.
@@ -310,62 +308,21 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(Frame, usize), WireError> {
 }
 
 // ---------------------------------------------------------------------------
-// Event-parameter (de)serialization
+// Event-parameter (de)serialization — the tagged-JSON value codec lives in
+// `sentinel-core::durable` (the catalog persists rule specs in the same
+// format); re-exported here so wire-protocol users keep their import path.
 // ---------------------------------------------------------------------------
 
-/// Renders one occurrence [`EventValue`] as tagged JSON
-/// (`{"int": 5}`, `{"str": "x"}`, … `null` for `Null`).
-pub fn value_to_json(v: &EventValue) -> json::Value {
-    match v {
-        EventValue::Int(i) => json::Value::obj([("int", json::Value::Int(*i))]),
-        EventValue::Float(x) => json::Value::obj([("float", json::Value::Float(*x))]),
-        EventValue::Bool(b) => json::Value::obj([("bool", json::Value::Bool(*b))]),
-        EventValue::Str(s) => json::Value::obj([("str", json::Value::str(s.as_ref()))]),
-        EventValue::Oid(o) => json::Value::obj([("oid", json::Value::UInt(*o))]),
-        EventValue::Null => json::Value::Null,
-    }
-}
-
-/// Inverse of [`value_to_json`]; `None` for shapes it never produces.
-pub fn value_from_json(v: &json::Value) -> Option<EventValue> {
-    let json::Value::Obj(pairs) = v else {
-        return matches!(v, json::Value::Null).then_some(EventValue::Null);
-    };
-    let [(tag, inner)] = pairs.as_slice() else { return None };
-    match (tag.as_str(), inner) {
-        ("int", json::Value::Int(i)) => Some(EventValue::Int(*i)),
-        ("int", json::Value::UInt(u)) => i64::try_from(*u).ok().map(EventValue::Int),
-        ("float", json::Value::Float(x)) => Some(EventValue::Float(*x)),
-        ("float", json::Value::Int(i)) => Some(EventValue::Float(*i as f64)),
-        ("float", json::Value::UInt(u)) => Some(EventValue::Float(*u as f64)),
-        ("bool", json::Value::Bool(b)) => Some(EventValue::Bool(*b)),
-        ("str", json::Value::Str(s)) => Some(EventValue::Str(Arc::from(s.as_str()))),
-        ("oid", json::Value::UInt(o)) => Some(EventValue::Oid(*o)),
-        ("oid", json::Value::Int(i)) => u64::try_from(*i).ok().map(EventValue::Oid),
-        _ => None,
-    }
-}
-
-/// Renders an event parameter list as a JSON object (order preserved).
-pub fn params_to_json(params: &[(Arc<str>, EventValue)]) -> json::Value {
-    json::Value::Obj(params.iter().map(|(k, v)| (k.to_string(), value_to_json(v))).collect())
-}
-
-/// Inverse of [`params_to_json`]. `Null` (an absent `params` field) is an
-/// empty list; anything but an object of tagged values is `None`.
-pub fn params_from_json(v: &json::Value) -> Option<Vec<(Arc<str>, EventValue)>> {
-    match v {
-        json::Value::Null => Some(Vec::new()),
-        json::Value::Obj(pairs) => pairs
-            .iter()
-            .map(|(k, v)| value_from_json(v).map(|val| (Arc::from(k.as_str()), val)))
-            .collect(),
-        _ => None,
-    }
-}
+pub use sentinel_core::durable::{
+    params_from_json, params_to_json, value_from_json, value_to_json,
+};
 
 #[cfg(test)]
 mod tests {
+    use std::sync::Arc;
+
+    use sentinel_detector::Value as EventValue;
+
     use super::*;
 
     fn frame(op: Opcode) -> Frame {

@@ -27,7 +27,6 @@
 //! [`DetectorService::shutdown`], which processes everything still queued
 //! inside the detector service before joining its thread.
 
-use std::collections::BTreeMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,10 +41,6 @@ use sentinel_detector::service::{DetectorService, Signal};
 use sentinel_obs::span;
 use sentinel_obs::trace::Field;
 use sentinel_obs::{json, NetMetrics};
-use sentinel_oodb::schema::{AttrType, ClassDef};
-use sentinel_rules::manager::RuleOptions;
-use sentinel_rules::RuleScheduler;
-use sentinel_snoop::{CouplingMode, ParamContext};
 
 use crate::protocol::{self, Frame, Opcode, WireError};
 
@@ -104,8 +99,6 @@ struct State {
     inflight_sync: AtomicU64,
     next_session: AtomicU64,
     async_tx: Mutex<Option<Sender<AsyncJob>>>,
-    /// Fire counts of `{"action": "count"}` catalog rules, by rule name.
-    rule_hits: Arc<Mutex<BTreeMap<String, u64>>>,
     /// Signals a client-requested shutdown to [`NetServer::wait_for_shutdown`].
     shutdown_tx: Sender<()>,
 }
@@ -137,7 +130,6 @@ impl NetServer {
             inflight_sync: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             async_tx: Mutex::new(Some(async_tx)),
-            rule_hits: Arc::new(Mutex::new(BTreeMap::new())),
             shutdown_tx,
         });
 
@@ -201,6 +193,12 @@ impl NetServer {
         if let Some(t) = self.pump.lock().take() {
             let _ = t.join();
         }
+        // With every signal drained, persist the tail: force the journal
+        // to disk and cut a final checkpoint so a restart replays nothing.
+        // No-ops when the system is not durable.
+        let sentinel = self.state.handle.sentinel();
+        let _ = sentinel.flush_journal();
+        let _ = sentinel.checkpoint_now();
     }
 }
 
@@ -360,11 +358,6 @@ fn handle_frame(
             let mut stats = state.handle.stats_json();
             if let json::Value::Obj(pairs) = &mut stats {
                 pairs.push(("net".to_string(), state.metrics.snapshot().to_json()));
-                let hits = state.rule_hits.lock();
-                let hits_json = json::Value::Obj(
-                    hits.iter().map(|(k, v)| (k.clone(), json::Value::UInt(*v))).collect(),
-                );
-                pairs.push(("rule_hits".to_string(), hits_json));
             }
             send(stream, state, &Frame::new(Opcode::Ok, id, stats))
         }
@@ -477,28 +470,17 @@ fn parse_signal(
 
 fn define_class(state: &Arc<State>, payload: &json::Value) -> Result<json::Value, String> {
     let name = require_str(payload, "name")?;
-    let mut def = ClassDef::new(name).extends("REACTIVE");
-    if let Some(attrs) = payload.get("attrs").and_then(json::Value::as_arr) {
-        for attr in attrs {
+    let mut attrs = Vec::new();
+    if let Some(list) = payload.get("attrs").and_then(json::Value::as_arr) {
+        for attr in list {
             let pair = attr.as_arr().filter(|p| p.len() == 2).ok_or("attrs: want [name, type]")?;
             let (an, at) = (pair[0].as_str(), pair[1].as_str());
             let (an, at) = an.zip(at).ok_or("attrs: want string pairs")?;
-            def = def.attr(an, attr_type(at)?);
+            attrs.push((an.to_string(), at.to_string()));
         }
     }
-    state.handle.sentinel().db().register_class(def).map_err(|e| e.to_string())?;
+    state.handle.sentinel().register_class_spec(name, &attrs, &[]).map_err(|e| e.to_string())?;
     Ok(json::Value::obj([("class", json::Value::str(name))]))
-}
-
-fn attr_type(name: &str) -> Result<AttrType, String> {
-    match name {
-        "int" => Ok(AttrType::Int),
-        "float" => Ok(AttrType::Float),
-        "bool" => Ok(AttrType::Bool),
-        "str" => Ok(AttrType::Str),
-        "ref" => Ok(AttrType::Ref),
-        other => Err(format!("unknown attribute type `{other}`")),
-    }
 }
 
 fn define_event(state: &Arc<State>, payload: &json::Value) -> Result<json::Value, String> {
@@ -506,88 +488,17 @@ fn define_event(state: &Arc<State>, payload: &json::Value) -> Result<json::Value
     let sentinel = state.handle.sentinel();
     let id = match payload.get("expr").and_then(json::Value::as_str) {
         Some(expr) => sentinel.define_event(name, expr).map_err(|e| e.to_string())?,
-        None => sentinel.detector().declare_explicit(name),
+        None => sentinel.declare_explicit(name).map_err(|e| e.to_string())?,
     };
     Ok(json::Value::obj([("event", json::Value::UInt(u64::from(id.0)))]))
 }
 
 fn define_rule(state: &Arc<State>, payload: &json::Value) -> Result<json::Value, String> {
-    let name = require_str(payload, "name")?.to_string();
-    let event = require_str(payload, "event")?;
-    let action_spec = payload.get("action").ok_or("missing action")?;
-    let action = build_action(state, &name, action_spec)?;
-
-    let mut opts = RuleOptions::default();
-    if let Some(ctx) = payload.get("context").and_then(json::Value::as_str) {
-        opts = opts.context(match ctx {
-            "recent" => ParamContext::Recent,
-            "chronicle" => ParamContext::Chronicle,
-            "continuous" => ParamContext::Continuous,
-            "cumulative" => ParamContext::Cumulative,
-            other => return Err(format!("unknown context `{other}`")),
-        });
-    }
-    if let Some(c) = payload.get("coupling").and_then(json::Value::as_str) {
-        opts = opts.coupling(match c {
-            "immediate" => CouplingMode::Immediate,
-            "deferred" => CouplingMode::Deferred,
-            "detached" => CouplingMode::Detached,
-            other => return Err(format!("unknown coupling `{other}`")),
-        });
-    }
-    if let Some(p) = payload.get("priority").and_then(json::Value::as_u64) {
-        opts = opts.priority(u32::try_from(p).map_err(|_| "priority out of range")?);
-    }
-
-    let rule = state
-        .handle
-        .sentinel()
-        .define_rule(&name, event, Arc::new(|_| true), action, opts)
-        .map_err(|e| e.to_string())?;
+    // The whole payload is the rule spec; parsing, the action catalog
+    // (`count`, `raise`) and catalog journaling live in
+    // `Sentinel::define_rule_spec`, shared with durable recovery.
+    let rule = state.handle.sentinel().define_rule_spec(payload).map_err(|e| e.to_string())?;
     Ok(json::Value::obj([("rule", json::Value::UInt(rule.0))]))
-}
-
-/// Builds an action from the server-side catalog. Conditions and actions
-/// are code, not data — a remote client cannot ship a closure — so the
-/// protocol names one of a fixed set of behaviours:
-///
-/// * `{"action": "count"}` — bump this rule's `rule_hits` counter
-///   (visible in the `Stats` response);
-/// * `{"action": "raise", "event": E, "params"?: {...}}` — raise the
-///   explicit event `E`, cascading inside the same transaction.
-fn build_action(
-    state: &Arc<State>,
-    rule_name: &str,
-    spec: &json::Value,
-) -> Result<sentinel_rules::ActionFn, String> {
-    match spec.get("action").and_then(json::Value::as_str) {
-        Some("count") => {
-            let hits = state.rule_hits.clone();
-            let key = rule_name.to_string();
-            Ok(Arc::new(move |_inv| {
-                *hits.lock().entry(key.clone()).or_insert(0) += 1;
-            }))
-        }
-        Some("raise") => {
-            let event = require_str(spec, "event")?.to_string();
-            let params = match spec.get("params") {
-                Some(p) => protocol::params_from_json(p).ok_or("malformed raise params")?,
-                None => Vec::new(),
-            };
-            // Capture the detector plus a weak scheduler: the action is
-            // stored inside the rule manager, which the scheduler owns, so
-            // a strong reference would leak the whole system.
-            let detector = state.handle.sentinel().detector().clone();
-            let scheduler = Arc::downgrade(state.handle.sentinel().scheduler());
-            Ok(Arc::new(move |inv| {
-                if let Some(sched) = scheduler.upgrade() {
-                    let dets = detector.signal_explicit(&event, params.clone(), inv.txn);
-                    RuleScheduler::dispatch(&sched, dets);
-                }
-            }))
-        }
-        _ => Err("action must be one of: count, raise".to_string()),
-    }
 }
 
 enum RuleAdmin {
@@ -606,10 +517,7 @@ fn rule_admin(
     match op {
         RuleAdmin::Enable => sentinel.enable_rule(name).map_err(|e| e.to_string())?,
         RuleAdmin::Disable => sentinel.disable_rule(name).map_err(|e| e.to_string())?,
-        RuleAdmin::Drop => {
-            let id = sentinel.rules().lookup(name).ok_or_else(|| format!("unknown rule {name}"))?;
-            sentinel.rules().delete(id).map_err(|e| e.to_string())?;
-        }
+        RuleAdmin::Drop => sentinel.drop_rule(name).map_err(|e| e.to_string())?,
     }
     Ok(json::Value::obj([("rule", json::Value::str(name))]))
 }

@@ -1,0 +1,187 @@
+//! Durability-layer observability: counters for the `sentinel-durable`
+//! subsystem (catalog + event journal + checkpoints) and the structured
+//! recovery report produced when a data directory is reopened.
+//!
+//! The durable engine owns one [`DurabilityMetrics`] and bumps it from the
+//! signalling threads (relaxed atomics, same discipline as the rest of
+//! this crate); [`DurabilityMetrics::snapshot`] produces the plain-data
+//! [`DurabilityStats`] that `Sentinel::stats()` merges into the
+//! `SentinelStats` JSON as a `durability` section.
+
+use crate::{json, Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Live counters for one durable engine.
+#[derive(Debug, Default)]
+pub struct DurabilityMetrics {
+    /// Events appended to the journal.
+    pub journal_appends: Counter,
+    /// Payload bytes appended to the journal (excluding frame headers).
+    pub journal_bytes: Counter,
+    /// `fsync` calls issued for the event journal.
+    pub journal_fsyncs: Counter,
+    /// Journal segment rotations.
+    pub journal_rotations: Counter,
+    /// DDL operations appended to the catalog.
+    pub catalog_appends: Counter,
+    /// Checkpoints written successfully.
+    pub checkpoints: Counter,
+    /// Checkpoint attempts that failed (I/O errors; the journal still
+    /// covers the state, recovery just replays more).
+    pub checkpoint_failures: Counter,
+    /// Bytes written into checkpoint files.
+    pub checkpoint_bytes: Counter,
+    /// Wall time per checkpoint write, ns.
+    pub checkpoint_duration: Histogram,
+    /// Journal record index the newest checkpoint covers.
+    pub last_checkpoint_tag: Gauge,
+}
+
+impl DurabilityMetrics {
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> DurabilityStats {
+        DurabilityStats {
+            journal_appends: self.journal_appends.get(),
+            journal_bytes: self.journal_bytes.get(),
+            journal_fsyncs: self.journal_fsyncs.get(),
+            journal_rotations: self.journal_rotations.get(),
+            catalog_appends: self.catalog_appends.get(),
+            checkpoints: self.checkpoints.get(),
+            checkpoint_failures: self.checkpoint_failures.get(),
+            checkpoint_bytes: self.checkpoint_bytes.get(),
+            checkpoint_duration: self.checkpoint_duration.snapshot(),
+            last_checkpoint_tag: self.last_checkpoint_tag.get(),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`DurabilityMetrics`] (the `durability` stats
+/// section).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Events appended to the journal.
+    pub journal_appends: u64,
+    /// Payload bytes appended to the journal.
+    pub journal_bytes: u64,
+    /// `fsync` calls issued for the event journal.
+    pub journal_fsyncs: u64,
+    /// Journal segment rotations.
+    pub journal_rotations: u64,
+    /// DDL operations appended to the catalog.
+    pub catalog_appends: u64,
+    /// Checkpoints written successfully.
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed.
+    pub checkpoint_failures: u64,
+    /// Bytes written into checkpoint files.
+    pub checkpoint_bytes: u64,
+    /// Wall time per checkpoint write.
+    pub checkpoint_duration: HistogramSnapshot,
+    /// Journal record index the newest checkpoint covers.
+    pub last_checkpoint_tag: u64,
+}
+
+impl DurabilityStats {
+    /// Renders as a JSON object (see [`crate::json`]).
+    pub fn to_json(&self) -> json::Value {
+        json::Value::obj([
+            ("journal_appends", json::Value::UInt(self.journal_appends)),
+            ("journal_bytes", json::Value::UInt(self.journal_bytes)),
+            ("journal_fsyncs", json::Value::UInt(self.journal_fsyncs)),
+            ("journal_rotations", json::Value::UInt(self.journal_rotations)),
+            ("catalog_appends", json::Value::UInt(self.catalog_appends)),
+            ("checkpoints", json::Value::UInt(self.checkpoints)),
+            ("checkpoint_failures", json::Value::UInt(self.checkpoint_failures)),
+            ("checkpoint_bytes", json::Value::UInt(self.checkpoint_bytes)),
+            ("checkpoint_duration", self.checkpoint_duration.to_json()),
+            ("last_checkpoint_tag", json::Value::UInt(self.last_checkpoint_tag)),
+        ])
+    }
+}
+
+/// What one recovery pass found in a data directory — written to
+/// `recovery-report.json` and surfaced through the server logs and the CI
+/// crash-restart smoke artifact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Catalog operations replayed.
+    pub catalog_ops: u64,
+    /// Journal record index covered by the checkpoint that was restored
+    /// (`None` when recovery started from an empty graph).
+    pub checkpoint_tag: Option<u64>,
+    /// Checkpoint files found on disk.
+    pub checkpoints_scanned: u64,
+    /// Checkpoint files rejected (bad checksum, undecodable, or refusing
+    /// to validate against the rebuilt graph).
+    pub checkpoints_rejected: u64,
+    /// Journal segment files scanned.
+    pub journal_segments: u64,
+    /// Well-formed journal records found across all segments.
+    pub journal_records: u64,
+    /// Journal records replayed through the detector (the suffix after the
+    /// restored checkpoint).
+    pub replayed_records: u64,
+    /// Bytes discarded from torn/corrupt tails (journal + catalog).
+    pub truncated_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Renders as a JSON object (see [`crate::json`]).
+    pub fn to_json(&self) -> json::Value {
+        json::Value::obj([
+            ("catalog_ops", json::Value::UInt(self.catalog_ops)),
+            (
+                "checkpoint_tag",
+                match self.checkpoint_tag {
+                    Some(t) => json::Value::UInt(t),
+                    None => json::Value::Null,
+                },
+            ),
+            ("checkpoints_scanned", json::Value::UInt(self.checkpoints_scanned)),
+            ("checkpoints_rejected", json::Value::UInt(self.checkpoints_rejected)),
+            ("journal_segments", json::Value::UInt(self.journal_segments)),
+            ("journal_records", json::Value::UInt(self.journal_records)),
+            ("replayed_records", json::Value::UInt(self.replayed_records)),
+            ("truncated_bytes", json::Value::UInt(self.truncated_bytes)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = DurabilityMetrics::default();
+        m.journal_appends.add(7);
+        m.journal_bytes.add(512);
+        m.checkpoints.inc();
+        m.last_checkpoint_tag.set(5);
+        m.checkpoint_duration.record(1_000);
+        let s = m.snapshot();
+        assert_eq!(s.journal_appends, 7);
+        assert_eq!(s.journal_bytes, 512);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.last_checkpoint_tag, 5);
+        assert_eq!(s.checkpoint_duration.count, 1);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let s = DurabilityStats { journal_appends: 3, ..DurabilityStats::default() };
+        let j = s.to_json();
+        assert_eq!(j.get("journal_appends").and_then(json::Value::as_u64), Some(3));
+        assert_eq!(j.get("checkpoints").and_then(json::Value::as_u64), Some(0));
+        assert!(j.get("checkpoint_duration").is_some());
+    }
+
+    #[test]
+    fn recovery_report_json_handles_missing_checkpoint() {
+        let r = RecoveryReport { journal_records: 4, ..RecoveryReport::default() };
+        let j = r.to_json();
+        assert!(matches!(j.get("checkpoint_tag"), Some(json::Value::Null)));
+        assert_eq!(j.get("journal_records").and_then(json::Value::as_u64), Some(4));
+        let r = RecoveryReport { checkpoint_tag: Some(9), ..r };
+        assert_eq!(r.to_json().get("checkpoint_tag").and_then(json::Value::as_u64), Some(9));
+    }
+}

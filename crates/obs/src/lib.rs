@@ -20,10 +20,14 @@
 //!   loadable in Perfetto.
 //! * [`net`] — counters for the `sentinel-net` client/server subsystem
 //!   (connections, frames, decode errors, busy rejections).
+//! * [`durability`] — counters for the `sentinel-durable` subsystem
+//!   (journal appends/bytes/fsyncs, checkpoint durations) plus the
+//!   structured recovery report.
 //!
 //! Everything here is wait-free or a short critical section; when no one
 //! is listening the trace bus is a single relaxed atomic load.
 
+pub mod durability;
 pub mod export;
 pub mod json;
 pub mod net;
@@ -33,6 +37,7 @@ pub mod trace;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+pub use durability::{DurabilityMetrics, DurabilityStats, RecoveryReport};
 pub use net::{NetMetrics, NetStats};
 pub use span::{SpanContext, SpanId, SpanRecord, TraceId, TraceStore};
 pub use trace::{Field, TraceBus, TraceBusStats, TraceRecord};

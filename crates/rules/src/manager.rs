@@ -41,6 +41,11 @@ pub struct RuleOptions {
     pub priority_class: Option<String>,
     /// Trigger mode (default NOW).
     pub trigger: Option<TriggerMode>,
+    /// Explicit `defined_at` timestamp. Normally the manager draws a fresh
+    /// clock tick so the `NOW` cutoff excludes everything already
+    /// signalled; catalog replay (`crates/durable`) passes the originally
+    /// recorded tick so a recovered rule keeps its exact cutoff.
+    pub defined_at: Option<u64>,
 }
 
 impl RuleOptions {
@@ -72,6 +77,12 @@ impl RuleOptions {
     /// Sets the trigger mode.
     pub fn trigger(mut self, t: TriggerMode) -> Self {
         self.trigger = Some(t);
+        self
+    }
+
+    /// Pins the rule's `defined_at` timestamp (catalog replay).
+    pub fn defined_at(mut self, ts: u64) -> Self {
+        self.defined_at = Some(ts);
         self
     }
 }
@@ -156,8 +167,9 @@ impl RuleManager {
             priority,
             trigger: opts.trigger.unwrap_or_default(),
             // A fresh tick: strictly later than every already-signalled
-            // occurrence, so NOW excludes them all.
-            defined_at: self.detector.clock().tick(),
+            // occurrence, so NOW excludes them all. Replay pins the
+            // original tick instead.
+            defined_at: opts.defined_at.unwrap_or_else(|| self.detector.clock().tick()),
             enabled: true,
             condition,
             action,
@@ -194,11 +206,18 @@ impl RuleManager {
     /// Re-enables a disabled rule. The `NOW` cutoff moves to re-enable time
     /// (a fresh subscription starts detecting from scratch).
     pub fn enable(&self, id: RuleId) -> Result<(), RuleError> {
+        self.enable_at(id, None)
+    }
+
+    /// Re-enables a disabled rule, optionally pinning the `defined_at`
+    /// timestamp instead of drawing a fresh tick (catalog replay restores
+    /// the originally recorded re-enable cutoff).
+    pub fn enable_at(&self, id: RuleId, defined_at: Option<u64>) -> Result<(), RuleError> {
         let mut rules = self.rules.write();
         let rule = rules.get_mut(&id).ok_or(RuleError::Unknown(id))?;
         if !rule.enabled {
             rule.enabled = true;
-            rule.defined_at = self.detector.clock().tick();
+            rule.defined_at = defined_at.unwrap_or_else(|| self.detector.clock().tick());
             self.detector.subscribe(rule.subscribed_event, rule.context, id.0)?;
         }
         Ok(())

@@ -38,5 +38,5 @@ pub mod recovery;
 pub mod txn;
 pub mod wal;
 
-pub use common::{Lsn, PageId, Rid, StorageError, StorageResult, TxnId};
+pub use common::{crc32, Lsn, PageId, Rid, StorageError, StorageResult, TxnId};
 pub use engine::{StorageEngine, StorageStats};

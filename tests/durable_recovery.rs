@@ -1,0 +1,229 @@
+//! Durable recovery equivalence: a Sentinel crashed at an arbitrary point
+//! and reopened from its data directory must behave — for every event
+//! signalled after the crash — exactly like a system that never crashed.
+//!
+//! The workload mixes the two halves of a composite event (so crashes land
+//! mid-detection), transaction-tagged parameters, and periodic
+//! `commit-transaction` signals (so the replayed event-graph flush is
+//! exercised), and rules observe the composite in all four parameter
+//! contexts. Equivalence is judged on what rules actually see: fire counts
+//! and the flattened constituent parameters of the last firing.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sentinel_core::detector::Value;
+use sentinel_core::durable_store::{DurableOptions, FsyncPolicy};
+use sentinel_core::obs::json;
+use sentinel_core::sentinel::SentinelConfig;
+use sentinel_core::Sentinel;
+
+const CONTEXTS: [&str; 4] = ["recent", "chronicle", "continuous", "cumulative"];
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sentinel-durrec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(checkpoint_every: u64) -> DurableOptions {
+    DurableOptions {
+        fsync: FsyncPolicy::Always,
+        // Tiny segments so multi-event runs also exercise rotation.
+        segment_bytes: 256,
+        checkpoint_every,
+    }
+}
+
+fn rule_spec(ctx: &str) -> json::Value {
+    json::Value::obj([
+        ("name", json::Value::str(format!("r_{ctx}"))),
+        ("event", json::Value::str("ab")),
+        ("context", json::Value::str(ctx)),
+        ("action", json::Value::obj([("action", json::Value::str("count"))])),
+    ])
+}
+
+/// Identical DDL for the reference and the durable system: two explicit
+/// primitives, their sequence composite, and one counting rule per
+/// parameter context.
+fn ddl(s: &Arc<Sentinel>) {
+    s.declare_explicit("a").unwrap();
+    s.declare_explicit("b").unwrap();
+    s.define_event("ab", "(a ; b)").unwrap();
+    for ctx in CONTEXTS {
+        s.define_rule_spec(&rule_spec(ctx)).unwrap();
+    }
+}
+
+/// One workload step: `(event name, x parameter, txn id)`.
+type Step = (&'static str, i64, Option<u64>);
+
+/// Deterministic pseudo-random mix of `a` / `b` signals (some inside
+/// transactions 1-2) with a `commit-transaction` every tenth step.
+fn workload(n: usize) -> Vec<Step> {
+    let mut out = Vec::new();
+    let mut x = 7u64;
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let roll = x >> 33;
+        if i > 0 && i % 10 == 0 {
+            out.push(("commit-transaction", 0, Some(1 + roll % 2)));
+            continue;
+        }
+        let name = if roll % 3 == 0 { "b" } else { "a" };
+        let txn = match roll % 4 {
+            0 => Some(1),
+            1 => Some(2),
+            _ => None,
+        };
+        out.push((name, i as i64, txn));
+    }
+    out
+}
+
+fn signal(s: &Arc<Sentinel>, steps: &[Step]) {
+    let h = s.serve_handle();
+    for (name, x, txn) in steps {
+        let params = if *name == "commit-transaction" {
+            Vec::new()
+        } else {
+            vec![(Arc::from("x"), Value::Int(*x))]
+        };
+        h.signal(name, params, *txn);
+    }
+}
+
+fn hits(s: &Arc<Sentinel>) -> BTreeMap<String, u64> {
+    s.stats().rule_hits
+}
+
+/// Runs the whole workload on a never-crashed in-memory system, returning
+/// the fire counts at the crash point, at the end, and the final
+/// last-firing parameter renderings.
+fn reference(
+    steps: &[Step],
+    k: usize,
+) -> (BTreeMap<String, u64>, BTreeMap<String, u64>, BTreeMap<String, String>) {
+    let s = Sentinel::in_memory();
+    ddl(&s);
+    signal(&s, &steps[..k]);
+    let at_k = hits(&s);
+    signal(&s, &steps[k..]);
+    (at_k, hits(&s), s.stats().rule_last)
+}
+
+#[test]
+fn crash_anywhere_then_recover_matches_uncrashed_run() {
+    let steps = workload(40);
+    for checkpoint_every in [0u64, 3, 8] {
+        for k in [0usize, 1, 7, 20, 33, 40] {
+            let dir = tmp(&format!("prop-{checkpoint_every}-{k}"));
+            // Process 1: define everything, signal the prefix, crash (drop
+            // without flush — FsyncPolicy::Always has already persisted
+            // every record).
+            {
+                let (s, _) =
+                    Sentinel::open_durable(&dir, SentinelConfig::default(), opts(checkpoint_every))
+                        .unwrap();
+                ddl(&s);
+                signal(&s, &steps[..k]);
+            }
+            // Process 2: recover, then signal the suffix.
+            let (s, report) =
+                Sentinel::open_durable(&dir, SentinelConfig::default(), opts(checkpoint_every))
+                    .unwrap();
+            assert_eq!(report.journal_records, k as u64, "every signal is journaled");
+            let tag = report.checkpoint_tag.unwrap_or(0);
+            assert_eq!(report.replayed_records, k as u64 - tag, "suffix replay only");
+            if checkpoint_every == 0 {
+                assert_eq!(report.checkpoint_tag, None, "cadence 0 disables checkpoints");
+            }
+            signal(&s, &steps[k..]);
+
+            let (ref_at_k, ref_at_n, ref_last) = reference(&steps, k);
+            let got = hits(&s);
+            for ctx in CONTEXTS {
+                let rule = format!("r_{ctx}");
+                let want = ref_at_n.get(&rule).copied().unwrap_or(0)
+                    - ref_at_k.get(&rule).copied().unwrap_or(0);
+                assert_eq!(
+                    got.get(&rule).copied().unwrap_or(0),
+                    want,
+                    "suffix firings of {rule} (ckpt={checkpoint_every}, crash at {k})"
+                );
+                // Where the suffix fired at all, the last firing's
+                // constituent parameters must match — composites started
+                // before the crash complete with their pre-crash halves.
+                if want > 0 {
+                    assert_eq!(
+                        s.stats().rule_last.get(&rule),
+                        ref_last.get(&rule),
+                        "last firing of {rule} (ckpt={checkpoint_every}, crash at {k})"
+                    );
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Satellite (a) regression: replay must leave the logical clock *past*
+/// every replayed timestamp, so post-recovery occurrences get fresh
+/// timestamps identical to the uncrashed run's — never reused ones.
+#[test]
+fn replay_resyncs_logical_clock() {
+    let dir = tmp("clock");
+    let steps = workload(17);
+    {
+        let (s, _) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts(5)).unwrap();
+        ddl(&s);
+        signal(&s, &steps);
+    }
+    let (s, _) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts(5)).unwrap();
+
+    let reference = Sentinel::in_memory();
+    ddl(&reference);
+    signal(&reference, &steps);
+
+    // The next occurrence on both systems must carry the same timestamp
+    // and complete the composite with the same constituents.
+    let p = vec![(Arc::from("x"), Value::Int(99))];
+    let got = s.detector().signal_explicit("b", p.clone(), None);
+    let want = reference.detector().signal_explicit("b", p, None);
+    assert!(!want.is_empty(), "workload leaves a half-detected composite");
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert_eq!(g.occurrence.at, w.occurrence.at, "clock resynced past replayed history");
+        assert_eq!(format!("{}", g.occurrence), format!("{}", w.occurrence));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Rules disabled (or dropped) before the crash stay that way after
+/// recovery, and re-enabling works on the recovered system.
+#[test]
+fn rule_admin_survives_restart() {
+    let dir = tmp("admin");
+    {
+        let (s, _) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts(0)).unwrap();
+        ddl(&s);
+        s.disable_rule("r_recent").unwrap();
+        s.drop_rule("r_cumulative").unwrap();
+    }
+    let (s, _) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts(0)).unwrap();
+    let rules = s.rules();
+    let recent = rules.lookup("r_recent").expect("disabled rule still defined");
+    assert!(!rules.is_enabled(recent), "disable persisted");
+    assert!(rules.lookup("r_cumulative").is_none(), "drop persisted");
+    s.enable_rule("r_recent").unwrap();
+    assert!(rules.is_enabled(recent));
+
+    // The re-enable is itself journaled: a further restart keeps it.
+    drop(s);
+    let (s, _) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts(0)).unwrap();
+    let recent = s.rules().lookup("r_recent").unwrap();
+    assert!(s.rules().is_enabled(recent), "re-enable persisted");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -252,3 +252,184 @@ fn abort_undoes_rule_actions_writes_too() {
     assert_eq!(s.get_object(t2, o).unwrap().get("n").unwrap().as_int(), Some(0));
     s.commit(t2).unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Durable-layer fault injection: torn writes and garbage tails in the data
+// directory must shorten recovery, never break it.
+// ---------------------------------------------------------------------------
+
+mod durable_faults {
+    use std::path::{Path, PathBuf};
+    use std::sync::Arc;
+
+    use sentinel_core::detector::Value;
+    use sentinel_core::durable_store::{DurableOptions, FsyncPolicy};
+    use sentinel_core::obs::json;
+    use sentinel_core::sentinel::SentinelConfig;
+    use sentinel_core::Sentinel;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sentinel-durflt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn opts() -> DurableOptions {
+        DurableOptions {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 4 * 1024 * 1024, // one segment: tail faults hit live records
+            checkpoint_every: 4,
+        }
+    }
+
+    /// Seeds a durable system: a pair composite, one counting rule, and
+    /// `n` alternating signals (ending on `a`, so one composite is always
+    /// half-detected at "crash" time).
+    fn seed(dir: &Path, n: u64) {
+        let (s, _) = Sentinel::open_durable(dir, SentinelConfig::default(), opts()).unwrap();
+        s.declare_explicit("a").unwrap();
+        s.declare_explicit("b").unwrap();
+        s.define_event("ab", "(a ; b)").unwrap();
+        s.define_rule_spec(&json::Value::obj([
+            ("name", json::Value::str("watch")),
+            ("event", json::Value::str("ab")),
+            ("action", json::Value::obj([("action", json::Value::str("count"))])),
+        ]))
+        .unwrap();
+        let h = s.serve_handle();
+        for i in 0..n {
+            let name = if i % 2 == 0 { "a" } else { "b" };
+            h.signal(name, vec![(Arc::from("x"), Value::Int(i as i64))], None);
+        }
+        h.signal("a", vec![(Arc::from("x"), Value::Int(777))], None);
+    }
+
+    /// Recovery must leave a working system: completing the half-detected
+    /// composite fires the rule.
+    fn assert_alive(s: &Arc<Sentinel>) {
+        let before = s.stats().rule_hits.get("watch").copied().unwrap_or(0);
+        s.serve_handle().signal("b", vec![(Arc::from("x"), Value::Int(1000))], None);
+        let after = s.stats().rule_hits.get("watch").copied().unwrap_or(0);
+        assert_eq!(after, before + 1, "recovered system still detects");
+    }
+
+    fn newest(dir: &Path, prefix: &str, suffix: &str) -> PathBuf {
+        let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(prefix) && n.ends_with(suffix))
+            })
+            .collect();
+        found.sort();
+        found.pop().expect("file with prefix present")
+    }
+
+    #[test]
+    fn bit_flipped_journal_tail_is_truncated() {
+        let dir = tmp("bitflip");
+        seed(&dir, 10);
+        let seg = newest(&dir, "events-", ".seg");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x20;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (s, report) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts()).unwrap();
+        // The flipped record (the trailing lone `a`) is gone; everything
+        // before it survived.
+        assert_eq!(report.journal_records, 10);
+        assert!(report.truncated_bytes > 0, "tail was cut");
+        // The half-detected `a` was the truncated record: re-signal it.
+        s.serve_handle().signal("a", vec![(Arc::from("x"), Value::Int(777))], None);
+        assert_alive(&s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_truncated_mid_record_resumes() {
+        let dir = tmp("midrec");
+        seed(&dir, 10);
+        let seg = newest(&dir, "events-", ".seg");
+        let bytes = std::fs::read(&seg).unwrap();
+        // Chop inside the final record: drop its last two bytes.
+        std::fs::write(&seg, &bytes[..bytes.len() - 2]).unwrap();
+
+        let (s, report) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts()).unwrap();
+        assert_eq!(report.journal_records, 10);
+        assert!(report.truncated_bytes > 0);
+        s.serve_handle().signal("a", vec![(Arc::from("x"), Value::Int(777))], None);
+        assert_alive(&s);
+        // Appends resume cleanly after the truncation point: a reopen sees
+        // the post-recovery records intact.
+        drop(s);
+        let (s, report) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts()).unwrap();
+        assert_eq!(report.truncated_bytes, 0, "no new damage");
+        assert_eq!(report.journal_records, 12, "10 survivors + 2 post-recovery signals");
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_previous() {
+        let dir = tmp("ckptfall");
+        seed(&dir, 12); // checkpoints at records 4, 8 and 12
+        let ck = newest(&dir, "ckpt-", ".ck");
+        let mut bytes = std::fs::read(&ck).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // break the snapshot checksum
+        std::fs::write(&ck, &bytes).unwrap();
+
+        let (s, report) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts()).unwrap();
+        assert!(report.checkpoints_rejected >= 1, "newest checkpoint rejected");
+        // Fallback = the previous checkpoint, hence a *longer* replay than
+        // the newest one would have needed.
+        assert_eq!(report.checkpoint_tag, Some(8));
+        assert_eq!(report.replayed_records, report.journal_records - 8);
+        assert_alive(&s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_catalog_tail_drops_only_the_torn_op() {
+        let dir = tmp("cattail");
+        seed(&dir, 6);
+        let cat = dir.join("catalog.log");
+        let mut bytes = std::fs::read(&cat).unwrap();
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01]); // torn frame header
+        std::fs::write(&cat, &bytes).unwrap();
+
+        let (s, report) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts()).unwrap();
+        // All five real DDL ops survive (2 declares + event + rule define
+        // + implicit enable journaled with the define).
+        assert!(report.catalog_ops >= 4, "real ops retained: {}", report.catalog_ops);
+        assert!(report.truncated_bytes > 0, "garbage tail counted");
+        s.serve_handle().signal("a", vec![(Arc::from("x"), Value::Int(777))], None);
+        assert_alive(&s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn everything_corrupt_still_opens_fresh() {
+        let dir = tmp("scorched");
+        seed(&dir, 12);
+        // Zero every durable file: recovery must degrade to an empty
+        // system without panicking.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.is_file() {
+                let len = std::fs::metadata(&p).unwrap().len() as usize;
+                std::fs::write(&p, vec![0u8; len]).unwrap();
+            }
+        }
+        let (s, report) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts()).unwrap();
+        assert_eq!(report.catalog_ops, 0);
+        assert_eq!(report.checkpoint_tag, None);
+        assert_eq!(report.replayed_records, 0);
+        assert!(s.stats().rule_hits.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
