@@ -11,6 +11,21 @@
 //!   --traced            stamp signals with per-client trace ids (pair
 //!                       with `sentinel-server --tracing`)
 //!   --shutdown          send a Shutdown frame when done (for CI)
+//!
+//!   --sweep             run the embedded detector-sharding sweep instead
+//!                       of the TCP workload (no server needed): disjoint
+//!                       composite components fed by concurrent threads
+//!                       through a DetectorPool at each worker count
+//!   --detector-threads <LIST>  comma-separated worker counts to sweep
+//!                       (default 1,2,4,8)
+//!   --components <N>    disjoint components in the sweep graph (default 64)
+//!   --pairs <N>         a;b pairs signalled per component (default 1500)
+//!   --feeders <N>       concurrent feeder threads (default 8)
+//!   --hold-us <N>       simulated downstream cost per signal (rule-action
+//!                       dispatch), held on the processing worker; 0 for a
+//!                       pure-CPU sweep (default 20)
+//!   --sweep-out <PATH>  where to write the sweep report
+//!                       (default BENCH_detector.json)
 //! ```
 //!
 //! The workload: explicit events `seq_a`, `seq_b`, `cascade`; composite
@@ -27,8 +42,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sentinel_detector::service::Signal;
+use sentinel_detector::{DetectorPool, LocalEventDetector};
 use sentinel_net::{ClientError, RuleSpec, SentinelClient};
 use sentinel_obs::{json, Histogram};
+use sentinel_snoop::{parse_event_expr, ParamContext};
 
 struct Args {
     addr: String,
@@ -36,6 +54,13 @@ struct Args {
     iters: usize,
     traced: bool,
     shutdown: bool,
+    sweep: bool,
+    detector_threads: Vec<usize>,
+    components: usize,
+    pairs: usize,
+    feeders: usize,
+    hold_us: u64,
+    sweep_out: String,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +70,13 @@ fn parse_args() -> Args {
         iters: 200,
         traced: false,
         shutdown: false,
+        sweep: false,
+        detector_threads: vec![1, 2, 4, 8],
+        components: 64,
+        pairs: 1500,
+        feeders: 8,
+        hold_us: 20,
+        sweep_out: "BENCH_detector.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,10 +92,27 @@ fn parse_args() -> Args {
             "--iters" => args.iters = value("--iters").parse().expect("--iters <N>"),
             "--traced" => args.traced = true,
             "--shutdown" => args.shutdown = true,
+            "--sweep" => args.sweep = true,
+            "--detector-threads" => {
+                args.detector_threads = value("--detector-threads")
+                    .split(',')
+                    .map(|w| w.trim().parse().expect("--detector-threads N[,N...]"))
+                    .collect();
+                assert!(!args.detector_threads.is_empty(), "--detector-threads needs counts");
+            }
+            "--components" => {
+                args.components = value("--components").parse().expect("--components <N>");
+            }
+            "--pairs" => args.pairs = value("--pairs").parse().expect("--pairs <N>"),
+            "--feeders" => args.feeders = value("--feeders").parse().expect("--feeders <N>"),
+            "--hold-us" => args.hold_us = value("--hold-us").parse().expect("--hold-us <N>"),
+            "--sweep-out" => args.sweep_out = value("--sweep-out"),
             "--help" | "-h" => {
                 println!(
                     "sentinel-loadgen [--addr HOST:PORT] [--clients N] [--iters N] \
-                     [--traced] [--shutdown]"
+                     [--traced] [--shutdown] [--sweep] [--detector-threads N,N,...] \
+                     [--components N] [--pairs N] [--feeders N] [--hold-us N] \
+                     [--sweep-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -109,6 +158,173 @@ fn signal_retry(
             other => return other,
         }
     }
+}
+
+/// One row of the `--sweep` report: the same fixed workload replayed
+/// through a [`DetectorPool`] of `workers` detector threads.
+struct SweepRun {
+    workers: usize,
+    signals: u64,
+    detections: u64,
+    expected: u64,
+    elapsed_ms: f64,
+    throughput_sps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+/// Builds the sweep graph: `components` disjoint operator-DAG components,
+/// each holding `seq{i} = a{i} ; b{i}` and `or{i} = a{i} | b{i}`
+/// subscribed in all four parameter contexts. Disjoint components land in
+/// disjoint shards, so added workers buy real concurrency.
+fn sweep_detector(components: usize) -> Arc<LocalEventDetector> {
+    let det = Arc::new(LocalEventDetector::new(1));
+    for i in 0..components {
+        let (a, b) = (format!("a{i}"), format!("b{i}"));
+        det.declare_explicit(&a);
+        det.declare_explicit(&b);
+        let seq = det
+            .define_named(&format!("seq{i}"), &parse_event_expr(&format!("{a} ; {b}")).unwrap())
+            .unwrap();
+        let or = det
+            .define_named(&format!("or{i}"), &parse_event_expr(&format!("{a} | {b}")).unwrap())
+            .unwrap();
+        for (xi, &ctx) in ParamContext::ALL.iter().enumerate() {
+            det.subscribe(seq, ctx, (1000 + i * 8 + xi) as u64).unwrap();
+            det.subscribe(or, ctx, (1000 + i * 8 + 4 + xi) as u64).unwrap();
+        }
+    }
+    det
+}
+
+/// Replays the fixed workload at one worker count. Each feeder owns the
+/// components `i ≡ f (mod feeders)` and alternates `a{i}`, `b{i}`
+/// strictly, so per component every pair closes `seq{i}` exactly once per
+/// context (4 detections) and `or{i}` once per constituent per context
+/// (8 more): the exact-count oracle is `components × pairs × 12`.
+fn run_sweep_once(args: &Args, workers: usize) -> SweepRun {
+    let det = sweep_detector(args.components);
+    let pool = DetectorPool::spawn(det, workers);
+    let signals = (args.components * args.pairs * 2) as u64;
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for f in 0..args.feeders {
+            let pool = &pool;
+            let (components, pairs, feeders) = (args.components, args.pairs, args.feeders);
+            let hold_us = args.hold_us;
+            s.spawn(move || {
+                for _ in 0..pairs {
+                    for i in (f..components).step_by(feeders.max(1)) {
+                        for name in [format!("a{i}"), format!("b{i}")] {
+                            let sig = Signal::Explicit { name, params: Vec::new(), txn: None };
+                            if hold_us == 0 {
+                                pool.signal_async(sig);
+                            } else {
+                                // Hold the worker after detection, modelling
+                                // rule-action dispatch cost: disjoint shards
+                                // overlap their holds, same-shard signals
+                                // stay strictly FIFO.
+                                pool.signal_async_done(
+                                    sig,
+                                    Box::new(move || {
+                                        std::thread::sleep(Duration::from_micros(hold_us));
+                                    }),
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Barrier: every queued signal fully detected before the clock stops.
+    pool.barrier(|_| {});
+    let elapsed = t0.elapsed();
+
+    let detections = pool.detections().try_iter().count() as u64;
+    let lat = pool.metrics().drain_latency_ns.snapshot();
+    SweepRun {
+        workers,
+        signals,
+        detections,
+        expected: (args.components * args.pairs * 12) as u64,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        throughput_sps: signals as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: lat.p50_ns() as f64 / 1e3,
+        p95_us: lat.p95_ns() as f64 / 1e3,
+        p99_us: lat.p99_ns() as f64 / 1e3,
+    }
+}
+
+/// `--sweep`: embedded sharding benchmark over the worker counts in
+/// `--detector-threads`. Writes the report to `--sweep-out` and exits
+/// non-zero if any run's detection count misses the oracle — which also
+/// proves every worker count produced the identical occurrence total.
+fn run_sweep(args: &Args) -> ! {
+    let runs: Vec<SweepRun> = args
+        .detector_threads
+        .iter()
+        .map(|&w| {
+            let run = run_sweep_once(args, w);
+            eprintln!(
+                "sweep: workers={} detections={}/{} throughput={:.0}/s p99={:.1}us",
+                run.workers, run.detections, run.expected, run.throughput_sps, run.p99_us
+            );
+            run
+        })
+        .collect();
+
+    let base = runs.first().map(|r| r.throughput_sps).unwrap_or(0.0);
+    let report = json::Value::obj([
+        ("bench", json::Value::str("detector_sweep")),
+        ("components", json::Value::UInt(args.components as u64)),
+        ("pairs", json::Value::UInt(args.pairs as u64)),
+        ("feeders", json::Value::UInt(args.feeders as u64)),
+        ("hold_us", json::Value::UInt(args.hold_us)),
+        (
+            "runs",
+            json::Value::Arr(
+                runs.iter()
+                    .map(|r| {
+                        json::Value::obj([
+                            ("workers", json::Value::UInt(r.workers as u64)),
+                            ("signals", json::Value::UInt(r.signals)),
+                            ("detections", json::Value::UInt(r.detections)),
+                            ("expected", json::Value::UInt(r.expected)),
+                            ("elapsed_ms", json::Value::Float(r.elapsed_ms)),
+                            ("throughput_sps", json::Value::Float(r.throughput_sps)),
+                            (
+                                "speedup_vs_first",
+                                json::Value::Float(r.throughput_sps / base.max(1e-9)),
+                            ),
+                            ("p50_us", json::Value::Float(r.p50_us)),
+                            ("p95_us", json::Value::Float(r.p95_us)),
+                            ("p99_us", json::Value::Float(r.p99_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&args.sweep_out, format!("{report}\n")) {
+        eprintln!("cannot write {}: {e}", args.sweep_out);
+        std::process::exit(1);
+    }
+    println!("bench{report}");
+
+    let bad: Vec<&SweepRun> = runs.iter().filter(|r| r.detections != r.expected).collect();
+    if !bad.is_empty() {
+        for r in bad {
+            eprintln!(
+                "FAILED: workers={} detected {} occurrences, oracle says {}",
+                r.workers, r.detections, r.expected
+            );
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 struct ClientOutcome {
@@ -160,6 +376,9 @@ fn run_client(
 
 fn main() {
     let args = parse_args();
+    if args.sweep {
+        run_sweep(&args);
+    }
 
     let admin = match SentinelClient::connect_with_backoff(
         &args.addr,

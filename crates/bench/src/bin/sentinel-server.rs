@@ -8,6 +8,9 @@
 //!   --max-connections <N>   concurrent connection cap (default 64)
 //!   --global-inflight <N>   global in-flight signal cap (default 1024)
 //!   --session-inflight <N>  per-session queued-async cap (default 128)
+//!   --detector-threads <N>  detector workers behind the async pump
+//!                           (default 1; disjoint event-graph shards
+//!                           detect concurrently across workers)
 //!   --tracing               enable provenance tracing (lets clients
 //!                           stitch server spans into their trace ids)
 //!   --data-dir <DIR>        run durably: recover the catalog, event
@@ -87,6 +90,10 @@ fn parse_args() -> Args {
                 args.cfg.max_inflight_per_session =
                     value("--session-inflight").parse().expect("--session-inflight <N>");
             }
+            "--detector-threads" => {
+                args.cfg.detector_threads =
+                    value("--detector-threads").parse().expect("--detector-threads <N>");
+            }
             "--tracing" => args.tracing = true,
             "--data-dir" => args.data_dir = Some(PathBuf::from(value("--data-dir"))),
             "--fsync" => args.durable.fsync = parse_fsync(&value("--fsync")),
@@ -97,9 +104,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "sentinel-server [--addr HOST:PORT] [--max-connections N] \
-                     [--global-inflight N] [--session-inflight N] [--tracing] \
-                     [--data-dir DIR] [--fsync always|never|every=N] \
-                     [--checkpoint-every N]"
+                     [--global-inflight N] [--session-inflight N] \
+                     [--detector-threads N] [--tracing] [--data-dir DIR] \
+                     [--fsync always|never|every=N] [--checkpoint-every N]"
                 );
                 std::process::exit(0);
             }

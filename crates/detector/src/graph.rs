@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use parking_lot::{Mutex, MutexGuard};
 use sentinel_snoop::ast::{EventExpr, EventModifier};
 use sentinel_snoop::ParamContext;
 
@@ -245,9 +246,15 @@ impl std::fmt::Display for GraphError {
 impl std::error::Error for GraphError {}
 
 /// The event graph.
+///
+/// Nodes sit behind individual mutexes so shard workers can mutate
+/// disjoint connected components concurrently while sharing one graph
+/// behind a read lock; the detector's per-shard order locks serialize all
+/// access *within* a component, so the node mutexes are uncontended in
+/// practice and exist to make the sharing data-race-free.
 #[derive(Debug, Default)]
 pub struct EventGraph {
-    nodes: Vec<Node>,
+    nodes: Vec<Mutex<Node>>,
     /// name -> node (named events: primitives, explicit, named composites).
     names: HashMap<Arc<str>, EventId>,
     /// Structural sharing of operator nodes.
@@ -256,6 +263,17 @@ pub struct EventGraph {
     /// events defined is maintained as a list based on the class on which it
     /// is defined", §3.2).
     by_class: HashMap<Arc<str>, Vec<EventId>>,
+    /// Shard label per node, parallel to `nodes`. A shard is a connected
+    /// component of the operator DAG (with all method leaves of one class
+    /// coupled, since a single `notify` feeds them atomically); composing
+    /// a node over children in different components unions them.
+    labels: Vec<u32>,
+    /// Labels ever allocated. Labels are never recycled, so after merges
+    /// some labels below this bound own no nodes.
+    allocated_shards: u32,
+    /// `(winner, loser)` component unions not yet applied by the detector
+    /// (which migrates per-shard runtime state loser → winner).
+    merges: Vec<(u32, u32)>,
 }
 
 impl EventGraph {
@@ -276,14 +294,38 @@ impl EventGraph {
         }
     }
 
-    /// Borrow a node.
-    pub fn node(&self, id: EventId) -> &Node {
-        &self.nodes[id.0 as usize]
+    /// Locks and borrows a node. The guard derefs mutably, so shard
+    /// workers holding the graph read lock use this for state updates too.
+    pub fn node(&self, id: EventId) -> MutexGuard<'_, Node> {
+        self.nodes[id.0 as usize].lock()
     }
 
-    /// Mutably borrow a node.
+    /// Mutably borrow a node (exclusive graph access, no locking).
     pub fn node_mut(&mut self, id: EventId) -> &mut Node {
-        &mut self.nodes[id.0 as usize]
+        self.nodes[id.0 as usize].get_mut()
+    }
+
+    /// Shard (connected component) label of a node.
+    pub fn shard_of(&self, id: EventId) -> u32 {
+        self.labels[id.0 as usize]
+    }
+
+    /// Number of shard labels ever allocated. Shard-indexed tables are
+    /// sized by this; merged-away labels simply go idle.
+    pub fn shard_count(&self) -> u32 {
+        self.allocated_shards
+    }
+
+    /// Shard label per node, parallel to node ids.
+    pub fn shard_labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Drains the component unions performed since the last call, as
+    /// `(winner, loser)` label pairs in the order they happened. The
+    /// detector applies these by migrating per-shard runtime state.
+    pub fn take_merges(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.merges)
     }
 
     /// Number of nodes (the ablation benches report this).
@@ -303,7 +345,7 @@ impl EventGraph {
 
     /// Name of an event id.
     pub fn name_of(&self, id: EventId) -> Arc<str> {
-        self.nodes[id.0 as usize].name.clone()
+        self.node(id).name.clone()
     }
 
     /// Primitive leaves declared on `class`.
@@ -314,11 +356,42 @@ impl EventGraph {
     fn push_node(&mut self, name: Arc<str>, kind: NodeKind) -> EventId {
         let id = EventId(self.nodes.len() as u32);
         let children = kind.children();
-        self.nodes.push(Node::new(id, name, kind));
+        let shard = if children.is_empty() {
+            let s = self.allocated_shards;
+            self.allocated_shards += 1;
+            s
+        } else {
+            // A composite joins its children's components: the smallest
+            // label wins (deterministic across identical DDL sequences,
+            // which snapshot byte-equality tests rely on).
+            let winner =
+                children.iter().map(|(c, _)| self.labels[c.0 as usize]).min().expect("children");
+            for (c, _) in &children {
+                let l = self.labels[c.0 as usize];
+                if l != winner {
+                    self.merge_shards(winner, l);
+                }
+            }
+            winner
+        };
+        self.nodes.push(Mutex::new(Node::new(id, name, kind)));
+        self.labels.push(shard);
         for (child, role) in children {
-            self.nodes[child.0 as usize].parents.push((id, role));
+            self.nodes[child.0 as usize].get_mut().parents.push((id, role));
         }
         id
+    }
+
+    /// Relabels every node in component `loser` to `winner` and queues the
+    /// union for the detector's runtime-state migration.
+    fn merge_shards(&mut self, winner: u32, loser: u32) {
+        debug_assert_ne!(winner, loser);
+        for l in &mut self.labels {
+            if *l == loser {
+                *l = winner;
+            }
+        }
+        self.merges.push((winner, loser));
     }
 
     /// Declares a method-event primitive (idempotent on identical redefinition).
@@ -337,7 +410,7 @@ impl EventGraph {
             target,
         };
         if let Some(&existing) = self.names.get(name) {
-            return if self.nodes[existing.0 as usize].kind == kind {
+            return if self.nodes[existing.0 as usize].get_mut().kind == kind {
                 Ok(existing)
             } else {
                 Err(GraphError::Redefinition(name.to_string()))
@@ -346,7 +419,16 @@ impl EventGraph {
         let name: Arc<str> = Arc::from(name);
         let id = self.push_node(name.clone(), kind);
         self.names.insert(name, id);
-        self.by_class.entry(Arc::from(class)).or_default().push(id);
+        let list = self.by_class.entry(Arc::from(class)).or_default();
+        list.push(id);
+        let first = list[0];
+        // One `notify` feeds every method leaf of the class atomically, so
+        // the class's leaves are detection-order-coupled: keep them in one
+        // shard (this also makes every signal single-shard).
+        let (a, b) = (self.labels[first.0 as usize], self.labels[id.0 as usize]);
+        if a != b {
+            self.merge_shards(a.min(b), a.max(b));
+        }
         Ok(id)
     }
 
@@ -496,7 +578,7 @@ impl EventGraph {
         self.names.insert(name.clone(), id);
         // Upgrade the node's display name from the anonymous expression
         // string to its first user-given name (for traces/DOT/stats).
-        let node = &mut self.nodes[id.0 as usize];
+        let node = self.nodes[id.0 as usize].get_mut();
         if !matches!(node.kind, NodeKind::Primitive { .. }) && node.name.contains(['(', ' ']) {
             node.name = name;
         }
@@ -514,7 +596,7 @@ impl EventGraph {
     ) -> Result<(), GraphError> {
         self.check(event)?;
         self.bump_ctx(event, ctx, 1);
-        self.nodes[event.0 as usize].rule_subs[ctx.index()].push(sub);
+        self.nodes[event.0 as usize].get_mut().rule_subs[ctx.index()].push(sub);
         Ok(())
     }
 
@@ -528,7 +610,7 @@ impl EventGraph {
         sub: SubscriberId,
     ) -> Result<(), GraphError> {
         self.check(event)?;
-        let subs = &mut self.nodes[event.0 as usize].rule_subs[ctx.index()];
+        let subs = &mut self.nodes[event.0 as usize].get_mut().rule_subs[ctx.index()];
         let Some(pos) = subs.iter().position(|s| *s == sub) else {
             return Err(GraphError::NotSubscribed);
         };
@@ -540,7 +622,7 @@ impl EventGraph {
     fn bump_ctx(&mut self, event: EventId, ctx: ParamContext, delta: i32) {
         let mut stack = vec![event];
         while let Some(id) = stack.pop() {
-            let node = &mut self.nodes[id.0 as usize];
+            let node = self.nodes[id.0 as usize].get_mut();
             let c = &mut node.ctx_count[ctx.index()];
             if delta > 0 {
                 *c += delta as u32;
@@ -559,12 +641,17 @@ impl EventGraph {
     /// Ids of all temporal nodes with at least one active context (the
     /// detector's alarm scan set).
     pub fn temporal_nodes(&self) -> Vec<EventId> {
-        self.nodes.iter().filter(|n| n.kind.is_temporal() && n.any_active()).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .map(|m| m.lock())
+            .filter(|n| n.kind.is_temporal() && n.any_active())
+            .map(|n| n.id)
+            .collect()
     }
 
     /// All node ids (diagnostics).
     pub fn node_ids(&self) -> impl Iterator<Item = EventId> + '_ {
-        self.nodes.iter().map(|n| n.id)
+        (0..self.nodes.len()).map(|i| EventId(i as u32))
     }
 }
 
@@ -703,6 +790,40 @@ mod tests {
         assert!(g.temporal_nodes().is_empty(), "inactive until subscribed");
         g.subscribe(p, ParamContext::Recent, 1).unwrap();
         assert_eq!(g.temporal_nodes(), vec![p]);
+    }
+
+    #[test]
+    fn shards_are_connected_components() {
+        let mut g = EventGraph::new();
+        let a = g.declare_explicit("a");
+        let b = g.declare_explicit("b");
+        let c = g.declare_explicit("c");
+        assert_ne!(g.shard_of(a), g.shard_of(b));
+        assert_ne!(g.shard_of(b), g.shard_of(c));
+
+        // Composing over a and b unions their components.
+        let expr = parse_event_expr("a ; b").unwrap();
+        let seq = g.build_expr(&expr, false).unwrap();
+        assert_eq!(g.shard_of(a), g.shard_of(b));
+        assert_eq!(g.shard_of(seq), g.shard_of(a));
+        assert_ne!(g.shard_of(c), g.shard_of(a));
+        let merges = g.take_merges();
+        assert_eq!(merges.len(), 1);
+        assert_eq!(merges[0].0, g.shard_of(a));
+        assert!(g.take_merges().is_empty(), "merges drain once");
+
+        // A later bridge over both components merges again.
+        let expr = parse_event_expr("b ^ c").unwrap();
+        g.build_expr(&expr, false).unwrap();
+        assert_eq!(g.shard_of(a), g.shard_of(c));
+        assert_eq!(g.take_merges().len(), 1);
+    }
+
+    #[test]
+    fn class_method_leaves_share_a_shard() {
+        let g = graph_with_prims();
+        let (e1, e2) = (g.lookup("e1").unwrap(), g.lookup("e2").unwrap());
+        assert_eq!(g.shard_of(e1), g.shard_of(e2), "one notify feeds both leaves");
     }
 
     #[test]

@@ -45,9 +45,9 @@ pub mod viz;
 
 pub use clock::LogicalClock;
 pub use detector::{
-    Detection, DetectorStats, EventSink, LocalEventDetector, NodeStats, SubscriberId,
+    Detection, DetectorStats, EventSink, LocalEventDetector, NodeStats, ShardStats, SubscriberId,
 };
 pub use graph::{EventId, GraphError};
 pub use occurrence::{Occurrence, Value};
-pub use service::ServiceMetrics;
+pub use service::{DetectorPool, DoneCallback, ServiceMetrics};
 pub use snapshot::{GraphSnapshot, NodeSnapshot, RestoreError};

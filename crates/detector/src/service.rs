@@ -14,12 +14,22 @@
 //! * [`DetectorService::signal_async`] queues the event and returns; the
 //!   detections are delivered on [`DetectorService::detections`] (used by
 //!   batch feeds and the global event detector).
+//!
+//! [`DetectorPool`] scales the same protocol across shards: N worker
+//! threads, each owning the FIFO queue of the shard labels hashed to it,
+//! so signals of one shard are processed in submission order while
+//! disjoint shards propagate concurrently. Whole-graph operations
+//! (transaction flushes, time advances, DDL, checkpoint pauses) run at a
+//! rendezvous barrier: every worker parks after draining its queue, the
+//! submitting thread performs the operation against the quiesced
+//! detector, and the workers resume.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
 use sentinel_obs::span::{self, SpanContext};
 use sentinel_obs::{Counter, Gauge, Histogram};
 use sentinel_snoop::ast::EventModifier;
@@ -27,6 +37,52 @@ use sentinel_snoop::ast::EventModifier;
 use crate::clock::Timestamp;
 use crate::detector::{Detection, LocalEventDetector};
 use crate::occurrence::Value;
+
+/// Callback invoked on the worker thread after a pooled signal has been
+/// fully processed and its detections delivered (the network server's
+/// in-flight accounting hook).
+pub type DoneCallback = Box<dyn FnOnce() + Send>;
+
+/// A one-shot all-workers rendezvous: each worker arrives and parks; the
+/// coordinating thread waits for full attendance, performs its operation,
+/// then releases everyone.
+struct Rendezvous {
+    workers: usize,
+    /// `(arrived, released)`.
+    state: Mutex<(usize, bool)>,
+    cv: Condvar,
+}
+
+impl Rendezvous {
+    fn new(workers: usize) -> Self {
+        Rendezvous { workers, state: Mutex::new((0, false)), cv: Condvar::new() }
+    }
+
+    /// Worker side: check in and park until released.
+    fn arrive(&self) {
+        let mut st = self.state.lock();
+        st.0 += 1;
+        self.cv.notify_all();
+        while !st.1 {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Coordinator side: block until every worker has arrived.
+    fn wait_all_arrived(&self) {
+        let mut st = self.state.lock();
+        while st.0 < self.workers {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Coordinator side: resume all parked workers.
+    fn release(&self) {
+        let mut st = self.state.lock();
+        st.1 = true;
+        self.cv.notify_all();
+    }
+}
 
 /// Counters for the service's signal queue: depth (with high-watermark),
 /// signals processed, and the latency from enqueue to the end of
@@ -81,6 +137,9 @@ enum Request {
     Sync(Signal, Sender<Vec<Detection>>, Instant, Option<SpanContext>),
     /// Process; detections go to the async detections channel.
     Async(Signal, Instant, Option<SpanContext>),
+    /// Park at a rendezvous (checkpoint pause): the FIFO queue guarantees
+    /// everything enqueued earlier has been fully processed first.
+    Park(Arc<Rendezvous>),
     /// Stop the service thread.
     Shutdown,
 }
@@ -119,6 +178,10 @@ impl DetectorService {
                                 let _ = det_tx.send(d);
                             }
                             enqueued
+                        }
+                        Request::Park(rz) => {
+                            rz.arrive();
+                            continue;
                         }
                         Request::Shutdown => break,
                     };
@@ -187,6 +250,26 @@ impl DetectorService {
         &self.metrics
     }
 
+    /// Runs `f` with the service drained and signalling paused: a park
+    /// request is queued behind every already-submitted signal, the
+    /// service thread processes them all and parks, and only then does
+    /// `f` run under [`LocalEventDetector::with_signals_paused`]. Unlike
+    /// calling `with_signals_paused` directly, async deliveries sitting
+    /// in the service queue cannot race the closure — the checkpoint cut
+    /// lands on a drain point.
+    pub fn with_paused<R>(&self, f: impl FnOnce() -> R) -> R {
+        let rz = Arc::new(Rendezvous::new(1));
+        if self.requests.send(Request::Park(rz.clone())).is_err() {
+            // Service already shut down: the queue is gone, a plain
+            // detector pause is already race-free.
+            return self.detector.with_signals_paused(f);
+        }
+        rz.wait_all_arrived();
+        let out = self.detector.with_signals_paused(f);
+        rz.release();
+        out
+    }
+
     /// Stops the service thread after draining every queued signal.
     ///
     /// The request channel is FIFO, so the `Shutdown` request enqueued here
@@ -205,6 +288,319 @@ impl DetectorService {
 }
 
 impl Drop for DetectorService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// --- sharded worker pool ------------------------------------------------
+
+enum PoolRequest {
+    /// One routed signal. `at` pre-assigns the timestamp (deterministic
+    /// replay/conformance drivers); `None` ticks the clock live on the
+    /// worker, under the shard's order lock. `label` is the shard the
+    /// signal was routed by (queue-depth accounting).
+    Signal {
+        sig: Signal,
+        at: Option<Timestamp>,
+        label: u32,
+        enqueued: Instant,
+        span: Option<SpanContext>,
+        reply: Option<Sender<Vec<Detection>>>,
+        done: Option<DoneCallback>,
+    },
+    /// Park at an all-workers rendezvous (flushes, time advances, DDL,
+    /// checkpoint pauses).
+    Barrier(Arc<Rendezvous>),
+    Shutdown,
+}
+
+struct PoolWorker {
+    requests: Sender<PoolRequest>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A pool of detector workers with per-shard FIFO routing.
+///
+/// Each signal is routed by its shard label (`label % workers` picks the
+/// queue), so signals of one shard are processed in submission order by
+/// one worker — preserving the order the shard's operators depend on —
+/// while signals of disjoint shards propagate concurrently on different
+/// workers under their own shard order locks.
+///
+/// Whole-graph operations go through [`DetectorPool::barrier`]: all
+/// workers drain their queues and park, the submitting thread runs the
+/// operation, and the workers resume. [`Signal::FlushTxn`] and
+/// [`Signal::AdvanceTime`] submitted through the signal API are routed to
+/// a barrier automatically (they are global fences by definition).
+///
+/// DDL performed directly against the detector while the pool is running
+/// is safe (the graph write lock excludes in-flight signals) but gives no
+/// ordering guarantee against queued signals; drivers that need a
+/// deterministic cut — e.g. defining a composite that bridges two shards
+/// mid-stream — should perform the DDL inside [`DetectorPool::barrier`].
+pub struct DetectorPool {
+    detector: Arc<LocalEventDetector>,
+    workers: Vec<PoolWorker>,
+    detections: Receiver<Detection>,
+    det_tx: Sender<Detection>,
+    metrics: Arc<ServiceMetrics>,
+    /// Serializes barrier fan-out so two coordinators cannot interleave
+    /// their park requests across worker queues (which would deadlock:
+    /// each barrier would wait on workers parked in the other).
+    barrier_lock: Mutex<()>,
+}
+
+impl DetectorPool {
+    /// Spawns `workers` detector worker threads around `detector`.
+    pub fn spawn(detector: Arc<LocalEventDetector>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (det_tx, det_rx) = unbounded::<Detection>();
+        let metrics = Arc::new(ServiceMetrics::default());
+        let pool_workers = (0..workers)
+            .map(|i| {
+                let (req_tx, req_rx) = unbounded::<PoolRequest>();
+                let det = detector.clone();
+                let out = det_tx.clone();
+                let m = metrics.clone();
+                let thread = std::thread::Builder::new()
+                    .name(format!("sentinel-detector-{}-w{i}", detector.app()))
+                    .spawn(move || Self::worker_loop(&det, &req_rx, &out, &m))
+                    .expect("spawn detector pool worker");
+                PoolWorker { requests: req_tx, thread: Some(thread) }
+            })
+            .collect();
+        DetectorPool {
+            detector,
+            workers: pool_workers,
+            detections: det_rx,
+            det_tx,
+            metrics,
+            barrier_lock: Mutex::new(()),
+        }
+    }
+
+    fn worker_loop(
+        det: &LocalEventDetector,
+        requests: &Receiver<PoolRequest>,
+        out: &Sender<Detection>,
+        metrics: &ServiceMetrics,
+    ) {
+        while let Ok(req) = requests.recv() {
+            match req {
+                PoolRequest::Signal { sig, at, label, enqueued, span, reply, done } => {
+                    det.shard_queue_delta(label, -1);
+                    metrics.queue_depth.set(requests.len() as u64);
+                    let dets = {
+                        let _guard = span.map(span::push_current);
+                        Self::process_at(det, sig, at)
+                    };
+                    match reply {
+                        Some(tx) => {
+                            let _ = tx.send(dets);
+                        }
+                        None => {
+                            for d in dets {
+                                let _ = out.send(d);
+                            }
+                        }
+                    }
+                    if let Some(done) = done {
+                        done();
+                    }
+                    metrics.processed.inc();
+                    metrics.drain_latency_ns.record_duration(enqueued.elapsed());
+                }
+                PoolRequest::Barrier(rz) => rz.arrive(),
+                PoolRequest::Shutdown => break,
+            }
+        }
+    }
+
+    fn process_at(det: &LocalEventDetector, sig: Signal, at: Option<Timestamp>) -> Vec<Detection> {
+        match sig {
+            Signal::Method { class, sig, edge, oid, params, txn } => match at {
+                Some(ts) => det.notify_method_at(&class, &sig, edge, oid, params, txn, ts),
+                None => det.notify_method(&class, &sig, edge, oid, params, txn),
+            },
+            Signal::Explicit { name, params, txn } => match at {
+                Some(ts) => det.signal_explicit_at(&name, params, txn, ts),
+                None => det.signal_explicit(&name, params, txn),
+            },
+            // Routed to a barrier by submit(); unreachable on workers.
+            Signal::FlushTxn(txn) => {
+                det.flush_txn(txn);
+                Vec::new()
+            }
+            Signal::AdvanceTime(ts) => det.advance_time(ts),
+        }
+    }
+
+    /// The shared detector (for definitions and subscriptions).
+    pub fn detector(&self) -> &Arc<LocalEventDetector> {
+        &self.detector
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stream of detections from async signals.
+    pub fn detections(&self) -> &Receiver<Detection> {
+        &self.detections
+    }
+
+    /// Queue/latency counters for this pool (aggregated over workers).
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// The shard label a signal routes by (declaring unknown explicit
+    /// events so routing stays stable from the first submission).
+    fn route(&self, sig: &Signal) -> u32 {
+        match sig {
+            Signal::Method { class, .. } => self.detector.shard_of_class(class).unwrap_or(0),
+            Signal::Explicit { name, .. } => self.detector.shard_of_event(name),
+            // Global fences carry no shard; submit() routes them to a
+            // barrier instead.
+            Signal::FlushTxn(_) | Signal::AdvanceTime(_) => 0,
+        }
+    }
+
+    fn submit(
+        &self,
+        sig: Signal,
+        at: Option<Timestamp>,
+        reply: Option<Sender<Vec<Detection>>>,
+        done: Option<DoneCallback>,
+    ) {
+        match sig {
+            Signal::FlushTxn(txn) => {
+                self.barrier(|det| det.flush_txn(txn));
+                if let Some(tx) = reply {
+                    let _ = tx.send(Vec::new());
+                }
+                if let Some(done) = done {
+                    done();
+                }
+            }
+            Signal::AdvanceTime(ts) => {
+                let dets = self.barrier(|det| det.advance_time(ts));
+                match reply {
+                    Some(tx) => {
+                        let _ = tx.send(dets);
+                    }
+                    None => {
+                        for d in dets {
+                            let _ = self.det_tx.send(d);
+                        }
+                    }
+                }
+                if let Some(done) = done {
+                    done();
+                }
+            }
+            sig => {
+                let label = self.route(&sig);
+                let worker = &self.workers[label as usize % self.workers.len()];
+                self.detector.shard_queue_delta(label, 1);
+                let req = PoolRequest::Signal {
+                    sig,
+                    at,
+                    label,
+                    enqueued: Instant::now(),
+                    span: span::current(),
+                    reply,
+                    done,
+                };
+                if worker.requests.send(req).is_err() {
+                    // Pool shut down; balance the gauge.
+                    self.detector.shard_queue_delta(label, -1);
+                } else {
+                    self.metrics
+                        .queue_depth
+                        .set(self.workers.iter().map(|w| w.requests.len() as u64).sum::<u64>());
+                }
+            }
+        }
+    }
+
+    /// Sends a signal to its shard's worker and waits for its detections
+    /// (immediate mode).
+    pub fn signal_sync(&self, sig: Signal) -> Vec<Detection> {
+        let (tx, rx) = bounded(1);
+        self.submit(sig, None, Some(tx), None);
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Queues a signal on its shard's worker; detections arrive on
+    /// [`Self::detections`].
+    pub fn signal_async(&self, sig: Signal) {
+        self.submit(sig, None, None, None);
+    }
+
+    /// Queues a signal with a pre-assigned timestamp (deterministic
+    /// conformance drivers): the worker advances the shared clock to `ts`
+    /// instead of ticking it.
+    pub fn signal_async_at(&self, sig: Signal, ts: Timestamp) {
+        self.submit(sig, Some(ts), None, None);
+    }
+
+    /// Queues a signal with a completion callback, invoked on the worker
+    /// thread after the detections have been delivered (the network
+    /// server's in-flight accounting).
+    pub fn signal_async_done(&self, sig: Signal, done: DoneCallback) {
+        self.submit(sig, None, None, Some(done));
+    }
+
+    /// Runs `f` against the detector with every worker drained and parked
+    /// at a rendezvous: each worker's FIFO queue is processed to the
+    /// barrier first, so `f` observes (and the operation applies at) a
+    /// deterministic cut between everything submitted before and after.
+    pub fn barrier<R>(&self, f: impl FnOnce(&LocalEventDetector) -> R) -> R {
+        let _fan = self.barrier_lock.lock();
+        let rz = Arc::new(Rendezvous::new(self.workers.len()));
+        let mut sent = 0;
+        for w in &self.workers {
+            if w.requests.send(PoolRequest::Barrier(rz.clone())).is_ok() {
+                sent += 1;
+            }
+        }
+        if sent < self.workers.len() {
+            // Pool shut down mid-fan-out: release any worker that did
+            // receive the barrier and run the operation directly.
+            rz.release();
+            return f(&self.detector);
+        }
+        rz.wait_all_arrived();
+        let out = f(&self.detector);
+        rz.release();
+        out
+    }
+
+    /// Runs `f` with the pool drained and signalling paused in every
+    /// shard (see [`LocalEventDetector::with_signals_paused`]): the
+    /// checkpoint-cut primitive for pooled deployments.
+    pub fn with_paused<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.barrier(|det| det.with_signals_paused(f))
+    }
+
+    /// Stops every worker after draining its queue. Idempotent; `Drop`
+    /// delegates here.
+    pub fn shutdown(&mut self) {
+        for w in &self.workers {
+            let _ = w.requests.send(PoolRequest::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(t) = w.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for DetectorPool {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -296,6 +692,84 @@ mod tests {
         // Idempotent: a second shutdown (and the eventual drop) is a no-op.
         svc.shutdown();
         assert_eq!(svc.metrics().processed.get(), K);
+    }
+
+    #[test]
+    fn service_with_paused_drains_queue_before_closure() {
+        let svc = service();
+        let det = svc.detector().clone();
+        let ev = det.lookup("ev").unwrap();
+        det.subscribe(ev, ParamContext::Recent, 9).unwrap();
+        const K: u64 = 128;
+        for _ in 0..K {
+            svc.signal_async(method_signal(1));
+        }
+        let processed = svc.with_paused(|| svc.metrics().processed.get());
+        assert_eq!(processed, K, "park request sorts behind every queued signal");
+    }
+
+    #[test]
+    fn pool_routes_disjoint_shards_and_preserves_shard_order() {
+        let det = Arc::new(LocalEventDetector::new(2));
+        for name in ["a1", "b1", "a2", "b2"] {
+            det.declare_explicit(name);
+        }
+        let s1 = det.define_named("s1", &parse_event_expr("a1 ; b1").unwrap()).unwrap();
+        let s2 = det.define_named("s2", &parse_event_expr("a2 ; b2").unwrap()).unwrap();
+        for ctx in ParamContext::ALL {
+            det.subscribe(s1, ctx, 1).unwrap();
+            det.subscribe(s2, ctx, 2).unwrap();
+        }
+        let mut pool = DetectorPool::spawn(det, 4);
+        const PAIRS: usize = 50;
+        for _ in 0..PAIRS {
+            for name in ["a1", "a2", "b1", "b2"] {
+                pool.signal_async(Signal::Explicit {
+                    name: name.into(),
+                    params: Vec::new(),
+                    txn: None,
+                });
+            }
+        }
+        pool.shutdown();
+        let dets: Vec<Detection> = pool.detections().try_iter().collect();
+        let per = |ev| dets.iter().filter(|d| d.event == ev).count();
+        // Recent/Chronicle/Continuous/Cumulative each detect every strictly
+        // alternating a;b pair exactly once.
+        assert_eq!(per(s1), 4 * PAIRS, "no s1 pair lost or doubled");
+        assert_eq!(per(s2), 4 * PAIRS, "no s2 pair lost or doubled");
+    }
+
+    #[test]
+    fn pool_flush_txn_is_a_global_fence() {
+        let det = Arc::new(LocalEventDetector::new(2));
+        det.declare_explicit("a");
+        det.declare_explicit("b");
+        let seq = det.define_named("s", &parse_event_expr("a ; b").unwrap()).unwrap();
+        det.subscribe(seq, ParamContext::Chronicle, 1).unwrap();
+        let pool = DetectorPool::spawn(det, 4);
+        pool.signal_async(Signal::Explicit { name: "a".into(), params: Vec::new(), txn: Some(7) });
+        pool.signal_async(Signal::FlushTxn(7));
+        let dets = pool.signal_sync(Signal::Explicit {
+            name: "b".into(),
+            params: Vec::new(),
+            txn: Some(8),
+        });
+        assert!(dets.is_empty(), "initiator of T7 flushed before T8's terminator");
+    }
+
+    #[test]
+    fn pool_with_paused_cuts_identical_snapshots() {
+        let det = Arc::new(LocalEventDetector::new(2));
+        det.declare_explicit("a");
+        det.declare_explicit("b");
+        let seq = det.define_named("s", &parse_event_expr("a ; b").unwrap()).unwrap();
+        det.subscribe(seq, ParamContext::Chronicle, 1).unwrap();
+        let pool = DetectorPool::spawn(det.clone(), 2);
+        pool.signal_async(Signal::Explicit { name: "a".into(), params: Vec::new(), txn: None });
+        let (x, y) = pool.with_paused(|| (det.snapshot_state(), det.snapshot_state()));
+        assert_eq!(x.encode(), y.encode(), "no signal raced the paused closure");
+        assert!(!x.is_empty(), "queued initiator drained before the cut");
     }
 
     #[test]

@@ -27,8 +27,13 @@ use crate::occurrence::Occurrence;
 
 /// Snapshot magic bytes.
 const MAGIC: &[u8; 4] = b"SSNP";
-/// Snapshot format version.
-const VERSION: u32 = 1;
+/// Current snapshot format version. Version 1 (pre-sharding) carried no
+/// shard labels; version 2 adds a shard label per node. Both decode.
+const VERSION: u32 = 2;
+/// The pre-sharding format version, still accepted by [`GraphSnapshot::decode`]
+/// (and producible via [`GraphSnapshot::encode_with_version`] for
+/// compatibility tests).
+pub const VERSION_PRE_SHARD: u32 = 1;
 
 /// Captured state of one graph node (only nodes holding any state are
 /// included; absent nodes restore to empty state).
@@ -39,6 +44,11 @@ pub struct NodeSnapshot {
     /// The node's display name — restore cross-checks it against the
     /// rebuilt graph so a snapshot can never be applied to the wrong node.
     pub name: Arc<str>,
+    /// Shard (connected component) label of the node at capture time.
+    /// Informational: restore re-derives sharding from the rebuilt graph,
+    /// so snapshots cut before a component merge — including version-1
+    /// snapshots, which restore with label 0 — apply cleanly.
+    pub shard: u32,
     /// Per-context operator state, in `ParamContext::ALL` order.
     pub state: [CtxState; 4],
 }
@@ -259,16 +269,32 @@ fn get_ctx_state(buf: &mut Bytes) -> Option<CtxState> {
 }
 
 impl GraphSnapshot {
-    /// Serializes the snapshot into a self-contained byte stream.
+    /// Serializes the snapshot into a self-contained byte stream (current
+    /// format version).
     pub fn encode(&self) -> Bytes {
+        self.encode_with_version(VERSION)
+    }
+
+    /// Serializes the snapshot in a specific format version. Version 1 is
+    /// the pre-sharding layout (shard labels are dropped); version 2 is
+    /// current. Panics on an unknown version — this exists for
+    /// cross-version compatibility tests, not general use.
+    pub fn encode_with_version(&self, version: u32) -> Bytes {
+        assert!(
+            version == VERSION_PRE_SHARD || version == VERSION,
+            "unknown snapshot version {version}"
+        );
         let mut out = BytesMut::new();
         out.put_slice(MAGIC);
-        out.put_u32_le(VERSION);
+        out.put_u32_le(version);
         out.put_u64_le(self.clock);
         out.put_u32_le(self.nodes.len() as u32);
         for node in &self.nodes {
             out.put_u32_le(node.id.0);
             put_str(&mut out, &node.name);
+            if version >= 2 {
+                out.put_u32_le(node.shard);
+            }
             for st in &node.state {
                 put_ctx_state(&mut out, st);
             }
@@ -276,12 +302,15 @@ impl GraphSnapshot {
         out.freeze()
     }
 
-    /// Deserializes a snapshot; `None` on any corruption.
+    /// Deserializes a snapshot; `None` on any corruption. Both the current
+    /// (sharded, version 2) and the pre-shard (version 1) layouts are
+    /// accepted; version-1 nodes decode with shard label 0.
     pub fn decode(mut buf: Bytes) -> Option<GraphSnapshot> {
         if buf.remaining() < 20 || &buf.split_to(4)[..] != MAGIC {
             return None;
         }
-        if buf.get_u32_le() != VERSION {
+        let version = buf.get_u32_le();
+        if version != VERSION_PRE_SHARD && version != VERSION {
             return None;
         }
         let clock = buf.get_u64_le();
@@ -293,13 +322,21 @@ impl GraphSnapshot {
             }
             let id = EventId(buf.get_u32_le());
             let name: Arc<str> = Arc::from(get_str(&mut buf)?);
+            let shard = if version >= 2 {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                buf.get_u32_le()
+            } else {
+                0
+            };
             let state = [
                 get_ctx_state(&mut buf)?,
                 get_ctx_state(&mut buf)?,
                 get_ctx_state(&mut buf)?,
                 get_ctx_state(&mut buf)?,
             ];
-            nodes.push(NodeSnapshot { id, name, state });
+            nodes.push(NodeSnapshot { id, name, shard, state });
         }
         if buf.has_remaining() {
             return None;
@@ -393,6 +430,30 @@ mod tests {
             assert_eq!(prims[0].param("x"), Some(&crate::Value::Int(41)));
             assert!(prims[0].at < prims[1].at, "pre-crash initiator ordered first");
         }
+    }
+
+    #[test]
+    fn pre_shard_v1_snapshot_restores_into_sharded_detector() {
+        let d = half_detected();
+        let snap = d.snapshot_state();
+        // Re-encode in the pre-sharding (version 1) layout, as a durable
+        // directory written before the shard upgrade would carry.
+        let v1 = snap.encode_with_version(VERSION_PRE_SHARD);
+        let decoded = GraphSnapshot::decode(v1).expect("v1 layout still decodes");
+        assert!(decoded.nodes.iter().all(|n| n.shard == 0), "v1 nodes default to shard 0");
+
+        let d2 = LocalEventDetector::new(3);
+        d2.declare_primitive("a", "C", EventModifier::End, "void a()", PrimTarget::AnyInstance)
+            .unwrap();
+        d2.declare_primitive("b", "C", EventModifier::End, "void b()", PrimTarget::AnyInstance)
+            .unwrap();
+        let seq = d2.define_named("ab", &parse_event_expr("(a ; b)").unwrap()).unwrap();
+        for ctx in ParamContext::ALL {
+            d2.subscribe(seq, ctx, 1).unwrap();
+        }
+        d2.restore_snapshot(&decoded).unwrap();
+        let dets = d2.notify_method("C", "void b()", EventModifier::End, 9, Vec::new(), Some(7));
+        assert_eq!(dets.len(), 4, "v1 state detects identically after restore");
     }
 
     #[test]

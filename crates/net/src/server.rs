@@ -2,10 +2,14 @@
 //!
 //! Thread model (`std::net` only — the workspace is offline, so no async
 //! runtime): one acceptor thread, one OS thread per connection (bounded by
-//! [`ServerConfig::max_connections`]), one *async pump* thread that feeds
-//! queued signals through a dedicated [`DetectorService`] — the paper's
-//! Figure 2 separation of detection from application execution, applied at
-//! the network boundary.
+//! [`ServerConfig::max_connections`]), one *async pump* thread that routes
+//! queued signals into a [`DetectorPool`] of
+//! [`ServerConfig::detector_threads`] workers — the paper's Figure 2
+//! separation of detection from application execution, applied at the
+//! network boundary and scaled across event-graph shards. Signals of one
+//! shard stay FIFO on one worker; disjoint shards detect concurrently. A
+//! dispatcher thread drains pooled detections into the rule scheduler so
+//! slow rule actions never stall signal intake.
 //!
 //! Request handling per connection is serial, but clients pipeline: every
 //! frame carries a request id and responses echo it, so a client may have
@@ -23,9 +27,9 @@
 //!
 //! Graceful shutdown (client `Shutdown` frame or [`NetServer::shutdown`])
 //! stops accepting, joins every connection thread, closes the async queue
-//! so the pump drains it, and finally calls
-//! [`DetectorService::shutdown`], which processes everything still queued
-//! inside the detector service before joining its thread.
+//! so the pump drains it, and finally calls [`DetectorPool::shutdown`],
+//! which processes everything still queued on every worker before joining
+//! them (and the dispatcher drains the last detections).
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -37,7 +41,8 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use sentinel_core::ServeHandle;
-use sentinel_detector::service::{DetectorService, Signal};
+use sentinel_detector::service::Signal;
+use sentinel_detector::DetectorPool;
 use sentinel_obs::span;
 use sentinel_obs::trace::Field;
 use sentinel_obs::{json, NetMetrics};
@@ -60,6 +65,10 @@ pub struct ServerConfig {
     /// Socket read timeout — the granularity at which connection threads
     /// notice a shutdown.
     pub read_timeout: Duration,
+    /// Detector worker threads behind the async pump. Signals of one
+    /// event-graph shard always run FIFO on one worker; more threads let
+    /// disjoint shards detect concurrently.
+    pub detector_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +79,7 @@ impl Default for ServerConfig {
             max_inflight_per_session: 128,
             max_inflight_global: 1024,
             read_timeout: Duration::from_millis(50),
+            detector_threads: 1,
         }
     }
 }
@@ -133,11 +143,12 @@ impl NetServer {
             shutdown_tx,
         });
 
-        let service = DetectorService::spawn(handle.sentinel().detector().clone());
+        let pool =
+            DetectorPool::spawn(handle.sentinel().detector().clone(), state.cfg.detector_threads);
         let pump_state = state.clone();
         let pump = std::thread::Builder::new()
             .name("sentinel-net-pump".into())
-            .spawn(move || pump_loop(service, async_rx, pump_state))
+            .spawn(move || pump_loop(pool, async_rx, pump_state))
             .expect("spawn pump thread");
 
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
@@ -208,33 +219,57 @@ impl Drop for NetServer {
     }
 }
 
-/// Feeds accepted async signals through the detector service in FIFO
-/// order, dispatching the resulting detections to the rule scheduler.
-fn pump_loop(mut service: DetectorService, rx: Receiver<AsyncJob>, state: Arc<State>) {
+/// Routes accepted async signals to their shard's worker in the detector
+/// pool. Detections stream back on the pool's channel and a dedicated
+/// dispatcher thread feeds them to the rule scheduler, so a slow rule
+/// action never blocks signal intake. A job's session in-flight counter is
+/// decremented by a completion callback on the worker that processed it.
+fn pump_loop(mut pool: DetectorPool, rx: Receiver<AsyncJob>, state: Arc<State>) {
+    let det_rx = pool.detections().clone();
+    let disp_state = state.clone();
+    let dispatcher = std::thread::Builder::new()
+        .name("sentinel-net-dispatch".into())
+        .spawn(move || {
+            while let Ok(d) = det_rx.recv() {
+                disp_state.handle.dispatch(vec![d]);
+            }
+        })
+        .expect("spawn dispatch thread");
+    let spans = state.handle.sentinel().trace_store().clone();
     while let Ok(job) = rx.recv() {
-        let spans = state.handle.sentinel().trace_store().clone();
         let sig = Signal::Explicit { name: job.event.clone(), params: job.params, txn: job.txn };
-        let dets = match job.trace.filter(|_| spans.is_enabled()) {
+        let inflight = job.session_inflight;
+        match job.trace.filter(|_| spans.is_enabled()) {
             Some(raw) => {
                 let trace = spans.adopt_remote(raw);
                 let h = spans.start(trace, None, "net_signal", Arc::from(job.event.as_str()));
-                let dets = {
-                    // signal_sync captures the ambient span at enqueue, so
-                    // the detector's spans join the client's trace.
-                    let _g = span::push_current(h.ctx);
-                    service.signal_sync(sig)
-                };
-                spans.finish(h, 0, vec![("remote_trace", Field::U64(raw))]);
-                dets
+                let store = spans.clone();
+                // Submission captures the ambient span, so the worker's
+                // detector spans join the client's trace; the net span
+                // closes on the worker once the signal is processed.
+                let _g = span::push_current(h.ctx);
+                pool.signal_async_done(
+                    sig,
+                    Box::new(move || {
+                        store.finish(h, 0, vec![("remote_trace", Field::U64(raw))]);
+                        inflight.fetch_sub(1, Ordering::SeqCst);
+                    }),
+                );
             }
-            None => service.signal_sync(sig),
-        };
-        state.handle.dispatch(dets);
-        job.session_inflight.fetch_sub(1, Ordering::SeqCst);
+            None => pool.signal_async_done(
+                sig,
+                Box::new(move || {
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                }),
+            ),
+        }
     }
-    // Queue closed: graceful shutdown. Drain whatever the detector
-    // service still holds before joining its thread.
-    service.shutdown();
+    // Queue closed: graceful shutdown. Drain every worker queue, then
+    // drop the pool so the detections channel closes and the dispatcher
+    // exits after delivering the tail.
+    pool.shutdown();
+    drop(pool);
+    let _ = dispatcher.join();
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use sentinel_core::detector::graph::PrimTarget;
+use sentinel_core::detector::snapshot::{GraphSnapshot, VERSION_PRE_SHARD};
 use sentinel_core::detector::{Detection, LocalEventDetector};
 use sentinel_core::snoop::ast::EventModifier;
 use sentinel_core::snoop::{parse_event_expr, ParamContext};
@@ -195,6 +196,122 @@ proptest! {
             let ots: Vec<_> = o.occurrence.param_list().iter().map(|p| p.at).collect();
             let bts: Vec<_> = b.occurrence.param_list().iter().map(|p| p.at).collect();
             prop_assert_eq!(ots, bts);
+        }
+    }
+}
+
+/// A detector whose graph has (at least) two disjoint shards: the method
+/// component `x = a ; b` and the explicit component `y = p ^ q`.
+fn sharded_detector(ctx: ParamContext) -> LocalEventDetector {
+    let d = LocalEventDetector::new(0);
+    d.declare_primitive("a", "CA", EventModifier::End, SIG_A, PrimTarget::AnyInstance).unwrap();
+    d.declare_primitive("b", "CB", EventModifier::End, SIG_B, PrimTarget::AnyInstance).unwrap();
+    d.declare_explicit("p");
+    d.declare_explicit("q");
+    let x = d.define_named("x", &parse_event_expr("a ; b").unwrap()).unwrap();
+    let y = d.define_named("y", &parse_event_expr("p ^ q").unwrap()).unwrap();
+    d.subscribe(x, ctx, 1).unwrap();
+    d.subscribe(y, ctx, 2).unwrap();
+    d
+}
+
+/// One step of a two-shard workload.
+#[derive(Debug, Clone, Copy)]
+enum SStep {
+    A(u8),
+    B(u8),
+    P,
+    Q,
+    Flush(u8),
+}
+
+fn sstep_strategy() -> impl Strategy<Value = SStep> {
+    prop_oneof![
+        (0u8..3).prop_map(SStep::A),
+        (0u8..3).prop_map(SStep::B),
+        Just(SStep::P),
+        Just(SStep::Q),
+        (0u8..3).prop_map(SStep::Flush),
+    ]
+}
+
+fn srun(d: &LocalEventDetector, steps: &[SStep]) -> Vec<Detection> {
+    let mut out = Vec::new();
+    for s in steps {
+        match s {
+            SStep::A(t) => out.extend(d.notify_method(
+                "CA",
+                SIG_A,
+                EventModifier::End,
+                1,
+                Vec::new(),
+                Some(u64::from(*t)),
+            )),
+            SStep::B(t) => out.extend(d.notify_method(
+                "CB",
+                SIG_B,
+                EventModifier::End,
+                1,
+                Vec::new(),
+                Some(u64::from(*t)),
+            )),
+            SStep::P => out.extend(d.signal_explicit("p", Vec::new(), None)),
+            SStep::Q => out.extend(d.signal_explicit("q", Vec::new(), None)),
+            SStep::Flush(t) => d.flush_txn(u64::from(*t)),
+        }
+    }
+    out
+}
+
+proptest! {
+    /// A snapshot of a sharded graph survives encode → decode → restore
+    /// into a twin detector with identical definitions: the twin's own
+    /// snapshot is byte-for-byte the original.
+    #[test]
+    fn snapshot_roundtrips_on_sharded_graph(
+        steps in prop::collection::vec(sstep_strategy(), 0..60),
+        ctx in prop::sample::select(&ParamContext::ALL[..]),
+    ) {
+        let d = sharded_detector(ctx);
+        prop_assert!(d.shard_count() >= 2, "workload must span disjoint shards");
+        srun(&d, &steps);
+        let snap = d.snapshot_state();
+        let decoded = GraphSnapshot::decode(snap.encode()).expect("snapshot decodes");
+        let twin = sharded_detector(ctx);
+        twin.restore_snapshot(&decoded).unwrap();
+        prop_assert_eq!(twin.snapshot_state().encode(), d.snapshot_state().encode());
+    }
+
+    /// Cross-version compatibility: a snapshot downgraded to the pre-shard
+    /// v1 format still restores into a sharded detector (shard labels are
+    /// re-derived, the clock is preserved), and detection *continues
+    /// identically* — the restored twin and the original produce the same
+    /// detections for any suffix workload.
+    #[test]
+    fn v1_snapshot_restores_and_detection_continues(
+        prefix in prop::collection::vec(sstep_strategy(), 0..40),
+        suffix in prop::collection::vec(sstep_strategy(), 0..20),
+        ctx in prop::sample::select(&ParamContext::ALL[..]),
+    ) {
+        let d = sharded_detector(ctx);
+        srun(&d, &prefix);
+        let v1 = d.snapshot_state().encode_with_version(VERSION_PRE_SHARD);
+        let decoded = GraphSnapshot::decode(v1).expect("v1 snapshot decodes");
+        prop_assert!(decoded.nodes.iter().all(|n| n.shard == 0), "v1 carries no shard labels");
+        let twin = sharded_detector(ctx);
+        twin.restore_snapshot(&decoded).unwrap();
+        prop_assert_eq!(twin.clock().peek(), d.clock().peek(), "restore preserves the clock");
+
+        let d_dets = srun(&d, &suffix);
+        let t_dets = srun(&twin, &suffix);
+        prop_assert_eq!(d_dets.len(), t_dets.len());
+        for (a, b) in d_dets.iter().zip(&t_dets) {
+            prop_assert_eq!(a.event, b.event);
+            prop_assert_eq!(a.context, b.context);
+            prop_assert_eq!(a.occurrence.at, b.occurrence.at);
+            let ats: Vec<_> = a.occurrence.param_list().iter().map(|o| o.at).collect();
+            let bts: Vec<_> = b.occurrence.param_list().iter().map(|o| o.at).collect();
+            prop_assert_eq!(ats, bts);
         }
     }
 }
