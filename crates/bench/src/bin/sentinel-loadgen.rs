@@ -26,6 +26,14 @@
 //!                       pure-CPU sweep (default 20)
 //!   --sweep-out <PATH>  where to write the sweep report
 //!                       (default BENCH_detector.json)
+//!   --durable-dir <DIR> journal the sweep: each worker-count run attaches
+//!                       a durable engine over a fresh subdirectory of DIR
+//!                       (per-shard streams + group commit), so the sweep
+//!                       measures detection parallelism *with* durability
+//!   --durable-fsync <P> fsync policy for `--durable-dir`: `always`
+//!                       (default), `every=N`, or `never`
+//!   --group-window-us <N>  group-commit accumulation window for
+//!                       `--durable-dir` (default 100)
 //! ```
 //!
 //! The workload: explicit events `seq_a`, `seq_b`, `cascade`; composite
@@ -38,10 +46,13 @@
 //! check. The process exits non-zero on any lost signal, decode error, or
 //! failed client.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sentinel_core::durable_store::{DurableEngine, DurableOptions, FsyncPolicy};
+use sentinel_core::JournalSink;
 use sentinel_detector::service::Signal;
 use sentinel_detector::{DetectorPool, LocalEventDetector};
 use sentinel_net::{ClientError, RuleSpec, SentinelClient};
@@ -61,6 +72,23 @@ struct Args {
     feeders: usize,
     hold_us: u64,
     sweep_out: String,
+    durable_dir: Option<PathBuf>,
+    durable_fsync: FsyncPolicy,
+    group_window_us: u64,
+}
+
+fn parse_fsync(spec: &str) -> FsyncPolicy {
+    match spec {
+        "always" => FsyncPolicy::Always,
+        "never" => FsyncPolicy::Never,
+        other => match other.strip_prefix("every=").and_then(|n| n.parse().ok()) {
+            Some(n) => FsyncPolicy::EveryN(n),
+            None => {
+                eprintln!("--durable-fsync wants `always`, `never`, or `every=N`");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 fn parse_args() -> Args {
@@ -77,6 +105,9 @@ fn parse_args() -> Args {
         feeders: 8,
         hold_us: 20,
         sweep_out: "BENCH_detector.json".to_string(),
+        durable_dir: None,
+        durable_fsync: FsyncPolicy::Always,
+        group_window_us: 100,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -107,12 +138,19 @@ fn parse_args() -> Args {
             "--feeders" => args.feeders = value("--feeders").parse().expect("--feeders <N>"),
             "--hold-us" => args.hold_us = value("--hold-us").parse().expect("--hold-us <N>"),
             "--sweep-out" => args.sweep_out = value("--sweep-out"),
+            "--durable-dir" => args.durable_dir = Some(PathBuf::from(value("--durable-dir"))),
+            "--durable-fsync" => args.durable_fsync = parse_fsync(&value("--durable-fsync")),
+            "--group-window-us" => {
+                args.group_window_us =
+                    value("--group-window-us").parse().expect("--group-window-us <N>");
+            }
             "--help" | "-h" => {
                 println!(
                     "sentinel-loadgen [--addr HOST:PORT] [--clients N] [--iters N] \
                      [--traced] [--shutdown] [--sweep] [--detector-threads N,N,...] \
                      [--components N] [--pairs N] [--feeders N] [--hold-us N] \
-                     [--sweep-out PATH]"
+                     [--sweep-out PATH] [--durable-dir DIR] \
+                     [--durable-fsync always|never|every=N] [--group-window-us N]"
                 );
                 std::process::exit(0);
             }
@@ -205,13 +243,39 @@ fn sweep_detector(components: usize) -> Arc<LocalEventDetector> {
 /// (8 more): the exact-count oracle is `components × pairs × 12`.
 fn run_sweep_once(args: &Args, workers: usize) -> SweepRun {
     let det = sweep_detector(args.components);
+    // `--durable-dir`: journal this run through the sharded durable engine
+    // (fresh subdirectory per worker count so every run recovers nothing
+    // and measures steady-state appends, not replay).
+    let _engine = args.durable_dir.as_ref().map(|dir| {
+        let sub = dir.join(format!("w{workers}"));
+        let _ = std::fs::remove_dir_all(&sub);
+        let opts = DurableOptions {
+            fsync: args.durable_fsync,
+            group_window_us: args.group_window_us,
+            checkpoint_every: 0,
+            ..DurableOptions::default()
+        };
+        let (engine, _report) = DurableEngine::open(&sub, opts).expect("durable engine");
+        det.set_event_sink(Arc::new(JournalSink::new(engine.clone())));
+        engine
+    });
     let pool = DetectorPool::spawn(det, workers);
     let signals = (args.components * args.pairs * 2) as u64;
+    // Per-request latency: submit → detection-done callback, recorded as
+    // exact samples (the open-loop feeders flood the queues, so latency
+    // is dominated by queue wait and spans seconds — far past any
+    // bounded histogram's resolution). The done callback runs on the
+    // processing worker right after detection (and after the journal
+    // append is durable under `always`), *before* the simulated
+    // rule-action hold — so percentiles measure queueing + detection +
+    // durability, not the modelled downstream cost.
+    let lat = Arc::new(std::sync::Mutex::new(Vec::<u64>::with_capacity(signals as usize)));
 
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for f in 0..args.feeders {
             let pool = &pool;
+            let lat = &lat;
             let (components, pairs, feeders) = (args.components, args.pairs, args.feeders);
             let hold_us = args.hold_us;
             s.spawn(move || {
@@ -219,20 +283,22 @@ fn run_sweep_once(args: &Args, workers: usize) -> SweepRun {
                     for i in (f..components).step_by(feeders.max(1)) {
                         for name in [format!("a{i}"), format!("b{i}")] {
                             let sig = Signal::Explicit { name, params: Vec::new(), txn: None };
-                            if hold_us == 0 {
-                                pool.signal_async(sig);
-                            } else {
-                                // Hold the worker after detection, modelling
-                                // rule-action dispatch cost: disjoint shards
-                                // overlap their holds, same-shard signals
-                                // stay strictly FIFO.
-                                pool.signal_async_done(
-                                    sig,
-                                    Box::new(move || {
+                            let submitted = Instant::now();
+                            let lat = Arc::clone(lat);
+                            // Hold the worker after detection, modelling
+                            // rule-action dispatch cost: disjoint shards
+                            // overlap their holds, same-shard signals
+                            // stay strictly FIFO.
+                            pool.signal_async_done(
+                                sig,
+                                Box::new(move || {
+                                    let ns = submitted.elapsed().as_nanos() as u64;
+                                    lat.lock().unwrap().push(ns);
+                                    if hold_us > 0 {
                                         std::thread::sleep(Duration::from_micros(hold_us));
-                                    }),
-                                );
-                            }
+                                    }
+                                }),
+                            );
                         }
                     }
                 }
@@ -244,7 +310,15 @@ fn run_sweep_once(args: &Args, workers: usize) -> SweepRun {
     let elapsed = t0.elapsed();
 
     let detections = pool.detections().try_iter().count() as u64;
-    let lat = pool.metrics().drain_latency_ns.snapshot();
+    let mut samples = std::mem::take(&mut *lat.lock().unwrap());
+    samples.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1] as f64 / 1e3
+    };
     SweepRun {
         workers,
         signals,
@@ -252,9 +326,9 @@ fn run_sweep_once(args: &Args, workers: usize) -> SweepRun {
         expected: (args.components * args.pairs * 12) as u64,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         throughput_sps: signals as f64 / elapsed.as_secs_f64().max(1e-9),
-        p50_us: lat.p50_ns() as f64 / 1e3,
-        p95_us: lat.p95_ns() as f64 / 1e3,
-        p99_us: lat.p99_ns() as f64 / 1e3,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
     }
 }
 
@@ -283,6 +357,16 @@ fn run_sweep(args: &Args) -> ! {
         ("pairs", json::Value::UInt(args.pairs as u64)),
         ("feeders", json::Value::UInt(args.feeders as u64)),
         ("hold_us", json::Value::UInt(args.hold_us)),
+        ("durable", json::Value::Bool(args.durable_dir.is_some())),
+        (
+            "fsync",
+            json::Value::Str(match args.durable_fsync {
+                FsyncPolicy::Always => "always".to_string(),
+                FsyncPolicy::EveryN(n) => format!("every={n}"),
+                FsyncPolicy::Never => "never".to_string(),
+            }),
+        ),
+        ("group_window_us", json::Value::UInt(args.group_window_us)),
         (
             "runs",
             json::Value::Arr(

@@ -22,6 +22,13 @@
 //!   --checkpoint-every <N>  checkpoint the event graph every N journal
 //!                           records (default 1024; 0 disables automatic
 //!                           checkpoints — shutdown still cuts one)
+//!   --group-window-us <N>   group-commit accumulation window in µs: the
+//!                           committer sleeps this long after the first
+//!                           pending append so concurrent shards share
+//!                           the fsync (default 0 — commit immediately)
+//!   --group-bytes <N>       force a group commit once N payload bytes
+//!                           are pending, regardless of the fsync policy
+//!                           (default 0 — disabled)
 //! ```
 //!
 //! The process serves until a client sends a `Shutdown` frame (e.g.
@@ -101,12 +108,21 @@ fn parse_args() -> Args {
                 args.durable.checkpoint_every =
                     value("--checkpoint-every").parse().expect("--checkpoint-every <N>");
             }
+            "--group-window-us" => {
+                args.durable.group_window_us =
+                    value("--group-window-us").parse().expect("--group-window-us <N>");
+            }
+            "--group-bytes" => {
+                args.durable.group_bytes =
+                    value("--group-bytes").parse().expect("--group-bytes <N>");
+            }
             "--help" | "-h" => {
                 println!(
                     "sentinel-server [--addr HOST:PORT] [--max-connections N] \
                      [--global-inflight N] [--session-inflight N] \
                      [--detector-threads N] [--tracing] [--data-dir DIR] \
-                     [--fsync always|never|every=N] [--checkpoint-every N]"
+                     [--fsync always|never|every=N] [--checkpoint-every N] \
+                     [--group-window-us N] [--group-bytes N]"
                 );
                 std::process::exit(0);
             }

@@ -18,9 +18,10 @@ fn tmp(tag: &str) -> PathBuf {
     dir
 }
 
-/// Spawns `sentinel-server --data-dir <dir>` on an OS-picked port and
-/// waits for its readiness line; returns the child and the bound address.
-fn spawn_server(dir: &Path) -> (Child, String) {
+/// Spawns `sentinel-server --data-dir <dir>` on an OS-picked port with
+/// `extra` flags and waits for its readiness line; returns the child and
+/// the bound address.
+fn spawn_server_with(dir: &Path, extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_sentinel-server"))
         .args([
             "--addr",
@@ -30,6 +31,7 @@ fn spawn_server(dir: &Path) -> (Child, String) {
             "--checkpoint-every",
             "3",
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -45,6 +47,10 @@ fn spawn_server(dir: &Path) -> (Child, String) {
     // Keep draining stdout so the child never blocks on a full pipe.
     std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
     (child, addr)
+}
+
+fn spawn_server(dir: &Path) -> (Child, String) {
+    spawn_server_with(dir, &[])
 }
 
 fn connect(addr: &str, name: &str) -> SentinelClient {
@@ -96,6 +102,58 @@ fn sigkill_mid_composite_then_restart_completes_it() {
     let report = json::Value::parse(&report).expect("well-formed report");
     assert_eq!(report.get("journal_records").and_then(json::Value::as_u64), Some(1));
     assert!(report.get("catalog_ops").and_then(json::Value::as_u64).unwrap_or(0) >= 4);
+
+    client.shutdown_server().unwrap();
+    let _ = server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Durability and parallel detection compose end to end: a server running
+/// 8 detector workers over a durable data directory (sharded journal,
+/// group commit) is SIGKILLed with eight half-detected composites in
+/// eight disjoint shards, and the restarted server — same flags —
+/// completes every one of them from the recovered per-shard streams.
+#[test]
+fn sigkill_parallel_durable_server_recovers_every_shard() {
+    let dir = tmp("parallel");
+    let flags = ["--detector-threads", "8", "--group-window-us", "100"];
+    const COMPONENTS: usize = 8;
+
+    let (mut server, addr) = spawn_server_with(&dir, &flags);
+    {
+        let admin = connect(&addr, "admin");
+        for i in 0..COMPONENTS {
+            admin.define_event(&format!("a{i}"), None).unwrap();
+            admin.define_event(&format!("b{i}"), None).unwrap();
+            admin.define_event(&format!("pair{i}"), Some(&format!("(a{i} ; b{i})"))).unwrap();
+            admin.define_rule(&RuleSpec::count(&format!("r{i}"), &format!("pair{i}"))).unwrap();
+        }
+        // Half of every composite, one per shard, then die.
+        for i in 0..COMPONENTS {
+            let dets = admin
+                .signal_sync(&format!("a{i}"), &[(Arc::from("sku"), (i as i64).into())], None)
+                .unwrap();
+            assert_eq!(dets, 0, "half a composite detects nothing yet");
+        }
+    }
+    server.kill().expect("SIGKILL server");
+    let _ = server.wait();
+
+    let (mut server, addr) = spawn_server_with(&dir, &flags);
+    let client = connect(&addr, "survivor");
+    let report = std::fs::read_to_string(dir.join("recovery-report.json")).unwrap();
+    let report = json::Value::parse(&report).expect("well-formed report");
+    assert_eq!(
+        report.get("journal_records").and_then(json::Value::as_u64),
+        Some(COMPONENTS as u64),
+        "every shard's stream recovered: {report}"
+    );
+    for i in 0..COMPONENTS {
+        let dets = client
+            .signal_sync(&format!("b{i}"), &[(Arc::from("sku"), (100 + i as i64).into())], None)
+            .unwrap();
+        assert_eq!(dets, 1, "pre-crash half of pair{i} completes after restart");
+    }
 
     client.shutdown_server().unwrap();
     let _ = server.wait();

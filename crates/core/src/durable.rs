@@ -23,10 +23,13 @@
 //!    flushes are re-applied for replayed commit/abort events.
 //!
 //! Only after replay does the system go live: an [`EventSink`] is
-//! installed so every signalled primitive appends to the journal (with
-//! automatic checkpoints every `checkpoint_every` records), and the DDL
-//! wrappers on [`Sentinel`] start appending catalog ops. Replayed
-//! history is therefore never re-journaled.
+//! installed so every signalled primitive appends to its shard's journal
+//! stream and every whole-graph ordering point (transaction flush, time
+//! advance, DDL barrier, checkpoint pause) cuts an epoch fence, and the
+//! DDL wrappers on [`Sentinel`] start appending catalog ops. Replayed
+//! history is therefore never re-journaled. Automatic checkpoints run on
+//! the engine's checkpointer thread (installed here as a hook) so the
+//! signalling threads never quiesce the graph themselves.
 //!
 //! Dropping a durable [`Sentinel`] deliberately does *not* flush — a
 //! drop is indistinguishable from a crash, which is what the recovery
@@ -37,9 +40,12 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use sentinel_detector::clock::Timestamp;
 use sentinel_detector::graph::PrimTarget;
 use sentinel_detector::log::LoggedEvent;
-use sentinel_detector::{EventSink, LocalEventDetector, Occurrence, Value as EventValue};
+use sentinel_detector::{
+    EventSink, FenceKind, LocalEventDetector, Occurrence, Value as EventValue,
+};
 use sentinel_durable::{CatalogOp, DurableEngine, DurableOptions, Recovery};
 use sentinel_obs::{json, RecoveryReport};
 use sentinel_oodb::schema::{AttrType, ClassDef};
@@ -173,21 +179,32 @@ fn render_params(occ: &Occurrence) -> String {
 }
 
 /// The live journal hook: installed as the detector's [`EventSink`] once
-/// recovery completes. Runs under the detector's signal order, after the
-/// clock tick and *before* the event reaches the graph — so a checkpoint
-/// written here excludes the record being appended, making the record's
-/// own index the correct checkpoint tag.
-struct JournalSink {
+/// recovery completes. `record` runs under only the signalling shard's
+/// order lock — disjoint shards append to their streams concurrently —
+/// so it must never re-enter the detector; under
+/// [`sentinel_durable::FsyncPolicy::Always`] it blocks until the
+/// engine's next group commit covers the record. `fence` runs at every
+/// whole-graph ordering point and appends (always fsynced) to the epoch
+/// fence log, which is what lets recovery merge the per-shard streams
+/// back into happened-before order.
+pub struct JournalSink {
     engine: Arc<DurableEngine>,
 }
 
+impl JournalSink {
+    /// A sink journaling into `engine`.
+    pub fn new(engine: Arc<DurableEngine>) -> Self {
+        JournalSink { engine }
+    }
+}
+
 impl EventSink for JournalSink {
-    fn record(&self, detector: &LocalEventDetector, ev: &LoggedEvent) {
-        let Ok(idx) = self.engine.append_event(ev) else { return };
-        if self.engine.checkpoint_due(idx) {
-            let snap = detector.snapshot_state();
-            let _ = self.engine.write_checkpoint(idx, &snap);
-        }
+    fn record(&self, _detector: &LocalEventDetector, shard: u32, ev: &LoggedEvent) {
+        let _ = self.engine.append_event(shard, ev);
+    }
+
+    fn fence(&self, _detector: &LocalEventDetector, kind: FenceKind, ts: Timestamp) {
+        let _ = self.engine.append_fence(kind, ts);
     }
 }
 
@@ -207,7 +224,8 @@ impl Sentinel {
         opts: DurableOptions,
     ) -> SentinelResult<(Arc<Sentinel>, RecoveryReport)> {
         let (engine, recovery) = DurableEngine::open(dir, opts)?;
-        let Recovery { catalog_ops, checkpoints, events, mut report } = recovery;
+        let Recovery { catalog_ops, checkpoints, events, fences, v1_records, mut report } =
+            recovery;
 
         // Pick the newest checkpoint that (a) is covered by the surviving
         // journal, (b) whose catalog prefix applies cleanly, and (c) that
@@ -243,24 +261,44 @@ impl Sentinel {
             None => (Sentinel::open(Arc::new(StorageEngine::in_memory()), config.clone())?, 0, 0),
         };
 
-        // Replay the suffix, interleaving catalog ops at their recorded
-        // positions: an op stamped `at_index = i` executed before journal
-        // record `i` did.
+        // Replay the suffix, interleaving catalog ops and fences at their
+        // recorded positions: an op stamped `at_index = i` (or a fence at
+        // position `i`) executed before journal record `i` did. Fences at
+        // exactly the checkpoint position are re-applied — their actions
+        // (flush a txn with no occurrences buffered after the snapshot,
+        // advance an already-advanced clock) are idempotent, and skipping
+        // one that ran *after* the snapshot would diverge.
+        let mut fcursor = 0usize;
+        while fcursor < fences.len() && fences[fcursor].0 < start {
+            fcursor += 1;
+        }
         for (i, ev) in events.iter().enumerate().skip(start as usize) {
             while cursor < catalog_ops.len() && catalog_ops[cursor].0 <= i as u64 {
                 sentinel.apply_catalog_op(&catalog_ops[cursor].1)?;
                 cursor += 1;
+            }
+            while fcursor < fences.len() && fences[fcursor].0 <= i as u64 {
+                sentinel.apply_fence(fences[fcursor].1);
+                fcursor += 1;
             }
             // Detections are dropped: the rules they notified already ran
             // before the crash (or were lost with the crash — either way
             // re-firing actions on restart would double their effects).
             let _ = sentinel.detector().replay(std::slice::from_ref(ev));
             report.replayed_records += 1;
-            sentinel.replay_flush(ev);
+            // Legacy v1 records carry no fences: infer transaction flushes
+            // from replayed commit/abort events as the v1 engine did.
+            if (i as u64) < v1_records {
+                sentinel.replay_flush(ev);
+            }
         }
         while cursor < catalog_ops.len() {
             sentinel.apply_catalog_op(&catalog_ops[cursor].1)?;
             cursor += 1;
+        }
+        while fcursor < fences.len() {
+            sentinel.apply_fence(fences[fcursor].1);
+            fcursor += 1;
         }
 
         // Resync the logical clock past every tick the pre-crash system
@@ -277,24 +315,57 @@ impl Sentinel {
                 _ => None,
             })
             .chain(events.iter().map(LoggedEvent::ts))
+            .chain(fences.iter().filter_map(|(_, kind)| match kind {
+                FenceKind::AdvanceTime(to) => Some(*to),
+                _ => None,
+            }))
             .max();
         if let Some(t) = max_tick {
             sentinel.detector().clock().advance_to(t);
         }
 
-        // Go live: from here on, signalled events journal (and checkpoint)
-        // through the sink, and the DDL wrappers append catalog ops.
-        sentinel.detector().set_event_sink(Arc::new(JournalSink { engine: engine.clone() }));
+        // Go live: from here on, signalled events journal through the
+        // sink (per shard, fences at ordering points) and the DDL
+        // wrappers append catalog ops. Automatic checkpoints run on the
+        // engine's checkpointer thread; the hook holds only weak
+        // references so the cycle engine → hook → sentinel never forms.
+        sentinel.detector().set_event_sink(Arc::new(JournalSink::new(engine.clone())));
+        let det_weak = Arc::downgrade(sentinel.detector());
+        let eng_weak = Arc::downgrade(&engine);
+        engine.set_checkpoint_hook(Arc::new(move || {
+            if let (Some(det), Some(eng)) = (det_weak.upgrade(), eng_weak.upgrade()) {
+                det.with_signals_paused(|| {
+                    let tag = eng.next_index();
+                    let snap = det.snapshot_state();
+                    let _ = eng.write_checkpoint(tag, &snap);
+                });
+            }
+        }));
         *sentinel.durable.lock() = Some(engine.clone());
         let _ = engine.write_report(&report);
         Ok((sentinel, report))
     }
 
+    /// Re-applies one recovered fence's graph action. Barriers order, but
+    /// carry no action; flush/advance re-run their (idempotent) effects.
+    fn apply_fence(&self, kind: FenceKind) {
+        match kind {
+            FenceKind::FlushTxn(txn) => self.detector().flush_txn(txn),
+            FenceKind::AdvanceTime(to) => {
+                let _ = self.detector().advance_time(to);
+            }
+            FenceKind::Barrier => {}
+        }
+    }
+
     /// Reproduces the flush side effect of the deactivatable system rules
-    /// for a replayed commit/abort event. During replay rule actions do
-    /// not run, but the flush is graph state, not application effect — it
-    /// must happen (iff the flush rule was enabled at that point) for the
-    /// replayed graph to match the live one.
+    /// for a replayed commit/abort event **from a legacy v1 journal**,
+    /// which recorded no fences. During replay rule actions do not run,
+    /// but the flush is graph state, not application effect — it must
+    /// happen (iff the flush rule was enabled at that point) for the
+    /// replayed graph to match the live one. v2 records don't need the
+    /// inference: their flushes replay from [`FenceKind::FlushTxn`]
+    /// fences.
     fn replay_flush(&self, ev: &LoggedEvent) {
         let LoggedEvent::Explicit { name, txn: Some(txn), .. } = ev else { return };
         let rule = match name.as_str() {

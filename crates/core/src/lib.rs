@@ -40,7 +40,7 @@ pub mod global;
 pub mod preprocessor;
 pub mod sentinel;
 
-pub use durable::{params_from_json, params_to_json, value_from_json, value_to_json};
+pub use durable::{params_from_json, params_to_json, value_from_json, value_to_json, JournalSink};
 pub use preprocessor::{FunctionTable, Preprocessor};
 pub use sentinel::{Sentinel, SentinelConfig, SentinelError, SentinelStats, ServeHandle};
 

@@ -28,11 +28,16 @@
 //! Whole-graph operations (snapshots, flushes, `advance_time`, stats)
 //! *quiesce*: they acquire every shard's order lock (in ascending shard
 //! order, so two quiescers cannot deadlock) and then observe or mutate a
-//! globally consistent state. When an [`EventSink`] is attached (the
-//! durable journal) or batch recording is on, the detector switches to
-//! *serial mode*: every signal runs under a full quiesce so the journal
-//! append order equals timestamp order and a sink's re-entrant
-//! `snapshot_state` call sees a consistent cut.
+//! globally consistent state. An attached [`EventSink`] (the durable
+//! journal) observes each signal under only its shard's order lock —
+//! durability composes with parallel detection. The sink learns the
+//! shard label with every record, and every whole-graph operation cuts a
+//! [`FenceKind`] fence through the sink under the quiesce, so a sharded
+//! journal can reconstruct a replay order equivalent to the live
+//! happened-before order (timestamps are the tiebreaker between fences).
+//! Only batch recording ([`LocalEventDetector::start_recording`]) still
+//! switches the detector to *serial mode* — every signal quiesces — so
+//! the in-memory log stays a total order.
 use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -58,17 +63,46 @@ use crate::snapshot::{GraphSnapshot, NodeSnapshot, RestoreError};
 /// detector never interprets it.
 pub type SubscriberId = u64;
 
+/// A whole-graph ordering point cut through an [`EventSink`]: everything
+/// recorded before the fence happened-before everything recorded after
+/// it, across all shards. Cut by transaction flushes, time advances,
+/// shard-topology DDL and checkpoint pauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceKind {
+    /// `flush_txn(txn)` ran: the named transaction's buffered occurrences
+    /// were dropped graph-wide.
+    FlushTxn(u64),
+    /// `advance_time(to)` ran: temporal alarms up to `to` fired.
+    AdvanceTime(Timestamp),
+    /// Any other whole-graph barrier (flush-all, DDL that changed the
+    /// shard topology, a checkpoint pause). Carries no replay action of
+    /// its own — it only orders the streams around it.
+    Barrier,
+}
+
 /// Observer of every primitive event the detector accepts, invoked
 /// synchronously on the signalling thread right after the event is
 /// timestamped and before it propagates through the graph. The durable
-/// event journal hooks in here. While a sink is attached the detector
-/// runs in serial mode: the call happens with **all shards quiesced** by
-/// the signalling thread, and the sink may re-enter the detector (e.g.
+/// event journal hooks in here.
+///
+/// `record` runs under only the signalling shard's order lock, so sinks
+/// on disjoint shards are invoked concurrently. A sink may block (e.g.
+/// waiting for a group commit) but must **not** re-enter the detector
+/// from `record` — a whole-graph call would need every other shard's
+/// lock and deadlock against concurrent recorders.
+///
+/// `fence` runs with **all shards quiesced** by the fencing thread; the
+/// sink may re-enter the detector there (e.g.
 /// [`LocalEventDetector::snapshot_state`]) — re-entrant calls reuse the
 /// locks already held instead of deadlocking.
 pub trait EventSink: Send + Sync {
-    /// One primitive event was signalled.
-    fn record(&self, detector: &LocalEventDetector, ev: &LoggedEvent);
+    /// One primitive event was signalled on shard `shard`.
+    fn record(&self, detector: &LocalEventDetector, shard: u32, ev: &LoggedEvent);
+
+    /// A whole-graph ordering point. `ts` is the clock reading at the
+    /// fence: every record before it has `ev.ts() <= ts`, every record
+    /// after it (in happened-before order) ticks past it.
+    fn fence(&self, _detector: &LocalEventDetector, _kind: FenceKind, _ts: Timestamp) {}
 }
 
 /// Short static name of a parameter context for trace fields.
@@ -147,14 +181,19 @@ pub struct LocalEventDetector {
     /// global flag that prevents events raised *during condition
     /// evaluation* from being detected (§3.2.1).
     signaling: AtomicBool,
-    /// When true every signal quiesces all shards (sink attached or
-    /// batch recording on), so global side order equals timestamp order.
+    /// When true every signal quiesces all shards (batch recording on),
+    /// so log order equals timestamp order.
     serial: AtomicBool,
     /// Primitive-event log for batch (after-the-fact) detection.
     log: Mutex<Option<Vec<LoggedEvent>>>,
     /// Optional synchronous observer of accepted primitive events (the
     /// durable event journal).
     sink: RwLock<Option<Arc<dyn EventSink>>>,
+    /// Serializes sink/log attach and detach, so two administrators
+    /// cannot interleave their drain-install/clear-refresh windows (a
+    /// `take_log` must not clobber a concurrent `start_recording`'s
+    /// serial flag).
+    sink_admin: Mutex<()>,
     /// Total primitive signals processed.
     signals: AtomicU64,
     /// Transaction flushes performed ([`Self::flush_txn`] calls).
@@ -325,6 +364,7 @@ impl LocalEventDetector {
             serial: AtomicBool::new(false),
             log: Mutex::new(None),
             sink: RwLock::new(None),
+            sink_admin: Mutex::new(()),
             signals: AtomicU64::new(0),
             flush_calls: Counter::new(),
             flushed: Counter::new(),
@@ -411,6 +451,7 @@ impl LocalEventDetector {
         while shards.len() < count {
             shards.push(Arc::new(ShardState::default()));
         }
+        let merged = !merges.is_empty();
         for (winner, loser) in merges {
             let (w, l) = (winner as usize, loser as usize);
             let moved: Vec<_> = shards[l].alarms.lock().drain().collect();
@@ -428,6 +469,15 @@ impl LocalEventDetector {
             shards[w].contention.fetch_add(c, Ordering::Relaxed);
             let q = shards[l].queue_depth.swap(0, Ordering::Relaxed);
             shards[w].queue_depth.fetch_add(q, Ordering::Relaxed);
+        }
+        drop(shards);
+        // The shard topology changed while the graph write lock excluded
+        // every signal: cut a fence so a sharded journal orders records
+        // across the relabelling. The fence runs under the write lock, so
+        // (unlike quiesce-cut fences) the sink must not re-enter here —
+        // the journal sink only appends.
+        if merged {
+            self.cut_fence(FenceKind::Barrier);
         }
     }
 
@@ -466,15 +516,28 @@ impl LocalEventDetector {
         f(&graph, &shards)
     }
 
-    /// Recomputes serial mode (sink attached or batch recording on).
+    /// Recomputes serial mode (batch recording on). Sinks no longer force
+    /// serial mode — they are recorded per shard and ordered by fences.
     fn refresh_serial(&self) {
-        let on = self.sink.read().is_some() || self.log.lock().is_some();
+        let on = self.log.lock().is_some();
         self.serial.store(on, Ordering::SeqCst);
     }
 
     /// Every currently allocated shard label.
     fn all_labels(shards: &[Arc<ShardState>]) -> Vec<u32> {
         (0..shards.len() as u32).collect()
+    }
+
+    /// Forwards a whole-graph ordering point to the attached sink, if
+    /// any. `flush_txn`/`advance_time` callers hold a full quiesce;
+    /// [`Self::sync_shards`] calls with the graph write lock held (which
+    /// equally excludes every signal).
+    fn cut_fence(&self, kind: FenceKind) {
+        // Clone the Arc out so the sink lock is not held across the call.
+        let sink = self.sink.read().clone();
+        if let Some(sink) = sink {
+            sink.fence(self, kind, self.clock.peek());
+        }
     }
 
     /// The shard an event belongs to. Unknown names are declared as
@@ -712,8 +775,9 @@ impl LocalEventDetector {
         self.signal_method(class, sig, edge, oid, params, txn, None, true)
     }
 
-    /// Method signal with a pre-assigned timestamp (batch replay and
-    /// pool delivery). Not forwarded to the log/sink.
+    /// Method signal with a pre-assigned timestamp (batch replay). Not
+    /// forwarded to the log/sink — replaying a journal must not re-append
+    /// to it.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn notify_method_at(
         &self,
@@ -728,9 +792,30 @@ impl LocalEventDetector {
         self.signal_method(class, sig, edge, oid, params, txn, Some(ts), false)
     }
 
+    /// Live method signal with a pre-assigned timestamp (pool delivery:
+    /// the timestamp was drawn at submission so queue order equals
+    /// timestamp order). Forwarded to the log/sink like
+    /// [`Self::notify_method`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn notify_method_at_live(
+        &self,
+        class: &str,
+        sig: &str,
+        edge: EventModifier,
+        oid: u64,
+        params: Vec<(Arc<str>, Value)>,
+        txn: Option<u64>,
+        ts: Timestamp,
+    ) -> Vec<Detection> {
+        if !self.signaling() {
+            return Vec::new();
+        }
+        self.signal_method(class, sig, edge, oid, params, txn, Some(ts), true)
+    }
+
     /// One method signal: route to the class's shard, timestamp under its
-    /// order lock, record, propagate. In serial mode the whole signal runs
-    /// quiesced instead.
+    /// order lock, record, propagate. In serial mode (batch recording)
+    /// the whole signal runs quiesced instead.
     #[allow(clippy::too_many_arguments)]
     fn signal_method(
         &self,
@@ -743,11 +828,71 @@ impl LocalEventDetector {
         at: Option<Timestamp>,
         live: bool,
     ) -> Vec<Detection> {
-        if self.serial.load(Ordering::SeqCst) {
-            return self.quiesce(|graph, shards| {
+        loop {
+            if self.serial.load(Ordering::SeqCst) {
+                return self.quiesce(|graph, shards| {
+                    let label = graph
+                        .class_events(class)
+                        .first()
+                        .map(|&id| graph.shard_of(id))
+                        .unwrap_or(0);
+                    let ts = self.stamp(at);
+                    if live {
+                        self.record(
+                            label,
+                            LoggedEvent::Method {
+                                class: class.to_string(),
+                                sig: sig.to_string(),
+                                edge,
+                                oid,
+                                params: params.clone(),
+                                txn,
+                                ts,
+                            },
+                        );
+                    }
+                    let labels = Self::all_labels(shards);
+                    self.method_core(graph, shards, &labels, class, sig, edge, oid, params, txn, ts)
+                });
+            }
+            let graph = self.graph.read();
+            let shards = self.shards.read();
+            let Some(&first) = graph.class_events(class).first() else {
+                // No events declared for this class: nothing can match,
+                // but the signal is still timestamped and recorded (the
+                // journal must not drop it).
                 let ts = self.stamp(at);
                 if live {
-                    self.record(LoggedEvent::Method {
+                    self.record(
+                        0,
+                        LoggedEvent::Method {
+                            class: class.to_string(),
+                            sig: sig.to_string(),
+                            edge,
+                            oid,
+                            params,
+                            txn,
+                            ts,
+                        },
+                    );
+                }
+                self.signals.fetch_add(1, Ordering::Relaxed);
+                return Vec::new();
+            };
+            let label = graph.shard_of(first);
+            let shard = shards[label as usize].clone();
+            let _order = self.lock_shard(&shard);
+            if self.serial.load(Ordering::SeqCst) {
+                // Recording switched on between the check above and the
+                // shard lock: retry through the serial path, so the
+                // drain in `start_recording` cannot miss this signal.
+                continue;
+            }
+            let ts = self.stamp(at);
+            if live {
+                self.record(
+                    label,
+                    LoggedEvent::Method {
                         class: class.to_string(),
                         sig: sig.to_string(),
                         edge,
@@ -755,49 +900,22 @@ impl LocalEventDetector {
                         params: params.clone(),
                         txn,
                         ts,
-                    });
-                }
-                let labels = Self::all_labels(shards);
-                self.method_core(graph, shards, &labels, class, sig, edge, oid, params, txn, ts)
-            });
-        }
-        let graph = self.graph.read();
-        let shards = self.shards.read();
-        let Some(&first) = graph.class_events(class).first() else {
-            // No events declared for this class: nothing can match, but
-            // the signal is still timestamped and recorded (the journal
-            // must not drop it).
-            let ts = self.stamp(at);
-            if live {
-                self.record(LoggedEvent::Method {
-                    class: class.to_string(),
-                    sig: sig.to_string(),
-                    edge,
-                    oid,
-                    params,
-                    txn,
-                    ts,
-                });
+                    },
+                );
             }
-            self.signals.fetch_add(1, Ordering::Relaxed);
-            return Vec::new();
-        };
-        let label = graph.shard_of(first);
-        let shard = shards[label as usize].clone();
-        let _order = self.lock_shard(&shard);
-        let ts = self.stamp(at);
-        if live {
-            self.record(LoggedEvent::Method {
-                class: class.to_string(),
-                sig: sig.to_string(),
+            return self.method_core(
+                &graph,
+                &shards,
+                &[label],
+                class,
+                sig,
                 edge,
                 oid,
-                params: params.clone(),
+                params,
                 txn,
                 ts,
-            });
+            );
         }
-        self.method_core(&graph, &shards, &[label], class, sig, edge, oid, params, txn, ts)
     }
 
     /// Propagates one timestamped method signal. Caller holds the graph
@@ -923,8 +1041,9 @@ impl LocalEventDetector {
         self.signal_explicit_impl(name, params, txn, None, true)
     }
 
-    /// Explicit signal with a pre-assigned timestamp (batch replay and
-    /// pool delivery). Not forwarded to the log/sink.
+    /// Explicit signal with a pre-assigned timestamp (batch replay). Not
+    /// forwarded to the log/sink — replaying a journal must not re-append
+    /// to it.
     pub(crate) fn signal_explicit_at(
         &self,
         name: &str,
@@ -935,10 +1054,26 @@ impl LocalEventDetector {
         self.signal_explicit_impl(name, params, txn, Some(ts), false)
     }
 
+    /// Live explicit signal with a pre-assigned timestamp (pool
+    /// delivery). Forwarded to the log/sink like
+    /// [`Self::signal_explicit`].
+    pub(crate) fn signal_explicit_at_live(
+        &self,
+        name: &str,
+        params: Vec<(Arc<str>, Value)>,
+        txn: Option<u64>,
+        ts: Timestamp,
+    ) -> Vec<Detection> {
+        if !self.signaling() {
+            return Vec::new();
+        }
+        self.signal_explicit_impl(name, params, txn, Some(ts), true)
+    }
+
     /// One explicit signal: ensure the leaf exists (a write-lock DDL step
     /// when unknown), then route to its shard, timestamp under its order
-    /// lock, record, propagate. In serial mode the propagation runs
-    /// quiesced instead.
+    /// lock, record, propagate. In serial mode (batch recording) the
+    /// propagation runs quiesced instead.
     fn signal_explicit_impl(
         &self,
         name: &str,
@@ -948,36 +1083,50 @@ impl LocalEventDetector {
         live: bool,
     ) -> Vec<Detection> {
         let leaf = self.ensure_explicit(name);
-        if self.serial.load(Ordering::SeqCst) {
-            return self.quiesce(|graph, shards| {
-                let ts = self.stamp(at);
-                if live {
-                    self.record(LoggedEvent::Explicit {
+        loop {
+            if self.serial.load(Ordering::SeqCst) {
+                return self.quiesce(|graph, shards| {
+                    let ts = self.stamp(at);
+                    if live {
+                        self.record(
+                            graph.shard_of(leaf),
+                            LoggedEvent::Explicit {
+                                name: name.to_string(),
+                                params: params.clone(),
+                                txn,
+                                ts,
+                            },
+                        );
+                    }
+                    let labels = Self::all_labels(shards);
+                    self.explicit_core(graph, shards, &labels, leaf, params, txn, ts)
+                });
+            }
+            let graph = self.graph.read();
+            let shards = self.shards.read();
+            let label = graph.shard_of(leaf);
+            let shard = shards[label as usize].clone();
+            let _order = self.lock_shard(&shard);
+            if self.serial.load(Ordering::SeqCst) {
+                // Recording switched on between the check above and the
+                // shard lock: retry through the serial path, so the
+                // drain in `start_recording` cannot miss this signal.
+                continue;
+            }
+            let ts = self.stamp(at);
+            if live {
+                self.record(
+                    label,
+                    LoggedEvent::Explicit {
                         name: name.to_string(),
                         params: params.clone(),
                         txn,
                         ts,
-                    });
-                }
-                let labels = Self::all_labels(shards);
-                self.explicit_core(graph, shards, &labels, leaf, params, txn, ts)
-            });
+                    },
+                );
+            }
+            return self.explicit_core(&graph, &shards, &[label], leaf, params, txn, ts);
         }
-        let graph = self.graph.read();
-        let shards = self.shards.read();
-        let label = graph.shard_of(leaf);
-        let shard = shards[label as usize].clone();
-        let _order = self.lock_shard(&shard);
-        let ts = self.stamp(at);
-        if live {
-            self.record(LoggedEvent::Explicit {
-                name: name.to_string(),
-                params: params.clone(),
-                txn,
-                ts,
-            });
-        }
-        self.explicit_core(&graph, &shards, &[label], leaf, params, txn, ts)
     }
 
     /// Looks up an explicit event, declaring it (and its shard) if new.
@@ -1033,7 +1182,9 @@ impl LocalEventDetector {
         self.clock.advance_to(to);
         self.quiesce(|graph, shards| {
             let labels = Self::all_labels(shards);
-            self.fire_due_alarms(graph, shards, &labels, to)
+            let detections = self.fire_due_alarms(graph, shards, &labels, to);
+            self.cut_fence(FenceKind::AdvanceTime(to));
+            detections
         })
     }
 
@@ -1300,6 +1451,7 @@ impl LocalEventDetector {
                 let h = s.start(cur.trace, Some(cur.span), "flush", Arc::from("flush_txn"));
                 s.finish(h, 0, vec![("txn", Field::U64(txn)), ("removed", Field::U64(removed))]);
             }
+            self.cut_fence(FenceKind::FlushTxn(txn));
         })
     }
 
@@ -1316,6 +1468,7 @@ impl LocalEventDetector {
                 }
                 graph.node(id).flush_all_state();
             }
+            self.cut_fence(FenceKind::Barrier);
             Ok(())
         })
     }
@@ -1329,6 +1482,7 @@ impl LocalEventDetector {
             for shard in shards {
                 shard.alarms.lock().clear();
             }
+            self.cut_fence(FenceKind::Barrier);
         })
     }
 
@@ -1337,9 +1491,11 @@ impl LocalEventDetector {
     /// Starts recording signalled primitive events. Recording switches the
     /// detector to serial mode so the log order equals timestamp order.
     pub fn start_recording(&self) {
+        let _admin = self.sink_admin.lock();
         self.serial.store(true, Ordering::SeqCst);
         // Quiesce once so every signal already in flight (which loaded
-        // serial=false) drains before the log is installed.
+        // serial=false and already passed its post-lock re-check) drains
+        // before the log is installed.
         self.quiesce(|_, _| {
             *self.log.lock() = Some(Vec::new());
         });
@@ -1347,40 +1503,51 @@ impl LocalEventDetector {
 
     /// Stops recording and returns the log.
     pub fn take_log(&self) -> Vec<LoggedEvent> {
-        let log = self.quiesce(|_, _| self.log.lock().take().unwrap_or_default());
-        self.refresh_serial();
-        log
+        let _admin = self.sink_admin.lock();
+        // The serial recomputation happens inside the quiesce: done after
+        // it, a signal could sneak between the take and the store and
+        // miss both the log (gone) and the serial path (flag still on —
+        // harmless) — or, worse, a racing `start_recording` without the
+        // admin lock could have its serial=true clobbered to false.
+        self.quiesce(|_, _| {
+            let log = self.log.lock().take().unwrap_or_default();
+            self.refresh_serial();
+            log
+        })
     }
 
     /// Attaches an event sink; every subsequently accepted primitive event
-    /// is forwarded to it synchronously (see [`EventSink`]). While a sink
-    /// is attached the detector runs in serial mode.
+    /// is forwarded to it synchronously (see [`EventSink`]). Signals keep
+    /// running in parallel — the sink observes each shard's stream under
+    /// that shard's order lock, with fences at whole-graph operations.
     pub fn set_event_sink(&self, sink: Arc<dyn EventSink>) {
-        self.serial.store(true, Ordering::SeqCst);
-        // Quiesce once so every signal already in flight (which loaded
-        // serial=false) drains before the sink can observe anything.
+        let _admin = self.sink_admin.lock();
+        // Quiesce once so every signal already in flight drains before
+        // the sink can observe anything: attach is a clean cut.
         self.quiesce(|_, _| {
             *self.sink.write() = Some(sink);
         });
     }
 
-    /// Detaches the event sink, if any.
+    /// Detaches the event sink, if any. The quiesce drains every
+    /// in-flight signal, so after return the sink is guaranteed to
+    /// receive no further records.
     pub fn clear_event_sink(&self) {
+        let _admin = self.sink_admin.lock();
         self.quiesce(|_, _| {
             *self.sink.write() = None;
         });
-        self.refresh_serial();
     }
 
-    fn record(&self, ev: LoggedEvent) {
+    fn record(&self, shard: u32, ev: LoggedEvent) {
         if let Some(log) = self.log.lock().as_mut() {
             log.push(ev.clone());
         }
         // Clone the Arc out so the sink lock is not held across the call
-        // (the sink may checkpoint, re-entering the detector).
+        // (the sink may block on a group commit).
         let sink = self.sink.read().clone();
         if let Some(sink) = sink {
-            sink.record(self, &ev);
+            sink.record(self, shard, &ev);
         }
     }
 
@@ -1388,19 +1555,26 @@ impl LocalEventDetector {
     /// order lock are held, so no primitive event can be timestamped or
     /// propagated concurrently in any shard. Used for externally-triggered
     /// checkpoints; `f` may re-enter the detector (snapshot, restore,
-    /// stats, flush) but must not signal or define events.
+    /// stats, flush) but must not signal or define events. Cuts a
+    /// [`FenceKind::Barrier`] fence through the sink, so a count-based
+    /// checkpoint tag taken inside `f` names an exact prefix of the
+    /// journal's merged replay order.
     pub fn with_signals_paused<R>(&self, f: impl FnOnce() -> R) -> R {
-        self.quiesce(|_, _| f())
+        self.quiesce(|_, _| {
+            self.cut_fence(FenceKind::Barrier);
+            f()
+        })
     }
 
     // --- checkpointable state ------------------------------------------
 
     /// Captures all detection state (buffered occurrences, open windows,
     /// pending temporal alarms, the clock) as a [`GraphSnapshot`].
-    /// Quiesces all shards; safe to call from [`EventSink::record`] (the
-    /// signalling thread already holds the quiesce, the snapshot is
-    /// consistent with "every event up to and including the previous
-    /// one") and from [`Self::with_signals_paused`] closures.
+    /// Quiesces all shards; safe to call from [`EventSink::fence`] (the
+    /// fencing thread already holds the quiesce, so the nested call
+    /// reuses the held locks) and from [`Self::with_signals_paused`]
+    /// closures — but **not** from [`EventSink::record`], which holds
+    /// only one shard's order lock.
     pub fn snapshot_state(&self) -> GraphSnapshot {
         self.quiesce(|graph, _| {
             let nodes = graph
@@ -1826,32 +2000,87 @@ mod tests {
     }
 
     #[test]
-    fn event_sink_may_snapshot_reentrantly() {
-        // The durable journal snapshots from inside EventSink::record; the
-        // sink runs with all shards quiesced, so the nested call must
-        // reuse the held locks instead of deadlocking.
-        struct SnapSink(Mutex<Vec<usize>>);
+    fn event_sink_may_snapshot_reentrantly_from_fence() {
+        // The durable journal checkpoints from inside EventSink::fence;
+        // fences run with all shards quiesced by the fencing thread, so
+        // the nested whole-graph calls must reuse the held locks instead
+        // of deadlocking. `record` meanwhile runs per shard.
+        struct SnapSink {
+            records: Mutex<Vec<(u32, Timestamp)>>,
+            fences: Mutex<Vec<(FenceKind, usize)>>,
+        }
         impl EventSink for SnapSink {
-            fn record(&self, detector: &LocalEventDetector, _ev: &LoggedEvent) {
+            fn record(&self, _detector: &LocalEventDetector, shard: u32, ev: &LoggedEvent) {
+                self.records.lock().push((shard, ev.ts()));
+            }
+            fn fence(&self, detector: &LocalEventDetector, kind: FenceKind, _ts: Timestamp) {
                 let snap = detector.snapshot_state();
                 detector.stats();
-                self.0.lock().push(snap.nodes.len());
+                self.fences.lock().push((kind, snap.nodes.len()));
             }
         }
         let d = detector();
         let expr = parse_event_expr("e1 ; e3").unwrap();
         let seq = d.define_named("seq13", &expr).unwrap();
         d.subscribe(seq, ParamContext::Chronicle, 1).unwrap();
-        let sink = Arc::new(SnapSink(Mutex::new(Vec::new())));
+        let sink =
+            Arc::new(SnapSink { records: Mutex::new(Vec::new()), fences: Mutex::new(Vec::new()) });
         d.set_event_sink(sink.clone());
         sell(&d, 1, 10, 1);
         set_price(&d, 1, 2.0, 1);
+        d.flush_txn(1);
+        d.with_signals_paused(|| {});
         d.clear_event_sink();
-        let sizes = sink.0.lock().clone();
-        assert_eq!(sizes.len(), 3, "sink saw every signal");
-        // The snapshot cut excludes the in-flight signal: the first sell's
-        // snapshot predates any buffered state.
-        assert_eq!(sizes[0], 0);
+        // After detach nothing further reaches the sink.
+        sell(&d, 1, 10, 2);
+        let records = sink.records.lock().clone();
+        assert_eq!(records.len(), 3, "sink saw every signal while attached");
+        assert!(records.windows(2).all(|w| w[0].1 < w[1].1), "one shard: timestamp order");
+        let fences = sink.fences.lock().clone();
+        assert_eq!(fences.len(), 2);
+        assert_eq!(fences[0].0, FenceKind::FlushTxn(1));
+        assert_eq!(fences[1].0, FenceKind::Barrier);
+    }
+
+    #[test]
+    fn recording_attach_detach_survives_concurrent_signal_bursts() {
+        // Regression: `start_recording` sets serial=true and then drains;
+        // a signal that loaded serial=false before the store must either
+        // complete before the log is installed (the drain waits on its
+        // shard lock) or retry through the serial path (the post-lock
+        // re-check) — so the log only ever sees timestamp-ordered
+        // records. And `take_log` recomputes serial *inside* its quiesce
+        // under the admin lock, so detach can never leave serial stuck on.
+        let d = Arc::new(LocalEventDetector::new(0));
+        d.declare_explicit("a");
+        d.declare_explicit("b");
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads: Vec<_> = ["a", "b"]
+            .iter()
+            .map(|&name| {
+                let d = d.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        d.signal_explicit(name, Vec::new(), None);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            d.start_recording();
+            std::thread::yield_now();
+            let log = d.take_log();
+            assert!(
+                log.windows(2).all(|w| w[0].ts() < w[1].ts()),
+                "recorded log must be in timestamp order"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(!d.serial.load(Ordering::SeqCst), "serial stuck on after take_log");
     }
 
     #[test]

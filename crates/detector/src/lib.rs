@@ -45,7 +45,8 @@ pub mod viz;
 
 pub use clock::LogicalClock;
 pub use detector::{
-    Detection, DetectorStats, EventSink, LocalEventDetector, NodeStats, ShardStats, SubscriberId,
+    Detection, DetectorStats, EventSink, FenceKind, LocalEventDetector, NodeStats, ShardStats,
+    SubscriberId,
 };
 pub use graph::{EventId, GraphError};
 pub use occurrence::{Occurrence, Value};

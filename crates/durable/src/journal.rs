@@ -84,19 +84,30 @@ fn new_segment(dir: &Path, seg: u64, base_index: u64) -> io::Result<(File, u64)>
     Ok((file, SEG_HEADER as u64))
 }
 
-impl Journal {
-    /// Opens the journal in `dir`, scanning and repairing existing
-    /// segments, and positions the writer after the last valid record.
-    pub fn open(
-        dir: &Path,
-        segment_bytes: u64,
-        fsync: FsyncPolicy,
-    ) -> io::Result<(Journal, JournalRecovery)> {
-        let mut recovery = JournalRecovery::default();
-        let segs = list_segments(dir)?;
-        let mut next_index = 0u64;
-        let mut tail: Option<(u64, u64)> = None; // (seg number, valid length)
-        let mut corrupt_at: Option<usize> = None;
+/// Scans the v1 single-stream journal in `dir` read-only-ish: torn tails
+/// are truncated and unsalvageable segments deleted (the same repairs as
+/// [`Journal::open`]) but no writer is opened and no empty segment is
+/// created. A directory that never held a v1 journal yields an empty
+/// recovery — the compatibility path for data directories that predate
+/// the sharded (v2) journal format.
+pub fn scan_dir(dir: &Path) -> io::Result<JournalRecovery> {
+    let (recovery, _, _) = scan_and_repair(dir)?;
+    Ok(recovery)
+}
+
+/// Tail segment position: `(segment number, valid length)`, with a
+/// `u64::MAX` length meaning "whole file".
+type SegTail = Option<(u64, u64)>;
+
+/// Shared scan/repair pass: returns the recovery, the running record
+/// count, and the tail segment if any survives.
+fn scan_and_repair(dir: &Path) -> io::Result<(JournalRecovery, u64, SegTail)> {
+    let mut recovery = JournalRecovery::default();
+    let segs = list_segments(dir)?;
+    let mut next_index = 0u64;
+    let mut tail: Option<(u64, u64)> = None; // (seg number, valid length)
+    let mut corrupt_at: Option<usize> = None;
+    {
         for (i, (seg, path)) in segs.iter().enumerate() {
             let mut data = Vec::new();
             File::open(path)?.read_to_end(&mut data)?;
@@ -145,13 +156,27 @@ impl Journal {
                 break;
             }
         }
-        // Records after a hole are untrusted: delete every later segment.
-        if let Some(from) = corrupt_at {
-            for (_, path) in &segs[from..] {
-                recovery.truncated_bytes += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-                fs::remove_file(path)?;
-            }
+    }
+    // Records after a hole are untrusted: delete every later segment.
+    if let Some(from) = corrupt_at {
+        for (_, path) in &segs[from..] {
+            recovery.truncated_bytes += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            fs::remove_file(path)?;
         }
+    }
+    recovery.segments = list_segments(dir)?.len() as u64;
+    Ok((recovery, next_index, tail))
+}
+
+impl Journal {
+    /// Opens the journal in `dir`, scanning and repairing existing
+    /// segments, and positions the writer after the last valid record.
+    pub fn open(
+        dir: &Path,
+        segment_bytes: u64,
+        fsync: FsyncPolicy,
+    ) -> io::Result<(Journal, JournalRecovery)> {
+        let (mut recovery, next_index, tail) = scan_and_repair(dir)?;
         let (file, seg, seg_len) = match tail {
             None => {
                 let (file, len) = new_segment(dir, 0, 0)?;
@@ -320,6 +345,31 @@ mod tests {
         assert!(rec.truncated_bytes > 0);
         assert!(survivors.len() <= 2, "later segments deleted, got {survivors:?}");
         assert_eq!(j.next_index(), rec.events.len() as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_dir_reads_without_creating_segments() {
+        let dir = tmp("scan");
+        // Empty directory: nothing recovered, nothing created.
+        let rec = scan_dir(&dir).unwrap();
+        assert!(rec.events.is_empty());
+        assert_eq!(rec.segments, 0);
+        assert!(!segment_path(&dir, 0).exists());
+        // With data (and a torn tail) it repairs exactly like open().
+        {
+            let (mut j, _) = Journal::open(&dir, 1 << 20, FsyncPolicy::Always).unwrap();
+            for i in 0..6 {
+                j.append(&ev(i)).unwrap();
+            }
+        }
+        let path = segment_path(&dir, 0);
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 2]).unwrap();
+        let rec = scan_dir(&dir).unwrap();
+        assert_eq!(rec.events.len(), 5);
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(rec.segments, 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -6,27 +6,36 @@
 //! the DDL catalog, the primitive event stream, and the half-detected
 //! state of the composite event graph.
 //!
-//! Three cooperating stores live in one data directory:
+//! The stores cooperating in one data directory:
 //!
 //! * [`catalog`] — an append-only, checksummed DDL journal
 //!   (`catalog.log`). Class registrations, event declarations and rule
 //!   define/enable/disable/drop are framed as JSON and replayed on open
 //!   to rebuild the schema, the Snoop event graph, and the rule set.
-//! * [`journal`] — the durable primitive-event journal: segment-rotated
-//!   files of [`sentinel_detector::log::LoggedEvent`] encodings, with a
-//!   configurable [`FsyncPolicy`].
+//! * [`sharded`] — the durable primitive-event journal, one
+//!   segment-rotated stream **per detector shard** plus an epoch fence
+//!   log, so parallel detection journals without a single serialising
+//!   appender. Recovery merges the streams at the fences back into
+//!   happened-before order.
+//! * [`group`] — the group-commit committer thread that batches fsyncs
+//!   across all streams (the [`FsyncPolicy`] maps onto it), and the
+//!   asynchronous checkpointer that runs cadence checkpoints off the
+//!   signalling threads.
+//! * [`journal`] — the legacy (v1) single-stream journal format, kept
+//!   for reading: data directories written before sharding recover
+//!   through [`journal::scan_dir`] and continue in the v2 format.
 //! * [`checkpoint`] — periodic [`sentinel_detector::GraphSnapshot`]
 //!   checkpoints tagged with a journal offset, so recovery loads the
 //!   newest valid checkpoint and replays only the journal suffix —
 //!   half-detected composites resume exactly where the crash left them.
 //!
-//! All three share the truncate-at-first-bad-record discipline of
+//! All stores share the truncate-at-first-bad-record discipline of
 //! [`frame`]: a torn or bit-flipped tail shortens history, it never
 //! panics and never corrupts what came before it.
 //!
 //! This crate is policy-free: it moves bytes and reports what it found.
-//! `sentinel-core` owns the semantics — interleaving catalog ops with
-//! journal records by `at_index`, validating checkpoints against the
+//! `sentinel-core` owns the semantics — interleaving catalog ops and
+//! fences with journal records, validating checkpoints against the
 //! rebuilt graph, and replaying the suffix through the detector.
 
 #![warn(missing_docs)]
@@ -35,22 +44,29 @@
 pub mod catalog;
 pub mod checkpoint;
 pub mod frame;
+pub mod group;
 pub mod journal;
+pub mod sharded;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 use sentinel_detector::log::LoggedEvent;
-use sentinel_detector::GraphSnapshot;
+use sentinel_detector::{FenceKind, GraphSnapshot};
 use sentinel_obs::{DurabilityMetrics, DurabilityStats, RecoveryReport};
 
 pub use catalog::{CatalogFile, CatalogOp};
 pub use journal::Journal;
+pub use sharded::{ShardedJournal, ShardedRecovery};
+
+use group::{Checkpointer, CommitterConfig, GroupCommit};
 
 /// File name of the JSON recovery report written after each open.
 pub const RECOVERY_REPORT_FILE: &str = "recovery-report.json";
@@ -78,15 +94,17 @@ impl From<io::Error> for DurableError {
     }
 }
 
-/// When the event journal forces its writes to disk.
+/// When appended events become durable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsyncPolicy {
-    /// `fsync` after every appended event (no events lost on crash).
+    /// Every append blocks until its record is fsynced — by the next
+    /// group commit, so concurrent appenders share the fsync (no events
+    /// lost on crash).
     Always,
-    /// `fsync` after every N appended events.
+    /// Group-commit once every N appended events; appends never block.
     EveryN(u64),
-    /// Never `fsync` from the append path; only on rotation, explicit
-    /// flush, and graceful shutdown.
+    /// Never fsync from the append path; only on rotation, explicit
+    /// flush, checkpoints, and graceful shutdown.
     Never,
 }
 
@@ -95,11 +113,19 @@ pub enum FsyncPolicy {
 pub struct DurableOptions {
     /// Journal fsync policy (default: [`FsyncPolicy::Always`]).
     pub fsync: FsyncPolicy,
-    /// Rotate journal segments once they pass this size (default 4 MiB).
+    /// Rotate journal stream segments once they pass this size
+    /// (default 4 MiB).
     pub segment_bytes: u64,
     /// Take a checkpoint every N journal records; `0` disables automatic
     /// checkpoints (default 1024).
     pub checkpoint_every: u64,
+    /// Group-commit accumulation window, µs: after the first pending
+    /// append wakes the committer it sleeps this long so a batch builds
+    /// up (default 0 — commit immediately).
+    pub group_window_us: u64,
+    /// Force a group commit once this many payload bytes are pending,
+    /// regardless of the fsync policy; `0` disables (default 0).
+    pub group_bytes: u64,
 }
 
 impl Default for DurableOptions {
@@ -108,6 +134,8 @@ impl Default for DurableOptions {
             fsync: FsyncPolicy::Always,
             segment_bytes: 4 * 1024 * 1024,
             checkpoint_every: 1024,
+            group_window_us: 0,
+            group_bytes: 0,
         }
     }
 }
@@ -123,8 +151,17 @@ pub struct Recovery {
     /// caller restores the first one that validates against the rebuilt
     /// graph and replays `events[tag..]`.
     pub checkpoints: Vec<(u64, GraphSnapshot)>,
-    /// Every valid journal record in global order.
+    /// Every valid journal record in replay order (v1 records first,
+    /// then the merged v2 streams).
     pub events: Vec<LoggedEvent>,
+    /// Fences in epoch order as `(position, kind)`: `position` counts the
+    /// records of `events` that precede the fence. The caller re-applies
+    /// flush/advance fences at their positions during suffix replay.
+    pub fences: Vec<(u64, FenceKind)>,
+    /// How many leading records of `events` came from a legacy v1
+    /// single-stream journal (their transaction flushes are inferred, not
+    /// fenced).
+    pub v1_records: u64,
     /// Partially filled report: counts of what the scan found. The caller
     /// completes `checkpoint_tag`, `replayed_records`, and any extra
     /// `checkpoints_rejected` from live-graph validation.
@@ -132,52 +169,110 @@ pub struct Recovery {
 }
 
 /// The durable engine: one open data directory holding the catalog, the
-/// event journal, and checkpoints.
+/// sharded event journal, checkpoints, and the group-commit /
+/// checkpointer threads.
 ///
-/// Lock ordering: `journal` before `catalog`, never the reverse.
+/// Lock ordering: journal streams before `catalog`, never the reverse.
 #[derive(Debug)]
 pub struct DurableEngine {
     dir: PathBuf,
     opts: DurableOptions,
-    metrics: DurabilityMetrics,
-    journal: Mutex<Journal>,
+    metrics: Arc<DurabilityMetrics>,
+    journal: Arc<ShardedJournal>,
     catalog: Mutex<CatalogFile>,
+    /// Records appended across the engine's lifetime (= next record
+    /// index). Monotone; reads under any shard lock are consistent
+    /// because fences/DDL exclude appends.
+    records: AtomicU64,
+    /// The open epoch new records are stamped with (= fences cut so far).
+    epoch: AtomicU64,
+    gc: Arc<GroupCommit>,
+    ckpt: Arc<Checkpointer>,
+    committer: Option<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
 }
 
 impl DurableEngine {
     /// Opens (creating if needed) the data directory, scans and repairs
-    /// all three stores, and returns the engine plus what it recovered.
+    /// all stores, and returns the engine plus what it recovered.
+    ///
+    /// Legacy v1 journals are read (and repaired) but new appends always
+    /// go to v2 per-shard streams; the recovered event list is the v1
+    /// records followed by the merged v2 streams.
     pub fn open(
         dir: &Path,
         opts: DurableOptions,
     ) -> Result<(Arc<DurableEngine>, Recovery), DurableError> {
         fs::create_dir_all(dir)?;
-        let (journal, jrec) = Journal::open(dir, opts.segment_bytes, opts.fsync)?;
+        let v1 = journal::scan_dir(dir)?;
+        let (journal, srec) = ShardedJournal::open(dir, opts.segment_bytes)?;
         let (catalog, crec) = CatalogFile::open(dir)?;
         let ckpts = checkpoint::scan_checkpoints(dir)?;
+
+        let v1_records = v1.events.len() as u64;
+        let mut events = v1.events;
+        events.extend(srec.events);
+        let fences: Vec<(u64, FenceKind)> =
+            srec.fences.iter().map(|(pos, kind)| (pos + v1_records, *kind)).collect();
 
         let report = RecoveryReport {
             catalog_ops: crec.ops.len() as u64,
             checkpoint_tag: None,
             checkpoints_scanned: ckpts.scanned,
             checkpoints_rejected: ckpts.rejected,
-            journal_segments: jrec.segments,
-            journal_records: jrec.events.len() as u64,
+            journal_segments: v1.segments + srec.segments,
+            journal_records: events.len() as u64,
             replayed_records: 0,
-            truncated_bytes: jrec.truncated_bytes + crec.truncated_bytes,
+            truncated_bytes: v1.truncated_bytes + srec.truncated_bytes + crec.truncated_bytes,
+            journal_fences: fences.len() as u64,
         };
         let recovery = Recovery {
             catalog_ops: crec.ops,
             checkpoints: ckpts.checkpoints,
-            events: jrec.events,
+            events,
+            fences,
+            v1_records,
             report,
         };
+
+        let metrics = Arc::new(DurabilityMetrics::default());
+        let journal = Arc::new(journal);
+        let gc = Arc::new(GroupCommit::default());
+        let ckpt = Arc::new(Checkpointer::default());
+        let committer = {
+            let journal = journal.clone();
+            let gc = gc.clone();
+            let metrics = metrics.clone();
+            let cfg = CommitterConfig {
+                fsync: opts.fsync,
+                group_window_us: opts.group_window_us,
+                group_bytes: opts.group_bytes,
+            };
+            std::thread::Builder::new()
+                .name("sentinel-committer".into())
+                .spawn(move || group::committer_loop(journal, gc, metrics, cfg))
+                .map_err(DurableError::Io)?
+        };
+        let checkpointer = {
+            let ckpt = ckpt.clone();
+            std::thread::Builder::new()
+                .name("sentinel-checkpointer".into())
+                .spawn(move || group::checkpointer_loop(ckpt))
+                .map_err(DurableError::Io)?
+        };
+
         let engine = DurableEngine {
             dir: dir.to_path_buf(),
             opts,
-            metrics: DurabilityMetrics::default(),
-            journal: Mutex::new(journal),
+            metrics,
+            journal,
             catalog: Mutex::new(catalog),
+            records: AtomicU64::new(recovery.events.len() as u64),
+            epoch: AtomicU64::new(srec.next_epoch),
+            gc,
+            ckpt,
+            committer: Some(committer),
+            checkpointer: Some(checkpointer),
         };
         if let Some((tag, _)) = recovery.checkpoints.first() {
             engine.metrics.last_checkpoint_tag.set(*tag);
@@ -196,32 +291,66 @@ impl DurableEngine {
     }
 
     /// Appends one DDL operation to the catalog (always fsynced),
-    /// stamping it with the current journal position.
+    /// stamping it with the current journal position. Callers hold a
+    /// whole-graph barrier across DDL, so the position is stable.
     pub fn append_catalog(&self, op: &CatalogOp) -> Result<(), DurableError> {
-        let at_index = self.journal.lock().next_index();
+        let at_index = self.records.load(Ordering::SeqCst);
         self.catalog.lock().append(op, at_index)?;
         self.metrics.catalog_appends.inc();
         Ok(())
     }
 
-    /// Appends one event to the journal per the fsync policy. Returns the
+    /// Appends one event to `shard`'s journal stream, stamped with the
+    /// open epoch. Under [`FsyncPolicy::Always`] this blocks until the
+    /// committer's next group commit covers the record. Returns the
     /// record's global index.
-    pub fn append_event(&self, ev: &LoggedEvent) -> Result<u64, DurableError> {
-        let (index, bytes, synced, rotated) = self.journal.lock().append(ev)?;
+    ///
+    /// Safe to call from concurrent signalling threads (one per shard);
+    /// must **not** be called while holding a whole-graph barrier the
+    /// committer would need — it never needs one.
+    pub fn append_event(&self, shard: u32, ev: &LoggedEvent) -> Result<u64, DurableError> {
+        let index = self.records.fetch_add(1, Ordering::SeqCst);
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let out = self.journal.append(shard, epoch, ev)?;
         self.metrics.journal_appends.inc();
-        self.metrics.journal_bytes.add(bytes);
-        if synced {
+        self.metrics.journal_bytes.add(out.bytes);
+        if out.rotated {
+            self.metrics.journal_rotations.inc();
             self.metrics.journal_fsyncs.inc();
         }
-        if rotated {
-            self.metrics.journal_rotations.inc();
+        let seq = self.gc.note_append(out.bytes);
+        if self.opts.fsync == FsyncPolicy::Always {
+            self.gc.wait_durable(seq);
+        }
+        if self.checkpoint_due(index + 1) {
+            self.ckpt.trigger();
         }
         Ok(index)
     }
 
+    /// Appends (and fsyncs) one fence closing the open epoch, then
+    /// advances the epoch. Callers hold a whole-graph ordering point
+    /// (quiesce or graph write lock), so no record append is in flight.
+    pub fn append_fence(&self, kind: FenceKind, ts: u64) -> Result<(), DurableError> {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        self.journal.append_fence(epoch, kind, ts)?;
+        self.metrics.journal_fences.inc();
+        self.metrics.journal_fsyncs.inc();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
     /// Index the next journal append will get (= records logged so far).
     pub fn next_index(&self) -> u64 {
-        self.journal.lock().next_index()
+        self.records.load(Ordering::SeqCst)
+    }
+
+    /// Installs the closure the checkpointer thread runs when the
+    /// checkpoint cadence fires. The closure must capture only weak
+    /// references to the engine (and detector) or the engine never
+    /// drops.
+    pub fn set_checkpoint_hook(&self, hook: Arc<dyn Fn() + Send + Sync>) {
+        self.ckpt.set_hook(hook);
     }
 
     /// Whether appending record `idx` should trigger an automatic
@@ -231,19 +360,21 @@ impl DurableEngine {
     }
 
     /// Writes a checkpoint covering journal records `< tag`. The journal
-    /// tail is flushed first so the checkpoint never claims coverage of
-    /// records that could be lost behind it.
+    /// streams are flushed first so the checkpoint never claims coverage
+    /// of records that could be lost behind it.
     pub fn write_checkpoint(&self, tag: u64, snap: &GraphSnapshot) -> Result<(), DurableError> {
         let started = Instant::now();
+        let target = self.gc.pending();
         let result = (|| -> io::Result<u64> {
-            self.journal.lock().flush()?;
+            let synced = self.journal.sync_dirty()?;
+            self.metrics.journal_fsyncs.add(synced);
             checkpoint::write_checkpoint(&self.dir, tag, snap)
         })();
+        self.gc.complete(target);
         match result {
             Ok(bytes) => {
                 self.metrics.checkpoints.inc();
                 self.metrics.checkpoint_bytes.add(bytes);
-                self.metrics.journal_fsyncs.inc();
                 self.metrics.last_checkpoint_tag.set(tag);
                 self.metrics.checkpoint_duration.record_duration(started.elapsed());
                 Ok(())
@@ -255,10 +386,13 @@ impl DurableEngine {
         }
     }
 
-    /// Forces the journal tail to disk (the catalog is always synced).
+    /// Forces every dirty journal stream to disk (the catalog and fence
+    /// log are always synced).
     pub fn flush(&self) -> Result<(), DurableError> {
-        self.journal.lock().flush()?;
-        self.metrics.journal_fsyncs.inc();
+        let target = self.gc.pending();
+        let synced = self.journal.sync_dirty()?;
+        self.metrics.journal_fsyncs.add(synced);
+        self.gc.complete(target);
         Ok(())
     }
 
@@ -277,6 +411,23 @@ impl DurableEngine {
     pub fn write_report(&self, report: &RecoveryReport) -> Result<(), DurableError> {
         fs::write(self.dir.join(RECOVERY_REPORT_FILE), format!("{}\n", report.to_json()))?;
         Ok(())
+    }
+}
+
+impl Drop for DurableEngine {
+    /// Stops the committer and checkpointer. Deliberately does **not**
+    /// flush: dropping an engine models a crash for whatever the fsync
+    /// policy left unsynced (graceful shutdown calls [`Self::flush`]
+    /// explicitly). If the last reference dies on the checkpointer's own
+    /// thread the handle is detached instead of self-joined.
+    fn drop(&mut self) {
+        self.gc.shutdown();
+        self.ckpt.shutdown();
+        for handle in [self.committer.take(), self.checkpointer.take()].into_iter().flatten() {
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -308,7 +459,7 @@ mod tests {
             assert!(rec.events.is_empty() && rec.catalog_ops.is_empty());
             eng.append_catalog(&CatalogOp::DeclareExplicit { name: "bump".into() }).unwrap();
             for i in 0..5 {
-                assert_eq!(eng.append_event(&ev(i)).unwrap(), i);
+                assert_eq!(eng.append_event(0, &ev(i)).unwrap(), i);
             }
             eng.append_catalog(&CatalogOp::DropRule { name: "r".into() }).unwrap();
             let snap = LocalEventDetector::new(1).snapshot_state();
@@ -318,9 +469,11 @@ mod tests {
             assert_eq!(stats.catalog_appends, 2);
             assert_eq!(stats.checkpoints, 1);
             assert_eq!(stats.last_checkpoint_tag, 3);
+            assert!(stats.group_commits >= 1, "Always policy rides group commits");
         }
         let (eng, rec) = DurableEngine::open(&dir, DurableOptions::default()).unwrap();
         assert_eq!(rec.events.len(), 5);
+        assert_eq!(rec.v1_records, 0);
         assert_eq!(rec.catalog_ops.len(), 2);
         assert_eq!(rec.catalog_ops[0].0, 0, "first op before any events");
         assert_eq!(rec.catalog_ops[1].0, 5, "second op after five events");
@@ -329,6 +482,54 @@ mod tests {
         assert_eq!(rec.report.journal_records, 5);
         assert_eq!(rec.report.truncated_bytes, 0);
         assert_eq!(eng.next_index(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fences_advance_epochs_and_recover_in_order() {
+        let dir = tmp("fence");
+        {
+            let (eng, _) = DurableEngine::open(&dir, DurableOptions::default()).unwrap();
+            eng.append_event(0, &ev(0)).unwrap();
+            eng.append_event(1, &ev(1)).unwrap();
+            eng.append_fence(FenceKind::FlushTxn(3), 2).unwrap();
+            eng.append_event(1, &ev(2)).unwrap();
+            eng.append_fence(FenceKind::Barrier, 3).unwrap();
+        }
+        let (eng, rec) = DurableEngine::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(rec.events.len(), 3);
+        assert_eq!(rec.fences, vec![(2, FenceKind::FlushTxn(3)), (3, FenceKind::Barrier)]);
+        assert_eq!(rec.report.journal_fences, 2);
+        // New appends continue in the next epoch.
+        eng.append_event(0, &ev(3)).unwrap();
+        drop(eng);
+        let (_, rec) = DurableEngine::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(rec.events.len(), 4);
+        assert_eq!(rec.fences.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_journal_is_read_and_appends_continue_in_v2() {
+        let dir = tmp("v1compat");
+        fs::create_dir_all(&dir).unwrap();
+        {
+            let (mut j, _) = Journal::open(&dir, 1 << 20, FsyncPolicy::Always).unwrap();
+            for i in 0..4 {
+                j.append(&ev(i)).unwrap();
+            }
+        }
+        let (eng, rec) = DurableEngine::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(rec.events.len(), 4);
+        assert_eq!(rec.v1_records, 4);
+        assert_eq!(eng.next_index(), 4);
+        assert_eq!(eng.append_event(2, &ev(4)).unwrap(), 4);
+        eng.append_fence(FenceKind::Barrier, 6).unwrap();
+        drop(eng);
+        let (_, rec) = DurableEngine::open(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(rec.events.len(), 5, "v1 prefix + v2 suffix");
+        assert_eq!(rec.v1_records, 4);
+        assert_eq!(rec.fences, vec![(5, FenceKind::Barrier)], "positions offset past v1");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -345,6 +546,31 @@ mod tests {
         let dir = tmp("cadence-off");
         let (eng, _) = DurableEngine::open(&dir, off).unwrap();
         assert!((0..100).all(|i| !eng.checkpoint_due(i)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_hook_runs_on_cadence() {
+        let dir = tmp("hook");
+        let opts = DurableOptions { checkpoint_every: 2, ..DurableOptions::default() };
+        let (eng, _) = DurableEngine::open(&dir, opts).unwrap();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        eng.set_checkpoint_hook(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        for i in 0..6 {
+            eng.append_event(0, &ev(i)).unwrap();
+        }
+        // The checkpointer is asynchronous; give it a moment.
+        for _ in 0..200 {
+            if hits.load(Ordering::SeqCst) >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(hits.load(Ordering::SeqCst) >= 1, "cadence must reach the hook");
+        drop(eng);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -34,6 +34,14 @@ pub struct DurabilityMetrics {
     pub checkpoint_duration: Histogram,
     /// Journal record index the newest checkpoint covers.
     pub last_checkpoint_tag: Gauge,
+    /// Group commits performed (one per committer fsync batch).
+    pub group_commits: Counter,
+    /// Journal records made durable by group commits (batch sizes sum).
+    pub group_commit_records: Counter,
+    /// Wall time per group-commit flush (all dirty streams), ns.
+    pub group_commit_flush: Histogram,
+    /// Fence records appended to the journal.
+    pub journal_fences: Counter,
 }
 
 impl DurabilityMetrics {
@@ -50,6 +58,10 @@ impl DurabilityMetrics {
             checkpoint_bytes: self.checkpoint_bytes.get(),
             checkpoint_duration: self.checkpoint_duration.snapshot(),
             last_checkpoint_tag: self.last_checkpoint_tag.get(),
+            group_commits: self.group_commits.get(),
+            group_commit_records: self.group_commit_records.get(),
+            group_commit_flush: self.group_commit_flush.snapshot(),
+            journal_fences: self.journal_fences.get(),
         }
     }
 }
@@ -78,6 +90,14 @@ pub struct DurabilityStats {
     pub checkpoint_duration: HistogramSnapshot,
     /// Journal record index the newest checkpoint covers.
     pub last_checkpoint_tag: u64,
+    /// Group commits performed.
+    pub group_commits: u64,
+    /// Journal records made durable by group commits.
+    pub group_commit_records: u64,
+    /// Wall time per group-commit flush.
+    pub group_commit_flush: HistogramSnapshot,
+    /// Fence records appended to the journal.
+    pub journal_fences: u64,
 }
 
 impl DurabilityStats {
@@ -94,6 +114,10 @@ impl DurabilityStats {
             ("checkpoint_bytes", json::Value::UInt(self.checkpoint_bytes)),
             ("checkpoint_duration", self.checkpoint_duration.to_json()),
             ("last_checkpoint_tag", json::Value::UInt(self.last_checkpoint_tag)),
+            ("group_commits", json::Value::UInt(self.group_commits)),
+            ("group_commit_records", json::Value::UInt(self.group_commit_records)),
+            ("group_commit_flush", self.group_commit_flush.to_json()),
+            ("journal_fences", json::Value::UInt(self.journal_fences)),
         ])
     }
 }
@@ -122,6 +146,8 @@ pub struct RecoveryReport {
     pub replayed_records: u64,
     /// Bytes discarded from torn/corrupt tails (journal + catalog).
     pub truncated_bytes: u64,
+    /// Fence records recovered from the fence log (epoch boundaries).
+    pub journal_fences: u64,
 }
 
 impl RecoveryReport {
@@ -142,6 +168,7 @@ impl RecoveryReport {
             ("journal_records", json::Value::UInt(self.journal_records)),
             ("replayed_records", json::Value::UInt(self.replayed_records)),
             ("truncated_bytes", json::Value::UInt(self.truncated_bytes)),
+            ("journal_fences", json::Value::UInt(self.journal_fences)),
         ])
     }
 }
@@ -158,12 +185,20 @@ mod tests {
         m.checkpoints.inc();
         m.last_checkpoint_tag.set(5);
         m.checkpoint_duration.record(1_000);
+        m.group_commits.inc();
+        m.group_commit_records.add(3);
+        m.group_commit_flush.record(2_000);
+        m.journal_fences.add(2);
         let s = m.snapshot();
         assert_eq!(s.journal_appends, 7);
         assert_eq!(s.journal_bytes, 512);
         assert_eq!(s.checkpoints, 1);
         assert_eq!(s.last_checkpoint_tag, 5);
         assert_eq!(s.checkpoint_duration.count, 1);
+        assert_eq!(s.group_commits, 1);
+        assert_eq!(s.group_commit_records, 3);
+        assert_eq!(s.group_commit_flush.count, 1);
+        assert_eq!(s.journal_fences, 2);
     }
 
     #[test]
@@ -173,6 +208,8 @@ mod tests {
         assert_eq!(j.get("journal_appends").and_then(json::Value::as_u64), Some(3));
         assert_eq!(j.get("checkpoints").and_then(json::Value::as_u64), Some(0));
         assert!(j.get("checkpoint_duration").is_some());
+        assert_eq!(j.get("group_commits").and_then(json::Value::as_u64), Some(0));
+        assert!(j.get("group_commit_flush").is_some());
     }
 
     #[test]

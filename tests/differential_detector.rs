@@ -20,16 +20,21 @@
 //! context (Recent, Chronicle, Continuous, Cumulative), any flush window,
 //! or any operator's buffered state fails the run.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use rand::prelude::*;
 use sentinel_core::detector::graph::PrimTarget;
+use sentinel_core::detector::log::LoggedEvent;
 use sentinel_core::detector::service::Signal;
 use sentinel_core::detector::{
-    Detection, DetectorPool, EventId, LocalEventDetector, Occurrence, SubscriberId, Value,
+    Detection, DetectorPool, EventId, FenceKind, LocalEventDetector, Occurrence, SubscriberId,
+    Value,
 };
+use sentinel_core::durable_store::{DurableEngine, DurableOptions, FsyncPolicy};
 use sentinel_core::snoop::ast::EventModifier;
 use sentinel_core::snoop::{parse_event_expr, ParamContext};
+use sentinel_core::JournalSink;
 
 /// Disjoint explicit-event components in the generated graph.
 const COMPONENTS: usize = 5;
@@ -234,13 +239,37 @@ fn apply_ddl(det: &LocalEventDetector, comps: &[EventId], op: &Op) {
     }
 }
 
+/// Durable-engine options for the journaled matrix: tiny segments so the
+/// runs rotate, a real accumulation window so group commit batches, and
+/// no checkpoints (recovery must come purely from the merged streams).
+fn dopts() -> DurableOptions {
+    DurableOptions {
+        fsync: FsyncPolicy::Always,
+        segment_bytes: 1024,
+        checkpoint_every: 0,
+        group_window_us: 50,
+        ..DurableOptions::default()
+    }
+}
+
+/// Opens a fresh durable engine over `dir` and attaches its journal sink.
+fn attach_journal(det: &LocalEventDetector, dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    let (engine, _) = DurableEngine::open(dir, dopts()).expect("open durable engine");
+    det.set_event_sink(Arc::new(JournalSink::new(engine)));
+}
+
 /// Drives the workload inline on one thread, timestamps drawn live. The
 /// mirrored-clock invariant (generator `ts` == the clock's actual draw) is
 /// asserted at every signal — it is what licenses pre-assigning the same
-/// timestamps to the pooled run.
-fn run_serial(ops: &[Op]) -> (Vec<String>, Vec<u8>) {
+/// timestamps to the pooled run. With `durable`, every signal is also
+/// journaled through the sharded engine.
+fn run_serial(ops: &[Op], durable: Option<&Path>) -> (Vec<String>, Vec<u8>) {
     let det = LocalEventDetector::new(1);
     let comps = build(&det);
+    if let Some(dir) = durable {
+        attach_journal(&det, dir);
+    }
     assert!(det.shard_count() >= COMPONENTS as u32, "components must start disjoint");
     let mut dets = Vec::new();
     for op in ops {
@@ -273,9 +302,12 @@ fn run_serial(ops: &[Op]) -> (Vec<String>, Vec<u8>) {
 /// advances are global fences (the pool routes them to a rendezvous
 /// barrier); DDL and subscription flips run at explicit barriers so they
 /// cut the stream at the same point as in the serial run.
-fn run_pool(ops: &[Op], workers: usize) -> (Vec<String>, Vec<u8>) {
+fn run_pool(ops: &[Op], workers: usize, durable: Option<&Path>) -> (Vec<String>, Vec<u8>) {
     let det = Arc::new(LocalEventDetector::new(1));
     let comps = build(&det);
+    if let Some(dir) = durable {
+        attach_journal(&det, dir);
+    }
     let mut pool = DetectorPool::spawn(det.clone(), workers);
     for op in ops {
         match op {
@@ -306,8 +338,8 @@ fn run_pool(ops: &[Op], workers: usize) -> (Vec<String>, Vec<u8>) {
 
 fn conformance(seed: u64, workers: usize) {
     let ops = generate(seed);
-    let (serial_dets, serial_snap) = run_serial(&ops);
-    let (pool_dets, pool_snap) = run_pool(&ops, workers);
+    let (serial_dets, serial_snap) = run_serial(&ops, None);
+    let (pool_dets, pool_snap) = run_pool(&ops, workers, None);
     assert_eq!(
         serial_dets.len(),
         pool_dets.len(),
@@ -362,5 +394,56 @@ fn generator_is_deterministic() {
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(format!("{x:?}"), format!("{y:?}"));
     }
-    run_serial(&a);
+    run_serial(&a, None);
+}
+
+// --- durable matrix ----------------------------------------------------
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sentinel-diffdur-{tag}-{}", std::process::id()))
+}
+
+/// Reopens a journaled run's data directory and returns what recovery
+/// merged: every surviving record in replay order plus the fence stream.
+fn recovered(dir: &Path) -> (Vec<LoggedEvent>, Vec<(u64, FenceKind)>) {
+    let (_engine, rec) = DurableEngine::open(dir, dopts()).expect("reopen durable engine");
+    assert_eq!(rec.v1_records, 0, "fresh directories are pure v2");
+    assert_eq!(rec.report.truncated_bytes, 0, "fsync=always run left no torn bytes");
+    (rec.events, rec.fences)
+}
+
+/// The durable tentpole, end to end: journaling through the sharded
+/// engine must not change detection (serial *and* pooled runs with a sink
+/// stay observationally equivalent), and the journals the runs leave
+/// behind must recover to the *identical* merged record/fence sequence —
+/// per-shard streams + epoch fences reconstruct the serial happened-before
+/// order no matter how many workers raced on the appends.
+#[test]
+fn durable_pool_recovery_matches_durable_serial() {
+    let seed = 11u64;
+    let ops = generate(seed);
+    let sdir = tmp("serial");
+    let (serial_dets, serial_snap) = run_serial(&ops, Some(&sdir));
+    let (serial_events, serial_fences) = recovered(&sdir);
+    assert!(serial_events.len() >= 100, "workload journals enough to be meaningful");
+    assert!(serial_fences.len() >= 10, "workload cuts flush/advance/DDL fences");
+
+    for workers in [4, 8] {
+        let pdir = tmp(&format!("pool{workers}"));
+        let (pool_dets, pool_snap) = run_pool(&ops, workers, Some(&pdir));
+        assert_eq!(serial_dets, pool_dets, "{workers} workers: journaled detection diverged");
+        assert_eq!(serial_snap, pool_snap, "{workers} workers: journaled graph state diverged");
+
+        let (pool_events, pool_fences) = recovered(&pdir);
+        assert_eq!(
+            serial_events, pool_events,
+            "{workers} workers: recovered replay order diverged from serial-durable"
+        );
+        assert_eq!(
+            serial_fences, pool_fences,
+            "{workers} workers: recovered fence stream diverged from serial-durable"
+        );
+        let _ = std::fs::remove_dir_all(&pdir);
+    }
+    let _ = std::fs::remove_dir_all(&sdir);
 }

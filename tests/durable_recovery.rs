@@ -33,6 +33,7 @@ fn opts(checkpoint_every: u64) -> DurableOptions {
         // Tiny segments so multi-event runs also exercise rotation.
         segment_bytes: 256,
         checkpoint_every,
+        ..DurableOptions::default()
     }
 }
 
@@ -167,6 +168,99 @@ fn crash_anywhere_then_recover_matches_uncrashed_run() {
             let _ = std::fs::remove_dir_all(&dir);
         }
     }
+}
+
+/// Group-commit matrix: every fsync policy, with and without an
+/// accumulation window, must recover a drop-without-flush crash to the
+/// same state. An in-process crash loses nothing the OS already holds, so
+/// the journal is complete under every policy — `EveryN`/`Never` only
+/// widen the loss window for real power cuts — and the post-recovery
+/// suffix must match the uncrashed reference exactly.
+#[test]
+fn crash_recovery_matches_across_fsync_policies_and_group_windows() {
+    let steps = workload(40);
+    let k = 23usize;
+    let policies = [
+        ("always", FsyncPolicy::Always),
+        ("every3", FsyncPolicy::EveryN(3)),
+        ("never", FsyncPolicy::Never),
+    ];
+    for (tag, fsync) in policies {
+        for window_us in [0u64, 200] {
+            let dir = tmp(&format!("gc-{tag}-{window_us}"));
+            let o = DurableOptions {
+                fsync,
+                segment_bytes: 256,
+                checkpoint_every: 3,
+                group_window_us: window_us,
+                ..DurableOptions::default()
+            };
+            {
+                let (s, _) = Sentinel::open_durable(&dir, SentinelConfig::default(), o).unwrap();
+                ddl(&s);
+                signal(&s, &steps[..k]);
+            }
+            let (s, report) = Sentinel::open_durable(&dir, SentinelConfig::default(), o).unwrap();
+            assert_eq!(
+                report.journal_records, k as u64,
+                "{tag}/{window_us}us: every signal reached the journal"
+            );
+            signal(&s, &steps[k..]);
+
+            let (ref_at_k, ref_at_n, _) = reference(&steps, k);
+            let got = hits(&s);
+            for ctx in CONTEXTS {
+                let rule = format!("r_{ctx}");
+                let want = ref_at_n.get(&rule).copied().unwrap_or(0)
+                    - ref_at_k.get(&rule).copied().unwrap_or(0);
+                assert_eq!(
+                    got.get(&rule).copied().unwrap_or(0),
+                    want,
+                    "suffix firings of {rule} ({tag}, window {window_us}us)"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A torn tail on the global fence log orphans exactly the records of the
+/// epoch the lost fence would have opened — and nothing earlier. Here the
+/// last `commit-transaction` fence is torn mid-frame, so the one event
+/// signalled after it is "from a lost future" and must be dropped, while
+/// both earlier events (including one in the now-torn fence's own epoch)
+/// survive and keep detecting.
+#[test]
+fn torn_fence_record_orphans_only_future_epochs() {
+    let dir = tmp("tornfence");
+    {
+        let (s, _) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts(0)).unwrap();
+        ddl(&s);
+        let h = s.serve_handle();
+        h.signal("a", vec![(Arc::from("x"), Value::Int(1))], None);
+        h.signal("commit-transaction", Vec::new(), Some(1));
+        h.signal("a", vec![(Arc::from("x"), Value::Int(2))], None);
+        h.signal("commit-transaction", Vec::new(), Some(1));
+        h.signal("b", vec![(Arc::from("x"), Value::Int(3))], None);
+    }
+    // Tear the final fence frame mid-write (the fence log is append-only:
+    // 8-byte header then framed records, so chopping 5 bytes corrupts
+    // exactly the last fence).
+    let fences = dir.join("fences.log");
+    let len = std::fs::metadata(&fences).unwrap().len();
+    std::fs::OpenOptions::new().write(true).open(&fences).unwrap().set_len(len - 5).unwrap();
+
+    let (s, report) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts(0)).unwrap();
+    // Five records were journaled (`commit-transaction` signals are
+    // records too); only the `b` signalled after the torn fence sits in
+    // the never-opened epoch and is dropped.
+    assert_eq!(report.journal_records, 4, "the post-torn-fence event is dropped, nothing else");
+    assert!(report.truncated_bytes > 0, "the torn fence counts as truncated");
+    // The surviving prefix still detects: a fresh `b` completes `ab` with
+    // the second (kept) `a` initiator.
+    s.serve_handle().signal("b", vec![(Arc::from("x"), Value::Int(9))], None);
+    assert_eq!(hits(&s).get("r_recent").copied().unwrap_or(0), 1);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Satellite (a) regression: replay must leave the logical clock *past*

@@ -279,7 +279,10 @@ mod durable_faults {
         DurableOptions {
             fsync: FsyncPolicy::Always,
             segment_bytes: 4 * 1024 * 1024, // one segment: tail faults hit live records
-            checkpoint_every: 4,
+            // Cadence checkpoints are asynchronous (nondeterministic
+            // tags), so fault tests cut them explicitly where needed.
+            checkpoint_every: 0,
+            ..DurableOptions::default()
         }
     }
 
@@ -332,7 +335,7 @@ mod durable_faults {
     fn bit_flipped_journal_tail_is_truncated() {
         let dir = tmp("bitflip");
         seed(&dir, 10);
-        let seg = newest(&dir, "events-", ".seg");
+        let seg = newest(&dir, "shard-", ".seg");
         let mut bytes = std::fs::read(&seg).unwrap();
         let last = bytes.len() - 3;
         bytes[last] ^= 0x20;
@@ -353,7 +356,7 @@ mod durable_faults {
     fn journal_truncated_mid_record_resumes() {
         let dir = tmp("midrec");
         seed(&dir, 10);
-        let seg = newest(&dir, "events-", ".seg");
+        let seg = newest(&dir, "shard-", ".seg");
         let bytes = std::fs::read(&seg).unwrap();
         // Chop inside the final record: drop its last two bytes.
         std::fs::write(&seg, &bytes[..bytes.len() - 2]).unwrap();
@@ -376,7 +379,30 @@ mod durable_faults {
     #[test]
     fn corrupt_newest_checkpoint_falls_back_to_previous() {
         let dir = tmp("ckptfall");
-        seed(&dir, 12); // checkpoints at records 4, 8 and 12
+        // Seed like `seed(&dir, 12)` but cut explicit checkpoints at
+        // records 8 and 12 (the automatic cadence is asynchronous, so its
+        // tags would be timing-dependent).
+        {
+            let (s, _) = Sentinel::open_durable(&dir, SentinelConfig::default(), opts()).unwrap();
+            s.declare_explicit("a").unwrap();
+            s.declare_explicit("b").unwrap();
+            s.define_event("ab", "(a ; b)").unwrap();
+            s.define_rule_spec(&json::Value::obj([
+                ("name", json::Value::str("watch")),
+                ("event", json::Value::str("ab")),
+                ("action", json::Value::obj([("action", json::Value::str("count"))])),
+            ]))
+            .unwrap();
+            let h = s.serve_handle();
+            for i in 0..12u64 {
+                let name = if i % 2 == 0 { "a" } else { "b" };
+                h.signal(name, vec![(Arc::from("x"), Value::Int(i as i64))], None);
+                if i == 7 || i == 11 {
+                    s.checkpoint_now().unwrap();
+                }
+            }
+            h.signal("a", vec![(Arc::from("x"), Value::Int(777))], None);
+        }
         let ck = newest(&dir, "ckpt-", ".ck");
         let mut bytes = std::fs::read(&ck).unwrap();
         let last = bytes.len() - 1;
