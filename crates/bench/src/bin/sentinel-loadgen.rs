@@ -176,6 +176,58 @@ fn stat_u64(stats: &json::Value, path: &[&str]) -> u64 {
     v.as_u64().unwrap_or(0)
 }
 
+/// Values of every point in a scraped time-series ring, oldest first.
+fn series_values(series: &json::Value, name: &str) -> Vec<u64> {
+    let Some(points) = series.get(name).and_then(|s| s.get("points")).and_then(|p| p.as_arr())
+    else {
+        return Vec::new();
+    };
+    points.iter().filter_map(|p| p.as_arr()?.get(1)?.as_u64()).collect()
+}
+
+/// Final telemetry snapshot for the TCP bench line, folded from one
+/// `MetricsScrape`: per-shard queue-depth p99 over the ring's points and
+/// the newest fsync (group-commit flush) p99 gauge. `Null` when the
+/// server runs with `--no-telemetry` or predates the scrape opcode.
+fn scrape_telemetry(admin: &SentinelClient) -> json::Value {
+    let Ok(scrape) = admin.metrics_scrape() else { return json::Value::Null };
+    let telemetry = scrape.get("telemetry").cloned().unwrap_or(json::Value::Null);
+    if telemetry == json::Value::Null {
+        return json::Value::Null;
+    }
+    let series = telemetry.get("series").cloned().unwrap_or(json::Value::Null);
+    let mut shards: Vec<u64> = match &series {
+        json::Value::Obj(pairs) => pairs
+            .iter()
+            .filter_map(|(name, _)| {
+                name.strip_prefix("detector.shard.")?.strip_suffix(".queue_depth")?.parse().ok()
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    shards.sort_unstable();
+    shards.dedup();
+    let shard_queue = json::Value::Arr(
+        shards
+            .into_iter()
+            .map(|shard| {
+                let values = series_values(&series, &format!("detector.shard.{shard}.queue_depth"));
+                let max = values.iter().copied().max().unwrap_or(0);
+                json::Value::obj([
+                    ("shard", json::Value::UInt(shard)),
+                    ("queue_depth_p99", json::Value::UInt(samples_p99(values))),
+                    ("queue_depth_max", json::Value::UInt(max)),
+                ])
+            })
+            .collect(),
+    );
+    let fsync_p99 = series_values(&series, "durability.fsync_p99_ns")
+        .last()
+        .copied()
+        .map_or(json::Value::Null, json::Value::UInt);
+    json::Value::obj([("shard_queue", shard_queue), ("fsync_p99_ns", fsync_p99)])
+}
+
 /// Signals one event, retrying while the server reports backpressure.
 fn signal_retry(
     client: &SentinelClient,
@@ -210,6 +262,24 @@ struct SweepRun {
     p50_us: f64,
     p95_us: f64,
     p99_us: f64,
+    /// Final telemetry snapshot for this run: per-shard queue-depth p99
+    /// (sampled every [`QUEUE_SAMPLE_INTERVAL`] while the run drains),
+    /// pool drain p99, and — when durable — the fsync/group-commit flush
+    /// p99.
+    telemetry: json::Value,
+}
+
+/// How often the sweep's sampler thread polls per-shard queue depths.
+const QUEUE_SAMPLE_INTERVAL: Duration = Duration::from_millis(5);
+
+/// p99 over raw gauge samples (nearest-rank; 0 when empty).
+fn samples_p99(mut samples: Vec<u64>) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((0.99 * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
 }
 
 /// Builds the sweep graph: `components` disjoint operator-DAG components,
@@ -246,7 +316,7 @@ fn run_sweep_once(args: &Args, workers: usize) -> SweepRun {
     // `--durable-dir`: journal this run through the sharded durable engine
     // (fresh subdirectory per worker count so every run recovers nothing
     // and measures steady-state appends, not replay).
-    let _engine = args.durable_dir.as_ref().map(|dir| {
+    let engine = args.durable_dir.as_ref().map(|dir| {
         let sub = dir.join(format!("w{workers}"));
         let _ = std::fs::remove_dir_all(&sub);
         let opts = DurableOptions {
@@ -259,7 +329,27 @@ fn run_sweep_once(args: &Args, workers: usize) -> SweepRun {
         det.set_event_sink(Arc::new(JournalSink::new(engine.clone())));
         engine
     });
-    let pool = DetectorPool::spawn(det, workers);
+    let pool = DetectorPool::spawn(Arc::clone(&det), workers);
+    // Telemetry sampler: polls per-shard queue depths while the run
+    // drains, so the report carries queue-pressure percentiles rather
+    // than a single end-of-run reading (which is always zero after the
+    // barrier).
+    let sampler_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let det = Arc::clone(&det);
+        let stop = Arc::clone(&sampler_stop);
+        std::thread::spawn(move || {
+            let mut depths: std::collections::BTreeMap<u32, Vec<u64>> =
+                std::collections::BTreeMap::new();
+            while !stop.load(Ordering::Relaxed) {
+                for shard in det.stats().shards {
+                    depths.entry(shard.shard).or_default().push(shard.queue_depth);
+                }
+                std::thread::sleep(QUEUE_SAMPLE_INTERVAL);
+            }
+            depths
+        })
+    };
     let signals = (args.components * args.pairs * 2) as u64;
     // Per-request latency: submit → detection-done callback, recorded as
     // exact samples (the open-loop feeders flood the queues, so latency
@@ -309,6 +399,39 @@ fn run_sweep_once(args: &Args, workers: usize) -> SweepRun {
     pool.barrier(|_| {});
     let elapsed = t0.elapsed();
 
+    sampler_stop.store(true, Ordering::Relaxed);
+    let queue_samples = sampler.join().expect("sampler thread");
+    let shard_queue_p99 = json::Value::Arr(
+        queue_samples
+            .into_iter()
+            .map(|(shard, samples)| {
+                let max = samples.iter().copied().max().unwrap_or(0);
+                json::Value::obj([
+                    ("shard", json::Value::UInt(u64::from(shard))),
+                    ("queue_depth_p99", json::Value::UInt(samples_p99(samples))),
+                    ("queue_depth_max", json::Value::UInt(max)),
+                ])
+            })
+            .collect(),
+    );
+    let drain_p99_ns = pool.metrics().drain_latency_ns.snapshot().p99_ns();
+    let telemetry = json::Value::obj([
+        ("shard_queue", shard_queue_p99),
+        ("drain_p99_ns", json::Value::UInt(drain_p99_ns)),
+        (
+            "fsync_p99_ns",
+            engine.as_ref().map_or(json::Value::Null, |e| {
+                json::Value::UInt(e.metrics().group_commit_flush.snapshot().p99_ns())
+            }),
+        ),
+        (
+            "group_commits",
+            engine
+                .as_ref()
+                .map_or(json::Value::Null, |e| json::Value::UInt(e.metrics().group_commits.get())),
+        ),
+    ]);
+
     let detections = pool.detections().try_iter().count() as u64;
     let mut samples = std::mem::take(&mut *lat.lock().unwrap());
     samples.sort_unstable();
@@ -329,6 +452,7 @@ fn run_sweep_once(args: &Args, workers: usize) -> SweepRun {
         p50_us: pct(0.50),
         p95_us: pct(0.95),
         p99_us: pct(0.99),
+        telemetry,
     }
 }
 
@@ -386,6 +510,7 @@ fn run_sweep(args: &Args) -> ! {
                             ("p50_us", json::Value::Float(r.p50_us)),
                             ("p95_us", json::Value::Float(r.p95_us)),
                             ("p99_us", json::Value::Float(r.p99_us)),
+                            ("telemetry", r.telemetry.clone()),
                         ])
                     })
                     .collect(),
@@ -556,6 +681,7 @@ fn main() {
         ("busy_retries", json::Value::UInt(busy.load(Ordering::Relaxed))),
         ("decode_errors", json::Value::UInt(decode_errors)),
         ("failed_clients", json::Value::UInt(failed)),
+        ("telemetry", scrape_telemetry(&admin)),
     ]);
     println!("bench{line}");
 

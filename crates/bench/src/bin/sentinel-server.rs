@@ -29,6 +29,10 @@
 //!   --group-bytes <N>       force a group commit once N payload bytes
 //!                           are pending, regardless of the fsync policy
 //!                           (default 0 — disabled)
+//!   --no-telemetry          disable the 1 s time-series sampler (on by
+//!                           default; scraped via the MetricsScrape
+//!                           opcode or HTTP GET /metrics on the same
+//!                           port)
 //! ```
 //!
 //! The process serves until a client sends a `Shutdown` frame (e.g.
@@ -49,6 +53,7 @@ use sentinel_net::{NetServer, ServerConfig};
 struct Args {
     cfg: ServerConfig,
     tracing: bool,
+    telemetry: bool,
     data_dir: Option<PathBuf>,
     durable: DurableOptions,
 }
@@ -71,6 +76,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         cfg: ServerConfig::default(),
         tracing: false,
+        telemetry: true,
         data_dir: None,
         durable: DurableOptions::default(),
     };
@@ -102,6 +108,7 @@ fn parse_args() -> Args {
                     value("--detector-threads").parse().expect("--detector-threads <N>");
             }
             "--tracing" => args.tracing = true,
+            "--no-telemetry" => args.telemetry = false,
             "--data-dir" => args.data_dir = Some(PathBuf::from(value("--data-dir"))),
             "--fsync" => args.durable.fsync = parse_fsync(&value("--fsync")),
             "--checkpoint-every" => {
@@ -122,7 +129,7 @@ fn parse_args() -> Args {
                      [--global-inflight N] [--session-inflight N] \
                      [--detector-threads N] [--tracing] [--data-dir DIR] \
                      [--fsync always|never|every=N] [--checkpoint-every N] \
-                     [--group-window-us N] [--group-bytes N]"
+                     [--group-window-us N] [--group-bytes N] [--no-telemetry]"
                 );
                 std::process::exit(0);
             }
@@ -137,16 +144,29 @@ fn parse_args() -> Args {
 
 fn open_sentinel(args: &Args) -> Arc<Sentinel> {
     let Some(dir) = &args.data_dir else { return Sentinel::in_memory() };
+    // On panic, dump the flight-recorder ring next to the journal so the
+    // post-mortem has the process's final seconds.
+    sentinel_core::obs::flight::install_panic_hook(
+        dir.join(sentinel_core::obs::flight::FLIGHT_RECORDER_FILE),
+    );
     match Sentinel::open_durable(dir, SentinelConfig::default(), args.durable) {
         Ok((sentinel, report)) => {
+            let p = &report.phases;
             println!(
                 "recovered {} catalog ops, checkpoint {}, {} replayed of {} journal records \
-                 ({} bytes truncated)",
+                 ({} bytes truncated) [phases us: fence_repair={} stream_merge={} \
+                 snapshot_restore={} catalog_interleave={} replay={} total={}]",
                 report.catalog_ops,
                 report.checkpoint_tag.map_or_else(|| "none".to_string(), |t| t.to_string()),
                 report.replayed_records,
                 report.journal_records,
                 report.truncated_bytes,
+                p.fence_repair_us,
+                p.stream_merge_us,
+                p.snapshot_restore_us,
+                p.catalog_interleave_us,
+                p.replay_us,
+                p.total_us,
             );
             sentinel
         }
@@ -161,6 +181,11 @@ fn main() {
     let args = parse_args();
     let sentinel = open_sentinel(&args);
     sentinel.set_tracing(args.tracing);
+    if args.telemetry {
+        // Before NetServer::start, so the net/service sources register
+        // into the same registry.
+        sentinel.start_telemetry_default();
+    }
     let server = match NetServer::start(sentinel.serve_handle(), args.cfg) {
         Ok(s) => s,
         Err(e) => {

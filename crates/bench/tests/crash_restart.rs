@@ -148,6 +148,28 @@ fn sigkill_parallel_durable_server_recovers_every_shard() {
         Some(COMPONENTS as u64),
         "every shard's stream recovered: {report}"
     );
+
+    // The committer kept `flight-recorder.json` fresh while incarnation 1
+    // ran, so the SIGKILLed process left its final seconds on disk and
+    // recovery folded them into the report: signal entries labelled with
+    // the pre-crash workload's event names.
+    let flight = report.get("flight_recorder").expect("report carries the flight recorder");
+    assert_ne!(*flight, json::Value::Null, "flight-recorder section survived the SIGKILL");
+    let events = flight.get("events").and_then(json::Value::as_arr).expect("events array");
+    assert!(!events.is_empty(), "flight recorder captured pre-crash events");
+    let signal_labels: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("kind").and_then(json::Value::as_str) == Some("signal"))
+        .filter_map(|e| e.get("label").and_then(json::Value::as_str))
+        .collect();
+    assert!(!signal_labels.is_empty(), "flight recorder captured pre-crash signals: {flight}");
+    let expected: Vec<String> = (0..COMPONENTS).map(|i| format!("a{i}")).collect();
+    for label in &signal_labels {
+        assert!(
+            expected.iter().any(|e| e == label),
+            "flight signal {label} matches the pre-crash workload"
+        );
+    }
     for i in 0..COMPONENTS {
         let dets = client
             .signal_sync(&format!("b{i}"), &[(Arc::from("sku"), (100 + i as i64).into())], None)

@@ -39,6 +39,7 @@
 
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 use sentinel_detector::clock::Timestamp;
 use sentinel_detector::graph::PrimTarget;
@@ -47,6 +48,7 @@ use sentinel_detector::{
     EventSink, FenceKind, LocalEventDetector, Occurrence, Value as EventValue,
 };
 use sentinel_durable::{CatalogOp, DurableEngine, DurableOptions, Recovery};
+use sentinel_obs::flight::{self, FlightKind};
 use sentinel_obs::{json, RecoveryReport};
 use sentinel_oodb::schema::{AttrType, ClassDef};
 use sentinel_rules::manager::RuleOptions;
@@ -223,14 +225,25 @@ impl Sentinel {
         config: SentinelConfig,
         opts: DurableOptions,
     ) -> SentinelResult<(Arc<Sentinel>, RecoveryReport)> {
+        let t_total = Instant::now();
+        // Capture the previous incarnation's flight-recorder dump *before*
+        // anything in this process can overwrite it: merged into the
+        // recovery report, it is the post-mortem of the crash's final
+        // seconds (what the ring held when the committer last refreshed
+        // the dump).
+        let prior_flight = std::fs::read_to_string(dir.join(flight::FLIGHT_RECORDER_FILE))
+            .ok()
+            .and_then(|s| json::Value::parse(&s).ok());
         let (engine, recovery) = DurableEngine::open(dir, opts)?;
         let Recovery { catalog_ops, checkpoints, events, fences, v1_records, mut report } =
             recovery;
+        report.flight_recorder = prior_flight;
 
         // Pick the newest checkpoint that (a) is covered by the surviving
         // journal, (b) whose catalog prefix applies cleanly, and (c) that
         // validates against the rebuilt graph. Each failure falls back to
         // the next older checkpoint — a longer replay, never a panic.
+        let t_restore = Instant::now();
         let mut restored: Option<(Arc<Sentinel>, u64, usize)> = None;
         for (tag, snap) in &checkpoints {
             if *tag > events.len() as u64 {
@@ -260,6 +273,7 @@ impl Sentinel {
             Some(r) => r,
             None => (Sentinel::open(Arc::new(StorageEngine::in_memory()), config.clone())?, 0, 0),
         };
+        report.phases.snapshot_restore_us = t_restore.elapsed().as_micros() as u64;
 
         // Replay the suffix, interleaving catalog ops and fences at their
         // recorded positions: an op stamped `at_index = i` (or a fence at
@@ -268,13 +282,17 @@ impl Sentinel {
         // (flush a txn with no occurrences buffered after the snapshot,
         // advance an already-advanced clock) are idempotent, and skipping
         // one that ran *after* the snapshot would diverge.
+        let t_replay = Instant::now();
+        let mut catalog_us = 0u64;
         let mut fcursor = 0usize;
         while fcursor < fences.len() && fences[fcursor].0 < start {
             fcursor += 1;
         }
         for (i, ev) in events.iter().enumerate().skip(start as usize) {
             while cursor < catalog_ops.len() && catalog_ops[cursor].0 <= i as u64 {
+                let t_op = Instant::now();
                 sentinel.apply_catalog_op(&catalog_ops[cursor].1)?;
+                catalog_us += t_op.elapsed().as_micros() as u64;
                 cursor += 1;
             }
             while fcursor < fences.len() && fences[fcursor].0 <= i as u64 {
@@ -293,13 +311,18 @@ impl Sentinel {
             }
         }
         while cursor < catalog_ops.len() {
+            let t_op = Instant::now();
             sentinel.apply_catalog_op(&catalog_ops[cursor].1)?;
+            catalog_us += t_op.elapsed().as_micros() as u64;
             cursor += 1;
         }
         while fcursor < fences.len() {
             sentinel.apply_fence(fences[fcursor].1);
             fcursor += 1;
         }
+        report.phases.catalog_interleave_us = catalog_us;
+        report.phases.replay_us =
+            (t_replay.elapsed().as_micros() as u64).saturating_sub(catalog_us);
 
         // Resync the logical clock past every tick the pre-crash system
         // issued. Replay advances it past replayed event timestamps, but
@@ -342,6 +365,13 @@ impl Sentinel {
             }
         }));
         *sentinel.durable.lock() = Some(engine.clone());
+        report.phases.total_us = t_total.elapsed().as_micros() as u64;
+        flight::global().record_static(
+            FlightKind::Recovery,
+            "open_durable",
+            report.replayed_records,
+            report.checkpoint_tag.unwrap_or(0),
+        );
         let _ = engine.write_report(&report);
         Ok((sentinel, report))
     }

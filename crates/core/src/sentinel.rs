@@ -213,6 +213,9 @@ pub struct Sentinel {
     pub(crate) rule_hits: Arc<Mutex<BTreeMap<String, u64>>>,
     /// Rendered parameters of each catalog rule's most recent firing.
     pub(crate) rule_last: Arc<Mutex<BTreeMap<String, String>>>,
+    /// Live time-series registry plus its sampler thread, when
+    /// [`Sentinel::start_telemetry`] is on.
+    pub(crate) telemetry: Mutex<crate::telemetry::TelemetrySlot>,
 }
 
 impl Sentinel {
@@ -300,6 +303,7 @@ impl Sentinel {
             durable: Mutex::new(None),
             rule_hits: Arc::new(Mutex::new(BTreeMap::new())),
             rule_last: Arc::new(Mutex::new(BTreeMap::new())),
+            telemetry: Mutex::new(None),
         });
         if config.detached_executor {
             sentinel.spawn_detached_executor();
@@ -660,6 +664,20 @@ impl ServeHandle {
     /// [`Sentinel::stats`] rendered as JSON, ready to frame.
     pub fn stats_json(&self) -> json::Value {
         self.inner.stats().to_json()
+    }
+
+    /// The `MetricsScrape` payload: the Prometheus exposition text plus
+    /// the time-series ring snapshot (`Null` when telemetry is off).
+    pub fn metrics_json(&self) -> json::Value {
+        json::Value::obj([
+            ("prom", json::Value::str(self.inner.prom_text())),
+            ("telemetry", self.inner.telemetry_json()),
+        ])
+    }
+
+    /// The Prometheus exposition text alone (the HTTP `/metrics` body).
+    pub fn prom_text(&self) -> String {
+        self.inner.prom_text()
     }
 
     /// Per-trace roll-ups ([`TraceStore::trace_summaries`]) as a JSON

@@ -1,0 +1,268 @@
+//! Live telemetry: wires every subsystem's counters into a
+//! [`TimeSeriesRegistry`] and renders the combined state as a
+//! Prometheus-style exposition document.
+//!
+//! [`Sentinel::start_telemetry`] registers one [`SampleSource`] closure
+//! that snapshots [`Sentinel::stats`] once per tick and fans the reading
+//! out into named series (see [`collect_samples`] for the schema). The
+//! hot paths are untouched — signalling threads keep bumping their
+//! relaxed atomics; the sampler thread pays for the stats pass once per
+//! resolution interval, and a scrape pays for it once per request.
+//!
+//! Series naming (the scrape schema, also documented in DESIGN.md):
+//!
+//! | series                              | kind    | meaning |
+//! |-------------------------------------|---------|---------|
+//! | `detector.signals`                  | counter | primitive signals accepted |
+//! | `detector.shard.<i>.signals`        | counter | signals processed by shard *i* |
+//! | `detector.shard.<i>.contention`     | counter | order-lock contention on shard *i* |
+//! | `detector.shard.<i>.queue_depth`    | gauge   | queued, undrained signals for shard *i* |
+//! | `scheduler.fired`                   | counter | rules dispatched (all couplings) |
+//! | `scheduler.condition_p99_ns`        | gauge   | condition wall-time p99 |
+//! | `scheduler.action_p99_ns`           | gauge   | action wall-time p99 |
+//! | `rule.<name>.hits`                  | counter | dispatches of one named rule |
+//! | `durability.journal_appends`        | counter | journal records appended |
+//! | `durability.fsyncs`                 | counter | journal fsyncs issued |
+//! | `durability.group_commits`          | counter | group commits performed |
+//! | `durability.checkpoints`            | counter | checkpoints written |
+//! | `durability.fsync_p99_ns`           | gauge   | group-commit flush p99 |
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sentinel_obs::timeseries::{
+    Sample, SampleSource, SamplerHandle, TimeSeriesRegistry, DEFAULT_CAPACITY, DEFAULT_RESOLUTION,
+};
+use sentinel_obs::{json, PromText};
+
+use crate::sentinel::{Sentinel, SentinelStats};
+
+/// Fans one [`SentinelStats`] snapshot out into the named series listed
+/// in the module docs. Public so the load generator can drive a local
+/// registry at its own (finer) resolution.
+pub fn collect_samples(stats: &SentinelStats, out: &mut Vec<Sample>) {
+    out.push(Sample::counter("detector.signals", stats.detector.signals));
+    for s in &stats.detector.shards {
+        let base = format!("detector.shard.{}", s.shard);
+        out.push(Sample::counter(format!("{base}.signals"), s.signals));
+        out.push(Sample::counter(format!("{base}.contention"), s.contention));
+        out.push(Sample::gauge(format!("{base}.queue_depth"), s.queue_depth));
+    }
+    let fired = stats.scheduler.fired_immediate
+        + stats.scheduler.fired_deferred
+        + stats.scheduler.queued_detached;
+    out.push(Sample::counter("scheduler.fired", fired));
+    out.push(Sample::gauge("scheduler.condition_p99_ns", stats.scheduler.condition.p99_ns()));
+    out.push(Sample::gauge("scheduler.action_p99_ns", stats.scheduler.action.p99_ns()));
+    for (rule, hits) in &stats.scheduler.per_rule {
+        out.push(Sample::counter(format!("rule.{rule}.hits"), *hits));
+    }
+    if let Some(d) = &stats.durability {
+        out.push(Sample::counter("durability.journal_appends", d.journal_appends));
+        out.push(Sample::counter("durability.fsyncs", d.journal_fsyncs));
+        out.push(Sample::counter("durability.group_commits", d.group_commits));
+        out.push(Sample::counter("durability.checkpoints", d.checkpoints));
+        out.push(Sample::gauge("durability.fsync_p99_ns", d.group_commit_flush.p99_ns()));
+    }
+}
+
+/// Renders one [`SentinelStats`] snapshot as a Prometheus exposition
+/// document (text format 0.0.4, ns units).
+pub fn render_prom(stats: &SentinelStats) -> String {
+    let mut w = PromText::new();
+    w.counter(
+        "sentinel_signals_total",
+        "Primitive event signals accepted",
+        &[],
+        stats.detector.signals,
+    );
+    for s in &stats.detector.shards {
+        let shard = s.shard.to_string();
+        let labels = [("shard", shard.as_str())];
+        w.counter(
+            "sentinel_detector_shard_signals_total",
+            "Signals processed per detector shard",
+            &labels,
+            s.signals,
+        );
+        w.counter(
+            "sentinel_detector_shard_contention_total",
+            "Order-lock contention per detector shard",
+            &labels,
+            s.contention,
+        );
+        w.gauge(
+            "sentinel_detector_shard_queue_depth",
+            "Queued, undrained signals per detector shard",
+            &labels,
+            s.queue_depth,
+        );
+    }
+    for (coupling, n) in [
+        ("immediate", stats.scheduler.fired_immediate),
+        ("deferred", stats.scheduler.fired_deferred),
+        ("detached", stats.scheduler.queued_detached),
+    ] {
+        w.counter(
+            "sentinel_rules_fired_total",
+            "Rules dispatched by coupling mode",
+            &[("coupling", coupling)],
+            n,
+        );
+    }
+    for (rule, hits) in &stats.scheduler.per_rule {
+        w.counter(
+            "sentinel_rule_fired_total",
+            "Dispatches per rule",
+            &[("rule", rule.as_ref())],
+            *hits,
+        );
+    }
+    w.histogram(
+        "sentinel_rule_condition_ns",
+        "Rule condition wall time",
+        &[],
+        &stats.scheduler.condition,
+    );
+    w.histogram("sentinel_rule_action_ns", "Rule action wall time", &[], &stats.scheduler.action);
+    if let Some(d) = &stats.durability {
+        w.counter(
+            "sentinel_journal_appends_total",
+            "Journal records appended",
+            &[],
+            d.journal_appends,
+        );
+        w.counter("sentinel_journal_fsyncs_total", "Journal fsyncs issued", &[], d.journal_fsyncs);
+        w.counter("sentinel_group_commits_total", "Group commits performed", &[], d.group_commits);
+        w.counter("sentinel_checkpoints_total", "Checkpoints written", &[], d.checkpoints);
+        w.histogram(
+            "sentinel_group_commit_flush_ns",
+            "Group-commit flush wall time",
+            &[],
+            &d.group_commit_flush,
+        );
+        w.histogram(
+            "sentinel_checkpoint_duration_ns",
+            "Checkpoint write wall time",
+            &[],
+            &d.checkpoint_duration,
+        );
+    }
+    w.finish()
+}
+
+impl Sentinel {
+    /// Starts the telemetry sampler over this system: a
+    /// [`TimeSeriesRegistry`] fed by a once-per-tick [`Sentinel::stats`]
+    /// pass (see [`collect_samples`] for the series schema). Idempotent —
+    /// a second call returns the existing registry. The sampler holds
+    /// only a weak reference, so telemetry never keeps a dropped system
+    /// alive.
+    pub fn start_telemetry(
+        self: &Arc<Self>,
+        resolution: Duration,
+        capacity: usize,
+    ) -> Arc<TimeSeriesRegistry> {
+        let mut slot = self.telemetry.lock();
+        if let Some((registry, _)) = slot.as_ref() {
+            return registry.clone();
+        }
+        let registry = TimeSeriesRegistry::new(resolution, capacity);
+        let weak = Arc::downgrade(self);
+        let source: Arc<dyn SampleSource> = Arc::new(move |out: &mut Vec<Sample>| {
+            if let Some(s) = weak.upgrade() {
+                collect_samples(&s.stats(), out);
+            }
+        });
+        registry.register(source);
+        let sampler = registry.start_sampler();
+        *slot = Some((registry.clone(), sampler));
+        registry
+    }
+
+    /// [`Sentinel::start_telemetry`] with the default 1 s × 15 min
+    /// retention.
+    pub fn start_telemetry_default(self: &Arc<Self>) -> Arc<TimeSeriesRegistry> {
+        self.start_telemetry(DEFAULT_RESOLUTION, DEFAULT_CAPACITY)
+    }
+
+    /// The telemetry registry, when the sampler is running.
+    pub fn telemetry(&self) -> Option<Arc<TimeSeriesRegistry>> {
+        self.telemetry.lock().as_ref().map(|(r, _)| r.clone())
+    }
+
+    /// Stops the sampler thread and drops the registry.
+    pub fn stop_telemetry(&self) {
+        *self.telemetry.lock() = None;
+    }
+
+    /// The registry's ring buffers in the scrape JSON schema (`Null`
+    /// when telemetry is off).
+    pub fn telemetry_json(&self) -> json::Value {
+        self.telemetry().map_or(json::Value::Null, |r| r.to_json())
+    }
+
+    /// The current stats snapshot as Prometheus exposition text.
+    pub fn prom_text(&self) -> String {
+        render_prom(&self.stats())
+    }
+}
+
+/// Keeps `Sentinel`'s private field type out of the struct definition's
+/// way: the registry plus its sampler handle (dropping the pair stops
+/// the thread).
+pub(crate) type TelemetrySlot = Option<(Arc<TimeSeriesRegistry>, SamplerHandle)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_names(stats: &SentinelStats) -> Vec<String> {
+        let mut out = Vec::new();
+        collect_samples(stats, &mut out);
+        out.into_iter().map(|s| s.series).collect()
+    }
+
+    #[test]
+    fn samples_cover_detector_scheduler_and_rules() {
+        let s = Sentinel::in_memory();
+        s.declare_explicit("tick").unwrap();
+        s.define_rule("r1", "tick", Arc::new(|_| true), Arc::new(|_| {}), Default::default())
+            .unwrap();
+        s.raise(None, "tick", vec![]).unwrap();
+        let names = sample_names(&s.stats());
+        assert!(names.iter().any(|n| n == "detector.signals"));
+        assert!(names.iter().any(|n| n == "scheduler.fired"));
+        assert!(names.iter().any(|n| n == "rule.r1.hits"));
+        assert!(names.iter().any(|n| n.starts_with("detector.shard.")));
+    }
+
+    #[test]
+    fn start_telemetry_is_idempotent_and_samples_series() {
+        let s = Sentinel::in_memory();
+        let reg = s.start_telemetry(Duration::from_secs(3600), 16);
+        let again = s.start_telemetry(Duration::from_secs(1), 8);
+        assert!(Arc::ptr_eq(&reg, &again), "second start returns the same registry");
+        s.declare_explicit("tick").unwrap();
+        s.raise(None, "tick", vec![]).unwrap();
+        reg.sample_at(100);
+        reg.sample_at(101);
+        let points = reg.series_points("detector.signals");
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].1, 0, "no signals between ticks 100 and 101");
+        s.stop_telemetry();
+        assert!(s.telemetry().is_none());
+    }
+
+    #[test]
+    fn prom_text_has_the_core_families() {
+        let s = Sentinel::in_memory();
+        s.declare_explicit("tick").unwrap();
+        s.raise(None, "tick", vec![]).unwrap();
+        let text = s.prom_text();
+        assert!(text.contains("# TYPE sentinel_signals_total counter"));
+        assert!(text.contains("sentinel_signals_total 1"));
+        assert!(text.contains("# TYPE sentinel_rule_condition_ns histogram"));
+        assert!(text.contains("sentinel_rules_fired_total{coupling=\"immediate\"}"));
+    }
+}

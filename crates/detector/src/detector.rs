@@ -533,6 +533,17 @@ impl LocalEventDetector {
     /// [`Self::sync_shards`] calls with the graph write lock held (which
     /// equally excludes every signal).
     fn cut_fence(&self, kind: FenceKind) {
+        let (label, arg) = match kind {
+            FenceKind::Barrier => ("barrier", 0),
+            FenceKind::FlushTxn(txn) => ("flush_txn", txn),
+            FenceKind::AdvanceTime(to) => ("advance_time", to),
+        };
+        sentinel_obs::flight::global().record_static(
+            sentinel_obs::flight::FlightKind::Fence,
+            label,
+            self.clock.peek(),
+            arg,
+        );
         // Clone the Arc out so the sink lock is not held across the call.
         let sink = self.sink.read().clone();
         if let Some(sink) = sink {
@@ -1540,6 +1551,21 @@ impl LocalEventDetector {
     }
 
     fn record(&self, shard: u32, ev: LoggedEvent) {
+        // Flight-record the accepted signal before the sink call: a sink
+        // may block on a group commit, and the committer's dump should
+        // already see this entry.
+        {
+            let name = match &ev {
+                LoggedEvent::Explicit { name, .. } => name.as_str(),
+                LoggedEvent::Method { class, .. } => class.as_str(),
+            };
+            sentinel_obs::flight::global().record(
+                sentinel_obs::flight::FlightKind::Signal,
+                Arc::from(name),
+                ev.ts(),
+                ev.txn().unwrap_or(0),
+            );
+        }
         if let Some(log) = self.log.lock().as_mut() {
             log.push(ev.clone());
         }

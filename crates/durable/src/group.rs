@@ -135,16 +135,26 @@ impl CommitterConfig {
     }
 }
 
+/// How often the committer refreshes the on-disk flight-recorder dump at
+/// most. The dump is a bounded JSON write off the append path; the
+/// throttle keeps it from turning every group commit into a file write
+/// under fsync-per-append workloads.
+const FLIGHT_DUMP_THROTTLE: Duration = Duration::from_millis(25);
+
 /// The committer loop body; run on a dedicated thread. Exits when
 /// [`GroupCommit::shutdown`] fires — deliberately *without* a final
 /// sync, so dropping an engine keeps crash semantics (what the policy
-/// left unsynced stays unsynced).
+/// left unsynced stays unsynced). As a side duty the committer keeps the
+/// flight-recorder dump in `flight_dump` fresh (time-throttled), so a
+/// SIGKILL post-mortem finds the ring at most a throttle window stale.
 pub fn committer_loop(
     journal: Arc<ShardedJournal>,
     gc: Arc<GroupCommit>,
     metrics: Arc<DurabilityMetrics>,
     cfg: CommitterConfig,
+    flight_dump: std::path::PathBuf,
 ) {
+    let mut last_flight_dump: Option<std::time::Instant> = None;
     loop {
         // Wait for enough pending work (or shutdown).
         {
@@ -177,10 +187,19 @@ pub fn committer_loop(
         metrics.group_commit_flush.record(t0.elapsed().as_nanos() as u64);
         // Publish the watermark even if a sync errored — a hung appender
         // is worse than optimistic accounting on a dying disk.
-        let mut st = gc.state.lock();
-        if st.synced < target {
-            st.synced = target;
-            gc.synced.notify_all();
+        {
+            let mut st = gc.state.lock();
+            if st.synced < target {
+                st.synced = target;
+                gc.synced.notify_all();
+            }
+        }
+        // Waiters are released; refresh the flight-recorder dump off the
+        // ack path, at most once per throttle window.
+        if !last_flight_dump.is_some_and(|at| at.elapsed() < FLIGHT_DUMP_THROTTLE)
+            && sentinel_obs::flight::global().dump_if_dirty(&flight_dump).unwrap_or(false)
+        {
+            last_flight_dump = Some(std::time::Instant::now());
         }
     }
 }

@@ -60,6 +60,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use sentinel_detector::log::LoggedEvent;
 use sentinel_detector::{FenceKind, GraphSnapshot};
+use sentinel_obs::flight::{self, FlightKind};
 use sentinel_obs::{DurabilityMetrics, DurabilityStats, RecoveryReport};
 
 pub use catalog::{CatalogFile, CatalogOp};
@@ -215,7 +216,7 @@ impl DurableEngine {
         let fences: Vec<(u64, FenceKind)> =
             srec.fences.iter().map(|(pos, kind)| (pos + v1_records, *kind)).collect();
 
-        let report = RecoveryReport {
+        let mut report = RecoveryReport {
             catalog_ops: crec.ops.len() as u64,
             checkpoint_tag: None,
             checkpoints_scanned: ckpts.scanned,
@@ -225,7 +226,10 @@ impl DurableEngine {
             replayed_records: 0,
             truncated_bytes: v1.truncated_bytes + srec.truncated_bytes + crec.truncated_bytes,
             journal_fences: fences.len() as u64,
+            ..RecoveryReport::default()
         };
+        report.phases.fence_repair_us = srec.fence_repair_us;
+        report.phases.stream_merge_us = srec.stream_merge_us;
         let recovery = Recovery {
             catalog_ops: crec.ops,
             checkpoints: ckpts.checkpoints,
@@ -248,9 +252,10 @@ impl DurableEngine {
                 group_window_us: opts.group_window_us,
                 group_bytes: opts.group_bytes,
             };
+            let flight_dump = dir.join(flight::FLIGHT_RECORDER_FILE);
             std::thread::Builder::new()
                 .name("sentinel-committer".into())
-                .spawn(move || group::committer_loop(journal, gc, metrics, cfg))
+                .spawn(move || group::committer_loop(journal, gc, metrics, cfg, flight_dump))
                 .map_err(DurableError::Io)?
         };
         let checkpointer = {
@@ -377,6 +382,7 @@ impl DurableEngine {
                 self.metrics.checkpoint_bytes.add(bytes);
                 self.metrics.last_checkpoint_tag.set(tag);
                 self.metrics.checkpoint_duration.record_duration(started.elapsed());
+                flight::global().record_static(FlightKind::Checkpoint, "checkpoint", tag, bytes);
                 Ok(())
             }
             Err(e) => {
@@ -387,12 +393,14 @@ impl DurableEngine {
     }
 
     /// Forces every dirty journal stream to disk (the catalog and fence
-    /// log are always synced).
+    /// log are always synced). Also freshens the flight-recorder dump —
+    /// flush runs on graceful shutdown, where the ring should be current.
     pub fn flush(&self) -> Result<(), DurableError> {
         let target = self.gc.pending();
         let synced = self.journal.sync_dirty()?;
         self.metrics.journal_fsyncs.add(synced);
         self.gc.complete(target);
+        let _ = flight::global().dump_if_dirty(&self.dir.join(flight::FLIGHT_RECORDER_FILE));
         Ok(())
     }
 

@@ -117,6 +117,11 @@ pub struct ShardedRecovery {
     pub truncated_bytes: u64,
     /// The epoch new appends should use (= number of valid fences).
     pub next_epoch: u64,
+    /// Wall time spent repairing the fence log, µs.
+    pub fence_repair_us: u64,
+    /// Wall time spent scanning the streams and merging them into replay
+    /// order, µs.
+    pub stream_merge_us: u64,
 }
 
 /// One shard's open append stream.
@@ -271,11 +276,14 @@ impl ShardedJournal {
     /// log, and returns the merged recovery.
     pub fn open(dir: &Path, segment_bytes: u64) -> io::Result<(ShardedJournal, ShardedRecovery)> {
         let mut recovery = ShardedRecovery::default();
+        let t_fence = std::time::Instant::now();
         let (fence_writer, fence_list, fence_truncated) = FenceWriter::open(dir)?;
+        recovery.fence_repair_us = t_fence.elapsed().as_micros() as u64;
         recovery.truncated_bytes += fence_truncated;
         recovery.next_epoch = fence_list.len() as u64;
         let cutoff = recovery.next_epoch;
 
+        let t_merge = std::time::Instant::now();
         let mut records: Vec<RawRecord> = Vec::new();
         let mut streams = BTreeMap::new();
         for (shard, segs) in list_streams(dir)? {
@@ -315,6 +323,7 @@ impl ShardedJournal {
             })
             .collect();
         recovery.events = records.into_iter().map(|r| r.ev).collect();
+        recovery.stream_merge_us = t_merge.elapsed().as_micros() as u64;
 
         let journal = ShardedJournal {
             dir: dir.to_path_buf(),

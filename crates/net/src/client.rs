@@ -400,6 +400,12 @@ impl SentinelClient {
         self.request(Opcode::Stats, json::Value::Null)
     }
 
+    /// Fetches the live telemetry scrape: `{"prom": "<exposition
+    /// text>", "telemetry": {<time-series ring snapshot>}}`.
+    pub fn metrics_scrape(&self) -> Result<json::Value, ClientError> {
+        self.request(Opcode::MetricsScrape, json::Value::Null)
+    }
+
     /// Fetches per-trace roll-ups.
     pub fn trace_summaries(&self) -> Result<json::Value, ClientError> {
         self.request(Opcode::TraceSummaries, json::Value::Null)

@@ -35,7 +35,7 @@ pub const HEADER_LEN: usize = 16;
 /// rejected at decode time before any allocation of the stated size.
 pub const MAX_PAYLOAD: usize = 1 << 20;
 
-/// Frame opcodes. Requests occupy `0x01..=0x0E`; responses have the high
+/// Frame opcodes. Requests occupy `0x01..=0x0F`; responses have the high
 /// bit set (`0x80..`), so [`Opcode::is_response`] is one mask.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -71,6 +71,9 @@ pub enum Opcode {
     Ping = 0x0D,
     /// Ask the server to shut down gracefully (drains the detector).
     Shutdown = 0x0E,
+    /// Fetch the live telemetry scrape: `Ok {"prom": "<exposition
+    /// text>", "telemetry": {<time-series ring snapshot>}}`.
+    MetricsScrape = 0x0F,
     /// Success response; payload shape depends on the request.
     Ok = 0x80,
     /// Server-reported failure: `{"code", "message"}`.
@@ -82,7 +85,7 @@ pub enum Opcode {
 impl Opcode {
     /// Every opcode, requests then responses (used by the round-trip
     /// property tests).
-    pub const ALL: [Opcode; 17] = [
+    pub const ALL: [Opcode; 18] = [
         Opcode::Hello,
         Opcode::DefineClass,
         Opcode::DefineEvent,
@@ -97,6 +100,7 @@ impl Opcode {
         Opcode::ExportTrace,
         Opcode::Ping,
         Opcode::Shutdown,
+        Opcode::MetricsScrape,
         Opcode::Ok,
         Opcode::Err,
         Opcode::Busy,
@@ -400,6 +404,7 @@ mod tests {
     fn opcode_bytes_are_stable() {
         assert_eq!(Opcode::Hello as u8, 0x01);
         assert_eq!(Opcode::Shutdown as u8, 0x0E);
+        assert_eq!(Opcode::MetricsScrape as u8, 0x0F);
         assert_eq!(Opcode::Ok as u8, 0x80);
         assert!(Opcode::Busy.is_response());
         assert!(!Opcode::SignalSync.is_response());

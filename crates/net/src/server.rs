@@ -41,11 +41,13 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use sentinel_core::ServeHandle;
-use sentinel_detector::service::Signal;
+use sentinel_detector::service::{ServiceMetrics, Signal};
 use sentinel_detector::DetectorPool;
+use sentinel_obs::flight::{self, FlightKind};
 use sentinel_obs::span;
+use sentinel_obs::timeseries::Sample;
 use sentinel_obs::trace::Field;
-use sentinel_obs::{json, NetMetrics};
+use sentinel_obs::{json, NetMetrics, PromText};
 
 use crate::protocol::{self, Frame, Opcode, WireError};
 
@@ -109,6 +111,9 @@ struct State {
     inflight_sync: AtomicU64,
     next_session: AtomicU64,
     async_tx: Mutex<Option<Sender<AsyncJob>>>,
+    /// The detector pool's queue counters (depth, drain latency),
+    /// installed once the pool is spawned; scraped by `/metrics`.
+    service_metrics: Mutex<Option<Arc<ServiceMetrics>>>,
     /// Signals a client-requested shutdown to [`NetServer::wait_for_shutdown`].
     shutdown_tx: Sender<()>,
 }
@@ -140,11 +145,39 @@ impl NetServer {
             inflight_sync: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             async_tx: Mutex::new(Some(async_tx)),
+            service_metrics: Mutex::new(None),
             shutdown_tx,
         });
 
         let pool =
             DetectorPool::spawn(handle.sentinel().detector().clone(), state.cfg.detector_threads);
+        *state.service_metrics.lock() = Some(pool.metrics().clone());
+        // When the system's telemetry sampler is running, feed the net and
+        // service counters into the same registry. The source holds only a
+        // weak server reference — telemetry never keeps a dead server (or
+        // the sentinel ← handle cycle) alive.
+        if let Some(registry) = handle.sentinel().telemetry() {
+            let weak = Arc::downgrade(&state);
+            registry.register_fn(move |out| {
+                let Some(state) = weak.upgrade() else { return };
+                let m = &state.metrics;
+                out.push(Sample::counter("net.frames_in", m.frames_in.get()));
+                out.push(Sample::counter("net.frames_out", m.frames_out.get()));
+                out.push(Sample::counter("net.bytes_in", m.bytes_in.get()));
+                out.push(Sample::counter("net.bytes_out", m.bytes_out.get()));
+                out.push(Sample::counter("net.busy_rejections", m.busy_rejections.get()));
+                out.push(Sample::gauge("net.connections_active", m.connections_active.get()));
+                let svc = state.service_metrics.lock().clone();
+                if let Some(svc) = svc {
+                    out.push(Sample::gauge("service.queue_depth", svc.queue_depth.get()));
+                    out.push(Sample::counter("service.processed", svc.processed.get()));
+                    out.push(Sample::gauge(
+                        "service.drain_p99_ns",
+                        svc.drain_latency_ns.snapshot().p99_ns(),
+                    ));
+                }
+            });
+        }
         let pump_state = state.clone();
         let pump = std::thread::Builder::new()
             .name("sentinel-net-pump".into())
@@ -311,23 +344,39 @@ fn handle_conn(stream: &TcpStream, state: &Arc<State>) {
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     'conn: loop {
-        // Handle every complete frame already buffered.
-        loop {
-            match protocol::decode(&buf) {
-                Ok(Some((frame, used))) => {
-                    buf.drain(..used);
-                    state.metrics.frames_in.inc();
-                    if !handle_frame(stream, state, &mut session, frame) {
+        // A plain HTTP GET/HEAD (e.g. `curl /metrics`) shares the port
+        // with the frame protocol: the method token can never open a
+        // valid frame (magic "SN"), so sniff it before frame-decoding,
+        // serve one response, and close (`Connection: close` — scrapers
+        // reconnect per poll).
+        if is_http_prefix(&buf) {
+            if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                serve_http(stream, state, &buf[..end]);
+                break 'conn;
+            }
+            if buf.len() > 16 * 1024 {
+                break 'conn; // runaway header block
+            }
+        } else {
+            // Handle every complete frame already buffered.
+            loop {
+                match protocol::decode(&buf) {
+                    Ok(Some((frame, used))) => {
+                        buf.drain(..used);
+                        state.metrics.frames_in.inc();
+                        if !handle_frame(stream, state, &mut session, frame) {
+                            break 'conn;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Corrupt stream: report once, then hang up —
+                        // resync inside a length-prefixed stream is
+                        // impossible.
+                        state.metrics.decode_errors.inc();
+                        send(stream, state, &err_frame(0, "decode", &e.to_string()));
                         break 'conn;
                     }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    // Corrupt stream: report once, then hang up — resync
-                    // inside a length-prefixed stream is impossible.
-                    state.metrics.decode_errors.inc();
-                    send(stream, state, &err_frame(0, "decode", &e.to_string()));
-                    break 'conn;
                 }
             }
         }
@@ -351,6 +400,97 @@ fn handle_conn(stream: &TcpStream, state: &Arc<State>) {
     }
 }
 
+/// True when `buf` could (still) be the start of an HTTP GET/HEAD
+/// request — i.e. it is a prefix of (or starts with) either method token.
+fn is_http_prefix(buf: &[u8]) -> bool {
+    if buf.is_empty() {
+        return false;
+    }
+    let matches = |verb: &[u8]| {
+        let n = buf.len().min(verb.len());
+        buf[..n] == verb[..n]
+    };
+    matches(b"GET ") || matches(b"HEAD ")
+}
+
+/// The exposition document for `/metrics`: the system families plus the
+/// server-side net/service families (which only this process knows).
+fn full_prom(state: &Arc<State>) -> String {
+    let mut prom = state.handle.prom_text();
+    let mut w = PromText::new();
+    let m = &state.metrics;
+    w.counter("sentinel_net_frames_in_total", "Frames received", &[], m.frames_in.get());
+    w.counter("sentinel_net_frames_out_total", "Frames sent", &[], m.frames_out.get());
+    w.counter("sentinel_net_bytes_in_total", "Bytes received", &[], m.bytes_in.get());
+    w.counter("sentinel_net_bytes_out_total", "Bytes sent", &[], m.bytes_out.get());
+    w.counter(
+        "sentinel_net_busy_rejections_total",
+        "Requests rejected with Busy",
+        &[],
+        m.busy_rejections.get(),
+    );
+    w.gauge("sentinel_net_connections_active", "Open connections", &[], m.connections_active.get());
+    if let Some(svc) = state.service_metrics.lock().clone() {
+        w.gauge(
+            "sentinel_service_queue_depth",
+            "Queued, undrained async signals",
+            &[],
+            svc.queue_depth.get(),
+        );
+        w.counter(
+            "sentinel_service_processed_total",
+            "Async signals processed",
+            &[],
+            svc.processed.get(),
+        );
+        w.histogram(
+            "sentinel_service_drain_latency_ns",
+            "Enqueue-to-processed latency",
+            &[],
+            &svc.drain_latency_ns.snapshot(),
+        );
+    }
+    prom.push_str(&w.finish());
+    prom
+}
+
+/// The `MetricsScrape` payload: the full exposition text plus the
+/// time-series ring snapshot (`Null` when telemetry is off).
+fn metrics_payload(state: &Arc<State>) -> json::Value {
+    json::Value::obj([
+        ("prom", json::Value::Str(full_prom(state))),
+        ("telemetry", state.handle.sentinel().telemetry_json()),
+    ])
+}
+
+/// Serves one sniffed HTTP request (`head` is everything before the
+/// header/body separator) and lets the caller close the connection.
+fn serve_http(stream: &TcpStream, state: &Arc<State>, head: &[u8]) {
+    use std::io::Write as _;
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(head);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, ctype, body) = match path {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", full_prom(state)),
+        "/metrics.json" => {
+            ("200 OK", "application/json", state.handle.sentinel().telemetry_json().to_string())
+        }
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let mut resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    if method != "HEAD" {
+        resp.push_str(&body);
+    }
+    if (&mut &*stream).write_all(resp.as_bytes()).is_ok() {
+        state.metrics.bytes_out.add(resp.len() as u64);
+    }
+}
+
 /// Handles one request; returns `false` to close the connection.
 fn handle_frame(
     stream: &TcpStream,
@@ -361,6 +501,11 @@ fn handle_frame(
     let id = frame.request_id;
     match frame.opcode {
         Opcode::Ping => send(stream, state, &Frame::new(Opcode::Ok, id, frame.payload)),
+        // Monitoring is read-only and session-free, like Ping: a scraper
+        // should not have to speak Hello.
+        Opcode::MetricsScrape => {
+            send(stream, state, &Frame::new(Opcode::Ok, id, metrics_payload(state)))
+        }
         Opcode::Hello => {
             let Some(client) = frame.payload.get("client").and_then(json::Value::as_str) else {
                 return send(stream, state, &err_frame(id, "bad-request", "hello needs client"));
@@ -440,6 +585,7 @@ fn handle_signal_sync(
     if cur > limit {
         state.inflight_sync.fetch_sub(1, Ordering::SeqCst);
         state.metrics.busy_rejections.inc();
+        flight::global().record_static(FlightKind::Busy, "sync_global", cur, limit);
         return send(stream, state, &busy_frame(id, "global", cur, limit));
     }
     let n = state.handle.signal_traced(&event, params, txn, trace);
@@ -463,6 +609,7 @@ fn handle_signal_async(
     if cur > limit {
         sess.inflight.fetch_sub(1, Ordering::SeqCst);
         state.metrics.busy_rejections.inc();
+        flight::global().record_static(FlightKind::Busy, "session", cur, limit);
         return send(stream, state, &busy_frame(id, "session", cur, limit));
     }
     let job = AsyncJob { event, params, txn, trace, session_inflight: sess.inflight.clone() };
@@ -480,6 +627,7 @@ fn handle_signal_async(
             if full {
                 state.metrics.busy_rejections.inc();
                 let cap = state.cfg.max_inflight_global as u64;
+                flight::global().record_static(FlightKind::Busy, "async_global", cap, cap);
                 send(stream, state, &busy_frame(id, "global", cap, cap))
             } else {
                 send(stream, state, &err_frame(id, "shutting-down", "server is draining"))

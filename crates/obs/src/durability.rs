@@ -122,10 +122,45 @@ impl DurabilityStats {
     }
 }
 
+/// Wall time spent in each phase of a recovery pass, microseconds.
+/// Rendered into `recovery-report.json` and the server's `recovered...`
+/// readiness line so slow restarts are attributable to a phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryPhases {
+    /// Repairing the fence log (truncating torn/epoch-hole tails).
+    pub fence_repair_us: u64,
+    /// Scanning per-shard streams and merging them by `(epoch, ts,
+    /// shard)` into replay order.
+    pub stream_merge_us: u64,
+    /// Restoring the newest valid graph snapshot checkpoint.
+    pub snapshot_restore_us: u64,
+    /// Replaying catalog DDL interleaved at its recorded journal
+    /// positions.
+    pub catalog_interleave_us: u64,
+    /// Replaying the journal suffix through the detector.
+    pub replay_us: u64,
+    /// End-to-end `open_durable` wall time.
+    pub total_us: u64,
+}
+
+impl RecoveryPhases {
+    /// Renders as a JSON object.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::obj([
+            ("fence_repair_us", json::Value::UInt(self.fence_repair_us)),
+            ("stream_merge_us", json::Value::UInt(self.stream_merge_us)),
+            ("snapshot_restore_us", json::Value::UInt(self.snapshot_restore_us)),
+            ("catalog_interleave_us", json::Value::UInt(self.catalog_interleave_us)),
+            ("replay_us", json::Value::UInt(self.replay_us)),
+            ("total_us", json::Value::UInt(self.total_us)),
+        ])
+    }
+}
+
 /// What one recovery pass found in a data directory — written to
 /// `recovery-report.json` and surfaced through the server logs and the CI
 /// crash-restart smoke artifact.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecoveryReport {
     /// Catalog operations replayed.
     pub catalog_ops: u64,
@@ -148,6 +183,13 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
     /// Fence records recovered from the fence log (epoch boundaries).
     pub journal_fences: u64,
+    /// Per-phase wall times of this recovery pass.
+    pub phases: RecoveryPhases,
+    /// The previous incarnation's flight-recorder dump (parsed from
+    /// `flight-recorder.json` in the data directory), so a SIGKILL
+    /// post-mortem shows the process's final seconds. `None` when no
+    /// dump existed.
+    pub flight_recorder: Option<json::Value>,
 }
 
 impl RecoveryReport {
@@ -169,6 +211,14 @@ impl RecoveryReport {
             ("replayed_records", json::Value::UInt(self.replayed_records)),
             ("truncated_bytes", json::Value::UInt(self.truncated_bytes)),
             ("journal_fences", json::Value::UInt(self.journal_fences)),
+            ("phases", self.phases.to_json()),
+            (
+                "flight_recorder",
+                match &self.flight_recorder {
+                    Some(dump) => dump.clone(),
+                    None => json::Value::Null,
+                },
+            ),
         ])
     }
 }
@@ -220,5 +270,21 @@ mod tests {
         assert_eq!(j.get("journal_records").and_then(json::Value::as_u64), Some(4));
         let r = RecoveryReport { checkpoint_tag: Some(9), ..r };
         assert_eq!(r.to_json().get("checkpoint_tag").and_then(json::Value::as_u64), Some(9));
+    }
+
+    #[test]
+    fn recovery_report_carries_phases_and_flight_section() {
+        let mut r = RecoveryReport::default();
+        r.phases.stream_merge_us = 120;
+        r.phases.total_us = 450;
+        let j = r.to_json();
+        let phases = j.get("phases").unwrap();
+        assert_eq!(phases.get("stream_merge_us").and_then(json::Value::as_u64), Some(120));
+        assert_eq!(phases.get("fence_repair_us").and_then(json::Value::as_u64), Some(0));
+        assert!(matches!(j.get("flight_recorder"), Some(json::Value::Null)));
+
+        r.flight_recorder = Some(json::Value::obj([("events", json::Value::Arr(vec![]))]));
+        let j = r.to_json();
+        assert!(j.get("flight_recorder").unwrap().get("events").is_some());
     }
 }

@@ -7,7 +7,8 @@
 //!
 //! * [`Counter`] — monotone relaxed atomic counter.
 //! * [`Gauge`] — instantaneous level with a high-watermark (queue depths).
-//! * [`Histogram`] — log₄-bucketed latency histogram (nanoseconds).
+//! * [`Histogram`] — log-linear-bucketed latency histogram (nanoseconds,
+//!   ≤ 12.5% relative quantile error).
 //! * [`json`] — a tiny hand-rolled JSON value for serializable snapshots
 //!   (the vendored `serde` shim has no real serialization, so snapshots
 //!   render themselves).
@@ -23,23 +24,37 @@
 //! * [`durability`] — counters for the `sentinel-durable` subsystem
 //!   (journal appends/bytes/fsyncs, checkpoint durations) plus the
 //!   structured recovery report.
+//! * [`timeseries`] — a lock-cheap time-series registry: fixed-interval
+//!   ring buffers of counter deltas and gauge levels, sampled by a 1 Hz
+//!   thread, snapshotted as JSON for live dashboards.
+//! * [`prom`] — Prometheus-style text exposition of counters, gauges and
+//!   histograms, for standard scrapers hitting `GET /metrics`.
+//! * [`flight`] — the crash flight recorder: an always-on bounded ring of
+//!   the last N notable events, dumped to `flight-recorder.json` on panic
+//!   and merged into the recovery report after a crash.
 //!
 //! Everything here is wait-free or a short critical section; when no one
 //! is listening the trace bus is a single relaxed atomic load.
 
 pub mod durability;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod net;
+pub mod prom;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 pub use durability::{DurabilityMetrics, DurabilityStats, RecoveryReport};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use net::{NetMetrics, NetStats};
+pub use prom::PromText;
 pub use span::{SpanContext, SpanId, SpanRecord, TraceId, TraceStore};
+pub use timeseries::{Sample, SampleKind, SamplerHandle, TimeSeriesRegistry};
 pub use trace::{Field, TraceBus, TraceBusStats, TraceRecord};
 
 // ---------------------------------------------------------------------------
@@ -110,20 +125,57 @@ impl Gauge {
 // Histogram
 // ---------------------------------------------------------------------------
 
-/// Number of log₄ buckets. Bucket `i` holds samples in
-/// `[4^i, 4^(i+1))` ns (bucket 0 also takes 0); bucket 15 is open-ended,
-/// starting at 4^15 ns ≈ 18 minutes — plenty for rule wall-times.
-pub const HISTOGRAM_BUCKETS: usize = 16;
+/// Log-linear sub-bucket resolution: each power-of-two octave is split
+/// into `2^HISTOGRAM_SUB_BITS` linear sub-buckets, bounding the relative
+/// quantile error at `2^-HISTOGRAM_SUB_BITS` (12.5%). The original log₄
+/// buckets clamped p99 to a 4× bucket upper bound, which made tail
+/// latencies useless for regression tracking.
+pub const HISTOGRAM_SUB_BITS: usize = 3;
 
-/// A fixed-size log₄ histogram of nanosecond samples. Recording is three
-/// relaxed atomic RMWs; snapshots are approximate under concurrency,
-/// which is fine for statistics.
-#[derive(Debug, Default)]
+const HISTOGRAM_LINEAR: usize = 1 << HISTOGRAM_SUB_BITS;
+
+/// Highest power of two with its own octave of buckets; samples at or
+/// above `2^(HISTOGRAM_MAX_OCTAVE+1)` ns (≈ 73 min) land in the
+/// open-ended last bucket.
+const HISTOGRAM_MAX_OCTAVE: usize = 41;
+
+/// Number of log-linear buckets: values below `2^HISTOGRAM_SUB_BITS` get
+/// one exact bucket each; every octave above that gets
+/// `2^HISTOGRAM_SUB_BITS` linear sub-buckets, up to an open-ended last
+/// bucket starting around 2^42 ns.
+pub const HISTOGRAM_BUCKETS: usize =
+    (HISTOGRAM_MAX_OCTAVE - HISTOGRAM_SUB_BITS + 2) * HISTOGRAM_LINEAR;
+
+/// A fixed-size log-linear histogram of nanosecond samples. Recording is
+/// three relaxed atomic RMWs; snapshots are approximate under
+/// concurrency, which is fine for statistics.
+#[derive(Debug)]
 pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Inclusive upper bound, in ns, of log-linear bucket `i`. The last
+/// bucket is open-ended (`u64::MAX`).
+pub fn bucket_upper_bound_ns(i: usize) -> u64 {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        return u64::MAX;
+    }
+    if i < HISTOGRAM_LINEAR {
+        return i as u64;
+    }
+    let octave = i / HISTOGRAM_LINEAR - 1 + HISTOGRAM_SUB_BITS;
+    let sub = (i % HISTOGRAM_LINEAR) as u64;
+    let step = 1u64 << (octave - HISTOGRAM_SUB_BITS);
+    (1u64 << octave) + (sub + 1) * step - 1
 }
 
 impl Histogram {
@@ -136,13 +188,18 @@ impl Histogram {
         }
     }
 
-    /// Bucket index for a nanosecond sample: ⌊log₄ ns⌋, clamped.
+    /// Bucket index for a nanosecond sample: exact below
+    /// `2^HISTOGRAM_SUB_BITS`, then the top `HISTOGRAM_SUB_BITS + 1` bits
+    /// pick the octave and linear sub-bucket; clamped into the open-ended
+    /// last bucket.
     fn bucket_of(ns: u64) -> usize {
-        if ns == 0 {
-            return 0;
+        if ns < HISTOGRAM_LINEAR as u64 {
+            return ns as usize;
         }
-        let log2 = 63 - ns.leading_zeros() as usize;
-        (log2 / 2).min(HISTOGRAM_BUCKETS - 1)
+        let msb = 63 - ns.leading_zeros() as usize;
+        let sub = ((ns >> (msb - HISTOGRAM_SUB_BITS)) as usize) & (HISTOGRAM_LINEAR - 1);
+        let idx = (msb - HISTOGRAM_SUB_BITS + 1) * HISTOGRAM_LINEAR + sub;
+        idx.min(HISTOGRAM_BUCKETS - 1)
     }
 
     /// Records one sample, in nanoseconds.
@@ -174,7 +231,7 @@ impl Histogram {
 }
 
 /// Plain-data copy of a [`Histogram`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Number of recorded samples.
     pub count: u64,
@@ -182,8 +239,15 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest sample, ns.
     pub max: u64,
-    /// Per-bucket sample counts (bucket `i` covers `[4^i, 4^(i+1))` ns).
+    /// Per-bucket sample counts (see [`bucket_upper_bound_ns`] for the
+    /// log-linear bucket bounds).
     pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { count: 0, sum: 0, max: 0, buckets: [0; HISTOGRAM_BUCKETS] }
+    }
 }
 
 impl HistogramSnapshot {
@@ -193,8 +257,9 @@ impl HistogramSnapshot {
     }
 
     /// Approximate `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the upper
-    /// bound of the bucket holding the q-th sample, clamped to the largest
-    /// sample seen. Resolution is the 4× bucket width; 0 when empty.
+    /// bound of the log-linear bucket holding the q-th sample, clamped to
+    /// the largest sample seen. Relative error is at most
+    /// `2^-HISTOGRAM_SUB_BITS` (12.5%); exact below 8 ns; 0 when empty.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -205,11 +270,9 @@ impl HistogramSnapshot {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= rank {
-                // Upper bound of bucket i is 4^(i+1) - 1; the last bucket
-                // is open-ended, so the max sample stands in for it.
-                let upper =
-                    if i + 1 >= HISTOGRAM_BUCKETS { self.max } else { (1u64 << (2 * (i + 1))) - 1 };
-                return upper.min(self.max);
+                // The last bucket is open-ended, so the max sample stands
+                // in for its bound.
+                return bucket_upper_bound_ns(i).min(self.max);
             }
         }
         self.max
@@ -276,14 +339,27 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_by_log4() {
-        assert_eq!(Histogram::bucket_of(0), 0);
-        assert_eq!(Histogram::bucket_of(1), 0);
-        assert_eq!(Histogram::bucket_of(3), 0);
-        assert_eq!(Histogram::bucket_of(4), 1);
-        assert_eq!(Histogram::bucket_of(15), 1);
-        assert_eq!(Histogram::bucket_of(16), 2);
+    fn histogram_buckets_log_linear() {
+        // Exact buckets below 2^SUB_BITS.
+        for ns in 0..HISTOGRAM_LINEAR as u64 {
+            assert_eq!(Histogram::bucket_of(ns), ns as usize);
+        }
+        // Each octave splits into 8 linear sub-buckets.
+        assert_eq!(Histogram::bucket_of(8), 8);
+        assert_eq!(Histogram::bucket_of(15), 15);
+        assert_eq!(Histogram::bucket_of(16), 16);
+        assert_eq!(Histogram::bucket_of(17), 16);
+        assert_eq!(Histogram::bucket_of(18), 17);
         assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Bounds are consistent with indexing: every bucket's inclusive
+        // upper bound maps back into the bucket, and its successor does
+        // not (except in the open-ended tail).
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let upper = bucket_upper_bound_ns(i);
+            assert_eq!(Histogram::bucket_of(upper), i, "upper bound of bucket {i}");
+            assert_eq!(Histogram::bucket_of(upper + 1), i + 1);
+        }
+        assert_eq!(bucket_upper_bound_ns(HISTOGRAM_BUCKETS - 1), u64::MAX);
     }
 
     #[test]
@@ -297,10 +373,10 @@ mod tests {
         assert_eq!(s.sum, 1040);
         assert_eq!(s.max, 1000);
         assert_eq!(s.mean_ns(), 208);
-        assert_eq!(s.buckets[0], 1); // 1
-        assert_eq!(s.buckets[1], 1); // 5
-        assert_eq!(s.buckets[2], 2); // 17, 17
-        assert_eq!(s.buckets[4], 1); // 1000 in [256, 1024)
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[5], 1); // 5
+        assert_eq!(s.buckets[16], 2); // 17, 17 in [16, 18)
+        assert_eq!(s.buckets[63], 1); // 1000 in [960, 1024)
         assert_eq!(s.buckets.iter().sum::<u64>(), 5);
     }
 
@@ -309,38 +385,64 @@ mod tests {
         let h = Histogram::new();
         h.record(2);
         h.record(20);
-        let rendered = h.snapshot().to_json().to_string();
-        assert_eq!(
-            rendered,
-            concat!(
-                r#"{"count":2,"sum_ns":22,"mean_ns":11,"max_ns":20,"#,
-                r#""p50_ns":3,"p95_ns":20,"p99_ns":20,"buckets":[1,0,1]}"#
-            )
-        );
+        let s = h.snapshot();
+        let rendered = s.to_json().to_string();
+        // 20 ns lands in bucket 18 ([18, 20) is bucket 17; [20, 22) is
+        // bucket 18), so the trimmed bucket array has 19 entries.
+        assert!(rendered.starts_with(r#"{"count":2,"sum_ns":22,"mean_ns":11,"max_ns":20,"#));
+        assert!(rendered.contains(r#""p50_ns":2,"p95_ns":20,"p99_ns":20"#));
+        let parsed = json::Value::parse(&rendered).unwrap();
+        assert_eq!(parsed.get("buckets").and_then(json::Value::as_arr).unwrap().len(), 19);
     }
 
     #[test]
-    fn histogram_quantiles_approximate_by_bucket_upper_bound() {
+    fn histogram_quantiles_clamp_to_bucket_upper_bound() {
         let s = HistogramSnapshot::default();
         assert_eq!(s.p50_ns(), 0);
 
         let h = Histogram::new();
-        // 98 fast samples in bucket 0, one in bucket 2, one slow outlier.
+        // 98 fast samples (exact bucket), one mid sample, one outlier.
         for _ in 0..98 {
             h.record(2);
         }
         h.record(20);
         h.record(5_000);
         let s = h.snapshot();
-        assert_eq!(s.p50_ns(), 3); // bucket 0 upper bound
-        assert_eq!(s.p95_ns(), 3);
-        assert_eq!(s.quantile_ns(0.99), 63); // 99th sample is the 20ns one
-        assert_eq!(s.quantile_ns(1.0), 5_000); // clamped to max, not 4^7-1
+        assert_eq!(s.p50_ns(), 2); // exact below 8 ns
+        assert_eq!(s.p95_ns(), 2);
+        assert_eq!(s.quantile_ns(0.99), 21); // 99th sample is the 20 ns one
+        assert_eq!(s.quantile_ns(1.0), 5_000); // clamped to max, not 5119
 
         // Everything in the open-ended last bucket reports the max.
         let h = Histogram::new();
         h.record(u64::MAX);
         assert_eq!(h.snapshot().p50_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantile_error_is_bounded_against_exact_samples() {
+        // Deterministic pseudo-random samples spanning ns..tens of ms.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut samples = Vec::with_capacity(10_000);
+        let h = Histogram::new();
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Log-uniform-ish spread: scale by a shifted exponent.
+            let shift = (x >> 58) % 26; // octaves 0..25 (~33 ms)
+            let ns = (x >> 32) % (1u64 << (shift + 1)).max(2);
+            samples.push(ns);
+            h.record(ns);
+        }
+        samples.sort_unstable();
+        let s = h.snapshot();
+        for q in [0.10, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = s.quantile_ns(q);
+            assert!(approx >= exact, "q={q}: approx {approx} below exact {exact}");
+            let bound = exact + exact / (1 << HISTOGRAM_SUB_BITS) as u64 + 1;
+            assert!(approx <= bound, "q={q}: approx {approx} exceeds {bound} (exact {exact})");
+        }
     }
 
     #[test]

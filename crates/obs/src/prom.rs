@@ -1,0 +1,159 @@
+//! Prometheus-style text exposition (version 0.0.4) for the live
+//! metrics, hand-rolled under the shims-only dependency policy.
+//!
+//! [`PromText`] is a small builder: callers emit one metric at a time
+//! and the builder writes the `# HELP` / `# TYPE` header the first time
+//! each family name appears. Histograms render in the standard
+//! cumulative-bucket form (`_bucket{le=..}` / `_sum` / `_count`) using
+//! the log-linear bucket bounds of [`crate::Histogram`]; only the
+//! non-empty buckets get an `le` line (sparse bucket sets are valid
+//! exposition), so a mostly-idle histogram stays a handful of lines.
+//!
+//! Values are nanoseconds where the metric name says `_ns`; this keeps
+//! the exposition loss-free against the internal unit instead of
+//! converting to floating-point seconds.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::{bucket_upper_bound_ns, HistogramSnapshot};
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    seen: BTreeSet<String>,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        if self.seen.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    fn label_block(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let mut block = String::from("{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                block.push(',');
+            }
+            block.push_str(k);
+            block.push_str("=\"");
+            escape_label(v, &mut block);
+            block.push('"');
+        }
+        block.push('}');
+        block
+    }
+
+    /// Emits one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, "counter", help);
+        let block = Self::label_block(labels);
+        let _ = writeln!(self.out, "{name}{block} {value}");
+    }
+
+    /// Emits one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, "gauge", help);
+        let block = Self::label_block(labels);
+        let _ = writeln!(self.out, "{name}{block} {value}");
+    }
+
+    /// Emits one histogram in cumulative-bucket form. Only non-empty
+    /// buckets produce an `le` line (plus the mandatory `+Inf`).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.header(name, "histogram", help);
+        let mut cumulative = 0u64;
+        for (i, &b) in snap.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            cumulative += b;
+            let upper = bucket_upper_bound_ns(i);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            let le = if upper == u64::MAX { "+Inf".to_string() } else { upper.to_string() };
+            with_le.push(("le", le.as_str()));
+            let block = Self::label_block(&with_le);
+            let _ = writeln!(self.out, "{name}_bucket{block} {cumulative}");
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        let block = Self::label_block(&with_inf);
+        let _ = writeln!(self.out, "{name}_bucket{block} {}", snap.count);
+        let plain = Self::label_block(labels);
+        let _ = writeln!(self.out, "{name}_sum{plain} {}", snap.sum);
+        let _ = writeln!(self.out, "{name}_count{plain} {}", snap.count);
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn counters_and_gauges_emit_one_header_per_family() {
+        let mut w = PromText::new();
+        w.counter("sentinel_signals_total", "Signals accepted", &[], 42);
+        w.counter("sentinel_shard_signals_total", "Per-shard signals", &[("shard", "0")], 21);
+        w.counter("sentinel_shard_signals_total", "Per-shard signals", &[("shard", "1")], 21);
+        w.gauge("sentinel_queue_depth", "Queue depth", &[("shard", "a\"b")], 3);
+        let text = w.finish();
+        assert_eq!(text.matches("# TYPE sentinel_shard_signals_total counter").count(), 1);
+        assert!(text.contains("sentinel_signals_total 42\n"));
+        assert!(text.contains("sentinel_shard_signals_total{shard=\"0\"} 21\n"));
+        assert!(text.contains("sentinel_queue_depth{shard=\"a\\\"b\"} 3\n"));
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_sparse_buckets() {
+        let h = Histogram::new();
+        h.record(2);
+        h.record(2);
+        h.record(100);
+        let mut w = PromText::new();
+        w.histogram("sentinel_lat_ns", "Latency", &[], &h.snapshot());
+        let text = w.finish();
+        assert!(text.contains("# TYPE sentinel_lat_ns histogram"));
+        assert!(text.contains("sentinel_lat_ns_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("sentinel_lat_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("sentinel_lat_ns_sum 104\n"));
+        assert!(text.contains("sentinel_lat_ns_count 3\n"));
+        // Sparse: empty buckets between 2 and 100 emit no lines.
+        assert!(!text.contains("le=\"7\""));
+    }
+}

@@ -115,6 +115,8 @@ pub struct SchedulerMetrics {
     queued_detached: Counter,
     /// Rules dispatched per priority class.
     per_priority: Mutex<BTreeMap<u32, u64>>,
+    /// Rules dispatched per rule name (all couplings).
+    per_rule: Mutex<BTreeMap<Arc<str>, u64>>,
     /// Condition wall-time, ns.
     condition_ns: Histogram,
     /// Action wall-time, ns.
@@ -138,6 +140,8 @@ pub struct SchedulerStats {
     pub queued_detached: u64,
     /// `(priority class, rules dispatched)`, ascending by class.
     pub per_priority: Vec<(u32, u64)>,
+    /// `(rule name, rules dispatched)`, ascending by name.
+    pub per_rule: Vec<(Arc<str>, u64)>,
     /// Condition wall-time histogram.
     pub condition: HistogramSnapshot,
     /// Action wall-time histogram.
@@ -164,6 +168,12 @@ impl SchedulerStats {
                 "per_priority",
                 json::Value::obj(
                     self.per_priority.iter().map(|(p, n)| (p.to_string(), json::Value::UInt(*n))),
+                ),
+            ),
+            (
+                "per_rule",
+                json::Value::obj(
+                    self.per_rule.iter().map(|(r, n)| (r.to_string(), json::Value::UInt(*n))),
                 ),
             ),
             ("condition", self.condition.to_json()),
@@ -247,6 +257,7 @@ impl RuleScheduler {
             fired_deferred: self.metrics.fired_deferred.get(),
             queued_detached: self.metrics.queued_detached.get(),
             per_priority: self.metrics.per_priority.lock().iter().map(|(p, n)| (*p, *n)).collect(),
+            per_rule: self.metrics.per_rule.lock().iter().map(|(r, n)| (r.clone(), *n)).collect(),
             condition: self.metrics.condition_ns.snapshot(),
             action: self.metrics.action_ns.snapshot(),
             panics: self.metrics.panics.get(),
@@ -330,6 +341,13 @@ impl RuleScheduler {
                     // Queue for the detached executor; runs in its own
                     // top-level transaction.
                     self.metrics.queued_detached.inc();
+                    *self.metrics.per_rule.lock().entry(name.clone()).or_default() += 1;
+                    sentinel_obs::flight::global().record(
+                        sentinel_obs::flight::FlightKind::RuleFired,
+                        name.clone(),
+                        u64::from(priority),
+                        2,
+                    );
                     self.trace("detached_queued", || {
                         vec![
                             ("rule", Field::Str(name.clone())),
@@ -347,6 +365,13 @@ impl RuleScheduler {
                     _ => self.metrics.fired_immediate.inc(),
                 }
                 *self.metrics.per_priority.lock().entry(priority).or_default() += 1;
+                *self.metrics.per_rule.lock().entry(name.clone()).or_default() += 1;
+                sentinel_obs::flight::global().record(
+                    sentinel_obs::flight::FlightKind::RuleFired,
+                    name.clone(),
+                    u64::from(priority),
+                    u64::from(coupling == CouplingMode::Deferred),
+                );
                 self.trace("triggered", || {
                     vec![
                         ("rule", Field::Str(name.clone())),

@@ -28,8 +28,8 @@ use sentinel_core::detector::graph::PrimTarget;
 use sentinel_core::detector::log::LoggedEvent;
 use sentinel_core::detector::service::Signal;
 use sentinel_core::detector::{
-    Detection, DetectorPool, EventId, FenceKind, LocalEventDetector, Occurrence, SubscriberId,
-    Value,
+    Detection, DetectorPool, DetectorStats, EventId, FenceKind, LocalEventDetector, Occurrence,
+    SubscriberId, Value,
 };
 use sentinel_core::durable_store::{DurableEngine, DurableOptions, FsyncPolicy};
 use sentinel_core::snoop::ast::EventModifier;
@@ -264,7 +264,7 @@ fn attach_journal(det: &LocalEventDetector, dir: &Path) {
 /// asserted at every signal — it is what licenses pre-assigning the same
 /// timestamps to the pooled run. With `durable`, every signal is also
 /// journaled through the sharded engine.
-fn run_serial(ops: &[Op], durable: Option<&Path>) -> (Vec<String>, Vec<u8>) {
+fn run_serial(ops: &[Op], durable: Option<&Path>) -> (Vec<String>, Vec<u8>, DetectorStats) {
     let det = LocalEventDetector::new(1);
     let comps = build(&det);
     if let Some(dir) = durable {
@@ -294,7 +294,8 @@ fn run_serial(ops: &[Op], durable: Option<&Path>) -> (Vec<String>, Vec<u8>) {
             ddl => apply_ddl(&det, &comps, ddl),
         }
     }
-    (canon_all(&dets), det.snapshot_state().encode().to_vec())
+    let stats = det.stats();
+    (canon_all(&dets), det.snapshot_state().encode().to_vec(), stats)
 }
 
 /// Drives the identical workload through a [`DetectorPool`] of `workers`
@@ -302,7 +303,11 @@ fn run_serial(ops: &[Op], durable: Option<&Path>) -> (Vec<String>, Vec<u8>) {
 /// advances are global fences (the pool routes them to a rendezvous
 /// barrier); DDL and subscription flips run at explicit barriers so they
 /// cut the stream at the same point as in the serial run.
-fn run_pool(ops: &[Op], workers: usize, durable: Option<&Path>) -> (Vec<String>, Vec<u8>) {
+fn run_pool(
+    ops: &[Op],
+    workers: usize,
+    durable: Option<&Path>,
+) -> (Vec<String>, Vec<u8>, DetectorStats) {
     let det = Arc::new(LocalEventDetector::new(1));
     let comps = build(&det);
     if let Some(dir) = durable {
@@ -333,13 +338,31 @@ fn run_pool(ops: &[Op], workers: usize, durable: Option<&Path>) -> (Vec<String>,
     }
     pool.shutdown();
     let dets: Vec<Detection> = pool.detections().try_iter().collect();
-    (canon_all(&dets), det.snapshot_state().encode().to_vec())
+    let stats = det.stats();
+    (canon_all(&dets), det.snapshot_state().encode().to_vec(), stats)
+}
+
+/// Telemetry conformance: the pooled run's per-shard signal counters must
+/// sum to exactly the serial run's total (every signal is counted once, on
+/// exactly one shard), and after shutdown no shard may report residual
+/// queue depth. This pins the per-shard health counters the scrape
+/// endpoint exports to the same oracle the detection streams obey.
+fn assert_shard_counters(serial: &DetectorStats, pooled: &DetectorStats, tag: &str) {
+    let serial_shard_sum: u64 = serial.shards.iter().map(|s| s.signals).sum();
+    let pooled_shard_sum: u64 = pooled.shards.iter().map(|s| s.signals).sum();
+    assert_eq!(serial_shard_sum, serial.signals, "{tag}: serial shard counters miss signals");
+    assert_eq!(pooled_shard_sum, pooled.signals, "{tag}: pooled shard counters miss signals");
+    assert_eq!(pooled.signals, serial.signals, "{tag}: pooled signal total diverged from serial");
+    for s in &pooled.shards {
+        assert_eq!(s.queue_depth, 0, "{tag}: shard {} reports queue depth after shutdown", s.shard);
+    }
 }
 
 fn conformance(seed: u64, workers: usize) {
     let ops = generate(seed);
-    let (serial_dets, serial_snap) = run_serial(&ops, None);
-    let (pool_dets, pool_snap) = run_pool(&ops, workers, None);
+    let (serial_dets, serial_snap, serial_stats) = run_serial(&ops, None);
+    let (pool_dets, pool_snap, pool_stats) = run_pool(&ops, workers, None);
+    assert_shard_counters(&serial_stats, &pool_stats, &format!("seed {seed}, {workers} workers"));
     assert_eq!(
         serial_dets.len(),
         pool_dets.len(),
@@ -423,16 +446,17 @@ fn durable_pool_recovery_matches_durable_serial() {
     let seed = 11u64;
     let ops = generate(seed);
     let sdir = tmp("serial");
-    let (serial_dets, serial_snap) = run_serial(&ops, Some(&sdir));
+    let (serial_dets, serial_snap, serial_stats) = run_serial(&ops, Some(&sdir));
     let (serial_events, serial_fences) = recovered(&sdir);
     assert!(serial_events.len() >= 100, "workload journals enough to be meaningful");
     assert!(serial_fences.len() >= 10, "workload cuts flush/advance/DDL fences");
 
     for workers in [4, 8] {
         let pdir = tmp(&format!("pool{workers}"));
-        let (pool_dets, pool_snap) = run_pool(&ops, workers, Some(&pdir));
+        let (pool_dets, pool_snap, pool_stats) = run_pool(&ops, workers, Some(&pdir));
         assert_eq!(serial_dets, pool_dets, "{workers} workers: journaled detection diverged");
         assert_eq!(serial_snap, pool_snap, "{workers} workers: journaled graph state diverged");
+        assert_shard_counters(&serial_stats, &pool_stats, &format!("durable, {workers} workers"));
 
         let (pool_events, pool_fences) = recovered(&pdir);
         assert_eq!(

@@ -259,3 +259,61 @@ fn remote_trace_ids_stitch_into_server_traces() {
     let chrome = client.export_chrome_trace().unwrap();
     assert!(chrome.contains("net_signal"));
 }
+
+/// The telemetry scrape works over both transports on one port: the
+/// `MetricsScrape` opcode returns `{prom, telemetry}`, and a plain HTTP
+/// `GET /metrics` (sniffed before frame decoding) serves the same
+/// exposition text for `curl`/Prometheus.
+#[test]
+fn metrics_scrape_over_opcode_and_http() {
+    use std::io::{Read as _, Write as _};
+
+    let sentinel = Sentinel::in_memory();
+    // Telemetry must be on before the server starts so the net/service
+    // sources register into the same registry.
+    let registry = sentinel.start_telemetry(Duration::from_secs(3600), 64);
+    let server =
+        NetServer::start(sentinel.serve_handle(), ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let admin = SentinelClient::connect(&addr, "admin").unwrap();
+    define_pair_workload(&admin);
+    admin.signal_sync("seq_a", &[], None).unwrap();
+    admin.signal_sync("seq_b", &[], None).unwrap();
+    registry.sample_at(100);
+
+    let scrape = admin.metrics_scrape().unwrap();
+    let prom = scrape.get("prom").and_then(json::Value::as_str).expect("prom text");
+    assert!(prom.contains("# TYPE sentinel_signals_total counter"));
+    assert!(prom.contains("sentinel_net_frames_in_total"));
+    assert!(prom.contains("sentinel_service_queue_depth"));
+    let telemetry = scrape.get("telemetry").expect("telemetry snapshot");
+    let series = telemetry.get("series").expect("series map");
+    assert!(series.get("detector.signals").is_some());
+    assert!(series.get("net.frames_in").is_some(), "net source feeds the shared registry");
+
+    // A scraper's plain HTTP GET on the same port.
+    let mut http = TcpStream::connect(&addr).unwrap();
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut body = String::new();
+    http.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "got: {}", &body[..body.len().min(80)]);
+    assert!(body.contains("Connection: close"));
+    assert!(body.contains("sentinel_signals_total"));
+
+    // The JSON ring snapshot, and a 404 for anything else.
+    let mut http = TcpStream::connect(&addr).unwrap();
+    http.write_all(b"GET /metrics.json HTTP/1.1\r\n\r\n").unwrap();
+    let mut body = String::new();
+    http.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200 OK"));
+    let json_body = body.split("\r\n\r\n").nth(1).expect("body");
+    let parsed = json::Value::parse(json_body).expect("valid scrape JSON");
+    assert!(parsed.get("series").is_some());
+
+    let mut http = TcpStream::connect(&addr).unwrap();
+    http.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+    let mut body = String::new();
+    http.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 404"));
+}
