@@ -11,6 +11,10 @@
 //!   --traced            stamp signals with per-client trace ids (pair
 //!                       with `sentinel-server --tracing`)
 //!   --shutdown          send a Shutdown frame when done (for CI)
+//!   --promote           send a Promote frame to --addr and exit: turns a
+//!                       read-only replica into a writable primary
+//!   --repl-status       print the node's replication stats JSON and exit
+//!                       (`role`, `tip`, follower lags / applied watermark)
 //!
 //!   --sweep             run the embedded detector-sharding sweep instead
 //!                       of the TCP workload (no server needed): disjoint
@@ -65,6 +69,8 @@ struct Args {
     iters: usize,
     traced: bool,
     shutdown: bool,
+    promote: bool,
+    repl_status: bool,
     sweep: bool,
     detector_threads: Vec<usize>,
     components: usize,
@@ -98,6 +104,8 @@ fn parse_args() -> Args {
         iters: 200,
         traced: false,
         shutdown: false,
+        promote: false,
+        repl_status: false,
         sweep: false,
         detector_threads: vec![1, 2, 4, 8],
         components: 64,
@@ -123,6 +131,8 @@ fn parse_args() -> Args {
             "--iters" => args.iters = value("--iters").parse().expect("--iters <N>"),
             "--traced" => args.traced = true,
             "--shutdown" => args.shutdown = true,
+            "--promote" => args.promote = true,
+            "--repl-status" => args.repl_status = true,
             "--sweep" => args.sweep = true,
             "--detector-threads" => {
                 args.detector_threads = value("--detector-threads")
@@ -147,7 +157,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "sentinel-loadgen [--addr HOST:PORT] [--clients N] [--iters N] \
-                     [--traced] [--shutdown] [--sweep] [--detector-threads N,N,...] \
+                     [--traced] [--shutdown] [--promote] [--repl-status] \
+                     [--sweep] [--detector-threads N,N,...] \
                      [--components N] [--pairs N] [--feeders N] [--hold-us N] \
                      [--sweep-out PATH] [--durable-dir DIR] \
                      [--durable-fsync always|never|every=N] [--group-window-us N]"
@@ -601,6 +612,33 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    // Admin-only modes: act on --addr and exit before any workload.
+    if args.promote {
+        match admin.promote() {
+            Ok(promoted) => {
+                println!("promote{{\"addr\":\"{}\",\"promoted\":{promoted}}}", args.addr);
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("promote failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.repl_status {
+        match admin.stats() {
+            Ok(stats) => {
+                let repl = stats.get("replication").cloned().unwrap_or(json::Value::Null);
+                println!("repl{repl}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("stats failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Define the workload; tolerate "already defined" so repeated runs
     // against a long-lived server work (counts below are deltas).

@@ -33,6 +33,16 @@
 //!                           default; scraped via the MetricsScrape
 //!                           opcode or HTTP GET /metrics on the same
 //!                           port)
+//!   --replica-of <ADDR>     start as a read-only follower of the primary
+//!                           at ADDR (requires --data-dir): bootstrap
+//!                           from its snapshot, tail its replication
+//!                           stream, serve reads, refuse writes until
+//!                           promoted (Promote opcode or lease expiry)
+//!   --lease-ms <N>          with --replica-of: self-promote after the
+//!                           primary has been unreachable N ms (default
+//!                           3000; 0 disables auto-promotion)
+//!   --follower-name <NAME>  follower name shown in the primary's
+//!                           replication stats (default "replica")
 //! ```
 //!
 //! The process serves until a client sends a `Shutdown` frame (e.g.
@@ -45,7 +55,9 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
+use sentinel_cluster::{Follower, FollowerConfig};
 use sentinel_core::durable_store::{DurableOptions, FsyncPolicy};
 use sentinel_core::{Sentinel, SentinelConfig};
 use sentinel_net::{NetServer, ServerConfig};
@@ -56,6 +68,9 @@ struct Args {
     telemetry: bool,
     data_dir: Option<PathBuf>,
     durable: DurableOptions,
+    replica_of: Option<String>,
+    lease_ms: u64,
+    follower_name: String,
 }
 
 fn parse_fsync(spec: &str) -> FsyncPolicy {
@@ -79,6 +94,9 @@ fn parse_args() -> Args {
         telemetry: true,
         data_dir: None,
         durable: DurableOptions::default(),
+        replica_of: None,
+        lease_ms: 3000,
+        follower_name: "replica".to_string(),
     };
     args.cfg.addr = "127.0.0.1:7878".to_string();
     let mut it = std::env::args().skip(1);
@@ -123,13 +141,19 @@ fn parse_args() -> Args {
                 args.durable.group_bytes =
                     value("--group-bytes").parse().expect("--group-bytes <N>");
             }
+            "--replica-of" => args.replica_of = Some(value("--replica-of")),
+            "--lease-ms" => {
+                args.lease_ms = value("--lease-ms").parse().expect("--lease-ms <N>");
+            }
+            "--follower-name" => args.follower_name = value("--follower-name"),
             "--help" | "-h" => {
                 println!(
                     "sentinel-server [--addr HOST:PORT] [--max-connections N] \
                      [--global-inflight N] [--session-inflight N] \
                      [--detector-threads N] [--tracing] [--data-dir DIR] \
                      [--fsync always|never|every=N] [--checkpoint-every N] \
-                     [--group-window-us N] [--group-bytes N] [--no-telemetry]"
+                     [--group-window-us N] [--group-bytes N] [--no-telemetry] \
+                     [--replica-of ADDR] [--lease-ms N] [--follower-name NAME]"
                 );
                 std::process::exit(0);
             }
@@ -143,13 +167,24 @@ fn parse_args() -> Args {
 }
 
 fn open_sentinel(args: &Args) -> Arc<Sentinel> {
-    let Some(dir) = &args.data_dir else { return Sentinel::in_memory() };
+    let Some(dir) = &args.data_dir else {
+        if args.replica_of.is_some() {
+            eprintln!("--replica-of requires --data-dir");
+            std::process::exit(2);
+        }
+        return Sentinel::in_memory();
+    };
     // On panic, dump the flight-recorder ring next to the journal so the
     // post-mortem has the process's final seconds.
     sentinel_core::obs::flight::install_panic_hook(
         dir.join(sentinel_core::obs::flight::FLIGHT_RECORDER_FILE),
     );
-    match Sentinel::open_durable(dir, SentinelConfig::default(), args.durable) {
+    let opened = if args.replica_of.is_some() {
+        Sentinel::open_replica(dir, SentinelConfig::default(), args.durable)
+    } else {
+        Sentinel::open_durable(dir, SentinelConfig::default(), args.durable)
+    };
+    match opened {
         Ok((sentinel, report)) => {
             let p = &report.phases;
             println!(
@@ -194,6 +229,18 @@ fn main() {
         }
     };
     println!("listening on {}", server.local_addr());
+    // Keep the follower handle alive for the server's lifetime; dropping
+    // it stops the apply loop.
+    let _follower = args.replica_of.as_ref().map(|primary| {
+        let dir = args.data_dir.clone().expect("checked in open_sentinel");
+        let mut cfg = FollowerConfig::new(primary, &args.follower_name, dir);
+        cfg.lease = match args.lease_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+        println!("following {primary} as {}", args.follower_name);
+        Follower::start(sentinel.clone(), cfg)
+    });
     server.wait_for_shutdown();
     let net = server.metrics().snapshot();
     println!("server stopped: {}", net.to_json());

@@ -83,6 +83,17 @@ fn shard_labels(series: &json::Value, prefix: &str, suffix: &str) -> Vec<u64> {
     out
 }
 
+/// Follower names carried by `repl.follower.<name>.lag` series.
+fn follower_labels(series: &json::Value) -> Vec<String> {
+    let json::Value::Obj(pairs) = series else { return Vec::new() };
+    pairs
+        .iter()
+        .filter_map(|(name, _)| {
+            Some(name.strip_prefix("repl.follower.")?.strip_suffix(".lag")?.to_string())
+        })
+        .collect()
+}
+
 /// Rule names carried by `rule.<name>.hits` series.
 fn rule_labels(series: &json::Value) -> Vec<String> {
     let json::Value::Obj(pairs) = series else { return Vec::new() };
@@ -118,6 +129,31 @@ fn render(scrape: &json::Value, tick: u64) {
     if let Some(depth) = last_point(&series, "service.queue_depth") {
         let drain = last_point(&series, "service.drain_p99_ns").unwrap_or(0);
         println!("  service queue depth: {depth:>6}    drain p99: {drain:>10} ns");
+    }
+
+    // Replication: a primary carries per-follower lag series; a replica
+    // carries its own apply rate and time since primary contact.
+    if let Some(tip) = last_point(&series, "repl.tip") {
+        let lag = last_point(&series, "repl.lag_frames").unwrap_or(0);
+        let followers = follower_labels(&series);
+        if followers.is_empty() {
+            let applied = last_point(&series, "repl.applied").unwrap_or(0);
+            let seq = last_point(&series, "repl.applied_seq").unwrap_or(0);
+            let contact = last_point(&series, "repl.last_contact_ms").unwrap_or(0);
+            println!(
+                "  replica: applied/interval: {applied:>6}    at seq {seq} \
+                 (lag {lag} frames)    last primary contact {contact} ms ago"
+            );
+        } else {
+            println!("  primary: replication tip {tip}    max follower lag {lag} frames");
+            println!("  {:<24} {:>12} {:>14}", "follower", "lag frames", "ack age ms");
+            for f in followers {
+                let flag = last_point(&series, &format!("repl.follower.{f}.lag")).unwrap_or(0);
+                let age =
+                    last_point(&series, &format!("repl.follower.{f}.ack_age_ms")).unwrap_or(0);
+                println!("  {f:<24} {flag:>12} {age:>14}");
+            }
+        }
     }
 
     let shards = shard_labels(&series, "detector.shard.", ".signals");

@@ -1,0 +1,70 @@
+//! Cross-node global event detection.
+//!
+//! The paper's global detector (Figure 2) receives *forwarded* local
+//! events and detects inter-application composites over leaves named
+//! `app<N>.<event>`. In-process, `sentinel-core`'s
+//! `Sentinel::forward_to_global` ships occurrences over a channel; this
+//! module is the multi-node version of the same step-5 arrow: the
+//! forwarding rule's action sends the flattened occurrence over the wire
+//! to a designated **global-detector node** — an ordinary Sentinel
+//! server on which the inter-node composite events and rules are
+//! defined (each leaf declared as an explicit event, e.g.
+//! `define_event("appwide", Some("app1.sale ; app2.audit"))`).
+//!
+//! Parameter-context fidelity: the forwarded signal carries the *local*
+//! occurrence's flattened constituent parameters, so a `SEQ`/`AND` on
+//! the global node computes Recent/Chronicle/Continuous/Cumulative
+//! bindings from exactly the same leaf parameters a single-node detector
+//! would see. Provenance: when tracing is on, the action forwards the
+//! ambient trace id; the global node adopts it
+//! (`TraceStore::adopt_remote`), so one Chrome trace export stitches
+//! spans from both nodes.
+
+use std::sync::Arc;
+
+use sentinel_core::global::global_leaf_name;
+use sentinel_core::{Sentinel, SentinelError};
+use sentinel_detector::Value;
+use sentinel_net::SentinelClient;
+use sentinel_obs::span;
+use sentinel_rules::manager::RuleOptions;
+
+/// Forwards every occurrence of local event `event` to the Sentinel
+/// server behind `client` (the global-detector node), as an explicit
+/// signal named [`global_leaf_name`]`(sentinel.app_id(), event)`.
+///
+/// Implemented, like everything active in Sentinel, as a rule
+/// (`__forward_app<N>.<event>`, priority 1 so it runs before
+/// priority-0 system rules). The action is fire-and-forget: a send
+/// failure is dropped — the global node catching up is a liveness
+/// concern, the local transaction must not abort over it.
+pub fn forward_to_node(
+    sentinel: &Arc<Sentinel>,
+    event: &str,
+    client: Arc<SentinelClient>,
+) -> Result<(), SentinelError> {
+    let ev = sentinel.event(event)?;
+    let app = sentinel.app_id();
+    let name = global_leaf_name(app, event);
+    let rule_name = format!("__forward_{name}");
+    sentinel.rules().define_rule(
+        &rule_name,
+        ev,
+        Arc::new(|_| true),
+        Arc::new(move |inv| {
+            let mut params: Vec<(Arc<str>, Value)> = Vec::new();
+            for prim in inv.occurrence.param_list() {
+                if let Some(oid) = prim.source {
+                    params.push((Arc::from("oid"), Value::Oid(oid)));
+                }
+                params.extend(prim.params.iter().cloned());
+            }
+            let _ = match span::current() {
+                Some(ctx) => client.signal_sync_traced(&name, &params, None, ctx.trace.0),
+                None => client.signal_sync(&name, &params, None),
+            };
+        }),
+        RuleOptions::default().priority(1),
+    )?;
+    Ok(())
+}

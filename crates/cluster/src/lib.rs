@@ -1,0 +1,35 @@
+//! Multi-node Sentinel: journal shipping, replica failover, and the
+//! distributed global event detector.
+//!
+//! The paper's architecture is one active OODBMS per application plus a
+//! global detector for inter-application composites (Figure 2). This
+//! crate extends both across *machines*:
+//!
+//! * **Journal shipping** ([`Follower`]) — a primary's durable engine
+//!   exposes a totally-ordered replication log (DDL catalog ops,
+//!   epoch-stamped journal events, fence-log entries). A follower node
+//!   bootstraps from the primary's newest-possible state (a
+//!   checkpoint-grade snapshot cut with signalling paused, plus the DDL
+//!   catalog prefix) and then tails the live stream over the existing
+//!   versioned wire protocol (`ReplSubscribe` / `ReplSnapshot` /
+//!   `ReplFrames` / `ReplAck`), applying entries through the same
+//!   interleaved merge discipline crash recovery uses — so a follower
+//!   is, by construction, a valid recovery prefix of its primary.
+//! * **Failover** — a follower serves reads (stats, trace summaries,
+//!   metrics) and refuses writes until promoted. Promotion is either
+//!   explicit (the `Promote` opcode) or automatic: the apply loop tracks
+//!   a lease, and when the primary stays unreachable past it, the
+//!   follower promotes itself and starts accepting writes — completing
+//!   half-detected composites with the pre-crash constituents' params.
+//! * **Distributed global detection** ([`forward_to_node`]) — a
+//!   `SEQ`/`AND` whose constituents arrive on *different nodes* detects
+//!   on a designated global-detector node: each node forwards selected
+//!   local events (flattened parameters and, when tracing, the ambient
+//!   trace id for cross-node span stitching) as explicit signals named
+//!   [`sentinel_core::global::global_leaf_name`]`(app, event)`.
+
+pub mod follower;
+pub mod global;
+
+pub use follower::{Follower, FollowerConfig};
+pub use global::forward_to_node;

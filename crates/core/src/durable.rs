@@ -225,6 +225,22 @@ impl Sentinel {
         config: SentinelConfig,
         opts: DurableOptions,
     ) -> SentinelResult<(Arc<Sentinel>, RecoveryReport)> {
+        Self::open_durable_inner(dir, config, opts, true)
+    }
+
+    /// [`Sentinel::open_durable`] body, with the live-journal sink made
+    /// optional: a **replica** ([`Sentinel::open_replica`]) recovers
+    /// identically but must not install the sink — its graph mutations
+    /// come from the shipped replication stream, and the apply loop
+    /// journals each entry explicitly (installing the sink too would
+    /// double-journal every applied event). Promotion installs the sink
+    /// at that point ([`Sentinel::promote`]).
+    pub(crate) fn open_durable_inner(
+        dir: &Path,
+        config: SentinelConfig,
+        opts: DurableOptions,
+        install_sink: bool,
+    ) -> SentinelResult<(Arc<Sentinel>, RecoveryReport)> {
         let t_total = Instant::now();
         // Capture the previous incarnation's flight-recorder dump *before*
         // anything in this process can overwrite it: merged into the
@@ -352,7 +368,9 @@ impl Sentinel {
         // wrappers append catalog ops. Automatic checkpoints run on the
         // engine's checkpointer thread; the hook holds only weak
         // references so the cycle engine → hook → sentinel never forms.
-        sentinel.detector().set_event_sink(Arc::new(JournalSink::new(engine.clone())));
+        if install_sink {
+            sentinel.detector().set_event_sink(Arc::new(JournalSink::new(engine.clone())));
+        }
         let det_weak = Arc::downgrade(sentinel.detector());
         let eng_weak = Arc::downgrade(&engine);
         engine.set_checkpoint_hook(Arc::new(move || {
@@ -378,7 +396,8 @@ impl Sentinel {
 
     /// Re-applies one recovered fence's graph action. Barriers order, but
     /// carry no action; flush/advance re-run their (idempotent) effects.
-    fn apply_fence(&self, kind: FenceKind) {
+    /// Also the replica apply path for shipped [`FenceKind`] entries.
+    pub(crate) fn apply_fence(&self, kind: FenceKind) {
         match kind {
             FenceKind::FlushTxn(txn) => self.detector().flush_txn(txn),
             FenceKind::AdvanceTime(to) => {
@@ -410,8 +429,10 @@ impl Sentinel {
 
     /// Re-applies one recovered catalog operation. Rule `defined_at`
     /// ticks are pinned to their recorded values so `NOW` cutoffs land
-    /// exactly where they did in the live run.
-    fn apply_catalog_op(&self, op: &CatalogOp) -> SentinelResult<()> {
+    /// exactly where they did in the live run. Also the replica apply
+    /// path for shipped DDL (under journal suppression — see
+    /// [`Sentinel::journal_op`]).
+    pub(crate) fn apply_catalog_op(&self, op: &CatalogOp) -> SentinelResult<()> {
         match op {
             CatalogOp::DefineClass { name, parent, attrs, methods } => {
                 let mut def = ClassDef::new(name).extends(parent);
@@ -465,7 +486,13 @@ impl Sentinel {
     /// Appends a catalog op if this system is durable; a no-op otherwise.
     /// Called by the DDL wrappers *after* the operation succeeded, and
     /// quiescent during recovery (the engine is installed post-replay).
+    /// Also suppressed while a replica applies shipped catalog entries:
+    /// the apply loop appends each op explicitly so the local catalog
+    /// records the primary's interleaving, not a second copy per op.
     pub(crate) fn journal_op(&self, op: &CatalogOp) -> SentinelResult<()> {
+        if self.suppress_journal.load(std::sync::atomic::Ordering::SeqCst) {
+            return Ok(());
+        }
         let engine = self.durable.lock().clone();
         if let Some(engine) = engine {
             engine.append_catalog(op)?;

@@ -38,6 +38,7 @@ pub mod codegen;
 pub mod durable;
 pub mod global;
 pub mod preprocessor;
+pub mod replica;
 pub mod sentinel;
 pub mod telemetry;
 

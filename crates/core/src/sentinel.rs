@@ -11,6 +11,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -20,8 +22,8 @@ use sentinel_detector::{Detection, DetectorStats, EventId, LocalEventDetector, V
 use sentinel_durable::{CatalogOp, DurableEngine, DurableError};
 use sentinel_obs::span::{self, TraceStore};
 use sentinel_obs::trace::Field;
-use sentinel_obs::DurabilityStats;
 use sentinel_obs::{export, json, TraceBus, TraceBusStats};
+use sentinel_obs::{DurabilityStats, FollowerLag, ReplicationStats};
 use sentinel_oodb::invoke::{Database, DbError};
 use sentinel_oodb::{AttrValue, ObjectState, Oid};
 use sentinel_rules::debugger::RuleDebugger;
@@ -153,6 +155,9 @@ pub struct SentinelStats {
     /// Durability counters (journal/catalog/checkpoint activity); `None`
     /// when the system was not opened durably.
     pub durability: Option<DurabilityStats>,
+    /// Replication state (log tip, follower lag, or a replica's apply
+    /// watermark); `None` when this node neither ships nor follows.
+    pub replication: Option<ReplicationStats>,
     /// Fire counts of catalog (`{"action": "count"}`) rules, by rule name.
     pub rule_hits: BTreeMap<String, u64>,
     /// Rendered parameters of each catalog rule's most recent firing.
@@ -186,6 +191,9 @@ impl SentinelStats {
         if let Some(d) = &self.durability {
             pairs.push(("durability".to_string(), d.to_json()));
         }
+        if let Some(r) = &self.replication {
+            pairs.push(("replication".to_string(), r.to_json()));
+        }
         json::Value::Obj(pairs)
     }
 }
@@ -216,6 +224,20 @@ pub struct Sentinel {
     /// Live time-series registry plus its sampler thread, when
     /// [`Sentinel::start_telemetry`] is on.
     pub(crate) telemetry: Mutex<crate::telemetry::TelemetrySlot>,
+    /// `true` while this node is a read-only follower; cleared by
+    /// [`Sentinel::promote`].
+    pub(crate) replica: AtomicBool,
+    /// While set, [`journal_op`](Sentinel::define_rule_spec) suppression:
+    /// catalog ops applied from a shipped replication stream must not be
+    /// re-journaled through the DDL wrappers (the apply path journals them
+    /// explicitly, preserving the primary's `at_index` interleaving).
+    pub(crate) suppress_journal: AtomicBool,
+    /// Replica-side replication status, kept fresh by the follower apply
+    /// loop (`sentinel-cluster`); `None` on a primary.
+    pub(crate) repl_status: Mutex<Option<ReplicationStats>>,
+    /// The actually-bound listen address, set by the network server once
+    /// its listener exists — the resolved port even when asked for port 0.
+    pub(crate) bound_addr: Mutex<Option<SocketAddr>>,
 }
 
 impl Sentinel {
@@ -304,6 +326,10 @@ impl Sentinel {
             rule_hits: Arc::new(Mutex::new(BTreeMap::new())),
             rule_last: Arc::new(Mutex::new(BTreeMap::new())),
             telemetry: Mutex::new(None),
+            replica: AtomicBool::new(false),
+            suppress_journal: AtomicBool::new(false),
+            repl_status: Mutex::new(None),
+            bound_addr: Mutex::new(None),
         });
         if config.detached_executor {
             sentinel.spawn_detached_executor();
@@ -414,15 +440,69 @@ impl Sentinel {
 
     /// Snapshot of the observability counters across all subsystems.
     pub fn stats(&self) -> SentinelStats {
+        // Taken before the struct literal: a guard temporary inside it
+        // would live across the `replication_stats` call below, which
+        // locks `self.durable` again.
+        let durability = self.durable.lock().as_ref().map(|e| e.stats());
         SentinelStats {
             detector: self.detector.stats(),
             scheduler: self.scheduler.stats(),
             storage: self.db.engine().stats(),
             trace_bus: self.trace.stats(),
-            durability: self.durable.lock().as_ref().map(|e| e.stats()),
+            durability,
+            replication: self.replication_stats(),
             rule_hits: self.rule_hits.lock().clone(),
             rule_last: self.rule_last.lock().clone(),
         }
+    }
+
+    /// This node's replication state: the apply-loop snapshot on a replica,
+    /// tip + follower lag on a primary with subscribers, `None` for a
+    /// plain single-node system.
+    pub fn replication_stats(&self) -> Option<ReplicationStats> {
+        if let Some(status) = self.repl_status.lock().clone() {
+            return Some(status);
+        }
+        let durable = self.durable.lock();
+        let engine = durable.as_ref()?;
+        let repl = engine.replication();
+        let followers = repl.followers();
+        if followers.is_empty() {
+            return None;
+        }
+        let tip = repl.tip();
+        Some(ReplicationStats {
+            role: "primary".into(),
+            tip,
+            followers: followers
+                .into_iter()
+                .map(|f| FollowerLag {
+                    lag: tip.saturating_sub(f.applied),
+                    name: f.name,
+                    applied: f.applied,
+                    age_secs: f.age_secs,
+                })
+                .collect(),
+            ..ReplicationStats::default()
+        })
+    }
+
+    /// `true` while this node is a read-only follower (writes are refused
+    /// over the wire; the apply loop is the only mutator).
+    pub fn is_replica(&self) -> bool {
+        self.replica.load(Ordering::SeqCst)
+    }
+
+    /// The address the network server actually bound (resolved even when
+    /// the listen address requested port 0), once a server is running.
+    pub fn bound_addr(&self) -> Option<SocketAddr> {
+        *self.bound_addr.lock()
+    }
+
+    /// Records the server's actually-bound listen address. Called by the
+    /// network layer right after `bind()` succeeds.
+    pub fn set_bound_addr(&self, addr: SocketAddr) {
+        *self.bound_addr.lock() = Some(addr);
     }
 
     // --- transactions ------------------------------------------------

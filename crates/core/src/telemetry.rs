@@ -26,6 +26,13 @@
 //! | `durability.group_commits`          | counter | group commits performed |
 //! | `durability.checkpoints`            | counter | checkpoints written |
 //! | `durability.fsync_p99_ns`           | gauge   | group-commit flush p99 |
+//! | `repl.tip`                          | gauge   | replication log tip (entries) |
+//! | `repl.lag_frames`                   | gauge   | furthest-behind follower lag / replica own lag |
+//! | `repl.applied`                      | counter | entries applied by the local apply loop (rate = follower apply rate) |
+//! | `repl.applied_seq`                  | gauge   | replica apply watermark |
+//! | `repl.last_contact_ms`              | gauge   | ms since the replica heard from its primary |
+//! | `repl.follower.<name>.lag`          | gauge   | per-follower lag in log entries |
+//! | `repl.follower.<name>.ack_age_ms`   | gauge   | ms since that follower's last ack (lag in seconds) |
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -63,6 +70,23 @@ pub fn collect_samples(stats: &SentinelStats, out: &mut Vec<Sample>) {
         out.push(Sample::counter("durability.group_commits", d.group_commits));
         out.push(Sample::counter("durability.checkpoints", d.checkpoints));
         out.push(Sample::gauge("durability.fsync_p99_ns", d.group_commit_flush.p99_ns()));
+    }
+    if let Some(r) = &stats.replication {
+        out.push(Sample::gauge("repl.tip", r.tip));
+        out.push(Sample::gauge("repl.lag_frames", r.max_lag()));
+        // Counter: the sampled delta is the follower apply rate.
+        out.push(Sample::counter("repl.applied", r.applied_entries));
+        out.push(Sample::gauge("repl.applied_seq", r.applied));
+        if let Some(s) = r.last_contact_secs {
+            out.push(Sample::gauge("repl.last_contact_ms", (s * 1000.0) as u64));
+        }
+        for f in &r.followers {
+            out.push(Sample::gauge(format!("repl.follower.{}.lag", f.name), f.lag));
+            out.push(Sample::gauge(
+                format!("repl.follower.{}.ack_age_ms", f.name),
+                (f.age_secs * 1000.0) as u64,
+            ));
+        }
     }
 }
 
@@ -147,6 +171,39 @@ pub fn render_prom(stats: &SentinelStats) -> String {
             &[],
             &d.checkpoint_duration,
         );
+    }
+    if let Some(r) = &stats.replication {
+        w.gauge("sentinel_repl_tip", "Replication log tip (entries)", &[], r.tip);
+        w.counter(
+            "sentinel_repl_applied_total",
+            "Replication entries applied by the local apply loop",
+            &[],
+            r.applied_entries,
+        );
+        w.gauge("sentinel_repl_applied_seq", "Replica apply watermark", &[], r.applied);
+        if let Some(s) = r.last_contact_secs {
+            w.gauge(
+                "sentinel_repl_last_contact_ms",
+                "Milliseconds since this replica heard from its primary",
+                &[],
+                (s * 1000.0) as u64,
+            );
+        }
+        for f in &r.followers {
+            let labels = [("follower", f.name.as_str())];
+            w.gauge(
+                "sentinel_repl_lag_frames",
+                "Per-follower replication lag in log entries",
+                &labels,
+                f.lag,
+            );
+            w.gauge(
+                "sentinel_repl_ack_age_ms",
+                "Milliseconds since the follower's last ack",
+                &labels,
+                (f.age_secs * 1000.0) as u64,
+            );
+        }
     }
     w.finish()
 }

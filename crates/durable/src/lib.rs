@@ -46,6 +46,7 @@ pub mod checkpoint;
 pub mod frame;
 pub mod group;
 pub mod journal;
+pub mod repl;
 pub mod sharded;
 
 use std::fmt;
@@ -65,6 +66,7 @@ use sentinel_obs::{DurabilityMetrics, DurabilityStats, RecoveryReport};
 
 pub use catalog::{CatalogFile, CatalogOp};
 pub use journal::Journal;
+pub use repl::{FollowerAck, ReplEntry, ReplicationLog};
 pub use sharded::{ShardedJournal, ShardedRecovery};
 
 use group::{Checkpointer, CommitterConfig, GroupCommit};
@@ -191,6 +193,37 @@ pub struct DurableEngine {
     ckpt: Arc<Checkpointer>,
     committer: Option<JoinHandle<()>>,
     checkpointer: Option<JoinHandle<()>>,
+    /// The replication stream followers tail (seeded from recovery so log
+    /// sequence numbers are stable across restarts).
+    repl: Arc<ReplicationLog>,
+}
+
+/// Seeds the replication log from what recovery found, in the exact merge
+/// order `sentinel-core` replays: catalog ops stamped `at_index <= i` and
+/// fences at `position <= i` precede journal record `i`. A log sequence
+/// number is therefore a deterministic function of the recovered history.
+fn seed_replication(repl: &ReplicationLog, recovery: &Recovery) {
+    let mut cursor = 0usize;
+    let mut fcursor = 0usize;
+    let mut epoch = 0u64;
+    let mut interleave = |repl: &ReplicationLog, upto: u64, epoch: &mut u64| {
+        while cursor < recovery.catalog_ops.len() && recovery.catalog_ops[cursor].0 <= upto {
+            let (at_index, op) = &recovery.catalog_ops[cursor];
+            repl.push(ReplEntry::Catalog { at_index: *at_index, op: op.clone() });
+            cursor += 1;
+        }
+        while fcursor < recovery.fences.len() && recovery.fences[fcursor].0 <= upto {
+            let (position, kind) = recovery.fences[fcursor];
+            repl.push(ReplEntry::Fence { position, epoch: *epoch, kind, ts: 0 });
+            *epoch += 1;
+            fcursor += 1;
+        }
+    };
+    for (i, ev) in recovery.events.iter().enumerate() {
+        interleave(repl, i as u64, &mut epoch);
+        repl.push(ReplEntry::Event { index: i as u64, shard: 0, epoch, ev: ev.clone() });
+    }
+    interleave(repl, u64::MAX, &mut epoch);
 }
 
 impl DurableEngine {
@@ -239,6 +272,9 @@ impl DurableEngine {
             report,
         };
 
+        let repl = Arc::new(ReplicationLog::default());
+        seed_replication(&repl, &recovery);
+
         let metrics = Arc::new(DurabilityMetrics::default());
         let journal = Arc::new(journal);
         let gc = Arc::new(GroupCommit::default());
@@ -278,6 +314,7 @@ impl DurableEngine {
             ckpt,
             committer: Some(committer),
             checkpointer: Some(checkpointer),
+            repl,
         };
         if let Some((tag, _)) = recovery.checkpoints.first() {
             engine.metrics.last_checkpoint_tag.set(*tag);
@@ -301,6 +338,7 @@ impl DurableEngine {
     pub fn append_catalog(&self, op: &CatalogOp) -> Result<(), DurableError> {
         let at_index = self.records.load(Ordering::SeqCst);
         self.catalog.lock().append(op, at_index)?;
+        self.repl.push(ReplEntry::Catalog { at_index, op: op.clone() });
         self.metrics.catalog_appends.inc();
         Ok(())
     }
@@ -317,6 +355,7 @@ impl DurableEngine {
         let index = self.records.fetch_add(1, Ordering::SeqCst);
         let epoch = self.epoch.load(Ordering::SeqCst);
         let out = self.journal.append(shard, epoch, ev)?;
+        self.repl.push(ReplEntry::Event { index, shard, epoch, ev: ev.clone() });
         self.metrics.journal_appends.inc();
         self.metrics.journal_bytes.add(out.bytes);
         if out.rotated {
@@ -339,6 +378,8 @@ impl DurableEngine {
     pub fn append_fence(&self, kind: FenceKind, ts: u64) -> Result<(), DurableError> {
         let epoch = self.epoch.load(Ordering::SeqCst);
         self.journal.append_fence(epoch, kind, ts)?;
+        let position = self.records.load(Ordering::SeqCst);
+        self.repl.push(ReplEntry::Fence { position, epoch, kind, ts });
         self.metrics.journal_fences.inc();
         self.metrics.journal_fsyncs.inc();
         self.epoch.fetch_add(1, Ordering::SeqCst);
@@ -348,6 +389,11 @@ impl DurableEngine {
     /// Index the next journal append will get (= records logged so far).
     pub fn next_index(&self) -> u64 {
         self.records.load(Ordering::SeqCst)
+    }
+
+    /// The replication stream followers tail.
+    pub fn replication(&self) -> &Arc<ReplicationLog> {
+        &self.repl
     }
 
     /// Installs the closure the checkpointer thread runs when the

@@ -421,6 +421,59 @@ impl SentinelClient {
             .ok_or(ClientError::BadResponse("missing chrome export"))
     }
 
+    // --- replication / cluster ---------------------------------------
+
+    /// Subscribes this client as a replication follower named `follower`;
+    /// returns the primary's reply (`{"tip": N, "app": A}`).
+    pub fn repl_subscribe(&self, follower: &str) -> Result<json::Value, ClientError> {
+        self.request(
+            Opcode::ReplSubscribe,
+            json::Value::obj([("follower", json::Value::str(follower))]),
+        )
+    }
+
+    /// Fetches a bootstrap package: `{"seq", "catalog", "snapshot",
+    /// "clock"}` — the DDL catalog prefix plus a hex-encoded graph
+    /// snapshot, consistent at log sequence `seq`.
+    pub fn repl_snapshot(&self) -> Result<json::Value, ClientError> {
+        self.request(Opcode::ReplSnapshot, json::Value::Null)
+    }
+
+    /// Fetches replication log entries `[from, from+max)`:
+    /// `{"entries": [...], "tip": N}`.
+    pub fn repl_frames(&self, from: u64, max: u64) -> Result<json::Value, ClientError> {
+        self.request(
+            Opcode::ReplFrames,
+            json::Value::obj([("from", json::Value::UInt(from)), ("max", json::Value::UInt(max))]),
+        )
+    }
+
+    /// Acknowledges that `follower` has applied entries `< applied`;
+    /// returns the primary's current tip.
+    pub fn repl_ack(&self, follower: &str, applied: u64) -> Result<u64, ClientError> {
+        let reply = self.request(
+            Opcode::ReplAck,
+            json::Value::obj([
+                ("follower", json::Value::str(follower)),
+                ("applied", json::Value::UInt(applied)),
+            ]),
+        )?;
+        reply
+            .get("tip")
+            .and_then(json::Value::as_u64)
+            .ok_or(ClientError::BadResponse("missing tip"))
+    }
+
+    /// Promotes a replica server to primary; `Ok(true)` if this call did
+    /// the promotion, `Ok(false)` if the node already was a primary.
+    pub fn promote(&self) -> Result<bool, ClientError> {
+        let reply = self.request(Opcode::Promote, json::Value::Null)?;
+        match reply.get("promoted") {
+            Some(json::Value::Bool(b)) => Ok(*b),
+            _ => Err(ClientError::BadResponse("missing promoted")),
+        }
+    }
+
     /// Round-trips `payload` through the server.
     pub fn ping(&self, payload: json::Value) -> Result<json::Value, ClientError> {
         self.request(Opcode::Ping, payload)

@@ -35,8 +35,9 @@ pub const HEADER_LEN: usize = 16;
 /// rejected at decode time before any allocation of the stated size.
 pub const MAX_PAYLOAD: usize = 1 << 20;
 
-/// Frame opcodes. Requests occupy `0x01..=0x0F`; responses have the high
-/// bit set (`0x80..`), so [`Opcode::is_response`] is one mask.
+/// Frame opcodes. Requests occupy `0x01..=0x14` (`0x10..=0x14` are the
+/// replication/cluster opcodes); responses have the high bit set
+/// (`0x80..`), so [`Opcode::is_response`] is one mask.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Opcode {
@@ -74,6 +75,23 @@ pub enum Opcode {
     /// Fetch the live telemetry scrape: `Ok {"prom": "<exposition
     /// text>", "telemetry": {<time-series ring snapshot>}}`.
     MetricsScrape = 0x0F,
+    /// A follower announces itself: `{"follower": name}` →
+    /// `Ok {"tip": seq, "app": id}`.
+    ReplSubscribe = 0x10,
+    /// Bootstrap catch-up: → `Ok {"seq", "catalog": [op...],
+    /// "snapshot": "<hex>", "clock": ts}` — the primary's graph snapshot
+    /// and full catalog at replication sequence `seq`, cut with
+    /// signalling paused.
+    ReplSnapshot = 0x11,
+    /// Tail the replication stream: `{"from": seq, "max"?: n}` →
+    /// `Ok {"entries": [...], "tip": seq}`.
+    ReplFrames = 0x12,
+    /// Acknowledge an apply watermark: `{"follower": name, "applied":
+    /// seq}` → `Ok {}`.
+    ReplAck = 0x13,
+    /// Promote this node to primary (idempotent): → `Ok {"role":
+    /// "primary"}`.
+    Promote = 0x14,
     /// Success response; payload shape depends on the request.
     Ok = 0x80,
     /// Server-reported failure: `{"code", "message"}`.
@@ -85,7 +103,7 @@ pub enum Opcode {
 impl Opcode {
     /// Every opcode, requests then responses (used by the round-trip
     /// property tests).
-    pub const ALL: [Opcode; 18] = [
+    pub const ALL: [Opcode; 23] = [
         Opcode::Hello,
         Opcode::DefineClass,
         Opcode::DefineEvent,
@@ -101,6 +119,11 @@ impl Opcode {
         Opcode::Ping,
         Opcode::Shutdown,
         Opcode::MetricsScrape,
+        Opcode::ReplSubscribe,
+        Opcode::ReplSnapshot,
+        Opcode::ReplFrames,
+        Opcode::ReplAck,
+        Opcode::Promote,
         Opcode::Ok,
         Opcode::Err,
         Opcode::Busy,
@@ -405,6 +428,12 @@ mod tests {
         assert_eq!(Opcode::Hello as u8, 0x01);
         assert_eq!(Opcode::Shutdown as u8, 0x0E);
         assert_eq!(Opcode::MetricsScrape as u8, 0x0F);
+        assert_eq!(Opcode::ReplSubscribe as u8, 0x10);
+        assert_eq!(Opcode::ReplSnapshot as u8, 0x11);
+        assert_eq!(Opcode::ReplFrames as u8, 0x12);
+        assert_eq!(Opcode::ReplAck as u8, 0x13);
+        assert_eq!(Opcode::Promote as u8, 0x14);
+        assert!(!Opcode::Promote.is_response());
         assert_eq!(Opcode::Ok as u8, 0x80);
         assert!(Opcode::Busy.is_response());
         assert!(!Opcode::SignalSync.is_response());

@@ -133,6 +133,11 @@ impl NetServer {
     pub fn start(handle: ServeHandle, cfg: ServerConfig) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        // Publish the *actually bound* address on the system handle: with
+        // port 0 in `cfg.addr` this is the only place the resolved port
+        // exists, and in-process harnesses (two-node tests, embedded
+        // servers) need it without parsing stdout.
+        handle.sentinel().set_bound_addr(local_addr);
         let metrics = Arc::new(NetMetrics::default());
         let (async_tx, async_rx) = bounded::<AsyncJob>(cfg.max_inflight_global.max(1));
         let (shutdown_tx, shutdown_rx) = unbounded::<()>();
@@ -499,6 +504,28 @@ fn handle_frame(
     frame: Frame,
 ) -> bool {
     let id = frame.request_id;
+    // A replica is read-only over the wire: the apply loop is its only
+    // mutator, so concurrent client writes can never diverge it from the
+    // primary's stream. `Promote` (or primary-loss auto-promotion) lifts
+    // the restriction.
+    let is_write = matches!(
+        frame.opcode,
+        Opcode::SignalSync
+            | Opcode::SignalAsync
+            | Opcode::DefineClass
+            | Opcode::DefineEvent
+            | Opcode::DefineRule
+            | Opcode::EnableRule
+            | Opcode::DisableRule
+            | Opcode::DropRule
+    );
+    if is_write && state.handle.sentinel().is_replica() {
+        return send(
+            stream,
+            state,
+            &err_frame(id, "read-only", "node is a read-only replica (Promote to accept writes)"),
+        );
+    }
     match frame.opcode {
         Opcode::Ping => send(stream, state, &Frame::new(Opcode::Ok, id, frame.payload)),
         // Monitoring is read-only and session-free, like Ping: a scraper
@@ -562,6 +589,45 @@ fn handle_frame(
         }
         Opcode::DropRule => {
             reply_result(stream, state, id, rule_admin(state, &frame.payload, RuleAdmin::Drop))
+        }
+        Opcode::ReplSubscribe => {
+            let follower = frame
+                .payload
+                .get("follower")
+                .and_then(json::Value::as_str)
+                .unwrap_or("follower")
+                .to_string();
+            let r = state.handle.sentinel().repl_subscribe_json(&follower);
+            reply_result(stream, state, id, r.map_err(|e| e.to_string()))
+        }
+        Opcode::ReplSnapshot => {
+            let r = state.handle.sentinel().repl_snapshot_json();
+            reply_result(stream, state, id, r.map_err(|e| e.to_string()))
+        }
+        Opcode::ReplFrames => {
+            let from = frame.payload.get("from").and_then(json::Value::as_u64).unwrap_or(0);
+            let max = frame.payload.get("max").and_then(json::Value::as_u64).unwrap_or(1024);
+            let r = state.handle.sentinel().repl_frames_json(from, max);
+            reply_result(stream, state, id, r.map_err(|e| e.to_string()))
+        }
+        Opcode::ReplAck => {
+            let follower = frame
+                .payload
+                .get("follower")
+                .and_then(json::Value::as_str)
+                .unwrap_or("follower")
+                .to_string();
+            let applied = frame.payload.get("applied").and_then(json::Value::as_u64).unwrap_or(0);
+            let r = state.handle.sentinel().repl_ack_json(&follower, applied);
+            reply_result(stream, state, id, r.map_err(|e| e.to_string()))
+        }
+        Opcode::Promote => {
+            let promoted = state.handle.sentinel().promote();
+            let reply = json::Value::obj([
+                ("role", json::Value::str("primary")),
+                ("promoted", json::Value::Bool(promoted)),
+            ]);
+            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
         }
         Opcode::Shutdown => {
             let ok = send(stream, state, &Frame::new(Opcode::Ok, id, json::Value::Null));

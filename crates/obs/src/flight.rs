@@ -58,6 +58,16 @@ pub enum FlightKind {
     Shutdown,
     /// A panic reached the hook.
     Panic,
+    /// A primary served a replication frame slice to a follower
+    /// (`a` = from-sequence, `b` = entries shipped).
+    Ship,
+    /// A follower acknowledged an apply watermark (`a` = applied).
+    Ack,
+    /// A follower bootstrapped from a primary snapshot
+    /// (`a` = base sequence, `b` = catalog ops shipped).
+    CatchUp,
+    /// A follower was promoted to primary (`a` = applied watermark).
+    Promote,
 }
 
 impl FlightKind {
@@ -72,6 +82,10 @@ impl FlightKind {
             FlightKind::Recovery => "recovery",
             FlightKind::Shutdown => "shutdown",
             FlightKind::Panic => "panic",
+            FlightKind::Ship => "ship",
+            FlightKind::Ack => "ack",
+            FlightKind::CatchUp => "catch_up",
+            FlightKind::Promote => "promote",
         }
     }
 }

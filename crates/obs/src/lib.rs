@@ -24,6 +24,8 @@
 //! * [`durability`] — counters for the `sentinel-durable` subsystem
 //!   (journal appends/bytes/fsyncs, checkpoint durations) plus the
 //!   structured recovery report.
+//! * [`repl`] — the `replication` stats section a clustered node reports
+//!   (log tip, per-follower lag, a replica's apply watermark).
 //! * [`timeseries`] — a lock-cheap time-series registry: fixed-interval
 //!   ring buffers of counter deltas and gauge levels, sampled by a 1 Hz
 //!   thread, snapshotted as JSON for live dashboards.
@@ -42,6 +44,7 @@ pub mod flight;
 pub mod json;
 pub mod net;
 pub mod prom;
+pub mod repl;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
@@ -53,6 +56,7 @@ pub use durability::{DurabilityMetrics, DurabilityStats, RecoveryReport};
 pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use net::{NetMetrics, NetStats};
 pub use prom::PromText;
+pub use repl::{FollowerLag, ReplicationStats};
 pub use span::{SpanContext, SpanId, SpanRecord, TraceId, TraceStore};
 pub use timeseries::{Sample, SampleKind, SamplerHandle, TimeSeriesRegistry};
 pub use trace::{Field, TraceBus, TraceBusStats, TraceRecord};

@@ -1,0 +1,379 @@
+//! Multi-node replication end-to-end, over real loopback sockets: a
+//! follower tailing a primary's replication stream through the
+//! `sentinel-cluster` apply loop, read-only gating and read consistency
+//! at the ack watermark, catch-up after a torn local journal tail, and
+//! the distributed global detector checked byte-for-byte against a
+//! single-node oracle in all four parameter contexts.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sentinel_cluster::{forward_to_node, Follower, FollowerConfig};
+use sentinel_core::durable_store::{DurableOptions, FsyncPolicy};
+use sentinel_core::{Sentinel, SentinelConfig};
+use sentinel_detector::Value;
+use sentinel_net::{ClientError, NetServer, SentinelClient, ServerConfig};
+use sentinel_obs::flight::{self, FlightKind};
+use sentinel_obs::json;
+use sentinel_obs::span::REMOTE_TRACE_BIT;
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sentinel-cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> DurableOptions {
+    DurableOptions { fsync: FsyncPolicy::Never, ..DurableOptions::default() }
+}
+
+/// Durable primary behind a real loopback server on an OS-picked port.
+fn start_primary(dir: &std::path::Path) -> (Arc<Sentinel>, NetServer, String) {
+    let (sentinel, _) = Sentinel::open_durable(dir, SentinelConfig::default(), opts()).unwrap();
+    let server = NetServer::start(sentinel.serve_handle(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    (sentinel, server, addr)
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < timeout {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+/// Applied watermark the primary has recorded for `name`, if any.
+fn acked(primary: &Sentinel, name: &str) -> Option<u64> {
+    primary
+        .durable_engine()
+        .unwrap()
+        .replication()
+        .followers()
+        .into_iter()
+        .find(|f| f.name == name)
+        .map(|f| f.applied)
+}
+
+fn follower_cfg(primary_addr: &str, name: &str, dir: &std::path::Path) -> FollowerConfig {
+    let mut cfg = FollowerConfig::new(primary_addr, name, dir);
+    cfg.poll = Duration::from_millis(5);
+    cfg.lease = None; // explicit promotion only: no surprise self-crowning
+    cfg.checkpoint_every = 4;
+    cfg
+}
+
+/// Once the primary records the follower's ack at its own tip, the
+/// follower has applied every shipped entry: its reads (stats over the
+/// wire) reflect the full stream, its replication status says so, and
+/// writes are still refused until an explicit `Promote` — after which
+/// the half-detected composite completes with pre-promotion parameters.
+#[test]
+fn follower_reads_consistent_at_ack_watermark_and_writes_gated() {
+    let pdir = tmp("watermark-p");
+    let rdir = tmp("watermark-r");
+    let (primary, _pserver, paddr) = start_primary(&pdir);
+
+    let admin = SentinelClient::connect(&paddr, "admin").unwrap();
+    admin.define_event("e_a", None).unwrap();
+    admin.define_event("e_b", None).unwrap();
+    admin.define_event("pair", Some("e_a ; e_b")).unwrap();
+    primary
+        .define_rule_spec(
+            &json::Value::parse(
+                r#"{"name":"R","event":"pair","context":"chronicle","action":{"action":"count"}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    // Half-open composite: `e_a` ships, `e_b` arrives only after failover.
+    admin.signal_sync("e_a", &[(Arc::from("k"), Value::Int(7))], None).unwrap();
+
+    let (replica, _) = Sentinel::open_replica(&rdir, SentinelConfig::default(), opts()).unwrap();
+    let rserver = NetServer::start(replica.serve_handle(), ServerConfig::default()).unwrap();
+    let raddr = rserver.local_addr().to_string();
+    let follower = Follower::start(replica.clone(), follower_cfg(&paddr, "f1", &rdir));
+
+    // The tip is read fresh inside the poll: the follower's own bootstrap
+    // snapshot cuts a barrier fence on the primary, growing the log by one.
+    let repl = primary.durable_engine().unwrap().replication().clone();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let tip = repl.tip();
+            tip > 0 && acked(&primary, "f1") == Some(tip)
+        }),
+        "follower ack never reached the primary tip {} (got {:?})",
+        repl.tip(),
+        acked(&primary, "f1")
+    );
+    // A second initiator lands *after* bootstrap, so it reaches the
+    // follower as a live shipped frame rather than inside the snapshot.
+    admin.signal_sync("e_a", &[(Arc::from("k"), Value::Int(8))], None).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), || acked(&primary, "f1") == Some(repl.tip())),
+        "live frame never acked (got {:?} of {})",
+        acked(&primary, "f1"),
+        repl.tip()
+    );
+    let tip = repl.tip();
+
+    // Read consistency at the watermark, over the wire.
+    let reader = SentinelClient::connect(&raddr, "reader").unwrap();
+    let stats = reader.stats().unwrap();
+    let repl = stats.get("replication").expect("replica publishes replication status");
+    assert_eq!(repl.get("role").and_then(json::Value::as_str), Some("replica"));
+    assert_eq!(repl.get("applied").and_then(json::Value::as_u64), Some(tip));
+    assert_eq!(
+        repl.get("primary").and_then(json::Value::as_str),
+        Some(paddr.as_str()),
+        "replica names its primary"
+    );
+    // Applying the stream fires nothing: detections are dropped as in
+    // recovery (the primary's rules already ran).
+    assert_eq!(stats.get("rule_hits").and_then(|h| h.get("R")), None);
+    // The primary's own stats see the follower caught up.
+    let pstats = admin.stats().unwrap();
+    let prepl = pstats.get("replication").expect("primary with followers reports replication");
+    assert_eq!(prepl.get("role").and_then(json::Value::as_str), Some("primary"));
+    let followers = prepl.get("followers").and_then(json::Value::as_arr).unwrap();
+    assert_eq!(followers.len(), 1);
+    assert_eq!(followers[0].get("lag").and_then(json::Value::as_u64), Some(0));
+
+    // Writes are refused while in replica role...
+    match reader.signal_sync("e_b", &[], None) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "read-only"),
+        other => panic!("write on a replica must be refused, got {other:?}"),
+    }
+    match reader.define_event("rogue", None) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "read-only"),
+        other => panic!("DDL on a replica must be refused, got {other:?}"),
+    }
+
+    // ...until promoted, after which the composite completes with the
+    // pre-failover constituent's parameters intact.
+    follower.stop();
+    assert!(reader.promote().unwrap());
+    reader.signal_sync("e_b", &[(Arc::from("m"), Value::Int(9))], None).unwrap();
+    let stats = reader.stats().unwrap();
+    assert_eq!(
+        stats.get("rule_hits").and_then(|h| h.get("R")).and_then(json::Value::as_u64),
+        Some(1)
+    );
+    let last = stats
+        .get("rule_last")
+        .and_then(|h| h.get("R"))
+        .and_then(json::Value::as_str)
+        .expect("rule params recorded");
+    assert!(last.contains("e_a(k=7)"), "shipped constituent params survive failover: {last}");
+    assert!(last.contains("e_b(m=9)"), "post-promotion constituent: {last}");
+
+    // The shipping left its mark in the flight recorder: Ship on range
+    // serves, Ack on watermarks, CatchUp on the bootstrap.
+    let kinds: Vec<FlightKind> = flight::global().snapshot().iter().map(|e| e.kind).collect();
+    for want in [FlightKind::Ship, FlightKind::Ack, FlightKind::CatchUp, FlightKind::Promote] {
+        assert!(kinds.contains(&want), "flight recorder missing {want:?} (got {kinds:?})");
+    }
+
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+/// A follower that crashes with a torn local journal tail recovers from
+/// its bootstrap checkpoint plus the surviving journal prefix, resumes
+/// tailing at the recomputed watermark, and re-fetches exactly the torn
+/// suffix from the primary — converging back to the primary's tip.
+#[test]
+fn follower_catches_up_from_checkpoint_after_truncated_journal_tail() {
+    let pdir = tmp("torn-p");
+    let rdir = tmp("torn-r");
+    let (primary, _pserver, paddr) = start_primary(&pdir);
+
+    let admin = SentinelClient::connect(&paddr, "admin").unwrap();
+    admin.define_event("tick", None).unwrap();
+    primary
+        .define_rule_spec(
+            &json::Value::parse(r#"{"name":"T","event":"tick","action":{"action":"count"}}"#)
+                .unwrap(),
+        )
+        .unwrap();
+    for _ in 0..6 {
+        admin.signal_sync("tick", &[], None).unwrap();
+    }
+    // Read fresh inside each poll: the bootstrap snapshot cuts a barrier
+    // fence on the primary, growing the log past any pre-captured tip.
+    let repl = primary.durable_engine().unwrap().replication().clone();
+
+    {
+        let (replica, _) =
+            Sentinel::open_replica(&rdir, SentinelConfig::default(), opts()).unwrap();
+        let follower = Follower::start(replica.clone(), follower_cfg(&paddr, "f2", &rdir));
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                let tip = repl.tip();
+                tip > 0 && acked(&primary, "f2") == Some(tip)
+            }),
+            "initial catch-up stalled at {:?} of {}",
+            acked(&primary, "f2"),
+            repl.tip()
+        );
+        // Seven more ticks arrive as live frames: the apply loop journals
+        // them into the replica's own shard segments (torn below).
+        for _ in 0..7 {
+            admin.signal_sync("tick", &[], None).unwrap();
+        }
+        assert!(
+            wait_until(Duration::from_secs(10), || acked(&primary, "f2") == Some(repl.tip())),
+            "live tail stalled at {:?} of {}",
+            acked(&primary, "f2"),
+            repl.tip()
+        );
+        follower.stop();
+        replica.flush_journal().unwrap();
+        // Drop = crash: durable Sentinels never flush on drop.
+    }
+
+    // Tear the newest shard segment a few bytes short — a torn write on
+    // the replica's own journal.
+    let newest_seg = std::fs::read_dir(&rdir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".seg"))
+        })
+        .max()
+        .expect("replica journaled shard segments");
+    let len = std::fs::metadata(&newest_seg).unwrap().len();
+    std::fs::OpenOptions::new().write(true).open(&newest_seg).unwrap().set_len(len - 3).unwrap();
+
+    let (replica, report) =
+        Sentinel::open_replica(&rdir, SentinelConfig::default(), opts()).unwrap();
+    assert!(report.checkpoint_tag.is_some(), "bootstrap/apply checkpoints restored");
+    assert!(report.truncated_bytes > 0, "the torn tail was repaired by truncation");
+    let local_before = replica.durable_engine().unwrap().replication().tip();
+
+    // Resume: the loop recomputes its watermark from the (shorter) local
+    // log and re-fetches the lost suffix. The primary's recorded ack
+    // never regresses, so the convergence signal is the replica's own
+    // apply watermark reaching the primary's tip.
+    let follower = Follower::start(replica.clone(), follower_cfg(&paddr, "f2", &rdir));
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            replica.replication_stats().map(|r| r.applied) == Some(repl.tip())
+        }),
+        "post-crash catch-up stalled at {:?} of {}",
+        replica.replication_stats().map(|r| r.applied),
+        repl.tip()
+    );
+    follower.stop();
+    let local_after = replica.durable_engine().unwrap().replication().tip();
+    assert!(local_after > local_before, "the torn suffix was re-shipped and re-journaled");
+
+    // The caught-up replica is equivalent to the primary: promote it and
+    // the counting rule picks up exactly where the primary's left off.
+    assert!(replica.promote());
+    replica.raise(None, "tick", vec![]).unwrap();
+    assert_eq!(replica.stats().rule_hits.get("T"), Some(&1));
+
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+/// Helper for the cross-node test: the four per-context counting rules
+/// over the inter-application composite.
+fn define_context_rules(s: &Sentinel) {
+    for ctx in ["recent", "chronicle", "continuous", "cumulative"] {
+        s.define_rule_spec(
+            &json::Value::parse(&format!(
+                r#"{{"name":"R_{ctx}","event":"both","context":"{ctx}","action":{{"action":"count"}}}}"#
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+    }
+}
+
+/// A `SEQ` whose constituents arrive on different nodes detects at the
+/// global node with parameter bindings byte-identical to a single-node
+/// detector fed the same leaves, in all four parameter contexts — and
+/// when tracing is on, the forwarded signals stitch the nodes' span
+/// stores into one trace id, so one Chrome export spans both nodes.
+#[test]
+fn cross_node_composite_matches_single_node_oracle_in_all_contexts() {
+    // Global-detector node: an ordinary Sentinel server holding the
+    // inter-application composite over forwarded leaves.
+    let global = Sentinel::in_memory();
+    global.set_tracing(true);
+    global.declare_explicit("app1.sale").unwrap();
+    global.declare_explicit("app2.audit").unwrap();
+    global.define_event("both", "app1.sale ; app2.audit").unwrap();
+    define_context_rules(&global);
+    let gserver = NetServer::start(global.serve_handle(), ServerConfig::default()).unwrap();
+    let gaddr = gserver.local_addr().to_string();
+
+    // Node A (app 1) forwards `sale`; node B (app 2) forwards `audit`.
+    let node_a =
+        Sentinel::in_memory_with(SentinelConfig { app_id: 1, ..SentinelConfig::default() });
+    node_a.set_tracing(true);
+    node_a.declare_explicit("sale").unwrap();
+    forward_to_node(&node_a, "sale", Arc::new(SentinelClient::connect(&gaddr, "fwd-a").unwrap()))
+        .unwrap();
+    let node_b =
+        Sentinel::in_memory_with(SentinelConfig { app_id: 2, ..SentinelConfig::default() });
+    node_b.declare_explicit("audit").unwrap();
+    forward_to_node(&node_b, "audit", Arc::new(SentinelClient::connect(&gaddr, "fwd-b").unwrap()))
+        .unwrap();
+
+    // Drive node A over its own wire with a client trace id, so the
+    // forwarding hop has an ambient span to propagate.
+    let aserver = NetServer::start(node_a.serve_handle(), ServerConfig::default()).unwrap();
+    let aclient = SentinelClient::connect(&aserver.local_addr().to_string(), "driver").unwrap();
+    const TRACE: u64 = 424_242;
+    // Two sales with distinct params make the four contexts genuinely
+    // disagree about initiator bindings; then the audit closes the SEQ.
+    aclient.signal_sync_traced("sale", &[(Arc::from("k"), Value::Int(1))], None, TRACE).unwrap();
+    aclient.signal_sync_traced("sale", &[(Arc::from("k"), Value::Int(2))], None, TRACE).unwrap();
+    node_b.raise(None, "audit", vec![(Arc::from("m"), Value::Int(3))]).unwrap();
+
+    // signal_sync is synchronous end-to-end: by now the global node has
+    // detected. Build the single-node oracle fed the same leaf stream.
+    let oracle = Sentinel::in_memory();
+    oracle.declare_explicit("app1.sale").unwrap();
+    oracle.declare_explicit("app2.audit").unwrap();
+    oracle.define_event("both", "app1.sale ; app2.audit").unwrap();
+    define_context_rules(&oracle);
+    oracle.raise(None, "app1.sale", vec![(Arc::from("k"), Value::Int(1))]).unwrap();
+    oracle.raise(None, "app1.sale", vec![(Arc::from("k"), Value::Int(2))]).unwrap();
+    oracle.raise(None, "app2.audit", vec![(Arc::from("m"), Value::Int(3))]).unwrap();
+
+    let got = global.stats();
+    let want = oracle.stats();
+    for ctx in ["recent", "chronicle", "continuous", "cumulative"] {
+        let rule = format!("R_{ctx}");
+        assert_eq!(
+            got.rule_hits.get(&rule),
+            want.rule_hits.get(&rule),
+            "{ctx}: cross-node hit count differs from single-node"
+        );
+        assert_eq!(
+            got.rule_last.get(&rule),
+            want.rule_last.get(&rule),
+            "{ctx}: cross-node parameter bindings differ from single-node"
+        );
+        assert!(want.rule_last.contains_key(&rule), "{ctx}: oracle fired");
+    }
+
+    // Provenance stitching: the global node adopted the forwarded trace,
+    // so both nodes' Chrome exports carry the same (remote-bit) trace id.
+    let stitched = TRACE | REMOTE_TRACE_BIT;
+    let a_trace = node_a.export_chrome_trace();
+    let g_trace = global.export_chrome_trace();
+    let pid = format!("\"pid\":{stitched}");
+    assert!(a_trace.contains(&pid), "node A's export carries the adopted trace id");
+    assert!(g_trace.contains(&pid), "global node's export stitches the same trace id");
+}
