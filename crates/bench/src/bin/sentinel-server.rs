@@ -5,7 +5,22 @@
 //!
 //!   --addr <host:port>      bind address (default 127.0.0.1:7878; port 0
 //!                           lets the OS pick — the chosen port is printed)
-//!   --max-connections <N>   concurrent connection cap (default 64)
+//!   --max-connections <N>   concurrent connection cap (default 64;
+//!                           raise well past 10000 for C10K runs — the
+//!                           reactor holds idle connections for free)
+//!   --event-loops <N>       epoll event loops serving sockets
+//!                           (default 2; 0 selects the portable
+//!                           thread-per-connection reference backend)
+//!   --codec <V>             newest wire codec to grant at Hello:
+//!                           `v2` (default; binary payload bodies) or
+//!                           `v1` (JSON only — emulates an old server
+//!                           for compatibility testing)
+//!   --stall-ms <N>          evict a connection stuck mid-frame or with
+//!                           unread replies after N ms (default 30000;
+//!                           idle connections are never evicted)
+//!   --max-write-queue <N>   per-connection write-queue byte cap before
+//!                           a non-reading peer is evicted (default
+//!                           4194304; one max-size frame always fits)
 //!   --global-inflight <N>   global in-flight signal cap (default 1024)
 //!   --session-inflight <N>  per-session queued-async cap (default 128)
 //!   --detector-threads <N>  detector workers behind the async pump
@@ -113,6 +128,27 @@ fn parse_args() -> Args {
                 args.cfg.max_connections =
                     value("--max-connections").parse().expect("--max-connections <N>");
             }
+            "--event-loops" => {
+                args.cfg.event_loops = value("--event-loops").parse().expect("--event-loops <N>");
+            }
+            "--codec" => {
+                args.cfg.max_codec_version = match value("--codec").as_str() {
+                    "v1" => sentinel_net::protocol::VERSION,
+                    "v2" => sentinel_net::protocol::VERSION_MAX,
+                    other => {
+                        eprintln!("--codec wants v1 or v2, got {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--stall-ms" => {
+                args.cfg.stall_timeout =
+                    Duration::from_millis(value("--stall-ms").parse().expect("--stall-ms <N>"));
+            }
+            "--max-write-queue" => {
+                args.cfg.max_write_queue =
+                    value("--max-write-queue").parse().expect("--max-write-queue <N>");
+            }
             "--global-inflight" => {
                 args.cfg.max_inflight_global =
                     value("--global-inflight").parse().expect("--global-inflight <N>");
@@ -149,6 +185,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "sentinel-server [--addr HOST:PORT] [--max-connections N] \
+                     [--event-loops N] [--codec v1|v2] [--stall-ms N] \
+                     [--max-write-queue N] \
                      [--global-inflight N] [--session-inflight N] \
                      [--detector-threads N] [--tracing] [--data-dir DIR] \
                      [--fsync always|never|every=N] [--checkpoint-every N] \

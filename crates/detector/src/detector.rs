@@ -63,6 +63,13 @@ use crate::snapshot::{GraphSnapshot, NodeSnapshot, RestoreError};
 /// detector never interprets it.
 pub type SubscriberId = u64;
 
+thread_local! {
+    /// Per-thread signalling suppression (see
+    /// [`LocalEventDetector::set_signaling`]): true while a rule
+    /// condition is evaluating on this thread.
+    static SIGNALING_SUPPRESSED: Cell<bool> = const { Cell::new(false) };
+}
+
 /// A whole-graph ordering point cut through an [`EventSink`]: everything
 /// recorded before the fence happened-before everything recorded after
 /// it, across all shards. Cut by transaction flushes, time advances,
@@ -177,10 +184,6 @@ pub struct LocalEventDetector {
     shards: RwLock<Vec<Arc<ShardState>>>,
     clock: Arc<LogicalClock>,
     app: u32,
-    /// When false, primitive-event signalling is suppressed — the paper's
-    /// global flag that prevents events raised *during condition
-    /// evaluation* from being detected (§3.2.1).
-    signaling: AtomicBool,
     /// When true every signal quiesces all shards (batch recording on),
     /// so log order equals timestamp order.
     serial: AtomicBool,
@@ -360,7 +363,6 @@ impl LocalEventDetector {
             shards: RwLock::new(shards),
             clock,
             app,
-            signaling: AtomicBool::new(true),
             serial: AtomicBool::new(false),
             log: Mutex::new(None),
             sink: RwLock::new(None),
@@ -757,15 +759,24 @@ impl LocalEventDetector {
 
     // --- signalling -------------------------------------------------------
 
-    /// Enables/disables primitive-event signalling (disabled while a rule
-    /// condition runs, since conditions must be side-effect free, §3.2.1).
+    /// Enables/disables primitive-event signalling *on the calling
+    /// thread* (disabled while a rule condition runs, since conditions
+    /// must be side-effect free, §3.2.1).
+    ///
+    /// The paper's flag is global because its detector is single-threaded
+    /// per application. Here many server threads signal one shared
+    /// detector concurrently, and a condition only ever runs on the
+    /// thread whose signal fired the rule — so the suppression is scoped
+    /// to that thread. A process-wide flag would silently drop *other*
+    /// connections' unrelated signals that happen to arrive while any
+    /// condition is evaluating (whole batches vanish under load).
     pub fn set_signaling(&self, on: bool) {
-        self.signaling.store(on, Ordering::SeqCst);
+        SIGNALING_SUPPRESSED.with(|s| s.set(!on));
     }
 
-    /// Whether signalling is currently enabled.
+    /// Whether signalling is currently enabled on the calling thread.
     pub fn signaling(&self) -> bool {
-        self.signaling.load(Ordering::SeqCst)
+        !SIGNALING_SUPPRESSED.with(Cell::get)
     }
 
     /// Wrapper-method notification: a method of `class` on object `oid` was
@@ -849,18 +860,15 @@ impl LocalEventDetector {
                         .unwrap_or(0);
                     let ts = self.stamp(at);
                     if live {
-                        self.record(
-                            label,
-                            LoggedEvent::Method {
-                                class: class.to_string(),
-                                sig: sig.to_string(),
-                                edge,
-                                oid,
-                                params: params.clone(),
-                                txn,
-                                ts,
-                            },
-                        );
+                        self.record(label, Arc::from(class), ts, txn, || LoggedEvent::Method {
+                            class: class.to_string(),
+                            sig: sig.to_string(),
+                            edge,
+                            oid,
+                            params: params.clone(),
+                            txn,
+                            ts,
+                        });
                     }
                     let labels = Self::all_labels(shards);
                     self.method_core(graph, shards, &labels, class, sig, edge, oid, params, txn, ts)
@@ -874,18 +882,15 @@ impl LocalEventDetector {
                 // journal must not drop it).
                 let ts = self.stamp(at);
                 if live {
-                    self.record(
-                        0,
-                        LoggedEvent::Method {
-                            class: class.to_string(),
-                            sig: sig.to_string(),
-                            edge,
-                            oid,
-                            params,
-                            txn,
-                            ts,
-                        },
-                    );
+                    self.record(0, Arc::from(class), ts, txn, || LoggedEvent::Method {
+                        class: class.to_string(),
+                        sig: sig.to_string(),
+                        edge,
+                        oid,
+                        params: params.clone(),
+                        txn,
+                        ts,
+                    });
                 }
                 self.signals.fetch_add(1, Ordering::Relaxed);
                 return Vec::new();
@@ -901,18 +906,15 @@ impl LocalEventDetector {
             }
             let ts = self.stamp(at);
             if live {
-                self.record(
-                    label,
-                    LoggedEvent::Method {
-                        class: class.to_string(),
-                        sig: sig.to_string(),
-                        edge,
-                        oid,
-                        params: params.clone(),
-                        txn,
-                        ts,
-                    },
-                );
+                self.record(label, Arc::from(class), ts, txn, || LoggedEvent::Method {
+                    class: class.to_string(),
+                    sig: sig.to_string(),
+                    edge,
+                    oid,
+                    params: params.clone(),
+                    txn,
+                    ts,
+                });
             }
             return self.method_core(
                 &graph,
@@ -1099,15 +1101,14 @@ impl LocalEventDetector {
                 return self.quiesce(|graph, shards| {
                     let ts = self.stamp(at);
                     if live {
-                        self.record(
-                            graph.shard_of(leaf),
+                        self.record(graph.shard_of(leaf), graph.name_of(leaf), ts, txn, || {
                             LoggedEvent::Explicit {
                                 name: name.to_string(),
                                 params: params.clone(),
                                 txn,
                                 ts,
-                            },
-                        );
+                            }
+                        });
                     }
                     let labels = Self::all_labels(shards);
                     self.explicit_core(graph, shards, &labels, leaf, params, txn, ts)
@@ -1126,15 +1127,12 @@ impl LocalEventDetector {
             }
             let ts = self.stamp(at);
             if live {
-                self.record(
-                    label,
-                    LoggedEvent::Explicit {
-                        name: name.to_string(),
-                        params: params.clone(),
-                        txn,
-                        ts,
-                    },
-                );
+                self.record(label, graph.name_of(leaf), ts, txn, || LoggedEvent::Explicit {
+                    name: name.to_string(),
+                    params: params.clone(),
+                    txn,
+                    ts,
+                });
             }
             return self.explicit_core(&graph, &shards, &[label], leaf, params, txn, ts);
         }
@@ -1550,22 +1548,32 @@ impl LocalEventDetector {
         });
     }
 
-    fn record(&self, shard: u32, ev: LoggedEvent) {
+    /// Records one accepted signal: flight-recorded always (the label is
+    /// an `Arc` clone of an interned name — no allocation), materialized
+    /// into a [`LoggedEvent`] via `make` only when a batch-recording log
+    /// or a durable sink is actually attached. An in-memory system thus
+    /// pays no per-signal string/param clones on the hot path.
+    fn record(
+        &self,
+        shard: u32,
+        label: Arc<str>,
+        ts: Timestamp,
+        txn: Option<u64>,
+        make: impl FnOnce() -> LoggedEvent,
+    ) {
         // Flight-record the accepted signal before the sink call: a sink
         // may block on a group commit, and the committer's dump should
         // already see this entry.
-        {
-            let name = match &ev {
-                LoggedEvent::Explicit { name, .. } => name.as_str(),
-                LoggedEvent::Method { class, .. } => class.as_str(),
-            };
-            sentinel_obs::flight::global().record(
-                sentinel_obs::flight::FlightKind::Signal,
-                Arc::from(name),
-                ev.ts(),
-                ev.txn().unwrap_or(0),
-            );
+        sentinel_obs::flight::global().record(
+            sentinel_obs::flight::FlightKind::Signal,
+            label,
+            ts,
+            txn.unwrap_or(0),
+        );
+        if self.log.lock().is_none() && self.sink.read().is_none() {
+            return;
         }
+        let ev = make();
         if let Some(log) = self.log.lock().as_mut() {
             log.push(ev.clone());
         }

@@ -11,6 +11,18 @@
 //! request and rejecting it, [`ClientError::Busy`] is backpressure —
 //! retry later — and [`ClientError::Disconnected`] means the connection
 //! died while a response was outstanding.
+//!
+//! **Wire version.** `Hello` (always sent as v1 JSON, which every server
+//! build understands) advertises the client's `max_version`; the server
+//! replies with the highest version both sides speak, and all subsequent
+//! frames on the connection use it ([`ClientCodec`] can pin either
+//! version instead of negotiating).
+//!
+//! **Request-id spaces are per-connection.** Every connection draws its
+//! ids from a distinct 2³² range, so after a reconnect a stale response
+//! to an old request id (e.g. one still draining out of a reactor write
+//! queue) can never match — and thus never be routed to — a new
+//! connection's [`Pending`] handle.
 
 use std::collections::HashMap;
 use std::net::TcpStream;
@@ -64,6 +76,27 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// Which payload codec a connection should use after `Hello`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientCodec {
+    /// Negotiate: advertise binary, accept whatever the server grants
+    /// (old JSON-only servers answer `version: 1`). The default.
+    Auto,
+    /// Pin v1 JSON bodies, even against a binary-capable server.
+    Json,
+    /// Require v2 binary bodies; connecting to a server that only speaks
+    /// JSON fails with [`ClientError::BadResponse`].
+    Binary,
+}
+
+/// One signal in a [`SentinelClient::signal_batch`] /
+/// [`SentinelClient::send_batch`] frame: `(event, params, txn)`.
+pub type BatchSignal<'a> = (&'a str, &'a [(Arc<str>, EventValue)], Option<u64>);
+
+/// Hands each connection a disjoint 2³² request-id range (see the module
+/// docs on reconnect safety).
+static CONN_EPOCH: AtomicU64 = AtomicU64::new(0);
+
 struct Shared {
     writer: Mutex<TcpStream>,
     pending: Mutex<HashMap<u64, Sender<Frame>>>,
@@ -76,6 +109,9 @@ pub struct SentinelClient {
     next_id: AtomicU64,
     reader: Option<JoinHandle<()>>,
     session: u64,
+    /// Wire version for frames after `Hello` (1 = JSON, 2 = binary);
+    /// fixed at connect time, before the client is ever shared.
+    wire: u8,
 }
 
 /// An in-flight request; [`Pending::wait`] blocks for its response.
@@ -199,8 +235,18 @@ impl RuleSpec {
 }
 
 impl SentinelClient {
-    /// Connects and opens a session named `client`.
+    /// Connects and opens a session named `client`, negotiating the
+    /// binary codec when the server supports it ([`ClientCodec::Auto`]).
     pub fn connect(addr: &str, client: &str) -> Result<SentinelClient, ClientError> {
+        Self::connect_with(addr, client, ClientCodec::Auto)
+    }
+
+    /// [`SentinelClient::connect`] with an explicit codec choice.
+    pub fn connect_with(
+        addr: &str,
+        client: &str,
+        codec: ClientCodec,
+    ) -> Result<SentinelClient, ClientError> {
         let stream =
             TcpStream::connect(addr).map_err(|e| ClientError::Transport(WireError::Io(e)))?;
         let _ = stream.set_nodelay(true);
@@ -216,17 +262,43 @@ impl SentinelClient {
             .name("sentinel-client-reader".into())
             .spawn(move || reader_loop(reader_stream, &reader_shared))
             .expect("spawn client reader");
-        let mut c =
-            SentinelClient { shared, next_id: AtomicU64::new(0), reader: Some(reader), session: 0 };
-        let hello =
-            c.request(Opcode::Hello, json::Value::obj([("client", json::Value::str(client))]))?;
+        let epoch = CONN_EPOCH.fetch_add(1, Ordering::SeqCst);
+        let mut c = SentinelClient {
+            shared,
+            next_id: AtomicU64::new(epoch.wrapping_shl(32)),
+            reader: Some(reader),
+            session: 0,
+            wire: protocol::VERSION,
+        };
+        let advertise = match codec {
+            ClientCodec::Json => protocol::VERSION,
+            ClientCodec::Auto | ClientCodec::Binary => protocol::VERSION_BINARY,
+        };
+        // Hello itself always travels as v1 JSON (`c.wire` is still 1
+        // here): that is what makes an old server answer at all.
+        let hello = c.request(
+            Opcode::Hello,
+            json::Value::obj([
+                ("client", json::Value::str(client)),
+                ("max_version", json::Value::UInt(u64::from(advertise))),
+            ]),
+        )?;
         c.session = hello.get("session").and_then(json::Value::as_u64).unwrap_or_default();
+        let granted = hello
+            .get("version")
+            .and_then(json::Value::as_u64)
+            .unwrap_or(u64::from(protocol::VERSION)) as u8;
+        c.wire = granted.min(advertise).max(protocol::VERSION);
+        if codec == ClientCodec::Binary && c.wire < protocol::VERSION_BINARY {
+            return Err(ClientError::BadResponse("server does not speak the binary codec"));
+        }
         Ok(c)
     }
 
     /// [`SentinelClient::connect`] with doubling backoff: up to `attempts`
     /// tries, sleeping `backoff` (then 2×, 4×, …) between failures. Lets a
-    /// client outlive a server restart.
+    /// client outlive a server restart. Each successful attempt is a fresh
+    /// connection with a fresh request-id space.
     pub fn connect_with_backoff(
         addr: &str,
         client: &str,
@@ -252,6 +324,12 @@ impl SentinelClient {
         self.session
     }
 
+    /// The wire version negotiated at `Hello` (1 = JSON bodies,
+    /// 2 = binary codec).
+    pub fn negotiated_version(&self) -> u8 {
+        self.wire
+    }
+
     /// Sends a request without waiting — the pipelining primitive. Call
     /// [`Pending::wait`] for the response; further sends may happen in
     /// between.
@@ -265,7 +343,7 @@ impl SentinelClient {
         let frame = Frame::new(opcode, id, payload);
         let res = {
             let mut writer = self.shared.writer.lock();
-            protocol::write_frame(&mut *writer, &frame)
+            protocol::write_frame_with(&mut *writer, &frame, self.wire)
         };
         if let Err(e) = res {
             self.shared.pending.lock().remove(&id);
@@ -380,6 +458,30 @@ impl SentinelClient {
             .get("detections")
             .and_then(json::Value::as_u64)
             .ok_or(ClientError::BadResponse("missing detections"))
+    }
+
+    /// Signals many events in one `SignalBatch` frame. The batch runs
+    /// inline, in order, as **one** unit against the server's global
+    /// inflight cap — a `Busy` covers the whole batch and nothing was
+    /// processed, so retrying preserves event order. Returns
+    /// `(accepted, detections)` totals.
+    pub fn signal_batch(&self, signals: &[BatchSignal<'_>]) -> Result<(u64, u64), ClientError> {
+        let reply = self.send_batch(signals)?.wait()?;
+        let get = |k| reply.get(k).and_then(json::Value::as_u64);
+        match (get("accepted"), get("detections")) {
+            (Some(a), Some(d)) => Ok((a, d)),
+            _ => Err(ClientError::BadResponse("missing batch totals")),
+        }
+    }
+
+    /// [`SentinelClient::signal_batch`] without waiting — the pipelining
+    /// form (several batches may be in flight at once).
+    pub fn send_batch(&self, signals: &[BatchSignal<'_>]) -> Result<Pending, ClientError> {
+        let list: Vec<json::Value> = signals
+            .iter()
+            .map(|(event, params, txn)| signal_payload(event, params, *txn, None))
+            .collect();
+        self.send(Opcode::SignalBatch, json::Value::obj([("signals", json::Value::Arr(list))]))
     }
 
     /// Queues a signal on the server and returns as soon as it is

@@ -1,0 +1,333 @@
+//! The compact binary payload codec (wire version 2): CBOR-style tagged
+//! encoding of [`json::Value`] trees.
+//!
+//! Version 1 frames carry UTF-8 JSON text; version 2 frames carry the
+//! same value trees in CBOR's head-byte form — major type in the high 3
+//! bits, additional info in the low 5 — which makes the common payload
+//! shapes (event-param tuples, stats snapshots, trace roll-ups) several
+//! times smaller and removes text parsing from the hot path entirely:
+//!
+//! | major | meaning            | encodes                               |
+//! |------:|--------------------|---------------------------------------|
+//! |     0 | unsigned integer   | `UInt`, and non-negative `Int`        |
+//! |     1 | negative integer   | negative `Int` (`-1 - n`)             |
+//! |     3 | text string        | `Str` (UTF-8, length-prefixed)        |
+//! |     4 | array              | `Arr` (definite length)               |
+//! |     5 | map                | `Obj` (text keys, insertion order)    |
+//! |     7 | simple/float       | `false`/`true`/`null`, f64 (info 27)  |
+//!
+//! Additional info `0..=23` is an immediate value; `24`/`25`/`26`/`27`
+//! mean a 1/2/4/8-byte big-endian argument follows. Encoding always picks
+//! the shortest argument width, so encoding is canonical: equal values
+//! produce identical bytes.
+//!
+//! Decoding is **total and canonicalizing**: arbitrary bytes yield
+//! `Ok`/`Err`, never a panic, and a decoded tree is in the same canonical
+//! form [`json::Value::parse`] produces (non-negative integers are
+//! `UInt`, negatives `Int`, floats stay `Float`) — which is what makes
+//! the JSON-vs-binary differential property (`tests/net_codec.rs`) an
+//! equality, not an equivalence. Guards: nesting is capped at
+//! [`MAX_DEPTH`], and every declared length is checked against the bytes
+//! actually remaining before anything is allocated, so a 5-byte buffer
+//! claiming a 4 GiB string is rejected immediately.
+
+use sentinel_obs::json;
+
+/// Maximum nesting depth a decoded value may have. Deeper input is
+/// rejected (`"nesting too deep"`) instead of recursing toward stack
+/// exhaustion; the encoder enforces the same cap so the two stay in sync.
+pub const MAX_DEPTH: usize = 64;
+
+/// Why a byte buffer failed to decode as a value.
+pub type CodecError = &'static str;
+
+// CBOR head bytes for the fixed simple values.
+const SIMPLE_FALSE: u8 = 0xF4;
+const SIMPLE_TRUE: u8 = 0xF5;
+const SIMPLE_NULL: u8 = 0xF6;
+const FLOAT64: u8 = 0xFB;
+
+/// Encodes `v` onto the end of `out`. Returns `Err` only when the tree
+/// nests deeper than [`MAX_DEPTH`] (the decoder would refuse it anyway).
+pub fn encode_value(v: &json::Value, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    encode_at(v, out, 0)
+}
+
+/// Encodes `v` into a fresh buffer.
+pub fn encode_to_vec(v: &json::Value) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    encode_value(v, &mut out)?;
+    Ok(out)
+}
+
+fn encode_at(v: &json::Value, out: &mut Vec<u8>, depth: usize) -> Result<(), CodecError> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep");
+    }
+    match v {
+        json::Value::Null => out.push(SIMPLE_NULL),
+        json::Value::Bool(false) => out.push(SIMPLE_FALSE),
+        json::Value::Bool(true) => out.push(SIMPLE_TRUE),
+        json::Value::UInt(n) => head(out, 0, *n),
+        json::Value::Int(n) if *n >= 0 => head(out, 0, *n as u64),
+        json::Value::Int(n) => head(out, 1, !(*n) as u64), // -1 - n, two's complement
+        json::Value::Float(f) => {
+            out.push(FLOAT64);
+            out.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+        json::Value::Str(s) => {
+            head(out, 3, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        json::Value::Arr(items) => {
+            head(out, 4, items.len() as u64);
+            for item in items {
+                encode_at(item, out, depth + 1)?;
+            }
+        }
+        json::Value::Obj(pairs) => {
+            head(out, 5, pairs.len() as u64);
+            for (k, val) in pairs {
+                head(out, 3, k.len() as u64);
+                out.extend_from_slice(k.as_bytes());
+                encode_at(val, out, depth + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a CBOR head: 3-bit major type + shortest-form argument.
+fn head(out: &mut Vec<u8>, major: u8, arg: u64) {
+    let m = major << 5;
+    match arg {
+        0..=23 => out.push(m | arg as u8),
+        24..=0xFF => {
+            out.push(m | 24);
+            out.push(arg as u8);
+        }
+        0x100..=0xFFFF => {
+            out.push(m | 25);
+            out.extend_from_slice(&(arg as u16).to_be_bytes());
+        }
+        0x1_0000..=0xFFFF_FFFF => {
+            out.push(m | 26);
+            out.extend_from_slice(&(arg as u32).to_be_bytes());
+        }
+        _ => {
+            out.push(m | 27);
+            out.extend_from_slice(&arg.to_be_bytes());
+        }
+    }
+}
+
+/// Decodes one value spanning exactly `bytes` (trailing bytes are an
+/// error, mirroring [`json::Value::parse`]'s strictness).
+pub fn decode_value(bytes: &[u8]) -> Result<json::Value, CodecError> {
+    let mut d = Decoder { bytes, pos: 0 };
+    let v = d.value(0)?;
+    if d.pos != bytes.len() {
+        return Err("trailing bytes after value");
+    }
+    Ok(v)
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Decoder<'_> {
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self.bytes.get(self.pos).ok_or("truncated value")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        if end > self.bytes.len() {
+            return Err("truncated value");
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a head's argument given its additional-info bits.
+    fn arg(&mut self, info: u8) -> Result<u64, CodecError> {
+        match info {
+            0..=23 => Ok(u64::from(info)),
+            24 => Ok(u64::from(self.byte()?)),
+            25 => Ok(u64::from(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))),
+            26 => Ok(u64::from(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))),
+            27 => Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes"))),
+            _ => Err("reserved length encoding"),
+        }
+    }
+
+    /// A declared element/byte count, sanity-checked against the bytes
+    /// remaining (every element costs at least `unit` bytes), so hostile
+    /// lengths fail before any allocation of the stated size.
+    fn checked_len(&self, n: u64, unit: usize) -> Result<usize, CodecError> {
+        let remaining = self.bytes.len() - self.pos;
+        let n = usize::try_from(n).map_err(|_| "length exceeds buffer")?;
+        match n.checked_mul(unit.max(1)) {
+            Some(need) if need <= remaining => Ok(n),
+            _ => Err("length exceeds buffer"),
+        }
+    }
+
+    fn text(&mut self, info: u8) -> Result<String, CodecError> {
+        let len = self.arg(info)?;
+        let len = self.checked_len(len, 1)?;
+        let raw = self.take(len)?;
+        match std::str::from_utf8(raw) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => Err("string is not utf-8"),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<json::Value, CodecError> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep");
+        }
+        let b = self.byte()?;
+        let (major, info) = (b >> 5, b & 0x1F);
+        match major {
+            // Canonical form matches the JSON parser: non-negative → UInt.
+            0 => Ok(json::Value::UInt(self.arg(info)?)),
+            1 => {
+                let n = self.arg(info)?;
+                if n > i64::MAX as u64 {
+                    return Err("negative integer overflows i64");
+                }
+                Ok(json::Value::Int(-1 - (n as i64)))
+            }
+            3 => Ok(json::Value::Str(self.text(info)?)),
+            4 => {
+                let arg = self.arg(info)?;
+                let n = self.checked_len(arg, 1)?;
+                let mut items = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(json::Value::Arr(items))
+            }
+            5 => {
+                // Two bytes minimum per entry: a key head and a value byte.
+                let arg = self.arg(info)?;
+                let n = self.checked_len(arg, 2)?;
+                let mut pairs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let kb = self.byte()?;
+                    if kb >> 5 != 3 {
+                        return Err("map key is not text");
+                    }
+                    let key = self.text(kb & 0x1F)?;
+                    pairs.push((key, self.value(depth + 1)?));
+                }
+                Ok(json::Value::Obj(pairs))
+            }
+            7 => match b {
+                SIMPLE_FALSE => Ok(json::Value::Bool(false)),
+                SIMPLE_TRUE => Ok(json::Value::Bool(true)),
+                SIMPLE_NULL => Ok(json::Value::Null),
+                FLOAT64 => {
+                    let bits = u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes"));
+                    Ok(json::Value::Float(f64::from_bits(bits)))
+                }
+                _ => Err("unsupported simple value"),
+            },
+            _ => Err("unsupported major type"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: json::Value) {
+        let bytes = encode_to_vec(&v).unwrap();
+        assert_eq!(decode_value(&bytes).unwrap(), v, "bytes {bytes:02x?}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(json::Value::Null);
+        round_trip(json::Value::Bool(true));
+        round_trip(json::Value::Bool(false));
+        round_trip(json::Value::UInt(0));
+        round_trip(json::Value::UInt(23));
+        round_trip(json::Value::UInt(24));
+        round_trip(json::Value::UInt(u64::MAX));
+        round_trip(json::Value::Int(-1));
+        round_trip(json::Value::Int(i64::MIN));
+        round_trip(json::Value::Float(2.5));
+        round_trip(json::Value::str("héllo — ünïcode"));
+        round_trip(json::Value::str(""));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(json::Value::Arr(vec![]));
+        round_trip(json::Value::obj([
+            ("k", json::Value::UInt(7)),
+            ("nested", json::Value::Arr(vec![json::Value::Int(-3), json::Value::Null])),
+        ]));
+    }
+
+    #[test]
+    fn non_negative_int_canonicalizes_to_uint() {
+        // Same canonical form the JSON text round trip produces.
+        let bytes = encode_to_vec(&json::Value::Int(5)).unwrap();
+        assert_eq!(decode_value(&bytes).unwrap(), json::Value::UInt(5));
+    }
+
+    #[test]
+    fn encoding_is_canonical_shortest_form() {
+        assert_eq!(encode_to_vec(&json::Value::UInt(5)).unwrap(), vec![0x05]);
+        assert_eq!(encode_to_vec(&json::Value::UInt(200)).unwrap(), vec![0x18, 200]);
+        assert_eq!(encode_to_vec(&json::Value::Int(-1)).unwrap(), vec![0x20]);
+        assert_eq!(encode_to_vec(&json::Value::str("a")).unwrap(), vec![0x61, b'a']);
+    }
+
+    #[test]
+    fn hostile_lengths_fail_before_allocation() {
+        // A tiny buffer claiming a 4 GiB string.
+        assert!(decode_value(&[0x7A, 0xFF, 0xFF, 0xFF, 0xFF]).is_err());
+        // An array claiming u64::MAX elements.
+        let mut b = vec![0x80 | 27];
+        b.extend_from_slice(&u64::MAX.to_be_bytes());
+        assert!(decode_value(&b).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // 1000 nested single-element arrays: decoder must refuse, not
+        // recurse to stack exhaustion.
+        let mut b = vec![0x81u8; 1000];
+        b.push(0x00);
+        assert_eq!(decode_value(&b), Err("nesting too deep"));
+        // And the encoder refuses to produce what the decoder rejects.
+        let mut v = json::Value::UInt(0);
+        for _ in 0..(MAX_DEPTH + 2) {
+            v = json::Value::Arr(vec![v]);
+        }
+        assert!(encode_to_vec(&v).is_err());
+    }
+
+    #[test]
+    fn truncations_and_garbage_are_errors_not_panics() {
+        let v = json::Value::obj([("k", json::Value::Arr(vec![json::Value::UInt(300)]))]);
+        let bytes = encode_to_vec(&v).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(decode_value(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        for b in 0..=255u8 {
+            let _ = decode_value(&[b]);
+            let _ = decode_value(&[b, b, b]);
+        }
+    }
+}

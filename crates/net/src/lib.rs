@@ -6,27 +6,39 @@
 //! (§2.3) recast as a served system, as production reactive-rule engines
 //! deploy (rule engines as networked CEP services).
 //!
-//! Three layers:
+//! The layers:
 //!
-//! * [`protocol`] — a versioned, length-prefixed binary framing with JSON
-//!   payloads; strict size limits, total (never-panicking) decoding;
-//! * [`server`] — thread-per-connection [`server::NetServer`] wrapping a
-//!   [`sentinel_core::ServeHandle`]: named sessions, the full command
-//!   set, per-session/global backpressure, graceful drain-on-shutdown;
+//! * [`protocol`] — a versioned, length-prefixed framing with two wire
+//!   versions behind one 16-byte header: v1 JSON payload bodies and v2
+//!   compact binary bodies ([`codec`]); strict size limits, total
+//!   (never-panicking) decoding;
+//! * [`codec`] — the CBOR-style binary payload codec v2 frames carry;
+//! * [`server`] — [`server::NetServer`] wrapping a
+//!   [`sentinel_core::ServeHandle`] behind either transport backend:
+//!   the default epoll [`reactor`] (nonblocking sockets, bounded write
+//!   queues, stall eviction) or the portable thread-per-connection
+//!   reference path — named sessions, the full command set,
+//!   per-session/global backpressure, graceful drain-on-shutdown;
 //! * [`client`] — blocking [`client::SentinelClient`] with request
-//!   pipelining by request id, reconnect-with-backoff, and typed errors
-//!   separating transport failures from server-reported ones.
+//!   pipelining by request id, per-connection request-id spaces,
+//!   codec negotiation at `Hello`, reconnect-with-backoff, and typed
+//!   errors separating transport failures from server-reported ones.
 //!
-//! Only `std::net` is used: the workspace builds offline, so there is no
-//! async runtime — concurrency is OS threads and bounded queues.
+//! No external async runtime and no libc crate: the workspace builds
+//! offline, so the reactor binds the few epoll/eventfd syscalls it needs
+//! by hand and everything else is `std::net`, OS threads, and bounded
+//! queues.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod codec;
+mod commands;
 pub mod protocol;
+mod reactor;
 pub mod server;
 
-pub use client::{ClientError, Pending, RuleSpec, SentinelClient};
+pub use client::{BatchSignal, ClientCodec, ClientError, Pending, RuleSpec, SentinelClient};
 pub use protocol::{DecodeError, EncodeError, Frame, Opcode, WireError};
 pub use server::{NetServer, ServerConfig};

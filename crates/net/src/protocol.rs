@@ -1,18 +1,27 @@
-//! The Sentinel wire protocol: versioned, length-prefixed binary frames
-//! carrying JSON payloads.
+//! The Sentinel wire protocol: versioned, length-prefixed binary frames.
 //!
-//! Every frame is a fixed 16-byte header followed by an optional UTF-8
-//! JSON payload (rendered/parsed with [`sentinel_obs::json`], the same
-//! serializer the stats snapshots use):
+//! Every frame is a fixed 16-byte header followed by an optional payload
+//! whose encoding the header's *version byte* selects — version 1 is
+//! UTF-8 JSON text (rendered/parsed with [`sentinel_obs::json`], the same
+//! serializer the stats snapshots use), version 2 is the compact binary
+//! codec in [`crate::codec`] (CBOR-style tags over the same value trees):
 //!
 //! | offset | size | field       | value                                  |
 //! |-------:|-----:|-------------|----------------------------------------|
 //! |      0 |    2 | magic       | `b"SN"`                                |
-//! |      2 |    1 | version     | [`VERSION`] (`1`)                      |
+//! |      2 |    1 | version     | `1` = JSON payload, `2` = binary codec |
 //! |      3 |    1 | opcode      | [`Opcode`] discriminant                |
 //! |      4 |    8 | request id  | `u64` little-endian, chosen by sender  |
 //! |     12 |    4 | payload len | `u32` little-endian, ≤ [`MAX_PAYLOAD`] |
-//! |     16 |    n | payload     | UTF-8 JSON (absent when len = 0)       |
+//! |     16 |    n | payload     | JSON text or codec bytes (absent if 0) |
+//!
+//! Both versions carry the *same* decoded [`Frame`]: the version byte is
+//! a per-frame codec tag, not a session mode, so a polyglot server just
+//! answers each request in the version it arrived in and a v1-only
+//! client never sees a v2 byte. Version negotiation happens in `Hello`
+//! (the client states its `max_version`, the server answers with the
+//! highest version both sides and [`decode_with`]'s caller accept) — see
+//! `net::client` for the downgrade path against old servers.
 //!
 //! Responses echo the request id, which is what lets a client pipeline
 //! many requests on one connection and match replies as they return.
@@ -25,10 +34,16 @@ use std::io::{self, Read, Write};
 
 use sentinel_obs::json;
 
+use crate::codec;
+
 /// First two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"SN";
-/// Protocol version this build speaks.
+/// The baseline protocol version: JSON payload bodies.
 pub const VERSION: u8 = 1;
+/// The compact-codec protocol version: binary payload bodies.
+pub const VERSION_BINARY: u8 = 2;
+/// Highest version this build speaks.
+pub const VERSION_MAX: u8 = VERSION_BINARY;
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// Hard ceiling on a frame's payload (1 MiB). Oversized frames are
@@ -92,6 +107,12 @@ pub enum Opcode {
     /// Promote this node to primary (idempotent): → `Ok {"role":
     /// "primary"}`.
     Promote = 0x14,
+    /// Signal many events in one frame, processed in array order:
+    /// `{"signals": [{"event", "params"?, "txn"?, "trace"?}, ...]}` →
+    /// `Ok {"accepted": n, "detections": total}`. The batch counts as
+    /// *one* unit against the global in-flight cap, so a `Busy` rejection
+    /// always covers the whole batch and a retry preserves event order.
+    SignalBatch = 0x15,
     /// Success response; payload shape depends on the request.
     Ok = 0x80,
     /// Server-reported failure: `{"code", "message"}`.
@@ -103,7 +124,7 @@ pub enum Opcode {
 impl Opcode {
     /// Every opcode, requests then responses (used by the round-trip
     /// property tests).
-    pub const ALL: [Opcode; 23] = [
+    pub const ALL: [Opcode; 24] = [
         Opcode::Hello,
         Opcode::DefineClass,
         Opcode::DefineEvent,
@@ -124,6 +145,7 @@ impl Opcode {
         Opcode::ReplFrames,
         Opcode::ReplAck,
         Opcode::Promote,
+        Opcode::SignalBatch,
         Opcode::Ok,
         Opcode::Err,
         Opcode::Busy,
@@ -204,31 +226,50 @@ impl fmt::Display for EncodeError {
 
 impl std::error::Error for EncodeError {}
 
-/// Encodes a frame to wire bytes.
+/// Encodes a frame to wire bytes in the baseline (version 1, JSON)
+/// encoding — what pre-codec builds speak.
 pub fn encode(frame: &Frame) -> Result<Vec<u8>, EncodeError> {
-    let body = match &frame.payload {
-        json::Value::Null => String::new(),
-        p => p.to_string(),
+    encode_with(frame, VERSION)
+}
+
+/// Encodes a frame to wire bytes in the given protocol version
+/// (`1` = JSON text payload, `2` = compact binary payload).
+pub fn encode_with(frame: &Frame, version: u8) -> Result<Vec<u8>, EncodeError> {
+    let body: Vec<u8> = match version {
+        VERSION_BINARY => match &frame.payload {
+            json::Value::Null => Vec::new(),
+            p => codec::encode_to_vec(p).map_err(|_| EncodeError::Oversized(usize::MAX))?,
+        },
+        _ => match &frame.payload {
+            json::Value::Null => Vec::new(),
+            p => p.to_string().into_bytes(),
+        },
     };
     if body.len() > MAX_PAYLOAD {
         return Err(EncodeError::Oversized(body.len()));
     }
     let mut out = Vec::with_capacity(HEADER_LEN + body.len());
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(if version == VERSION_BINARY { VERSION_BINARY } else { VERSION });
     out.push(frame.opcode as u8);
     out.extend_from_slice(&frame.request_id.to_le_bytes());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(body.as_bytes());
+    out.extend_from_slice(&body);
     Ok(out)
 }
 
-/// Validates a 16-byte header, returning `(opcode, request_id, payload_len)`.
-fn decode_header(h: &[u8; HEADER_LEN]) -> Result<(Opcode, u64, usize), DecodeError> {
+/// Validates a 16-byte header, returning
+/// `(version, opcode, request_id, payload_len)`. `max_version` bounds the
+/// versions accepted, so a v1-only endpoint rejects v2 frames exactly
+/// like a pre-codec build did.
+fn decode_header(
+    h: &[u8; HEADER_LEN],
+    max_version: u8,
+) -> Result<(u8, Opcode, u64, usize), DecodeError> {
     if h[0..2] != MAGIC {
         return Err(DecodeError::BadMagic([h[0], h[1]]));
     }
-    if h[2] != VERSION {
+    if h[2] < VERSION || h[2] > max_version {
         return Err(DecodeError::BadVersion(h[2]));
     }
     let opcode = Opcode::from_u8(h[3]).ok_or(DecodeError::UnknownOpcode(h[3]))?;
@@ -237,18 +278,22 @@ fn decode_header(h: &[u8; HEADER_LEN]) -> Result<(Opcode, u64, usize), DecodeErr
     if len as usize > MAX_PAYLOAD {
         return Err(DecodeError::Oversized(len));
     }
-    Ok((opcode, request_id, len as usize))
+    Ok((h[2], opcode, request_id, len as usize))
 }
 
-fn parse_payload(bytes: &[u8]) -> Result<json::Value, DecodeError> {
+fn parse_payload(version: u8, bytes: &[u8]) -> Result<json::Value, DecodeError> {
     if bytes.is_empty() {
         return Ok(json::Value::Null);
+    }
+    if version == VERSION_BINARY {
+        return codec::decode_value(bytes).map_err(DecodeError::BadPayload);
     }
     let text = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadPayload("invalid utf-8"))?;
     json::Value::parse(text).map_err(|e| DecodeError::BadPayload(e.message))
 }
 
-/// Tries to decode one frame from the front of `buf`.
+/// Tries to decode one frame from the front of `buf`, accepting every
+/// version this build speaks (see [`decode_with`]).
 ///
 /// * `Ok(Some((frame, consumed)))` — a complete frame; drop `consumed`
 ///   bytes from the buffer before decoding again.
@@ -256,9 +301,16 @@ fn parse_payload(bytes: &[u8]) -> Result<json::Value, DecodeError> {
 /// * `Err(_)` — the stream is corrupt at the buffer's front; the only
 ///   safe recovery is closing the connection.
 pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
+    decode_with(buf, VERSION_MAX).map(|r| r.map(|(f, _, used)| (f, used)))
+}
+
+/// [`decode`] with an explicit version ceiling, also reporting which
+/// version the frame arrived in — a polyglot server answers each request
+/// in the version it came in, so v1 clients never see a v2 byte.
+pub fn decode_with(buf: &[u8], max_version: u8) -> Result<Option<(Frame, u8, usize)>, DecodeError> {
     if buf.len() < HEADER_LEN {
-        // Reject garbage early: a wrong magic or version is detectable
-        // from the first bytes alone, before a full header arrives.
+        // Reject garbage early: a wrong magic is detectable from the
+        // first bytes alone, before a full header arrives.
         if !MAGIC.starts_with(&buf[..buf.len().min(2)]) {
             return Err(DecodeError::BadMagic([
                 buf.first().copied().unwrap_or_default(),
@@ -268,13 +320,13 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, DecodeError> {
         return Ok(None);
     }
     let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("checked length");
-    let (opcode, request_id, len) = decode_header(header)?;
+    let (version, opcode, request_id, len) = decode_header(header, max_version)?;
     let total = HEADER_LEN + len;
     if buf.len() < total {
         return Ok(None);
     }
-    let payload = parse_payload(&buf[HEADER_LEN..total])?;
-    Ok(Some((Frame { opcode, request_id, payload }, total)))
+    let payload = parse_payload(version, &buf[HEADER_LEN..total])?;
+    Ok(Some((Frame { opcode, request_id, payload }, version, total)))
 }
 
 /// Transport-or-framing error for the stream helpers.
@@ -316,21 +368,32 @@ impl From<EncodeError> for WireError {
     }
 }
 
-/// Writes one frame, returning the bytes put on the wire.
+/// Writes one frame in the baseline (JSON) encoding, returning the bytes
+/// put on the wire.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<usize, WireError> {
-    let bytes = encode(frame)?;
+    write_frame_with(w, frame, VERSION)
+}
+
+/// Writes one frame in the given protocol version.
+pub fn write_frame_with<W: Write>(
+    w: &mut W,
+    frame: &Frame,
+    version: u8,
+) -> Result<usize, WireError> {
+    let bytes = encode_with(frame, version)?;
     w.write_all(&bytes)?;
     Ok(bytes.len())
 }
 
-/// Reads exactly one frame, blocking until it is complete.
+/// Reads exactly one frame (either payload version), blocking until it is
+/// complete.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(Frame, usize), WireError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
-    let (opcode, request_id, len) = decode_header(&header)?;
+    let (version, opcode, request_id, len) = decode_header(&header, VERSION_MAX)?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    let payload = parse_payload(&payload)?;
+    let payload = parse_payload(version, &payload)?;
     Ok((Frame { opcode, request_id, payload }, HEADER_LEN + len))
 }
 
@@ -408,6 +471,31 @@ mod tests {
     }
 
     #[test]
+    fn binary_frames_round_trip_and_are_version_tagged() {
+        for op in Opcode::ALL {
+            let f = frame(op);
+            let bytes = encode_with(&f, VERSION_BINARY).unwrap();
+            assert_eq!(bytes[2], VERSION_BINARY);
+            let (back, version, used) =
+                decode_with(&bytes, VERSION_MAX).unwrap().expect("complete");
+            assert_eq!(back, f);
+            assert_eq!(version, VERSION_BINARY);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn v1_ceiling_rejects_binary_frames_like_an_old_build() {
+        let bytes = encode_with(&frame(Opcode::Ping), VERSION_BINARY).unwrap();
+        assert!(matches!(
+            decode_with(&bytes, VERSION),
+            Err(DecodeError::BadVersion(VERSION_BINARY))
+        ));
+        // The permissive entry point still takes it.
+        assert!(decode(&bytes).unwrap().is_some());
+    }
+
+    #[test]
     fn params_round_trip() {
         let params: Vec<(Arc<str>, EventValue)> = vec![
             (Arc::from("i"), EventValue::Int(-3)),
@@ -433,7 +521,9 @@ mod tests {
         assert_eq!(Opcode::ReplFrames as u8, 0x12);
         assert_eq!(Opcode::ReplAck as u8, 0x13);
         assert_eq!(Opcode::Promote as u8, 0x14);
+        assert_eq!(Opcode::SignalBatch as u8, 0x15);
         assert!(!Opcode::Promote.is_response());
+        assert!(!Opcode::SignalBatch.is_response());
         assert_eq!(Opcode::Ok as u8, 0x80);
         assert!(Opcode::Busy.is_response());
         assert!(!Opcode::SignalSync.is_response());

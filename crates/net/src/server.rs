@@ -1,35 +1,53 @@
 //! The Sentinel network server: many clients, one shared active DBMS.
 //!
-//! Thread model (`std::net` only — the workspace is offline, so no async
-//! runtime): one acceptor thread, one OS thread per connection (bounded by
-//! [`ServerConfig::max_connections`]), one *async pump* thread that routes
-//! queued signals into a [`DetectorPool`] of
-//! [`ServerConfig::detector_threads`] workers — the paper's Figure 2
-//! separation of detection from application execution, applied at the
-//! network boundary and scaled across event-graph shards. Signals of one
-//! shard stay FIFO on one worker; disjoint shards detect concurrently. A
-//! dispatcher thread drains pooled detections into the rule scheduler so
-//! slow rule actions never stall signal intake.
+//! Two interchangeable transport backends serve the same command set
+//! (shared via [`crate::commands`]) behind one [`NetServer`] front:
+//!
+//! * **epoll reactor** (default, [`ServerConfig::event_loops`] > 0):
+//!   a small fixed set of event loops multiplexing nonblocking sockets —
+//!   see [`crate::reactor`]. This is the C10K path: connections cost a
+//!   few KiB of buffers, not a thread.
+//! * **thread-per-connection** (`event_loops = 0`): one acceptor thread
+//!   and one OS thread per connection (bounded by
+//!   [`ServerConfig::max_connections`]), kept as the portable reference
+//!   implementation; the conformance suite in `tests/net_loopback.rs`
+//!   runs against both.
+//!
+//! Either way, one *async pump* thread routes queued signals into a
+//! [`DetectorPool`] of [`ServerConfig::detector_threads`] workers — the
+//! paper's Figure 2 separation of detection from application execution,
+//! applied at the network boundary and scaled across event-graph shards.
+//! Signals of one shard stay FIFO on one worker; disjoint shards detect
+//! concurrently. A dispatcher thread drains pooled detections into the
+//! rule scheduler so slow rule actions never stall signal intake.
 //!
 //! Request handling per connection is serial, but clients pipeline: every
 //! frame carries a request id and responses echo it, so a client may have
-//! many requests outstanding on one socket.
+//! many requests outstanding on one socket. Frames arrive in either wire
+//! version (v1 JSON / v2 binary, up to
+//! [`ServerConfig::max_codec_version`]) and the server answers each in
+//! the version it arrived in.
 //!
 //! Backpressure is explicit, never unbounded queueing:
 //!
-//! * **sync signals** run inline on the connection thread and are capped
+//! * **sync signals** (and [`crate::protocol::Opcode::SignalBatch`]
+//!   frames, each counting as one unit) run inline and are capped
 //!   globally ([`ServerConfig::max_inflight_global`]) — past the cap the
 //!   server answers `Busy {"scope": "global"}`;
 //! * **async signals** enter a bounded queue drained by the pump; a full
 //!   queue is a global `Busy`, and each session is further capped at
 //!   [`ServerConfig::max_inflight_per_session`] queued signals
-//!   (`Busy {"scope": "session"}`).
+//!   (`Busy {"scope": "session"}`);
+//! * the reactor additionally bounds each connection's **write queue**
+//!   ([`ServerConfig::max_write_queue`]) and evicts peers that stall
+//!   mid-frame or mid-write past [`ServerConfig::stall_timeout`].
 //!
 //! Graceful shutdown (client `Shutdown` frame or [`NetServer::shutdown`])
-//! stops accepting, joins every connection thread, closes the async queue
-//! so the pump drains it, and finally calls [`DetectorPool::shutdown`],
-//! which processes everything still queued on every worker before joining
-//! them (and the dispatcher drains the last detections).
+//! stops accepting, winds down the backend (joining connection threads or
+//! event loops), closes the async queue so the pump drains it, and
+//! finally calls [`DetectorPool::shutdown`], which processes everything
+//! still queued on every worker before joining them (and the dispatcher
+//! drains the last detections).
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,18 +56,19 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sentinel_core::ServeHandle;
 use sentinel_detector::service::{ServiceMetrics, Signal};
 use sentinel_detector::DetectorPool;
-use sentinel_obs::flight::{self, FlightKind};
 use sentinel_obs::span;
 use sentinel_obs::timeseries::Sample;
 use sentinel_obs::trace::Field;
-use sentinel_obs::{json, NetMetrics, PromText};
+use sentinel_obs::NetMetrics;
 
-use crate::protocol::{self, Frame, Opcode, WireError};
+use crate::commands::{self, Outcome, Session};
+use crate::protocol::{self, Frame, WireError};
+use crate::reactor::Reactor;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -64,13 +83,29 @@ pub struct ServerConfig {
     pub max_inflight_per_session: usize,
     /// Global cap on in-flight signals (inline sync + queued async).
     pub max_inflight_global: usize,
-    /// Socket read timeout — the granularity at which connection threads
-    /// notice a shutdown.
+    /// Socket read timeout — the granularity at which *threaded*
+    /// connection threads notice a shutdown (unused by the reactor,
+    /// which is woken by eventfd).
     pub read_timeout: Duration,
     /// Detector worker threads behind the async pump. Signals of one
     /// event-graph shard always run FIFO on one worker; more threads let
     /// disjoint shards detect concurrently.
     pub detector_threads: usize,
+    /// Reactor event loops; `0` selects the thread-per-connection
+    /// backend instead.
+    pub event_loops: usize,
+    /// Highest wire version this server accepts and advertises
+    /// ([`protocol::VERSION`] = JSON only, [`protocol::VERSION_BINARY`]
+    /// adds the compact codec). Lowering it emulates an old server for
+    /// negotiation tests.
+    pub max_codec_version: u8,
+    /// Reactor: bytes of unsent responses a connection may accumulate
+    /// before it is evicted (always at least one max-size frame).
+    pub max_write_queue: usize,
+    /// Reactor: a connection stuck mid-frame or mid-write longer than
+    /// this is evicted; zero disables the scan. Idle connections are
+    /// never evicted.
+    pub stall_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -82,49 +117,53 @@ impl Default for ServerConfig {
             max_inflight_global: 1024,
             read_timeout: Duration::from_millis(50),
             detector_threads: 1,
+            event_loops: 2,
+            max_codec_version: protocol::VERSION_MAX,
+            max_write_queue: 4 << 20,
+            stall_timeout: Duration::from_secs(30),
         }
     }
 }
 
 /// A signal accepted from a `SignalAsync` frame, waiting for the pump.
-struct AsyncJob {
-    event: String,
-    params: Vec<(Arc<str>, sentinel_detector::Value)>,
-    txn: Option<u64>,
-    trace: Option<u64>,
+pub(crate) struct AsyncJob {
+    pub(crate) event: String,
+    pub(crate) params: Vec<(Arc<str>, sentinel_detector::Value)>,
+    pub(crate) txn: Option<u64>,
+    pub(crate) trace: Option<u64>,
     /// The owning session's in-flight counter, decremented when processed.
-    session_inflight: Arc<AtomicU64>,
+    pub(crate) session_inflight: Arc<AtomicU64>,
 }
 
-/// An authenticated connection (one `Hello` accepted).
-struct Session {
-    inflight: Arc<AtomicU64>,
-}
-
-/// State shared by every server thread.
-struct State {
-    handle: ServeHandle,
-    cfg: ServerConfig,
-    metrics: Arc<NetMetrics>,
-    shutdown: AtomicBool,
-    active_conns: AtomicU64,
-    inflight_sync: AtomicU64,
-    next_session: AtomicU64,
-    async_tx: Mutex<Option<Sender<AsyncJob>>>,
+/// State shared by every server thread (both backends and the pump).
+pub(crate) struct State {
+    pub(crate) handle: ServeHandle,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) metrics: Arc<NetMetrics>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active_conns: AtomicU64,
+    pub(crate) inflight_sync: AtomicU64,
+    pub(crate) next_session: AtomicU64,
+    pub(crate) async_tx: Mutex<Option<Sender<AsyncJob>>>,
     /// The detector pool's queue counters (depth, drain latency),
     /// installed once the pool is spawned; scraped by `/metrics`.
-    service_metrics: Mutex<Option<Arc<ServiceMetrics>>>,
+    pub(crate) service_metrics: Mutex<Option<Arc<ServiceMetrics>>>,
     /// Signals a client-requested shutdown to [`NetServer::wait_for_shutdown`].
-    shutdown_tx: Sender<()>,
+    pub(crate) shutdown_tx: Sender<()>,
+}
+
+/// The transport actually serving sockets.
+enum Backend {
+    Threaded { acceptor: JoinHandle<()>, conns: Arc<Mutex<Vec<JoinHandle<()>>>> },
+    Reactor(Reactor),
 }
 
 /// A running server; dropping it shuts it down.
 pub struct NetServer {
     state: Arc<State>,
     local_addr: SocketAddr,
-    acceptor: Mutex<Option<JoinHandle<()>>>,
+    backend: Mutex<Option<Backend>>,
     pump: Mutex<Option<JoinHandle<()>>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     shutdown_rx: Receiver<()>,
 }
 
@@ -172,6 +211,10 @@ impl NetServer {
                 out.push(Sample::counter("net.bytes_out", m.bytes_out.get()));
                 out.push(Sample::counter("net.busy_rejections", m.busy_rejections.get()));
                 out.push(Sample::gauge("net.connections_active", m.connections_active.get()));
+                out.push(Sample::counter("net.epoll_wakeups", m.epoll_wakeups.get()));
+                out.push(Sample::counter("net.partial_writes", m.partial_writes.get()));
+                out.push(Sample::counter("net.stall_evictions", m.stall_evictions.get()));
+                out.push(Sample::counter("net.overflow_evictions", m.overflow_evictions.get()));
                 let svc = state.service_metrics.lock().clone();
                 if let Some(svc) = svc {
                     out.push(Sample::gauge("service.queue_depth", svc.queue_depth.get()));
@@ -189,20 +232,24 @@ impl NetServer {
             .spawn(move || pump_loop(pool, async_rx, pump_state))
             .expect("spawn pump thread");
 
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
-        let accept_state = state.clone();
-        let accept_conns = conn_threads.clone();
-        let acceptor = std::thread::Builder::new()
-            .name("sentinel-net-accept".into())
-            .spawn(move || accept_loop(listener, accept_state, accept_conns))
-            .expect("spawn acceptor thread");
+        let backend = if state.cfg.event_loops == 0 {
+            let conn_threads = Arc::new(Mutex::new(Vec::new()));
+            let accept_state = state.clone();
+            let accept_conns = conn_threads.clone();
+            let acceptor = std::thread::Builder::new()
+                .name("sentinel-net-accept".into())
+                .spawn(move || accept_loop(listener, accept_state, accept_conns))
+                .expect("spawn acceptor thread");
+            Backend::Threaded { acceptor, conns: conn_threads }
+        } else {
+            Backend::Reactor(Reactor::start(listener, state.clone())?)
+        };
 
         Ok(NetServer {
             state,
             local_addr,
-            acceptor: Mutex::new(Some(acceptor)),
+            backend: Mutex::new(Some(backend)),
             pump: Mutex::new(Some(pump)),
-            conn_threads,
             shutdown_rx,
         })
     }
@@ -223,18 +270,24 @@ impl NetServer {
         self.shutdown();
     }
 
-    /// Graceful shutdown: stop accepting, join connection threads, drain
+    /// Graceful shutdown: stop accepting, wind the backend down, drain
     /// the async queue and the detector service. Idempotent.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor's `incoming()` with a throwaway connect.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(t) = self.acceptor.lock().take() {
-            let _ = t.join();
-        }
-        let threads: Vec<_> = self.conn_threads.lock().drain(..).collect();
-        for t in threads {
-            let _ = t.join();
+        if let Some(backend) = self.backend.lock().take() {
+            match backend {
+                Backend::Threaded { acceptor, conns } => {
+                    // Unblock the acceptor's `incoming()` with a throwaway
+                    // connect.
+                    let _ = TcpStream::connect(self.local_addr);
+                    let _ = acceptor.join();
+                    let threads: Vec<_> = conns.lock().drain(..).collect();
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                }
+                Backend::Reactor(reactor) => reactor.shutdown(),
+            }
         }
         // Closing the queue lets the pump drain what is left, shut the
         // detector service down (which drains *its* queue), and exit.
@@ -321,7 +374,7 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<Jo
             state.metrics.connections_refused.inc();
             let _ = protocol::write_frame(
                 &mut &stream,
-                &err_frame(0, "connection-limit", "server connection limit reached"),
+                &commands::err_frame(0, "connection-limit", "server connection limit reached"),
             );
             continue; // dropping the stream closes it
         }
@@ -341,7 +394,8 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<Jo
     }
 }
 
-/// Serves one connection until EOF, a protocol error, or server shutdown.
+/// Serves one connection until EOF, a protocol error, or server shutdown
+/// (thread-per-connection backend).
 fn handle_conn(stream: &TcpStream, state: &Arc<State>) {
     let _ = stream.set_read_timeout(Some(state.cfg.read_timeout));
     let _ = stream.set_nodelay(true);
@@ -354,23 +408,43 @@ fn handle_conn(stream: &TcpStream, state: &Arc<State>) {
         // valid frame (magic "SN"), so sniff it before frame-decoding,
         // serve one response, and close (`Connection: close` — scrapers
         // reconnect per poll).
-        if is_http_prefix(&buf) {
+        if commands::is_http_prefix(&buf) {
             if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-                serve_http(stream, state, &buf[..end]);
+                use std::io::Write as _;
+                let resp = commands::http_response(state, &buf[..end]);
+                if (&mut &*stream).write_all(&resp).is_ok() {
+                    state.metrics.bytes_out.add(resp.len() as u64);
+                }
                 break 'conn;
             }
             if buf.len() > 16 * 1024 {
                 break 'conn; // runaway header block
             }
         } else {
-            // Handle every complete frame already buffered.
+            // Handle every complete frame already buffered, answering
+            // each in the wire version it arrived in.
             loop {
-                match protocol::decode(&buf) {
-                    Ok(Some((frame, used))) => {
+                match protocol::decode_with(&buf, state.cfg.max_codec_version) {
+                    Ok(Some((frame, wire, used))) => {
                         buf.drain(..used);
                         state.metrics.frames_in.inc();
-                        if !handle_frame(stream, state, &mut session, frame) {
-                            break 'conn;
+                        match commands::execute(state, &mut session, frame) {
+                            Outcome::Reply(f) => {
+                                if !send(stream, state, &f, wire) {
+                                    break 'conn;
+                                }
+                            }
+                            Outcome::ReplyClose(f) => {
+                                send(stream, state, &f, wire);
+                                break 'conn;
+                            }
+                            Outcome::ReplyShutdown(f) => {
+                                let ok = send(stream, state, &f, wire);
+                                let _ = state.shutdown_tx.send(());
+                                if !ok {
+                                    break 'conn;
+                                }
+                            }
                         }
                     }
                     Ok(None) => break,
@@ -379,7 +453,12 @@ fn handle_conn(stream: &TcpStream, state: &Arc<State>) {
                         // resync inside a length-prefixed stream is
                         // impossible.
                         state.metrics.decode_errors.inc();
-                        send(stream, state, &err_frame(0, "decode", &e.to_string()));
+                        send(
+                            stream,
+                            state,
+                            &commands::err_frame(0, "decode", &e.to_string()),
+                            protocol::VERSION,
+                        );
                         break 'conn;
                     }
                 }
@@ -405,417 +484,20 @@ fn handle_conn(stream: &TcpStream, state: &Arc<State>) {
     }
 }
 
-/// True when `buf` could (still) be the start of an HTTP GET/HEAD
-/// request — i.e. it is a prefix of (or starts with) either method token.
-fn is_http_prefix(buf: &[u8]) -> bool {
-    if buf.is_empty() {
-        return false;
-    }
-    let matches = |verb: &[u8]| {
-        let n = buf.len().min(verb.len());
-        buf[..n] == verb[..n]
-    };
-    matches(b"GET ") || matches(b"HEAD ")
-}
-
-/// The exposition document for `/metrics`: the system families plus the
-/// server-side net/service families (which only this process knows).
-fn full_prom(state: &Arc<State>) -> String {
-    let mut prom = state.handle.prom_text();
-    let mut w = PromText::new();
-    let m = &state.metrics;
-    w.counter("sentinel_net_frames_in_total", "Frames received", &[], m.frames_in.get());
-    w.counter("sentinel_net_frames_out_total", "Frames sent", &[], m.frames_out.get());
-    w.counter("sentinel_net_bytes_in_total", "Bytes received", &[], m.bytes_in.get());
-    w.counter("sentinel_net_bytes_out_total", "Bytes sent", &[], m.bytes_out.get());
-    w.counter(
-        "sentinel_net_busy_rejections_total",
-        "Requests rejected with Busy",
-        &[],
-        m.busy_rejections.get(),
-    );
-    w.gauge("sentinel_net_connections_active", "Open connections", &[], m.connections_active.get());
-    if let Some(svc) = state.service_metrics.lock().clone() {
-        w.gauge(
-            "sentinel_service_queue_depth",
-            "Queued, undrained async signals",
-            &[],
-            svc.queue_depth.get(),
-        );
-        w.counter(
-            "sentinel_service_processed_total",
-            "Async signals processed",
-            &[],
-            svc.processed.get(),
-        );
-        w.histogram(
-            "sentinel_service_drain_latency_ns",
-            "Enqueue-to-processed latency",
-            &[],
-            &svc.drain_latency_ns.snapshot(),
-        );
-    }
-    prom.push_str(&w.finish());
-    prom
-}
-
-/// The `MetricsScrape` payload: the full exposition text plus the
-/// time-series ring snapshot (`Null` when telemetry is off).
-fn metrics_payload(state: &Arc<State>) -> json::Value {
-    json::Value::obj([
-        ("prom", json::Value::Str(full_prom(state))),
-        ("telemetry", state.handle.sentinel().telemetry_json()),
-    ])
-}
-
-/// Serves one sniffed HTTP request (`head` is everything before the
-/// header/body separator) and lets the caller close the connection.
-fn serve_http(stream: &TcpStream, state: &Arc<State>, head: &[u8]) {
-    use std::io::Write as _;
-    let line = head.split(|&b| b == b'\r').next().unwrap_or(head);
-    let line = String::from_utf8_lossy(line);
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, ctype, body) = match path {
-        "/metrics" => ("200 OK", "text/plain; version=0.0.4", full_prom(state)),
-        "/metrics.json" => {
-            ("200 OK", "application/json", state.handle.sentinel().telemetry_json().to_string())
-        }
-        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
-    };
-    let mut resp = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    if method != "HEAD" {
-        resp.push_str(&body);
-    }
-    if (&mut &*stream).write_all(resp.as_bytes()).is_ok() {
-        state.metrics.bytes_out.add(resp.len() as u64);
-    }
-}
-
-/// Handles one request; returns `false` to close the connection.
-fn handle_frame(
-    stream: &TcpStream,
-    state: &Arc<State>,
-    session: &mut Option<Session>,
-    frame: Frame,
-) -> bool {
-    let id = frame.request_id;
-    // A replica is read-only over the wire: the apply loop is its only
-    // mutator, so concurrent client writes can never diverge it from the
-    // primary's stream. `Promote` (or primary-loss auto-promotion) lifts
-    // the restriction.
-    let is_write = matches!(
-        frame.opcode,
-        Opcode::SignalSync
-            | Opcode::SignalAsync
-            | Opcode::DefineClass
-            | Opcode::DefineEvent
-            | Opcode::DefineRule
-            | Opcode::EnableRule
-            | Opcode::DisableRule
-            | Opcode::DropRule
-    );
-    if is_write && state.handle.sentinel().is_replica() {
-        return send(
-            stream,
-            state,
-            &err_frame(id, "read-only", "node is a read-only replica (Promote to accept writes)"),
-        );
-    }
-    match frame.opcode {
-        Opcode::Ping => send(stream, state, &Frame::new(Opcode::Ok, id, frame.payload)),
-        // Monitoring is read-only and session-free, like Ping: a scraper
-        // should not have to speak Hello.
-        Opcode::MetricsScrape => {
-            send(stream, state, &Frame::new(Opcode::Ok, id, metrics_payload(state)))
-        }
-        Opcode::Hello => {
-            let Some(client) = frame.payload.get("client").and_then(json::Value::as_str) else {
-                return send(stream, state, &err_frame(id, "bad-request", "hello needs client"));
-            };
-            let sid = state.next_session.fetch_add(1, Ordering::SeqCst) + 1;
-            *session = Some(Session { inflight: Arc::new(AtomicU64::new(0)) });
-            state.metrics.sessions.inc();
-            let reply = json::Value::obj([
-                ("session", json::Value::UInt(sid)),
-                ("client", json::Value::str(client)),
-                ("server", json::Value::str("sentinel")),
-                ("version", json::Value::UInt(u64::from(protocol::VERSION))),
-            ]);
-            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
-        }
-        Opcode::Ok | Opcode::Err | Opcode::Busy => {
-            state.metrics.decode_errors.inc();
-            send(stream, state, &err_frame(id, "bad-request", "response opcode from client"));
-            false
-        }
-        _ if session.is_none() => {
-            send(stream, state, &err_frame(id, "unauthenticated", "send Hello first"))
-        }
-        Opcode::SignalSync => handle_signal_sync(stream, state, id, &frame.payload),
-        Opcode::SignalAsync => {
-            let sess = session.as_ref().expect("checked above");
-            handle_signal_async(stream, state, sess, id, &frame.payload)
-        }
-        Opcode::Stats => {
-            let mut stats = state.handle.stats_json();
-            if let json::Value::Obj(pairs) = &mut stats {
-                pairs.push(("net".to_string(), state.metrics.snapshot().to_json()));
-            }
-            send(stream, state, &Frame::new(Opcode::Ok, id, stats))
-        }
-        Opcode::TraceSummaries => {
-            let traces = state.handle.trace_summaries_json();
-            let reply = json::Value::obj([("traces", traces)]);
-            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
-        }
-        Opcode::ExportTrace => {
-            let chrome = state.handle.export_chrome_trace();
-            let reply = json::Value::obj([("chrome", json::Value::Str(chrome))]);
-            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
-        }
-        Opcode::DefineClass => reply_result(stream, state, id, define_class(state, &frame.payload)),
-        Opcode::DefineEvent => reply_result(stream, state, id, define_event(state, &frame.payload)),
-        Opcode::DefineRule => reply_result(stream, state, id, define_rule(state, &frame.payload)),
-        Opcode::EnableRule => {
-            reply_result(stream, state, id, rule_admin(state, &frame.payload, RuleAdmin::Enable))
-        }
-        Opcode::DisableRule => {
-            reply_result(stream, state, id, rule_admin(state, &frame.payload, RuleAdmin::Disable))
-        }
-        Opcode::DropRule => {
-            reply_result(stream, state, id, rule_admin(state, &frame.payload, RuleAdmin::Drop))
-        }
-        Opcode::ReplSubscribe => {
-            let follower = frame
-                .payload
-                .get("follower")
-                .and_then(json::Value::as_str)
-                .unwrap_or("follower")
-                .to_string();
-            let r = state.handle.sentinel().repl_subscribe_json(&follower);
-            reply_result(stream, state, id, r.map_err(|e| e.to_string()))
-        }
-        Opcode::ReplSnapshot => {
-            let r = state.handle.sentinel().repl_snapshot_json();
-            reply_result(stream, state, id, r.map_err(|e| e.to_string()))
-        }
-        Opcode::ReplFrames => {
-            let from = frame.payload.get("from").and_then(json::Value::as_u64).unwrap_or(0);
-            let max = frame.payload.get("max").and_then(json::Value::as_u64).unwrap_or(1024);
-            let r = state.handle.sentinel().repl_frames_json(from, max);
-            reply_result(stream, state, id, r.map_err(|e| e.to_string()))
-        }
-        Opcode::ReplAck => {
-            let follower = frame
-                .payload
-                .get("follower")
-                .and_then(json::Value::as_str)
-                .unwrap_or("follower")
-                .to_string();
-            let applied = frame.payload.get("applied").and_then(json::Value::as_u64).unwrap_or(0);
-            let r = state.handle.sentinel().repl_ack_json(&follower, applied);
-            reply_result(stream, state, id, r.map_err(|e| e.to_string()))
-        }
-        Opcode::Promote => {
-            let promoted = state.handle.sentinel().promote();
-            let reply = json::Value::obj([
-                ("role", json::Value::str("primary")),
-                ("promoted", json::Value::Bool(promoted)),
-            ]);
-            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
-        }
-        Opcode::Shutdown => {
-            let ok = send(stream, state, &Frame::new(Opcode::Ok, id, json::Value::Null));
-            let _ = state.shutdown_tx.send(());
-            ok
-        }
-    }
-}
-
-fn handle_signal_sync(
-    stream: &TcpStream,
-    state: &Arc<State>,
-    id: u64,
-    payload: &json::Value,
-) -> bool {
-    let Some((event, params, txn, trace)) = parse_signal(payload) else {
-        return send(stream, state, &err_frame(id, "bad-request", "malformed signal"));
-    };
-    let limit = state.cfg.max_inflight_global as u64;
-    let cur = state.inflight_sync.fetch_add(1, Ordering::SeqCst) + 1;
-    if cur > limit {
-        state.inflight_sync.fetch_sub(1, Ordering::SeqCst);
-        state.metrics.busy_rejections.inc();
-        flight::global().record_static(FlightKind::Busy, "sync_global", cur, limit);
-        return send(stream, state, &busy_frame(id, "global", cur, limit));
-    }
-    let n = state.handle.signal_traced(&event, params, txn, trace);
-    state.inflight_sync.fetch_sub(1, Ordering::SeqCst);
-    let reply = json::Value::obj([("detections", json::Value::UInt(n as u64))]);
-    send(stream, state, &Frame::new(Opcode::Ok, id, reply))
-}
-
-fn handle_signal_async(
-    stream: &TcpStream,
-    state: &Arc<State>,
-    sess: &Session,
-    id: u64,
-    payload: &json::Value,
-) -> bool {
-    let Some((event, params, txn, trace)) = parse_signal(payload) else {
-        return send(stream, state, &err_frame(id, "bad-request", "malformed signal"));
-    };
-    let limit = state.cfg.max_inflight_per_session as u64;
-    let cur = sess.inflight.fetch_add(1, Ordering::SeqCst) + 1;
-    if cur > limit {
-        sess.inflight.fetch_sub(1, Ordering::SeqCst);
-        state.metrics.busy_rejections.inc();
-        flight::global().record_static(FlightKind::Busy, "session", cur, limit);
-        return send(stream, state, &busy_frame(id, "session", cur, limit));
-    }
-    let job = AsyncJob { event, params, txn, trace, session_inflight: sess.inflight.clone() };
-    let verdict = match state.async_tx.lock().as_ref() {
-        Some(tx) => tx.try_send(job).map_err(|e| matches!(e, TrySendError::Full(_))),
-        None => Err(false), // shutting down
-    };
-    match verdict {
-        Ok(()) => {
-            let reply = json::Value::obj([("queued", json::Value::Bool(true))]);
-            send(stream, state, &Frame::new(Opcode::Ok, id, reply))
-        }
-        Err(full) => {
-            sess.inflight.fetch_sub(1, Ordering::SeqCst);
-            if full {
-                state.metrics.busy_rejections.inc();
-                let cap = state.cfg.max_inflight_global as u64;
-                flight::global().record_static(FlightKind::Busy, "async_global", cap, cap);
-                send(stream, state, &busy_frame(id, "global", cap, cap))
-            } else {
-                send(stream, state, &err_frame(id, "shutting-down", "server is draining"))
-            }
-        }
-    }
-}
-
-/// Pulls `(event, params, txn, trace)` out of a signal payload.
-#[allow(clippy::type_complexity)]
-fn parse_signal(
-    payload: &json::Value,
-) -> Option<(String, Vec<(Arc<str>, sentinel_detector::Value)>, Option<u64>, Option<u64>)> {
-    let event = payload.get("event")?.as_str()?.to_string();
-    let params = match payload.get("params") {
-        Some(p) => protocol::params_from_json(p)?,
-        None => Vec::new(),
-    };
-    let txn = payload.get("txn").and_then(json::Value::as_u64);
-    let trace = payload.get("trace").and_then(json::Value::as_u64);
-    Some((event, params, txn, trace))
-}
-
-fn define_class(state: &Arc<State>, payload: &json::Value) -> Result<json::Value, String> {
-    let name = require_str(payload, "name")?;
-    let mut attrs = Vec::new();
-    if let Some(list) = payload.get("attrs").and_then(json::Value::as_arr) {
-        for attr in list {
-            let pair = attr.as_arr().filter(|p| p.len() == 2).ok_or("attrs: want [name, type]")?;
-            let (an, at) = (pair[0].as_str(), pair[1].as_str());
-            let (an, at) = an.zip(at).ok_or("attrs: want string pairs")?;
-            attrs.push((an.to_string(), at.to_string()));
-        }
-    }
-    state.handle.sentinel().register_class_spec(name, &attrs, &[]).map_err(|e| e.to_string())?;
-    Ok(json::Value::obj([("class", json::Value::str(name))]))
-}
-
-fn define_event(state: &Arc<State>, payload: &json::Value) -> Result<json::Value, String> {
-    let name = require_str(payload, "name")?;
-    let sentinel = state.handle.sentinel();
-    let id = match payload.get("expr").and_then(json::Value::as_str) {
-        Some(expr) => sentinel.define_event(name, expr).map_err(|e| e.to_string())?,
-        None => sentinel.declare_explicit(name).map_err(|e| e.to_string())?,
-    };
-    Ok(json::Value::obj([("event", json::Value::UInt(u64::from(id.0)))]))
-}
-
-fn define_rule(state: &Arc<State>, payload: &json::Value) -> Result<json::Value, String> {
-    // The whole payload is the rule spec; parsing, the action catalog
-    // (`count`, `raise`) and catalog journaling live in
-    // `Sentinel::define_rule_spec`, shared with durable recovery.
-    let rule = state.handle.sentinel().define_rule_spec(payload).map_err(|e| e.to_string())?;
-    Ok(json::Value::obj([("rule", json::Value::UInt(rule.0))]))
-}
-
-enum RuleAdmin {
-    Enable,
-    Disable,
-    Drop,
-}
-
-fn rule_admin(
-    state: &Arc<State>,
-    payload: &json::Value,
-    op: RuleAdmin,
-) -> Result<json::Value, String> {
-    let name = require_str(payload, "name")?;
-    let sentinel = state.handle.sentinel();
-    match op {
-        RuleAdmin::Enable => sentinel.enable_rule(name).map_err(|e| e.to_string())?,
-        RuleAdmin::Disable => sentinel.disable_rule(name).map_err(|e| e.to_string())?,
-        RuleAdmin::Drop => sentinel.drop_rule(name).map_err(|e| e.to_string())?,
-    }
-    Ok(json::Value::obj([("rule", json::Value::str(name))]))
-}
-
-fn require_str<'a>(payload: &'a json::Value, key: &str) -> Result<&'a str, String> {
-    payload.get(key).and_then(json::Value::as_str).ok_or_else(|| format!("missing `{key}`"))
-}
-
-fn reply_result(
-    stream: &TcpStream,
-    state: &Arc<State>,
-    id: u64,
-    result: Result<json::Value, String>,
-) -> bool {
-    match result {
-        Ok(body) => send(stream, state, &Frame::new(Opcode::Ok, id, body)),
-        Err(message) => send(stream, state, &err_frame(id, "rejected", &message)),
-    }
-}
-
-fn err_frame(id: u64, code: &str, message: &str) -> Frame {
-    let payload = json::Value::obj([
-        ("code", json::Value::str(code)),
-        ("message", json::Value::str(message)),
-    ]);
-    Frame::new(Opcode::Err, id, payload)
-}
-
-fn busy_frame(id: u64, scope: &str, inflight: u64, limit: u64) -> Frame {
-    let payload = json::Value::obj([
-        ("scope", json::Value::str(scope)),
-        ("inflight", json::Value::UInt(inflight)),
-        ("limit", json::Value::UInt(limit)),
-    ]);
-    Frame::new(Opcode::Busy, id, payload)
-}
-
-/// Writes a response, counting frames/bytes. An oversized body degrades to
-/// an error frame; a transport failure closes the connection.
-fn send(stream: &TcpStream, state: &Arc<State>, frame: &Frame) -> bool {
-    match protocol::write_frame(&mut &*stream, frame) {
+/// Writes a response in `wire` version, counting frames/bytes. An
+/// oversized body degrades to an error frame; a transport failure closes
+/// the connection.
+fn send(stream: &TcpStream, state: &Arc<State>, frame: &Frame, wire: u8) -> bool {
+    match protocol::write_frame_with(&mut &*stream, frame, wire) {
         Ok(n) => {
             state.metrics.frames_out.inc();
             state.metrics.bytes_out.add(n as u64);
             true
         }
         Err(WireError::Encode(_)) => {
-            let fallback = err_frame(frame.request_id, "oversized", "response exceeds frame limit");
-            match protocol::write_frame(&mut &*stream, &fallback) {
+            let fallback =
+                commands::err_frame(frame.request_id, "oversized", "response exceeds frame limit");
+            match protocol::write_frame_with(&mut &*stream, &fallback, wire) {
                 Ok(n) => {
                     state.metrics.frames_out.inc();
                     state.metrics.bytes_out.add(n as u64);

@@ -32,6 +32,21 @@ pub struct NetMetrics {
     pub decode_errors: Counter,
     /// Signals rejected with a `Busy` frame by backpressure limits.
     pub busy_rejections: Counter,
+    /// Event loops the reactor backend runs (0 under thread-per-connection).
+    pub event_loops: Gauge,
+    /// `epoll_wait` returns across all reactor loops.
+    pub epoll_wakeups: Counter,
+    /// Writes that could not complete in one syscall and left bytes queued
+    /// for `EPOLLOUT` resumption.
+    pub partial_writes: Counter,
+    /// Connections evicted because a mid-frame read or a pending write
+    /// made no progress for the stall timeout (half-open/SIGSTOP'd peers).
+    pub stall_evictions: Counter,
+    /// Connections evicted because their bounded write queue overflowed
+    /// (a peer requesting faster than it reads).
+    pub overflow_evictions: Counter,
+    /// Deepest per-connection write queue observed, in bytes.
+    pub write_queue_hwm: Gauge,
 }
 
 impl NetMetrics {
@@ -49,6 +64,12 @@ impl NetMetrics {
             bytes_out: self.bytes_out.get(),
             decode_errors: self.decode_errors.get(),
             busy_rejections: self.busy_rejections.get(),
+            event_loops: self.event_loops.get(),
+            epoll_wakeups: self.epoll_wakeups.get(),
+            partial_writes: self.partial_writes.get(),
+            stall_evictions: self.stall_evictions.get(),
+            overflow_evictions: self.overflow_evictions.get(),
+            write_queue_hwm: self.write_queue_hwm.high_watermark(),
         }
     }
 }
@@ -78,6 +99,18 @@ pub struct NetStats {
     pub decode_errors: u64,
     /// Signals rejected with a `Busy` frame.
     pub busy_rejections: u64,
+    /// Event loops the reactor backend runs.
+    pub event_loops: u64,
+    /// `epoll_wait` returns across all reactor loops.
+    pub epoll_wakeups: u64,
+    /// Writes resumed later under `EPOLLOUT`.
+    pub partial_writes: u64,
+    /// Connections evicted for stalling mid-frame or mid-write.
+    pub stall_evictions: u64,
+    /// Connections evicted for overflowing their bounded write queue.
+    pub overflow_evictions: u64,
+    /// Deepest per-connection write queue observed, in bytes.
+    pub write_queue_hwm: u64,
 }
 
 impl NetStats {
@@ -95,6 +128,12 @@ impl NetStats {
             ("bytes_out", json::Value::UInt(self.bytes_out)),
             ("decode_errors", json::Value::UInt(self.decode_errors)),
             ("busy_rejections", json::Value::UInt(self.busy_rejections)),
+            ("event_loops", json::Value::UInt(self.event_loops)),
+            ("epoll_wakeups", json::Value::UInt(self.epoll_wakeups)),
+            ("partial_writes", json::Value::UInt(self.partial_writes)),
+            ("stall_evictions", json::Value::UInt(self.stall_evictions)),
+            ("overflow_evictions", json::Value::UInt(self.overflow_evictions)),
+            ("write_queue_hwm", json::Value::UInt(self.write_queue_hwm)),
         ])
     }
 }

@@ -41,6 +41,9 @@ pub struct ReplicationStats {
     pub primary: Option<String>,
     /// Seconds since the replica last heard from its primary.
     pub last_contact_secs: Option<f64>,
+    /// Wire codec version the replica negotiated with its primary at
+    /// `Hello` (replica side; `None` on a primary).
+    pub wire_version: Option<u8>,
 }
 
 impl ReplicationStats {
@@ -83,6 +86,13 @@ impl ReplicationStats {
                 "last_contact_secs",
                 match self.last_contact_secs {
                     Some(s) => json::Value::Float(s),
+                    None => json::Value::Null,
+                },
+            ),
+            (
+                "wire_version",
+                match self.wire_version {
+                    Some(v) => json::Value::UInt(u64::from(v)),
                     None => json::Value::Null,
                 },
             ),

@@ -401,11 +401,14 @@ impl RuleScheduler {
 
         // Anchor: the caller's subtransaction (nested triggering) or the
         // root subtransaction of the occurrence's top-level transaction.
-        let parent = match frame {
-            Some((sub, _)) => sub,
+        // Firings under the no-transaction root are reaped as soon as
+        // they resolve: that root never sees a transaction end, so its
+        // tree would otherwise grow by one dead node per firing.
+        let (parent, reap) = match frame {
+            Some((sub, _)) => (sub, false),
             None => {
                 let txn = classes.values().flatten().find_map(|(_, occ)| occ.txn).unwrap_or(NO_TXN);
-                self.root_for(txn)
+                (self.root_for(txn), txn == NO_TXN)
             }
         };
 
@@ -421,14 +424,14 @@ impl RuleScheduler {
         for (std::cmp::Reverse(class), batch) in classes {
             if run_inline {
                 for (rule_id, occ) in batch {
-                    self.execute_rule(rule_id, occ, parent, depth);
+                    self.execute_rule(rule_id, occ, parent, depth, reap);
                 }
             } else {
                 let pool = self.pool.as_ref().expect("threaded mode");
                 for (rule_id, occ) in batch {
                     let sched = self.clone();
                     pool.submit(i64::from(class), move || {
-                        sched.execute_rule(rule_id, occ, parent, depth);
+                        sched.execute_rule(rule_id, occ, parent, depth, reap);
                     });
                 }
                 // Suspend the application until this class (and every rule
@@ -439,13 +442,16 @@ impl RuleScheduler {
         }
     }
 
-    /// Runs one rule body as a subtransaction of `parent`.
+    /// Runs one rule body as a subtransaction of `parent`. With `reap`
+    /// set (txn-less firings under the eternal no-transaction root) the
+    /// subtransaction's bookkeeping is dropped as soon as it resolves.
     fn execute_rule(
         self: &Arc<Self>,
         rule_id: RuleId,
         occurrence: Arc<Occurrence>,
         parent: SubTxnId,
         depth: u32,
+        reap: bool,
     ) {
         let Ok(sub) = self.nested.begin_sub(parent) else {
             // Parent already resolved (e.g. transaction ended while queued).
@@ -462,6 +468,9 @@ impl RuleScheduler {
             .with_rule(rule_id, |r| (r.name.clone(), r.condition.clone(), r.action.clone()))
         else {
             let _ = self.nested.abort_sub(sub);
+            if reap {
+                self.nested.reap_sub(sub);
+            }
             return;
         };
         let invocation = RuleInvocation {
@@ -563,6 +572,9 @@ impl RuleScheduler {
                     depth,
                 });
             }
+        }
+        if reap {
+            self.nested.reap_sub(sub);
         }
     }
 

@@ -241,6 +241,32 @@ impl NestedTxnManager {
         Ok(())
     }
 
+    /// Removes the bookkeeping of one *resolved* (committed or aborted)
+    /// subtransaction and its descendants, unlinking it from its
+    /// parent's child list. Used for rule subtransactions under the
+    /// long-lived no-transaction root: that root never sees a
+    /// transaction end, so without eager reaping it accretes one dead
+    /// node per rule firing for the life of the process. No-op while
+    /// `id` is still active.
+    pub fn reap_sub(&self, id: SubTxnId) {
+        let mut nodes = self.nodes.lock();
+        let Some(info) = nodes.get(&id) else { return };
+        if info.state == SubTxnState::Active {
+            return;
+        }
+        if let Some(p) = info.parent {
+            if let Some(pi) = nodes.get_mut(&p) {
+                pi.children.retain(|c| *c != id);
+            }
+        }
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if let Some(info) = nodes.remove(&n) {
+                stack.extend(info.children);
+            }
+        }
+    }
+
     /// Removes all bookkeeping for the tree rooted at `root` (after the
     /// top-level transaction finishes).
     pub fn forget_tree(&self, root: SubTxnId) {

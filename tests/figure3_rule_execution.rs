@@ -7,7 +7,7 @@
 //! application suspension.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -200,4 +200,68 @@ fn free_thread_reuse_across_many_bursts() {
     }
     s.commit(t).unwrap();
     assert!(threads.lock().len() <= 2, "50 firings, at most 2 pool threads");
+}
+
+/// SEC-3.2.1's side-effect-free conditions are enforced by suppressing
+/// event signalling while a condition evaluates. The paper's flag is
+/// global because its detector is single-threaded per application; in a
+/// served system many threads signal one shared detector, so the
+/// suppression must be *thread-scoped*: an unrelated signal arriving on
+/// another thread mid-condition must still be detected, while the
+/// condition's own signals stay suppressed.
+#[test]
+fn condition_suppression_is_thread_scoped() {
+    let s = Sentinel::in_memory();
+    s.declare_explicit("trig").unwrap();
+    s.declare_explicit("probe").unwrap();
+    s.define_rule(
+        "probe_count",
+        "probe",
+        Arc::new(|_| true),
+        Arc::new(|_| {}),
+        RuleOptions::default(),
+    )
+    .unwrap();
+
+    // gate's condition signals `probe` itself (must be suppressed), then
+    // parks until the other thread has signalled `probe` concurrently.
+    let in_cond = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let own_dets = Arc::new(AtomicUsize::new(0));
+    let (ic, rl, od, sc) = (in_cond.clone(), release.clone(), own_dets.clone(), s.clone());
+    s.define_rule(
+        "gate",
+        "trig",
+        Arc::new(move |_| {
+            od.store(sc.serve_handle().signal("probe", Vec::new(), None), Ordering::SeqCst);
+            ic.store(true, Ordering::SeqCst);
+            while !rl.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            true
+        }),
+        Arc::new(|_| {}),
+        RuleOptions::default(),
+    )
+    .unwrap();
+
+    let prober = {
+        let h = s.serve_handle();
+        let (ic, rl) = (in_cond.clone(), release.clone());
+        std::thread::spawn(move || {
+            while !ic.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            let dets = h.signal("probe", Vec::new(), None);
+            rl.store(true, Ordering::SeqCst);
+            dets
+        })
+    };
+    s.serve_handle().signal("trig", Vec::new(), None);
+    assert_eq!(
+        prober.join().unwrap(),
+        1,
+        "a signal from another thread while a condition runs is still detected"
+    );
+    assert_eq!(own_dets.load(Ordering::SeqCst), 0, "the condition's own signals are suppressed");
 }
